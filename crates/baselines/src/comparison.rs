@@ -1,0 +1,58 @@
+//! Comparison-sort baselines (the "STL sort" of §5.5).
+//!
+//! "We compare our algorithm with two optimized comparison sorts: GNU
+//! libstdc++ (STL) parallel sort implemented with OpenMP and sample sort
+//! implemented with Cilk Plus in PBBS." Sorting by key is trivially a
+//! semisort, so these are drop-in competitors. Rust analogues:
+//!
+//! - sequential `slice::sort_unstable` (pdqsort — the same introsort family
+//!   as `std::sort`);
+//! - rayon's `par_sort_unstable` (parallel merge-sort over pdqsort runs —
+//!   the GNU-parallel-mode analogue);
+//! - the PBBS-style sample sort lives in [`parlay::sample_sort`].
+
+use rayon::slice::ParallelSliceMut;
+
+/// Sequential comparison sort by key (the "STL sort, Seq." column).
+pub fn seq_sort_semisort<V: Copy + Send>(records: &[(u64, V)]) -> Vec<(u64, V)> {
+    let mut out = records.to_vec();
+    out.sort_unstable_by_key(|r| r.0);
+    out
+}
+
+/// Parallel comparison sort by key (the "STL sort, 40h" column).
+pub fn par_sort_semisort<V: Copy + Send>(records: &[(u64, V)]) -> Vec<(u64, V)> {
+    let mut out = records.to_vec();
+    out.par_sort_unstable_by_key(|r| r.0);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use semisort::verify::{is_permutation_of, is_semisorted_by};
+
+    #[test]
+    fn both_produce_sorted_output() {
+        let recs: Vec<(u64, u64)> = (0..60_000u64).map(|i| (parlay::hash64(i % 400), i)).collect();
+        for out in [seq_sort_semisort(&recs), par_sort_semisort(&recs)] {
+            assert!(out.windows(2).all(|w| w[0].0 <= w[1].0));
+            assert!(is_semisorted_by(&out, |r| r.0));
+            assert!(is_permutation_of(&out, &recs));
+        }
+    }
+
+    #[test]
+    fn empty_input() {
+        assert!(seq_sort_semisort::<u64>(&[]).is_empty());
+        assert!(par_sort_semisort::<u64>(&[]).is_empty());
+    }
+
+    #[test]
+    fn seq_and_par_agree_on_keys() {
+        let recs: Vec<(u64, u64)> = (0..30_000u64).map(|i| (parlay::hash64(i % 77), i)).collect();
+        let a: Vec<u64> = seq_sort_semisort(&recs).iter().map(|r| r.0).collect();
+        let b: Vec<u64> = par_sort_semisort(&recs).iter().map(|r| r.0).collect();
+        assert_eq!(a, b);
+    }
+}

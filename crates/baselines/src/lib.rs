@@ -1,0 +1,37 @@
+//! Baseline semisort and sort implementations from the paper's evaluation.
+//!
+//! §5 compares the parallel semisort against:
+//!
+//! - a **sequential chained-hash-table semisort** (the classic algorithm the
+//!   introduction describes; semisort beats it by ~20% on one thread) —
+//!   [`seq_hash`];
+//! - other sequential variants the authors "tried … but found them to be
+//!   even less efficient": open addressing with per-key chains and a
+//!   two-phase count-then-place approach — [`seq_open`], [`seq_two_phase`];
+//! - **parallel radix sort** (in `parlay::radix_sort`, since it is also the
+//!   semisort's sampling subroutine);
+//! - **parallel sample sort** (in `parlay::sample_sort`);
+//! - **STL sort** — sequential `slice::sort_unstable` and parallel rayon
+//!   `par_sort_unstable`, the `std::sort` / GNU-parallel-mode analogues —
+//!   [`comparison`];
+//! - the **scatter + pack** lower bound, "the minimal work one would need
+//!   to do to perform semisorting" (Table 4 / Figure 5) — [`scatter_pack`];
+//! - semisort via **naming + Rajasekaran–Reif integer sort**, the §1/§3.2
+//!   approach the paper argues is dominated by its preprocessing —
+//!   [`mod@rr_semisort`].
+
+#![warn(missing_docs)]
+
+pub mod comparison;
+pub mod rr_semisort;
+pub mod scatter_pack;
+pub mod seq_hash;
+pub mod seq_open;
+pub mod seq_two_phase;
+
+pub use comparison::{par_sort_semisort, seq_sort_semisort};
+pub use rr_semisort::rr_semisort;
+pub use scatter_pack::scatter_and_pack;
+pub use seq_hash::seq_hash_semisort;
+pub use seq_open::seq_open_semisort;
+pub use seq_two_phase::seq_two_phase_semisort;

@@ -1,0 +1,142 @@
+//! The scatter + pack lower bound (Table 4, Figure 5).
+//!
+//! "As a baseline, we compare the performance of our semisorting algorithm
+//! to just a scatter and pack (the minimal work one would need to do to
+//! perform semisorting)" — every semisort must at least move each record
+//! once to a computed position (scatter) and produce a contiguous output
+//! (pack). This baseline does exactly that and nothing else: one CAS write
+//! per record into a half-loaded slot array, then one blocked compaction.
+//! Semisort's overhead factor on top of this (1.5–2× in the paper) is the
+//! price of the sampling, routing, and local sorting.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::{Duration, Instant};
+
+use parlay::random::Rng;
+use parlay::shared::SendPtr;
+use rayon::prelude::*;
+
+/// Timings of the two component operations.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct ScatterPackTiming {
+    /// The random-write scatter.
+    pub scatter: Duration,
+    /// The compaction pack.
+    pub pack: Duration,
+}
+
+impl ScatterPackTiming {
+    /// Scatter + pack combined.
+    pub fn total(&self) -> Duration {
+        self.scatter + self.pack
+    }
+}
+
+/// Scatter `records` into random slots of a `2n`-slot array (CAS + linear
+/// probing), then pack the occupied slots into a contiguous output.
+///
+/// Returns the output (an arbitrary permutation of the input) and the
+/// per-operation timings the harness reports.
+pub fn scatter_and_pack(records: &[(u64, u64)], seed: u64) -> (Vec<(u64, u64)>, ScatterPackTiming) {
+    let n = records.len();
+    let mut timing = ScatterPackTiming::default();
+    if n == 0 {
+        return (Vec::new(), timing);
+    }
+    let slots = (2 * n).next_power_of_two();
+    let mask = slots - 1;
+    const EMPTY: u64 = u64::MAX;
+
+    // Slot array: index of the record + 1 sentinel-free trick is avoided by
+    // storing record indices (EMPTY = vacant), so record keys can be any u64.
+    let slot_of: Vec<AtomicU64> = (0..slots)
+        .into_par_iter()
+        .with_min_len(1 << 14)
+        .map(|_| AtomicU64::new(EMPTY))
+        .collect();
+
+    let rng = Rng::new(seed);
+    let t = Instant::now();
+    (0..n).into_par_iter().with_min_len(4096).for_each(|i| {
+        let mut s = (rng.at(i as u64) as usize) & mask;
+        loop {
+            if slot_of[s].load(Ordering::Relaxed) == EMPTY
+                && slot_of[s]
+                    .compare_exchange(EMPTY, i as u64, Ordering::Relaxed, Ordering::Relaxed)
+                    .is_ok()
+            {
+                break;
+            }
+            s = (s + 1) & mask;
+        }
+    });
+    timing.scatter = t.elapsed();
+
+    // Pack: blocked count → scan → write.
+    let t = Instant::now();
+    let blocks = parlay::slices::num_blocks(slots);
+    let mut offsets: Vec<usize> = (0..blocks)
+        .into_par_iter()
+        .map(|b| {
+            parlay::slices::block_range(b, blocks, slots)
+                .filter(|&i| slot_of[i].load(Ordering::Relaxed) != EMPTY)
+                .count()
+        })
+        .collect();
+    let total = parlay::scan_add_exclusive(&mut offsets);
+    debug_assert_eq!(total, n);
+    let mut out: Vec<(u64, u64)> = Vec::with_capacity(n);
+    let out_ptr = SendPtr(out.spare_capacity_mut().as_mut_ptr());
+    (0..blocks).into_par_iter().for_each(|b| {
+        let mut pos = offsets[b];
+        let ptr = out_ptr;
+        for i in parlay::slices::block_range(b, blocks, slots) {
+            let v = slot_of[i].load(Ordering::Relaxed);
+            if v != EMPTY {
+                // SAFETY: offsets partition [0, n) across blocks.
+                unsafe { (*ptr.0.add(pos)).write(records[v as usize]) };
+                pos += 1;
+            }
+        }
+    });
+    // SAFETY: every slot in [0, n) written exactly once above.
+    unsafe { out.set_len(n) };
+    timing.pack = t.elapsed();
+
+    (out, timing)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use semisort::verify::is_permutation_of;
+
+    #[test]
+    fn output_is_a_permutation() {
+        let recs: Vec<(u64, u64)> = (0..50_000u64).map(|i| (parlay::hash64(i), i)).collect();
+        let (out, timing) = scatter_and_pack(&recs, 7);
+        assert!(is_permutation_of(&out, &recs));
+        assert!(timing.total() >= timing.scatter);
+    }
+
+    #[test]
+    fn empty_input() {
+        let (out, _) = scatter_and_pack(&[], 1);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn different_seeds_scatter_differently() {
+        let recs: Vec<(u64, u64)> = (0..20_000u64).map(|i| (i, i)).collect();
+        let (a, _) = scatter_and_pack(&recs, 1);
+        let (b, _) = scatter_and_pack(&recs, 2);
+        assert!(is_permutation_of(&a, &b));
+        assert_ne!(a, b, "seed must shuffle the output");
+    }
+
+    #[test]
+    fn single_record() {
+        let (out, _) = scatter_and_pack(&[(9, 1)], 3);
+        assert_eq!(out, vec![(9, 1)]);
+    }
+}

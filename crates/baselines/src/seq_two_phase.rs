@@ -1,0 +1,102 @@
+//! The sequential two-phase count-then-place semisort.
+//!
+//! One of the alternatives §5.4 tried and found "even less efficient" than
+//! the chained table: "a two-phase approach where we simply count the
+//! multiplicity of each key, allocate enough space for each key, and write
+//! the records into the appropriate locations". Two full passes over the
+//! data, but no linked-list pointer chasing.
+
+/// Semisort `(key, value)` records: pass 1 counts multiplicities in an
+/// open-addressed table, a prefix sum assigns each key a contiguous output
+/// range, and pass 2 writes every record into its range.
+pub fn seq_two_phase_semisort<V: Copy>(records: &[(u64, V)]) -> Vec<(u64, V)> {
+    let n = records.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    let cap = (2 * n).next_power_of_two();
+    let mask = cap - 1;
+    let mut dir_key: Vec<u64> = vec![0; cap];
+    let mut dir_count: Vec<usize> = vec![0; cap]; // 0 = unused
+    let mut slots_in_order: Vec<usize> = Vec::new();
+
+    // Pass 1: count multiplicity per key.
+    for &(key, _) in records {
+        let mut s = (parlay::hash64(key) as usize) & mask;
+        loop {
+            if dir_count[s] == 0 {
+                dir_key[s] = key;
+                dir_count[s] = 1;
+                slots_in_order.push(s);
+                break;
+            }
+            if dir_key[s] == key {
+                dir_count[s] += 1;
+                break;
+            }
+            s = (s + 1) & mask;
+        }
+    }
+
+    // Prefix sum: dir_count becomes each key's write cursor.
+    let mut acc = 0usize;
+    for &s in &slots_in_order {
+        let c = dir_count[s];
+        dir_count[s] = acc;
+        acc += c;
+    }
+    debug_assert_eq!(acc, n);
+
+    // Pass 2: place.
+    let mut out: Vec<(u64, V)> = Vec::with_capacity(n);
+    let spare = out.spare_capacity_mut();
+    for &(key, value) in records {
+        let mut s = (parlay::hash64(key) as usize) & mask;
+        while dir_key[s] != key {
+            s = (s + 1) & mask;
+        }
+        spare[dir_count[s]].write((key, value));
+        dir_count[s] += 1;
+    }
+    // SAFETY: exactly n writes at the n distinct cursor positions.
+    unsafe { out.set_len(n) };
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use semisort::verify::{is_permutation_of, is_semisorted_by};
+
+    #[test]
+    fn empty_and_single() {
+        assert!(seq_two_phase_semisort::<u64>(&[]).is_empty());
+        assert_eq!(seq_two_phase_semisort(&[(5u64, 9u64)]), vec![(5, 9)]);
+    }
+
+    #[test]
+    fn groups_mixed_input() {
+        let recs: Vec<(u64, u64)> = (0..50_000u64).map(|i| (parlay::hash64(i % 333), i)).collect();
+        let out = seq_two_phase_semisort(&recs);
+        assert!(is_semisorted_by(&out, |r| r.0));
+        assert!(is_permutation_of(&out, &recs));
+    }
+
+    #[test]
+    fn preserves_input_order_within_groups() {
+        // Unlike the chained version (LIFO), two-phase placement is stable.
+        let recs = vec![(7u64, 0u64), (3, 1), (7, 2), (3, 3)];
+        let out = seq_two_phase_semisort(&recs);
+        assert_eq!(out, vec![(7, 0), (7, 2), (3, 1), (3, 3)]);
+    }
+
+    #[test]
+    fn skewed_input() {
+        let recs: Vec<(u64, u64)> = (0..30_000u64)
+            .map(|i| (if i % 100 == 0 { parlay::hash64(i) } else { 1 }, i))
+            .collect();
+        let out = seq_two_phase_semisort(&recs);
+        assert!(is_semisorted_by(&out, |r| r.0));
+        assert!(is_permutation_of(&out, &recs));
+    }
+}

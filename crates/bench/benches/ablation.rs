@@ -1,0 +1,84 @@
+//! Criterion ablations of the §4 design choices (see also the `ablation`
+//! harness binary, which prints a paper-style sweep table).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use semisort::{semisort_pairs, LocalSortAlgo, ProbeStrategy, SemisortConfig};
+use workloads::{generate, Distribution};
+
+const N: usize = 500_000;
+
+fn bench_ablation(c: &mut Criterion) {
+    let records = generate(Distribution::Zipfian { m: 1_000_000 }, N, 1);
+    let base = SemisortConfig::default();
+    let mut g = c.benchmark_group("ablation_zipf_500k");
+    g.throughput(Throughput::Elements(N as u64));
+
+    let variants: Vec<(&str, SemisortConfig)> = vec![
+        ("default", base),
+        (
+            "no_merge",
+            SemisortConfig {
+                merge_light_buckets: false,
+                ..base
+            },
+        ),
+        (
+            "random_probe",
+            SemisortConfig {
+                probe_strategy: ProbeStrategy::Random,
+                ..base
+            },
+        ),
+        (
+            "delta_4",
+            SemisortConfig {
+                heavy_threshold: 4,
+                ..base
+            },
+        ),
+        (
+            "delta_64",
+            SemisortConfig {
+                heavy_threshold: 64,
+                ..base
+            },
+        ),
+        (
+            "p_1_4",
+            SemisortConfig {
+                sample_shift: 2,
+                ..base
+            },
+        ),
+        (
+            "p_1_64",
+            SemisortConfig {
+                sample_shift: 6,
+                ..base
+            },
+        ),
+        (
+            "local_counting",
+            SemisortConfig {
+                local_sort_algo: LocalSortAlgo::Counting,
+                ..base
+            },
+        ),
+    ];
+    for (name, cfg) in variants {
+        g.bench_with_input(BenchmarkId::from_parameter(name), &cfg, |b, cfg| {
+            b.iter(|| semisort_pairs(&records, cfg))
+        });
+    }
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(400))
+        .measurement_time(std::time::Duration::from_millis(1500));
+    targets = bench_ablation
+}
+criterion_main!(benches);

@@ -1,0 +1,139 @@
+//! Criterion microbenches for the parallel primitives substrate.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use parlay::counting_sort::counting_sort_into;
+use parlay::hash64;
+use parlay::hash_table::PhaseConcurrentMap;
+
+const SIZES: [usize; 2] = [100_000, 1_000_000];
+
+fn bench_scan(c: &mut Criterion) {
+    let mut g = c.benchmark_group("scan_add_exclusive");
+    for &n in &SIZES {
+        let input: Vec<usize> = (0..n).map(|i| i % 7).collect();
+        g.throughput(Throughput::Elements(n as u64));
+        g.bench_with_input(BenchmarkId::from_parameter(n), &input, |b, input| {
+            b.iter(|| {
+                let mut v = input.clone();
+                parlay::scan_add_exclusive(&mut v)
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_pack(c: &mut Criterion) {
+    let mut g = c.benchmark_group("pack");
+    for &n in &SIZES {
+        let input: Vec<u64> = (0..n as u64).map(hash64).collect();
+        g.throughput(Throughput::Elements(n as u64));
+        g.bench_with_input(BenchmarkId::from_parameter(n), &input, |b, input| {
+            b.iter(|| parlay::pack(input, |_, &x| x % 2 == 0))
+        });
+    }
+    g.finish();
+}
+
+fn bench_counting_sort(c: &mut Criterion) {
+    let mut g = c.benchmark_group("counting_sort_256");
+    for &n in &SIZES {
+        let input: Vec<u64> = (0..n as u64).map(|i| hash64(i) % 256).collect();
+        let mut out = vec![0u64; n];
+        g.throughput(Throughput::Elements(n as u64));
+        g.bench_with_input(BenchmarkId::from_parameter(n), &input, |b, input| {
+            b.iter(|| counting_sort_into(input, &mut out, 256, |&x| x as usize))
+        });
+    }
+    g.finish();
+}
+
+fn bench_hash_table(c: &mut Criterion) {
+    let mut g = c.benchmark_group("hash_table");
+    let n = 100_000usize;
+    g.throughput(Throughput::Elements(n as u64));
+    g.bench_function("insert_100k", |b| {
+        b.iter(|| {
+            let t = PhaseConcurrentMap::<u64>::new(n);
+            for k in 1..=n as u64 {
+                t.insert(k, k);
+            }
+            t
+        })
+    });
+    let t = PhaseConcurrentMap::<u64>::new(n);
+    for k in 1..=n as u64 {
+        t.insert(k, k);
+    }
+    g.bench_function("lookup_100k", |b| {
+        b.iter(|| {
+            let mut hits = 0u64;
+            for k in 1..=n as u64 {
+                hits += t.lookup(k).is_some() as u64;
+            }
+            hits
+        })
+    });
+    g.finish();
+}
+
+fn bench_histogram(c: &mut Criterion) {
+    let mut g = c.benchmark_group("histogram_256");
+    for &n in &SIZES {
+        let keys: Vec<usize> = (0..n).map(|i| (hash64(i as u64) % 256) as usize).collect();
+        g.throughput(Throughput::Elements(n as u64));
+        g.bench_with_input(BenchmarkId::from_parameter(n), &keys, |b, keys| {
+            b.iter(|| parlay::histogram::histogram(keys, 256))
+        });
+    }
+    g.finish();
+}
+
+fn bench_reduce(c: &mut Criterion) {
+    let mut g = c.benchmark_group("reduce_sum");
+    for &n in &SIZES {
+        let v: Vec<u64> = (0..n as u64).map(hash64).collect();
+        g.throughput(Throughput::Elements(n as u64));
+        g.bench_with_input(BenchmarkId::from_parameter(n), &v, |b, v| {
+            b.iter(|| parlay::reduce::sum_u64(v))
+        });
+    }
+    g.finish();
+}
+
+fn bench_flatten(c: &mut Criterion) {
+    let nested: Vec<Vec<u64>> = (0..10_000u64)
+        .map(|i| (0..(i % 200)).collect())
+        .collect();
+    let total: u64 = nested.iter().map(|v| v.len() as u64).sum();
+    let mut g = c.benchmark_group("flatten_ragged");
+    g.throughput(Throughput::Elements(total));
+    g.bench_function("10k_lists", |b| b.iter(|| parlay::flatten::flatten(&nested)));
+    g.finish();
+}
+
+fn bench_shuffle(c: &mut Criterion) {
+    let mut g = c.benchmark_group("random_shuffle");
+    for &n in &SIZES {
+        let v: Vec<u64> = (0..n as u64).collect();
+        g.throughput(Throughput::Elements(n as u64));
+        g.bench_with_input(BenchmarkId::from_parameter(n), &v, |b, v| {
+            b.iter(|| {
+                let mut w = v.clone();
+                parlay::shuffle::random_shuffle(&mut w, 7);
+                w
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(400))
+        .measurement_time(std::time::Duration::from_millis(1500));
+    targets = bench_scan, bench_pack, bench_counting_sort, bench_hash_table,
+              bench_histogram, bench_reduce, bench_flatten, bench_shuffle
+}
+criterion_main!(benches);

@@ -1,0 +1,97 @@
+//! End-to-end semisort benches across distributions, against the
+//! sequential baselines and the scatter+pack floor.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use baselines::{seq_hash_semisort, seq_two_phase_semisort};
+use baselines::scatter_pack::scatter_and_pack;
+use semisort::{semisort_pairs, SemisortConfig};
+use workloads::{generate, Distribution};
+
+const N: usize = 500_000;
+
+fn inputs() -> Vec<(&'static str, Vec<(u64, u64)>)> {
+    vec![
+        (
+            "uniform_all_light",
+            generate(Distribution::Uniform { n: N as u64 }, N, 1),
+        ),
+        (
+            "exp_mostly_heavy",
+            generate(
+                Distribution::Exponential {
+                    lambda: N as f64 / 1000.0,
+                },
+                N,
+                1,
+            ),
+        ),
+        (
+            "uniform_all_heavy",
+            generate(Distribution::Uniform { n: 10 }, N, 1),
+        ),
+        (
+            "zipfian_mixed",
+            generate(Distribution::Zipfian { m: 1_000_000 }, N, 1),
+        ),
+    ]
+}
+
+fn bench_semisort(c: &mut Criterion) {
+    let cfg = SemisortConfig::default();
+    let mut g = c.benchmark_group("semisort_500k");
+    g.throughput(Throughput::Elements(N as u64));
+    for (dist, records) in inputs() {
+        g.bench_with_input(BenchmarkId::new("semisort", dist), &records, |b, r| {
+            b.iter(|| semisort_pairs(r, &cfg))
+        });
+        g.bench_with_input(BenchmarkId::new("seq_hash", dist), &records, |b, r| {
+            b.iter(|| seq_hash_semisort(r))
+        });
+        g.bench_with_input(BenchmarkId::new("seq_two_phase", dist), &records, |b, r| {
+            b.iter(|| seq_two_phase_semisort(r))
+        });
+        g.bench_with_input(BenchmarkId::new("scatter_pack", dist), &records, |b, r| {
+            b.iter(|| scatter_and_pack(r, 7).0)
+        });
+    }
+    g.finish();
+}
+
+fn bench_api_level(c: &mut Criterion) {
+    let cfg = SemisortConfig::default();
+    let items: Vec<(u32, u64)> = (0..N as u64).map(|i| (((i * 31) % 10_000) as u32, i)).collect();
+    let mut g = c.benchmark_group("api_500k");
+    g.throughput(Throughput::Elements(N as u64));
+    g.bench_function("group_by", |b| {
+        b.iter(|| semisort::group_by(&items, |t| t.0, &cfg).len())
+    });
+    g.bench_function("reduce_by_key_sum", |b| {
+        b.iter(|| semisort::reduce_by_key(&items, |t| t.0, 0u64, |a, t| a + t.1, &cfg).len())
+    });
+    g.bench_function("stable_semisort", |b| {
+        b.iter(|| semisort::semisort_stable_by_key(&items, |t| t.0, &cfg).len())
+    });
+    // Bounded integer keys: the counting-sort fast path vs the general path.
+    let bounded: Vec<(u64, u64)> = items.iter().map(|&(k, v)| (k as u64, v)).collect();
+    g.bench_function("bounded_counting_path", |b| {
+        b.iter(|| semisort::semisort_bounded(&bounded, 10_000).len())
+    });
+    g.bench_function("general_path_same_input", |b| {
+        let hashed: Vec<(u64, u64)> = bounded
+            .iter()
+            .map(|&(k, v)| (parlay::hash64(k), v))
+            .collect();
+        b.iter(|| semisort::semisort_pairs(&hashed, &cfg).len())
+    });
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(400))
+        .measurement_time(std::time::Duration::from_millis(1500));
+    targets = bench_semisort, bench_api_level
+}
+criterion_main!(benches);

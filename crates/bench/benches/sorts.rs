@@ -1,0 +1,82 @@
+//! Criterion benches for the sorting algorithms (the paper's baselines).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use parlay::radix_sort::radix_sort_pairs;
+use parlay::sample_sort::sample_sort_pairs;
+use rayon::slice::ParallelSliceMut;
+use workloads::{generate, Distribution};
+
+const N: usize = 500_000;
+
+fn inputs() -> Vec<(&'static str, Vec<(u64, u64)>)> {
+    vec![
+        (
+            "uniform",
+            generate(Distribution::Uniform { n: N as u64 }, N, 1),
+        ),
+        (
+            "exponential",
+            generate(
+                Distribution::Exponential {
+                    lambda: N as f64 / 1000.0,
+                },
+                N,
+                1,
+            ),
+        ),
+        ("zipfian", generate(Distribution::Zipfian { m: 100_000 }, N, 1)),
+    ]
+}
+
+fn bench_sorts(c: &mut Criterion) {
+    let mut g = c.benchmark_group("sorts_500k");
+    g.throughput(Throughput::Elements(N as u64));
+    for (dist, records) in inputs() {
+        g.bench_with_input(BenchmarkId::new("radix", dist), &records, |b, r| {
+            b.iter(|| {
+                let mut v = r.clone();
+                radix_sort_pairs(&mut v);
+                v
+            })
+        });
+        g.bench_with_input(BenchmarkId::new("sample", dist), &records, |b, r| {
+            b.iter(|| {
+                let mut v = r.clone();
+                sample_sort_pairs(&mut v);
+                v
+            })
+        });
+        g.bench_with_input(BenchmarkId::new("std_par", dist), &records, |b, r| {
+            b.iter(|| {
+                let mut v = r.clone();
+                v.par_sort_unstable_by_key(|x| x.0);
+                v
+            })
+        });
+        g.bench_with_input(BenchmarkId::new("merge", dist), &records, |b, r| {
+            b.iter(|| {
+                let mut v = r.clone();
+                parlay::merge::merge_sort_by(&mut v, |x, y| x.0 < y.0);
+                v
+            })
+        });
+        g.bench_with_input(BenchmarkId::new("rr_integer", dist), &records, |b, r| {
+            b.iter(|| {
+                let mut v = r.clone();
+                parlay::rr_sort::rr_sort_by_key(&mut v, 64, |p| p.0);
+                v
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(400))
+        .measurement_time(std::time::Duration::from_millis(1500));
+    targets = bench_sorts
+}
+criterion_main!(benches);

@@ -1,0 +1,83 @@
+//! A tracking global allocator for the space experiments.
+//!
+//! Lemma 3.5 claims `O(n)` *space*; wall-clock benchmarks can't see memory.
+//! Installing [`TrackingAllocator`] as the global allocator lets the
+//! `space_usage` harness report live-bytes peaks per algorithm, turning the
+//! space claim into a measured number.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Global-allocator wrapper counting live and peak bytes.
+pub struct TrackingAllocator;
+
+static LIVE: AtomicUsize = AtomicUsize::new(0);
+static PEAK: AtomicUsize = AtomicUsize::new(0);
+
+// SAFETY: delegates all allocation to `System`, only adding counters.
+unsafe impl GlobalAlloc for TrackingAllocator {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        let p = unsafe { System.alloc(layout) };
+        if !p.is_null() {
+            let live = LIVE.fetch_add(layout.size(), Ordering::Relaxed) + layout.size();
+            PEAK.fetch_max(live, Ordering::Relaxed);
+        }
+        p
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        let p = unsafe { System.alloc_zeroed(layout) };
+        if !p.is_null() {
+            let live = LIVE.fetch_add(layout.size(), Ordering::Relaxed) + layout.size();
+            PEAK.fetch_max(live, Ordering::Relaxed);
+        }
+        p
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) };
+        LIVE.fetch_sub(layout.size(), Ordering::Relaxed);
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        let p = unsafe { System.realloc(ptr, layout, new_size) };
+        if !p.is_null() {
+            let old = layout.size();
+            if new_size >= old {
+                let live = LIVE.fetch_add(new_size - old, Ordering::Relaxed) + (new_size - old);
+                PEAK.fetch_max(live, Ordering::Relaxed);
+            } else {
+                LIVE.fetch_sub(old - new_size, Ordering::Relaxed);
+            }
+        }
+        p
+    }
+}
+
+/// Currently live heap bytes.
+pub fn live_bytes() -> usize {
+    LIVE.load(Ordering::Relaxed)
+}
+
+/// Reset the peak to the current live volume and return the old peak.
+pub fn reset_peak() -> usize {
+    PEAK.swap(LIVE.load(Ordering::Relaxed), Ordering::Relaxed)
+}
+
+/// Peak live bytes since the last [`reset_peak`].
+pub fn peak_bytes() -> usize {
+    PEAK.load(Ordering::Relaxed)
+}
+
+/// Measure the peak *additional* heap used while running `f`.
+///
+/// Returns `(result, peak_extra_bytes)`: the high-water mark of allocations
+/// above the level live when `f` started. Only meaningful in a binary that
+/// installs [`TrackingAllocator`] via `#[global_allocator]`.
+pub fn measure_peak<R>(f: impl FnOnce() -> R) -> (R, usize) {
+    let base = live_bytes();
+    reset_peak();
+    let r = f();
+    let peak = peak_bytes();
+    (r, peak.saturating_sub(base))
+}

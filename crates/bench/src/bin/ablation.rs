@@ -1,0 +1,107 @@
+//! **Ablations**: the §4 design choices, measured one knob at a time.
+//!
+//! - light-bucket merging on/off (paper: merging is worth ≤10%);
+//! - linear probing vs fresh-random-slot probing in the scatter (paper:
+//!   linear probing chosen for cache performance);
+//! - the heavy threshold δ;
+//! - the sampling rate p = 1/2^shift;
+//! - the local sort algorithm (paper: the STL hybrid sort was chosen for
+//!   consistency; alternatives performed similarly).
+
+use bench::fmt::{s3, x2, Table};
+use bench::timing::time_avg;
+use bench::Args;
+use parlay::with_threads;
+use semisort::{
+    semisort_with_stats, LocalSortAlgo, ProbeStrategy, SemisortConfig,
+};
+use workloads::{generate, representative_distributions};
+
+fn main() {
+    let args = Args::parse();
+    let (exp_dist, uni_dist) = representative_distributions(args.n);
+    let threads = args.max_threads();
+
+    println!(
+        "Ablations: n = {}, {} threads, best of {}\n",
+        args.n, threads, args.reps
+    );
+
+    for dist in [exp_dist, uni_dist] {
+        println!("{}:", dist.label());
+        let records = generate(dist, args.n, args.seed);
+        let base_cfg = SemisortConfig::default().with_seed(args.seed);
+        let (_, base) = with_threads(threads, || {
+            time_avg(args.reps, || semisort_with_stats(&records, &base_cfg).1)
+        });
+        let base_s = base.as_secs_f64();
+
+        let mut table = Table::new(["variant", "time (s)", "vs default", "slots/n"]);
+        let mut run = |name: &str, cfg: SemisortConfig| {
+            let (stats, t) = with_threads(threads, || {
+                time_avg(args.reps, || semisort_with_stats(&records, &cfg).1)
+            });
+            table.row([
+                name.to_string(),
+                s3(t),
+                x2(t.as_secs_f64() / base_s),
+                format!("{:.2}", stats.space_blowup()),
+            ]);
+        };
+
+        run("default (paper constants)", base_cfg);
+        run(
+            "no light-bucket merging",
+            SemisortConfig {
+                merge_light_buckets: false,
+                ..base_cfg
+            },
+        );
+        run(
+            "random-slot probing",
+            SemisortConfig {
+                probe_strategy: ProbeStrategy::Random,
+                ..base_cfg
+            },
+        );
+        for delta in [4usize, 8, 32, 64] {
+            run(
+                &format!("δ = {delta}"),
+                SemisortConfig {
+                    heavy_threshold: delta,
+                    ..base_cfg
+                },
+            );
+        }
+        for shift in [2u32, 3, 5, 6] {
+            run(
+                &format!("p = 1/{}", 1 << shift),
+                SemisortConfig {
+                    sample_shift: shift,
+                    ..base_cfg
+                },
+            );
+        }
+        run(
+            "local sort: stable",
+            SemisortConfig {
+                local_sort_algo: LocalSortAlgo::StdStable,
+                ..base_cfg
+            },
+        );
+        run(
+            "local sort: naming+counting",
+            SemisortConfig {
+                local_sort_algo: LocalSortAlgo::Counting,
+                ..base_cfg
+            },
+        );
+        table.print();
+        println!();
+    }
+    println!(
+        "paper shape: merging saves ≤10%; linear probing beats random \
+         probing; the defaults (p = 1/16, δ = 16) sit at the flat bottom of \
+         their sweeps; local-sort variants are within noise of each other"
+    );
+}

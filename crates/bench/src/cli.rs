@@ -1,0 +1,182 @@
+//! Tiny dependency-free CLI parsing shared by the harness binaries.
+//!
+//! Every binary accepts:
+//!
+//! - `--n <records>` — input size (default 1,000,000; the paper ran 10⁸).
+//! - `--threads <list>` — comma-separated thread counts to sweep
+//!   (default derived from the machine).
+//! - `--reps <k>` — timing repetitions, best-of (default 3).
+//! - `--seed <u64>` — workload + algorithm seed (default 42).
+//! - `--sizes <list>` — comma-separated input sizes for size-sweep
+//!   binaries.
+//! - `--quick` — shrink everything for a fast smoke run.
+
+/// Parsed harness arguments.
+#[derive(Clone, Debug)]
+pub struct Args {
+    /// Input size (records).
+    pub n: usize,
+    /// Thread counts to sweep.
+    pub threads: Vec<usize>,
+    /// Timing repetitions (best-of).
+    pub reps: usize,
+    /// Base seed.
+    pub seed: u64,
+    /// Sizes for sweep binaries.
+    pub sizes: Vec<usize>,
+    /// Smoke-run mode.
+    pub quick: bool,
+}
+
+impl Default for Args {
+    fn default() -> Self {
+        let max_t = std::thread::available_parallelism()
+            .map(|p| p.get())
+            .unwrap_or(1);
+        let mut threads = vec![1usize];
+        let mut t = 2;
+        while t <= max_t {
+            threads.push(t);
+            t *= 2;
+        }
+        if *threads.last().unwrap() != max_t {
+            threads.push(max_t);
+        }
+        Args {
+            n: 1_000_000,
+            threads,
+            reps: 3,
+            seed: 42,
+            sizes: vec![100_000, 200_000, 500_000, 1_000_000, 2_000_000, 5_000_000],
+            quick: false,
+        }
+    }
+}
+
+impl Args {
+    /// Parse `std::env::args()`; panics with a usage message on bad input.
+    pub fn parse() -> Self {
+        Self::parse_from(std::env::args().skip(1))
+    }
+
+    /// Parse from an explicit iterator (testable).
+    pub fn parse_from<I: IntoIterator<Item = String>>(args: I) -> Self {
+        let mut out = Args::default();
+        let mut it = args.into_iter();
+        while let Some(flag) = it.next() {
+            let mut value = |name: &str| {
+                it.next()
+                    .unwrap_or_else(|| panic!("missing value for {name}"))
+            };
+            match flag.as_str() {
+                "--n" => out.n = parse_size(&value("--n")),
+                "--threads" => {
+                    out.threads = value("--threads")
+                        .split(',')
+                        .map(|s| s.trim().parse().expect("bad thread count"))
+                        .collect()
+                }
+                "--reps" => out.reps = value("--reps").parse().expect("bad reps"),
+                "--seed" => out.seed = value("--seed").parse().expect("bad seed"),
+                "--sizes" => {
+                    out.sizes = value("--sizes").split(',').map(|s| parse_size(s.trim())).collect()
+                }
+                "--quick" => out.quick = true,
+                "--help" | "-h" => {
+                    eprintln!(
+                        "flags: --n <records> --threads <a,b,c> --reps <k> \
+                         --seed <u64> --sizes <a,b,c> --quick"
+                    );
+                    std::process::exit(0);
+                }
+                other => panic!("unknown flag {other}"),
+            }
+        }
+        if out.quick {
+            out.n = out.n.min(200_000);
+            out.sizes = vec![50_000, 100_000, 200_000];
+            out.reps = 1;
+        }
+        out
+    }
+
+    /// The largest thread count in the sweep (the "40h" column analogue).
+    pub fn max_threads(&self) -> usize {
+        self.threads.iter().copied().max().unwrap_or(1)
+    }
+}
+
+/// Parse sizes with `k`/`m`/`g` suffixes: `100k`, `2m`, `1g`.
+fn parse_size(s: &str) -> usize {
+    let lower = s.to_ascii_lowercase();
+    let (num, mult) = match lower.strip_suffix(['k', 'm', 'g']) {
+        Some(head) => {
+            let mult = match lower.as_bytes()[lower.len() - 1] {
+                b'k' => 1_000,
+                b'm' => 1_000_000,
+                _ => 1_000_000_000,
+            };
+            (head, mult)
+        }
+        None => (lower.as_str(), 1),
+    };
+    let base: f64 = num.parse().unwrap_or_else(|_| panic!("bad size {s}"));
+    (base * mult as f64) as usize
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(args: &[&str]) -> Args {
+        Args::parse_from(args.iter().map(|s| s.to_string()))
+    }
+
+    #[test]
+    fn defaults_are_sane() {
+        let a = Args::default();
+        assert!(a.n > 0);
+        assert_eq!(a.threads[0], 1);
+        assert!(a.reps >= 1);
+    }
+
+    #[test]
+    fn parses_all_flags() {
+        let a = parse(&[
+            "--n", "2m", "--threads", "1,2,8", "--reps", "5", "--seed", "9", "--sizes",
+            "100k,1m",
+        ]);
+        assert_eq!(a.n, 2_000_000);
+        assert_eq!(a.threads, vec![1, 2, 8]);
+        assert_eq!(a.reps, 5);
+        assert_eq!(a.seed, 9);
+        assert_eq!(a.sizes, vec![100_000, 1_000_000]);
+    }
+
+    #[test]
+    fn quick_mode_shrinks() {
+        let a = parse(&["--n", "50m", "--quick"]);
+        assert!(a.n <= 200_000);
+        assert_eq!(a.reps, 1);
+    }
+
+    #[test]
+    fn size_suffixes() {
+        assert_eq!(parse_size("123"), 123);
+        assert_eq!(parse_size("10k"), 10_000);
+        assert_eq!(parse_size("1.5m"), 1_500_000);
+        assert_eq!(parse_size("1g"), 1_000_000_000);
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown flag")]
+    fn unknown_flag_panics() {
+        parse(&["--bogus"]);
+    }
+
+    #[test]
+    fn max_threads() {
+        let a = parse(&["--threads", "4,1,2"]);
+        assert_eq!(a.max_threads(), 4);
+    }
+}

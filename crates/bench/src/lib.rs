@@ -1,0 +1,16 @@
+//! Shared utilities for the benchmark harness binaries.
+//!
+//! Each binary in `src/bin/` regenerates one table or figure of the paper
+//! (see DESIGN.md §4 for the index). This library holds the pieces they
+//! share: CLI parsing, timing, and table formatting.
+
+#![warn(missing_docs)]
+
+pub mod alloc_track;
+pub mod cli;
+pub mod fmt;
+pub mod timing;
+
+pub use cli::Args;
+pub use fmt::Table;
+pub use timing::{time, time_avg};

@@ -1,0 +1,62 @@
+//! Wall-clock measurement helpers.
+
+use std::time::{Duration, Instant};
+
+/// Time one evaluation of `f`, returning `(result, elapsed)`.
+pub fn time<R>(f: impl FnOnce() -> R) -> (R, Duration) {
+    let t = Instant::now();
+    let r = f();
+    (r, t.elapsed())
+}
+
+/// Best-of-`reps` timing (the conventional way to suppress OS noise for
+/// throughput benchmarks): runs `f` `reps` times, returns the last result
+/// and the minimum elapsed time.
+pub fn time_avg<R>(reps: usize, mut f: impl FnMut() -> R) -> (R, Duration) {
+    assert!(reps >= 1);
+    let mut best = Duration::MAX;
+    let mut last = None;
+    for _ in 0..reps {
+        let t = Instant::now();
+        let r = f();
+        best = best.min(t.elapsed());
+        last = Some(r);
+    }
+    (last.expect("reps >= 1"), best)
+}
+
+/// Seconds as the paper prints them (two decimals).
+pub fn secs(d: Duration) -> f64 {
+    d.as_secs_f64()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn time_returns_result() {
+        let (v, d) = time(|| 2 + 2);
+        assert_eq!(v, 4);
+        assert!(d < Duration::from_secs(1));
+    }
+
+    #[test]
+    fn best_of_is_min() {
+        let mut calls = 0;
+        let (_, d) = time_avg(5, || {
+            calls += 1;
+            if calls == 3 {
+                std::thread::sleep(Duration::from_millis(5));
+            }
+        });
+        assert_eq!(calls, 5);
+        assert!(d < Duration::from_millis(5), "best-of must skip the slow rep");
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_reps_panics() {
+        time_avg(0, || ());
+    }
+}

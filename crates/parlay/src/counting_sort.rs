@@ -1,0 +1,205 @@
+//! Stable parallel counting sort.
+//!
+//! This is the second component of the Rajasekaran–Reif integer sort as
+//! described in §2 of the paper: a "simple parallel version of sequential
+//! counting sort" for keys in `[m]`, `m ≤ n`. It "partitions the sequence
+//! into n/m blocks … and works in three phases": per-block key histograms
+//! (parallel over blocks, sequential within), a prefix sum turning the
+//! per-block counts into write offsets, and a replay pass writing each
+//! element to its final position. `O(n)` work, `O(m + log n)` depth, fully
+//! deterministic, and *stable* — which the radix sort built on top of it
+//! relies on.
+
+use rayon::prelude::*;
+
+use crate::scan::scan_add_exclusive;
+use crate::shared::SharedSlice;
+use crate::slices::{block_range, num_blocks};
+
+/// Stably sort `src` into `dst` by `key(x) ∈ [0, m)`.
+///
+/// Returns the bucket boundary offsets: `offsets[k]` is the position in
+/// `dst` where key `k` starts, with a final sentinel `offsets[m] == n`.
+/// (Callers like the radix sort recurse on `dst[offsets[k]..offsets[k+1]]`.)
+///
+/// # Panics
+///
+/// Panics if `src.len() != dst.len()` or a key is `>= m`.
+pub fn counting_sort_into<T, F>(src: &[T], dst: &mut [T], m: usize, key: F) -> Vec<usize>
+where
+    T: Copy + Send + Sync,
+    F: Fn(&T) -> usize + Send + Sync,
+{
+    assert_eq!(src.len(), dst.len(), "src/dst length mismatch");
+    let n = src.len();
+    if n == 0 {
+        return vec![0; m + 1];
+    }
+    let blocks = num_blocks(n).min(n.div_ceil(m.max(1)).max(1));
+
+    // Phase 1: per-block histograms, laid out block-major:
+    // counts[b * m + k] = #elements with key k in block b.
+    let mut counts: Vec<usize> = vec![0; blocks * m];
+    counts
+        .par_chunks_mut(m)
+        .enumerate()
+        .for_each(|(b, hist)| {
+            for x in &src[block_range(b, blocks, n)] {
+                let k = key(x);
+                assert!(k < m, "key {k} out of range [0, {m})");
+                hist[k] += 1;
+            }
+        });
+
+    // Phase 2: offsets. The write position of (block b, key k) must follow
+    // all smaller keys and, within key k, all earlier blocks — i.e. scan the
+    // counts in key-major order. Transpose, scan, transpose back.
+    let mut by_key: Vec<usize> = vec![0; blocks * m];
+    transpose(&counts, &mut by_key, blocks, m);
+    scan_add_exclusive(&mut by_key);
+    // Capture bucket starts before the transpose back: bucket k starts where
+    // (key k, block 0) writes.
+    let mut offsets: Vec<usize> = (0..m).map(|k| by_key[k * blocks]).collect();
+    offsets.push(n);
+    transpose(&by_key, &mut counts, m, blocks);
+    let write_pos = counts; // now write_pos[b * m + k]
+
+    // Phase 3: replay each block, writing elements to their final slots.
+    let out = SharedSlice::new(dst);
+    write_pos
+        .par_chunks(m)
+        .enumerate()
+        .for_each(|(b, pos0)| {
+            let mut pos = pos0.to_vec();
+            for x in &src[block_range(b, blocks, n)] {
+                let k = key(x);
+                // SAFETY: the offset scan partitions [0, n) into disjoint
+                // (block, key) ranges; this task owns exactly its own.
+                unsafe { out.write(pos[k], *x) };
+                pos[k] += 1;
+            }
+        });
+    offsets
+}
+
+/// Convenience in-place wrapper: stable counting sort of `a` by `key ∈ [0, m)`.
+///
+/// Allocates a scratch copy of `a`; returns the bucket offsets (see
+/// [`counting_sort_into`]).
+///
+/// ```
+/// let mut a = vec![(2u8, 'a'), (0, 'b'), (2, 'c'), (1, 'd')];
+/// let offsets = parlay::counting_sort::counting_sort(&mut a, 3, |p| p.0 as usize);
+/// assert_eq!(a, vec![(0, 'b'), (1, 'd'), (2, 'a'), (2, 'c')]); // stable
+/// assert_eq!(offsets, vec![0, 1, 2, 4]);
+/// ```
+pub fn counting_sort<T, F>(a: &mut [T], m: usize, key: F) -> Vec<usize>
+where
+    T: Copy + Send + Sync + Default,
+    F: Fn(&T) -> usize + Send + Sync,
+{
+    let src = a.to_vec();
+    counting_sort_into(&src, a, m, key)
+}
+
+/// Transpose an `rows × cols` row-major matrix into `dst` (cols × rows).
+fn transpose(src: &[usize], dst: &mut [usize], rows: usize, cols: usize) {
+    debug_assert_eq!(src.len(), rows * cols);
+    debug_assert_eq!(dst.len(), rows * cols);
+    if rows * cols < crate::slices::GRAIN {
+        for r in 0..rows {
+            for c in 0..cols {
+                dst[c * rows + r] = src[r * cols + c];
+            }
+        }
+        return;
+    }
+    dst.par_chunks_mut(rows).enumerate().for_each(|(c, col)| {
+        for (r, out) in col.iter_mut().enumerate() {
+            *out = src[r * cols + c];
+        }
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_input() {
+        let mut a: Vec<u32> = vec![];
+        let off = counting_sort(&mut a, 4, |&x| x as usize);
+        assert_eq!(off, vec![0; 5]);
+    }
+
+    #[test]
+    fn sorts_small_range() {
+        let mut a: Vec<u32> = vec![3, 1, 0, 2, 1, 3, 0, 0];
+        let off = counting_sort(&mut a, 4, |&x| x as usize);
+        assert_eq!(a, vec![0, 0, 0, 1, 1, 2, 3, 3]);
+        assert_eq!(off, vec![0, 3, 5, 6, 8]);
+    }
+
+    #[test]
+    fn is_stable() {
+        // (key, original index) pairs; after sorting, equal keys must keep
+        // increasing original indices.
+        let a: Vec<(u8, u32)> = (0..10_000u32).map(|i| ((i % 7) as u8, i)).collect();
+        let mut b = a.clone();
+        counting_sort(&mut b, 7, |x| x.0 as usize);
+        for w in b.windows(2) {
+            assert!(w[0].0 <= w[1].0);
+            if w[0].0 == w[1].0 {
+                assert!(w[0].1 < w[1].1, "stability violated: {:?} {:?}", w[0], w[1]);
+            }
+        }
+    }
+
+    #[test]
+    fn large_matches_std_stable_sort() {
+        let a: Vec<(u16, u32)> = (0..300_000u32)
+            .map(|i| ((i.wrapping_mul(2654435761) % 256) as u16, i))
+            .collect();
+        let mut want = a.clone();
+        want.sort_by_key(|x| x.0); // std stable sort
+        let mut got = a.clone();
+        counting_sort(&mut got, 256, |x| x.0 as usize);
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn offsets_partition_output() {
+        let mut a: Vec<u32> = (0..50_000).map(|i| (i * 31) % 100).collect();
+        let off = counting_sort(&mut a, 100, |&x| x as usize);
+        assert_eq!(off.len(), 101);
+        assert_eq!(off[0], 0);
+        assert_eq!(off[100], a.len());
+        for k in 0..100 {
+            assert!(a[off[k]..off[k + 1]].iter().all(|&x| x as usize == k));
+        }
+    }
+
+    #[test]
+    fn single_key_value() {
+        let mut a = vec![0u8; 1000];
+        let off = counting_sort(&mut a, 1, |&x| x as usize);
+        assert_eq!(off, vec![0, 1000]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_key_panics() {
+        let mut a = vec![5u32];
+        counting_sort(&mut a, 4, |&x| x as usize);
+    }
+
+    #[test]
+    fn into_variant_leaves_src_untouched() {
+        let src: Vec<u32> = vec![2, 0, 1, 2];
+        let mut dst = vec![9u32; 4];
+        let off = counting_sort_into(&src, &mut dst, 3, |&x| x as usize);
+        assert_eq!(src, vec![2, 0, 1, 2]);
+        assert_eq!(dst, vec![0, 1, 2, 2]);
+        assert_eq!(off, vec![0, 1, 2, 4]);
+    }
+}

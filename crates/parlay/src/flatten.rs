@@ -1,0 +1,80 @@
+//! Parallel flatten: concatenate nested sequences.
+//!
+//! The PBBS/parlaylib `flatten` primitive — the inverse of what a semisort's
+//! `group_by` produces. A scan over the inner lengths assigns each inner
+//! sequence its output offset; the copies then proceed fully in parallel.
+//! `O(total)` work, `O(log n)` depth.
+
+use rayon::prelude::*;
+
+use crate::scan::scan_add_exclusive;
+use crate::shared::SendPtr;
+
+/// Concatenate the inner slices into one vector.
+///
+/// ```
+/// let nested = vec![vec![1, 2], vec![], vec![3]];
+/// assert_eq!(parlay::flatten::flatten(&nested), vec![1, 2, 3]);
+/// ```
+pub fn flatten<T: Copy + Send + Sync>(nested: &[Vec<T>]) -> Vec<T> {
+    flatten_slices(&nested.iter().map(|v| v.as_slice()).collect::<Vec<_>>())
+}
+
+/// Concatenate arbitrary slices into one vector.
+pub fn flatten_slices<T: Copy + Send + Sync>(nested: &[&[T]]) -> Vec<T> {
+    let mut offsets: Vec<usize> = nested.iter().map(|s| s.len()).collect();
+    let total = scan_add_exclusive(&mut offsets);
+    let mut out: Vec<T> = Vec::with_capacity(total);
+    let ptr = SendPtr(out.spare_capacity_mut().as_mut_ptr());
+    nested
+        .par_iter()
+        .zip(offsets.par_iter())
+        .with_min_len(64)
+        .for_each(|(inner, &off)| {
+            let p = ptr;
+            for (i, &x) in inner.iter().enumerate() {
+                // SAFETY: the scan gives each inner slice a disjoint output
+                // range [off, off + len).
+                unsafe { (*p.0.add(off + i)).write(x) };
+            }
+        });
+    // SAFETY: the ranges above tile [0, total) exactly.
+    unsafe { out.set_len(total) };
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_cases() {
+        let empty: Vec<Vec<u32>> = vec![];
+        assert!(flatten(&empty).is_empty());
+        let all_empty: Vec<Vec<u32>> = vec![vec![], vec![], vec![]];
+        assert!(flatten(&all_empty).is_empty());
+    }
+
+    #[test]
+    fn preserves_order() {
+        let nested = vec![vec![1u32, 2], vec![3], vec![], vec![4, 5, 6]];
+        assert_eq!(flatten(&nested), vec![1, 2, 3, 4, 5, 6]);
+    }
+
+    #[test]
+    fn large_ragged_matches_concat() {
+        let nested: Vec<Vec<u64>> = (0..5_000u64)
+            .map(|i| (0..(i % 37)).map(|j| i * 1000 + j).collect())
+            .collect();
+        let want: Vec<u64> = nested.concat();
+        assert_eq!(flatten(&nested), want);
+    }
+
+    #[test]
+    fn roundtrips_group_by_like_structure() {
+        // Split 0..n into runs, flatten, expect the original.
+        let original: Vec<u32> = (0..100_000).collect();
+        let nested: Vec<&[u32]> = original.chunks(173).collect();
+        assert_eq!(flatten_slices(&nested), original);
+    }
+}

@@ -1,0 +1,104 @@
+//! 64-bit mixing functions.
+//!
+//! The paper assumes "a uniform random hash function that maps keys to
+//! integers in the range `[n^k]` in constant time" (§3). We use the
+//! splitmix64 finalizer, a full-avalanche bijection on `u64`: every output
+//! bit depends on every input bit, and distinct inputs map to distinct
+//! outputs. Bijectivity means hashing the key space `[n]` into 64 bits is
+//! collision-free by construction, which matches the paper's `k > 2`
+//! no-collision regime exactly (and lets tests treat hash = identity of
+//! equality classes).
+
+/// The splitmix64 finalizer: a bijective full-avalanche mix of a `u64`.
+///
+/// This is the `fmix`-style finalizer from Vigna's splitmix64 generator.
+/// It is invertible (see [`unhash64`]), so it cannot introduce collisions.
+#[inline(always)]
+pub fn hash64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e3779b97f4a7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d049bb133111eb);
+    x ^ (x >> 31)
+}
+
+/// Inverse of [`hash64`]; used only in tests to demonstrate bijectivity.
+#[inline]
+pub fn unhash64(mut x: u64) -> u64 {
+    // Invert x ^= x >> 31 (shift >= 32 would need one step; 31 needs two).
+    x = x ^ (x >> 31) ^ (x >> 62);
+    x = x.wrapping_mul(0x319642b2d24d8ec3); // modular inverse of 0x94d049bb133111eb
+    x = x ^ (x >> 27) ^ (x >> 54);
+    x = x.wrapping_mul(0x96de1b173f119089); // modular inverse of 0xbf58476d1ce4e5b9
+    x = x ^ (x >> 30) ^ (x >> 60);
+    x.wrapping_sub(0x9e3779b97f4a7c15)
+}
+
+/// Seeded variant of [`hash64`]: an independent-looking hash family indexed
+/// by `seed`.
+///
+/// Used by the Las Vegas retry path: if a run is detected to have failed
+/// (bucket overflow), the algorithm restarts with a fresh seed, giving a
+/// fresh random function from the same family.
+#[inline(always)]
+pub fn hash64_with_seed(x: u64, seed: u64) -> u64 {
+    hash64(x ^ hash64(seed))
+}
+
+/// Mix two words into one; handy for hashing (seed, index) pairs.
+///
+/// One odd-constant multiply spreads `b` across the word, one xor folds in
+/// `a`, one full-avalanche finalizer — a single [`hash64`] instead of two,
+/// since this sits on the scatter's per-record hot path.
+#[inline(always)]
+pub fn hash64_pair(a: u64, b: u64) -> u64 {
+    hash64(a ^ b.wrapping_mul(0x9e3779b97f4a7c15).rotate_left(31))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hash_is_deterministic() {
+        assert_eq!(hash64(42), hash64(42));
+        assert_eq!(hash64_with_seed(42, 7), hash64_with_seed(42, 7));
+    }
+
+    #[test]
+    fn hash_is_bijective_roundtrip() {
+        for x in [0u64, 1, 2, 41, u64::MAX, 0xdeadbeef, 1 << 63] {
+            assert_eq!(unhash64(hash64(x)), x, "roundtrip failed for {x}");
+        }
+        for i in 0..10_000u64 {
+            assert_eq!(unhash64(hash64(i)), i);
+        }
+    }
+
+    #[test]
+    fn seeds_give_different_functions() {
+        let same = (0..1000u64)
+            .filter(|&i| hash64_with_seed(i, 1) == hash64_with_seed(i, 2))
+            .count();
+        assert_eq!(same, 0);
+    }
+
+    #[test]
+    fn low_bits_look_uniform() {
+        // Bucket 64k consecutive integers by the top 8 bits of their hash;
+        // each of the 256 buckets should get roughly 256 entries.
+        let mut counts = [0u32; 256];
+        for i in 0..65_536u64 {
+            counts[(hash64(i) >> 56) as usize] += 1;
+        }
+        let (min, max) = counts
+            .iter()
+            .fold((u32::MAX, 0), |(lo, hi), &c| (lo.min(c), hi.max(c)));
+        assert!(min > 150 && max < 400, "skewed: min={min} max={max}");
+    }
+
+    #[test]
+    fn pair_hash_differs_in_both_args() {
+        assert_ne!(hash64_pair(1, 2), hash64_pair(2, 1));
+        assert_ne!(hash64_pair(0, 0), hash64_pair(0, 1));
+    }
+}

@@ -1,0 +1,237 @@
+//! Phase-concurrent linear-probing hash table.
+//!
+//! After Shun and Blelloch, *Phase-concurrent hash tables for determinism*
+//! (SPAA 2014) — the PBBS table the paper cites in §1 and uses for the
+//! heavy-key map `T` (§4, Phase 2) and the naming problem (§2). "Phase
+//! concurrent" means operations of the *same kind* may run concurrently,
+//! but inserts and lookups must be separated by a barrier: lookups during an
+//! insert phase could observe a key whose value is still being written.
+//!
+//! Layout: open addressing over a power-of-two table, one `AtomicU64` key
+//! per slot plus a plain value slot. An insert claims a slot by CAS-ing the
+//! key from `EMPTY`, then writes the value; linear probing on CAS failure
+//! (the same cache-friendly choice the semisort scatter makes in Phase 3).
+//! Lookups are wait-free probes. Expected `O(1)` work per operation at load
+//! factor ≤ 1/2; the longest probe run is `O(log n)` w.h.p. (CLRS).
+
+use std::cell::UnsafeCell;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use crate::hash::hash64;
+
+/// Sentinel meaning "slot unoccupied". Keys must not equal `EMPTY`; the
+/// semisort remaps its hash values away from this value (one branch), and
+/// `insert` asserts it in debug builds.
+pub const EMPTY: u64 = u64::MAX;
+
+/// A phase-concurrent hash map from `u64` keys (≠ [`EMPTY`]) to `V`.
+///
+/// ```
+/// use parlay::hash_table::PhaseConcurrentMap;
+/// let t = PhaseConcurrentMap::<u32>::new(16);
+/// assert!(t.insert(7, 70));   // insert phase (may be concurrent)
+/// assert!(!t.insert(7, 71));  // duplicate: first value wins
+/// assert_eq!(t.lookup(7), Some(70)); // lookup phase
+/// assert_eq!(t.lookup(8), None);
+/// ```
+pub struct PhaseConcurrentMap<V> {
+    keys: Box<[AtomicU64]>,
+    values: Box<[UnsafeCell<V>]>,
+    mask: usize,
+    seed: u64,
+}
+
+// SAFETY: value slots are written only by the thread that won the key CAS
+// for that slot, and read only in a later phase (caller contract).
+unsafe impl<V: Send> Send for PhaseConcurrentMap<V> {}
+unsafe impl<V: Send + Sync> Sync for PhaseConcurrentMap<V> {}
+
+impl<V: Copy + Default> PhaseConcurrentMap<V> {
+    /// A table able to hold `capacity` distinct keys at load factor ≤ 1/2.
+    pub fn new(capacity: usize) -> Self {
+        Self::with_seed(capacity, 0x7e57_ab1e)
+    }
+
+    /// Like [`PhaseConcurrentMap::new`] with an explicit probe-hash seed
+    /// (used by retry paths to re-randomize probe sequences).
+    pub fn with_seed(capacity: usize, seed: u64) -> Self {
+        let slots = (capacity.max(1) * 2).next_power_of_two();
+        let keys = (0..slots).map(|_| AtomicU64::new(EMPTY)).collect();
+        let values = (0..slots).map(|_| UnsafeCell::new(V::default())).collect();
+        PhaseConcurrentMap {
+            keys,
+            values,
+            mask: slots - 1,
+            // Pre-mix the seed once; slot_of then pays a single hash64.
+            seed: hash64(seed),
+        }
+    }
+
+    /// Number of slots (2 × capacity, rounded up to a power of two).
+    pub fn slots(&self) -> usize {
+        self.keys.len()
+    }
+
+    /// Insert `key → value`. Returns `true` if this call inserted the key,
+    /// `false` if the key was already present (the existing value wins, as
+    /// in the PBBS table; concurrent duplicate inserts elect one winner).
+    ///
+    /// May run concurrently with other `insert`s, but not with `lookup`s.
+    pub fn insert(&self, key: u64, value: V) -> bool {
+        debug_assert_ne!(key, EMPTY, "EMPTY sentinel used as key");
+        let mut i = self.slot_of(key);
+        loop {
+            let cur = self.keys[i].load(Ordering::Relaxed);
+            if cur == key {
+                return false;
+            }
+            if cur == EMPTY {
+                match self.keys[i].compare_exchange(
+                    EMPTY,
+                    key,
+                    Ordering::AcqRel,
+                    Ordering::Relaxed,
+                ) {
+                    Ok(_) => {
+                        // We own this slot: write the value. Readers only
+                        // arrive in the next phase (after a barrier), so the
+                        // plain write cannot race with a read.
+                        unsafe { *self.values[i].get() = value };
+                        return true;
+                    }
+                    Err(found) if found == key => return false,
+                    Err(_) => { /* lost the race to a different key: probe on */ }
+                }
+            } else {
+                i = (i + 1) & self.mask;
+            }
+        }
+    }
+
+    /// Look up `key`. May run concurrently with other `lookup`s, but not
+    /// with `insert`s (phase-concurrency contract).
+    pub fn lookup(&self, key: u64) -> Option<V> {
+        debug_assert_ne!(key, EMPTY);
+        let mut i = self.slot_of(key);
+        loop {
+            let cur = self.keys[i].load(Ordering::Acquire);
+            if cur == key {
+                // SAFETY: the insert phase finished (caller contract), so the
+                // winning writer's store to this slot happened-before us.
+                return Some(unsafe { *self.values[i].get() });
+            }
+            if cur == EMPTY {
+                return None;
+            }
+            i = (i + 1) & self.mask;
+        }
+    }
+
+    /// True if the key is present (same phase rules as [`Self::lookup`]).
+    pub fn contains(&self, key: u64) -> bool {
+        self.lookup(key).is_some()
+    }
+
+    /// Iterate over occupied `(key, value)` entries (single-phase: no
+    /// concurrent mutation).
+    pub fn entries(&self) -> Vec<(u64, V)> {
+        (0..self.keys.len())
+            .filter_map(|i| {
+                let k = self.keys[i].load(Ordering::Acquire);
+                (k != EMPTY).then(|| (k, unsafe { *self.values[i].get() }))
+            })
+            .collect()
+    }
+
+    #[inline(always)]
+    fn slot_of(&self, key: u64) -> usize {
+        (hash64(key ^ self.seed) as usize) & self.mask
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rayon::prelude::*;
+
+    #[test]
+    fn insert_then_lookup() {
+        let t = PhaseConcurrentMap::<u64>::new(100);
+        assert!(t.insert(5, 50));
+        assert!(t.insert(6, 60));
+        assert!(!t.insert(5, 999), "duplicate insert must be rejected");
+        assert_eq!(t.lookup(5), Some(50));
+        assert_eq!(t.lookup(6), Some(60));
+        assert_eq!(t.lookup(7), None);
+    }
+
+    #[test]
+    fn slots_are_power_of_two_and_doubled() {
+        let t = PhaseConcurrentMap::<u64>::new(100);
+        assert!(t.slots().is_power_of_two());
+        assert!(t.slots() >= 200);
+    }
+
+    #[test]
+    fn parallel_distinct_inserts_all_found() {
+        let n = 100_000u64;
+        let t = PhaseConcurrentMap::<u64>::new(n as usize);
+        (0..n).into_par_iter().for_each(|k| {
+            assert!(t.insert(k + 1, k * 2));
+        });
+        // Phase barrier: par_iter joined. Now lookups.
+        (0..n).into_par_iter().for_each(|k| {
+            assert_eq!(t.lookup(k + 1), Some(k * 2));
+        });
+        assert_eq!(t.entries().len(), n as usize);
+    }
+
+    #[test]
+    fn concurrent_duplicate_inserts_elect_one_winner() {
+        let t = PhaseConcurrentMap::<u64>::new(1000);
+        let wins: usize = (0..1000u64)
+            .into_par_iter()
+            .map(|i| t.insert(42, i) as usize)
+            .sum();
+        assert_eq!(wins, 1, "exactly one insert of a duplicate key may win");
+        let v = t.lookup(42).unwrap();
+        assert!(v < 1000);
+    }
+
+    #[test]
+    fn full_capacity_distinct_keys() {
+        // Exactly `capacity` distinct keys must fit (load factor 1/2).
+        let t = PhaseConcurrentMap::<u32>::new(4096);
+        for k in 0..4096u64 {
+            assert!(t.insert(k + 1, k as u32));
+        }
+        for k in 0..4096u64 {
+            assert_eq!(t.lookup(k + 1), Some(k as u32));
+        }
+    }
+
+    #[test]
+    fn adversarial_clustered_keys() {
+        // Sequential keys hash to scattered slots, but colliding hashes force
+        // probing; this exercises wraparound at the table end too.
+        let t = PhaseConcurrentMap::<u64>::new(64);
+        for k in 1..=64u64 {
+            t.insert(k, k * 10);
+        }
+        for k in 1..=64u64 {
+            assert_eq!(t.lookup(k), Some(k * 10));
+        }
+        assert_eq!(t.lookup(65), None);
+    }
+
+    #[test]
+    fn entries_returns_exactly_inserted_set() {
+        let t = PhaseConcurrentMap::<u64>::new(50);
+        for k in [3u64, 9, 27] {
+            t.insert(k, k + 1);
+        }
+        let mut e = t.entries();
+        e.sort_unstable();
+        assert_eq!(e, vec![(3, 4), (9, 10), (27, 28)]);
+    }
+}

@@ -1,0 +1,113 @@
+//! Parallel histogram over a bounded key range.
+//!
+//! A PBBS staple and a cousin of the semisort: where the semisort *moves*
+//! records with equal keys together, the histogram only *counts* them.
+//! Blocked implementation: each block accumulates a private histogram
+//! sequentially (no contention), then the per-block histograms are summed
+//! column-parallel. `O(n + m·blocks)` work, `O(log n + m)` depth.
+
+use rayon::prelude::*;
+
+use crate::slices::{block_range, num_blocks};
+
+/// Count occurrences of each key in `[0, m)`: `out[k] = #{i : key(i) = k}`.
+///
+/// # Panics
+///
+/// Panics if a key is `>= m`.
+pub fn histogram_by<T, F>(items: &[T], m: usize, key: F) -> Vec<usize>
+where
+    T: Sync,
+    F: Fn(&T) -> usize + Send + Sync,
+{
+    let n = items.len();
+    if n == 0 {
+        return vec![0; m];
+    }
+    // Cap block count so the m·blocks scratch stays proportional to n.
+    let blocks = num_blocks(n).min(n.div_ceil(m.max(1)).max(1));
+    if blocks == 1 {
+        let mut out = vec![0usize; m];
+        for x in items {
+            let k = key(x);
+            assert!(k < m, "key {k} out of range [0, {m})");
+            out[k] += 1;
+        }
+        return out;
+    }
+    let partial: Vec<Vec<usize>> = (0..blocks)
+        .into_par_iter()
+        .map(|b| {
+            let mut h = vec![0usize; m];
+            for x in &items[block_range(b, blocks, n)] {
+                let k = key(x);
+                assert!(k < m, "key {k} out of range [0, {m})");
+                h[k] += 1;
+            }
+            h
+        })
+        .collect();
+    let mut out = vec![0usize; m];
+    out.par_iter_mut().enumerate().with_min_len(512).for_each(|(k, slot)| {
+        *slot = partial.iter().map(|h| h[k]).sum();
+    });
+    out
+}
+
+/// Histogram of ready-made `usize` keys.
+///
+/// ```
+/// assert_eq!(parlay::histogram::histogram(&[0, 2, 2, 1], 3), vec![1, 1, 2]);
+/// ```
+pub fn histogram(keys: &[usize], m: usize) -> Vec<usize> {
+    histogram_by(keys, m, |&k| k)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty() {
+        assert_eq!(histogram(&[], 4), vec![0; 4]);
+    }
+
+    #[test]
+    fn small_matches_manual_count() {
+        let keys = vec![0usize, 2, 2, 1, 2, 0];
+        assert_eq!(histogram(&keys, 3), vec![2, 1, 3]);
+    }
+
+    #[test]
+    fn large_matches_reference() {
+        let keys: Vec<usize> = (0..300_000).map(|i| (i * 7919) % 100).collect();
+        let got = histogram(&keys, 100);
+        let mut want = vec![0usize; 100];
+        for &k in &keys {
+            want[k] += 1;
+        }
+        assert_eq!(got, want);
+        assert_eq!(got.iter().sum::<usize>(), keys.len());
+    }
+
+    #[test]
+    fn by_key_extractor() {
+        let items: Vec<(u8, &str)> = vec![(1, "a"), (0, "b"), (1, "c")];
+        assert_eq!(histogram_by(&items, 2, |x| x.0 as usize), vec![1, 2]);
+    }
+
+    #[test]
+    fn large_key_range_small_input() {
+        // blocks capped so the m·blocks scratch stays bounded.
+        let keys = vec![99_999usize; 10];
+        let h = histogram(&keys, 100_000);
+        assert_eq!(h[99_999], 10);
+        assert_eq!(h.iter().sum::<usize>(), 10);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_panics() {
+        histogram(&[5], 5);
+    }
+}

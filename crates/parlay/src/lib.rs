@@ -1,0 +1,80 @@
+//! PBBS-style parallel primitives, written from scratch on top of rayon's
+//! fork-join scheduler.
+//!
+//! The SPAA 2015 semisort paper builds on the Problem Based Benchmark Suite
+//! (PBBS), which provides "simple and efficient parallel code to a number of
+//! problems and parallel primitives, including prefix sum, filter/pack, radix
+//! sort, and concurrent hash tables based on linear probing". This crate is
+//! the equivalent substrate:
+//!
+//! - [`scan`] — blocked two-pass parallel prefix sums (exclusive/inclusive),
+//!   generic over an associative combining operation.
+//! - [`mod@pack`] — parallel filter/pack: keep the elements whose flag is set,
+//!   preserving order.
+//! - [`counting_sort`] — the stable parallel counting sort of Rajasekaran and
+//!   Reif (three blocked phases; §2 of the paper).
+//! - [`radix_sort`] — a top-down (MSD-first) parallel radix sort processing
+//!   8 bits per round, the PBBS `intSort` analogue. This is both the sample
+//!   sorting subroutine of the semisort (Phase 1) and the paper's main
+//!   baseline.
+//! - [`sample_sort`] — a cache-friendly parallel comparison sample sort
+//!   (the "Sample Sort" baseline of §5.5).
+//! - [`rr_sort`] — the Rajasekaran–Reif integer sort (unstable randomized
+//!   round + stable counting rounds), the bottom-up ancestor the semisort
+//!   paper contrasts itself with in §3.2.
+//! - [`merge`] — parallel merge and merge sort (the practical stand-in for
+//!   Cole's mergesort used in the theoretical analysis).
+//! - [`histogram`] — blocked parallel counting over a bounded key range.
+//! - [`reduce`] — blocked parallel reduction (sum/min/max/find-first).
+//! - [`flatten`] — parallel concatenation of nested sequences (the inverse
+//!   of `group_by`).
+//! - [`shuffle`] — parallel uniform random shuffle.
+//! - [`seq_ops`] — granularity-controlled tabulate/map/zip helpers.
+//! - [`hash_table`] — a phase-concurrent linear-probing hash table in the
+//!   style of Shun and Blelloch (SPAA 2014), used for the heavy-key table
+//!   `T` and for the naming problem.
+//! - [`hash`] — 64-bit mixing functions (splitmix64 finalizer and friends).
+//! - [`random`] — counter-based deterministic pseudorandomness: the i-th
+//!   draw is a pure function of (seed, i), so parallel algorithms that use
+//!   randomness stay deterministic at any thread count.
+//! - [`shared`] — `SharedSlice`, a bounds-unchecked, intentionally racy
+//!   write-shared slice used by scatter-style algorithms whose safety
+//!   argument is "each index is written by exactly one winner, reads happen
+//!   after the phase barrier".
+//! - [`slices`] — block decomposition helpers shared by the blocked
+//!   algorithms above.
+//! - [`pool`] — small helpers for running a closure on a rayon pool with an
+//!   explicit thread count (used by every experiment in the harness).
+//!
+//! # Granularity
+//!
+//! Every parallel primitive here degrades to a purely sequential loop below
+//! [`slices::GRAIN`] elements, so the primitives can be called obliviously
+//! from recursive code (e.g. the top-down radix sort recursing into small
+//! buckets) without paying fork-join overhead.
+
+#![warn(missing_docs)]
+
+pub mod counting_sort;
+pub mod flatten;
+pub mod hash;
+pub mod hash_table;
+pub mod histogram;
+pub mod merge;
+pub mod pack;
+pub mod pool;
+pub mod radix_sort;
+pub mod random;
+pub mod reduce;
+pub mod rr_sort;
+pub mod sample_sort;
+pub mod scan;
+pub mod seq_ops;
+pub mod shuffle;
+pub mod shared;
+pub mod slices;
+
+pub use hash::{hash64, hash64_with_seed};
+pub use pack::{pack, pack_index, pack_into};
+pub use pool::with_threads;
+pub use scan::{scan_add_exclusive, scan_add_inclusive};

@@ -1,0 +1,242 @@
+//! Parallel merge and merge sort.
+//!
+//! The theoretical analysis in the paper sorts the sample with "Cole's
+//! parallel mergesort \[7\] in O(n) expected work and O(log n) depth". Cole's
+//! pipelined construction is a theory device; the practical equivalent used
+//! here is the standard divide-and-conquer parallel mergesort: recursive
+//! halves via `rayon::join`, with the merge itself parallelized by dual
+//! binary search. That gives `O(n log n)` work and `O(log³ n)` depth —
+//! polylogarithmic, and in practice faster than the pipelined variant.
+
+/// Below this many elements, merges and sorts run sequentially.
+const SEQ_THRESHOLD: usize = 1 << 13;
+
+/// Merge sorted `a` and sorted `b` into `out` (length `a.len() + b.len()`),
+/// stably (ties taken from `a` first).
+pub fn merge_into<T, F>(a: &[T], b: &[T], out: &mut [T], less: &F)
+where
+    T: Copy + Send + Sync,
+    F: Fn(&T, &T) -> bool + Send + Sync,
+{
+    assert_eq!(a.len() + b.len(), out.len(), "output length mismatch");
+    if out.len() <= SEQ_THRESHOLD {
+        merge_seq(a, b, out, less);
+        return;
+    }
+    // Split the larger input at its midpoint, binary-search the split point
+    // in the other, and merge the two halves in parallel.
+    if a.len() >= b.len() {
+        let ma = a.len() / 2;
+        // First position in b whose element is strictly less-than a[ma]
+        // stops the left half: left half takes b[..mb] with b[j] < a[ma]
+        // (ties go with `a`, keeping the merge stable).
+        let mb = partition_point(b, |x| less(x, &a[ma]));
+        let (out_l, out_r) = out.split_at_mut(ma + mb);
+        rayon::join(
+            || merge_into(&a[..ma], &b[..mb], out_l, less),
+            || merge_into(&a[ma..], &b[mb..], out_r, less),
+        );
+    } else {
+        let mb = b.len() / 2;
+        // Left half takes a[..ma] with a[i] <= b[mb], i.e. not b[mb] < a[i].
+        let ma = partition_point(a, |x| !less(&b[mb], x));
+        let (out_l, out_r) = out.split_at_mut(ma + mb);
+        rayon::join(
+            || merge_into(&a[..ma], &b[..mb], out_l, less),
+            || merge_into(&a[ma..], &b[mb..], out_r, less),
+        );
+    }
+}
+
+/// Sequential two-finger merge (stable).
+fn merge_seq<T, F>(a: &[T], b: &[T], out: &mut [T], less: &F)
+where
+    T: Copy,
+    F: Fn(&T, &T) -> bool,
+{
+    let (mut i, mut j) = (0, 0);
+    for slot in out.iter_mut() {
+        *slot = if i < a.len() && (j >= b.len() || !less(&b[j], &a[i])) {
+            i += 1;
+            a[i - 1]
+        } else {
+            j += 1;
+            b[j - 1]
+        };
+    }
+}
+
+/// First index at which `pred` turns false (pred must be monotone).
+fn partition_point<T>(a: &[T], pred: impl Fn(&T) -> bool) -> usize {
+    let (mut lo, mut hi) = (0, a.len());
+    while lo < hi {
+        let mid = lo + (hi - lo) / 2;
+        if pred(&a[mid]) {
+            lo = mid + 1;
+        } else {
+            hi = mid;
+        }
+    }
+    lo
+}
+
+/// Stable parallel merge sort of `a` under `less`.
+///
+/// ```
+/// let mut a = vec![(2, 'x'), (1, 'y'), (2, 'z')];
+/// parlay::merge::merge_sort_by(&mut a, |p, q| p.0 < q.0);
+/// assert_eq!(a, vec![(1, 'y'), (2, 'x'), (2, 'z')]); // stable
+/// ```
+pub fn merge_sort_by<T, F>(a: &mut [T], less: F)
+where
+    T: Copy + Send + Sync,
+    F: Fn(&T, &T) -> bool + Send + Sync,
+{
+    let n = a.len();
+    if n <= SEQ_THRESHOLD {
+        a.sort_by(|x, y| {
+            if less(x, y) {
+                std::cmp::Ordering::Less
+            } else if less(y, x) {
+                std::cmp::Ordering::Greater
+            } else {
+                std::cmp::Ordering::Equal
+            }
+        });
+        return;
+    }
+    let mut scratch = a.to_vec();
+    sort_rec(a, &mut scratch, true, &less);
+}
+
+/// Sort the live data (in `src`), leaving the result in the original array
+/// (`src` iff `src_is_orig`). Ping-pong buffering as in the radix sort.
+fn sort_rec<T, F>(src: &mut [T], dst: &mut [T], src_is_orig: bool, less: &F)
+where
+    T: Copy + Send + Sync,
+    F: Fn(&T, &T) -> bool + Send + Sync,
+{
+    let n = src.len();
+    if n <= SEQ_THRESHOLD {
+        src.sort_by(|x, y| {
+            if less(x, y) {
+                std::cmp::Ordering::Less
+            } else if less(y, x) {
+                std::cmp::Ordering::Greater
+            } else {
+                std::cmp::Ordering::Equal
+            }
+        });
+        if !src_is_orig {
+            dst.copy_from_slice(src);
+        }
+        return;
+    }
+    let mid = n / 2;
+    // The merged result must land in the original buffer, so the sorted
+    // halves must land in the *other* one: flip the flag for the recursion.
+    {
+        let (src_l, src_r) = src.split_at_mut(mid);
+        let (dst_l, dst_r) = dst.split_at_mut(mid);
+        rayon::join(
+            || sort_rec(src_l, dst_l, !src_is_orig, less),
+            || sort_rec(src_r, dst_r, !src_is_orig, less),
+        );
+    }
+    if src_is_orig {
+        let (dst_l, dst_r) = dst.split_at(mid);
+        merge_into(dst_l, dst_r, src, less);
+    } else {
+        let (src_l, src_r) = src.split_at(mid);
+        merge_into(src_l, src_r, dst, less);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hash::hash64;
+
+    #[test]
+    fn merge_basic() {
+        let a = [1u64, 3, 5];
+        let b = [2u64, 4, 6];
+        let mut out = [0u64; 6];
+        merge_into(&a, &b, &mut out, &|x, y| x < y);
+        assert_eq!(out, [1, 2, 3, 4, 5, 6]);
+    }
+
+    #[test]
+    fn merge_with_empties() {
+        let a: [u64; 0] = [];
+        let b = [1u64, 2];
+        let mut out = [0u64; 2];
+        merge_into(&a, &b, &mut out, &|x, y| x < y);
+        assert_eq!(out, [1, 2]);
+        merge_into(&b, &a, &mut out, &|x, y| x < y);
+        assert_eq!(out, [1, 2]);
+    }
+
+    #[test]
+    fn merge_large_matches_reference() {
+        let mut a: Vec<u64> = (0..80_000).map(|i| hash64(i) % 10_000).collect();
+        let mut b: Vec<u64> = (0..120_000).map(|i| hash64(i + 1_000_000) % 10_000).collect();
+        a.sort_unstable();
+        b.sort_unstable();
+        let mut out = vec![0u64; a.len() + b.len()];
+        merge_into(&a, &b, &mut out, &|x, y| x < y);
+        let mut want = [a.clone(), b.clone()].concat();
+        want.sort_unstable();
+        assert_eq!(out, want);
+    }
+
+    #[test]
+    fn merge_is_stable() {
+        // Pairs (key, source): equal keys must list source-0 before source-1.
+        let a: Vec<(u64, u8)> = (0..50_000).map(|i| (i / 4, 0)).collect();
+        let b: Vec<(u64, u8)> = (0..50_000).map(|i| (i / 4, 1)).collect();
+        let mut out = vec![(0u64, 0u8); 100_000];
+        merge_into(&a, &b, &mut out, &|x, y| x.0 < y.0);
+        for w in out.windows(2) {
+            assert!(w[0].0 <= w[1].0);
+            if w[0].0 == w[1].0 {
+                assert!(w[0].1 <= w[1].1, "stability violated");
+            }
+        }
+    }
+
+    #[test]
+    fn sort_small_and_large() {
+        let mut a: Vec<u64> = (0..1000).map(hash64).collect();
+        let mut want = a.clone();
+        want.sort_unstable();
+        merge_sort_by(&mut a, |x, y| x < y);
+        assert_eq!(a, want);
+
+        let mut b: Vec<u64> = (0..250_000).map(hash64).collect();
+        let mut want = b.clone();
+        want.sort_unstable();
+        merge_sort_by(&mut b, |x, y| x < y);
+        assert_eq!(b, want);
+    }
+
+    #[test]
+    fn sort_is_stable() {
+        let mut a: Vec<(u8, u32)> = (0..150_000u32).map(|i| ((i % 16) as u8, i)).collect();
+        merge_sort_by(&mut a, |x, y| x.0 < y.0);
+        for w in a.windows(2) {
+            assert!(w[0].0 <= w[1].0);
+            if w[0].0 == w[1].0 {
+                assert!(w[0].1 < w[1].1, "stability violated");
+            }
+        }
+    }
+
+    #[test]
+    fn partition_point_edges() {
+        let a = [1, 1, 2, 2, 3];
+        assert_eq!(partition_point(&a, |&x| x < 2), 2);
+        assert_eq!(partition_point(&a, |&x| x < 0), 0);
+        assert_eq!(partition_point(&a, |&x| x < 10), 5);
+    }
+}

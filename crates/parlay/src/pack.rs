@@ -1,0 +1,206 @@
+//! Parallel pack (filter).
+//!
+//! The packing problem "takes an array of values and an equal length array
+//! of flags, and packs the elements at positions with true flags down into a
+//! contiguous output array. It can be implemented in parallel with a prefix
+//! sum on the flags (treated as 0s and 1s) followed by a write to the
+//! resulting positions" (§2). Semisort uses pack for sampling (Step 2),
+//! separating heavy from light sample keys (Step 4), and the final
+//! compaction (Step 8).
+//!
+//! Like PBBS, we use the blocked formulation instead of a per-element flag
+//! scan: each block counts its survivors, a short scan turns counts into
+//! block offsets, then each block writes its survivors contiguously. One
+//! read pass + one write pass, no `n`-length temporary.
+
+use rayon::prelude::*;
+
+use crate::scan::scan_add_exclusive;
+use crate::shared::SendPtr;
+use crate::slices::{block_range, num_blocks};
+
+/// Pack the elements of `a` whose predicate holds into a new vector,
+/// preserving input order.
+///
+/// ```
+/// let a = [5, 8, 2, 9, 4];
+/// assert_eq!(parlay::pack(&a, |_idx, &x| x % 2 == 0), vec![8, 2, 4]);
+/// ```
+pub fn pack<T, F>(a: &[T], keep: F) -> Vec<T>
+where
+    T: Copy + Send + Sync,
+    F: Fn(usize, &T) -> bool + Send + Sync,
+{
+    let mut out = Vec::new();
+    pack_into(a, keep, &mut out);
+    out
+}
+
+/// Pack into a caller-supplied vector (cleared first). Returns the count.
+///
+/// Splitting allocation from packing lets hot loops reuse buffers.
+pub fn pack_into<T, F>(a: &[T], keep: F, out: &mut Vec<T>) -> usize
+where
+    T: Copy + Send + Sync,
+    F: Fn(usize, &T) -> bool + Send + Sync,
+{
+    let n = a.len();
+    let blocks = num_blocks(n);
+
+    if blocks == 1 {
+        out.clear();
+        out.extend(
+            a.iter()
+                .enumerate()
+                .filter(|(i, x)| keep(*i, x))
+                .map(|(_, &x)| x),
+        );
+        return out.len();
+    }
+
+    // Pass 1: count survivors per block.
+    let mut offsets: Vec<usize> = (0..blocks)
+        .into_par_iter()
+        .map(|b| {
+            let r = block_range(b, blocks, n);
+            a[r.clone()]
+                .iter()
+                .enumerate()
+                .filter(|(j, x)| keep(r.start + j, x))
+                .count()
+        })
+        .collect();
+    let total = scan_add_exclusive(&mut offsets);
+
+    // Pass 2: write survivors at their block offset.
+    out.clear();
+    out.reserve(total);
+    // Fill via spare capacity so blocks can write disjoint ranges in parallel.
+    let spare = out.spare_capacity_mut();
+    let spare_ptr = SendPtr(spare.as_mut_ptr());
+    (0..blocks).into_par_iter().for_each(|b| {
+        let r = block_range(b, blocks, n);
+        let mut pos = offsets[b];
+        let ptr = spare_ptr; // copy the Send wrapper into the closure
+        for (j, x) in a[r.clone()].iter().enumerate() {
+            if keep(r.start + j, x) {
+                // SAFETY: every surviving element gets a unique index below
+                // `total` (offsets partition [0, total) by block), and
+                // `total` elements of capacity were reserved above.
+                unsafe { (*ptr.0.add(pos)).write(*x) };
+                pos += 1;
+            }
+        }
+    });
+    // SAFETY: all `total` slots were initialized by the loop above.
+    unsafe { out.set_len(total) };
+    total
+}
+
+/// Pack the *indices* at which the predicate holds, in increasing order.
+///
+/// ```
+/// assert_eq!(parlay::pack_index(6, |i| i % 2 == 0), vec![0, 2, 4]);
+/// ```
+pub fn pack_index<F>(n: usize, keep: F) -> Vec<usize>
+where
+    F: Fn(usize) -> bool + Send + Sync,
+{
+    // Reuse pack over the index sequence without materializing it: build a
+    // lightweight proxy slice of indices per block.
+    let blocks = num_blocks(n);
+    if blocks == 1 {
+        return (0..n).filter(|&i| keep(i)).collect();
+    }
+    let mut offsets: Vec<usize> = (0..blocks)
+        .into_par_iter()
+        .map(|b| block_range(b, blocks, n).filter(|&i| keep(i)).count())
+        .collect();
+    let total = scan_add_exclusive(&mut offsets);
+    let mut out: Vec<usize> = Vec::with_capacity(total);
+    let spare_ptr = SendPtr(out.spare_capacity_mut().as_mut_ptr());
+    (0..blocks).into_par_iter().for_each(|b| {
+        let mut pos = offsets[b];
+        let ptr = spare_ptr;
+        for i in block_range(b, blocks, n) {
+            if keep(i) {
+                // SAFETY: same disjoint-ranges argument as `pack_into`.
+                unsafe { (*ptr.0.add(pos)).write(i) };
+                pos += 1;
+            }
+        }
+    });
+    // SAFETY: all `total` slots initialized above.
+    unsafe { out.set_len(total) };
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pack_empty() {
+        let a: Vec<u32> = vec![];
+        assert!(pack(&a, |_, _| true).is_empty());
+    }
+
+    #[test]
+    fn pack_all_and_none() {
+        let a: Vec<u32> = (0..100).collect();
+        assert_eq!(pack(&a, |_, _| true), a);
+        assert!(pack(&a, |_, _| false).is_empty());
+    }
+
+    #[test]
+    fn pack_evens_small() {
+        let a: Vec<u32> = (0..100).collect();
+        let want: Vec<u32> = (0..100).filter(|x| x % 2 == 0).collect();
+        assert_eq!(pack(&a, |_, x| x % 2 == 0), want);
+    }
+
+    #[test]
+    fn pack_large_matches_filter() {
+        let a: Vec<u64> = (0..200_000).map(|i| (i * 2654435761) % 1000).collect();
+        let want: Vec<u64> = a.iter().copied().filter(|&x| x < 300).collect();
+        let got = pack(&a, |_, &x| x < 300);
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn pack_predicate_sees_correct_index() {
+        let a: Vec<u32> = vec![7; 100_000];
+        let got = pack(&a, |i, _| i % 1000 == 0);
+        assert_eq!(got.len(), 100);
+    }
+
+    #[test]
+    fn pack_into_reuses_buffer() {
+        let a: Vec<u32> = (0..50_000).collect();
+        let mut buf = vec![1, 2, 3];
+        let cnt = pack_into(&a, |_, &x| x % 7 == 0, &mut buf);
+        assert_eq!(cnt, buf.len());
+        assert!(buf.iter().all(|&x| x % 7 == 0));
+        assert_eq!(buf.len(), (0..50_000).filter(|x| x % 7 == 0).count());
+    }
+
+    #[test]
+    fn pack_index_matches_reference() {
+        let want: Vec<usize> = (0..120_000).filter(|i| i % 13 == 5).collect();
+        let got = pack_index(120_000, |i| i % 13 == 5);
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn pack_index_small() {
+        assert_eq!(pack_index(10, |i| i >= 8), vec![8, 9]);
+        assert!(pack_index(0, |_| true).is_empty());
+    }
+
+    #[test]
+    fn pack_preserves_order_large() {
+        let a: Vec<u64> = (0..100_000).collect();
+        let got = pack(&a, |_, &x| x % 3 == 0);
+        assert!(got.windows(2).all(|w| w[0] < w[1]));
+    }
+}

@@ -1,0 +1,66 @@
+//! Thread-pool helpers for the experiment harness.
+//!
+//! The paper's tables sweep thread counts (1, 2, 4, …, 40, 40h). rayon's
+//! global pool is sized once at startup, so per-measurement thread counts
+//! require running the algorithm inside an explicitly-sized scoped pool.
+//! Everything in this workspace reads `rayon::current_num_threads()` at run
+//! time, so `with_threads(p, || semisort(..))` measures a genuine p-thread
+//! execution.
+
+/// Run `f` on a fresh rayon pool with exactly `threads` worker threads and
+/// return its result.
+///
+/// Pool construction costs a few hundred microseconds — negligible next to
+/// the multi-millisecond workloads in the harness, but callers measuring
+/// microsecond-scale operations should construct their own long-lived pool.
+///
+/// ```
+/// let seen = parlay::with_threads(2, rayon::current_num_threads);
+/// assert_eq!(seen, 2);
+/// ```
+///
+/// # Panics
+///
+/// Panics if the pool cannot be built (`threads == 0` or the OS refuses to
+/// spawn threads).
+pub fn with_threads<R: Send>(threads: usize, f: impl FnOnce() -> R + Send) -> R {
+    assert!(threads > 0, "thread count must be positive");
+    rayon::ThreadPoolBuilder::new()
+        .num_threads(threads)
+        .build()
+        .expect("failed to build rayon pool")
+        .install(f)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pool_has_requested_size() {
+        for p in [1usize, 2, 4] {
+            let seen = with_threads(p, rayon::current_num_threads);
+            assert_eq!(seen, p);
+        }
+    }
+
+    #[test]
+    fn result_is_returned() {
+        let v = with_threads(2, || (0..100).sum::<i64>());
+        assert_eq!(v, 4950);
+    }
+
+    #[test]
+    fn parallel_work_runs_inside_pool() {
+        use rayon::prelude::*;
+        let out: Vec<u32> = with_threads(3, || (0..1000u32).into_par_iter().map(|x| x * 2).collect());
+        assert_eq!(out.len(), 1000);
+        assert_eq!(out[999], 1998);
+    }
+
+    #[test]
+    #[should_panic(expected = "thread count must be positive")]
+    fn zero_threads_panics() {
+        with_threads(0, || ());
+    }
+}

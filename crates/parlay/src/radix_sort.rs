@@ -1,0 +1,274 @@
+//! Top-down (MSD-first) parallel radix sort — the PBBS `intSort` analogue.
+//!
+//! "The radix sort is a top-down sort, which processes 8 bits of the key at
+//! a time to place the records into buckets, and recurses on each bucket"
+//! (§4, Phase 1). It plays two roles in this workspace: it sorts the sample
+//! inside semisort's Phase 1, and it is the baseline the paper compares
+//! semisort against throughout §5.
+//!
+//! Each level runs one stable parallel [`counting_sort_into`] on the current
+//! 8-bit digit, then recurses on the 256 buckets in parallel. Buckets that
+//! fall below [`SEQ_THRESHOLD`] finish with a *sequential LSD radix sort*
+//! over their remaining bits — as in PBBS, every record still passes
+//! through one counting round per 8 significant bits, which is the cost
+//! model the paper's radix-vs-semisort comparison rests on. Buffers
+//! ping-pong between the input array and one scratch array, with a final
+//! copy only at leaves that end on the wrong side.
+
+use rayon::prelude::*;
+
+use crate::counting_sort::counting_sort_into;
+
+/// Below this many records, a bucket is finished with a sequential LSD
+/// radix sort instead of further parallel top-down levels.
+pub const SEQ_THRESHOLD: usize = 1 << 13;
+
+const RADIX_BITS: u32 = 8;
+const BUCKETS: usize = 1 << RADIX_BITS;
+
+/// Sort `a` by the low `bits` bits of `key(x)`, ascending.
+///
+/// True to the PBBS baseline, every record passes through one counting
+/// round per 8 significant key bits: large buckets recurse top-down in
+/// parallel, and buckets below [`SEQ_THRESHOLD`] finish with a *sequential
+/// LSD radix sort over their remaining bits* — not a comparison sort. For
+/// `bits = 64` that is 8 rounds over the data, which is exactly the cost
+/// the paper's comparison hinges on ("the 64-bit keys used in our
+/// experiments require too many rounds to sort"). Not stable.
+pub fn radix_sort_by_key<T, F>(a: &mut [T], bits: u32, key: F)
+where
+    T: Copy + Send + Sync,
+    F: Fn(&T) -> u64 + Send + Sync + Copy,
+{
+    assert!(bits <= 64, "at most 64 key bits");
+    let n = a.len();
+    if n <= 1 {
+        return;
+    }
+    if n <= SEQ_THRESHOLD || bits == 0 {
+        seq_lsd_radix(a, bits, key);
+        return;
+    }
+    let mut scratch = a.to_vec();
+    // First digit: the highest RADIX_BITS of the significant range.
+    let top_shift = bits.saturating_sub(RADIX_BITS);
+    sort_level(a, &mut scratch, top_shift, true, key);
+}
+
+/// Sort a slice of `u64` values (all 64 bits significant).
+///
+/// ```
+/// let mut a = vec![9u64, u64::MAX, 0, 42];
+/// parlay::radix_sort::radix_sort_u64(&mut a);
+/// assert_eq!(a, vec![0, 9, 42, u64::MAX]);
+/// ```
+pub fn radix_sort_u64(a: &mut [u64]) {
+    radix_sort_by_key(a, 64, |&x| x);
+}
+
+/// Sort `(key, value)` pairs by the 64-bit key — the paper's 16-byte-record
+/// configuration.
+pub fn radix_sort_pairs(a: &mut [(u64, u64)]) {
+    radix_sort_by_key(a, 64, |x| x.0);
+}
+
+/// Recursive level: the live records are in `src`; the sorted result must
+/// end in the *original* array, which is `src` iff `src_is_orig`.
+fn sort_level<T, F>(src: &mut [T], dst: &mut [T], shift: u32, src_is_orig: bool, key: F)
+where
+    T: Copy + Send + Sync,
+    F: Fn(&T) -> u64 + Send + Sync + Copy,
+{
+    let n = src.len();
+    debug_assert_eq!(n, dst.len());
+    if n <= SEQ_THRESHOLD {
+        // Finish the remaining (lower) bits sequentially, still by radix.
+        seq_lsd_radix(src, shift + RADIX_BITS, key);
+        if !src_is_orig {
+            dst.copy_from_slice(src);
+        }
+        return;
+    }
+
+    let digit = move |x: &T| ((key(x) >> shift) as usize) & (BUCKETS - 1);
+    let offsets = counting_sort_into(src, dst, BUCKETS, digit);
+
+    if shift == 0 {
+        // Last digit: dst holds the fully sorted data.
+        if !src_is_orig {
+            return; // dst is the original array
+        }
+        src.copy_from_slice(dst);
+        return;
+    }
+
+    // Split both buffers into matching bucket sub-slices and recurse.
+    let next_shift = shift.saturating_sub(RADIX_BITS);
+    let pairs = split_by_offsets(src, dst, &offsets);
+    pairs.into_par_iter().for_each(|(s_bucket, d_bucket)| {
+        // Roles swap: the live data is now in the d side.
+        sort_level(d_bucket, s_bucket, next_shift, !src_is_orig, key);
+    });
+}
+
+/// Sequential least-significant-digit radix sort over the low `bits` bits,
+/// 8 bits per stable counting pass. Tiny runs (≤ 64) use a comparison sort
+/// — below that size a counting pass's 256-entry histogram costs more than
+/// the sort itself.
+fn seq_lsd_radix<T, F>(a: &mut [T], bits: u32, key: F)
+where
+    T: Copy,
+    F: Fn(&T) -> u64 + Copy,
+{
+    let n = a.len();
+    if n <= 64 || bits == 0 {
+        a.sort_unstable_by_key(|x| key(x));
+        return;
+    }
+    let mut scratch = a.to_vec();
+    let mut in_a = true;
+    let mut shift = 0u32;
+    while shift < bits {
+        let b = RADIX_BITS.min(bits - shift);
+        let m = 1usize << b;
+        let mask = (m - 1) as u64;
+        let (src, dst): (&[T], &mut [T]) = if in_a {
+            (&*a, &mut scratch)
+        } else {
+            (&*scratch, a)
+        };
+        let mut counts = vec![0usize; m + 1];
+        for x in src.iter() {
+            counts[(((key(x) >> shift) & mask) as usize) + 1] += 1;
+        }
+        for i in 1..=m {
+            counts[i] += counts[i - 1];
+        }
+        for x in src.iter() {
+            let d = ((key(x) >> shift) & mask) as usize;
+            dst[counts[d]] = *x;
+            counts[d] += 1;
+        }
+        in_a = !in_a;
+        shift += b;
+    }
+    if !in_a {
+        a.copy_from_slice(&scratch);
+    }
+}
+
+/// Split `a` and `b` into parallel sub-slice pairs at `offsets` boundaries,
+/// skipping empty buckets.
+fn split_by_offsets<'s, T>(
+    mut a: &'s mut [T],
+    mut b: &'s mut [T],
+    offsets: &[usize],
+) -> Vec<(&'s mut [T], &'s mut [T])> {
+    let mut out = Vec::with_capacity(offsets.len().saturating_sub(1));
+    let mut consumed = 0;
+    for w in offsets.windows(2) {
+        let len = w[1] - w[0];
+        if len == 0 {
+            continue;
+        }
+        debug_assert_eq!(w[0], consumed);
+        // Skip any gap (only possible if offsets skip empties, which they
+        // don't — counting sort offsets are contiguous).
+        let (ha, ta) = a.split_at_mut(len);
+        let (hb, tb) = b.split_at_mut(len);
+        out.push((ha, hb));
+        a = ta;
+        b = tb;
+        consumed += len;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hash::hash64;
+
+    #[test]
+    fn empty_and_single() {
+        let mut a: Vec<u64> = vec![];
+        radix_sort_u64(&mut a);
+        let mut b = vec![42u64];
+        radix_sort_u64(&mut b);
+        assert_eq!(b, vec![42]);
+    }
+
+    #[test]
+    fn small_input_uses_comparison_path() {
+        let mut a: Vec<u64> = (0..100).rev().collect();
+        radix_sort_u64(&mut a);
+        assert!(a.windows(2).all(|w| w[0] <= w[1]));
+    }
+
+    #[test]
+    fn large_random_u64_sorted() {
+        let mut a: Vec<u64> = (0..300_000).map(hash64).collect();
+        let mut want = a.clone();
+        want.sort_unstable();
+        radix_sort_u64(&mut a);
+        assert_eq!(a, want);
+    }
+
+    #[test]
+    fn pairs_sorted_by_key_only() {
+        let mut a: Vec<(u64, u64)> = (0..200_000u64).map(|i| (hash64(i) % 1000, i)).collect();
+        radix_sort_pairs(&mut a);
+        assert!(a.windows(2).all(|w| w[0].0 <= w[1].0));
+        // Permutation check: payloads are all distinct 0..n.
+        let mut payloads: Vec<u64> = a.iter().map(|x| x.1).collect();
+        payloads.sort_unstable();
+        assert!(payloads.iter().enumerate().all(|(i, &p)| p == i as u64));
+    }
+
+    #[test]
+    fn limited_bits_sorts_low_bits() {
+        // Keys fit in 16 bits; ask for a 16-bit sort.
+        let mut a: Vec<u64> = (0..150_000).map(|i| hash64(i) & 0xFFFF).collect();
+        let mut want = a.clone();
+        want.sort_unstable();
+        radix_sort_by_key(&mut a, 16, |&x| x);
+        assert_eq!(a, want);
+    }
+
+    #[test]
+    fn skewed_distribution_sorted() {
+        // 90% of keys equal, stressing one giant bucket per level.
+        let mut a: Vec<u64> = (0..200_000u64)
+            .map(|i| if i % 10 == 0 { hash64(i) } else { 0xABCD_EF00_1234_5678 })
+            .collect();
+        let mut want = a.clone();
+        want.sort_unstable();
+        radix_sort_u64(&mut a);
+        assert_eq!(a, want);
+    }
+
+    #[test]
+    fn already_sorted_and_reverse_sorted() {
+        let mut a: Vec<u64> = (0..100_000).collect();
+        let want = a.clone();
+        radix_sort_u64(&mut a);
+        assert_eq!(a, want);
+        let mut b: Vec<u64> = (0..100_000).rev().collect();
+        radix_sort_u64(&mut b);
+        assert_eq!(b, want);
+    }
+
+    #[test]
+    fn all_equal_keys() {
+        let mut a = vec![7u64; 100_000];
+        radix_sort_u64(&mut a);
+        assert!(a.iter().all(|&x| x == 7));
+    }
+
+    #[test]
+    fn extreme_values() {
+        let mut a = vec![u64::MAX, 0, u64::MAX - 1, 1, u64::MAX, 0];
+        radix_sort_u64(&mut a);
+        assert_eq!(a, vec![0, 0, 1, u64::MAX - 1, u64::MAX, u64::MAX]);
+    }
+}

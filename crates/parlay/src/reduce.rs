@@ -1,0 +1,132 @@
+//! Blocked parallel reduction.
+//!
+//! The PBBS `reduce` primitive: combine all elements under an associative
+//! operation in `O(n)` work and `O(log n)` depth. The blocked formulation
+//! (sequential per block, tree-combine across blocks) beats a naive
+//! per-element tree by a large constant, exactly like the scan in
+//! [`crate::scan`].
+
+use rayon::prelude::*;
+
+use crate::slices::{block_range, num_blocks};
+
+/// Reduce `a` under the associative `op` with identity `id`.
+///
+/// `op` must be associative; it need not be commutative (blocks combine in
+/// index order).
+///
+/// ```
+/// let v: Vec<u64> = (1..=100).collect();
+/// assert_eq!(parlay::reduce::reduce(&v, 0, |x, y| x + y), 5050);
+/// ```
+pub fn reduce<T, F>(a: &[T], id: T, op: F) -> T
+where
+    T: Copy + Send + Sync,
+    F: Fn(T, T) -> T + Send + Sync,
+{
+    let n = a.len();
+    if n == 0 {
+        return id;
+    }
+    let blocks = num_blocks(n);
+    if blocks == 1 {
+        return a.iter().fold(id, |acc, &x| op(acc, x));
+    }
+    let partials: Vec<T> = (0..blocks)
+        .into_par_iter()
+        .map(|b| a[block_range(b, blocks, n)].iter().fold(id, |acc, &x| op(acc, x)))
+        .collect();
+    partials.into_iter().fold(id, |acc, x| op(acc, x))
+}
+
+/// Parallel sum of `u64` values (wrapping).
+pub fn sum_u64(a: &[u64]) -> u64 {
+    reduce(a, 0u64, |x, y| x.wrapping_add(y))
+}
+
+/// Parallel maximum; `None` on an empty slice.
+pub fn max<T: Copy + Ord + Send + Sync>(a: &[T]) -> Option<T> {
+    if a.is_empty() {
+        return None;
+    }
+    Some(reduce(a, a[0], |x, y| x.max(y)))
+}
+
+/// Parallel minimum; `None` on an empty slice.
+pub fn min<T: Copy + Ord + Send + Sync>(a: &[T]) -> Option<T> {
+    if a.is_empty() {
+        return None;
+    }
+    Some(reduce(a, a[0], |x, y| x.min(y)))
+}
+
+/// Index of the first element satisfying the predicate, or `None`.
+///
+/// Blocked: each block scans sequentially, the earliest hit wins. All
+/// blocks are inspected (no early exit across blocks), keeping the work
+/// deterministic at `O(n)`.
+pub fn find_first<T, F>(a: &[T], pred: F) -> Option<usize>
+where
+    T: Sync,
+    F: Fn(&T) -> bool + Send + Sync,
+{
+    let n = a.len();
+    let blocks = num_blocks(n);
+    (0..blocks)
+        .into_par_iter()
+        .filter_map(|b| {
+            let r = block_range(b, blocks, n);
+            a[r.clone()].iter().position(|x| pred(x)).map(|i| r.start + i)
+        })
+        .min()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_reduce_is_identity() {
+        let v: Vec<u64> = vec![];
+        assert_eq!(reduce(&v, 7, |x, y| x + y), 7);
+        assert_eq!(sum_u64(&v), 0);
+        assert_eq!(max::<u64>(&v), None);
+        assert_eq!(min::<u64>(&v), None);
+    }
+
+    #[test]
+    fn large_sum_matches_formula() {
+        let v: Vec<u64> = (0..1_000_000).collect();
+        assert_eq!(sum_u64(&v), 999_999 * 1_000_000 / 2);
+    }
+
+    #[test]
+    fn max_min_on_shuffled_input() {
+        let v: Vec<u64> = (0..500_000).map(crate::hash64).collect();
+        let want_max = *v.iter().max().unwrap();
+        let want_min = *v.iter().min().unwrap();
+        assert_eq!(max(&v), Some(want_max));
+        assert_eq!(min(&v), Some(want_min));
+    }
+
+    #[test]
+    fn non_commutative_reduce_in_order() {
+        // Affine composition again: order sensitivity catches block mixups.
+        let v: Vec<(i64, i64)> = (0..100_000)
+            .map(|i| ((i % 3) - 1, i % 5))
+            .collect();
+        let op = |f: (i64, i64), g: (i64, i64)| {
+            (f.0.wrapping_mul(g.0), f.1.wrapping_mul(g.0).wrapping_add(g.1))
+        };
+        let seq = v.iter().fold((1, 0), |acc, &x| op(acc, x));
+        assert_eq!(reduce(&v, (1, 0), op), seq);
+    }
+
+    #[test]
+    fn find_first_earliest_hit() {
+        let v: Vec<u32> = (0..200_000).collect();
+        assert_eq!(find_first(&v, |&x| x >= 123_456), Some(123_456));
+        assert_eq!(find_first(&v, |&x| x > 10_000_000), None);
+        assert_eq!(find_first(&v, |&x| x == 0), Some(0));
+    }
+}

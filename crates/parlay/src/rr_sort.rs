@@ -1,0 +1,321 @@
+//! The Rajasekaran–Reif integer sort (§2 of the semisort paper).
+//!
+//! The semisort paper's intellectual ancestor: "The algorithm consists of
+//! two components. The first is an unstable randomized sort for integers in
+//! the range `[n/log²n]` … The second is a stable counting sort for
+//! integers in the range `[m]`, `m ≤ n` … Using these sorts, integers in
+//! the range `[n·logᵏn]` can be sorted in `O(kn)` work and `O(k·log n)`
+//! span (w.h.p.). In particular, one round of the unstable randomized sort
+//! is applied on the `log(n/log²n)` low-order bits, followed by `k+2`
+//! rounds of the stable counting sort … on the high-order bits of the keys.
+//! Since the counting sort is stable, it maintains the relative order of
+//! the randomized sort on the low-order bits."
+//!
+//! The semisort paper works *top-down* on hashes instead; this module
+//! exists (a) as the historically faithful substrate, (b) to power the
+//! `baselines` crate's semisort-via-integer-sort comparator, whose cost is
+//! exactly the argument of §3.2 for the top-down design.
+//!
+//! The counting-sort rounds use 8-bit digits rather than the theoretical
+//! `log log n`-bit digits — same bounds shape, far better constants (the
+//! same liberty PBBS takes).
+
+use rayon::prelude::*;
+
+use crate::counting_sort::counting_sort_into;
+use crate::random::Rng;
+use crate::scan::scan_add_exclusive;
+use crate::shared::SendPtr;
+
+/// Digit width for the stable counting-sort rounds.
+const COUNT_BITS: u32 = 8;
+
+/// Sort records by integer keys in `[0, 2^range_bits)` using the RR scheme:
+/// one unstable randomized round on the low-order bits, then stable
+/// counting-sort rounds on the high-order bits.
+///
+/// `O(k·n)` work and polylog depth for `range_bits = log(n·logᵏn)`.
+/// Unstable overall (the randomized round shuffles equal keys).
+///
+/// # Panics
+///
+/// Panics if any key has bits set at or above `range_bits`.
+pub fn rr_sort_by_key<T, F>(a: &mut [T], range_bits: u32, key: F)
+where
+    T: Copy + Send + Sync,
+    F: Fn(&T) -> u64 + Send + Sync + Copy,
+{
+    assert!(range_bits <= 64);
+    let n = a.len();
+    if n <= 1 {
+        return;
+    }
+    if n < 1 << 12 {
+        a.sort_unstable_by_key(|x| key(x));
+        return;
+    }
+
+    // Low-order range: the largest power of two ≤ n / log²n.
+    let log2n = (usize::BITS - n.leading_zeros()) as usize; // ⌈log₂ n⌉
+    let low_range = (n / (log2n * log2n)).max(2).next_power_of_two() / 2;
+    let low_bits = (low_range.trailing_zeros()).min(range_bits);
+    let low_mask = if low_bits == 64 {
+        u64::MAX
+    } else {
+        (1u64 << low_bits) - 1
+    };
+
+    // Round 1: unstable randomized sort on the low bits.
+    randomized_unstable_sort(a, low_bits, move |x| key(x) & low_mask);
+
+    // Rounds 2..: stable counting sort, 8 high-order bits at a time,
+    // least-significant digit first (LSD over the remaining bits).
+    let mut shift = low_bits;
+    let mut scratch = a.to_vec();
+    let mut in_a = true; // which buffer currently holds the data
+    while shift < range_bits {
+        let bits = COUNT_BITS.min(range_bits - shift);
+        let m = 1usize << bits;
+        let digit = move |x: &T| ((key(x) >> shift) as usize) & (m - 1);
+        if in_a {
+            counting_sort_into(a, &mut scratch, m, digit);
+        } else {
+            counting_sort_into(&scratch, a, m, digit);
+        }
+        in_a = !in_a;
+        shift += bits;
+    }
+    if !in_a {
+        a.copy_from_slice(&scratch);
+    }
+}
+
+/// The unstable randomized sort for keys in a small range `[0, 2^bits)`:
+/// estimate per-key cardinalities from a sample, allocate slack arrays,
+/// scatter with CAS + probing, pack (§2's four steps).
+///
+/// Used by [`rr_sort_by_key`] for its low-order round; public because it is
+/// a useful primitive on its own for small key ranges.
+pub fn randomized_unstable_sort<T, F>(a: &mut [T], bits: u32, key: F)
+where
+    T: Copy + Send + Sync,
+    F: Fn(&T) -> u64 + Send + Sync + Copy,
+{
+    let n = a.len();
+    if n <= 1 {
+        return;
+    }
+    if n < 1 << 12 || bits == 0 {
+        a.sort_unstable_by_key(|x| key(x));
+        return;
+    }
+    let m = 1usize << bits;
+    let rng = Rng::new(0x44e7_e44e);
+    let log2n = (usize::BITS - n.leading_zeros()) as f64;
+
+    // Step 1: cardinality upper bounds u(i) = c'·max(log²n, c(i)·log n)
+    // from a 1/log n sample (we sample at a power-of-two rate near it).
+    let sample_shift = (log2n as u32).next_power_of_two().trailing_zeros().min(6);
+    let stride = 1usize << sample_shift;
+    let sample_count = n.div_ceil(stride);
+    // Histogram the sample over the m key values.
+    let mut counts = vec![0usize; m];
+    for i in 0..sample_count {
+        let lo = i * stride;
+        let hi = ((i + 1) * stride).min(n);
+        let off = rng.at_bounded(i as u64, (hi - lo) as u64) as usize;
+        counts[(key(&a[lo + off])) as usize] += 1;
+    }
+
+    // Retry loop: on overflow, grow the slack constant.
+    let mut c_prime = 1.4f64;
+    loop {
+        // Step 2: allocate arrays via prefix sum of u(i).
+        let scale = stride as f64; // ≈ 1/p
+        let mut offsets: Vec<usize> = counts
+            .iter()
+            .map(|&c| {
+                let u = c_prime * (log2n * log2n).max(c as f64 * scale + c as f64 * log2n.sqrt() * scale.sqrt());
+                (u as usize).max(4).next_power_of_two()
+            })
+            .collect();
+        let sizes = offsets.clone();
+        let total = scan_add_exclusive(&mut offsets);
+
+        // Step 3: scatter into random slots (CAS + linear probing).
+        if let Some(packed) = scatter_and_pack_keys(a, &offsets, &sizes, total, rng.fork(1), key) {
+            a.copy_from_slice(&packed);
+            return;
+        }
+        c_prime *= 2.0;
+        assert!(c_prime < 1e6, "randomized sort failed to converge");
+    }
+}
+
+/// Scatter each record into its key's array and pack the result. Returns
+/// `None` if some array overflowed (caller retries with more slack).
+fn scatter_and_pack_keys<T, F>(
+    a: &[T],
+    offsets: &[usize],
+    sizes: &[usize],
+    total: usize,
+    rng: Rng,
+    key: F,
+) -> Option<Vec<T>>
+where
+    T: Copy + Send + Sync,
+    F: Fn(&T) -> u64 + Send + Sync + Copy,
+{
+    use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+    const VACANT: u64 = u64::MAX;
+
+    let slot: Vec<AtomicU64> = (0..total)
+        .into_par_iter()
+        .with_min_len(1 << 14)
+        .map(|_| AtomicU64::new(VACANT))
+        .collect();
+    let overflow = AtomicBool::new(false);
+
+    a.par_iter().enumerate().with_min_len(4096).for_each(|(i, x)| {
+        if overflow.load(Ordering::Relaxed) {
+            return;
+        }
+        let k = key(x) as usize;
+        let base = offsets[k];
+        let size = sizes[k];
+        let mask = size - 1;
+        let mut s = (rng.at(i as u64) as usize) & mask;
+        for _ in 0..size {
+            let cell = &slot[base + s];
+            if cell.load(Ordering::Relaxed) == VACANT
+                && cell
+                    .compare_exchange(VACANT, i as u64, Ordering::Relaxed, Ordering::Relaxed)
+                    .is_ok()
+            {
+                return;
+            }
+            s = (s + 1) & mask;
+        }
+        overflow.store(true, Ordering::Relaxed);
+    });
+    if overflow.load(Ordering::Relaxed) {
+        return None;
+    }
+
+    // Step 4: pack out the vacancies (blocked).
+    let blocks = crate::slices::num_blocks(total);
+    let mut pack_off: Vec<usize> = (0..blocks)
+        .into_par_iter()
+        .map(|b| {
+            crate::slices::block_range(b, blocks, total)
+                .filter(|&i| slot[i].load(Ordering::Relaxed) != VACANT)
+                .count()
+        })
+        .collect();
+    let n_out = scan_add_exclusive(&mut pack_off);
+    debug_assert_eq!(n_out, a.len());
+    let mut out: Vec<T> = Vec::with_capacity(n_out);
+    let ptr = SendPtr(out.spare_capacity_mut().as_mut_ptr());
+    (0..blocks).into_par_iter().for_each(|b| {
+        let mut pos = pack_off[b];
+        let p = ptr;
+        for i in crate::slices::block_range(b, blocks, total) {
+            let v = slot[i].load(Ordering::Relaxed);
+            if v != VACANT {
+                // SAFETY: blocks write disjoint [pos..) ranges by the scan.
+                unsafe { (*p.0.add(pos)).write(a[v as usize]) };
+                pos += 1;
+            }
+        }
+    });
+    // SAFETY: exactly n_out slots initialized.
+    unsafe { out.set_len(n_out) };
+    Some(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hash::hash64;
+
+    #[test]
+    fn randomized_sort_small_range() {
+        let mut a: Vec<u64> = (0..100_000u64).map(|i| hash64(i) % 64).collect();
+        let mut want = a.clone();
+        want.sort_unstable();
+        randomized_unstable_sort(&mut a, 6, |&x| x);
+        assert_eq!(a, want);
+    }
+
+    #[test]
+    fn randomized_sort_skewed_counts() {
+        // One key holds 90% of the records: the u(i) estimate must stretch.
+        let mut a: Vec<u64> = (0..80_000u64)
+            .map(|i| if i % 10 == 0 { hash64(i) % 16 } else { 3 })
+            .collect();
+        let mut want = a.clone();
+        want.sort_unstable();
+        randomized_unstable_sort(&mut a, 4, |&x| x);
+        assert_eq!(a, want);
+    }
+
+    #[test]
+    fn rr_sorts_full_range() {
+        let mut a: Vec<u64> = (0..150_000).map(hash64).collect();
+        let mut want = a.clone();
+        want.sort_unstable();
+        rr_sort_by_key(&mut a, 64, |&x| x);
+        assert_eq!(a, want);
+    }
+
+    #[test]
+    fn rr_sorts_medium_range_pairs() {
+        // Keys in [n·log²n]-ish range, with payloads: the RR use case.
+        let range_bits = 24;
+        let mut a: Vec<(u64, u64)> = (0..120_000u64)
+            .map(|i| (hash64(i) & ((1 << range_bits) - 1), i))
+            .collect();
+        let mut want: Vec<u64> = a.iter().map(|p| p.0).collect();
+        want.sort_unstable();
+        rr_sort_by_key(&mut a, range_bits, |p| p.0);
+        let got: Vec<u64> = a.iter().map(|p| p.0).collect();
+        assert_eq!(got, want);
+        // Permutation witness.
+        let mut payloads: Vec<u64> = a.iter().map(|p| p.1).collect();
+        payloads.sort_unstable();
+        assert!(payloads.iter().enumerate().all(|(i, &v)| v == i as u64));
+    }
+
+    #[test]
+    fn rr_small_input_falls_back() {
+        let mut a = vec![5u64, 3, 9, 1];
+        rr_sort_by_key(&mut a, 8, |&x| x);
+        assert_eq!(a, vec![1, 3, 5, 9]);
+    }
+
+    #[test]
+    fn rr_empty_and_single() {
+        let mut e: Vec<u64> = vec![];
+        rr_sort_by_key(&mut e, 10, |&x| x);
+        let mut s = vec![7u64];
+        rr_sort_by_key(&mut s, 10, |&x| x);
+        assert_eq!(s, vec![7]);
+    }
+
+    #[test]
+    fn rr_all_equal_keys() {
+        let mut a: Vec<u64> = vec![42; 50_000];
+        rr_sort_by_key(&mut a, 16, |&x| x);
+        assert!(a.iter().all(|&x| x == 42));
+    }
+
+    #[test]
+    fn rr_dense_labels_like_semisort_preprocessing() {
+        // Exactly the §3.2 scenario: dense labels in [n] after naming.
+        let n = 100_000u64;
+        let mut a: Vec<(u64, u64)> = (0..n).map(|i| (hash64(i) % (n / 4), i)).collect();
+        let bits = 64 - (n / 4 - 1).leading_zeros();
+        rr_sort_by_key(&mut a, bits, |p| p.0);
+        assert!(a.windows(2).all(|w| w[0].0 <= w[1].0));
+    }
+}

@@ -1,0 +1,223 @@
+//! Parallel comparison sample sort.
+//!
+//! The "Sample Sort" baseline of §5.5 — "designed as a cache-efficient
+//! algorithm so it gets consistent speedup of about 30 on all inputs"
+//! (after Blelloch, Gibbons and Simhadri, *Low depth cache-oblivious
+//! algorithms*, SPAA 2010). The structure:
+//!
+//! 1. Take an oversampled random sample, sort it, and pick `B − 1` pivots.
+//! 2. Label every element with its bucket (binary search over the pivots).
+//! 3. Move elements to their buckets with one stable parallel counting sort
+//!    (reusing [`counting_sort_into`]).
+//! 4. Sort each bucket in parallel — sequentially if small, recursively if
+//!    large. A bucket fenced by two *equal* pivots contains only copies of
+//!    one key and is skipped entirely, which is what keeps the sort robust
+//!    on the paper's heavy-duplicate distributions.
+
+use rayon::prelude::*;
+
+use crate::counting_sort::counting_sort_into;
+use crate::random::Rng;
+
+/// Below this many records the sort is a sequential pdqsort.
+const SEQ_THRESHOLD: usize = 1 << 14;
+/// Number of buckets per round.
+const BUCKETS: usize = 256;
+/// Sample size = OVERSAMPLE × BUCKETS.
+const OVERSAMPLE: usize = 8;
+
+/// Sort `a` ascending by the `less` strict weak ordering.
+///
+/// ```
+/// let mut a = vec![3u32, 1, 2];
+/// parlay::sample_sort::sample_sort_by(&mut a, |x, y| x < y);
+/// assert_eq!(a, vec![1, 2, 3]);
+/// ```
+pub fn sample_sort_by<T, F>(a: &mut [T], less: F)
+where
+    T: Copy + Send + Sync,
+    F: Fn(&T, &T) -> bool + Send + Sync + Copy,
+{
+    sample_sort_rec(a, &less, Rng::new(0x5a5a_1234));
+}
+
+/// Sort `(key, value)` pairs by key — the paper's 16-byte-record shape.
+pub fn sample_sort_pairs(a: &mut [(u64, u64)]) {
+    sample_sort_by(a, |x, y| x.0 < y.0);
+}
+
+fn sample_sort_rec<T, F>(a: &mut [T], less: &F, rng: Rng)
+where
+    T: Copy + Send + Sync,
+    F: Fn(&T, &T) -> bool + Send + Sync + Copy,
+{
+    let n = a.len();
+    if n <= SEQ_THRESHOLD {
+        a.sort_unstable_by(|x, y| cmp(less, x, y));
+        return;
+    }
+
+    // Step 1: pivots from an oversampled sample.
+    let sample_size = BUCKETS * OVERSAMPLE;
+    let mut sample: Vec<T> = (0..sample_size)
+        .map(|i| a[rng.at_bounded(i as u64, n as u64) as usize])
+        .collect();
+    sample.sort_unstable_by(|x, y| cmp(less, x, y));
+    let pivots: Vec<T> = (1..BUCKETS).map(|i| sample[i * OVERSAMPLE]).collect();
+    let num_pivots = pivots.len();
+
+    // Step 2: bucket ids. Buckets alternate range/equal: bucket 2i holds
+    // keys strictly between pivot i−1 and pivot i, bucket 2i+1 holds keys
+    // *equal* to pivot i. Heavy duplicate keys therefore collapse into equal
+    // buckets, which never need sorting — the PBBS trick that keeps sample
+    // sort robust on the paper's skewed distributions (and terminates the
+    // recursion even when every key is identical).
+    let num_buckets = 2 * num_pivots + 1;
+    let ids: Vec<u16> = a
+        .par_iter()
+        .with_min_len(4096)
+        .map(|x| bucket_of(x, &pivots, less) as u16)
+        .collect();
+
+    // Step 3: stable counting sort by bucket id, on (id, element) pairs so
+    // the sort key is a cheap field read rather than a re-search.
+    let src = a.to_vec();
+    let paired: Vec<(u16, T)> = ids.into_par_iter().zip(src).collect();
+    let mut paired_out = paired.clone();
+    let offsets = counting_sort_into(&paired, &mut paired_out, num_buckets, |p| p.0 as usize);
+    drop(paired);
+    a.par_iter_mut()
+        .zip(paired_out.par_iter())
+        .with_min_len(4096)
+        .for_each(|(slot, p)| *slot = p.1);
+
+    // Step 4: sort the range buckets in parallel; equal buckets (odd ids)
+    // hold a single key each and are skipped.
+    let mut rest: &mut [T] = a;
+    let mut buckets: Vec<(usize, &mut [T])> = Vec::with_capacity(num_buckets);
+    for b in 0..num_buckets {
+        let len = offsets[b + 1] - offsets[b];
+        let (head, tail) = rest.split_at_mut(len);
+        rest = tail;
+        if len == 0 || b % 2 == 1 {
+            continue;
+        }
+        buckets.push((b, head));
+    }
+    buckets.into_par_iter().for_each(|(b, bucket)| {
+        if bucket.len() > n / 2 {
+            // Pathological pivot draw: recurse with a fresh sample. The
+            // bucket holds distinct-from-pivot keys only, so progress is
+            // overwhelmingly likely on the next draw.
+            sample_sort_rec(bucket, less, rng.fork(b as u64 + 1));
+        } else {
+            bucket.sort_unstable_by(|x, y| cmp(less, x, y));
+        }
+    });
+}
+
+#[inline]
+fn cmp<T, F: Fn(&T, &T) -> bool>(less: &F, x: &T, y: &T) -> std::cmp::Ordering {
+    if less(x, y) {
+        std::cmp::Ordering::Less
+    } else if less(y, x) {
+        std::cmp::Ordering::Greater
+    } else {
+        std::cmp::Ordering::Equal
+    }
+}
+
+#[inline]
+fn equal<T, F: Fn(&T, &T) -> bool>(less: &F, x: &T, y: &T) -> bool {
+    !less(x, y) && !less(y, x)
+}
+
+/// Alternating range/equal bucket index of `x` (see `sample_sort_rec`):
+/// `2i` for keys strictly between pivots `i−1` and `i`, `2i+1` for keys
+/// equal to pivot `i`. Binary search, `O(log BUCKETS)`.
+fn bucket_of<T, F: Fn(&T, &T) -> bool>(x: &T, pivots: &[T], less: &F) -> usize {
+    // First pivot not less than x.
+    let (mut lo, mut hi) = (0, pivots.len());
+    while lo < hi {
+        let mid = lo + (hi - lo) / 2;
+        if less(&pivots[mid], x) {
+            lo = mid + 1;
+        } else {
+            hi = mid;
+        }
+    }
+    if lo < pivots.len() && equal(less, &pivots[lo], x) {
+        2 * lo + 1
+    } else {
+        2 * lo
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hash::hash64;
+
+    #[test]
+    fn empty_and_tiny() {
+        let mut a: Vec<u64> = vec![];
+        sample_sort_by(&mut a, |x, y| x < y);
+        let mut b = vec![3u64, 1, 2];
+        sample_sort_by(&mut b, |x, y| x < y);
+        assert_eq!(b, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn large_random_sorted() {
+        let mut a: Vec<u64> = (0..300_000).map(hash64).collect();
+        let mut want = a.clone();
+        want.sort_unstable();
+        sample_sort_by(&mut a, |x, y| x < y);
+        assert_eq!(a, want);
+    }
+
+    #[test]
+    fn all_equal_is_fast_path() {
+        let mut a = vec![9u64; 200_000];
+        sample_sort_by(&mut a, |x, y| x < y);
+        assert!(a.iter().all(|&x| x == 9));
+    }
+
+    #[test]
+    fn heavy_duplicates_sorted() {
+        // 99% one key: exercises the equal-pivot skip and the recursion.
+        let mut a: Vec<u64> = (0..200_000u64)
+            .map(|i| if i % 100 == 0 { hash64(i) } else { 5 })
+            .collect();
+        let mut want = a.clone();
+        want.sort_unstable();
+        sample_sort_by(&mut a, |x, y| x < y);
+        assert_eq!(a, want);
+    }
+
+    #[test]
+    fn pairs_sorted_and_permutation_preserved() {
+        let mut a: Vec<(u64, u64)> = (0..250_000u64).map(|i| (hash64(i) % 4096, i)).collect();
+        sample_sort_pairs(&mut a);
+        assert!(a.windows(2).all(|w| w[0].0 <= w[1].0));
+        let mut payloads: Vec<u64> = a.iter().map(|p| p.1).collect();
+        payloads.sort_unstable();
+        assert!(payloads.iter().enumerate().all(|(i, &p)| p == i as u64));
+    }
+
+    #[test]
+    fn reverse_and_sorted_inputs() {
+        let mut a: Vec<u64> = (0..120_000).rev().collect();
+        sample_sort_by(&mut a, |x, y| x < y);
+        assert!(a.windows(2).all(|w| w[0] <= w[1]));
+        sample_sort_by(&mut a, |x, y| x < y);
+        assert!(a.windows(2).all(|w| w[0] <= w[1]));
+    }
+
+    #[test]
+    fn custom_ordering_descending() {
+        let mut a: Vec<u64> = (0..100_000).map(hash64).collect();
+        sample_sort_by(&mut a, |x, y| x > y);
+        assert!(a.windows(2).all(|w| w[0] >= w[1]));
+    }
+}

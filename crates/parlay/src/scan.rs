@@ -1,0 +1,228 @@
+//! Parallel prefix sums (scans).
+//!
+//! The prefix-sum problem "takes an array of n integers and returns an equal
+//! length array in which each element is the sum of the previous elements,
+//! as well as the overall sum" (§2 of the paper). It is the workhorse under
+//! pack, counting sort, and bucket allocation.
+//!
+//! Implementation: the classic blocked two-pass scheme. Pass one reduces
+//! each block sequentially (blocks in parallel); the per-block sums are
+//! scanned sequentially (there are only `O(n / GRAIN)` of them); pass two
+//! replays each block sequentially seeded with its block offset. This does
+//! `2n` element visits — the same constant PBBS uses — with `O(log n)` depth
+//! given enough blocks.
+
+use rayon::prelude::*;
+
+use crate::slices::{block_range, num_blocks};
+
+/// Generic exclusive scan: `out[i] = id ⊕ a[0] ⊕ … ⊕ a[i-1]`, returning the
+/// total `id ⊕ a[0] ⊕ … ⊕ a[n-1]`.
+///
+/// `op` must be associative; it need not be commutative (blocks combine in
+/// index order).
+pub fn scan_exclusive<T, F>(a: &mut [T], id: T, op: F) -> T
+where
+    T: Copy + Send + Sync,
+    F: Fn(T, T) -> T + Send + Sync,
+{
+    let n = a.len();
+    if n == 0 {
+        return id;
+    }
+    let blocks = num_blocks(n);
+    if blocks == 1 {
+        return scan_exclusive_seq(a, id, &op);
+    }
+
+    // Pass 1: reduce each block.
+    let mut sums: Vec<T> = (0..blocks)
+        .into_par_iter()
+        .map(|b| {
+            let r = block_range(b, blocks, n);
+            a[r].iter().fold(id, |acc, &x| op(acc, x))
+        })
+        .collect();
+
+    // Scan the (short) per-block sums sequentially.
+    let total = scan_exclusive_seq(&mut sums, id, &op);
+
+    // Pass 2: replay each block seeded with its offset.
+    let sums_ref = &sums;
+    let op_ref = &op;
+    par_for_each_block_mut(a, blocks, |b, block| {
+        let mut acc = sums_ref[b];
+        for x in block.iter_mut() {
+            let orig = *x;
+            *x = acc;
+            acc = op_ref(acc, orig);
+        }
+    });
+    total
+}
+
+/// Sequential exclusive scan (used for small inputs and per-block sums).
+pub fn scan_exclusive_seq<T, F>(a: &mut [T], id: T, op: &F) -> T
+where
+    T: Copy,
+    F: Fn(T, T) -> T,
+{
+    let mut acc = id;
+    for x in a.iter_mut() {
+        let orig = *x;
+        *x = acc;
+        acc = op(acc, orig);
+    }
+    acc
+}
+
+/// Run `f(block_index, block)` over the blocked decomposition of `a`, blocks
+/// in parallel, each block a disjoint `&mut` sub-slice.
+pub fn par_for_each_block_mut<T, F>(a: &mut [T], blocks: usize, f: F)
+where
+    T: Send,
+    F: Fn(usize, &mut [T]) + Send + Sync,
+{
+    let n = a.len();
+    // Carve `a` into its block sub-slices up front, then iterate in parallel.
+    let mut rest = a;
+    let mut parts: Vec<(usize, &mut [T])> = Vec::with_capacity(blocks);
+    let mut consumed = 0;
+    for b in 0..blocks {
+        let r = block_range(b, blocks, n);
+        let (head, tail) = rest.split_at_mut(r.end - consumed);
+        parts.push((b, head));
+        rest = tail;
+        consumed = r.end;
+    }
+    parts.into_par_iter().for_each(|(b, block)| f(b, block));
+}
+
+/// Exclusive prefix sum of `usize` counts in place; returns the grand total.
+///
+/// This is the form used by pack, counting sort, and bucket allocation.
+///
+/// ```
+/// let mut a = vec![3, 1, 4, 1];
+/// let total = parlay::scan_add_exclusive(&mut a);
+/// assert_eq!(a, vec![0, 3, 4, 8]);
+/// assert_eq!(total, 9);
+/// ```
+pub fn scan_add_exclusive(a: &mut [usize]) -> usize {
+    scan_exclusive(a, 0usize, |x, y| x + y)
+}
+
+/// Inclusive prefix sum: `out[i] = a[0] + … + a[i]`; returns the total.
+pub fn scan_add_inclusive(a: &mut [usize]) -> usize {
+    let total = scan_add_exclusive(a);
+    let n = a.len();
+    if n == 0 {
+        return 0;
+    }
+    // Shift left by one and append the total: inclusive[i] = exclusive[i+1].
+    par_shift_left_inclusive(a, total);
+    total
+}
+
+fn par_shift_left_inclusive(a: &mut [usize], total: usize) {
+    let n = a.len();
+    if n < crate::slices::GRAIN {
+        for i in 0..n - 1 {
+            a[i] = a[i + 1];
+        }
+        a[n - 1] = total;
+        return;
+    }
+    let snapshot: Vec<usize> = a.to_vec();
+    a.par_iter_mut().enumerate().for_each(|(i, x)| {
+        *x = if i + 1 < n { snapshot[i + 1] } else { total };
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn seq_exclusive(a: &[usize]) -> (Vec<usize>, usize) {
+        let mut out = Vec::with_capacity(a.len());
+        let mut acc = 0;
+        for &x in a {
+            out.push(acc);
+            acc += x;
+        }
+        (out, acc)
+    }
+
+    #[test]
+    fn empty_scan() {
+        let mut a: Vec<usize> = vec![];
+        assert_eq!(scan_add_exclusive(&mut a), 0);
+        assert_eq!(scan_add_inclusive(&mut a), 0);
+    }
+
+    #[test]
+    fn small_exclusive_matches_reference() {
+        let orig = vec![3usize, 1, 4, 1, 5, 9, 2, 6];
+        let (want, want_total) = seq_exclusive(&orig);
+        let mut a = orig.clone();
+        let total = scan_add_exclusive(&mut a);
+        assert_eq!(a, want);
+        assert_eq!(total, want_total);
+    }
+
+    #[test]
+    fn large_exclusive_matches_reference() {
+        let orig: Vec<usize> = (0..100_000).map(|i| (i * 7 + 3) % 11).collect();
+        let (want, want_total) = seq_exclusive(&orig);
+        let mut a = orig.clone();
+        let total = scan_add_exclusive(&mut a);
+        assert_eq!(a, want);
+        assert_eq!(total, want_total);
+    }
+
+    #[test]
+    fn inclusive_matches_reference() {
+        let orig: Vec<usize> = (0..50_000).map(|i| i % 5).collect();
+        let mut want = Vec::new();
+        let mut acc = 0;
+        for &x in &orig {
+            acc += x;
+            want.push(acc);
+        }
+        let mut a = orig.clone();
+        let total = scan_add_inclusive(&mut a);
+        assert_eq!(a, want);
+        assert_eq!(total, acc);
+    }
+
+    #[test]
+    fn non_commutative_op_scans_in_order() {
+        // Affine maps x ↦ a·x + b under composition: associative but not
+        // commutative, so any block-order mistake in the scan shows up.
+        #[derive(Clone, Copy, PartialEq, Debug)]
+        struct P(i64, i64);
+        let op = |f: P, g: P| P(f.0.wrapping_mul(g.0), f.1.wrapping_mul(g.0).wrapping_add(g.1));
+        let orig: Vec<P> = (0..20_000)
+            .map(|i| P((i as i64 % 5) - 2, i as i64 % 11))
+            .collect();
+        let mut seq = orig.clone();
+        let id = P(1, 0);
+        let t_seq = scan_exclusive_seq(&mut seq, id, &op);
+        let mut par = orig.clone();
+        let t_par = scan_exclusive(&mut par, id, op);
+        assert_eq!(seq, par);
+        assert_eq!(t_seq, t_par);
+    }
+
+    #[test]
+    fn single_element() {
+        let mut a = vec![42usize];
+        let total = scan_add_exclusive(&mut a);
+        assert_eq!(a, vec![0]);
+        assert_eq!(total, 42);
+        let mut b = vec![42usize];
+        let total = scan_add_inclusive(&mut b);
+        assert_eq!(b, vec![42]);
+        assert_eq!(total, 42);
+    }
+}

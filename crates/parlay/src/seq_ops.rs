@@ -1,0 +1,130 @@
+//! Sequence operations: tabulate, map, zip — the parlaylib-style helpers
+//! that round out the substrate.
+//!
+//! All of them are thin, *granularity-controlled* wrappers over rayon:
+//! sequential below [`crate::slices::GRAIN`] elements, blocked parallel
+//! above, so callers can use them obliviously inside already-parallel code
+//! (the same discipline as every other primitive here).
+
+use rayon::prelude::*;
+
+use crate::slices::GRAIN;
+
+/// Build a vector of length `n` from an index function: `out[i] = f(i)`.
+///
+/// ```
+/// assert_eq!(parlay::seq_ops::tabulate(4, |i| i * i), vec![0, 1, 4, 9]);
+/// ```
+pub fn tabulate<T, F>(n: usize, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Send + Sync,
+{
+    if n < GRAIN {
+        return (0..n).map(f).collect();
+    }
+    (0..n).into_par_iter().with_min_len(GRAIN / 4).map(f).collect()
+}
+
+/// Map a slice to a new vector.
+pub fn map<T, U, F>(a: &[T], f: F) -> Vec<U>
+where
+    T: Sync,
+    U: Send,
+    F: Fn(&T) -> U + Send + Sync,
+{
+    if a.len() < GRAIN {
+        return a.iter().map(f).collect();
+    }
+    a.par_iter().with_min_len(GRAIN / 4).map(f).collect()
+}
+
+/// Zip two equal-length slices through a combiner.
+///
+/// # Panics
+///
+/// Panics if the lengths differ.
+pub fn zip_with<A, B, C, F>(a: &[A], b: &[B], f: F) -> Vec<C>
+where
+    A: Sync,
+    B: Sync,
+    C: Send,
+    F: Fn(&A, &B) -> C + Send + Sync,
+{
+    assert_eq!(a.len(), b.len(), "zip_with length mismatch");
+    if a.len() < GRAIN {
+        return a.iter().zip(b).map(|(x, y)| f(x, y)).collect();
+    }
+    a.par_iter()
+        .zip(b.par_iter())
+        .with_min_len(GRAIN / 4)
+        .map(|(x, y)| f(x, y))
+        .collect()
+}
+
+/// Count the elements satisfying a predicate.
+pub fn count_if<T, F>(a: &[T], pred: F) -> usize
+where
+    T: Sync,
+    F: Fn(&T) -> bool + Send + Sync,
+{
+    if a.len() < GRAIN {
+        return a.iter().filter(|x| pred(x)).count();
+    }
+    a.par_iter().with_min_len(GRAIN / 4).filter(|x| pred(x)).count()
+}
+
+/// Whether all elements satisfy the predicate (vacuously true when empty).
+pub fn all_of<T, F>(a: &[T], pred: F) -> bool
+where
+    T: Sync,
+    F: Fn(&T) -> bool + Send + Sync,
+{
+    if a.len() < GRAIN {
+        return a.iter().all(|x| pred(x));
+    }
+    a.par_iter().with_min_len(GRAIN / 4).all(|x| pred(x))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tabulate_small_and_large() {
+        assert_eq!(tabulate(0, |i| i), Vec::<usize>::new());
+        let big = tabulate(100_000, |i| i as u64 * 2);
+        assert_eq!(big.len(), 100_000);
+        assert!(big.iter().enumerate().all(|(i, &x)| x == i as u64 * 2));
+    }
+
+    #[test]
+    fn map_matches_iter_map() {
+        let a: Vec<u32> = (0..50_000).collect();
+        let want: Vec<u64> = a.iter().map(|&x| x as u64 + 1).collect();
+        assert_eq!(map(&a, |&x| x as u64 + 1), want);
+    }
+
+    #[test]
+    fn zip_with_combines_pairwise() {
+        let a: Vec<u32> = (0..30_000).collect();
+        let b: Vec<u32> = (0..30_000).map(|i| i * 2).collect();
+        let c = zip_with(&a, &b, |&x, &y| x + y);
+        assert!(c.iter().enumerate().all(|(i, &v)| v as usize == 3 * i));
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn zip_with_length_mismatch_panics() {
+        zip_with(&[1], &[1, 2], |&a: &i32, &b: &i32| a + b);
+    }
+
+    #[test]
+    fn count_if_and_all_of() {
+        let a: Vec<u32> = (0..100_000).collect();
+        assert_eq!(count_if(&a, |&x| x % 10 == 0), 10_000);
+        assert!(all_of(&a, |&x| x < 100_000));
+        assert!(!all_of(&a, |&x| x < 99_999));
+        assert!(all_of::<u32, _>(&[], |_| false), "vacuous truth");
+    }
+}

@@ -1,0 +1,150 @@
+//! Write-shared slices for scatter-style parallel algorithms.
+//!
+//! Several algorithms in this workspace (counting sort's final placement,
+//! radix sort's bucket placement, semisort's random scatter) have the shape
+//! "many tasks write disjoint — or CAS-arbitrated — positions of one output
+//! array, nobody reads until the phase barrier". Rust's `&mut` aliasing
+//! rules cannot express that pattern directly, so this module provides a
+//! single, documented unsafe primitive the rest of the code builds on:
+//! [`SharedSlice`], a bounds-checked slice whose *disjointness* (not
+//! bounds) is the caller's obligation.
+
+use std::cell::UnsafeCell;
+
+/// A slice that may be written concurrently from many rayon tasks.
+///
+/// # Safety contract
+///
+/// `write(i, v)` is safe to call from many threads only if no two tasks
+/// write the same index within a phase, and no task reads an index that any
+/// task may still write (reads must happen after the fork-join barrier).
+/// Every call site in this workspace discharges this with one of two
+/// arguments:
+///
+/// 1. **Partitioned writes** — indices are split among tasks by a prefix
+///    sum, so ranges are disjoint by construction (pack, counting sort,
+///    radix sort).
+/// 2. **CAS arbitration** — an atomic compare-and-swap on a companion array
+///    elects a unique winner per index; only the winner writes (semisort's
+///    scatter, see `semisort::scatter`).
+///
+/// Bounds are always checked; out-of-range indices panic.
+pub struct SharedSlice<'a, T> {
+    data: &'a [UnsafeCell<T>],
+}
+
+// SAFETY: see the struct-level contract; all mutation goes through `write`,
+// whose call sites guarantee disjointness.
+unsafe impl<T: Send> Send for SharedSlice<'_, T> {}
+unsafe impl<T: Send> Sync for SharedSlice<'_, T> {}
+
+impl<'a, T> SharedSlice<'a, T> {
+    /// Wrap a mutable slice for the duration of one scatter phase.
+    pub fn new(data: &'a mut [T]) -> Self {
+        // SAFETY: `&mut [T]` guarantees exclusive access; UnsafeCell<T> has
+        // the same layout as T, so the cast only *adds* interior mutability.
+        let cells = unsafe { &*(data as *mut [T] as *const [UnsafeCell<T>]) };
+        SharedSlice { data: cells }
+    }
+
+    /// Number of elements.
+    #[inline(always)]
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Whether the slice is empty.
+    #[inline(always)]
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Write `v` to position `i`.
+    ///
+    /// # Safety
+    ///
+    /// The caller must guarantee that no other task writes index `i` in this
+    /// phase and that no task reads index `i` before the phase barrier.
+    #[inline(always)]
+    pub unsafe fn write(&self, i: usize, v: T) {
+        // Bounds check stays on: scatter targets come from size *estimates*
+        // (the f function), and an estimate bug must fail loudly.
+        let cell = &self.data[i];
+        unsafe { *cell.get() = v };
+    }
+
+    /// Read position `i`.
+    ///
+    /// # Safety
+    ///
+    /// Only sound after all writers for this phase have finished (or for
+    /// indices provably not written concurrently).
+    #[inline(always)]
+    pub unsafe fn read(&self, i: usize) -> T
+    where
+        T: Copy,
+    {
+        let cell = &self.data[i];
+        unsafe { *cell.get() }
+    }
+}
+
+/// A raw pointer wrapper asserting `Send + Sync` for scatter phases.
+///
+/// Prefer [`SharedSlice`] (it keeps bounds checks); `SendPtr` exists for
+/// writes into uninitialized spare capacity where no `&mut [T]` exists yet.
+/// Same disjointness contract applies.
+#[derive(Clone, Copy)]
+pub struct SendPtr<T>(pub *mut T);
+
+// SAFETY: call sites guarantee disjoint writes / post-barrier reads.
+unsafe impl<T> Send for SendPtr<T> {}
+unsafe impl<T> Sync for SendPtr<T> {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rayon::prelude::*;
+
+    #[test]
+    fn partitioned_parallel_writes_land() {
+        let n = 100_000;
+        let mut v = vec![0u64; n];
+        {
+            let s = SharedSlice::new(&mut v);
+            (0..n).into_par_iter().for_each(|i| {
+                // Each task writes exactly its own index: disjoint.
+                unsafe { s.write(i, (i as u64) * 3) };
+            });
+        }
+        assert!(v.iter().enumerate().all(|(i, &x)| x == i as u64 * 3));
+    }
+
+    #[test]
+    fn read_after_barrier_sees_writes() {
+        let mut v = vec![0u32; 1000];
+        let s = SharedSlice::new(&mut v);
+        (0..1000).into_par_iter().for_each(|i| unsafe { s.write(i, 7) });
+        // Same-thread read after the parallel loop joined.
+        let sum: u64 = (0..1000).map(|i| unsafe { s.read(i) } as u64).sum();
+        assert_eq!(sum, 7000);
+    }
+
+    #[test]
+    #[should_panic]
+    fn out_of_bounds_write_panics() {
+        let mut v = vec![0u8; 4];
+        let s = SharedSlice::new(&mut v);
+        unsafe { s.write(4, 1) };
+    }
+
+    #[test]
+    fn len_and_empty() {
+        let mut v = vec![1i32; 3];
+        let s = SharedSlice::new(&mut v);
+        assert_eq!(s.len(), 3);
+        assert!(!s.is_empty());
+        let mut e: Vec<i32> = vec![];
+        assert!(SharedSlice::new(&mut e).is_empty());
+    }
+}

@@ -1,0 +1,92 @@
+//! Parallel random shuffle.
+//!
+//! A uniformly random permutation via the scatter pattern the semisort
+//! itself uses: tag every element with a random 64-bit priority and sort by
+//! it. With 64-bit priorities, ties occur with probability `≈ n²/2^64` and
+//! merely make those few elements' relative order deterministic — the
+//! permutation distribution is uniform up to that negligible bias. `O(n)`
+//! work via the radix sort's leading digits, `O(log n)` depth.
+//!
+//! (PBBS also ships a scatter-based `randomShuffle`; sort-by-random-key is
+//! the simpler equivalent and reuses the substrate.)
+
+use rayon::prelude::*;
+
+use crate::radix_sort::radix_sort_by_key;
+use crate::random::Rng;
+
+/// Shuffle `a` uniformly at random, deterministically in `seed`.
+///
+/// ```
+/// let mut v: Vec<u32> = (0..100).collect();
+/// parlay::shuffle::random_shuffle(&mut v, 42);
+/// let mut back = v.clone();
+/// back.sort_unstable();
+/// assert_eq!(back, (0..100).collect::<Vec<u32>>());
+/// ```
+pub fn random_shuffle<T: Copy + Send + Sync>(a: &mut [T], seed: u64) {
+    let rng = Rng::new(seed);
+    let mut tagged: Vec<(u64, T)> = a
+        .par_iter()
+        .enumerate()
+        .with_min_len(4096)
+        .map(|(i, &x)| (rng.at(i as u64), x))
+        .collect();
+    radix_sort_by_key(&mut tagged, 64, |p| p.0);
+    a.par_iter_mut()
+        .zip(tagged.par_iter())
+        .with_min_len(4096)
+        .for_each(|(slot, p)| *slot = p.1);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_and_single() {
+        let mut e: Vec<u32> = vec![];
+        random_shuffle(&mut e, 1);
+        let mut s = vec![9u32];
+        random_shuffle(&mut s, 1);
+        assert_eq!(s, vec![9]);
+    }
+
+    #[test]
+    fn is_a_permutation() {
+        let mut v: Vec<u32> = (0..100_000).collect();
+        random_shuffle(&mut v, 7);
+        assert_ne!(v[..100], (0..100).collect::<Vec<u32>>()[..]);
+        let mut back = v.clone();
+        back.sort_unstable();
+        assert!(back.iter().enumerate().all(|(i, &x)| x == i as u32));
+    }
+
+    #[test]
+    fn deterministic_in_seed() {
+        let mut a: Vec<u32> = (0..50_000).collect();
+        let mut b = a.clone();
+        random_shuffle(&mut a, 3);
+        random_shuffle(&mut b, 3);
+        assert_eq!(a, b);
+        let mut c: Vec<u32> = (0..50_000).collect();
+        random_shuffle(&mut c, 4);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn positions_look_uniform() {
+        // Element 0's landing position over many seeds should spread out.
+        let n = 1024u32;
+        let mut buckets = [0u32; 8];
+        for seed in 0..400u64 {
+            let mut v: Vec<u32> = (0..n).collect();
+            random_shuffle(&mut v, seed);
+            let pos = v.iter().position(|&x| x == 0).unwrap();
+            buckets[pos * 8 / n as usize] += 1;
+        }
+        for &b in &buckets {
+            assert!((20..90).contains(&b), "octant counts skewed: {buckets:?}");
+        }
+    }
+}

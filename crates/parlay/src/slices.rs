@@ -1,0 +1,78 @@
+//! Block decomposition helpers.
+//!
+//! The blocked algorithms in this crate (scan, pack, counting sort) follow
+//! the PBBS pattern: split the input into `num_blocks` contiguous blocks,
+//! run a sequential pass per block in parallel, combine per-block summaries
+//! with a small scan, then run a second sequential pass per block. These
+//! helpers centralize the arithmetic so every algorithm agrees on block
+//! boundaries.
+
+/// Sequential fallback threshold: parallel primitives run sequentially below
+/// this many elements. Chosen to amortize rayon's task overhead (a few
+/// microseconds) against ~1 ns/element loop bodies.
+pub const GRAIN: usize = 8192;
+
+/// Number of blocks to use for an input of length `n`.
+///
+/// Aims for blocks of roughly `GRAIN` elements, but never more than
+/// `8 * num_threads^2` blocks (enough slack for work stealing to balance)
+/// and always at least 1.
+pub fn num_blocks(n: usize) -> usize {
+    if n <= GRAIN {
+        return 1;
+    }
+    let by_grain = n.div_ceil(GRAIN);
+    let cap = 8 * rayon::current_num_threads().pow(2).max(1);
+    by_grain.min(cap).max(1)
+}
+
+/// The half-open range of block `i` out of `blocks` over `n` elements.
+///
+/// Blocks differ in size by at most one element and exactly tile `[0, n)`.
+#[inline]
+pub fn block_range(i: usize, blocks: usize, n: usize) -> std::ops::Range<usize> {
+    debug_assert!(i < blocks);
+    let lo = (n * i) / blocks;
+    let hi = (n * (i + 1)) / blocks;
+    lo..hi
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn blocks_tile_exactly() {
+        for n in [0usize, 1, 2, 100, 8191, 8192, 8193, 1_000_000] {
+            let b = num_blocks(n);
+            let mut covered = 0;
+            let mut prev_end = 0;
+            for i in 0..b {
+                let r = block_range(i, b, n);
+                assert_eq!(r.start, prev_end, "blocks must be contiguous");
+                prev_end = r.end;
+                covered += r.len();
+            }
+            assert_eq!(covered, n);
+            assert_eq!(prev_end, n);
+        }
+    }
+
+    #[test]
+    fn block_sizes_balanced() {
+        let (n, b) = (1_000_003, 97);
+        let sizes: Vec<usize> = (0..b).map(|i| block_range(i, b, n).len()).collect();
+        let (min, max) = (
+            *sizes.iter().min().unwrap(),
+            *sizes.iter().max().unwrap(),
+        );
+        assert!(max - min <= 1);
+    }
+
+    #[test]
+    fn small_inputs_get_one_block() {
+        assert_eq!(num_blocks(0), 1);
+        assert_eq!(num_blocks(GRAIN), 1);
+        assert!(num_blocks(GRAIN + 1) > 1);
+    }
+}

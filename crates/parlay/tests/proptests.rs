@@ -1,0 +1,168 @@
+//! Property-based tests for every parlay primitive: each parallel algorithm
+//! must agree with its obvious sequential reference on arbitrary inputs.
+
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    // ---- scan ----
+
+    #[test]
+    fn scan_exclusive_matches_reference(v in prop::collection::vec(0usize..1000, 0..20_000)) {
+        let mut got = v.clone();
+        let total = parlay::scan_add_exclusive(&mut got);
+        let mut acc = 0;
+        for (i, &x) in v.iter().enumerate() {
+            prop_assert_eq!(got[i], acc);
+            acc += x;
+        }
+        prop_assert_eq!(total, acc);
+    }
+
+    #[test]
+    fn scan_inclusive_matches_reference(v in prop::collection::vec(0usize..1000, 0..20_000)) {
+        let mut got = v.clone();
+        let total = parlay::scan_add_inclusive(&mut got);
+        let mut acc = 0;
+        for (i, &x) in v.iter().enumerate() {
+            acc += x;
+            prop_assert_eq!(got[i], acc);
+        }
+        prop_assert_eq!(total, acc);
+    }
+
+    // ---- pack ----
+
+    #[test]
+    fn pack_matches_filter(v in prop::collection::vec(any::<u32>(), 0..20_000), modulus in 1u32..10) {
+        let want: Vec<u32> = v.iter().copied().filter(|x| x % modulus == 0).collect();
+        let got = parlay::pack(&v, |_, x| x % modulus == 0);
+        prop_assert_eq!(got, want);
+    }
+
+    #[test]
+    fn pack_index_matches_positions(n in 0usize..30_000, modulus in 1usize..7) {
+        let want: Vec<usize> = (0..n).filter(|i| i % modulus == 0).collect();
+        let got = parlay::pack_index(n, |i| i % modulus == 0);
+        prop_assert_eq!(got, want);
+    }
+
+    // ---- counting sort ----
+
+    #[test]
+    fn counting_sort_matches_stable_sort(
+        v in prop::collection::vec((0u8..32, any::<u32>()), 0..15_000)
+    ) {
+        let mut want = v.clone();
+        want.sort_by_key(|p| p.0);
+        let mut got = v.clone();
+        parlay::counting_sort::counting_sort(&mut got, 32, |p| p.0 as usize);
+        prop_assert_eq!(got, want);
+    }
+
+    // ---- radix sort ----
+
+    #[test]
+    fn radix_sort_matches_std(v in prop::collection::vec(any::<u64>(), 0..15_000)) {
+        let mut want = v.clone();
+        want.sort_unstable();
+        let mut got = v.clone();
+        parlay::radix_sort::radix_sort_u64(&mut got);
+        prop_assert_eq!(got, want);
+    }
+
+    #[test]
+    fn radix_sort_limited_bits(v in prop::collection::vec(0u64..4096, 0..15_000)) {
+        let mut want = v.clone();
+        want.sort_unstable();
+        let mut got = v.clone();
+        parlay::radix_sort::radix_sort_by_key(&mut got, 12, |&x| x);
+        prop_assert_eq!(got, want);
+    }
+
+    // ---- sample sort ----
+
+    #[test]
+    fn sample_sort_matches_std(v in prop::collection::vec(any::<u64>(), 0..15_000)) {
+        let mut want = v.clone();
+        want.sort_unstable();
+        let mut got = v.clone();
+        parlay::sample_sort::sample_sort_by(&mut got, |a, b| a < b);
+        prop_assert_eq!(got, want);
+    }
+
+    #[test]
+    fn sample_sort_duplicate_heavy(v in prop::collection::vec(0u64..4, 0..15_000)) {
+        let mut want = v.clone();
+        want.sort_unstable();
+        let mut got = v.clone();
+        parlay::sample_sort::sample_sort_by(&mut got, |a, b| a < b);
+        prop_assert_eq!(got, want);
+    }
+
+    // ---- merge sort / merge ----
+
+    #[test]
+    fn merge_sort_matches_std_and_is_stable(
+        v in prop::collection::vec((0u8..16, any::<u32>()), 0..15_000)
+    ) {
+        let mut want = v.clone();
+        want.sort_by_key(|p| p.0); // std stable sort
+        let mut got = v.clone();
+        parlay::merge::merge_sort_by(&mut got, |a, b| a.0 < b.0);
+        prop_assert_eq!(got, want);
+    }
+
+    #[test]
+    fn merge_matches_reference(
+        mut a in prop::collection::vec(any::<u32>(), 0..8_000),
+        mut b in prop::collection::vec(any::<u32>(), 0..8_000),
+    ) {
+        a.sort_unstable();
+        b.sort_unstable();
+        let mut out = vec![0u32; a.len() + b.len()];
+        parlay::merge::merge_into(&a, &b, &mut out, &|x, y| x < y);
+        let mut want = [a, b].concat();
+        want.sort_unstable();
+        prop_assert_eq!(out, want);
+    }
+
+    // ---- RR integer sort ----
+
+    #[test]
+    fn rr_sort_matches_std(v in prop::collection::vec(0u64..(1 << 20), 0..15_000)) {
+        let mut want = v.clone();
+        want.sort_unstable();
+        let mut got = v.clone();
+        parlay::rr_sort::rr_sort_by_key(&mut got, 20, |&x| x);
+        prop_assert_eq!(got, want);
+    }
+
+    // ---- hash table ----
+
+    #[test]
+    fn hash_table_agrees_with_hashmap(
+        inserts in prop::collection::vec((1u64..500, any::<u64>()), 0..2_000)
+    ) {
+        let table = parlay::hash_table::PhaseConcurrentMap::<u64>::new(inserts.len().max(1));
+        let mut reference = std::collections::HashMap::new();
+        for &(k, v) in &inserts {
+            // First insert wins in both structures.
+            let fresh = table.insert(k, v);
+            let ref_fresh = !reference.contains_key(&k);
+            reference.entry(k).or_insert(v);
+            prop_assert_eq!(fresh, ref_fresh);
+        }
+        for k in 1..500u64 {
+            prop_assert_eq!(table.lookup(k), reference.get(&k).copied());
+        }
+    }
+
+    // ---- hash ----
+
+    #[test]
+    fn hash64_roundtrips(x in any::<u64>()) {
+        prop_assert_eq!(parlay::hash::unhash64(parlay::hash64(x)), x);
+    }
+}

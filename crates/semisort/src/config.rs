@@ -1,0 +1,167 @@
+//! Tuning parameters.
+//!
+//! Defaults follow §4 of the paper exactly: "We set the sampling probability
+//! p to be 1/16, and δ to be 16 … The number of light key buckets is set to
+//! be 2^16", with the estimator constant `c = 1.25` and the slack factor
+//! `1.1` from Phase 2 ("each bucket with s samples allocates an array of
+//! size 1.1·f(s) with c = 1.25, and rounded up to the nearest power of 2").
+
+/// How the scatter phase resolves an occupied slot.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ProbeStrategy {
+    /// Try the next slot ("linear probing. This gives better cache
+    /// performance" — §4 Phase 3). The default.
+    Linear,
+    /// Pick a fresh random slot each time, as in the theoretical
+    /// description of the placement problem (§3). Kept for the ablation
+    /// benchmark that quantifies how much linear probing buys.
+    Random,
+}
+
+/// Which algorithm sorts each light bucket in Phase 4.
+///
+/// The paper "tried several versions including a bucket sort, some
+/// comparison-based hybrid sort algorithms, and the sort in the C++
+/// Standard Library" and found them similar; these variants let the
+/// ablation bench repeat that comparison.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum LocalSortAlgo {
+    /// Rust's `slice::sort_unstable` (pdqsort) — the `std::sort` analogue
+    /// the paper shipped with. The default.
+    StdUnstable,
+    /// Two passes of stable counting sort on fresh labels, as in the
+    /// theoretical Step 7c.
+    Counting,
+    /// Rust's stable `slice::sort` (timsort-like).
+    StdStable,
+}
+
+/// Configuration for the semisort. `Default::default()` reproduces the
+/// paper's shipped constants.
+#[derive(Clone, Copy, Debug)]
+pub struct SemisortConfig {
+    /// Sampling probability is `1/2^sample_shift`; default 4 (p = 1/16).
+    pub sample_shift: u32,
+    /// δ: a key is heavy if it appears at least this many times in the
+    /// sample; default 16.
+    pub heavy_threshold: usize,
+    /// Upper bound on the light-bucket prefix bits; default 16 (the
+    /// paper's 2^16 buckets at n = 10⁸). The effective count follows the
+    /// theoretical Θ(n/log²n) rule, capped here — see
+    /// `buckets::effective_prefix_bits`.
+    pub light_bucket_log2: u32,
+    /// Slack multiplier α on the size estimate; default 1.1.
+    pub alpha: f64,
+    /// Estimator constant c in `f(s)`; default 1.25.
+    pub c: f64,
+    /// Merge adjacent light buckets until each holds at least δ samples
+    /// ("reduces the overall running time by at most 10%" — §4 Phase 2).
+    /// Default true.
+    pub merge_light_buckets: bool,
+    /// Collision handling in the scatter; default linear probing.
+    pub probe_strategy: ProbeStrategy,
+    /// Light-bucket sorting algorithm; default `StdUnstable`.
+    pub local_sort_algo: LocalSortAlgo,
+    /// Seed for sampling jitter and scatter randomness. Runs with equal
+    /// seeds produce identical outputs at any thread count.
+    pub seed: u64,
+    /// Inputs at or below this size skip the machinery and sort directly
+    /// (a semisorted order trivially); default 2^13.
+    pub seq_threshold: usize,
+    /// Maximum Las Vegas restarts on bucket overflow (Corollary 3.4 failure)
+    /// before growing α; default 3. Each retry re-randomizes scatter
+    /// positions and doubles the overflowing run's slack.
+    pub max_retries: u32,
+}
+
+impl Default for SemisortConfig {
+    fn default() -> Self {
+        SemisortConfig {
+            sample_shift: 4,
+            heavy_threshold: 16,
+            light_bucket_log2: 16,
+            alpha: 1.1,
+            c: 1.25,
+            merge_light_buckets: true,
+            probe_strategy: ProbeStrategy::Linear,
+            local_sort_algo: LocalSortAlgo::StdUnstable,
+            seed: 0x5eed_0f5e_u64,
+            seq_threshold: 1 << 13,
+            max_retries: 3,
+        }
+    }
+}
+
+impl SemisortConfig {
+    /// The sampling probability `p = 1/2^sample_shift`.
+    #[inline]
+    pub fn sample_probability(&self) -> f64 {
+        1.0 / (1u64 << self.sample_shift) as f64
+    }
+
+    /// The sampling stride `1/p` (records per sample).
+    #[inline]
+    pub fn sample_stride(&self) -> usize {
+        1 << self.sample_shift
+    }
+
+    /// Maximum number of light-bucket hash-prefix classes
+    /// (`2^light_bucket_log2`); the effective count additionally scales
+    /// with n (see `buckets::effective_prefix_bits`).
+    #[inline]
+    pub fn num_prefixes(&self) -> usize {
+        1 << self.light_bucket_log2
+    }
+
+    /// Builder-style setter for the seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Validate parameter sanity; called once per run by the driver.
+    pub fn validate(&self) {
+        assert!(self.sample_shift >= 1 && self.sample_shift <= 16);
+        assert!(self.heavy_threshold >= 2, "δ must be at least 2");
+        assert!(self.light_bucket_log2 >= 1 && self.light_bucket_log2 <= 24);
+        assert!(self.alpha > 1.0, "α must exceed 1 for scatter termination");
+        assert!(self.c > 0.0);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_paper() {
+        let c = SemisortConfig::default();
+        assert_eq!(c.sample_stride(), 16);
+        assert_eq!(c.sample_probability(), 1.0 / 16.0);
+        assert_eq!(c.heavy_threshold, 16);
+        assert_eq!(c.num_prefixes(), 65536);
+        assert!((c.alpha - 1.1).abs() < 1e-12);
+        assert!((c.c - 1.25).abs() < 1e-12);
+        assert!(c.merge_light_buckets);
+        assert_eq!(c.probe_strategy, ProbeStrategy::Linear);
+        c.validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "α must exceed 1")]
+    fn alpha_one_rejected() {
+        let cfg = SemisortConfig {
+            alpha: 1.0,
+            ..Default::default()
+        };
+        cfg.validate();
+    }
+
+    #[test]
+    fn with_seed_changes_only_seed() {
+        let a = SemisortConfig::default();
+        let b = SemisortConfig::default().with_seed(99);
+        assert_eq!(b.seed, 99);
+        assert_eq!(a.heavy_threshold, b.heavy_threshold);
+    }
+}

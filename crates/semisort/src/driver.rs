@@ -1,0 +1,291 @@
+//! The five-phase driver (Algorithm 1 end to end), with per-phase timing
+//! and the Las Vegas retry loop.
+
+use std::time::Instant;
+
+use parlay::random::Rng;
+use rayon::prelude::*;
+
+use crate::buckets::build_plan;
+use crate::config::SemisortConfig;
+use crate::local_sort::local_sort_light_buckets;
+use crate::pack_phase::pack_output;
+use crate::sample::strided_sample_by;
+use crate::scatter::{allocate_arena, scatter, EMPTY};
+use crate::stats::SemisortStats;
+
+/// Semisort pre-hashed records. See [`semisort_with_stats`] for details.
+pub fn semisort_core<V: Copy + Send + Sync>(
+    records: &[(u64, V)],
+    cfg: &SemisortConfig,
+) -> Vec<(u64, V)> {
+    semisort_with_stats(records, cfg).0
+}
+
+/// Semisort pre-hashed `(key, value)` records, returning the output and the
+/// per-phase telemetry of [`SemisortStats`].
+///
+/// Records with equal keys are contiguous in the output; distinct keys are
+/// in no particular order. The input must be *hashed* keys (uniformly
+/// distributed bits) — the light-bucket partition divides the hash range
+/// evenly and relies on uniformity for its `O(log² n)` bucket-size bound
+/// (§3). For raw keys use [`crate::api::semisort_by_key`], which hashes
+/// for you.
+///
+/// Inputs at or below `cfg.seq_threshold`, and inputs containing the
+/// reserved [`EMPTY`] key (probability `≈ n/2^64` for hashed keys), take a
+/// sort-based fallback path — still a correct semisort, just without the
+/// linear-work machinery.
+pub fn semisort_with_stats<V: Copy + Send + Sync>(
+    records: &[(u64, V)],
+    cfg: &SemisortConfig,
+) -> (Vec<(u64, V)>, SemisortStats) {
+    cfg.validate();
+    let n = records.len();
+    let mut stats = SemisortStats {
+        n,
+        ..Default::default()
+    };
+
+    if n <= cfg.seq_threshold {
+        return (fallback_sort(records), stats);
+    }
+    // The scatter reserves EMPTY (= 0) as its slot-vacancy sentinel and the
+    // heavy-key table reserves u64::MAX. A hashed key colliding with either
+    // is a ~n/2^63 event; handle it by falling back rather than by silently
+    // merging keys.
+    if records
+        .par_iter()
+        .any(|r| r.0 == EMPTY || r.0 == parlay::hash_table::EMPTY)
+    {
+        return (fallback_sort(records), stats);
+    }
+
+    let mut attempt = 0u32;
+    loop {
+        // Each retry re-randomizes every random choice and doubles the
+        // slack α (Corollary 3.4 failures are overwhelmingly due to an
+        // unlucky sample underestimating a bucket).
+        let run_cfg = SemisortConfig {
+            alpha: cfg.alpha * (1u64 << attempt) as f64,
+            seed: cfg.seed.wrapping_add(attempt as u64),
+            ..*cfg
+        };
+        let rng = Rng::new(run_cfg.seed);
+
+        // Phase 1: sampling and sorting.
+        let t = Instant::now();
+        let mut sample =
+            strided_sample_by(n, run_cfg.sample_shift, rng.fork(1), |i| records[i].0);
+        parlay::radix_sort::radix_sort_u64(&mut sample);
+        stats.t_sample_sort = t.elapsed();
+        stats.sample_size = sample.len();
+
+        // Phase 2: bucket construction (classification, table, allocation).
+        let t = Instant::now();
+        let plan = build_plan(&sample, n, &run_cfg);
+        let arena = allocate_arena::<V>(&plan);
+        stats.t_construct_buckets = t.elapsed();
+        stats.heavy_keys = plan.num_heavy;
+        stats.light_buckets = plan.num_light;
+        stats.total_slots = plan.total_slots;
+
+        // Phase 3: scatter.
+        let t = Instant::now();
+        let outcome = scatter(records, &plan, &arena, run_cfg.probe_strategy, rng.fork(2));
+        stats.t_scatter = t.elapsed();
+        if outcome.overflowed {
+            attempt += 1;
+            stats.retries = attempt;
+            assert!(
+                attempt <= cfg.max_retries,
+                "semisort: bucket overflow persisted after {attempt} retries \
+                 (α grown to {:.2}); input size {n}",
+                run_cfg.alpha * 2.0
+            );
+            continue;
+        }
+        stats.heavy_records = outcome.heavy_records;
+
+        // Phase 4: local sort of the light buckets.
+        let t = Instant::now();
+        let light_counts = local_sort_light_buckets(&plan, &arena, run_cfg.local_sort_algo);
+        stats.t_local_sort = t.elapsed();
+
+        // Phase 5: pack.
+        let t = Instant::now();
+        let out = pack_output(&plan, &arena, &light_counts);
+        stats.t_pack = t.elapsed();
+        debug_assert_eq!(out.len(), n, "pack must emit every record");
+
+        return (out, stats);
+    }
+}
+
+/// Sort-based fallback: a full sort by key is trivially a semisort.
+fn fallback_sort<V: Copy + Send + Sync>(records: &[(u64, V)]) -> Vec<(u64, V)> {
+    let mut out = records.to_vec();
+    if out.len() > 1 {
+        parlay::radix_sort::radix_sort_by_key(&mut out, 64, |r| r.0);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::verify::{is_permutation_of, is_semisorted_by};
+    use parlay::hash64;
+
+    fn check(records: &[(u64, u64)], cfg: &SemisortConfig) -> SemisortStats {
+        let (out, stats) = semisort_with_stats(records, cfg);
+        assert!(is_semisorted_by(&out, |r| r.0), "not semisorted");
+        assert!(is_permutation_of(&out, records), "not a permutation");
+        stats
+    }
+
+    #[test]
+    fn empty_and_tiny_inputs() {
+        let cfg = SemisortConfig::default();
+        check(&[], &cfg);
+        check(&[(hash64(1), 0)], &cfg);
+        let tiny: Vec<(u64, u64)> = (0..100u64).map(|i| (hash64(i % 5), i)).collect();
+        check(&tiny, &cfg);
+    }
+
+    #[test]
+    fn uniform_all_light() {
+        let cfg = SemisortConfig::default();
+        let recs: Vec<(u64, u64)> = (0..100_000u64).map(|i| (hash64(i), i)).collect();
+        let stats = check(&recs, &cfg);
+        assert_eq!(stats.heavy_records, 0, "all-distinct keys are never heavy");
+        assert_eq!(stats.retries, 0);
+    }
+
+    #[test]
+    fn few_keys_all_heavy() {
+        let cfg = SemisortConfig::default();
+        let recs: Vec<(u64, u64)> = (0..100_000u64).map(|i| (hash64(i % 4), i)).collect();
+        let stats = check(&recs, &cfg);
+        assert_eq!(stats.heavy_keys, 4);
+        assert!(stats.heavy_fraction_pct() > 99.9);
+    }
+
+    #[test]
+    fn mixed_heavy_light() {
+        let cfg = SemisortConfig::default();
+        let recs: Vec<(u64, u64)> = (0..150_000u64)
+            .map(|i| {
+                let k = if i % 2 == 0 { i % 10 } else { 1_000_000 + i };
+                (hash64(k), i)
+            })
+            .collect();
+        let stats = check(&recs, &cfg);
+        // Even i with key i % 10 gives 5 hot keys: {0, 2, 4, 6, 8}.
+        assert_eq!(stats.heavy_keys, 5, "the 5 hot keys should be heavy");
+        let pct = stats.heavy_fraction_pct();
+        assert!((45.0..55.0).contains(&pct), "≈50% heavy, got {pct:.1}%");
+    }
+
+    #[test]
+    fn space_is_linear() {
+        let cfg = SemisortConfig::default();
+        let recs: Vec<(u64, u64)> = (0..200_000u64).map(|i| (hash64(i), i)).collect();
+        let stats = check(&recs, &cfg);
+        assert!(
+            stats.space_blowup() < 8.0,
+            "Lemma 3.5 promises O(n) slots; blowup={:.2}",
+            stats.space_blowup()
+        );
+    }
+
+    #[test]
+    fn valid_at_any_thread_count() {
+        // CAS races make the exact permutation scheduling-dependent (as in
+        // the paper's C++ code); what must hold at every thread count is
+        // semisortedness + permutation.
+        let cfg = SemisortConfig::default();
+        let recs: Vec<(u64, u64)> = (0..60_000u64).map(|i| (hash64(i % 1000), i)).collect();
+        for threads in [1usize, 2, 4] {
+            let out = parlay::with_threads(threads, || semisort_core(&recs, &cfg));
+            assert!(is_semisorted_by(&out, |r| r.0), "threads={threads}");
+            assert!(is_permutation_of(&out, &recs), "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn single_thread_runs_are_reproducible() {
+        // With one thread there are no CAS races, so seed ⇒ output exactly.
+        let cfg = SemisortConfig::default();
+        let recs: Vec<(u64, u64)> = (0..60_000u64).map(|i| (hash64(i % 1000), i)).collect();
+        let a = parlay::with_threads(1, || semisort_core(&recs, &cfg));
+        let b = parlay::with_threads(1, || semisort_core(&recs, &cfg));
+        assert_eq!(a, b, "same seed + one thread must reproduce exactly");
+    }
+
+    #[test]
+    fn different_seeds_differ_but_both_valid() {
+        let recs: Vec<(u64, u64)> = (0..60_000u64).map(|i| (hash64(i % 50), i)).collect();
+        let a = semisort_core(&recs, &SemisortConfig::default().with_seed(1));
+        let b = semisort_core(&recs, &SemisortConfig::default().with_seed(2));
+        assert!(is_semisorted_by(&a, |r| r.0));
+        assert!(is_semisorted_by(&b, |r| r.0));
+        assert_ne!(a, b, "different seeds should shuffle differently");
+    }
+
+    #[test]
+    fn empty_sentinel_key_takes_fallback() {
+        let mut recs: Vec<(u64, u64)> = (0..50_000u64).map(|i| (hash64(i % 100), i)).collect();
+        recs[12_345].0 = EMPTY;
+        recs[23_456].0 = EMPTY;
+        let (out, _) = semisort_with_stats(&recs, &SemisortConfig::default());
+        assert!(is_semisorted_by(&out, |r| r.0));
+        assert!(is_permutation_of(&out, &recs));
+    }
+
+    #[test]
+    fn tight_alpha_retries_instead_of_failing() {
+        // α barely above 1 forces near-full buckets; the Las Vegas loop must
+        // still converge (by doubling α) and produce a valid semisort.
+        let cfg = SemisortConfig {
+            alpha: 1.01,
+            ..Default::default()
+        };
+        let recs: Vec<(u64, u64)> = (0..100_000u64).map(|i| (hash64(i), i)).collect();
+        check(&recs, &cfg);
+    }
+
+    #[test]
+    fn non_u64_payloads_work() {
+        #[derive(Clone, Copy, PartialEq, Debug, PartialOrd)]
+        struct Payload {
+            a: f32,
+            b: u32,
+        }
+        let recs: Vec<(u64, Payload)> = (0..50_000u32)
+            .map(|i| {
+                (
+                    hash64((i % 321) as u64),
+                    Payload {
+                        a: i as f32,
+                        b: i,
+                    },
+                )
+            })
+            .collect();
+        let out = semisort_core(&recs, &SemisortConfig::default());
+        assert_eq!(out.len(), recs.len());
+        assert!(is_semisorted_by(&out, |r| r.0));
+        let mut got: Vec<u32> = out.iter().map(|r| r.1.b).collect();
+        got.sort_unstable();
+        assert!(got.iter().enumerate().all(|(i, &b)| b == i as u32));
+    }
+
+    #[test]
+    fn all_equal_keys() {
+        let recs: Vec<(u64, u64)> = (0..80_000u64).map(|i| (hash64(7), i)).collect();
+        let stats = check(&recs, &SemisortConfig::default());
+        assert_eq!(stats.heavy_keys, 1);
+        assert_eq!(stats.heavy_records, recs.len());
+    }
+}

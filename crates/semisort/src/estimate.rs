@@ -1,0 +1,144 @@
+//! The high-probability size estimator `f(s)` of §3.1.
+//!
+//! Given a key set that appears `s` times in a `p`-sample of the input, how
+//! big must its bucket be so it overflows with probability at most `n^−c`?
+//! Lemma 3.2 answers:
+//!
+//! ```text
+//! f(s) = (s + c·ln n + sqrt(c²·ln²n + 2·s·c·ln n)) / p
+//! ```
+//!
+//! and Lemma 3.5 shows the estimates sum to `Θ(n)` in expectation, so the
+//! total allocated space stays linear. The implementation allocates
+//! `α·f(s)` slots rounded up to the next power of two (§4 Phase 2, α = 1.1,
+//! c = 1.25) — the power-of-two rounding also turns the scatter's modulo
+//! into a mask.
+
+/// The estimator `f(s)`: a bound on the number of input records for a key
+/// set with `s` sample occurrences, exceeded with probability ≤ `n^−c`.
+///
+/// `p` is the sampling probability, `ln_n` is `ln` of the input size.
+///
+/// ```
+/// use semisort::estimate::f_estimate;
+/// let ln_n = (100_000_000f64).ln();
+/// // 16 sample hits at p = 1/16 ⇒ ≈256 expected records; the w.h.p. bound
+/// // is necessarily larger, but within a small constant.
+/// let f = f_estimate(16, 1.0 / 16.0, 1.25, ln_n);
+/// assert!(f > 256.0 && f < 1500.0);
+/// ```
+#[inline]
+pub fn f_estimate(s: usize, p: f64, c: f64, ln_n: f64) -> f64 {
+    let s = s as f64;
+    let cl = c * ln_n;
+    (s + cl + (cl * cl + 2.0 * s * cl).sqrt()) / p
+}
+
+/// The bucket capacity actually allocated: `α·f(s)` rounded up to a power
+/// of two (never below 2 so a bucket can always absorb CAS retries).
+#[inline]
+pub fn bucket_capacity(s: usize, p: f64, c: f64, ln_n: f64, alpha: f64) -> usize {
+    let raw = (alpha * f_estimate(s, p, c, ln_n)).ceil() as usize;
+    raw.max(2).next_power_of_two()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const P: f64 = 1.0 / 16.0;
+    const C: f64 = 1.25;
+
+    fn ln_n(n: usize) -> f64 {
+        (n as f64).ln()
+    }
+
+    #[test]
+    fn f_is_monotone_in_s() {
+        let l = ln_n(100_000_000);
+        let mut prev = f_estimate(0, P, C, l);
+        for s in 1..1000 {
+            let cur = f_estimate(s, P, C, l);
+            assert!(cur > prev, "f must increase with s");
+            prev = cur;
+        }
+    }
+
+    #[test]
+    fn f_upper_bounds_the_naive_scaleup() {
+        // f(s) must exceed s/p — the point of the additive and sqrt terms.
+        let l = ln_n(1_000_000);
+        for s in 0..10_000 {
+            assert!(f_estimate(s, P, C, l) >= s as f64 / P);
+        }
+    }
+
+    #[test]
+    fn f_at_zero_is_positive() {
+        // Even an unsampled bucket gets Θ(log n / p) slack: records with
+        // unsampled keys still land somewhere.
+        let l = ln_n(1_000_000);
+        let f0 = f_estimate(0, P, C, l);
+        assert!(f0 >= 2.0 * C * l / P - 1e-9);
+        assert!(f0 <= 2.0 * C * l / P + 1e-9, "f(0) = 2c·ln n / p exactly");
+    }
+
+    #[test]
+    fn f_is_a_high_probability_bound_empirically() {
+        // Simulate Lemma 3.2: a key with true multiplicity ν = f(s) should
+        // yield more than s sample hits almost always. Equivalently, sample
+        // ν records at rate p many times; the observed s' should satisfy
+        // f(s') ≥ ν in the overwhelming majority of trials.
+        use parlay::random::Rng;
+        let n = 1_000_000usize;
+        let l = ln_n(n);
+        let rng = Rng::new(42);
+        let mut failures = 0;
+        let trials = 300;
+        for t in 0..trials {
+            let nu = 5_000usize; // true multiplicity
+            let stream = rng.fork(t);
+            let s_observed = (0..nu)
+                .filter(|&i| stream.at_f64(i as u64) < P)
+                .count();
+            if f_estimate(s_observed, P, C, l) < nu as f64 {
+                failures += 1;
+            }
+        }
+        // Lemma 3.2 promises failure probability ≤ n^−c ≈ 3e-8; allow a
+        // couple of failures for simulation noise anyway.
+        assert!(failures <= 1, "estimator failed {failures}/{trials} trials");
+    }
+
+    #[test]
+    fn expected_total_is_linear_lemma_3_5() {
+        // Σ f(s_i) over buckets should be O(n): simulate the bucket structure
+        // of a uniform input — n keys spread over R = n / log²n buckets.
+        let n = 1_000_000usize;
+        let l = ln_n(n);
+        let log2n = (n as f64).log2();
+        let r = (n as f64 / (log2n * log2n)) as usize; // ≈ 2500 buckets
+        let samples_per_bucket = ((n as f64 * P) / r as f64) as usize;
+        let total: f64 = (0..r)
+            .map(|_| f_estimate(samples_per_bucket, P, C, l))
+            .sum();
+        // Lemma 3.5: Θ(n). The constant is modest — check under 4n here.
+        assert!(total >= n as f64, "must cover the input");
+        assert!(total < 4.0 * n as f64, "total {total} should be O(n)");
+    }
+
+    #[test]
+    fn capacity_is_power_of_two_and_covers_estimate() {
+        let l = ln_n(100_000_000);
+        for s in [0usize, 1, 5, 16, 100, 10_000] {
+            let cap = bucket_capacity(s, P, C, l, 1.1);
+            assert!(cap.is_power_of_two());
+            assert!(cap as f64 >= 1.1 * f_estimate(s, P, C, l) - 1.0);
+        }
+    }
+
+    #[test]
+    fn capacity_minimum_is_two() {
+        assert!(bucket_capacity(0, 0.5, 0.01, 0.1, 1.01) >= 2);
+    }
+}

@@ -1,0 +1,60 @@
+//! A top-down parallel semisort.
+//!
+//! Rust reproduction of Gu, Shun, Sun and Blelloch, *A Top-Down Parallel
+//! Semisort*, SPAA 2015. **Semisorting** reorders an array of records so
+//! that records with equal keys are contiguous, without ordering distinct
+//! keys — the core of the MapReduce shuffle, database `GROUP BY`, and many
+//! parallel divide-and-conquer algorithms.
+//!
+//! The algorithm does `O(n)` expected work in `O(log n)` depth (w.h.p.):
+//! hash the keys, sort a ~`1/16` sample, classify keys as **heavy** (many
+//! duplicates) or **light**, allocate one bucket per heavy key and one per
+//! slice of the hash range for light keys (sizes from the high-probability
+//! estimator [`estimate::f_estimate`]), scatter every record into a random
+//! slot of its bucket with CAS + linear probing, locally sort the light
+//! buckets, and pack.
+//!
+//! # Quick start
+//!
+//! ```
+//! use semisort::{semisort_pairs, SemisortConfig};
+//!
+//! // (hashed key, payload) records; equal keys need not be adjacent.
+//! let records: Vec<(u64, u64)> = (0..1000u64)
+//!     .map(|i| (parlay::hash64(i % 10), i))
+//!     .collect();
+//! let out = semisort_pairs(&records, &SemisortConfig::default());
+//!
+//! // Every key now occupies one contiguous run.
+//! assert!(semisort::verify::is_semisorted_by(&out, |r| r.0));
+//! assert_eq!(out.len(), records.len());
+//! ```
+//!
+//! Higher-level entry points: [`api::semisort_by_key`] semisorts arbitrary
+//! hashable keys, [`api::group_by`] returns the groups as ranges, and
+//! [`api::reduce_by_key`] / [`api::count_by_key`] fold each group.
+
+#![warn(missing_docs)]
+
+pub mod analysis;
+pub mod api;
+pub mod bounded;
+pub mod buckets;
+pub mod config;
+pub mod driver;
+pub mod estimate;
+pub mod local_sort;
+pub mod pack_phase;
+pub mod sample;
+pub mod scatter;
+pub mod stats;
+pub mod verify;
+
+pub use api::{
+    count_by_key, group_by, reduce_by_key, semisort_by_key, semisort_in_place, semisort_pairs,
+    semisort_permutation, semisort_stable_by_key,
+};
+pub use bounded::{semisort_auto, semisort_bounded};
+pub use config::{LocalSortAlgo, ProbeStrategy, SemisortConfig};
+pub use driver::{semisort_core, semisort_with_stats};
+pub use stats::SemisortStats;

@@ -1,0 +1,94 @@
+//! Phase 1a: strided sampling.
+//!
+//! "When sampling, the i'th sample is randomly picked from the
+//! (⌈(i−1)/p⌉+1)'th to the ⌈i/p⌉'th record. Theoretically, for each key,
+//! the average number of samples using this sampling scheme is the same as
+//! the method that picks every sample independently." (§4 Phase 1.)
+//!
+//! With `p = 1/2^shift`, stride `w = 2^shift`: sample `i` is a uniformly
+//! random record from the i-th stride `[i·w, min((i+1)·w, n))`. One sample
+//! per stride gives exactly `⌈n/w⌉` samples with zero coordination.
+
+use parlay::random::Rng;
+use rayon::prelude::*;
+
+/// Draw the strided sample of `keys`: one uniformly random key per stride
+/// of `2^shift` records. Deterministic in `rng`.
+pub fn strided_sample(keys: &[u64], shift: u32, rng: Rng) -> Vec<u64> {
+    strided_sample_by(keys.len(), shift, rng, |i| keys[i])
+}
+
+/// Generalized strided sample over any indexed key accessor (lets the
+/// driver sample record keys without materializing a separate key array).
+pub fn strided_sample_by<F>(n: usize, shift: u32, rng: Rng, key_at: F) -> Vec<u64>
+where
+    F: Fn(usize) -> u64 + Send + Sync,
+{
+    let stride = 1usize << shift;
+    let count = n.div_ceil(stride);
+    (0..count)
+        .into_par_iter()
+        .with_min_len(2048)
+        .map(|i| {
+            let lo = i * stride;
+            let hi = ((i + 1) * stride).min(n);
+            let off = rng.at_bounded(i as u64, (hi - lo) as u64) as usize;
+            key_at(lo + off)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sample_count_is_ceil_n_over_stride() {
+        let keys: Vec<u64> = (0..1000).collect();
+        assert_eq!(strided_sample(&keys, 4, Rng::new(1)).len(), 63); // ⌈1000/16⌉
+        assert_eq!(strided_sample(&keys, 3, Rng::new(1)).len(), 125);
+        let keys17: Vec<u64> = (0..17).collect();
+        assert_eq!(strided_sample(&keys17, 4, Rng::new(1)).len(), 2);
+    }
+
+    #[test]
+    fn empty_input_empty_sample() {
+        assert!(strided_sample(&[], 4, Rng::new(0)).is_empty());
+    }
+
+    #[test]
+    fn each_sample_comes_from_its_stride() {
+        // Keys encode their index, so provenance is checkable.
+        let keys: Vec<u64> = (0..100_000).collect();
+        let s = strided_sample(&keys, 4, Rng::new(7));
+        for (i, &k) in s.iter().enumerate() {
+            let lo = (i * 16) as u64;
+            let hi = ((i + 1) * 16).min(keys.len()) as u64;
+            assert!((lo..hi).contains(&k), "sample {i} = {k} outside stride");
+        }
+    }
+
+    #[test]
+    fn deterministic_in_seed() {
+        let keys: Vec<u64> = (0..10_000).map(parlay::hash64).collect();
+        assert_eq!(
+            strided_sample(&keys, 4, Rng::new(3)),
+            strided_sample(&keys, 4, Rng::new(3))
+        );
+        assert_ne!(
+            strided_sample(&keys, 4, Rng::new(3)),
+            strided_sample(&keys, 4, Rng::new(4))
+        );
+    }
+
+    #[test]
+    fn per_key_sampling_rate_is_unbiased() {
+        // A key occupying x% of the input should occupy ≈x% of the sample.
+        let n = 320_000;
+        let keys: Vec<u64> = (0..n as u64).map(|i| if i % 4 == 0 { 1 } else { 2 }).collect();
+        let s = strided_sample(&keys, 4, Rng::new(11));
+        let ones = s.iter().filter(|&&k| k == 1).count() as f64;
+        let frac = ones / s.len() as f64;
+        assert!((frac - 0.25).abs() < 0.02, "frac={frac}");
+    }
+}

@@ -1,0 +1,367 @@
+//! Phase 3: scatter every record into a random slot of its bucket.
+//!
+//! "Every record is scattered to a random location in the array of its
+//! bucket … we perform the insertions using a compare-and-swap … On a
+//! failure, instead of picking another random location, a record tries the
+//! next location (linear probing). This gives better cache performance."
+//! (§4 Phase 3.) Expected `O(1)` probes per record; the largest probe
+//! cluster is `O(log n)` w.h.p., giving the `O(log n)` depth bound.
+//!
+//! A slot is one `AtomicU64` key plus an uninitialized value cell — 16
+//! bytes for the paper's `u64` payload, exactly the layout the C++ code
+//! CASes. A thread that wins the key CAS (EMPTY → key) owns the value
+//! cell; values are read only after the phase's fork-join barrier, so the
+//! plain value write never races.
+//!
+//! Keys may not equal the [`EMPTY`] sentinel; the driver screens for that
+//! (one parallel pass) and falls back to a sort-based semisort in the
+//! astronomically unlikely hit case, keeping the algorithm Las Vegas
+//! rather than silently wrong.
+
+use std::alloc::{alloc_zeroed, handle_alloc_error, Layout};
+use std::cell::UnsafeCell;
+use std::mem::MaybeUninit;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+
+use parlay::random::Rng;
+use rayon::prelude::*;
+
+use crate::buckets::BucketPlan;
+use crate::config::ProbeStrategy;
+
+/// Slot vacancy sentinel. Zero, so that a freshly `alloc_zeroed` arena is
+/// all-vacant with no initialization pass: the kernel hands back lazily
+/// zeroed pages and the first touch happens during the scatter itself —
+/// the same accounting as the paper's calloc'd C++ arrays, where "construct
+/// buckets" is ~1% and the scatter dominates. The driver screens inputs for
+/// this value (a `≈ n/2^64` event for hashed keys) and falls back to a
+/// sort-based semisort rather than silently merging keys.
+pub const EMPTY: u64 = 0;
+
+/// One scatter slot: CAS-arbitrated key + value owned by the CAS winner.
+pub struct Slot<V> {
+    /// The hashed key, or [`EMPTY`].
+    pub key: AtomicU64,
+    val: UnsafeCell<MaybeUninit<V>>,
+}
+
+// SAFETY: the value cell is written only by the unique CAS winner of the
+// slot and read only after the scatter barrier (see module docs).
+unsafe impl<V: Send> Send for Slot<V> {}
+unsafe impl<V: Send + Sync> Sync for Slot<V> {}
+
+impl<V> Slot<V> {
+    /// Whether this slot received a record.
+    #[inline(always)]
+    pub fn occupied(&self) -> bool {
+        self.key.load(Ordering::Relaxed) != EMPTY
+    }
+
+    /// The key, assuming occupancy was checked.
+    #[inline(always)]
+    pub fn key(&self) -> u64 {
+        self.key.load(Ordering::Relaxed)
+    }
+
+    /// Read the value of an occupied slot.
+    ///
+    /// # Safety
+    ///
+    /// The slot must be occupied and all scatter writers must have joined.
+    #[inline(always)]
+    pub unsafe fn value(&self) -> V
+    where
+        V: Copy,
+    {
+        unsafe { (*self.val.get()).assume_init() }
+    }
+
+    /// Overwrite this slot single-threadedly (used by the in-bucket
+    /// compaction passes of Phases 4–5, where one task owns a slot range).
+    #[inline(always)]
+    pub fn set(&self, key: u64, value: V) {
+        self.key.store(key, Ordering::Relaxed);
+        // SAFETY: single owner during compaction (caller contract).
+        unsafe { (*self.val.get()).write(value) };
+    }
+
+    /// Mark the slot empty (compaction tail cleanup).
+    #[inline(always)]
+    pub fn clear(&self) {
+        self.key.store(EMPTY, Ordering::Relaxed);
+    }
+}
+
+/// The slot array for one run, plus scatter telemetry.
+pub struct ScatterArena<V> {
+    /// All buckets' slots, heavy region first (see `BucketPlan`).
+    pub slots: Vec<Slot<V>>,
+}
+
+/// Outcome of a scatter pass.
+pub struct ScatterOutcome {
+    /// Records that routed to heavy buckets (drives the heavy-% stat).
+    pub heavy_records: usize,
+    /// A bucket filled up before all its records were placed — the
+    /// Corollary 3.4 failure; the driver must retry with fresh randomness
+    /// and more slack.
+    pub overflowed: bool,
+}
+
+/// Allocate the slot array (all vacant) for `plan`.
+///
+/// Uses `alloc_zeroed`: a zeroed `Slot<V>` is a valid vacant slot
+/// (`AtomicU64(0) == EMPTY`; the value cell is `MaybeUninit`), so the OS's
+/// lazily zeroed pages make allocation O(1) page-table work instead of an
+/// O(total_slots) initialization sweep.
+pub fn allocate_arena<V: Send + Sync>(plan: &BucketPlan) -> ScatterArena<V> {
+    let len = plan.total_slots;
+    if len == 0 {
+        return ScatterArena { slots: Vec::new() };
+    }
+    let layout = Layout::array::<Slot<V>>(len).expect("arena layout overflow");
+    // SAFETY: all-zero bytes are a valid Slot<V> (see above); the pointer
+    // comes from the global allocator with exactly the layout Vec expects.
+    let slots = unsafe {
+        let ptr = alloc_zeroed(layout) as *mut Slot<V>;
+        if ptr.is_null() {
+            handle_alloc_error(layout);
+        }
+        Vec::from_raw_parts(ptr, len, len)
+    };
+    ScatterArena { slots }
+}
+
+/// Scatter all records into the arena. Returns telemetry; on
+/// `overflowed == true` the arena contents are garbage and the caller must
+/// retry (the Las Vegas loop in the driver).
+pub fn scatter<V: Copy + Send + Sync>(
+    records: &[(u64, V)],
+    plan: &BucketPlan,
+    arena: &ScatterArena<V>,
+    strategy: ProbeStrategy,
+    rng: Rng,
+) -> ScatterOutcome {
+    let overflow = AtomicBool::new(false);
+    let heavy_records: usize = records
+        .par_iter()
+        .enumerate()
+        .with_min_len(4096)
+        .map(|(i, &(key, value))| {
+            if overflow.load(Ordering::Relaxed) {
+                return 0; // another task failed; stop doing useless work
+            }
+            let (bucket, is_heavy) = plan.bucket_of_tagged(key);
+            let b = bucket as usize;
+            let base = plan.bucket_offset[b];
+            let size = plan.bucket_size[b];
+            let mask = size - 1; // sizes are powers of two
+            let start = (rng.at(i as u64) as usize) & mask;
+            let placed = match strategy {
+                ProbeStrategy::Linear => {
+                    place_linear(&arena.slots[base..base + size], start, mask, key, value)
+                }
+                ProbeStrategy::Random => place_random(
+                    &arena.slots[base..base + size],
+                    mask,
+                    key,
+                    value,
+                    rng.fork(1),
+                    i as u64,
+                ),
+            };
+            if !placed {
+                overflow.store(true, Ordering::Relaxed);
+            }
+            is_heavy as usize
+        })
+        .sum();
+    ScatterOutcome {
+        heavy_records,
+        overflowed: overflow.load(Ordering::Relaxed),
+    }
+}
+
+/// CAS at `start`, then linear probing with wraparound. Fails only if the
+/// bucket is completely full.
+#[inline]
+fn place_linear<V: Copy>(
+    bucket: &[Slot<V>],
+    start: usize,
+    mask: usize,
+    key: u64,
+    value: V,
+) -> bool {
+    let mut i = start;
+    for _ in 0..bucket.len() {
+        let slot = &bucket[i];
+        if slot.key.load(Ordering::Relaxed) == EMPTY
+            && slot
+                .key
+                .compare_exchange(EMPTY, key, Ordering::AcqRel, Ordering::Relaxed)
+                .is_ok()
+        {
+            // SAFETY: we won the CAS; we are the unique writer of this cell.
+            unsafe { (*slot.val.get()).write(value) };
+            return true;
+        }
+        i = (i + 1) & mask;
+    }
+    false
+}
+
+/// The theoretical §3 strategy: a fresh random slot per attempt, giving a
+/// geometric success probability of ≥ 1 − 1/α per round. Bounded attempts,
+/// then a linear sweep as a completeness backstop.
+#[inline]
+fn place_random<V: Copy>(
+    bucket: &[Slot<V>],
+    mask: usize,
+    key: u64,
+    value: V,
+    rng: Rng,
+    record_id: u64,
+) -> bool {
+    let attempts = 8 * (usize::BITS - bucket.len().leading_zeros()) as usize + 16;
+    for t in 0..attempts {
+        let i = (rng.at(record_id.wrapping_mul(1 << 20).wrapping_add(t as u64)) as usize) & mask;
+        let slot = &bucket[i];
+        if slot.key.load(Ordering::Relaxed) == EMPTY
+            && slot
+                .key
+                .compare_exchange(EMPTY, key, Ordering::AcqRel, Ordering::Relaxed)
+                .is_ok()
+        {
+            // SAFETY: unique CAS winner.
+            unsafe { (*slot.val.get()).write(value) };
+            return true;
+        }
+    }
+    // Random probing ran out of luck; fall back to one deterministic sweep
+    // so "full bucket" is the only way to fail.
+    place_linear(bucket, 0, mask, key, value)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::buckets::build_plan;
+    use crate::config::SemisortConfig;
+    use parlay::hash64;
+
+    fn scatter_all(
+        records: &[(u64, u64)],
+        cfg: &SemisortConfig,
+        strategy: ProbeStrategy,
+    ) -> (BucketPlan, ScatterArena<u64>, ScatterOutcome) {
+        let keys: Vec<u64> = records.iter().map(|r| r.0).collect();
+        let mut sample = crate::sample::strided_sample(&keys, cfg.sample_shift, Rng::new(cfg.seed));
+        sample.sort_unstable();
+        let plan = build_plan(&sample, records.len(), cfg);
+        let arena = allocate_arena::<u64>(&plan);
+        let out = scatter(records, &plan, &arena, strategy, Rng::new(cfg.seed).fork(99));
+        (plan, arena, out)
+    }
+
+    fn collect_placed(arena: &ScatterArena<u64>) -> Vec<(u64, u64)> {
+        arena
+            .slots
+            .iter()
+            .filter(|s| s.occupied())
+            .map(|s| (s.key(), unsafe { s.value() }))
+            .collect()
+    }
+
+    #[test]
+    fn every_record_is_placed_exactly_once() {
+        let records: Vec<(u64, u64)> = (0..50_000u64).map(|i| (hash64(i % 777), i)).collect();
+        let cfg = SemisortConfig::default();
+        let (_, arena, out) = scatter_all(&records, &cfg, ProbeStrategy::Linear);
+        assert!(!out.overflowed);
+        let mut placed = collect_placed(&arena);
+        assert_eq!(placed.len(), records.len());
+        placed.sort_unstable_by_key(|r| r.1);
+        let mut want = records.clone();
+        want.sort_unstable_by_key(|r| r.1);
+        assert_eq!(placed, want);
+    }
+
+    #[test]
+    fn records_land_in_their_bucket_range() {
+        let records: Vec<(u64, u64)> = (0..30_000u64).map(|i| (hash64(i % 100), i)).collect();
+        let cfg = SemisortConfig::default();
+        let (plan, arena, out) = scatter_all(&records, &cfg, ProbeStrategy::Linear);
+        assert!(!out.overflowed);
+        for (i, slot) in arena.slots.iter().enumerate() {
+            if slot.occupied() {
+                let b = plan.bucket_of(slot.key()) as usize;
+                let lo = plan.bucket_offset[b];
+                let hi = lo + plan.bucket_size[b];
+                assert!(
+                    (lo..hi).contains(&i),
+                    "slot {i} outside bucket {b} range {lo}..{hi}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn heavy_count_matches_reality() {
+        // 80% of records share one key → that key is certainly heavy.
+        let records: Vec<(u64, u64)> = (0..40_000u64)
+            .map(|i| {
+                let k = if i % 5 != 0 { 7u64 } else { 1_000 + i };
+                (hash64(k), i)
+            })
+            .collect();
+        let cfg = SemisortConfig::default();
+        let (plan, _, out) = scatter_all(&records, &cfg, ProbeStrategy::Linear);
+        assert!(plan.num_heavy >= 1);
+        let expected_heavy = records
+            .iter()
+            .filter(|r| plan.heavy_table.contains(r.0))
+            .count();
+        assert_eq!(out.heavy_records, expected_heavy);
+        assert!(out.heavy_records >= records.len() * 7 / 10);
+    }
+
+    #[test]
+    fn random_probe_strategy_also_places_everything() {
+        let records: Vec<(u64, u64)> = (0..30_000u64).map(|i| (hash64(i % 555), i)).collect();
+        let cfg = SemisortConfig {
+            probe_strategy: ProbeStrategy::Random,
+            ..Default::default()
+        };
+        let (_, arena, out) = scatter_all(&records, &cfg, ProbeStrategy::Random);
+        assert!(!out.overflowed);
+        assert_eq!(collect_placed(&arena).len(), records.len());
+    }
+
+    #[test]
+    fn overflow_is_detected_not_hung() {
+        // Force overflow: a plan built from an empty sample (tiny bucket
+        // estimates) receiving far more records than slots.
+        let cfg = SemisortConfig::default();
+        let plan = build_plan(&[], 64, &cfg);
+        let arena = allocate_arena::<u64>(&plan);
+        let n_over = plan.total_slots + 1_000;
+        let records: Vec<(u64, u64)> = (0..n_over as u64).map(|i| (hash64(i), i)).collect();
+        let out = scatter(&records, &plan, &arena, ProbeStrategy::Linear, Rng::new(1));
+        assert!(out.overflowed, "must report overflow instead of spinning");
+    }
+
+    #[test]
+    fn full_bucket_single_slot_edge() {
+        let v: Vec<Slot<u64>> = (0..2)
+            .map(|_| Slot {
+                key: AtomicU64::new(EMPTY),
+                val: UnsafeCell::new(MaybeUninit::uninit()),
+            })
+            .collect();
+        assert!(place_linear(&v, 1, 1, 10, 100));
+        assert!(place_linear(&v, 1, 1, 11, 101));
+        assert!(!place_linear(&v, 0, 1, 12, 102), "full bucket must fail");
+        let got: Vec<u64> = v.iter().map(|s| s.key()).collect();
+        assert!(got.contains(&10) && got.contains(&11));
+    }
+}

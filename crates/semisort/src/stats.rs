@@ -1,0 +1,123 @@
+//! Per-phase instrumentation.
+//!
+//! The paper's Tables 2–3 and Figure 3 break the running time into five
+//! phases: "sample and sort", "construct buckets", "scatter", "local sort"
+//! and "pack". [`SemisortStats`] carries exactly that breakdown, plus the
+//! structural counters (sample size, heavy keys, slot usage, retries) that
+//! the consistency experiments in §5.2 report on.
+
+use std::time::Duration;
+
+/// Timing and structural telemetry for one semisort run.
+#[derive(Clone, Debug, Default)]
+pub struct SemisortStats {
+    /// Input size n.
+    pub n: usize,
+    /// Phase 1: sampling and sorting the sample.
+    pub t_sample_sort: Duration,
+    /// Phase 2: heavy/light classification and bucket allocation.
+    pub t_construct_buckets: Duration,
+    /// Phase 3: the CAS scatter.
+    pub t_scatter: Duration,
+    /// Phase 4: local sort of light buckets.
+    pub t_local_sort: Duration,
+    /// Phase 5: packing into the output.
+    pub t_pack: Duration,
+    /// Size of the sample |S|.
+    pub sample_size: usize,
+    /// Number of heavy keys (buckets).
+    pub heavy_keys: usize,
+    /// Number of light buckets after merging.
+    pub light_buckets: usize,
+    /// Records routed to heavy buckets.
+    pub heavy_records: usize,
+    /// Total slots allocated (Lemma 3.5 says the expected total is Θ(n)).
+    pub total_slots: usize,
+    /// Las Vegas restarts that were needed (almost always 0).
+    pub retries: u32,
+}
+
+impl SemisortStats {
+    /// Total wall time across the five phases.
+    pub fn total(&self) -> Duration {
+        self.t_sample_sort
+            + self.t_construct_buckets
+            + self.t_scatter
+            + self.t_local_sort
+            + self.t_pack
+    }
+
+    /// Percentage of input records routed to heavy buckets — the
+    /// "% Heavy key records" row of Table 1 / Figure 1.
+    pub fn heavy_fraction_pct(&self) -> f64 {
+        if self.n == 0 {
+            0.0
+        } else {
+            100.0 * self.heavy_records as f64 / self.n as f64
+        }
+    }
+
+    /// Slot-array blowup factor (allocated slots / n); Lemma 3.5 bounds its
+    /// expectation by a constant.
+    pub fn space_blowup(&self) -> f64 {
+        if self.n == 0 {
+            0.0
+        } else {
+            self.total_slots as f64 / self.n as f64
+        }
+    }
+
+    /// The five phase durations with their paper-table labels, in table order.
+    pub fn phases(&self) -> [(&'static str, Duration); 5] {
+        [
+            ("sample and sort", self.t_sample_sort),
+            ("construct buckets", self.t_construct_buckets),
+            ("scatter", self.t_scatter),
+            ("local sort", self.t_local_sort),
+            ("pack", self.t_pack),
+        ]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn total_sums_phases() {
+        let s = SemisortStats {
+            t_sample_sort: Duration::from_millis(1),
+            t_construct_buckets: Duration::from_millis(2),
+            t_scatter: Duration::from_millis(3),
+            t_local_sort: Duration::from_millis(4),
+            t_pack: Duration::from_millis(5),
+            ..Default::default()
+        };
+        assert_eq!(s.total(), Duration::from_millis(15));
+    }
+
+    #[test]
+    fn heavy_fraction_edge_cases() {
+        let mut s = SemisortStats::default();
+        assert_eq!(s.heavy_fraction_pct(), 0.0);
+        s.n = 200;
+        s.heavy_records = 50;
+        assert!((s.heavy_fraction_pct() - 25.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn phases_are_in_paper_order() {
+        let s = SemisortStats::default();
+        let names: Vec<&str> = s.phases().iter().map(|p| p.0).collect();
+        assert_eq!(
+            names,
+            vec![
+                "sample and sort",
+                "construct buckets",
+                "scatter",
+                "local sort",
+                "pack"
+            ]
+        );
+    }
+}

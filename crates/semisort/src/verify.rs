@@ -1,0 +1,112 @@
+//! Semisortedness checking — used by tests, examples, and the Las Vegas
+//! verification path.
+
+use std::collections::HashMap;
+use std::hash::Hash;
+
+/// True iff equal keys are contiguous: "the only records between two equal
+/// records are other equal records".
+///
+/// `O(n)` time and space (one hash map of first/last positions per key).
+///
+/// ```
+/// assert!(semisort::verify::is_semisorted_by(&[2, 2, 5, 1, 1], |&x| x));
+/// assert!(!semisort::verify::is_semisorted_by(&[2, 5, 2], |&x| x));
+/// ```
+pub fn is_semisorted_by<T, K: Eq + Hash, F: Fn(&T) -> K>(records: &[T], key: F) -> bool {
+    let mut last_seen: HashMap<K, usize> = HashMap::new();
+    for (i, r) in records.iter().enumerate() {
+        let k = key(r);
+        if let Some(&prev) = last_seen.get(&k) {
+            if prev != i - 1 {
+                return false; // the key's run was interrupted
+            }
+        }
+        last_seen.insert(k, i);
+    }
+    true
+}
+
+/// True iff `a` and `b` contain the same multiset of elements.
+pub fn is_permutation_of<T: Ord + Clone>(a: &[T], b: &[T]) -> bool {
+    if a.len() != b.len() {
+        return false;
+    }
+    let mut x = a.to_vec();
+    let mut y = b.to_vec();
+    x.sort_unstable();
+    y.sort_unstable();
+    x == y
+}
+
+/// The contiguous key runs of a semisorted array: `(key, start, len)` per
+/// distinct key, in output order. Panics in debug builds if the input is
+/// not semisorted.
+pub fn runs_by<T, K: Eq + Hash + Copy, F: Fn(&T) -> K>(records: &[T], key: F) -> Vec<(K, usize, usize)> {
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i < records.len() {
+        let k = key(&records[i]);
+        let start = i;
+        while i < records.len() && key(&records[i]) == k {
+            i += 1;
+        }
+        out.push((k, start, i - start));
+    }
+    debug_assert!(
+        {
+            let keys: Vec<K> = out.iter().map(|r| r.0).collect();
+            let distinct: std::collections::HashSet<_> = keys.iter().collect();
+            distinct.len() == keys.len()
+        },
+        "input was not semisorted: a key appears in two runs"
+    );
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn detects_semisorted() {
+        assert!(is_semisorted_by(&[3, 3, 1, 1, 1, 2], |&x| x));
+        assert!(is_semisorted_by(&[1, 2, 3], |&x| x));
+        assert!(is_semisorted_by::<i32, i32, _>(&[], |&x| x));
+        assert!(is_semisorted_by(&[7], |&x| x));
+    }
+
+    #[test]
+    fn detects_violations() {
+        assert!(!is_semisorted_by(&[1, 2, 1], |&x| x));
+        assert!(!is_semisorted_by(&[3, 3, 1, 3], |&x| x));
+    }
+
+    #[test]
+    fn sorted_is_semisorted() {
+        let v: Vec<u32> = (0..1000).map(|i| i / 10).collect();
+        assert!(is_semisorted_by(&v, |&x| x));
+    }
+
+    #[test]
+    fn permutation_check() {
+        assert!(is_permutation_of(&[1, 2, 2, 3], &[2, 3, 1, 2]));
+        assert!(!is_permutation_of(&[1, 2], &[1, 1]));
+        assert!(!is_permutation_of(&[1], &[1, 1]));
+    }
+
+    #[test]
+    fn runs_extraction() {
+        let r = runs_by(&[5, 5, 2, 9, 9, 9], |&x| x);
+        assert_eq!(r, vec![(5, 0, 2), (2, 2, 1), (9, 3, 3)]);
+    }
+
+    #[test]
+    fn runs_with_struct_key() {
+        let data = vec![("a", 1), ("a", 2), ("b", 3)];
+        let r = runs_by(&data, |x| x.0);
+        assert_eq!(r.len(), 2);
+        assert_eq!(r[0], ("a", 0, 2));
+        assert_eq!(r[1], ("b", 2, 1));
+    }
+}

@@ -1,0 +1,126 @@
+//! Input arrangements: the same key multiset, different memory orders.
+//!
+//! §5.1 fixes the *distribution* of keys; how duplicates are *arranged*
+//! also matters in practice (it changes what the strided sampler sees and
+//! how branch-predictable the scatter's routing is). These arrangements
+//! give the test matrix a second axis.
+
+use parlay::shuffle::random_shuffle;
+
+use crate::gen::Record;
+
+/// How records are laid out in the input array.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Arrangement {
+    /// As generated (i.i.d. draws — already random).
+    Random,
+    /// Sorted ascending by hashed key: equal keys form contiguous runs.
+    Sorted,
+    /// Sorted descending.
+    Reversed,
+    /// Equal keys clustered in runs, but runs in random order (the shape of
+    /// data that was grouped once and then appended from many sources).
+    ClusteredRuns,
+}
+
+impl Arrangement {
+    /// All arrangements, for test matrices.
+    pub fn all() -> [Arrangement; 4] {
+        [
+            Arrangement::Random,
+            Arrangement::Sorted,
+            Arrangement::Reversed,
+            Arrangement::ClusteredRuns,
+        ]
+    }
+
+    /// Apply this arrangement to `records` (keeps the multiset intact).
+    pub fn apply(&self, records: &mut Vec<Record>, seed: u64) {
+        match self {
+            Arrangement::Random => {}
+            Arrangement::Sorted => {
+                parlay::radix_sort::radix_sort_pairs(records);
+            }
+            Arrangement::Reversed => {
+                parlay::radix_sort::radix_sort_pairs(records);
+                records.reverse();
+            }
+            Arrangement::ClusteredRuns => {
+                parlay::radix_sort::radix_sort_pairs(records);
+                // Identify key runs, then emit the runs in shuffled order.
+                let n = records.len();
+                if n == 0 {
+                    return;
+                }
+                let starts: Vec<usize> =
+                    parlay::pack_index(n, |i| i == 0 || records[i].0 != records[i - 1].0);
+                let mut run_ids: Vec<u64> = (0..starts.len() as u64).collect();
+                random_shuffle(&mut run_ids, seed);
+                let mut out = Vec::with_capacity(n);
+                for &r in &run_ids {
+                    let r = r as usize;
+                    let lo = starts[r];
+                    let hi = if r + 1 < starts.len() { starts[r + 1] } else { n };
+                    out.extend_from_slice(&records[lo..hi]);
+                }
+                *records = out;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::distributions::Distribution;
+    use crate::gen::generate;
+
+    fn multiset(records: &[Record]) -> Vec<Record> {
+        let mut v = records.to_vec();
+        v.sort_unstable();
+        v
+    }
+
+    #[test]
+    fn all_arrangements_preserve_the_multiset() {
+        let base = generate(Distribution::Zipfian { m: 500 }, 20_000, 3);
+        let want = multiset(&base);
+        for arr in Arrangement::all() {
+            let mut v = base.clone();
+            arr.apply(&mut v, 7);
+            assert_eq!(multiset(&v), want, "{arr:?} changed the multiset");
+        }
+    }
+
+    #[test]
+    fn sorted_is_sorted_and_reversed_is_reversed() {
+        let base = generate(Distribution::Uniform { n: 100 }, 10_000, 1);
+        let mut s = base.clone();
+        Arrangement::Sorted.apply(&mut s, 0);
+        assert!(s.windows(2).all(|w| w[0].0 <= w[1].0));
+        let mut r = base.clone();
+        Arrangement::Reversed.apply(&mut r, 0);
+        assert!(r.windows(2).all(|w| w[0].0 >= w[1].0));
+    }
+
+    #[test]
+    fn clustered_runs_keep_keys_contiguous() {
+        let base = generate(Distribution::Uniform { n: 50 }, 10_000, 2);
+        let mut c = base.clone();
+        Arrangement::ClusteredRuns.apply(&mut c, 5);
+        // Every key occupies one contiguous run (it IS a semisorted order).
+        let mut seen = std::collections::HashSet::new();
+        let mut prev = None;
+        for &(k, _) in &c {
+            if prev != Some(k) {
+                assert!(seen.insert(k), "key {k} split across runs");
+                prev = Some(k);
+            }
+        }
+        // But the run order differs from sorted order (with 50 runs the
+        // shuffle fixes that with overwhelming probability).
+        let mut s = base.clone();
+        Arrangement::Sorted.apply(&mut s, 0);
+        assert_ne!(c, s, "clustered runs should not be globally sorted");
+    }
+}

@@ -1,0 +1,197 @@
+//! The three key distributions of §5.1.
+
+use parlay::random::Rng;
+
+/// Euler–Mascheroni constant, for the harmonic-number approximation.
+const EULER_GAMMA: f64 = 0.577_215_664_901_532_9;
+
+/// A key distribution with its parameter, as defined in §5.1 of the paper.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum Distribution {
+    /// Keys uniform over `[N]`: "each key will be chosen uniformly from the
+    /// range `[N]`. Hence, a smaller N will create more equal keys."
+    Uniform {
+        /// The range `[N]` keys are drawn from.
+        n: u64,
+    },
+    /// Keys `⌊X⌋` for `X ~ Exp(mean λ)`: "the parameter λ … represents the
+    /// mean of the distribution, and accordingly, the variance … is λ²."
+    Exponential {
+        /// The mean λ.
+        lambda: f64,
+    },
+    /// Zipfian over `[M]`: "the i-th number in this range has a probability
+    /// 1/(i·M̄) of being chosen, where M̄ = Σ 1/i is the normalizing factor."
+    Zipfian {
+        /// The range `[M]` keys are drawn from.
+        m: u64,
+    },
+}
+
+impl Distribution {
+    /// Draw the i-th raw (un-hashed) key of stream `rng`.
+    ///
+    /// Pure in `(rng, i)`, so generation parallelizes and reproduces exactly.
+    pub fn draw(&self, rng: Rng, i: u64) -> u64 {
+        match *self {
+            Distribution::Uniform { n } => rng.at_bounded(i, n.max(1)),
+            Distribution::Exponential { lambda } => {
+                // Inverse CDF: X = −λ·ln(1−U). Clamp U away from 1.
+                let u = rng.at_f64(i).min(1.0 - 1e-12);
+                (-lambda * (1.0 - u).ln()).floor() as u64
+            }
+            Distribution::Zipfian { m } => zipf_inverse_cdf(rng.at_f64(i), m),
+        }
+    }
+
+    /// Human-readable label, e.g. `exp(1e5)` — used in harness output.
+    pub fn label(&self) -> String {
+        match *self {
+            Distribution::Uniform { n } => format!("uniform({})", fmt_param(n)),
+            Distribution::Exponential { lambda } => {
+                format!("exp({})", fmt_param(lambda as u64))
+            }
+            Distribution::Zipfian { m } => format!("zipf({})", fmt_param(m)),
+        }
+    }
+}
+
+fn fmt_param(v: u64) -> String {
+    if v >= 1_000_000 && v % 1_000_000 == 0 {
+        format!("{}M", v / 1_000_000)
+    } else if v >= 1_000 && v % 1_000 == 0 {
+        format!("{}K", v / 1_000)
+    } else {
+        v.to_string()
+    }
+}
+
+/// H_i, the i-th harmonic number. Exact summation below 64 terms, then the
+/// asymptotic expansion `ln i + γ + 1/(2i) − 1/(12i²)` (error < 1e-9).
+fn harmonic(i: u64) -> f64 {
+    debug_assert!(i >= 1);
+    if i <= 64 {
+        (1..=i).map(|k| 1.0 / k as f64).sum()
+    } else {
+        let x = i as f64;
+        x.ln() + EULER_GAMMA + 1.0 / (2.0 * x) - 1.0 / (12.0 * x * x)
+    }
+}
+
+/// Inverse-CDF sample of the Zipf(1) distribution over `[1, m]`, returned
+/// 0-based (`0..m`): the smallest `i` with `H_i ≥ u·H_m`, found by binary
+/// search over the monotone `harmonic` function. `O(log m)` per draw.
+fn zipf_inverse_cdf(u: f64, m: u64) -> u64 {
+    let m = m.max(1);
+    let target = u * harmonic(m);
+    let (mut lo, mut hi) = (1u64, m);
+    while lo < hi {
+        let mid = lo + (hi - lo) / 2;
+        if harmonic(mid) < target {
+            lo = mid + 1;
+        } else {
+            hi = mid;
+        }
+    }
+    lo - 1
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform_stays_in_range() {
+        let d = Distribution::Uniform { n: 100 };
+        let rng = Rng::new(1);
+        assert!((0..10_000).all(|i| d.draw(rng, i) < 100));
+    }
+
+    #[test]
+    fn uniform_n1_all_equal() {
+        let d = Distribution::Uniform { n: 1 };
+        let rng = Rng::new(2);
+        assert!((0..1000).all(|i| d.draw(rng, i) == 0));
+    }
+
+    #[test]
+    fn exponential_mean_close_to_lambda() {
+        let d = Distribution::Exponential { lambda: 1000.0 };
+        let rng = Rng::new(3);
+        let n = 100_000u64;
+        let mean = (0..n).map(|i| d.draw(rng, i) as f64).sum::<f64>() / n as f64;
+        // floor() biases the mean down by ~0.5; allow 2% tolerance.
+        assert!((mean - 1000.0).abs() < 20.0, "mean={mean}");
+    }
+
+    #[test]
+    fn exponential_head_is_heavy() {
+        // For Exp(mean λ), P[X < λ] = 1 − e^{−1} ≈ 0.632.
+        let d = Distribution::Exponential { lambda: 500.0 };
+        let rng = Rng::new(4);
+        let n = 100_000u64;
+        let below = (0..n).filter(|&i| (d.draw(rng, i) as f64) < 500.0).count();
+        let frac = below as f64 / n as f64;
+        assert!((frac - 0.632).abs() < 0.01, "frac={frac}");
+    }
+
+    #[test]
+    fn harmonic_matches_exact_small_and_crosses_smoothly() {
+        let exact: f64 = (1..=100u64).map(|k| 1.0 / k as f64).sum();
+        assert!((harmonic(100) - exact).abs() < 1e-9);
+        // Continuity across the 64-term switch.
+        assert!(harmonic(65) > harmonic(64));
+        assert!((harmonic(64) + 1.0 / 65.0 - harmonic(65)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn zipf_rank1_frequency_matches_theory() {
+        // P[key 0] = 1/H_M.
+        let m = 10_000u64;
+        let d = Distribution::Zipfian { m };
+        let rng = Rng::new(5);
+        let n = 200_000u64;
+        let hits = (0..n).filter(|&i| d.draw(rng, i) == 0).count();
+        let expect = n as f64 / harmonic(m);
+        let got = hits as f64;
+        assert!(
+            (got - expect).abs() < 0.1 * expect + 50.0,
+            "got={got} expect={expect}"
+        );
+    }
+
+    #[test]
+    fn zipf_stays_in_range() {
+        let d = Distribution::Zipfian { m: 1000 };
+        let rng = Rng::new(6);
+        assert!((0..50_000).all(|i| d.draw(rng, i) < 1000));
+    }
+
+    #[test]
+    fn zipf_is_monotone_decreasing_in_rank() {
+        let m = 1000u64;
+        let d = Distribution::Zipfian { m };
+        let rng = Rng::new(7);
+        let n = 500_000u64;
+        let mut counts = vec![0u32; 8];
+        for i in 0..n {
+            let k = d.draw(rng, i);
+            if k < 8 {
+                counts[k as usize] += 1;
+            }
+        }
+        for w in counts.windows(2) {
+            assert!(w[0] > w[1], "rank frequencies must decrease: {counts:?}");
+        }
+    }
+
+    #[test]
+    fn labels_are_compact() {
+        assert_eq!(Distribution::Uniform { n: 100_000 }.label(), "uniform(100K)");
+        assert_eq!(
+            Distribution::Exponential { lambda: 1_000_000.0 }.label(),
+            "exp(1M)"
+        );
+        assert_eq!(Distribution::Zipfian { m: 10 }.label(), "zipf(10)");
+    }
+}

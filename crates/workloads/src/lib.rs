@@ -1,0 +1,31 @@
+//! Input workloads from the paper's evaluation (§5.1).
+//!
+//! "All of our experiments use an 8-byte (64-bit) hash value along with
+//! 8-byte payload (16 bytes total per record)." Records here are
+//! `(u64, u64)` tuples: hashed key + payload. The payload is the record's
+//! original index, which doubles as a permutation witness in tests.
+//!
+//! Three distribution classes, each with one parameter:
+//!
+//! - **Uniform(N)** — keys drawn uniformly from `[N]`; smaller `N` means
+//!   more duplicates.
+//! - **Exponential(λ)** — keys are `⌊Exp(mean λ)⌋`; the head values repeat
+//!   heavily, the tail is sparse.
+//! - **Zipfian(M)** — key `i ∈ [1, M]` with probability `1/(i·H_M)`.
+//!
+//! Keys are drawn from the raw distribution and then pushed through the
+//! bijective [`parlay::hash64`], matching the paper's "keys have been
+//! pre-hashed" setup: the *duplicate structure* comes from the
+//! distribution, the *bit pattern* is uniform.
+
+#![warn(missing_docs)]
+
+pub mod arrangement;
+pub mod distributions;
+pub mod gen;
+pub mod paper;
+
+pub use arrangement::Arrangement;
+pub use distributions::Distribution;
+pub use gen::{generate, generate_keys, Record};
+pub use paper::{paper_distributions, representative_distributions, PaperDist};

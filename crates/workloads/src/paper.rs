@@ -1,0 +1,103 @@
+//! The named experiment inputs of §5.
+//!
+//! Table 1 / Figure 1 use 17 distributions; §5.3–5.5 use two representative
+//! ones: "the uniform distribution with parameter N = n (input size), and
+//! the exponential distribution with parameter λ = n/10³", chosen because
+//! "the first one contains only light keys, and the second distribution
+//! contains about 30% light keys and 70% heavy keys".
+
+use crate::distributions::Distribution;
+
+/// One of the paper's named experimental inputs.
+#[derive(Clone, Copy, Debug)]
+pub struct PaperDist {
+    /// The distribution and parameter.
+    pub dist: Distribution,
+    /// The "% Heavy key records" row of Table 1 (measured on n = 10⁸), for
+    /// cross-checking our own measured heavy fractions.
+    pub paper_heavy_pct: f64,
+}
+
+/// The 17 distributions of Table 1 / Figure 1, in table order.
+///
+/// Parameters are absolute (the paper ran them at n = 10⁸); at smaller n the
+/// duplicate structure shifts accordingly, which EXPERIMENTS.md discusses.
+pub fn paper_distributions() -> Vec<PaperDist> {
+    let exp = |lambda: f64, pct| PaperDist {
+        dist: Distribution::Exponential { lambda },
+        paper_heavy_pct: pct,
+    };
+    let uni = |n: u64, pct| PaperDist {
+        dist: Distribution::Uniform { n },
+        paper_heavy_pct: pct,
+    };
+    let zipf = |m: u64, pct| PaperDist {
+        dist: Distribution::Zipfian { m },
+        paper_heavy_pct: pct,
+    };
+    vec![
+        exp(100.0, 99.97),
+        exp(1_000.0, 99.7),
+        exp(10_000.0, 97.0),
+        exp(100_000.0, 73.0),
+        exp(300_000.0, 21.0),
+        exp(1_000_000.0, 0.0),
+        uni(10, 100.0),
+        uni(100_000, 100.0),
+        uni(320_000, 75.0),
+        uni(500_000, 13.0),
+        uni(1_000_000, 0.0),
+        uni(100_000_000, 0.0),
+        zipf(10_000, 100.0),
+        zipf(100_000, 90.0),
+        zipf(1_000_000, 74.0),
+        zipf(10_000_000, 62.0),
+        zipf(100_000_000, 54.0),
+    ]
+}
+
+/// The two representative §5.3–5.5 distributions for input size `n`:
+/// `(exponential(n/10³), uniform(n))`.
+pub fn representative_distributions(n: usize) -> (Distribution, Distribution) {
+    (
+        Distribution::Exponential {
+            lambda: n as f64 / 1_000.0,
+        },
+        Distribution::Uniform { n: n as u64 },
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn seventeen_distributions_in_table_order() {
+        let d = paper_distributions();
+        assert_eq!(d.len(), 17);
+        // 6 exponential, 6 uniform, 5 zipfian, grouped.
+        let is_exp = |p: &PaperDist| matches!(p.dist, Distribution::Exponential { .. });
+        let is_uni = |p: &PaperDist| matches!(p.dist, Distribution::Uniform { .. });
+        assert!(d[..6].iter().all(is_exp));
+        assert!(d[6..12].iter().all(is_uni));
+        assert!(d[12..]
+            .iter()
+            .all(|p| matches!(p.dist, Distribution::Zipfian { .. })));
+    }
+
+    #[test]
+    fn heavy_percentages_span_full_range() {
+        let d = paper_distributions();
+        let max = d.iter().map(|p| p.paper_heavy_pct).fold(0.0, f64::max);
+        let min = d.iter().map(|p| p.paper_heavy_pct).fold(100.0, f64::min);
+        assert_eq!(max, 100.0);
+        assert_eq!(min, 0.0);
+    }
+
+    #[test]
+    fn representative_matches_paper_rule() {
+        let (e, u) = representative_distributions(100_000_000);
+        assert_eq!(e, Distribution::Exponential { lambda: 100_000.0 });
+        assert_eq!(u, Distribution::Uniform { n: 100_000_000 });
+    }
+}

@@ -1,0 +1,75 @@
+//! Duplicate analysis with semisort — "collecting equal values".
+//!
+//! Valiant's original use of semisorting was collecting "memory operations
+//! to the same location … so they can be combined" (§1). The everyday
+//! version of that task: given a stream with duplicates, produce the
+//! distinct elements, their multiplicities, and a deduplicated stream that
+//! keeps first occurrences — all from one `group_by`.
+//!
+//! ```sh
+//! cargo run --release --example dedup
+//! ```
+
+use semisort::{group_by, semisort_stable_by_key, SemisortConfig};
+
+fn main() {
+    // A synthetic event stream: 400k events over ~20k distinct session ids,
+    // arrival order scrambled, frequencies Zipf-flavored.
+    let events: Vec<(u64, u32)> = (0..400_000u64)
+        .map(|i| {
+            let r = parlay::hash64(i);
+            let session = ((r % 400_000_000) as f64).sqrt() as u64; // skewed
+            (session, (r % 1000) as u32)
+        })
+        .collect();
+    println!("stream: {} events", events.len());
+
+    let cfg = SemisortConfig::default();
+    let t = std::time::Instant::now();
+    let groups = group_by(&events, |e| e.0, &cfg);
+    println!(
+        "grouped into {} distinct sessions in {:.0} ms",
+        groups.len(),
+        t.elapsed().as_secs_f64() * 1000.0
+    );
+
+    // Multiplicity histogram: how many sessions have k events?
+    let sizes = groups.sizes();
+    let max_mult = sizes.iter().copied().max().unwrap_or(0);
+    let mult_hist = parlay::histogram::histogram(&sizes, max_mult + 1);
+    println!("\nmultiplicity histogram (first 10 rows):");
+    for (k, &count) in mult_hist.iter().enumerate().skip(1).take(10) {
+        if count > 0 {
+            println!("  {count:>6} sessions appear {k} time(s)");
+        }
+    }
+    println!("  largest session: {max_mult} events");
+
+    // Deduplicated stream keeping *first* occurrences in arrival order:
+    // stable-semisort (session, arrival#) and take each group's head.
+    let tagged: Vec<(u64, usize)> = events.iter().enumerate().map(|(i, e)| (e.0, i)).collect();
+    let stable = semisort_stable_by_key(&tagged, |t| t.0, &cfg);
+    let mut firsts: Vec<(u64, usize)> = Vec::with_capacity(groups.len());
+    for (j, &rec) in stable.iter().enumerate() {
+        if j == 0 || stable[j - 1].0 != rec.0 {
+            firsts.push(rec);
+        }
+    }
+    println!("\ndeduplicated: {} first-occurrence events", firsts.len());
+
+    // Verify against a sequential HashSet dedup.
+    let mut seen = std::collections::HashSet::new();
+    let reference: Vec<(u64, usize)> = events
+        .iter()
+        .enumerate()
+        .filter(|(_, e)| seen.insert(e.0))
+        .map(|(i, e)| (e.0, i))
+        .collect();
+    assert_eq!(firsts.len(), reference.len());
+    let mut f = firsts.clone();
+    let mut r = reference.clone();
+    f.sort_unstable();
+    r.sort_unstable();
+    assert_eq!(f, r, "first-occurrence sets must agree");
+    println!("verified against sequential HashSet dedup ✓");
+}

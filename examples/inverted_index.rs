@@ -1,0 +1,110 @@
+//! Building an inverted index — the canonical MapReduce application.
+//!
+//! Map emits `(term, document)` postings; the shuffle groups postings by
+//! term; the reduce sorts each posting list. The shuffle is the semisort.
+//! This is the textbook workload the paper's MapReduce motivation (§1)
+//! refers to.
+//!
+//! ```sh
+//! cargo run --release --example inverted_index
+//! ```
+
+use rayon::prelude::*;
+use semisort::{group_by, SemisortConfig};
+
+/// Synthetic document collection: each document is a set of term ids with a
+/// skewed global term frequency (few common terms, long tail).
+fn synthesize_docs(num_docs: usize, terms_per_doc: usize) -> Vec<Vec<u32>> {
+    (0..num_docs)
+        .map(|d| {
+            (0..terms_per_doc)
+                .map(|t| {
+                    let r = parlay::hash64((d * terms_per_doc + t) as u64);
+                    // sqrt-skew over a 30k-term vocabulary.
+                    ((r % 900_000_000) as f64).sqrt() as u32
+                })
+                .collect()
+        })
+        .collect()
+}
+
+fn main() {
+    let docs = synthesize_docs(20_000, 40);
+    println!("collection: {} documents × {} terms", docs.len(), 40);
+
+    // Map: postings.
+    let postings: Vec<(u32, u32)> = docs
+        .par_iter()
+        .enumerate()
+        .flat_map_iter(|(d, terms)| terms.iter().map(move |&t| (t, d as u32)))
+        .collect();
+    println!("map: {} postings", postings.len());
+
+    // Shuffle: group postings by term.
+    let cfg = SemisortConfig::default();
+    let t0 = std::time::Instant::now();
+    let groups = group_by(&postings, |p| p.0, &cfg);
+    // Reduce: sorted, deduplicated posting list per term, in parallel.
+    let index: Vec<(u32, Vec<u32>)> = groups.par_map(|g| {
+        let term = g[0].0;
+        let mut list: Vec<u32> = g.iter().map(|p| p.1).collect();
+        list.sort_unstable();
+        list.dedup();
+        (term, list)
+    });
+    println!(
+        "shuffle+reduce: inverted index over {} terms in {:.0} ms",
+        index.len(),
+        t0.elapsed().as_secs_f64() * 1000.0
+    );
+
+    // Query: conjunctive AND of the three most common terms.
+    let mut by_df: Vec<&(u32, Vec<u32>)> = index.iter().collect();
+    by_df.sort_unstable_by_key(|e| std::cmp::Reverse(e.1.len()));
+    let top: Vec<&(u32, Vec<u32>)> = by_df.iter().take(3).copied().collect();
+    println!("\ntop terms by document frequency:");
+    for (term, list) in &top {
+        println!("  term {term}: {} documents", list.len());
+    }
+    let hits = intersect_sorted(&top[0].1, &intersect_sorted(&top[1].1, &top[2].1));
+    println!(
+        "AND({}, {}, {}) → {} documents",
+        top[0].0,
+        top[1].0,
+        top[2].0,
+        hits.len()
+    );
+
+    // Verify the index against a brute-force construction.
+    let mut reference: std::collections::HashMap<u32, std::collections::BTreeSet<u32>> =
+        Default::default();
+    for (d, terms) in docs.iter().enumerate() {
+        for &t in terms {
+            reference.entry(t).or_default().insert(d as u32);
+        }
+    }
+    assert_eq!(index.len(), reference.len());
+    for (term, list) in &index {
+        let want: Vec<u32> = reference[term].iter().copied().collect();
+        assert_eq!(list, &want, "posting list mismatch for term {term}");
+    }
+    println!("\nverified against brute-force index ✓");
+}
+
+/// Intersection of two sorted, deduplicated lists.
+fn intersect_sorted(a: &[u32], b: &[u32]) -> Vec<u32> {
+    let (mut i, mut j) = (0, 0);
+    let mut out = Vec::new();
+    while i < a.len() && j < b.len() {
+        match a[i].cmp(&b[j]) {
+            std::cmp::Ordering::Less => i += 1,
+            std::cmp::Ordering::Greater => j += 1,
+            std::cmp::Ordering::Equal => {
+                out.push(a[i]);
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+    out
+}

@@ -1,0 +1,51 @@
+//! Quickstart: semisort a small dataset and inspect the groups.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use semisort::{group_by, semisort_by_key, SemisortConfig};
+
+fn main() {
+    // A stream of (city, temperature) readings, cities interleaved.
+    let readings: Vec<(&str, i32)> = vec![
+        ("tokyo", 21),
+        ("oslo", 4),
+        ("tokyo", 23),
+        ("cairo", 35),
+        ("oslo", 2),
+        ("tokyo", 22),
+        ("cairo", 33),
+        ("oslo", 5),
+    ];
+
+    let cfg = SemisortConfig::default();
+
+    // Semisort: equal cities become contiguous (cities in no fixed order).
+    let grouped = semisort_by_key(&readings, |r| r.0, &cfg);
+    println!("semisorted: {grouped:?}");
+    assert!(semisort::verify::is_semisorted_by(&grouped, |r| r.0));
+
+    // group_by adds the group boundaries.
+    let groups = group_by(&readings, |r| r.0, &cfg);
+    println!("\n{} groups:", groups.len());
+    for g in groups.iter() {
+        let city = g[0].0;
+        let avg: f64 = g.iter().map(|r| r.1 as f64).sum::<f64>() / g.len() as f64;
+        println!("  {city:>6}: {} readings, avg {avg:.1}°C", g.len());
+    }
+
+    // The same machinery at scale: a million records, ~1000 distinct keys.
+    let big: Vec<(u64, u64)> = (0..1_000_000u64)
+        .map(|i| (parlay::hash64(i % 1000), i))
+        .collect();
+    let t = std::time::Instant::now();
+    let out = semisort::semisort_pairs(&big, &cfg);
+    println!(
+        "\nsemisorted 1M records ({} distinct keys) in {:.0} ms",
+        1000,
+        t.elapsed().as_secs_f64() * 1000.0
+    );
+    assert!(semisort::verify::is_semisorted_by(&out, |r| r.0));
+    println!("verified: equal keys are contiguous");
+}

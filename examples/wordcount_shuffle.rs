@@ -1,0 +1,81 @@
+//! MapReduce word count, with semisort as the shuffle.
+//!
+//! "In the popular MapReduce paradigm … the most expensive step is
+//! typically the so-called shuffle step, which collects the tuples with
+//! equal keys returned from the map stage together so the reducer can be
+//! applied to each group." (§1.) This example runs the classic word-count
+//! job: map emits (word, 1), the semisort-backed shuffle groups by word,
+//! and the reduce sums each group — then cross-checks against a HashMap.
+//!
+//! ```sh
+//! cargo run --release --example wordcount_shuffle
+//! ```
+
+use std::collections::HashMap;
+
+use rayon::prelude::*;
+use semisort::{reduce_by_key, SemisortConfig};
+
+/// A tiny deterministic "corpus": sentences assembled from a vocabulary
+/// with a skewed (rank-weighted) word frequency, like real text.
+fn synthesize_corpus(sentences: usize) -> Vec<String> {
+    const VOCAB: [&str; 24] = [
+        "the", "of", "and", "to", "in", "a", "is", "that", "for", "it", "was", "on", "are",
+        "with", "as", "his", "they", "be", "at", "one", "semisort", "parallel", "bucket",
+        "scatter",
+    ];
+    (0..sentences)
+        .map(|s| {
+            let words: Vec<&str> = (0..12)
+                .map(|w| {
+                    // Rank-skewed pick: sqrt of a uniform draw puts more
+                    // mass at high indices, so later vocabulary words repeat.
+                    let r = parlay::hash64((s * 12 + w) as u64);
+                    let idx = ((r % 576) as f64).sqrt() as usize; // 0..24, skewed high
+                    VOCAB[idx.min(VOCAB.len() - 1)]
+                })
+                .collect();
+            words.join(" ")
+        })
+        .collect()
+}
+
+fn main() {
+    let corpus = synthesize_corpus(50_000);
+    println!("corpus: {} sentences", corpus.len());
+
+    // Map: emit (word, 1) pairs, in parallel.
+    let pairs: Vec<(String, u64)> = corpus
+        .par_iter()
+        .flat_map_iter(|line| line.split_whitespace().map(|w| (w.to_string(), 1u64)))
+        .collect();
+    println!("map: {} (word, 1) tuples", pairs.len());
+
+    // Shuffle + reduce: group by word with the semisort, sum each group.
+    let cfg = SemisortConfig::default();
+    let t = std::time::Instant::now();
+    let mut counts = reduce_by_key(&pairs, |p| p.0.clone(), 0u64, |a, p| a + p.1, &cfg);
+    let elapsed = t.elapsed();
+    counts.sort_unstable_by(|a, b| b.1.cmp(&a.1));
+    println!(
+        "shuffle+reduce: {} distinct words in {:.0} ms",
+        counts.len(),
+        elapsed.as_secs_f64() * 1000.0
+    );
+
+    println!("\ntop 10 words:");
+    for (word, count) in counts.iter().take(10) {
+        println!("  {word:>10}  {count}");
+    }
+
+    // Cross-check against a sequential HashMap reduce.
+    let mut reference: HashMap<&str, u64> = HashMap::new();
+    for (w, c) in &pairs {
+        *reference.entry(w.as_str()).or_default() += c;
+    }
+    assert_eq!(counts.len(), reference.len());
+    for (word, count) in &counts {
+        assert_eq!(reference[word.as_str()], *count, "mismatch for {word}");
+    }
+    println!("\nverified against sequential HashMap reduce ✓");
+}

@@ -1,0 +1,236 @@
+//! `semisort-cli` — generate, semisort, and verify record files.
+//!
+//! Records are raw little-endian `(u64 key, u64 payload)` pairs (the
+//! paper's 16-byte format).
+//!
+//! ```sh
+//! semisort-cli generate --dist zipf:1000000 --n 5m --out data.bin
+//! semisort-cli sort     --input data.bin --out sorted.bin --algo semisort --stats
+//! semisort-cli verify   --input sorted.bin
+//! ```
+//!
+//! Algorithms: `semisort` (default), `radix`, `sample`, `stdsort`,
+//! `seq-hash`, `rr`.
+
+use std::fs::File;
+use std::io::{BufReader, BufWriter, Read, Write};
+use std::time::Instant;
+
+use semisort::{semisort_with_stats, SemisortConfig};
+use workloads::Distribution;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(cmd) = args.first() else {
+        usage_and_exit();
+    };
+    let flags = parse_flags(&args[1..]);
+    match cmd.as_str() {
+        "generate" => generate(&flags),
+        "sort" => sort(&flags),
+        "verify" => verify(&flags),
+        _ => usage_and_exit(),
+    }
+}
+
+fn usage_and_exit() -> ! {
+    eprintln!(
+        "usage:\n  semisort-cli generate --dist <uniform|exp|zipf>:<param> --n <count> --out <file> [--seed <u64>]\n  semisort-cli sort --input <file> --out <file> [--algo semisort|radix|sample|stdsort|seq-hash|rr] [--threads <k>] [--stats]\n  semisort-cli verify --input <file>"
+    );
+    std::process::exit(2);
+}
+
+struct Flags(Vec<(String, String)>);
+
+impl Flags {
+    fn get(&self, name: &str) -> Option<&str> {
+        self.0
+            .iter()
+            .find(|(k, _)| k == name)
+            .map(|(_, v)| v.as_str())
+    }
+    fn require(&self, name: &str) -> &str {
+        self.get(name).unwrap_or_else(|| {
+            eprintln!("missing required flag --{name}");
+            std::process::exit(2);
+        })
+    }
+    fn has(&self, name: &str) -> bool {
+        self.get(name).is_some()
+    }
+}
+
+fn parse_flags(args: &[String]) -> Flags {
+    let mut out = Vec::new();
+    let mut it = args.iter().peekable();
+    while let Some(a) = it.next() {
+        let Some(name) = a.strip_prefix("--") else {
+            eprintln!("unexpected argument {a}");
+            std::process::exit(2);
+        };
+        let value = match it.peek() {
+            Some(v) if !v.starts_with("--") => it.next().unwrap().clone(),
+            _ => "true".to_string(), // boolean flag
+        };
+        out.push((name.to_string(), value));
+    }
+    Flags(out)
+}
+
+fn parse_count(s: &str) -> usize {
+    let lower = s.to_ascii_lowercase();
+    let (head, mult) = match lower.chars().last() {
+        Some('k') => (&lower[..lower.len() - 1], 1_000f64),
+        Some('m') => (&lower[..lower.len() - 1], 1_000_000f64),
+        Some('g') => (&lower[..lower.len() - 1], 1_000_000_000f64),
+        _ => (lower.as_str(), 1f64),
+    };
+    (head.parse::<f64>().expect("bad count") * mult) as usize
+}
+
+fn parse_dist(s: &str) -> Distribution {
+    let (kind, param) = s.split_once(':').unwrap_or_else(|| {
+        eprintln!("--dist must look like uniform:1000000");
+        std::process::exit(2);
+    });
+    let p: f64 = param.parse().expect("bad distribution parameter");
+    match kind {
+        "uniform" => Distribution::Uniform { n: p as u64 },
+        "exp" | "exponential" => Distribution::Exponential { lambda: p },
+        "zipf" | "zipfian" => Distribution::Zipfian { m: p as u64 },
+        _ => {
+            eprintln!("unknown distribution {kind}");
+            std::process::exit(2);
+        }
+    }
+}
+
+fn read_records(path: &str) -> Vec<(u64, u64)> {
+    let f = File::open(path).unwrap_or_else(|e| {
+        eprintln!("cannot open {path}: {e}");
+        std::process::exit(1);
+    });
+    let mut r = BufReader::new(f);
+    let mut bytes = Vec::new();
+    r.read_to_end(&mut bytes).expect("read failed");
+    assert!(bytes.len() % 16 == 0, "file is not a whole number of 16-byte records");
+    bytes
+        .chunks_exact(16)
+        .map(|c| {
+            (
+                u64::from_le_bytes(c[..8].try_into().unwrap()),
+                u64::from_le_bytes(c[8..].try_into().unwrap()),
+            )
+        })
+        .collect()
+}
+
+fn write_records(path: &str, records: &[(u64, u64)]) {
+    let f = File::create(path).unwrap_or_else(|e| {
+        eprintln!("cannot create {path}: {e}");
+        std::process::exit(1);
+    });
+    let mut w = BufWriter::new(f);
+    for &(k, v) in records {
+        w.write_all(&k.to_le_bytes()).expect("write failed");
+        w.write_all(&v.to_le_bytes()).expect("write failed");
+    }
+    w.flush().expect("flush failed");
+}
+
+fn generate(flags: &Flags) {
+    let dist = parse_dist(flags.require("dist"));
+    let n = parse_count(flags.require("n"));
+    let seed: u64 = flags.get("seed").map_or(42, |s| s.parse().expect("bad seed"));
+    let out = flags.require("out");
+    let t = Instant::now();
+    let records = workloads::generate(dist, n, seed);
+    write_records(out, &records);
+    eprintln!(
+        "generated {} records of {} into {out} in {:.2}s",
+        n,
+        dist.label(),
+        t.elapsed().as_secs_f64()
+    );
+}
+
+fn sort(flags: &Flags) {
+    let input = flags.require("input");
+    let out_path = flags.require("out");
+    let algo = flags.get("algo").unwrap_or("semisort");
+    let records = read_records(input);
+    eprintln!("read {} records from {input}", records.len());
+
+    let run = || -> Vec<(u64, u64)> {
+        match algo {
+            "semisort" => {
+                let (out, stats) =
+                    semisort_with_stats(&records, &SemisortConfig::default());
+                if flags.has("stats") {
+                    for (name, d) in stats.phases() {
+                        eprintln!("  {name:<18} {:.4}s", d.as_secs_f64());
+                    }
+                    eprintln!(
+                        "  heavy keys {} | light buckets {} | %heavy {:.1} | slots/n {:.2} | retries {}",
+                        stats.heavy_keys,
+                        stats.light_buckets,
+                        stats.heavy_fraction_pct(),
+                        stats.space_blowup(),
+                        stats.retries
+                    );
+                }
+                out
+            }
+            "radix" => {
+                let mut v = records.clone();
+                parlay::radix_sort::radix_sort_pairs(&mut v);
+                v
+            }
+            "sample" => {
+                let mut v = records.clone();
+                parlay::sample_sort::sample_sort_pairs(&mut v);
+                v
+            }
+            "stdsort" => baselines::par_sort_semisort(&records),
+            "seq-hash" => baselines::seq_hash_semisort(&records),
+            "rr" => baselines::rr_semisort(&records).0,
+            _ => {
+                eprintln!("unknown algorithm {algo}");
+                std::process::exit(2);
+            }
+        }
+    };
+
+    let t = Instant::now();
+    let sorted = match flags.get("threads") {
+        Some(k) => parlay::with_threads(k.parse().expect("bad thread count"), run),
+        None => run(),
+    };
+    let dt = t.elapsed().as_secs_f64();
+    write_records(out_path, &sorted);
+    eprintln!(
+        "{algo}: {} records in {dt:.3}s ({:.1} Mrec/s) → {out_path}",
+        sorted.len(),
+        sorted.len() as f64 / dt / 1e6
+    );
+}
+
+fn verify(flags: &Flags) {
+    let input = flags.require("input");
+    let records = read_records(input);
+    let ok = semisort::verify::is_semisorted_by(&records, |r| r.0);
+    let distinct = {
+        let mut keys: Vec<u64> = records.iter().map(|r| r.0).collect();
+        keys.sort_unstable();
+        keys.dedup();
+        keys.len()
+    };
+    println!(
+        "{input}: {} records, {distinct} distinct keys — {}",
+        records.len(),
+        if ok { "SEMISORTED" } else { "NOT semisorted" }
+    );
+    if !ok {
+        std::process::exit(1);
+    }
+}

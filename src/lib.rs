@@ -1,0 +1,20 @@
+//! Umbrella crate for the SPAA 2015 "A Top-Down Parallel Semisort"
+//! reproduction.
+//!
+//! This crate hosts the runnable examples (`examples/`) and cross-crate
+//! integration tests (`tests/`). The actual library code lives in the
+//! workspace crates, re-exported here for convenience:
+//!
+//! - [`semisort`] — the paper's contribution: a top-down parallel semisort
+//!   with heavy/light key separation (Algorithm 1).
+//! - [`parlay`] — the PBBS-style parallel-primitives substrate (prefix sum,
+//!   pack, counting sort, radix sort, sample sort, concurrent hash table).
+//! - [`baselines`] — sequential semisorts and the comparison/scatter-pack
+//!   baselines from the paper's evaluation.
+//! - [`workloads`] — the uniform / exponential / Zipfian input generators
+//!   used throughout §5.
+
+pub use baselines;
+pub use parlay;
+pub use semisort;
+pub use workloads;

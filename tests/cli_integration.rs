@@ -1,0 +1,104 @@
+//! End-to-end tests of the `semisort-cli` binary: generate → sort → verify
+//! through the real file format, for every algorithm backend.
+
+use std::path::PathBuf;
+use std::process::Command;
+
+fn cli() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_semisort-cli"))
+}
+
+fn tmp(name: &str) -> PathBuf {
+    let mut p = std::env::temp_dir();
+    p.push(format!("semisort_cli_test_{}_{name}", std::process::id()));
+    p
+}
+
+#[test]
+fn generate_sort_verify_roundtrip_all_algorithms() {
+    let data = tmp("data.bin");
+    let status = cli()
+        .args(["generate", "--dist", "zipf:50000", "--n", "100k", "--out"])
+        .arg(&data)
+        .status()
+        .expect("run generate");
+    assert!(status.success());
+    assert_eq!(std::fs::metadata(&data).unwrap().len(), 100_000 * 16);
+
+    for algo in ["semisort", "radix", "sample", "stdsort", "seq-hash", "rr"] {
+        let sorted = tmp(&format!("sorted_{algo}.bin"));
+        let status = cli()
+            .args(["sort", "--algo", algo, "--input"])
+            .arg(&data)
+            .arg("--out")
+            .arg(&sorted)
+            .status()
+            .expect("run sort");
+        assert!(status.success(), "{algo} sort failed");
+
+        let out = cli()
+            .args(["verify", "--input"])
+            .arg(&sorted)
+            .output()
+            .expect("run verify");
+        assert!(out.status.success(), "{algo} output failed verification");
+        let text = String::from_utf8_lossy(&out.stdout);
+        assert!(text.contains("SEMISORTED"), "{algo}: {text}");
+        std::fs::remove_file(&sorted).ok();
+    }
+    std::fs::remove_file(&data).ok();
+}
+
+#[test]
+fn verify_rejects_unsorted_input() {
+    let data = tmp("unsorted.bin");
+    cli()
+        .args(["generate", "--dist", "uniform:100", "--n", "10k", "--out"])
+        .arg(&data)
+        .status()
+        .expect("run generate");
+    let out = cli()
+        .args(["verify", "--input"])
+        .arg(&data)
+        .output()
+        .expect("run verify");
+    assert!(
+        !out.status.success(),
+        "raw generated data should fail verification"
+    );
+    std::fs::remove_file(&data).ok();
+}
+
+#[test]
+fn sort_respects_thread_flag_and_stats() {
+    let data = tmp("threads.bin");
+    cli()
+        .args(["generate", "--dist", "exp:1000", "--n", "50k", "--out"])
+        .arg(&data)
+        .status()
+        .expect("generate");
+    let sorted = tmp("threads_sorted.bin");
+    let out = cli()
+        .args(["sort", "--threads", "2", "--stats", "--input"])
+        .arg(&data)
+        .arg("--out")
+        .arg(&sorted)
+        .output()
+        .expect("sort");
+    assert!(out.status.success());
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("scatter"), "stats should list phases: {err}");
+    std::fs::remove_file(&data).ok();
+    std::fs::remove_file(&sorted).ok();
+}
+
+#[test]
+fn bad_usage_exits_nonzero() {
+    assert!(!cli().status().expect("run").success());
+    assert!(!cli().args(["sort"]).status().expect("run").success());
+    assert!(!cli()
+        .args(["generate", "--dist", "nope:1", "--n", "1", "--out", "/tmp/x"])
+        .status()
+        .expect("run")
+        .success());
+}

@@ -1,0 +1,106 @@
+//! Cross-algorithm agreement: every semisort implementation in the
+//! workspace — the paper's parallel algorithm, the three sequential
+//! baselines, and the sort-based ones — must produce a semisorted
+//! permutation of the same input, on every §5.1 distribution.
+
+use baselines::{
+    par_sort_semisort, seq_hash_semisort, seq_open_semisort, seq_sort_semisort,
+    seq_two_phase_semisort,
+};
+use semisort::verify::{is_permutation_of, is_semisorted_by};
+use semisort::{semisort_pairs, SemisortConfig};
+use workloads::{generate, paper_distributions, Distribution};
+
+const N: usize = 30_000;
+
+fn all_algorithms() -> Vec<(&'static str, fn(&[(u64, u64)]) -> Vec<(u64, u64)>)> {
+    fn semi(r: &[(u64, u64)]) -> Vec<(u64, u64)> {
+        semisort_pairs(r, &SemisortConfig::default())
+    }
+    fn rr(r: &[(u64, u64)]) -> Vec<(u64, u64)> {
+        baselines::rr_semisort(r).0
+    }
+    vec![
+        ("parallel semisort", semi),
+        ("seq chained hash", seq_hash_semisort::<u64>),
+        ("seq open addressing", seq_open_semisort::<u64>),
+        ("seq two-phase", seq_two_phase_semisort::<u64>),
+        ("seq sort", seq_sort_semisort::<u64>),
+        ("par sort", par_sort_semisort::<u64>),
+        ("naming + RR integer sort", rr),
+    ]
+}
+
+#[test]
+fn all_algorithms_agree_on_all_17_paper_distributions() {
+    for pd in paper_distributions() {
+        let records = generate(pd.dist, N, 7);
+        for (name, algo) in all_algorithms() {
+            let out = algo(&records);
+            assert!(
+                is_semisorted_by(&out, |r| r.0),
+                "{name} output not semisorted on {}",
+                pd.dist.label()
+            );
+            assert!(
+                is_permutation_of(&out, &records),
+                "{name} output not a permutation on {}",
+                pd.dist.label()
+            );
+        }
+    }
+}
+
+#[test]
+fn group_multiset_identical_across_algorithms() {
+    // Beyond being valid semisorts, all algorithms must induce the *same*
+    // group structure: per key, the same payload multiset.
+    let records = generate(Distribution::Zipfian { m: 5_000 }, N, 13);
+    let reference = group_map(&seq_hash_semisort(&records));
+    for (name, algo) in all_algorithms() {
+        assert_eq!(
+            group_map(&algo(&records)),
+            reference,
+            "{name} grouped differently"
+        );
+    }
+}
+
+fn group_map(out: &[(u64, u64)]) -> std::collections::BTreeMap<u64, Vec<u64>> {
+    let mut m: std::collections::BTreeMap<u64, Vec<u64>> = Default::default();
+    for &(k, v) in out {
+        m.entry(k).or_default().push(v);
+    }
+    for v in m.values_mut() {
+        v.sort_unstable();
+    }
+    m
+}
+
+#[test]
+fn parallel_sorts_agree_with_std_sort() {
+    let records = generate(Distribution::Exponential { lambda: 300.0 }, N, 3);
+    let mut want = records.clone();
+    want.sort_unstable();
+
+    let mut radix = records.clone();
+    parlay::radix_sort::radix_sort_pairs(&mut radix);
+    let radix_keys: Vec<u64> = radix.iter().map(|r| r.0).collect();
+    let want_keys: Vec<u64> = want.iter().map(|r| r.0).collect();
+    assert_eq!(radix_keys, want_keys);
+
+    let mut sample = records.clone();
+    parlay::sample_sort::sample_sort_pairs(&mut sample);
+    let sample_keys: Vec<u64> = sample.iter().map(|r| r.0).collect();
+    assert_eq!(sample_keys, want_keys);
+}
+
+#[test]
+fn scatter_pack_baseline_is_a_permutation_on_every_distribution() {
+    for pd in paper_distributions().iter().take(6) {
+        let records = generate(pd.dist, N, 5);
+        let (out, timing) = baselines::scatter_and_pack(&records, 11);
+        assert!(is_permutation_of(&out, &records), "{}", pd.dist.label());
+        assert!(timing.total() >= timing.scatter);
+    }
+}

@@ -1,0 +1,129 @@
+//! Property-based tests of the semisort's core invariants.
+//!
+//! For *every* input, any configuration: the output is a permutation of the
+//! input and equal keys are contiguous. These are the two properties
+//! Algorithm 1's correctness argument establishes (§3).
+
+use proptest::prelude::*;
+use semisort::verify::{is_permutation_of, is_semisorted_by};
+use semisort::{semisort_pairs, LocalSortAlgo, ProbeStrategy, SemisortConfig};
+
+/// A config that exercises the parallel machinery even on small inputs.
+fn small_cfg() -> SemisortConfig {
+    SemisortConfig {
+        seq_threshold: 32,
+        ..Default::default()
+    }
+}
+
+fn arb_records(max_len: usize, key_space: u64) -> impl Strategy<Value = Vec<(u64, u64)>> {
+    prop::collection::vec((0..key_space, any::<u64>()), 0..max_len).prop_map(|v| {
+        v.into_iter()
+            .map(|(k, p)| (parlay::hash64(k), p))
+            .collect()
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn semisorted_and_permutation_small_keyspace(recs in arb_records(2000, 10)) {
+        let out = semisort_pairs(&recs, &small_cfg());
+        prop_assert!(is_semisorted_by(&out, |r| r.0));
+        prop_assert!(is_permutation_of(&out, &recs));
+    }
+
+    #[test]
+    fn semisorted_and_permutation_large_keyspace(recs in arb_records(2000, 1_000_000)) {
+        let out = semisort_pairs(&recs, &small_cfg());
+        prop_assert!(is_semisorted_by(&out, |r| r.0));
+        prop_assert!(is_permutation_of(&out, &recs));
+    }
+
+    #[test]
+    fn raw_unhashed_keys_still_work(recs in prop::collection::vec((any::<u64>(), any::<u64>()), 0..1500)) {
+        // The driver requires *uniform* keys only for its probabilistic size
+        // bounds; correctness must hold for adversarial (non-uniform) keys
+        // too, via retries if need be.
+        let out = semisort_pairs(&recs, &small_cfg());
+        prop_assert!(is_semisorted_by(&out, |r| r.0));
+        prop_assert!(is_permutation_of(&out, &recs));
+    }
+
+    #[test]
+    fn every_probe_strategy_and_local_sort(
+        recs in arb_records(1500, 50),
+        probe_linear in any::<bool>(),
+        algo_idx in 0usize..3,
+    ) {
+        let cfg = SemisortConfig {
+            seq_threshold: 32,
+            probe_strategy: if probe_linear { ProbeStrategy::Linear } else { ProbeStrategy::Random },
+            local_sort_algo: [LocalSortAlgo::StdUnstable, LocalSortAlgo::StdStable, LocalSortAlgo::Counting][algo_idx],
+            ..Default::default()
+        };
+        let out = semisort_pairs(&recs, &cfg);
+        prop_assert!(is_semisorted_by(&out, |r| r.0));
+        prop_assert!(is_permutation_of(&out, &recs));
+    }
+
+    #[test]
+    fn config_sweep_keeps_invariants(
+        recs in arb_records(1200, 30),
+        shift in 1u32..8,
+        delta in 2usize..40,
+        merge in any::<bool>(),
+    ) {
+        let cfg = SemisortConfig {
+            seq_threshold: 32,
+            sample_shift: shift,
+            heavy_threshold: delta,
+            merge_light_buckets: merge,
+            light_bucket_log2: 10,
+            ..Default::default()
+        };
+        let out = semisort_pairs(&recs, &cfg);
+        prop_assert!(is_semisorted_by(&out, |r| r.0));
+        prop_assert!(is_permutation_of(&out, &recs));
+    }
+
+    #[test]
+    fn sentinel_keys_are_handled(mut recs in arb_records(800, 20), pos in any::<prop::sample::Index>()) {
+        // Force the reserved sentinels into the input.
+        if !recs.is_empty() {
+            let len = recs.len();
+            let i = pos.index(len);
+            recs[i].0 = 0; // scatter EMPTY
+            recs[(i + 1) % len].0 = u64::MAX; // table EMPTY
+        }
+        let out = semisort_pairs(&recs, &small_cfg());
+        prop_assert!(is_semisorted_by(&out, |r| r.0));
+        prop_assert!(is_permutation_of(&out, &recs));
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn semisort_by_key_generic_strings(words in prop::collection::vec("[a-c]{1,3}", 0..800)) {
+        let out = semisort::semisort_by_key(&words, |w| w.clone(), &small_cfg());
+        prop_assert!(is_semisorted_by(&out, |w| w.clone()));
+        prop_assert!(is_permutation_of(&out, &words));
+    }
+
+    #[test]
+    fn group_by_groups_cover_input(keys in prop::collection::vec(0u32..50, 0..1000)) {
+        let groups = semisort::group_by(&keys, |&k| k, &small_cfg());
+        let mut total = 0usize;
+        let mut seen = std::collections::HashSet::new();
+        for g in groups.iter() {
+            prop_assert!(!g.is_empty());
+            prop_assert!(g.iter().all(|&k| k == g[0]));
+            prop_assert!(seen.insert(g[0]), "key {} appears in two groups", g[0]);
+            total += g.len();
+        }
+        prop_assert_eq!(total, keys.len());
+    }
+}
