@@ -34,7 +34,9 @@ mod tests {
 
     #[test]
     fn both_produce_sorted_output() {
-        let recs: Vec<(u64, u64)> = (0..60_000u64).map(|i| (parlay::hash64(i % 400), i)).collect();
+        let recs: Vec<(u64, u64)> = (0..60_000u64)
+            .map(|i| (parlay::hash64(i % 400), i))
+            .collect();
         for out in [seq_sort_semisort(&recs), par_sort_semisort(&recs)] {
             assert!(out.windows(2).all(|w| w[0].0 <= w[1].0));
             assert!(is_semisorted_by(&out, |r| r.0));
@@ -50,7 +52,9 @@ mod tests {
 
     #[test]
     fn seq_and_par_agree_on_keys() {
-        let recs: Vec<(u64, u64)> = (0..30_000u64).map(|i| (parlay::hash64(i % 77), i)).collect();
+        let recs: Vec<(u64, u64)> = (0..30_000u64)
+            .map(|i| (parlay::hash64(i % 77), i))
+            .collect();
         let a: Vec<u64> = seq_sort_semisort(&recs).iter().map(|r| r.0).collect();
         let b: Vec<u64> = par_sort_semisort(&recs).iter().map(|r| r.0).collect();
         assert_eq!(a, b);

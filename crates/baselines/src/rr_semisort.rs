@@ -42,10 +42,7 @@ pub fn rr_semisort(records: &[(u64, u64)]) -> (Vec<(u64, u64)>, RrSemisortTiming
     // The naming table reserves u64::MAX as its vacancy sentinel. Records
     // carrying that key (a ~n/2^64 event for hashed keys) are split off and
     // appended as their own group — never silently merged with another key.
-    if records
-        .par_iter()
-        .any(|r| r.0 == parlay::hash_table::EMPTY)
-    {
+    if records.par_iter().any(|r| r.0 == parlay::hash_table::EMPTY) {
         let main: Vec<(u64, u64)> = records
             .iter()
             .copied()
@@ -139,7 +136,9 @@ mod tests {
 
     #[test]
     fn sentinel_key_handled() {
-        let mut recs: Vec<(u64, u64)> = (0..30_000u64).map(|i| (parlay::hash64(i % 50), i)).collect();
+        let mut recs: Vec<(u64, u64)> = (0..30_000u64)
+            .map(|i| (parlay::hash64(i % 50), i))
+            .collect();
         recs[100].0 = u64::MAX;
         recs[200].0 = u64::MAX;
         let (out, _) = rr_semisort(&recs);

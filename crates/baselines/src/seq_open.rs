@@ -59,12 +59,17 @@ mod tests {
     #[test]
     fn groups_and_stays_stable() {
         let recs = vec![(7u64, 0u64), (3, 1), (7, 2), (3, 3)];
-        assert_eq!(seq_open_semisort(&recs), vec![(7, 0), (7, 2), (3, 1), (3, 3)]);
+        assert_eq!(
+            seq_open_semisort(&recs),
+            vec![(7, 0), (7, 2), (3, 1), (3, 3)]
+        );
     }
 
     #[test]
     fn large_mixed_input() {
-        let recs: Vec<(u64, u64)> = (0..40_000u64).map(|i| (parlay::hash64(i % 999), i)).collect();
+        let recs: Vec<(u64, u64)> = (0..40_000u64)
+            .map(|i| (parlay::hash64(i % 999), i))
+            .collect();
         let out = seq_open_semisort(&recs);
         assert!(is_semisorted_by(&out, |r| r.0));
         assert!(is_permutation_of(&out, &recs));
@@ -72,7 +77,9 @@ mod tests {
 
     #[test]
     fn agrees_with_other_sequential_baselines_as_multiset() {
-        let recs: Vec<(u64, u64)> = (0..20_000u64).map(|i| (parlay::hash64(i % 50), i)).collect();
+        let recs: Vec<(u64, u64)> = (0..20_000u64)
+            .map(|i| (parlay::hash64(i % 50), i))
+            .collect();
         let a = seq_open_semisort(&recs);
         let b = crate::seq_hash_semisort(&recs);
         let c = crate::seq_two_phase_semisort(&recs);

@@ -76,7 +76,9 @@ mod tests {
 
     #[test]
     fn groups_mixed_input() {
-        let recs: Vec<(u64, u64)> = (0..50_000u64).map(|i| (parlay::hash64(i % 333), i)).collect();
+        let recs: Vec<(u64, u64)> = (0..50_000u64)
+            .map(|i| (parlay::hash64(i % 333), i))
+            .collect();
         let out = seq_two_phase_semisort(&recs);
         assert!(is_semisorted_by(&out, |r| r.0));
         assert!(is_permutation_of(&out, &recs));

@@ -2,7 +2,7 @@
 //! harness binary, which prints a paper-style sweep table).
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
-use semisort::{semisort_pairs, LocalSortAlgo, ProbeStrategy, SemisortConfig};
+use semisort::{semisort_pairs, LocalSortAlgo, ProbeStrategy, ScatterStrategy, SemisortConfig};
 use workloads::{generate, Distribution};
 
 const N: usize = 500_000;
@@ -64,11 +64,54 @@ fn bench_ablation(c: &mut Criterion) {
                 ..base
             },
         ),
+        (
+            "blocked_scatter",
+            SemisortConfig {
+                scatter_strategy: ScatterStrategy::Blocked,
+                ..base
+            },
+        ),
+        (
+            "blocked_scatter_b64",
+            SemisortConfig {
+                scatter_strategy: ScatterStrategy::Blocked,
+                scatter_block: 64,
+                ..base
+            },
+        ),
     ];
     for (name, cfg) in variants {
         g.bench_with_input(BenchmarkId::from_parameter(name), &cfg, |b, cfg| {
             b.iter(|| semisort_pairs(&records, cfg))
         });
+    }
+    g.finish();
+}
+
+/// RandomCas vs Blocked on the three shapes that stress the scatter
+/// differently: all-light uniform, power-law (Zipfian), and all-equal.
+fn bench_scatter_strategies(c: &mut Criterion) {
+    let inputs = [
+        ("uniform", Distribution::Uniform { n: N as u64 }),
+        ("zipf", Distribution::Zipfian { m: 1_000_000 }),
+        ("all_equal", Distribution::Uniform { n: 1 }),
+    ];
+    let mut g = c.benchmark_group("scatter_strategy_500k");
+    g.throughput(Throughput::Elements(N as u64));
+    for (dist_name, dist) in inputs {
+        let records = generate(dist, N, 1);
+        for (strat_name, strategy) in [
+            ("random_cas", ScatterStrategy::RandomCas),
+            ("blocked", ScatterStrategy::Blocked),
+        ] {
+            let cfg = SemisortConfig {
+                scatter_strategy: strategy,
+                ..SemisortConfig::default()
+            };
+            g.bench_with_input(BenchmarkId::new(dist_name, strat_name), &cfg, |b, cfg| {
+                b.iter(|| semisort_pairs(&records, cfg))
+            });
+        }
     }
     g.finish();
 }
@@ -79,6 +122,6 @@ criterion_group! {
         .sample_size(10)
         .warm_up_time(std::time::Duration::from_millis(400))
         .measurement_time(std::time::Duration::from_millis(1500));
-    targets = bench_ablation
+    targets = bench_ablation, bench_scatter_strategies
 }
 criterion_main!(benches);

@@ -101,13 +101,13 @@ fn bench_reduce(c: &mut Criterion) {
 }
 
 fn bench_flatten(c: &mut Criterion) {
-    let nested: Vec<Vec<u64>> = (0..10_000u64)
-        .map(|i| (0..(i % 200)).collect())
-        .collect();
+    let nested: Vec<Vec<u64>> = (0..10_000u64).map(|i| (0..(i % 200)).collect()).collect();
     let total: u64 = nested.iter().map(|v| v.len() as u64).sum();
     let mut g = c.benchmark_group("flatten_ragged");
     g.throughput(Throughput::Elements(total));
-    g.bench_function("10k_lists", |b| b.iter(|| parlay::flatten::flatten(&nested)));
+    g.bench_function("10k_lists", |b| {
+        b.iter(|| parlay::flatten::flatten(&nested))
+    });
     g.finish();
 }
 

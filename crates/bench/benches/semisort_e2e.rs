@@ -1,9 +1,9 @@
 //! End-to-end semisort benches across distributions, against the
 //! sequential baselines and the scatter+pack floor.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
-use baselines::{seq_hash_semisort, seq_two_phase_semisort};
 use baselines::scatter_pack::scatter_and_pack;
+use baselines::{seq_hash_semisort, seq_two_phase_semisort};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use semisort::{semisort_pairs, SemisortConfig};
 use workloads::{generate, Distribution};
 
@@ -59,7 +59,9 @@ fn bench_semisort(c: &mut Criterion) {
 
 fn bench_api_level(c: &mut Criterion) {
     let cfg = SemisortConfig::default();
-    let items: Vec<(u32, u64)> = (0..N as u64).map(|i| (((i * 31) % 10_000) as u32, i)).collect();
+    let items: Vec<(u32, u64)> = (0..N as u64)
+        .map(|i| (((i * 31) % 10_000) as u32, i))
+        .collect();
     let mut g = c.benchmark_group("api_500k");
     g.throughput(Throughput::Elements(N as u64));
     g.bench_function("group_by", |b| {

@@ -24,7 +24,10 @@ fn inputs() -> Vec<(&'static str, Vec<(u64, u64)>)> {
                 1,
             ),
         ),
-        ("zipfian", generate(Distribution::Zipfian { m: 100_000 }, N, 1)),
+        (
+            "zipfian",
+            generate(Distribution::Zipfian { m: 100_000 }, N, 1),
+        ),
     ]
 }
 

@@ -3,6 +3,8 @@
 //! - light-bucket merging on/off (paper: merging is worth ≤10%);
 //! - linear probing vs fresh-random-slot probing in the scatter (paper:
 //!   linear probing chosen for cache performance);
+//! - the CAS scatter vs the block-buffered scatter (one fetch_add slab
+//!   reservation per block instead of one CAS per record);
 //! - the heavy threshold δ;
 //! - the sampling rate p = 1/2^shift;
 //! - the local sort algorithm (paper: the STL hybrid sort was chosen for
@@ -13,9 +15,9 @@ use bench::timing::time_avg;
 use bench::Args;
 use parlay::with_threads;
 use semisort::{
-    semisort_with_stats, LocalSortAlgo, ProbeStrategy, SemisortConfig,
+    semisort_with_stats, LocalSortAlgo, ProbeStrategy, ScatterStrategy, SemisortConfig,
 };
-use workloads::{generate, representative_distributions};
+use workloads::{generate, representative_distributions, Distribution};
 
 fn main() {
     let args = Args::parse();
@@ -64,6 +66,21 @@ fn main() {
                 ..base_cfg
             },
         );
+        run(
+            "blocked scatter",
+            SemisortConfig {
+                scatter_strategy: ScatterStrategy::Blocked,
+                ..base_cfg
+            },
+        );
+        run(
+            "blocked scatter, block = 64",
+            SemisortConfig {
+                scatter_strategy: ScatterStrategy::Blocked,
+                scatter_block: 64,
+                ..base_cfg
+            },
+        );
         for delta in [4usize, 8, 32, 64] {
             run(
                 &format!("δ = {delta}"),
@@ -99,6 +116,51 @@ fn main() {
         table.print();
         println!();
     }
+
+    // Head-to-head scatter comparison on the three shapes that stress it
+    // differently: all-light (uniform), skewed (Zipfian power law), and
+    // single-bucket (all keys equal).
+    println!("Scatter strategy (RandomCas vs Blocked), t_scatter isolated:");
+    let scatter_dists = [
+        Distribution::Uniform { n: args.n as u64 },
+        Distribution::Zipfian { m: 1_000_000 },
+        Distribution::Uniform { n: 1 }, // all keys equal
+    ];
+    let mut table = Table::new([
+        "input",
+        "strategy",
+        "total (s)",
+        "scatter (s)",
+        "blocks",
+        "slab ovf",
+        "fallback",
+    ]);
+    for dist in scatter_dists {
+        let records = generate(dist, args.n, args.seed);
+        for (name, strategy) in [
+            ("random-cas", ScatterStrategy::RandomCas),
+            ("blocked", ScatterStrategy::Blocked),
+        ] {
+            let cfg = SemisortConfig {
+                scatter_strategy: strategy,
+                ..SemisortConfig::default().with_seed(args.seed)
+            };
+            let (stats, t) = with_threads(threads, || {
+                time_avg(args.reps, || semisort_with_stats(&records, &cfg).1)
+            });
+            table.row([
+                dist.label(),
+                name.to_string(),
+                s3(t),
+                format!("{:.3}", stats.t_scatter.as_secs_f64()),
+                stats.blocks_flushed.to_string(),
+                stats.slab_overflows.to_string(),
+                stats.fallback_records.to_string(),
+            ]);
+        }
+    }
+    table.print();
+    println!();
     println!(
         "paper shape: merging saves ≤10%; linear probing beats random \
          probing; the defaults (p = 1/16, δ = 16) sit at the flat bottom of \

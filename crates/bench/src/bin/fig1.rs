@@ -24,7 +24,8 @@ fn main() {
         args.n, threads
     );
 
-    let classes: [(&str, fn(&Distribution) -> bool); 3] = [
+    type DistClass = fn(&Distribution) -> bool;
+    let classes: [(&str, DistClass); 3] = [
         ("(a) exponential", is_exp),
         ("(b) uniform", is_uni),
         ("(c) zipfian", is_zipf),

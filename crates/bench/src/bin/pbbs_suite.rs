@@ -22,7 +22,11 @@ fn main() {
         .into_iter()
         .map(|r| r.0)
         .collect();
-    let pairs: Vec<(u64, u64)> = keys.iter().enumerate().map(|(i, &k)| (k, i as u64)).collect();
+    let pairs: Vec<(u64, u64)> = keys
+        .iter()
+        .enumerate()
+        .map(|(i, &k)| (k, i as u64))
+        .collect();
     let counts: Vec<usize> = keys.iter().map(|&k| (k % 256) as usize).collect();
 
     let mut table = Table::new(["primitive", "time (s)", "Melem/s"]);
@@ -66,10 +70,7 @@ fn main() {
         v.len()
     });
     bench("RR integer sort (20-bit)", &|| {
-        let mut v: Vec<(u64, u64)> = pairs
-            .iter()
-            .map(|&(k, p)| (k & 0xF_FFFF, p))
-            .collect();
+        let mut v: Vec<(u64, u64)> = pairs.iter().map(|&(k, p)| (k & 0xF_FFFF, p)).collect();
         parlay::rr_sort::rr_sort_by_key(&mut v, 20, |r| r.0);
         v.len()
     });
@@ -88,7 +89,10 @@ fn main() {
         for &k in keys.iter().step_by(16) {
             t.insert(k | 1, 1);
         }
-        keys.iter().step_by(16).filter(|&&k| t.contains(k | 1)).count()
+        keys.iter()
+            .step_by(16)
+            .filter(|&&k| t.contains(k | 1))
+            .count()
     });
     bench("semisort (end to end)", &|| {
         semisort::semisort_pairs(&pairs, &semisort::SemisortConfig::default()).len()

@@ -8,10 +8,10 @@
 //! slower. The semisort avoids it by working directly on hash values
 //! top-down.
 
+use baselines::rr_semisort::rr_semisort;
 use bench::fmt::{s3, x2, Table};
 use bench::timing::time_avg;
 use bench::Args;
-use baselines::rr_semisort::rr_semisort;
 use parlay::with_threads;
 use semisort::{semisort_pairs, SemisortConfig};
 use workloads::{generate, paper_distributions, representative_distributions};
@@ -44,9 +44,7 @@ fn main() {
         let (_, t_semi) = with_threads(threads, || {
             time_avg(args.reps, || semisort_pairs(&records, &cfg).len())
         });
-        let (timing, _) = with_threads(threads, || {
-            time_avg(args.reps, || rr_semisort(&records).1)
-        });
+        let (timing, _) = with_threads(threads, || time_avg(args.reps, || rr_semisort(&records).1));
         let total = timing.naming + timing.sort;
         table.row([
             dist.label(),

@@ -7,12 +7,10 @@
 //! variants (open addressing with per-key chains, two-phase
 //! count-then-place) are "even less efficient".
 
+use baselines::{seq_hash_semisort, seq_open_semisort, seq_sort_semisort, seq_two_phase_semisort};
 use bench::fmt::{s3, x2, Table};
 use bench::timing::time_avg;
 use bench::Args;
-use baselines::{
-    seq_hash_semisort, seq_open_semisort, seq_sort_semisort, seq_two_phase_semisort,
-};
 use parlay::with_threads;
 use semisort::{semisort_pairs, SemisortConfig};
 use workloads::{generate, representative_distributions};

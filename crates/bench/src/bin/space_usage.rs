@@ -8,10 +8,10 @@
 //! ≈2× input (scratch + output); the sequential chained hash table ≈3×
 //! (directory + next-links + output).
 
+use baselines::{seq_hash_semisort, seq_two_phase_semisort};
 use bench::alloc_track::{measure_peak, TrackingAllocator};
 use bench::fmt::{x2, Table};
 use bench::Args;
-use baselines::{seq_hash_semisort, seq_two_phase_semisort};
 use semisort::{semisort_pairs, SemisortConfig};
 use workloads::{generate, representative_distributions, Distribution};
 
@@ -28,7 +28,11 @@ fn main() {
     );
 
     let (exp_dist, uni_dist) = representative_distributions(args.n);
-    for dist in [exp_dist, uni_dist, Distribution::Zipfian { m: args.n as u64 }] {
+    for dist in [
+        exp_dist,
+        uni_dist,
+        Distribution::Zipfian { m: args.n as u64 },
+    ] {
         println!("{}:", dist.label());
         let records = generate(dist, args.n, args.seed);
         let input_bytes = records.len() * 16;

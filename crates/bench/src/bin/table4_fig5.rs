@@ -7,10 +7,10 @@
 //! only 1.5–2× slower than a bare scatter + pack, with the gap closing as
 //! n grows.
 
+use baselines::scatter_pack::scatter_and_pack;
 use bench::fmt::{s3, x2, Table};
 use bench::timing::time_avg;
 use bench::Args;
-use baselines::scatter_pack::scatter_and_pack;
 use parlay::with_threads;
 use semisort::{semisort_pairs, SemisortConfig};
 use workloads::{generate, representative_distributions};

@@ -8,10 +8,10 @@
 //! rising while the O(n log n) sorts decline. Radix sort is slowest almost
 //! everywhere (64-bit keys need too many rounds).
 
+use baselines::comparison::{par_sort_semisort, seq_sort_semisort};
 use bench::fmt::{s3, x2, Table};
 use bench::timing::time_avg;
 use bench::Args;
-use baselines::comparison::{par_sort_semisort, seq_sort_semisort};
 use parlay::radix_sort::radix_sort_pairs;
 use parlay::sample_sort::sample_sort_pairs;
 use parlay::with_threads;
@@ -47,9 +47,8 @@ fn main() {
             let dist = pick.dist(n);
             let records = generate(dist, n, args.seed);
 
-            let run_seq = |f: &(dyn Fn() -> usize + Sync)| {
-                with_threads(1, || time_avg(args.reps, f)).1
-            };
+            let run_seq =
+                |f: &(dyn Fn() -> usize + Sync)| with_threads(1, || time_avg(args.reps, f)).1;
             let run_par = |f: &(dyn Fn() -> usize + Sync)| {
                 with_threads(par_threads, || time_avg(args.reps, f)).1
             };

@@ -17,14 +17,17 @@ fn main() {
 
     println!("Theorem 3.1: operation counts (no timing) across input sizes\n");
 
-    let dists: Vec<(&str, fn(usize) -> Distribution)> = vec![
+    type DistFor = fn(usize) -> Distribution;
+    let dists: Vec<(&str, DistFor)> = vec![
         ("uniform(n) — all light", |n| {
             representative_distributions(n).1
         }),
         ("exp(n/1000) — ~70% heavy", |n| {
             representative_distributions(n).0
         }),
-        ("zipf(n) — mixed", |n| Distribution::Zipfian { m: n as u64 }),
+        ("zipf(n) — mixed", |n| Distribution::Zipfian {
+            m: n as u64,
+        }),
     ];
 
     for (label, dist_of) in dists {

@@ -79,7 +79,10 @@ impl Args {
                 "--reps" => out.reps = value("--reps").parse().expect("bad reps"),
                 "--seed" => out.seed = value("--seed").parse().expect("bad seed"),
                 "--sizes" => {
-                    out.sizes = value("--sizes").split(',').map(|s| parse_size(s.trim())).collect()
+                    out.sizes = value("--sizes")
+                        .split(',')
+                        .map(|s| parse_size(s.trim()))
+                        .collect()
                 }
                 "--quick" => out.quick = true,
                 "--help" | "-h" => {
@@ -143,7 +146,15 @@ mod tests {
     #[test]
     fn parses_all_flags() {
         let a = parse(&[
-            "--n", "2m", "--threads", "1,2,8", "--reps", "5", "--seed", "9", "--sizes",
+            "--n",
+            "2m",
+            "--threads",
+            "1,2,8",
+            "--reps",
+            "5",
+            "--seed",
+            "9",
+            "--sizes",
             "100k,1m",
         ]);
         assert_eq!(a.n, 2_000_000);

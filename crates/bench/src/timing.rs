@@ -51,7 +51,10 @@ mod tests {
             }
         });
         assert_eq!(calls, 5);
-        assert!(d < Duration::from_millis(5), "best-of must skip the slow rep");
+        assert!(
+            d < Duration::from_millis(5),
+            "best-of must skip the slow rep"
+        );
     }
 
     #[test]

@@ -40,16 +40,13 @@ where
     // Phase 1: per-block histograms, laid out block-major:
     // counts[b * m + k] = #elements with key k in block b.
     let mut counts: Vec<usize> = vec![0; blocks * m];
-    counts
-        .par_chunks_mut(m)
-        .enumerate()
-        .for_each(|(b, hist)| {
-            for x in &src[block_range(b, blocks, n)] {
-                let k = key(x);
-                assert!(k < m, "key {k} out of range [0, {m})");
-                hist[k] += 1;
-            }
-        });
+    counts.par_chunks_mut(m).enumerate().for_each(|(b, hist)| {
+        for x in &src[block_range(b, blocks, n)] {
+            let k = key(x);
+            assert!(k < m, "key {k} out of range [0, {m})");
+            hist[k] += 1;
+        }
+    });
 
     // Phase 2: offsets. The write position of (block b, key k) must follow
     // all smaller keys and, within key k, all earlier blocks — i.e. scan the
@@ -66,19 +63,16 @@ where
 
     // Phase 3: replay each block, writing elements to their final slots.
     let out = SharedSlice::new(dst);
-    write_pos
-        .par_chunks(m)
-        .enumerate()
-        .for_each(|(b, pos0)| {
-            let mut pos = pos0.to_vec();
-            for x in &src[block_range(b, blocks, n)] {
-                let k = key(x);
-                // SAFETY: the offset scan partitions [0, n) into disjoint
-                // (block, key) ranges; this task owns exactly its own.
-                unsafe { out.write(pos[k], *x) };
-                pos[k] += 1;
-            }
-        });
+    write_pos.par_chunks(m).enumerate().for_each(|(b, pos0)| {
+        let mut pos = pos0.to_vec();
+        for x in &src[block_range(b, blocks, n)] {
+            let k = key(x);
+            // SAFETY: the offset scan partitions [0, n) into disjoint
+            // (block, key) ranges; this task owns exactly its own.
+            unsafe { out.write(pos[k], *x) };
+            pos[k] += 1;
+        }
+    });
     offsets
 }
 

@@ -86,12 +86,8 @@ impl<V: Copy + Default> PhaseConcurrentMap<V> {
                 return false;
             }
             if cur == EMPTY {
-                match self.keys[i].compare_exchange(
-                    EMPTY,
-                    key,
-                    Ordering::AcqRel,
-                    Ordering::Relaxed,
-                ) {
+                match self.keys[i].compare_exchange(EMPTY, key, Ordering::AcqRel, Ordering::Relaxed)
+                {
                     Ok(_) => {
                         // We own this slot: write the value. Readers only
                         // arrive in the next phase (after a barrier), so the

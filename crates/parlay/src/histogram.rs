@@ -48,9 +48,12 @@ where
         })
         .collect();
     let mut out = vec![0usize; m];
-    out.par_iter_mut().enumerate().with_min_len(512).for_each(|(k, slot)| {
-        *slot = partial.iter().map(|h| h[k]).sum();
-    });
+    out.par_iter_mut()
+        .enumerate()
+        .with_min_len(512)
+        .for_each(|(k, slot)| {
+            *slot = partial.iter().map(|h| h[k]).sum();
+        });
     out
 }
 

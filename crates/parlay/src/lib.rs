@@ -70,8 +70,8 @@ pub mod rr_sort;
 pub mod sample_sort;
 pub mod scan;
 pub mod seq_ops;
-pub mod shuffle;
 pub mod shared;
+pub mod shuffle;
 pub mod slices;
 
 pub use hash::{hash64, hash64_with_seed};

@@ -180,7 +180,9 @@ mod tests {
     #[test]
     fn merge_large_matches_reference() {
         let mut a: Vec<u64> = (0..80_000).map(|i| hash64(i) % 10_000).collect();
-        let mut b: Vec<u64> = (0..120_000).map(|i| hash64(i + 1_000_000) % 10_000).collect();
+        let mut b: Vec<u64> = (0..120_000)
+            .map(|i| hash64(i + 1_000_000) % 10_000)
+            .collect();
         a.sort_unstable();
         b.sort_unstable();
         let mut out = vec![0u64; a.len() + b.len()];

@@ -53,7 +53,8 @@ mod tests {
     #[test]
     fn parallel_work_runs_inside_pool() {
         use rayon::prelude::*;
-        let out: Vec<u32> = with_threads(3, || (0..1000u32).into_par_iter().map(|x| x * 2).collect());
+        let out: Vec<u32> =
+            with_threads(3, || (0..1000u32).into_par_iter().map(|x| x * 2).collect());
         assert_eq!(out.len(), 1000);
         assert_eq!(out[999], 1998);
     }

@@ -239,7 +239,13 @@ mod tests {
     fn skewed_distribution_sorted() {
         // 90% of keys equal, stressing one giant bucket per level.
         let mut a: Vec<u64> = (0..200_000u64)
-            .map(|i| if i % 10 == 0 { hash64(i) } else { 0xABCD_EF00_1234_5678 })
+            .map(|i| {
+                if i % 10 == 0 {
+                    hash64(i)
+                } else {
+                    0xABCD_EF00_1234_5678
+                }
+            })
             .collect();
         let mut want = a.clone();
         want.sort_unstable();

@@ -34,9 +34,13 @@ where
     }
     let partials: Vec<T> = (0..blocks)
         .into_par_iter()
-        .map(|b| a[block_range(b, blocks, n)].iter().fold(id, |acc, &x| op(acc, x)))
+        .map(|b| {
+            a[block_range(b, blocks, n)]
+                .iter()
+                .fold(id, |acc, &x| op(acc, x))
+        })
         .collect();
-    partials.into_iter().fold(id, |acc, x| op(acc, x))
+    partials.into_iter().fold(id, op)
 }
 
 /// Parallel sum of `u64` values (wrapping).
@@ -76,7 +80,7 @@ where
         .into_par_iter()
         .filter_map(|b| {
             let r = block_range(b, blocks, n);
-            a[r.clone()].iter().position(|x| pred(x)).map(|i| r.start + i)
+            a[r.clone()].iter().position(&pred).map(|i| r.start + i)
         })
         .min()
 }
@@ -112,11 +116,12 @@ mod tests {
     #[test]
     fn non_commutative_reduce_in_order() {
         // Affine composition again: order sensitivity catches block mixups.
-        let v: Vec<(i64, i64)> = (0..100_000)
-            .map(|i| ((i % 3) - 1, i % 5))
-            .collect();
+        let v: Vec<(i64, i64)> = (0..100_000).map(|i| ((i % 3) - 1, i % 5)).collect();
         let op = |f: (i64, i64), g: (i64, i64)| {
-            (f.0.wrapping_mul(g.0), f.1.wrapping_mul(g.0).wrapping_add(g.1))
+            (
+                f.0.wrapping_mul(g.0),
+                f.1.wrapping_mul(g.0).wrapping_add(g.1),
+            )
         };
         let seq = v.iter().fold((1, 0), |acc, &x| op(acc, x));
         assert_eq!(reduce(&v, (1, 0), op), seq);

@@ -135,7 +135,9 @@ where
         let mut offsets: Vec<usize> = counts
             .iter()
             .map(|&c| {
-                let u = c_prime * (log2n * log2n).max(c as f64 * scale + c as f64 * log2n.sqrt() * scale.sqrt());
+                let u = c_prime
+                    * (log2n * log2n)
+                        .max(c as f64 * scale + c as f64 * log2n.sqrt() * scale.sqrt());
                 (u as usize).max(4).next_power_of_two()
             })
             .collect();
@@ -176,28 +178,31 @@ where
         .collect();
     let overflow = AtomicBool::new(false);
 
-    a.par_iter().enumerate().with_min_len(4096).for_each(|(i, x)| {
-        if overflow.load(Ordering::Relaxed) {
-            return;
-        }
-        let k = key(x) as usize;
-        let base = offsets[k];
-        let size = sizes[k];
-        let mask = size - 1;
-        let mut s = (rng.at(i as u64) as usize) & mask;
-        for _ in 0..size {
-            let cell = &slot[base + s];
-            if cell.load(Ordering::Relaxed) == VACANT
-                && cell
-                    .compare_exchange(VACANT, i as u64, Ordering::Relaxed, Ordering::Relaxed)
-                    .is_ok()
-            {
+    a.par_iter()
+        .enumerate()
+        .with_min_len(4096)
+        .for_each(|(i, x)| {
+            if overflow.load(Ordering::Relaxed) {
                 return;
             }
-            s = (s + 1) & mask;
-        }
-        overflow.store(true, Ordering::Relaxed);
-    });
+            let k = key(x) as usize;
+            let base = offsets[k];
+            let size = sizes[k];
+            let mask = size - 1;
+            let mut s = (rng.at(i as u64) as usize) & mask;
+            for _ in 0..size {
+                let cell = &slot[base + s];
+                if cell.load(Ordering::Relaxed) == VACANT
+                    && cell
+                        .compare_exchange(VACANT, i as u64, Ordering::Relaxed, Ordering::Relaxed)
+                        .is_ok()
+                {
+                    return;
+                }
+                s = (s + 1) & mask;
+            }
+            overflow.store(true, Ordering::Relaxed);
+        });
     if overflow.load(Ordering::Relaxed) {
         return None;
     }

@@ -201,7 +201,12 @@ mod tests {
         // commutative, so any block-order mistake in the scan shows up.
         #[derive(Clone, Copy, PartialEq, Debug)]
         struct P(i64, i64);
-        let op = |f: P, g: P| P(f.0.wrapping_mul(g.0), f.1.wrapping_mul(g.0).wrapping_add(g.1));
+        let op = |f: P, g: P| {
+            P(
+                f.0.wrapping_mul(g.0),
+                f.1.wrapping_mul(g.0).wrapping_add(g.1),
+            )
+        };
         let orig: Vec<P> = (0..20_000)
             .map(|i| P((i as i64 % 5) - 2, i as i64 % 11))
             .collect();

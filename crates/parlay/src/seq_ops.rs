@@ -23,7 +23,11 @@ where
     if n < GRAIN {
         return (0..n).map(f).collect();
     }
-    (0..n).into_par_iter().with_min_len(GRAIN / 4).map(f).collect()
+    (0..n)
+        .into_par_iter()
+        .with_min_len(GRAIN / 4)
+        .map(f)
+        .collect()
 }
 
 /// Map a slice to a new vector.
@@ -71,7 +75,10 @@ where
     if a.len() < GRAIN {
         return a.iter().filter(|x| pred(x)).count();
     }
-    a.par_iter().with_min_len(GRAIN / 4).filter(|x| pred(x)).count()
+    a.par_iter()
+        .with_min_len(GRAIN / 4)
+        .filter(|x| pred(x))
+        .count()
 }
 
 /// Whether all elements satisfy the predicate (vacuously true when empty).
@@ -81,9 +88,9 @@ where
     F: Fn(&T) -> bool + Send + Sync,
 {
     if a.len() < GRAIN {
-        return a.iter().all(|x| pred(x));
+        return a.iter().all(&pred);
     }
-    a.par_iter().with_min_len(GRAIN / 4).all(|x| pred(x))
+    a.par_iter().with_min_len(GRAIN / 4).all(pred)
 }
 
 #[cfg(test)]

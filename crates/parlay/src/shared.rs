@@ -124,7 +124,9 @@ mod tests {
     fn read_after_barrier_sees_writes() {
         let mut v = vec![0u32; 1000];
         let s = SharedSlice::new(&mut v);
-        (0..1000).into_par_iter().for_each(|i| unsafe { s.write(i, 7) });
+        (0..1000)
+            .into_par_iter()
+            .for_each(|i| unsafe { s.write(i, 7) });
         // Same-thread read after the parallel loop joined.
         let sum: u64 = (0..1000).map(|i| unsafe { s.read(i) } as u64).sum();
         assert_eq!(sum, 7000);

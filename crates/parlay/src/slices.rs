@@ -62,10 +62,7 @@ mod tests {
     fn block_sizes_balanced() {
         let (n, b) = (1_000_003, 97);
         let sizes: Vec<usize> = (0..b).map(|i| block_range(i, b, n).len()).collect();
-        let (min, max) = (
-            *sizes.iter().min().unwrap(),
-            *sizes.iter().max().unwrap(),
-        );
+        let (min, max) = (*sizes.iter().min().unwrap(), *sizes.iter().max().unwrap());
         assert!(max - min <= 1);
     }
 

@@ -1,0 +1,32 @@
+//! Sampling helpers (`prop::sample::Index`).
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+use crate::{AnyPrimitive, Arbitrary};
+
+/// An index into a collection whose length is only known inside the test
+/// body; scale with [`Index::index`].
+#[derive(Clone, Copy, Debug)]
+pub struct Index(u64);
+
+impl Index {
+    /// Reduce to `[0, len)`. Panics when `len == 0`.
+    pub fn index(&self, len: usize) -> usize {
+        assert!(len > 0, "Index::index on empty collection");
+        (((self.0 as u128) * (len as u128)) >> 64) as usize
+    }
+}
+
+impl Arbitrary for Index {
+    type Strategy = AnyPrimitive<Index>;
+    fn arbitrary() -> Self::Strategy {
+        AnyPrimitive(std::marker::PhantomData)
+    }
+}
+
+impl Strategy for AnyPrimitive<Index> {
+    type Value = Index;
+    fn generate(&self, rng: &mut TestRng) -> Index {
+        Index(rng.next_u64())
+    }
+}

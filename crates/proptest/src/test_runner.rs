@@ -1,0 +1,70 @@
+//! Deterministic case RNG and the test-case error type.
+
+/// Failure of a single generated case (produced by `prop_assert*`).
+#[derive(Debug)]
+pub struct TestCaseError(String);
+
+impl TestCaseError {
+    /// Build a failure with a message.
+    pub fn fail(msg: impl Into<String>) -> Self {
+        TestCaseError(msg.into())
+    }
+
+    /// Alias used by real proptest; kept for drop-in compatibility.
+    pub fn reject(msg: impl Into<String>) -> Self {
+        TestCaseError(msg.into())
+    }
+}
+
+impl std::fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for TestCaseError {}
+
+/// Counter-based deterministic RNG: the k-th draw of case `i` of test `t`
+/// is a pure function of `(t, i, k)`. No state is persisted and no entropy
+/// is consumed, so every failure replays identically.
+pub struct TestRng {
+    seed: u64,
+    ctr: u64,
+}
+
+impl TestRng {
+    /// RNG for one (test, case) pair.
+    pub fn for_case(name: &str, case: u32) -> Self {
+        // FNV-1a over the name, mixed with the case index.
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in name.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        TestRng {
+            seed: mix(h ^ ((case as u64) << 32 | 0x9e37)),
+            ctr: 0,
+        }
+    }
+
+    /// Next 64-bit draw.
+    pub fn next_u64(&mut self) -> u64 {
+        self.ctr += 1;
+        mix(self
+            .seed
+            .wrapping_add(self.ctr.wrapping_mul(0x9e37_79b9_7f4a_7c15)))
+    }
+
+    /// Next draw reduced to `[0, bound)` (`bound` > 0).
+    pub fn below(&mut self, bound: u64) -> u64 {
+        debug_assert!(bound > 0);
+        (((self.next_u64() as u128) * (bound as u128)) >> 64) as u64
+    }
+}
+
+/// splitmix64 finalizer.
+fn mix(mut z: u64) -> u64 {
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}

@@ -1,0 +1,315 @@
+//! A registry-free stand-in for the `rayon` crate.
+//!
+//! The build sandbox for this workspace has no access to crates.io, so the
+//! real `rayon` cannot be vendored. This crate re-implements the *exact* API
+//! subset the workspace uses — parallel iterators over slices/vecs/ranges,
+//! `join`, `par_sort_unstable_by_key`, and scoped thread pools — on top of
+//! `std::thread::scope`. Semantics match rayon where the workspace depends
+//! on them:
+//!
+//! - `join(a, b)` may run both closures concurrently and propagates panics.
+//! - Parallel iterators partition the index space into blocks; every element
+//!   is visited exactly once; `with_min_len` bounds the split granularity.
+//! - `ThreadPoolBuilder::new().num_threads(n).build()?.install(f)` runs `f`
+//!   with `current_num_threads() == n`, observed by nested parallel calls.
+//!
+//! The one deliberate difference: there is no work-stealing deque. Instead a
+//! thread-local *spawn budget* (initialized to the pool size) is split among
+//! children at each fork point, so deeply nested `join` recursions (e.g.
+//! parallel merge sort) degrade to sequential execution instead of spawning
+//! one OS thread per task. This bounds live threads by the pool size while
+//! keeping leaf work identical, which preserves the workspace's determinism
+//! guarantees (all algorithms are written to be schedule-independent).
+
+#![warn(missing_docs)]
+
+pub mod iter;
+pub mod prelude;
+pub mod slice;
+
+use std::cell::Cell;
+use std::ops::Range;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+thread_local! {
+    /// Size of the innermost installed pool (0 = none; use hardware count).
+    static POOL_SIZE: Cell<usize> = const { Cell::new(0) };
+    /// Remaining threads this task may fan out into (0 = unset; use pool).
+    static BUDGET: Cell<usize> = const { Cell::new(0) };
+}
+
+fn hardware_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(1)
+}
+
+/// Number of threads in the current pool (the installed pool size, or the
+/// hardware parallelism when no pool is installed).
+pub fn current_num_threads() -> usize {
+    let p = POOL_SIZE.with(|c| c.get());
+    if p == 0 {
+        hardware_threads()
+    } else {
+        p
+    }
+}
+
+/// How many OS threads the current task may still fan out into.
+pub(crate) fn spawn_budget() -> usize {
+    let b = BUDGET.with(|c| c.get());
+    if b == 0 {
+        current_num_threads()
+    } else {
+        b
+    }
+}
+
+/// Raw pointer to a block-result slot array; Send so workers can write
+/// their (disjoint) slots.
+struct ResultsPtr<R>(*mut Option<R>);
+impl<R> Clone for ResultsPtr<R> {
+    fn clone(&self) -> Self {
+        *self
+    }
+}
+impl<R> Copy for ResultsPtr<R> {}
+// SAFETY: each worker writes only slots it claimed via the shared atomic
+// counter, so writes are disjoint; results are read only after the scope
+// joins every worker.
+unsafe impl<R: Send> Send for ResultsPtr<R> {}
+
+fn drain<R, F>(next: &AtomicUsize, blocks: usize, len: usize, eval: &F, out: ResultsPtr<R>)
+where
+    F: Fn(Range<usize>) -> R + Sync,
+{
+    loop {
+        let b = next.fetch_add(1, Ordering::Relaxed);
+        if b >= blocks {
+            break;
+        }
+        let lo = b * len / blocks;
+        let hi = (b + 1) * len / blocks;
+        let r = eval(lo..hi);
+        // SAFETY: slot `b` was claimed exclusively by the fetch_add above.
+        unsafe { *out.0.add(b) = Some(r) };
+    }
+}
+
+/// Partition `0..len` into blocks of at least `min_len` indices, evaluate
+/// `eval` on every block (possibly concurrently), and return the per-block
+/// results in index order. The building block for every consumer below.
+pub(crate) fn run_blocks<R, F>(len: usize, min_len: usize, eval: &F) -> Vec<R>
+where
+    R: Send,
+    F: Fn(Range<usize>) -> R + Sync,
+{
+    if len == 0 {
+        return Vec::new();
+    }
+    let min_len = min_len.max(1);
+    let budget = spawn_budget();
+    let max_blocks = (len / min_len).max(1);
+    let workers = budget.min(max_blocks);
+    if workers <= 1 {
+        return vec![eval(0..len)];
+    }
+    // Over-split a little so an unlucky slow block does not leave the other
+    // workers idle for its whole duration.
+    let blocks = (workers * 4).min(max_blocks);
+    let pool = current_num_threads();
+    let child_budget = (budget / workers).max(1);
+    let next = AtomicUsize::new(0);
+    let mut results: Vec<Option<R>> = Vec::with_capacity(blocks);
+    results.resize_with(blocks, || None);
+    let out = ResultsPtr(results.as_mut_ptr());
+    std::thread::scope(|s| {
+        for _ in 1..workers {
+            let next = &next;
+            let eval = &eval;
+            s.spawn(move || {
+                POOL_SIZE.with(|c| c.set(pool));
+                BUDGET.with(|c| c.set(child_budget));
+                drain(next, blocks, len, *eval, out);
+            });
+        }
+        let saved = BUDGET.with(|c| c.replace(child_budget));
+        drain(&next, blocks, len, eval, out);
+        BUDGET.with(|c| c.set(saved));
+    });
+    results
+        .into_iter()
+        .map(|r| r.expect("every block is claimed before the scope joins"))
+        .collect()
+}
+
+/// Run two closures, potentially in parallel, and return both results.
+/// Panics in either closure propagate to the caller (first `a`'s, then
+/// `b`'s, matching the order rayon documents).
+pub fn join<A, B, RA, RB>(a: A, b: B) -> (RA, RB)
+where
+    A: FnOnce() -> RA + Send,
+    B: FnOnce() -> RB + Send,
+    RA: Send,
+    RB: Send,
+{
+    let budget = spawn_budget();
+    if budget <= 1 {
+        let ra = a();
+        let rb = b();
+        return (ra, rb);
+    }
+    let pool = current_num_threads();
+    let half = budget / 2;
+    let mut ra = None;
+    let mut rb = None;
+    std::thread::scope(|s| {
+        let handle = s.spawn(move || {
+            POOL_SIZE.with(|c| c.set(pool));
+            BUDGET.with(|c| c.set(half.max(1)));
+            b()
+        });
+        let saved = BUDGET.with(|c| c.replace((budget - half).max(1)));
+        let res_a = std::panic::catch_unwind(std::panic::AssertUnwindSafe(a));
+        BUDGET.with(|c| c.set(saved));
+        let res_b = handle.join();
+        match res_a {
+            Ok(v) => ra = Some(v),
+            Err(p) => std::panic::resume_unwind(p),
+        }
+        match res_b {
+            Ok(v) => rb = Some(v),
+            Err(p) => std::panic::resume_unwind(p),
+        }
+    });
+    (ra.unwrap(), rb.unwrap())
+}
+
+/// Error from [`ThreadPoolBuilder::build`]. This shim cannot actually fail
+/// to build a pool; the type exists so `.expect(..)` call sites compile.
+#[derive(Debug)]
+pub struct ThreadPoolBuildError;
+
+impl std::fmt::Display for ThreadPoolBuildError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "thread pool build error")
+    }
+}
+
+impl std::error::Error for ThreadPoolBuildError {}
+
+/// Builder mirroring `rayon::ThreadPoolBuilder`.
+#[derive(Default)]
+pub struct ThreadPoolBuilder {
+    num_threads: usize,
+}
+
+impl ThreadPoolBuilder {
+    /// New builder with default (hardware) thread count.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Request a specific thread count; 0 means the hardware default.
+    pub fn num_threads(mut self, n: usize) -> Self {
+        self.num_threads = n;
+        self
+    }
+
+    /// Build the pool. Never fails in this shim.
+    pub fn build(self) -> Result<ThreadPool, ThreadPoolBuildError> {
+        let n = if self.num_threads == 0 {
+            hardware_threads()
+        } else {
+            self.num_threads
+        };
+        Ok(ThreadPool { num_threads: n })
+    }
+}
+
+/// A logical thread pool: a thread-count scope, not a set of live threads.
+/// Threads are created on demand by the parallel operations run inside
+/// [`ThreadPool::install`].
+pub struct ThreadPool {
+    num_threads: usize,
+}
+
+impl ThreadPool {
+    /// Run `f` with `current_num_threads()` reporting this pool's size and
+    /// parallel operations fanning out to at most that many threads.
+    pub fn install<R, F>(&self, f: F) -> R
+    where
+        F: FnOnce() -> R + Send,
+        R: Send,
+    {
+        let saved_pool = POOL_SIZE.with(|c| c.replace(self.num_threads));
+        let saved_budget = BUDGET.with(|c| c.replace(self.num_threads));
+        let out = f();
+        POOL_SIZE.with(|c| c.set(saved_pool));
+        BUDGET.with(|c| c.set(saved_budget));
+        out
+    }
+
+    /// The pool's thread count.
+    pub fn current_num_threads(&self) -> usize {
+        self.num_threads
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+    use super::*;
+
+    #[test]
+    fn join_returns_both() {
+        let (a, b) = join(|| 1 + 1, || "x".to_string());
+        assert_eq!(a, 2);
+        assert_eq!(b, "x");
+    }
+
+    #[test]
+    fn install_sets_thread_count() {
+        let pool = ThreadPoolBuilder::new().num_threads(3).build().unwrap();
+        assert_eq!(pool.install(current_num_threads), 3);
+    }
+
+    #[test]
+    fn nested_join_does_not_explode() {
+        // A full binary recursion 16 levels deep = 65k leaf tasks; the spawn
+        // budget must keep live threads bounded (this would OOM otherwise).
+        fn rec(d: u32) -> u64 {
+            if d == 0 {
+                return 1;
+            }
+            let (a, b) = join(|| rec(d - 1), || rec(d - 1));
+            a + b
+        }
+        let pool = ThreadPoolBuilder::new().num_threads(4).build().unwrap();
+        assert_eq!(pool.install(|| rec(16)), 1 << 16);
+    }
+
+    #[test]
+    #[should_panic(expected = "boom")]
+    fn join_propagates_panics() {
+        let pool = ThreadPoolBuilder::new().num_threads(2).build().unwrap();
+        pool.install(|| {
+            join(|| (), || panic!("boom"));
+        });
+    }
+
+    #[test]
+    fn blocks_cover_all_indices_in_order() {
+        let parts = run_blocks(1000, 1, &|r| r.collect::<Vec<_>>());
+        let flat: Vec<usize> = parts.into_iter().flatten().collect();
+        assert_eq!(flat, (0..1000).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn par_iter_smoke_under_pool() {
+        let pool = ThreadPoolBuilder::new().num_threads(4).build().unwrap();
+        let v: Vec<u64> = (0..10_000u64).collect();
+        let s: u64 = pool.install(|| v.par_iter().map(|&x| x * 2).sum());
+        assert_eq!(s, 10_000 * 9_999);
+    }
+}

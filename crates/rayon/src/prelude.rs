@@ -1,0 +1,7 @@
+//! Glob-import surface matching `rayon::prelude`.
+
+pub use crate::iter::{
+    FromParallelIterator, IntoParallelIterator, IntoParallelRefIterator,
+    IntoParallelRefMutIterator, ParallelIterator, RandomAccess,
+};
+pub use crate::slice::{ParallelSlice, ParallelSliceMut};

@@ -1,0 +1,264 @@
+//! Slice extension traits: `par_chunks`, `par_chunks_mut`, and
+//! `par_sort_unstable_by_key` (a depth-limited parallel merge sort).
+
+use crate::iter::{Chunks, ChunksMut};
+use crate::spawn_budget;
+use std::marker::PhantomData;
+use std::mem::MaybeUninit;
+
+/// Below this many elements a (sub-)sort or merge runs sequentially.
+const SORT_SEQ_CUTOFF: usize = 1 << 13;
+
+/// Parallel operations on shared slices.
+pub trait ParallelSlice<T: Sync> {
+    /// Parallel iterator over `size`-element chunks (last may be shorter).
+    fn par_chunks(&self, size: usize) -> Chunks<'_, T>;
+}
+
+impl<T: Sync> ParallelSlice<T> for [T] {
+    fn par_chunks(&self, size: usize) -> Chunks<'_, T> {
+        assert!(size > 0, "chunk size must be non-zero");
+        Chunks { s: self, size }
+    }
+}
+
+/// Parallel operations on mutable slices.
+pub trait ParallelSliceMut<T: Send> {
+    /// Parallel iterator over mutable `size`-element chunks.
+    fn par_chunks_mut(&mut self, size: usize) -> ChunksMut<'_, T>;
+
+    /// Sort the slice (not preserving equal-element order) by a key
+    /// function, in parallel. Implemented as merge sort with a scratch
+    /// buffer; recursion forks via [`crate::join`], so parallelism is
+    /// bounded by the current pool's spawn budget.
+    fn par_sort_unstable_by_key<K, F>(&mut self, f: F)
+    where
+        K: Ord,
+        F: Fn(&T) -> K + Sync;
+}
+
+impl<T: Send> ParallelSliceMut<T> for [T] {
+    fn par_chunks_mut(&mut self, size: usize) -> ChunksMut<'_, T> {
+        assert!(size > 0, "chunk size must be non-zero");
+        ChunksMut {
+            ptr: self.as_mut_ptr(),
+            len: self.len(),
+            size,
+            _m: PhantomData,
+        }
+    }
+
+    fn par_sort_unstable_by_key<K, F>(&mut self, f: F)
+    where
+        K: Ord,
+        F: Fn(&T) -> K + Sync,
+    {
+        let n = self.len();
+        if n < SORT_SEQ_CUTOFF || spawn_budget() <= 1 {
+            self.sort_unstable_by_key(|x| f(x));
+            return;
+        }
+        let mut scratch: Vec<MaybeUninit<T>> = Vec::with_capacity(n);
+        // SAFETY: MaybeUninit<T> needs no initialization.
+        unsafe { scratch.set_len(n) };
+        let depth = usize::BITS - spawn_budget().leading_zeros() + 1;
+        sort_rec(self, &mut scratch, &f, depth);
+    }
+}
+
+/// Sort `a` using `buf` as scratch; leaves the sorted data in `a`.
+fn sort_rec<T: Send, K: Ord, F: Fn(&T) -> K + Sync>(
+    a: &mut [T],
+    buf: &mut [MaybeUninit<T>],
+    f: &F,
+    depth: u32,
+) {
+    let n = a.len();
+    if depth == 0 || n < SORT_SEQ_CUTOFF {
+        a.sort_unstable_by_key(|x| f(x));
+        return;
+    }
+    let mid = n / 2;
+    {
+        let (al, ar) = a.split_at_mut(mid);
+        let (bl, br) = buf.split_at_mut(mid);
+        crate::join(
+            || sort_rec(al, bl, f, depth - 1),
+            || sort_rec(ar, br, f, depth - 1),
+        );
+    }
+    // Merge the two sorted halves of `a` into `buf`, then move back. The
+    // merge *moves* elements (ptr::read), which is sound because nothing
+    // reads `a` again before the copy-back overwrites it, and key
+    // extraction takes `&T` without dropping.
+    unsafe {
+        let out = buf.as_mut_ptr() as *mut T;
+        par_merge(
+            RawSlice(a.as_ptr(), mid),
+            RawSlice(a.as_ptr().add(mid), n - mid),
+            SendOut(out),
+            f,
+            depth,
+        );
+        std::ptr::copy_nonoverlapping(out, a.as_mut_ptr(), n);
+    }
+}
+
+/// `&[T]` as (ptr, len) so merge halves can cross `join` without a `T: Sync`
+/// bound (elements are only read via ptr::read, i.e. moved).
+struct RawSlice<T>(*const T, usize);
+impl<T> Clone for RawSlice<T> {
+    fn clone(&self) -> Self {
+        *self
+    }
+}
+impl<T> Copy for RawSlice<T> {}
+// SAFETY: the two join branches receive disjoint sub-slices and disjoint
+// output regions; elements are moved out exactly once.
+unsafe impl<T: Send> Send for RawSlice<T> {}
+
+/// Output cursor with the same justification as [`RawSlice`].
+struct SendOut<T>(*mut T);
+impl<T> Clone for SendOut<T> {
+    fn clone(&self) -> Self {
+        *self
+    }
+}
+impl<T> Copy for SendOut<T> {}
+// SAFETY: see RawSlice.
+unsafe impl<T: Send> Send for SendOut<T> {}
+
+impl<T> RawSlice<T> {
+    /// # Safety
+    /// The underlying region must still be live and unaliased for reads for
+    /// the whole caller-chosen lifetime `'s` (in practice: the merge call
+    /// tree, which runs strictly inside the borrow taken in `sort_rec`).
+    unsafe fn get<'s>(self) -> &'s [T]
+    where
+        T: 's,
+    {
+        unsafe { std::slice::from_raw_parts(self.0, self.1) }
+    }
+}
+
+/// Merge two sorted runs into `out`, moving the elements. Splits the larger
+/// run at its midpoint, binary-searches the split key in the smaller run,
+/// and forks the two sub-merges.
+///
+/// # Safety
+/// `a`, `b`, and `out[..a.len+b.len]` must be live, mutually disjoint
+/// regions; elements of `a`/`b` are moved out (read) exactly once.
+unsafe fn par_merge<T: Send, K: Ord, F: Fn(&T) -> K + Sync>(
+    a: RawSlice<T>,
+    b: RawSlice<T>,
+    out: SendOut<T>,
+    f: &F,
+    depth: u32,
+) {
+    let (n, m) = (a.1, b.1);
+    if depth == 0 || n + m < SORT_SEQ_CUTOFF {
+        unsafe { seq_merge(a.get(), b.get(), out.0, f) };
+        return;
+    }
+    if n < m {
+        // Keep the bisected run on the left for the midpoint choice.
+        unsafe { par_merge(b, a, out, f, depth) };
+        return;
+    }
+    let amid = n / 2;
+    let (a_s, b_s) = unsafe { (a.get(), b.get()) };
+    let key = f(&a_s[amid]);
+    let bmid = b_s.partition_point(|x| f(x) < key);
+    let a1 = RawSlice(a.0, amid);
+    let a2 = unsafe { RawSlice(a.0.add(amid), n - amid) };
+    let b1 = RawSlice(b.0, bmid);
+    let b2 = unsafe { RawSlice(b.0.add(bmid), m - bmid) };
+    let out2 = unsafe { SendOut(out.0.add(amid + bmid)) };
+    crate::join(
+        // SAFETY: [a1,b1]→out[..amid+bmid] and [a2,b2]→out[amid+bmid..] are
+        // disjoint in both sources and destination; every element of part 1
+        // compares ≤ key ≤ every element of part 2, so concatenation of the
+        // two merged parts is sorted.
+        move || unsafe { par_merge(a1, b1, out, f, depth - 1) },
+        move || unsafe { par_merge(a2, b2, out2, f, depth - 1) },
+    );
+}
+
+/// # Safety
+/// Same contract as [`par_merge`].
+unsafe fn seq_merge<T, K: Ord, F: Fn(&T) -> K>(a: &[T], b: &[T], mut out: *mut T, f: &F) {
+    let (mut i, mut j) = (0, 0);
+    unsafe {
+        while i < a.len() && j < b.len() {
+            if f(&b[j]) < f(&a[i]) {
+                out.write(std::ptr::read(&b[j]));
+                j += 1;
+            } else {
+                out.write(std::ptr::read(&a[i]));
+                i += 1;
+            }
+            out = out.add(1);
+        }
+        std::ptr::copy_nonoverlapping(a.as_ptr().add(i), out, a.len() - i);
+        out = out.add(a.len() - i);
+        std::ptr::copy_nonoverlapping(b.as_ptr().add(j), out, b.len() - j);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn par_chunks_cover_slice() {
+        let v: Vec<u32> = (0..1000).collect();
+        let sums: Vec<u32> = v.par_chunks(96).map(|c| c.iter().sum()).collect();
+        assert_eq!(sums.len(), 1000usize.div_ceil(96));
+        assert_eq!(sums.iter().sum::<u32>(), (0..1000).sum::<u32>());
+    }
+
+    #[test]
+    fn par_chunks_mut_disjoint_writes() {
+        let mut v = vec![0u8; 250];
+        v.par_chunks_mut(16).enumerate().for_each(|(i, c)| {
+            for x in c {
+                *x = i as u8;
+            }
+        });
+        assert_eq!(v[0], 0);
+        assert_eq!(v[16], 1);
+        assert_eq!(v[249], (249 / 16) as u8);
+    }
+
+    #[test]
+    fn par_sort_matches_std_sort() {
+        // Big enough to take the parallel path under an installed pool.
+        let pool = crate::ThreadPoolBuilder::new()
+            .num_threads(4)
+            .build()
+            .unwrap();
+        let n = 100_000u64;
+        let mut v: Vec<(u64, u64)> = (0..n)
+            .map(|i| (i.wrapping_mul(0x9e3779b9) % 1000, i))
+            .collect();
+        let mut expect = v.clone();
+        pool.install(|| v.par_sort_unstable_by_key(|&(k, _)| k));
+        expect.sort_unstable_by_key(|&(k, _)| k);
+        v.sort_unstable(); // normalize equal-key order for comparison
+        expect.sort_unstable();
+        assert_eq!(v, expect);
+        // And the keys really are sorted after par_sort alone.
+        let mut w: Vec<(u64, u64)> = (0..n).map(|i| (n - i, i)).collect();
+        pool.install(|| w.par_sort_unstable_by_key(|&(k, _)| k));
+        assert!(w.windows(2).all(|p| p[0].0 <= p[1].0));
+    }
+
+    #[test]
+    fn par_sort_small_and_empty() {
+        let mut v: Vec<(u64, u64)> = vec![];
+        v.par_sort_unstable_by_key(|&(k, _)| k);
+        let mut w = vec![(3u64, 0u64), (1, 1), (2, 2)];
+        w.par_sort_unstable_by_key(|&(k, _)| k);
+        assert_eq!(w, vec![(1, 1), (2, 2), (3, 0)]);
+    }
+}

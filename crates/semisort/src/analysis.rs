@@ -131,8 +131,7 @@ pub fn analyze(records: &[(u64, u64)], cfg: &SemisortConfig) -> CostModel {
     // Phases 4–5: compaction visits every slot once; local sorts cost
     // c·log₂c per light bucket.
     cost.pack_work = plan.total_slots;
-    for b in 0..plan.num_buckets() {
-        let c = bucket_records[b];
+    for (b, &c) in bucket_records.iter().enumerate().take(plan.num_buckets()) {
         cost.max_bucket = cost.max_bucket.max(c);
         if b >= plan.num_heavy {
             cost.max_light_bucket = cost.max_light_bucket.max(c);
@@ -155,7 +154,12 @@ mod tests {
 
     fn zipf_like(n: usize) -> Vec<(u64, u64)> {
         (0..n as u64)
-            .map(|i| (hash64(((hash64(i) % (n as u64 * n as u64)) as f64).sqrt() as u64), i))
+            .map(|i| {
+                (
+                    hash64(((hash64(i) % (n as u64 * n as u64)) as f64).sqrt() as u64),
+                    i,
+                )
+            })
             .collect()
     }
 
@@ -177,7 +181,10 @@ mod tests {
             small.work_per_record(),
             large.work_per_record()
         );
-        assert!(large.work_per_record() < 40.0, "absolute work/record too high");
+        assert!(
+            large.work_per_record() < 40.0,
+            "absolute work/record too high"
+        );
     }
 
     #[test]

@@ -394,7 +394,7 @@ where
         .into_par_iter()
         .map(|g| {
             let slice = groups.group(g);
-            let acc = slice.iter().fold(init.clone(), |a, t| fold(a, t));
+            let acc = slice.iter().fold(init.clone(), &fold);
             (key(&slice[0]), acc)
         })
         .collect()
@@ -504,9 +504,9 @@ mod tests {
         let total: usize = counts.iter().map(|c| c.1).sum();
         assert_eq!(total, 9_999);
         assert_eq!(counts.len(), 7);
-        assert!(counts.iter().all(|&(k, c)| {
-            c == (0..9_999).filter(|i| i % 7 == k as usize).count()
-        }));
+        assert!(counts
+            .iter()
+            .all(|&(k, c)| { c == (0..9_999).filter(|i| i % 7 == k as usize).count() }));
     }
 
     #[test]

@@ -1,0 +1,327 @@
+//! Phase 3 alternative: a block-buffered scatter.
+//!
+//! The paper's scatter ([`crate::scatter::scatter`]) issues one CAS per
+//! record into a random slot of the record's bucket. That is exactly the
+//! §4 Phase 3 algorithm, but every placement is an uncontended-at-best
+//! atomic RMW to a random cache line. In-place sample-sort implementations
+//! (IPS⁴o / IPS²Ra) instead buffer records in small per-bucket software
+//! write buffers and move whole blocks at a time, amortizing the shared
+//! cache-line traffic over a block. This module ports that idiom to the
+//! semisort's bucket arena:
+//!
+//! 1. Each worker walks its chunk of the input and appends every record to
+//!    a per-bucket buffer of [`SemisortConfig::scatter_block`] records
+//!    (buffers are allocated lazily, so sparse workers touch few buckets).
+//! 2. When a buffer fills, the worker reserves a contiguous slab range in
+//!    the bucket with **one** `fetch_add` on the bucket's cursor and copies
+//!    the block in with plain (uncontended) stores — `block` records per
+//!    atomic RMW instead of one.
+//! 3. At end of chunk, partial buffers flush the same way with an exact
+//!    reservation.
+//!
+//! The cursor hands out slots only in the bucket's *slab* — the first
+//! `size − size/2^blocked_tail_log2` slots. Reservations that run past the
+//! slab fall back to per-record CAS placement ([`crate::scatter`]'s linear
+//! probe) confined to the remaining *tail* region, so slab stores and CAS
+//! placements never touch the same slot. If even the tail fills, the pass
+//! reports `overflowed` and the driver's Las Vegas loop retries with more
+//! slack, exactly as for the CAS scatter.
+//!
+//! The output contract matches the CAS scatter: every record occupies one
+//! slot inside its bucket's range, vacant slots keep the [`EMPTY`] key, and
+//! occupancy may be arbitrarily fragmented (Phases 4–5 scan for occupied
+//! slots and never assume density).
+//!
+//! [`SemisortConfig::scatter_block`]: crate::config::SemisortConfig::scatter_block
+
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+
+use rayon::prelude::*;
+
+use crate::buckets::BucketPlan;
+use crate::scatter::{place_linear, ScatterArena, EMPTY};
+
+/// Minimum records per worker chunk; below this, chunking overhead and the
+/// per-chunk buffer table dominate.
+const MIN_CHUNK: usize = 8192;
+
+/// Outcome and telemetry of one blocked-scatter pass.
+pub struct BlockedOutcome {
+    /// Records that routed to heavy buckets (drives the heavy-% stat).
+    pub heavy_records: usize,
+    /// A bucket (slab *and* tail) filled before all its records were
+    /// placed; the driver must retry with fresh slack.
+    pub overflowed: bool,
+    /// Buffer flushes that reserved slab space with a single `fetch_add`
+    /// (full blocks and end-of-chunk partials alike).
+    pub blocks_flushed: usize,
+    /// Flushes whose reservation ran (partly or wholly) past the slab.
+    pub slab_overflows: usize,
+    /// Records placed by the per-record CAS fallback in the tail region.
+    pub fallback_records: usize,
+}
+
+/// Slab length (cursor-allocated prefix) for a bucket of `size` slots.
+/// `size` is a power of two, so the tail `(size >> tail_log2).max(1)` is
+/// too, and the tail mask in the CAS fallback is just `tail_len - 1`.
+#[inline]
+fn slab_len(size: usize, tail_log2: u32) -> usize {
+    size - (size >> tail_log2).max(1)
+}
+
+/// Scatter all records into the arena via per-worker block buffers.
+///
+/// Same contract as [`crate::scatter::scatter`]: on `overflowed == true`
+/// the arena contents are garbage and the caller must retry.
+pub fn blocked_scatter<V: Copy + Send + Sync>(
+    records: &[(u64, V)],
+    plan: &BucketPlan,
+    arena: &ScatterArena<V>,
+    block: usize,
+    tail_log2: u32,
+) -> BlockedOutcome {
+    debug_assert!(block.is_power_of_two());
+    let num_buckets = plan.num_buckets();
+    let cursors: Vec<AtomicUsize> = (0..num_buckets).map(|_| AtomicUsize::new(0)).collect();
+    let overflow = AtomicBool::new(false);
+    let heavy_records = AtomicUsize::new(0);
+    let blocks_flushed = AtomicUsize::new(0);
+    let slab_overflows = AtomicUsize::new(0);
+    let fallback_records = AtomicUsize::new(0);
+
+    // Per-chunk counters, merged into the atomics once per chunk.
+    #[derive(Default)]
+    struct Local {
+        heavy: usize,
+        blocks: usize,
+        slab_overflows: usize,
+        fallback: usize,
+    }
+
+    // Drain one buffer into bucket `b`: one fetch_add reserves a slab
+    // range; whatever doesn't fit goes through the CAS tail. Returns false
+    // only if the tail is full (Corollary 3.4 failure).
+    let flush = |b: usize, buf: &mut Vec<(u64, V)>, local: &mut Local| -> bool {
+        let k = buf.len();
+        if k == 0 {
+            return true;
+        }
+        let base = plan.bucket_offset[b];
+        let size = plan.bucket_size[b];
+        let slab = slab_len(size, tail_log2);
+        let res = cursors[b].fetch_add(k, Ordering::Relaxed);
+        let fit = slab.saturating_sub(res).min(k);
+        for (j, &(key, value)) in buf[..fit].iter().enumerate() {
+            // The cursor reservation makes [res, res + fit) exclusively
+            // ours, so plain stores suffice (Slot::set's single-owner
+            // contract); the tail CAS region starts at `slab` and never
+            // reaches down here.
+            arena.slots[base + res + j].set(key, value);
+        }
+        if fit > 0 {
+            local.blocks += 1;
+        }
+        if fit < k {
+            local.slab_overflows += 1;
+            let tail_mask = size - slab - 1; // tail length is a power of two
+            let tail = &arena.slots[base + slab..base + size];
+            for &(key, value) in &buf[fit..] {
+                local.fallback += 1;
+                if !place_linear(tail, res & tail_mask, tail_mask, key, value) {
+                    buf.clear();
+                    return false;
+                }
+            }
+        }
+        buf.clear();
+        true
+    };
+
+    let workers = rayon::current_num_threads().max(1);
+    let chunk = records.len().div_ceil(workers).max(MIN_CHUNK);
+    records.par_chunks(chunk).for_each(|chunk_recs| {
+        let mut bufs: Vec<Vec<(u64, V)>> = (0..num_buckets).map(|_| Vec::new()).collect();
+        let mut touched: Vec<u32> = Vec::new();
+        let mut local = Local::default();
+        let mut failed = false;
+        for &(key, value) in chunk_recs {
+            if overflow.load(Ordering::Relaxed) {
+                failed = true;
+                break; // another chunk failed; stop doing useless work
+            }
+            debug_assert_ne!(key, EMPTY, "driver screens the EMPTY sentinel");
+            let (bucket, is_heavy) = plan.bucket_of_tagged(key);
+            local.heavy += is_heavy as usize;
+            let b = bucket as usize;
+            let buf = &mut bufs[b];
+            if buf.capacity() == 0 {
+                buf.reserve_exact(block);
+                touched.push(bucket);
+            }
+            buf.push((key, value));
+            if buf.len() == block && !flush(b, buf, &mut local) {
+                overflow.store(true, Ordering::Relaxed);
+                failed = true;
+                break;
+            }
+        }
+        if !failed {
+            for &b in &touched {
+                if !flush(b as usize, &mut bufs[b as usize], &mut local) {
+                    overflow.store(true, Ordering::Relaxed);
+                    break;
+                }
+            }
+        }
+        heavy_records.fetch_add(local.heavy, Ordering::Relaxed);
+        blocks_flushed.fetch_add(local.blocks, Ordering::Relaxed);
+        slab_overflows.fetch_add(local.slab_overflows, Ordering::Relaxed);
+        fallback_records.fetch_add(local.fallback, Ordering::Relaxed);
+    });
+
+    BlockedOutcome {
+        heavy_records: heavy_records.into_inner(),
+        overflowed: overflow.into_inner(),
+        blocks_flushed: blocks_flushed.into_inner(),
+        slab_overflows: slab_overflows.into_inner(),
+        fallback_records: fallback_records.into_inner(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::buckets::build_plan;
+    use crate::config::SemisortConfig;
+    use crate::scatter::allocate_arena;
+    use parlay::hash64;
+    use parlay::random::Rng;
+
+    fn scatter_all(
+        records: &[(u64, u64)],
+        cfg: &SemisortConfig,
+    ) -> (BucketPlan, ScatterArena<u64>, BlockedOutcome) {
+        let keys: Vec<u64> = records.iter().map(|r| r.0).collect();
+        let mut sample = crate::sample::strided_sample(&keys, cfg.sample_shift, Rng::new(cfg.seed));
+        sample.sort_unstable();
+        let plan = build_plan(&sample, records.len(), cfg);
+        let arena = allocate_arena::<u64>(&plan);
+        let out = blocked_scatter(
+            records,
+            &plan,
+            &arena,
+            cfg.scatter_block,
+            cfg.blocked_tail_log2,
+        );
+        (plan, arena, out)
+    }
+
+    fn collect_placed(arena: &ScatterArena<u64>) -> Vec<(u64, u64)> {
+        arena
+            .slots
+            .iter()
+            .filter(|s| s.occupied())
+            .map(|s| (s.key(), unsafe { s.value() }))
+            .collect()
+    }
+
+    #[test]
+    fn every_record_is_placed_exactly_once() {
+        let records: Vec<(u64, u64)> = (0..50_000u64).map(|i| (hash64(i % 777), i)).collect();
+        let cfg = SemisortConfig::default();
+        let (_, arena, out) = scatter_all(&records, &cfg);
+        assert!(!out.overflowed);
+        let mut placed = collect_placed(&arena);
+        assert_eq!(placed.len(), records.len());
+        placed.sort_unstable_by_key(|r| r.1);
+        let mut want = records.clone();
+        want.sort_unstable_by_key(|r| r.1);
+        assert_eq!(placed, want);
+        assert!(out.blocks_flushed > 0, "50k records must flush some blocks");
+    }
+
+    #[test]
+    fn records_land_in_their_bucket_range() {
+        let records: Vec<(u64, u64)> = (0..30_000u64).map(|i| (hash64(i % 100), i)).collect();
+        let cfg = SemisortConfig::default();
+        let (plan, arena, out) = scatter_all(&records, &cfg);
+        assert!(!out.overflowed);
+        for (i, slot) in arena.slots.iter().enumerate() {
+            if slot.occupied() {
+                let b = plan.bucket_of(slot.key()) as usize;
+                let lo = plan.bucket_offset[b];
+                let hi = lo + plan.bucket_size[b];
+                assert!(
+                    (lo..hi).contains(&i),
+                    "slot {i} outside bucket {b} range {lo}..{hi}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn heavy_count_matches_cas_scatter() {
+        let records: Vec<(u64, u64)> = (0..40_000u64)
+            .map(|i| {
+                let k = if i % 5 != 0 { 7u64 } else { 1_000 + i };
+                (hash64(k), i)
+            })
+            .collect();
+        let cfg = SemisortConfig::default();
+        let (plan, _, out) = scatter_all(&records, &cfg);
+        let expected_heavy = records
+            .iter()
+            .filter(|r| plan.heavy_table.contains(r.0))
+            .count();
+        assert_eq!(out.heavy_records, expected_heavy);
+    }
+
+    #[test]
+    fn big_tail_forces_slab_overflow_yet_places_everything() {
+        // tail = size/2 leaves a slab smaller than the record count of a
+        // tightly sized bucket, so flushes must spill into the CAS tail.
+        let records: Vec<(u64, u64)> = (0..60_000u64).map(|i| (hash64(i % 3), i)).collect();
+        let cfg = SemisortConfig {
+            blocked_tail_log2: 1,
+            ..Default::default()
+        };
+        let (_, arena, out) = scatter_all(&records, &cfg);
+        assert!(!out.overflowed);
+        assert!(out.slab_overflows > 0, "size/2 slab must overflow");
+        assert!(out.fallback_records > 0);
+        assert_eq!(collect_placed(&arena).len(), records.len());
+    }
+
+    #[test]
+    fn overflow_is_detected_not_hung() {
+        // A plan built from an empty sample (tiny bucket estimates)
+        // receiving far more records than slots must report overflow.
+        let cfg = SemisortConfig::default();
+        let plan = build_plan(&[], 64, &cfg);
+        let arena = allocate_arena::<u64>(&plan);
+        let n_over = plan.total_slots + 1_000;
+        let records: Vec<(u64, u64)> = (0..n_over as u64).map(|i| (hash64(i), i)).collect();
+        let out = blocked_scatter(&records, &plan, &arena, 16, 3);
+        assert!(out.overflowed, "must report overflow instead of spinning");
+    }
+
+    #[test]
+    fn block_size_one_degenerates_correctly() {
+        let records: Vec<(u64, u64)> = (0..20_000u64).map(|i| (hash64(i % 50), i)).collect();
+        let cfg = SemisortConfig {
+            scatter_block: 1,
+            ..Default::default()
+        };
+        let (_, arena, out) = scatter_all(&records, &cfg);
+        assert!(!out.overflowed);
+        assert_eq!(collect_placed(&arena).len(), records.len());
+    }
+
+    #[test]
+    fn slab_split_is_sane() {
+        assert_eq!(slab_len(1024, 3), 1024 - 128);
+        assert_eq!(slab_len(8, 3), 7);
+        assert_eq!(slab_len(2, 3), 1, "tail never empty");
+        assert_eq!(slab_len(1, 3), 0, "one-slot bucket is all tail");
+    }
+}

@@ -96,7 +96,9 @@ mod tests {
 
     #[test]
     fn auto_picks_general_for_wide_keys() {
-        let recs: Vec<(u64, u64)> = (0..100_000u64).map(|i| (parlay::hash64(i % 500), i)).collect();
+        let recs: Vec<(u64, u64)> = (0..100_000u64)
+            .map(|i| (parlay::hash64(i % 500), i))
+            .collect();
         let out = semisort_auto(&recs, &SemisortConfig::default());
         assert!(is_semisorted_by(&out, |r| r.0));
         assert!(is_permutation_of(&out, &recs));

@@ -105,13 +105,19 @@ pub fn build_plan(sorted_sample: &[u64], n: usize, cfg: &SemisortConfig) -> Buck
     // Distinct-key boundaries: "compute the offsets corresponding to the
     // start of each key in the sorted array … with a simple comparison with
     // the preceding key", gathered with a parallel filter (§4 Phase 2).
-    let starts = parlay::pack_index(s_len, |i| i == 0 || sorted_sample[i] != sorted_sample[i - 1]);
+    let starts = parlay::pack_index(s_len, |i| {
+        i == 0 || sorted_sample[i] != sorted_sample[i - 1]
+    });
     let num_distinct = starts.len();
 
     // Heavy keys: distinct keys whose run length reaches δ.
     let heavy: Vec<(u64, usize)> = {
         let run_len = |j: usize| {
-            let end = if j + 1 < num_distinct { starts[j + 1] } else { s_len };
+            let end = if j + 1 < num_distinct {
+                starts[j + 1]
+            } else {
+                s_len
+            };
             end - starts[j]
         };
         let idx = parlay::pack_index(num_distinct, |j| run_len(j) >= cfg.heavy_threshold);
@@ -268,7 +274,7 @@ mod tests {
     #[test]
     fn one_heavy_key_detected() {
         let mut keys: Vec<u64> = (0..500u64).map(hash64).collect();
-        keys.extend(std::iter::repeat(hash64(0xDEAD)).take(100));
+        keys.extend(std::iter::repeat_n(hash64(0xDEAD), 100));
         let sample = sorted_sample_of(&keys);
         let plan = build_plan(&sample, 9600, &cfg());
         assert_eq!(plan.num_heavy, 1);
@@ -283,7 +289,7 @@ mod tests {
         for (reps, expect_heavy) in [(15usize, 0usize), (16, 1)] {
             let mut keys: Vec<u64> = (0..200u64).map(hash64).collect();
             // The repeated key must be outside 0..200 or it gets +1 count.
-            keys.extend(std::iter::repeat(hash64(9_999)).take(reps));
+            keys.extend(std::iter::repeat_n(hash64(9_999), reps));
             let sample = sorted_sample_of(&keys);
             let plan = build_plan(&sample, 6400, &cfg());
             assert_eq!(plan.num_heavy, expect_heavy, "reps={reps}");
@@ -307,7 +313,7 @@ mod tests {
     #[test]
     fn bucket_of_routes_heavy_and_light() {
         let mut keys: Vec<u64> = (0..500u64).map(hash64).collect();
-        keys.extend(std::iter::repeat(hash64(7)).take(50));
+        keys.extend(std::iter::repeat_n(hash64(7), 50));
         let sample = sorted_sample_of(&keys);
         let plan = build_plan(&sample, 8800, &cfg());
         let (b_heavy, is_heavy) = plan.bucket_of_tagged(hash64(7));

@@ -18,6 +18,20 @@ pub enum ProbeStrategy {
     Random,
 }
 
+/// How Phase 3 moves records into their buckets.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ScatterStrategy {
+    /// The paper's Phase 3: every record CASes into a random slot of its
+    /// bucket, probing on collision (see [`ProbeStrategy`]). The default.
+    RandomCas,
+    /// Block-buffered scatter: each worker classifies its chunk of records
+    /// into per-bucket software write buffers and flushes full buffers with
+    /// one `fetch_add` slab reservation instead of per-record CAS traffic.
+    /// Buckets whose reserved slab fills fall back to CAS placement in a
+    /// tail region. See `blocked_scatter`.
+    Blocked,
+}
+
 /// Which algorithm sorts each light bucket in Phase 4.
 ///
 /// The paper "tried several versions including a bucket sort, some
@@ -60,6 +74,17 @@ pub struct SemisortConfig {
     pub merge_light_buckets: bool,
     /// Collision handling in the scatter; default linear probing.
     pub probe_strategy: ProbeStrategy,
+    /// Which Phase 3 implementation to run; default the paper's
+    /// [`ScatterStrategy::RandomCas`].
+    pub scatter_strategy: ScatterStrategy,
+    /// Records per per-worker write-buffer block in the blocked scatter;
+    /// default 16 (256 bytes of `(u64, u64)` records — a few cache lines).
+    /// Must be a power of two.
+    pub scatter_block: usize,
+    /// In the blocked scatter, each bucket reserves its last
+    /// `size / 2^blocked_tail_log2` slots as the CAS-fallback tail (the
+    /// slab cursor allocates only below it); default 3 (tail = size/8).
+    pub blocked_tail_log2: u32,
     /// Light-bucket sorting algorithm; default `StdUnstable`.
     pub local_sort_algo: LocalSortAlgo,
     /// Seed for sampling jitter and scatter randomness. Runs with equal
@@ -84,6 +109,9 @@ impl Default for SemisortConfig {
             c: 1.25,
             merge_light_buckets: true,
             probe_strategy: ProbeStrategy::Linear,
+            scatter_strategy: ScatterStrategy::RandomCas,
+            scatter_block: 16,
+            blocked_tail_log2: 3,
             local_sort_algo: LocalSortAlgo::StdUnstable,
             seed: 0x5eed_0f5e_u64,
             seq_threshold: 1 << 13,
@@ -126,6 +154,14 @@ impl SemisortConfig {
         assert!(self.light_bucket_log2 >= 1 && self.light_bucket_log2 <= 24);
         assert!(self.alpha > 1.0, "α must exceed 1 for scatter termination");
         assert!(self.c > 0.0);
+        assert!(
+            self.scatter_block >= 1 && self.scatter_block.is_power_of_two(),
+            "scatter_block must be a power of two"
+        );
+        assert!(
+            self.blocked_tail_log2 >= 1 && self.blocked_tail_log2 <= 16,
+            "blocked_tail_log2 must be in 1..=16"
+        );
     }
 }
 
@@ -144,7 +180,20 @@ mod tests {
         assert!((c.c - 1.25).abs() < 1e-12);
         assert!(c.merge_light_buckets);
         assert_eq!(c.probe_strategy, ProbeStrategy::Linear);
+        assert_eq!(c.scatter_strategy, ScatterStrategy::RandomCas);
+        assert_eq!(c.scatter_block, 16);
+        assert_eq!(c.blocked_tail_log2, 3);
         c.validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "scatter_block must be a power of two")]
+    fn non_power_of_two_block_rejected() {
+        let cfg = SemisortConfig {
+            scatter_block: 12,
+            ..Default::default()
+        };
+        cfg.validate();
     }
 
     #[test]

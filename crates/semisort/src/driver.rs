@@ -6,8 +6,9 @@ use std::time::Instant;
 use parlay::random::Rng;
 use rayon::prelude::*;
 
+use crate::blocked_scatter::blocked_scatter;
 use crate::buckets::build_plan;
-use crate::config::SemisortConfig;
+use crate::config::{ScatterStrategy, SemisortConfig};
 use crate::local_sort::local_sort_light_buckets;
 use crate::pack_phase::pack_output;
 use crate::sample::strided_sample_by;
@@ -48,6 +49,7 @@ pub fn semisort_with_stats<V: Copy + Send + Sync>(
     };
 
     if n <= cfg.seq_threshold {
+        stats.light_records = n;
         return (fallback_sort(records), stats);
     }
     // The scatter reserves EMPTY (= 0) as its slot-vacancy sentinel and the
@@ -58,6 +60,7 @@ pub fn semisort_with_stats<V: Copy + Send + Sync>(
         .par_iter()
         .any(|r| r.0 == EMPTY || r.0 == parlay::hash_table::EMPTY)
     {
+        stats.light_records = n;
         return (fallback_sort(records), stats);
     }
 
@@ -75,8 +78,7 @@ pub fn semisort_with_stats<V: Copy + Send + Sync>(
 
         // Phase 1: sampling and sorting.
         let t = Instant::now();
-        let mut sample =
-            strided_sample_by(n, run_cfg.sample_shift, rng.fork(1), |i| records[i].0);
+        let mut sample = strided_sample_by(n, run_cfg.sample_shift, rng.fork(1), |i| records[i].0);
         parlay::radix_sort::radix_sort_u64(&mut sample);
         stats.t_sample_sort = t.elapsed();
         stats.sample_size = sample.len();
@@ -90,11 +92,30 @@ pub fn semisort_with_stats<V: Copy + Send + Sync>(
         stats.light_buckets = plan.num_light;
         stats.total_slots = plan.total_slots;
 
-        // Phase 3: scatter.
+        // Phase 3: scatter (the paper's CAS loop or the block-buffered
+        // variant; both fill the same arena under the same contract).
         let t = Instant::now();
-        let outcome = scatter(records, &plan, &arena, run_cfg.probe_strategy, rng.fork(2));
+        let (heavy_records, overflowed) = match run_cfg.scatter_strategy {
+            ScatterStrategy::RandomCas => {
+                let o = scatter(records, &plan, &arena, run_cfg.probe_strategy, rng.fork(2));
+                (o.heavy_records, o.overflowed)
+            }
+            ScatterStrategy::Blocked => {
+                let o = blocked_scatter(
+                    records,
+                    &plan,
+                    &arena,
+                    run_cfg.scatter_block,
+                    run_cfg.blocked_tail_log2,
+                );
+                stats.blocks_flushed = o.blocks_flushed;
+                stats.slab_overflows = o.slab_overflows;
+                stats.fallback_records = o.fallback_records;
+                (o.heavy_records, o.overflowed)
+            }
+        };
         stats.t_scatter = t.elapsed();
-        if outcome.overflowed {
+        if overflowed {
             attempt += 1;
             stats.retries = attempt;
             assert!(
@@ -105,7 +126,8 @@ pub fn semisort_with_stats<V: Copy + Send + Sync>(
             );
             continue;
         }
-        stats.heavy_records = outcome.heavy_records;
+        stats.heavy_records = heavy_records;
+        stats.light_records = n - heavy_records;
 
         // Phase 4: local sort of the light buckets.
         let t = Instant::now();
@@ -263,15 +285,7 @@ mod tests {
             b: u32,
         }
         let recs: Vec<(u64, Payload)> = (0..50_000u32)
-            .map(|i| {
-                (
-                    hash64((i % 321) as u64),
-                    Payload {
-                        a: i as f32,
-                        b: i,
-                    },
-                )
-            })
+            .map(|i| (hash64((i % 321) as u64), Payload { a: i as f32, b: i }))
             .collect();
         let out = semisort_core(&recs, &SemisortConfig::default());
         assert_eq!(out.len(), recs.len());
@@ -279,6 +293,65 @@ mod tests {
         let mut got: Vec<u32> = out.iter().map(|r| r.1.b).collect();
         got.sort_unstable();
         assert!(got.iter().enumerate().all(|(i, &b)| b == i as u32));
+    }
+
+    #[test]
+    fn blocked_strategy_end_to_end() {
+        let cfg = SemisortConfig {
+            scatter_strategy: ScatterStrategy::Blocked,
+            ..Default::default()
+        };
+        let recs: Vec<(u64, u64)> = (0..150_000u64)
+            .map(|i| {
+                let k = if i % 2 == 0 { i % 10 } else { 1_000_000 + i };
+                (hash64(k), i)
+            })
+            .collect();
+        let stats = check(&recs, &cfg);
+        assert_eq!(stats.heavy_records + stats.light_records, recs.len());
+        assert!(stats.blocks_flushed > 0, "150k records must flush blocks");
+    }
+
+    #[test]
+    fn blocked_valid_at_any_thread_count() {
+        let cfg = SemisortConfig {
+            scatter_strategy: ScatterStrategy::Blocked,
+            ..Default::default()
+        };
+        let recs: Vec<(u64, u64)> = (0..60_000u64).map(|i| (hash64(i % 1000), i)).collect();
+        for threads in [1usize, 2, 4] {
+            let out = parlay::with_threads(threads, || semisort_core(&recs, &cfg));
+            assert!(is_semisorted_by(&out, |r| r.0), "threads={threads}");
+            assert!(is_permutation_of(&out, &recs), "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn blocked_tight_alpha_retries_instead_of_failing() {
+        let cfg = SemisortConfig {
+            scatter_strategy: ScatterStrategy::Blocked,
+            alpha: 1.01,
+            ..Default::default()
+        };
+        let recs: Vec<(u64, u64)> = (0..100_000u64).map(|i| (hash64(i), i)).collect();
+        check(&recs, &cfg);
+    }
+
+    #[test]
+    fn light_records_complement_heavy() {
+        let cfg = SemisortConfig::default();
+        let recs: Vec<(u64, u64)> = (0..150_000u64)
+            .map(|i| {
+                let k = if i % 2 == 0 { i % 10 } else { 1_000_000 + i };
+                (hash64(k), i)
+            })
+            .collect();
+        let stats = check(&recs, &cfg);
+        assert!(stats.heavy_records > 0 && stats.light_records > 0);
+        assert_eq!(stats.heavy_records + stats.light_records, recs.len());
+        // Fallback paths count everything as light.
+        let (_, small_stats) = semisort_with_stats(&recs[..100], &cfg);
+        assert_eq!(small_stats.light_records, 100);
     }
 
     #[test]

@@ -98,9 +98,7 @@ mod tests {
         for t in 0..trials {
             let nu = 5_000usize; // true multiplicity
             let stream = rng.fork(t);
-            let s_observed = (0..nu)
-                .filter(|&i| stream.at_f64(i as u64) < P)
-                .count();
+            let s_observed = (0..nu).filter(|&i| stream.at_f64(i as u64) < P).count();
             if f_estimate(s_observed, P, C, l) < nu as f64 {
                 failures += 1;
             }

@@ -38,6 +38,7 @@
 
 pub mod analysis;
 pub mod api;
+pub mod blocked_scatter;
 pub mod bounded;
 pub mod buckets;
 pub mod config;
@@ -55,6 +56,6 @@ pub use api::{
     semisort_permutation, semisort_stable_by_key,
 };
 pub use bounded::{semisort_auto, semisort_bounded};
-pub use config::{LocalSortAlgo, ProbeStrategy, SemisortConfig};
+pub use config::{LocalSortAlgo, ProbeStrategy, ScatterStrategy, SemisortConfig};
 pub use driver::{semisort_core, semisort_with_stats};
 pub use stats::SemisortStats;

@@ -157,7 +157,10 @@ mod tests {
             let b = plan.num_heavy + li;
             let base = plan.bucket_offset[b];
             let keys: Vec<u64> = (0..c).map(|i| arena.slots[base + i].key()).collect();
-            assert!(keys.windows(2).all(|w| w[0] <= w[1]), "bucket {li} unsorted");
+            assert!(
+                keys.windows(2).all(|w| w[0] <= w[1]),
+                "bucket {li} unsorted"
+            );
             assert!(keys.iter().all(|&k| k != crate::scatter::EMPTY));
         }
     }

@@ -85,7 +85,9 @@ mod tests {
     fn per_key_sampling_rate_is_unbiased() {
         // A key occupying x% of the input should occupy ≈x% of the sample.
         let n = 320_000;
-        let keys: Vec<u64> = (0..n as u64).map(|i| if i % 4 == 0 { 1 } else { 2 }).collect();
+        let keys: Vec<u64> = (0..n as u64)
+            .map(|i| if i % 4 == 0 { 1 } else { 2 })
+            .collect();
         let s = strided_sample(&keys, 4, Rng::new(11));
         let ones = s.iter().filter(|&&k| k == 1).count() as f64;
         let frac = ones / s.len() as f64;

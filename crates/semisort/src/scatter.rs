@@ -183,9 +183,10 @@ pub fn scatter<V: Copy + Send + Sync>(
 }
 
 /// CAS at `start`, then linear probing with wraparound. Fails only if the
-/// bucket is completely full.
+/// bucket is completely full. Shared with the blocked scatter, which uses
+/// it for its CAS-fallback tail region.
 #[inline]
-fn place_linear<V: Copy>(
+pub(crate) fn place_linear<V: Copy>(
     bucket: &[Slot<V>],
     start: usize,
     mask: usize,
@@ -259,7 +260,13 @@ mod tests {
         sample.sort_unstable();
         let plan = build_plan(&sample, records.len(), cfg);
         let arena = allocate_arena::<u64>(&plan);
-        let out = scatter(records, &plan, &arena, strategy, Rng::new(cfg.seed).fork(99));
+        let out = scatter(
+            records,
+            &plan,
+            &arena,
+            strategy,
+            Rng::new(cfg.seed).fork(99),
+        );
         (plan, arena, out)
     }
 

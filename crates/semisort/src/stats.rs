@@ -31,10 +31,21 @@ pub struct SemisortStats {
     pub light_buckets: usize,
     /// Records routed to heavy buckets.
     pub heavy_records: usize,
+    /// Records not routed to heavy buckets (light buckets, or the sort
+    /// fallback's output). `heavy_records + light_records == n` always.
+    pub light_records: usize,
     /// Total slots allocated (Lemma 3.5 says the expected total is Θ(n)).
     pub total_slots: usize,
     /// Las Vegas restarts that were needed (almost always 0).
     pub retries: u32,
+    /// Blocked scatter only: buffer flushes that reserved slab space with a
+    /// single `fetch_add` (0 under `ScatterStrategy::RandomCas`).
+    pub blocks_flushed: usize,
+    /// Blocked scatter only: flushes whose slab reservation overflowed into
+    /// the CAS tail.
+    pub slab_overflows: usize,
+    /// Blocked scatter only: records placed by the per-record CAS fallback.
+    pub fallback_records: usize,
 }
 
 impl SemisortStats {
@@ -94,6 +105,15 @@ mod tests {
             ..Default::default()
         };
         assert_eq!(s.total(), Duration::from_millis(15));
+    }
+
+    #[test]
+    fn default_counters_are_zero() {
+        let s = SemisortStats::default();
+        assert_eq!(s.light_records, 0);
+        assert_eq!(s.blocks_flushed, 0);
+        assert_eq!(s.slab_overflows, 0);
+        assert_eq!(s.fallback_records, 0);
     }
 
     #[test]

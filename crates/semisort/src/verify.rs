@@ -42,7 +42,10 @@ pub fn is_permutation_of<T: Ord + Clone>(a: &[T], b: &[T]) -> bool {
 /// The contiguous key runs of a semisorted array: `(key, start, len)` per
 /// distinct key, in output order. Panics in debug builds if the input is
 /// not semisorted.
-pub fn runs_by<T, K: Eq + Hash + Copy, F: Fn(&T) -> K>(records: &[T], key: F) -> Vec<(K, usize, usize)> {
+pub fn runs_by<T, K: Eq + Hash + Copy, F: Fn(&T) -> K>(
+    records: &[T],
+    key: F,
+) -> Vec<(K, usize, usize)> {
     let mut out = Vec::new();
     let mut i = 0;
     while i < records.len() {

@@ -3,7 +3,7 @@
 //! structural assumption (via retries or fallbacks, never wrong output).
 
 use semisort::verify::{is_permutation_of, is_semisorted_by};
-use semisort::{semisort_core, semisort_with_stats, SemisortConfig};
+use semisort::{semisort_core, semisort_with_stats, ScatterStrategy, SemisortConfig};
 
 fn check(records: &[(u64, u64)], cfg: &SemisortConfig) {
     let out = semisort_core(records, cfg);
@@ -43,9 +43,7 @@ fn keys_at_the_heavy_light_boundary() {
     // per-key sample count is genuinely binomial around δ.
     let n = 131_072u64;
     let keys = 512u64; // multiplicity n / keys = 256
-    let recs: Vec<(u64, u64)> = (0..n)
-        .map(|i| (parlay::hash64(i % keys) | 1, i))
-        .collect();
+    let recs: Vec<(u64, u64)> = (0..n).map(|i| (parlay::hash64(i % keys) | 1, i)).collect();
     let (out, stats) = semisort_with_stats(&recs, &cfg());
     assert!(is_semisorted_by(&out, |r| r.0));
     assert!(is_permutation_of(&out, &recs));
@@ -63,9 +61,7 @@ fn contiguous_boundary_runs_are_deterministically_heavy() {
     // property (contiguous data never flaps at the boundary), pinned here.
     let mult = 256u64;
     let n = 131_072u64;
-    let recs: Vec<(u64, u64)> = (0..n)
-        .map(|i| (parlay::hash64(i / mult) | 1, i))
-        .collect();
+    let recs: Vec<(u64, u64)> = (0..n).map(|i| (parlay::hash64(i / mult) | 1, i)).collect();
     let (out, stats) = semisort_with_stats(&recs, &cfg());
     assert!(is_semisorted_by(&out, |r| r.0));
     assert!(is_permutation_of(&out, &recs));
@@ -108,9 +104,7 @@ fn saw_tooth_arrangement_defeats_strided_sampling_bias() {
     // A periodic arrangement aligned with the sampling stride (16): if the
     // sampler were biased within strides, this would mis-estimate wildly.
     let n = 160_000u64;
-    let recs: Vec<(u64, u64)> = (0..n)
-        .map(|i| (parlay::hash64(i % 16) | 1, i))
-        .collect();
+    let recs: Vec<(u64, u64)> = (0..n).map(|i| (parlay::hash64(i % 16) | 1, i)).collect();
     let (out, stats) = semisort_with_stats(&recs, &cfg());
     assert!(is_semisorted_by(&out, |r| r.0));
     assert!(is_permutation_of(&out, &recs));
@@ -134,10 +128,10 @@ fn non_uniform_raw_keys_without_prehashing() {
     // Callers are told to pre-hash; if they don't (sequential integers,
     // clustered bits), the result must still be correct.
     for gen in [
-        |i: u64| i,                        // sequential
-        |i: u64| i << 32,                  // high-half only
-        |i: u64| (i % 100) * 0x0101_0101,  // strided duplicates
-        |i: u64| 1u64 << (i % 63),         // one-hot
+        |i: u64| i,                       // sequential
+        |i: u64| i << 32,                 // high-half only
+        |i: u64| (i % 100) * 0x0101_0101, // strided duplicates
+        |i: u64| 1u64 << (i % 63),        // one-hot
     ] {
         let recs: Vec<(u64, u64)> = (0..80_000u64).map(|i| (gen(i) | 1, i)).collect();
         check(&recs, &cfg());
@@ -189,6 +183,79 @@ fn config_extremes() {
             ..Default::default()
         },
     );
+}
+
+#[test]
+fn blocked_slab_overflow_is_forced_and_survived() {
+    // Adversarial setup for the blocked scatter: reserve half of every
+    // bucket as the CAS tail (blocked_tail_log2 = 1), so the slab holds at
+    // most size/2 slots while buckets are sized ≈ α·count — the slab
+    // cursor *must* run out on the big heavy buckets and spill into the
+    // per-record CAS fallback. The output must still be a valid semisort
+    // and the overflow telemetry must record the event.
+    let recs: Vec<(u64, u64)> = (0..120_000u64)
+        .map(|i| (parlay::hash64(i % 5) | 1, i))
+        .collect();
+    let cfg = SemisortConfig {
+        scatter_strategy: ScatterStrategy::Blocked,
+        blocked_tail_log2: 1,
+        ..Default::default()
+    };
+    let (out, stats) = semisort_with_stats(&recs, &cfg);
+    assert!(is_semisorted_by(&out, |r| r.0));
+    assert!(is_permutation_of(&out, &recs));
+    assert!(
+        stats.slab_overflows > 0,
+        "a half-size slab must overflow on 24k-record buckets"
+    );
+    assert!(
+        stats.fallback_records > 0,
+        "overflowing flushes must route records through the CAS tail"
+    );
+    assert_eq!(stats.retries, 0, "the tail must absorb the spill");
+}
+
+#[test]
+fn blocked_tail_exhaustion_retries_like_cas_overflow() {
+    // α barely above 1 under the blocked strategy: slab + tail together
+    // barely fit the records, so some run overflows entirely and the Las
+    // Vegas loop must converge by doubling α — same contract as the CAS
+    // path's overflow.
+    let cfg = SemisortConfig {
+        scatter_strategy: ScatterStrategy::Blocked,
+        alpha: 1.001,
+        ..Default::default()
+    };
+    let recs: Vec<(u64, u64)> = (0..100_000u64)
+        .map(|i| (parlay::hash64(i % 31) | 1, i))
+        .collect();
+    check(&recs, &cfg);
+}
+
+#[test]
+fn blocked_strategy_survives_the_adversarial_gauntlet() {
+    // The structural attacks above, replayed under the blocked scatter.
+    let cfg = SemisortConfig {
+        scatter_strategy: ScatterStrategy::Blocked,
+        ..Default::default()
+    };
+    let light_prefix: Vec<(u64, u64)> = (0..120_000u64).map(|i| (i + 1, i)).collect();
+    check(&light_prefix, &cfg);
+    let mut geometric: Vec<(u64, u64)> = Vec::new();
+    let mut payload = 0u64;
+    for j in 0..17u64 {
+        for _ in 0..(1u64 << j) {
+            geometric.push((parlay::hash64(j), payload));
+            payload += 1;
+        }
+    }
+    check(&geometric, &cfg);
+    let mut sentinels: Vec<(u64, u64)> = Vec::new();
+    for i in 0..40_000u64 {
+        sentinels.push((i % 64, i));
+        sentinels.push((u64::MAX - (i % 64), i));
+    }
+    check(&sentinels, &cfg);
 }
 
 #[test]

@@ -14,7 +14,9 @@ fn every_arrangement_of_every_distribution_semisorts() {
     for dist in [
         Distribution::Uniform { n: N as u64 },
         Distribution::Uniform { n: 100 },
-        Distribution::Exponential { lambda: N as f64 / 1000.0 },
+        Distribution::Exponential {
+            lambda: N as f64 / 1000.0,
+        },
         Distribution::Zipfian { m: 10_000 },
     ] {
         let base = generate(dist, N, 11);

@@ -125,7 +125,10 @@ fn power_of_two_rounding_costs_at_most_2x() {
     for s in 0..2_000usize {
         let raw = 1.1 * f_estimate(s, P, C, ln_n);
         let cap = bucket_capacity(s, P, C, ln_n, 1.1);
-        assert!((cap as f64) < 2.0 * raw + 2.0, "s={s}: cap {cap} vs raw {raw}");
+        assert!(
+            (cap as f64) < 2.0 * raw + 2.0,
+            "s={s}: cap {cap} vs raw {raw}"
+        );
         assert!((cap as f64) >= raw.ceil() - 1.0);
     }
 }

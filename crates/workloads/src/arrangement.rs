@@ -60,7 +60,11 @@ impl Arrangement {
                 for &r in &run_ids {
                     let r = r as usize;
                     let lo = starts[r];
-                    let hi = if r + 1 < starts.len() { starts[r + 1] } else { n };
+                    let hi = if r + 1 < starts.len() {
+                        starts[r + 1]
+                    } else {
+                        n
+                    };
                     out.extend_from_slice(&records[lo..hi]);
                 }
                 *records = out;

@@ -57,9 +57,9 @@ impl Distribution {
 }
 
 fn fmt_param(v: u64) -> String {
-    if v >= 1_000_000 && v % 1_000_000 == 0 {
+    if v >= 1_000_000 && v.is_multiple_of(1_000_000) {
         format!("{}M", v / 1_000_000)
-    } else if v >= 1_000 && v % 1_000 == 0 {
+    } else if v >= 1_000 && v.is_multiple_of(1_000) {
         format!("{}K", v / 1_000)
     } else {
         v.to_string()
@@ -187,9 +187,15 @@ mod tests {
 
     #[test]
     fn labels_are_compact() {
-        assert_eq!(Distribution::Uniform { n: 100_000 }.label(), "uniform(100K)");
         assert_eq!(
-            Distribution::Exponential { lambda: 1_000_000.0 }.label(),
+            Distribution::Uniform { n: 100_000 }.label(),
+            "uniform(100K)"
+        );
+        assert_eq!(
+            Distribution::Exponential {
+                lambda: 1_000_000.0
+            }
+            .label(),
             "exp(1M)"
         );
         assert_eq!(Distribution::Zipfian { m: 10 }.label(), "zipf(10)");

@@ -76,6 +76,9 @@ mod tests {
         keys.sort_unstable();
         keys.dedup();
         assert!(keys.len() <= 10);
-        assert!(keys.len() >= 9, "with 100k draws all 10 values appear w.h.p.");
+        assert!(
+            keys.len() >= 9,
+            "with 100k draws all 10 values appear w.h.p."
+        );
     }
 }

@@ -82,7 +82,7 @@ fn main() {
         .collect();
     let elapsed = t.elapsed();
 
-    joined.sort_unstable_by(|a, b| b.1.cmp(&a.1));
+    joined.sort_unstable_by_key(|j| std::cmp::Reverse(j.1));
     println!(
         "joined {} customer groups in {:.0} ms",
         joined.len(),
@@ -90,7 +90,10 @@ fn main() {
     );
     println!("\ntop 5 customers by spend:");
     for (name, cents, orders) in joined.iter().take(5) {
-        println!("  {name}  ${:.2} over {orders} orders", *cents as f64 / 100.0);
+        println!(
+            "  {name}  ${:.2} over {orders} orders",
+            *cents as f64 / 100.0
+        );
     }
 
     // Verify: totals must match a brute-force aggregation.

@@ -20,9 +20,8 @@ use semisort::{reduce_by_key, SemisortConfig};
 /// with a skewed (rank-weighted) word frequency, like real text.
 fn synthesize_corpus(sentences: usize) -> Vec<String> {
     const VOCAB: [&str; 24] = [
-        "the", "of", "and", "to", "in", "a", "is", "that", "for", "it", "was", "on", "are",
-        "with", "as", "his", "they", "be", "at", "one", "semisort", "parallel", "bucket",
-        "scatter",
+        "the", "of", "and", "to", "in", "a", "is", "that", "for", "it", "was", "on", "are", "with",
+        "as", "his", "they", "be", "at", "one", "semisort", "parallel", "bucket", "scatter",
     ];
     (0..sentences)
         .map(|s| {
@@ -56,7 +55,7 @@ fn main() {
     let t = std::time::Instant::now();
     let mut counts = reduce_by_key(&pairs, |p| p.0.clone(), 0u64, |a, p| a + p.1, &cfg);
     let elapsed = t.elapsed();
-    counts.sort_unstable_by(|a, b| b.1.cmp(&a.1));
+    counts.sort_unstable_by_key(|c| std::cmp::Reverse(c.1));
     println!(
         "shuffle+reduce: {} distinct words in {:.0} ms",
         counts.len(),

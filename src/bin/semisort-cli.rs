@@ -16,7 +16,7 @@ use std::fs::File;
 use std::io::{BufReader, BufWriter, Read, Write};
 use std::time::Instant;
 
-use semisort::{semisort_with_stats, SemisortConfig};
+use semisort::{semisort_with_stats, ScatterStrategy, SemisortConfig};
 use workloads::Distribution;
 
 fn main() {
@@ -35,7 +35,7 @@ fn main() {
 
 fn usage_and_exit() -> ! {
     eprintln!(
-        "usage:\n  semisort-cli generate --dist <uniform|exp|zipf>:<param> --n <count> --out <file> [--seed <u64>]\n  semisort-cli sort --input <file> --out <file> [--algo semisort|radix|sample|stdsort|seq-hash|rr] [--threads <k>] [--stats]\n  semisort-cli verify --input <file>"
+        "usage:\n  semisort-cli generate --dist <uniform|exp|zipf>:<param> --n <count> --out <file> [--seed <u64>]\n  semisort-cli sort --input <file> --out <file> [--algo semisort|radix|sample|stdsort|seq-hash|rr] [--scatter random-cas|blocked] [--threads <k>] [--stats]\n  semisort-cli verify --input <file>"
     );
     std::process::exit(2);
 }
@@ -113,7 +113,10 @@ fn read_records(path: &str) -> Vec<(u64, u64)> {
     let mut r = BufReader::new(f);
     let mut bytes = Vec::new();
     r.read_to_end(&mut bytes).expect("read failed");
-    assert!(bytes.len() % 16 == 0, "file is not a whole number of 16-byte records");
+    assert!(
+        bytes.len() % 16 == 0,
+        "file is not a whole number of 16-byte records"
+    );
     bytes
         .chunks_exact(16)
         .map(|c| {
@@ -141,7 +144,9 @@ fn write_records(path: &str, records: &[(u64, u64)]) {
 fn generate(flags: &Flags) {
     let dist = parse_dist(flags.require("dist"));
     let n = parse_count(flags.require("n"));
-    let seed: u64 = flags.get("seed").map_or(42, |s| s.parse().expect("bad seed"));
+    let seed: u64 = flags
+        .get("seed")
+        .map_or(42, |s| s.parse().expect("bad seed"));
     let out = flags.require("out");
     let t = Instant::now();
     let records = workloads::generate(dist, n, seed);
@@ -161,11 +166,23 @@ fn sort(flags: &Flags) {
     let records = read_records(input);
     eprintln!("read {} records from {input}", records.len());
 
+    let scatter = match flags.get("scatter").unwrap_or("random-cas") {
+        "random-cas" | "cas" => ScatterStrategy::RandomCas,
+        "blocked" => ScatterStrategy::Blocked,
+        other => {
+            eprintln!("unknown scatter strategy {other} (want random-cas or blocked)");
+            std::process::exit(2);
+        }
+    };
+
     let run = || -> Vec<(u64, u64)> {
         match algo {
             "semisort" => {
-                let (out, stats) =
-                    semisort_with_stats(&records, &SemisortConfig::default());
+                let cfg = SemisortConfig {
+                    scatter_strategy: scatter,
+                    ..Default::default()
+                };
+                let (out, stats) = semisort_with_stats(&records, &cfg);
                 if flags.has("stats") {
                     for (name, d) in stats.phases() {
                         eprintln!("  {name:<18} {:.4}s", d.as_secs_f64());
@@ -178,6 +195,12 @@ fn sort(flags: &Flags) {
                         stats.space_blowup(),
                         stats.retries
                     );
+                    if scatter == ScatterStrategy::Blocked {
+                        eprintln!(
+                            "  blocks flushed {} | slab overflows {} | fallback records {}",
+                            stats.blocks_flushed, stats.slab_overflows, stats.fallback_records
+                        );
+                    }
                 }
                 out
             }

@@ -13,7 +13,9 @@ use workloads::{generate, paper_distributions, Distribution};
 
 const N: usize = 30_000;
 
-fn all_algorithms() -> Vec<(&'static str, fn(&[(u64, u64)]) -> Vec<(u64, u64)>)> {
+type Algorithm = fn(&[(u64, u64)]) -> Vec<(u64, u64)>;
+
+fn all_algorithms() -> Vec<(&'static str, Algorithm)> {
     fn semi(r: &[(u64, u64)]) -> Vec<(u64, u64)> {
         semisort_pairs(r, &SemisortConfig::default())
     }

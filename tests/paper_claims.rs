@@ -40,7 +40,11 @@ fn heavy_fraction_extremes_match_table1() {
     // uniform(10): every key duplicated n/10 times — 100% heavy.
     let recs = generate(Distribution::Uniform { n: 10 }, N, 2);
     let (_, s) = semisort_with_stats(&recs, &cfg);
-    assert!(s.heavy_fraction_pct() > 99.9, "uniform(10): {}", s.heavy_fraction_pct());
+    assert!(
+        s.heavy_fraction_pct() > 99.9,
+        "uniform(10): {}",
+        s.heavy_fraction_pct()
+    );
 
     // uniform(N = n): all light (0%).
     let recs = generate(Distribution::Uniform { n: N as u64 }, N, 2);

@@ -1,0 +1,121 @@
+//! Differential tests of the two scatter strategies.
+//!
+//! For every workload shape (uniform, power-law, all-equal, all-distinct)
+//! and sizes 10³ / 10⁵ / 10⁶, both `ScatterStrategy::RandomCas` and
+//! `ScatterStrategy::Blocked` must produce a valid semisort whose groups
+//! are multiset-equal to the trivially correct sequential baseline
+//! ([`baselines::seq_hash_semisort`]).
+
+use std::collections::HashMap;
+
+use semisort::verify::{is_permutation_of, is_semisorted_by, runs_by};
+use semisort::{semisort_pairs, ScatterStrategy, SemisortConfig};
+use workloads::{generate, Distribution};
+
+const SIZES: [usize; 3] = [1_000, 100_000, 1_000_000];
+
+fn workload(name: &str, n: usize) -> Vec<(u64, u64)> {
+    match name {
+        "uniform" => generate(Distribution::Uniform { n: n as u64 }, n, 7),
+        "power-law" => generate(Distribution::Zipfian { m: 1_000_000 }, n, 7),
+        "all-equal" => generate(Distribution::Uniform { n: 1 }, n, 7),
+        // hash64 is a bijection, so these keys are pairwise distinct.
+        "all-distinct" => (0..n as u64).map(|i| (parlay::hash64(i), i)).collect(),
+        _ => unreachable!(),
+    }
+}
+
+/// Group sizes per key, independent of group order and intra-group order.
+fn group_sizes(out: &[(u64, u64)]) -> HashMap<u64, usize> {
+    runs_by(out, |r| r.0)
+        .into_iter()
+        .map(|(k, _start, len)| (k, len))
+        .collect()
+}
+
+fn check_strategy(dist: &str, strategy: ScatterStrategy) {
+    let cfg = SemisortConfig {
+        scatter_strategy: strategy,
+        ..Default::default()
+    };
+    for n in SIZES {
+        let records = workload(dist, n);
+        let out = semisort_pairs(&records, &cfg);
+        assert!(
+            is_semisorted_by(&out, |r| r.0),
+            "{dist}/{strategy:?}/n={n}: output not semisorted"
+        );
+        let baseline = baselines::seq_hash_semisort(&records);
+        assert!(
+            is_permutation_of(&out, &baseline),
+            "{dist}/{strategy:?}/n={n}: output multiset differs from seq_hash"
+        );
+        assert_eq!(
+            group_sizes(&out),
+            group_sizes(&baseline),
+            "{dist}/{strategy:?}/n={n}: group structure differs from seq_hash"
+        );
+    }
+}
+
+#[test]
+fn uniform_random_cas() {
+    check_strategy("uniform", ScatterStrategy::RandomCas);
+}
+
+#[test]
+fn uniform_blocked() {
+    check_strategy("uniform", ScatterStrategy::Blocked);
+}
+
+#[test]
+fn power_law_random_cas() {
+    check_strategy("power-law", ScatterStrategy::RandomCas);
+}
+
+#[test]
+fn power_law_blocked() {
+    check_strategy("power-law", ScatterStrategy::Blocked);
+}
+
+#[test]
+fn all_equal_random_cas() {
+    check_strategy("all-equal", ScatterStrategy::RandomCas);
+}
+
+#[test]
+fn all_equal_blocked() {
+    check_strategy("all-equal", ScatterStrategy::Blocked);
+}
+
+#[test]
+fn all_distinct_random_cas() {
+    check_strategy("all-distinct", ScatterStrategy::RandomCas);
+}
+
+#[test]
+fn all_distinct_blocked() {
+    check_strategy("all-distinct", ScatterStrategy::Blocked);
+}
+
+#[test]
+fn strategies_agree_with_each_other() {
+    // Beyond both matching the baseline: the two strategies' outputs are
+    // permutations of each other with identical group structure, at every
+    // size and shape, under a non-default seed.
+    for dist in ["uniform", "power-law", "all-equal", "all-distinct"] {
+        for n in [1_000usize, 100_000] {
+            let records = workload(dist, n);
+            let cas = semisort_pairs(&records, &SemisortConfig::default().with_seed(0xd1ff));
+            let blocked = semisort_pairs(
+                &records,
+                &SemisortConfig {
+                    scatter_strategy: ScatterStrategy::Blocked,
+                    ..SemisortConfig::default().with_seed(0xd1ff)
+                },
+            );
+            assert!(is_permutation_of(&cas, &blocked), "{dist}/n={n}");
+            assert_eq!(group_sizes(&cas), group_sizes(&blocked), "{dist}/n={n}");
+        }
+    }
+}

@@ -6,7 +6,10 @@
 
 use proptest::prelude::*;
 use semisort::verify::{is_permutation_of, is_semisorted_by};
-use semisort::{semisort_pairs, LocalSortAlgo, ProbeStrategy, SemisortConfig};
+use semisort::{
+    semisort_pairs, semisort_with_stats, LocalSortAlgo, ProbeStrategy, ScatterStrategy,
+    SemisortConfig,
+};
 
 /// A config that exercises the parallel machinery even on small inputs.
 fn small_cfg() -> SemisortConfig {
@@ -17,11 +20,8 @@ fn small_cfg() -> SemisortConfig {
 }
 
 fn arb_records(max_len: usize, key_space: u64) -> impl Strategy<Value = Vec<(u64, u64)>> {
-    prop::collection::vec((0..key_space, any::<u64>()), 0..max_len).prop_map(|v| {
-        v.into_iter()
-            .map(|(k, p)| (parlay::hash64(k), p))
-            .collect()
-    })
+    prop::collection::vec((0..key_space, any::<u64>()), 0..max_len)
+        .prop_map(|v| v.into_iter().map(|(k, p)| (parlay::hash64(k), p)).collect())
 }
 
 proptest! {
@@ -82,6 +82,55 @@ proptest! {
             merge_light_buckets: merge,
             light_bucket_log2: 10,
             ..Default::default()
+        };
+        let out = semisort_pairs(&recs, &cfg);
+        prop_assert!(is_semisorted_by(&out, |r| r.0));
+        prop_assert!(is_permutation_of(&out, &recs));
+    }
+
+    #[test]
+    fn scatter_strategies_keep_invariants(
+        recs in arb_records(1500, 40),
+        blocked in any::<bool>(),
+        shift in 2u32..7,
+        delta in 4usize..65,
+        block_log2 in 0u32..7,
+        tail_log2 in 1u32..5,
+    ) {
+        // Random configs across the paper's parameter neighbourhood
+        // (p = 1/4 … 1/64, δ = 4 … 64), both scatter paths, and the
+        // blocked path's own knobs (block 1 … 64, tail 1/2 … 1/16).
+        let cfg = SemisortConfig {
+            seq_threshold: 32,
+            sample_shift: shift,
+            heavy_threshold: delta,
+            scatter_strategy: if blocked { ScatterStrategy::Blocked } else { ScatterStrategy::RandomCas },
+            scatter_block: 1 << block_log2,
+            blocked_tail_log2: tail_log2,
+            ..Default::default()
+        };
+        let (out, stats) = semisort_with_stats(&recs, &cfg);
+        prop_assert!(is_semisorted_by(&out, |r| r.0));
+        prop_assert!(is_permutation_of(&out, &recs));
+        // Stats invariants: the heavy/light split partitions the input, and
+        // whenever the bucket machinery ran, it allocated at least one slot
+        // per record (a successful scatter is injective into the arena).
+        prop_assert_eq!(stats.heavy_records + stats.light_records, recs.len());
+        if stats.total_slots > 0 {
+            prop_assert!(stats.total_slots >= recs.len());
+        }
+    }
+
+    #[test]
+    fn blocked_sentinel_keys_are_handled(mut recs in arb_records(800, 20), pos in any::<prop::sample::Index>()) {
+        if !recs.is_empty() {
+            let len = recs.len();
+            let i = pos.index(len);
+            recs[i].0 = 0; // scatter EMPTY → sort fallback, any strategy
+        }
+        let cfg = SemisortConfig {
+            scatter_strategy: ScatterStrategy::Blocked,
+            ..small_cfg()
         };
         let out = semisort_pairs(&recs, &cfg);
         prop_assert!(is_semisorted_by(&out, |r| r.0));

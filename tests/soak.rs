@@ -14,7 +14,11 @@ fn soak_many_seeds_every_distribution() {
             let records = generate(pd.dist, 200_000, seed);
             let cfg = SemisortConfig::default().with_seed(seed * 7 + 1);
             let out = semisort_pairs(&records, &cfg);
-            assert!(is_semisorted_by(&out, |r| r.0), "{} seed {seed}", pd.dist.label());
+            assert!(
+                is_semisorted_by(&out, |r| r.0),
+                "{} seed {seed}",
+                pd.dist.label()
+            );
             assert!(is_permutation_of(&out, &records));
         }
     }
