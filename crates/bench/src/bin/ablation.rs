@@ -11,7 +11,7 @@
 //!   consistency; alternatives performed similarly).
 
 use bench::fmt::{s3, x2, Table};
-use bench::timing::time_avg;
+use bench::timing::time_best_of;
 use bench::Args;
 use parlay::with_threads;
 use semisort::{
@@ -32,16 +32,19 @@ fn main() {
     for dist in [exp_dist, uni_dist] {
         println!("{}:", dist.label());
         let records = generate(dist, args.n, args.seed);
-        let base_cfg = SemisortConfig::default().with_seed(args.seed);
-        let (_, base) = with_threads(threads, || {
-            time_avg(args.reps, || semisort_with_stats(&records, &base_cfg).1)
+        let base_cfg = SemisortConfig::default()
+            .with_seed(args.seed)
+            .with_telemetry(args.telemetry);
+        let (base_stats, base) = with_threads(threads, || {
+            time_best_of(args.reps, || semisort_with_stats(&records, &base_cfg).1)
         });
         let base_s = base.as_secs_f64();
+        bench::trajectory::emit(&args, "ablation", threads, base_s, &base_stats);
 
         let mut table = Table::new(["variant", "time (s)", "vs default", "slots/n"]);
         let mut run = |name: &str, cfg: SemisortConfig| {
             let (stats, t) = with_threads(threads, || {
-                time_avg(args.reps, || semisort_with_stats(&records, &cfg).1)
+                time_best_of(args.reps, || semisort_with_stats(&records, &cfg).1)
             });
             table.row([
                 name.to_string(),
@@ -143,10 +146,11 @@ fn main() {
         ] {
             let cfg = SemisortConfig {
                 scatter_strategy: strategy,
+                telemetry: args.telemetry,
                 ..SemisortConfig::default().with_seed(args.seed)
             };
             let (stats, t) = with_threads(threads, || {
-                time_avg(args.reps, || semisort_with_stats(&records, &cfg).1)
+                time_best_of(args.reps, || semisort_with_stats(&records, &cfg).1)
             });
             table.row([
                 dist.label(),

@@ -8,7 +8,7 @@
 //! uniform, and slowly for Zipfian.
 
 use bench::fmt::{pct1, s3, Table};
-use bench::timing::time_avg;
+use bench::timing::time_best_of;
 use bench::Args;
 use parlay::with_threads;
 use semisort::{semisort_with_stats, SemisortConfig};
@@ -36,7 +36,7 @@ fn main() {
         for pd in paper_distributions().iter().filter(|p| pick(&p.dist)) {
             let records = generate(pd.dist, args.n, args.seed);
             let (stats, dt) = with_threads(threads, || {
-                time_avg(args.reps, || semisort_with_stats(&records, &cfg).1)
+                time_best_of(args.reps, || semisort_with_stats(&records, &cfg).1)
             });
             table.row([
                 pd.dist.label(),

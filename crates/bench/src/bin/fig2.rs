@@ -7,7 +7,7 @@
 //! semisort reaches speedup 31.7–34.6, radix about half that.
 
 use bench::fmt::{s3, x2, Table};
-use bench::timing::time_avg;
+use bench::timing::time_best_of;
 use bench::Args;
 use parlay::radix_sort::radix_sort_pairs;
 use parlay::with_threads;
@@ -39,10 +39,10 @@ fn main() {
         let mut radix_t1 = 0.0;
         for &t in &args.threads {
             let (_, semi) = with_threads(t, || {
-                time_avg(args.reps, || semisort_pairs(&records, &cfg).len())
+                time_best_of(args.reps, || semisort_pairs(&records, &cfg).len())
             });
             let (_, radix) = with_threads(t, || {
-                time_avg(args.reps, || {
+                time_best_of(args.reps, || {
                     let mut v = records.clone();
                     radix_sort_pairs(&mut v);
                     v.len()

@@ -3,7 +3,7 @@
 //! sensibly before trusting the per-figure experiments.
 
 use bench::fmt::{x2, Table};
-use bench::timing::time_avg;
+use bench::timing::time_best_of;
 use bench::Args;
 use parlay::with_threads;
 use rayon::slice::ParallelSliceMut;
@@ -31,7 +31,7 @@ fn main() {
 
     let mut table = Table::new(["primitive", "time (s)", "Melem/s"]);
     let mut bench = |name: &str, f: &(dyn Fn() -> usize + Sync)| {
-        let (_, dt) = with_threads(threads, || time_avg(args.reps, f));
+        let (_, dt) = with_threads(threads, || time_best_of(args.reps, f));
         table.row([
             name.to_string(),
             format!("{:.4}", dt.as_secs_f64()),
@@ -99,4 +99,14 @@ fn main() {
     });
 
     table.print();
+
+    // The stats-carrying run for --stats-json and the trajectory file
+    // (the closure-driven rows above only keep wall times).
+    let cfg = semisort::SemisortConfig::default()
+        .with_seed(args.seed)
+        .with_telemetry(args.telemetry);
+    let (stats, dt) = with_threads(threads, || {
+        time_best_of(args.reps, || semisort::semisort_with_stats(&pairs, &cfg).1)
+    });
+    bench::trajectory::emit(&args, "pbbs_suite", threads, dt.as_secs_f64(), &stats);
 }

@@ -10,7 +10,7 @@
 
 use baselines::rr_semisort::rr_semisort;
 use bench::fmt::{s3, x2, Table};
-use bench::timing::time_avg;
+use bench::timing::time_best_of;
 use bench::Args;
 use parlay::with_threads;
 use semisort::{semisort_pairs, SemisortConfig};
@@ -42,9 +42,11 @@ fn main() {
     for dist in dists {
         let records = generate(dist, args.n, args.seed);
         let (_, t_semi) = with_threads(threads, || {
-            time_avg(args.reps, || semisort_pairs(&records, &cfg).len())
+            time_best_of(args.reps, || semisort_pairs(&records, &cfg).len())
         });
-        let (timing, _) = with_threads(threads, || time_avg(args.reps, || rr_semisort(&records).1));
+        let (timing, _) = with_threads(threads, || {
+            time_best_of(args.reps, || rr_semisort(&records).1)
+        });
         let total = timing.naming + timing.sort;
         table.row([
             dist.label(),

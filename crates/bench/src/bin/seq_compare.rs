@@ -9,7 +9,7 @@
 
 use baselines::{seq_hash_semisort, seq_open_semisort, seq_sort_semisort, seq_two_phase_semisort};
 use bench::fmt::{s3, x2, Table};
-use bench::timing::time_avg;
+use bench::timing::time_best_of;
 use bench::Args;
 use parlay::with_threads;
 use semisort::{semisort_pairs, SemisortConfig};
@@ -31,31 +31,31 @@ fn main() {
         let mut table = Table::new(["algorithm", "time (s)", "vs semisort"]);
 
         let (_, t_semi) = with_threads(1, || {
-            time_avg(args.reps, || semisort_pairs(&records, &cfg).len())
+            time_best_of(args.reps, || semisort_pairs(&records, &cfg).len())
         });
         let entries: Vec<(&str, std::time::Duration)> = vec![
             ("parallel semisort (1 thread)", t_semi),
             ("seq chained hash table", {
                 with_threads(1, || {
-                    time_avg(args.reps, || seq_hash_semisort(&records).len())
+                    time_best_of(args.reps, || seq_hash_semisort(&records).len())
                 })
                 .1
             }),
             ("seq open addressing + vecs", {
                 with_threads(1, || {
-                    time_avg(args.reps, || seq_open_semisort(&records).len())
+                    time_best_of(args.reps, || seq_open_semisort(&records).len())
                 })
                 .1
             }),
             ("seq two-phase count+place", {
                 with_threads(1, || {
-                    time_avg(args.reps, || seq_two_phase_semisort(&records).len())
+                    time_best_of(args.reps, || seq_two_phase_semisort(&records).len())
                 })
                 .1
             }),
             ("seq full sort (pdqsort)", {
                 with_threads(1, || {
-                    time_avg(args.reps, || seq_sort_semisort(&records).len())
+                    time_best_of(args.reps, || seq_sort_semisort(&records).len())
                 })
                 .1
             }),

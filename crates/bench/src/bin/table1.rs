@@ -10,7 +10,7 @@
 //! ≈1.7–1.9×, and its time varies ≤20% across all distributions.
 
 use bench::fmt::{pct1, s3, x2, Table};
-use bench::timing::time_avg;
+use bench::timing::time_best_of;
 use bench::Args;
 use parlay::radix_sort::radix_sort_pairs;
 use parlay::with_threads;
@@ -46,20 +46,20 @@ fn main() {
         let mut heavy_pct = 0.0;
         for &t in &args.threads {
             let (stats, dt) = with_threads(t, || {
-                time_avg(args.reps, || semisort_with_stats(&records, &cfg).1)
+                time_best_of(args.reps, || semisort_with_stats(&records, &cfg).1)
             });
             heavy_pct = stats.heavy_fraction_pct();
             semi_times.push(dt);
         }
         let (_, radix_seq) = with_threads(1, || {
-            time_avg(args.reps, || {
+            time_best_of(args.reps, || {
                 let mut v = records.clone();
                 radix_sort_pairs(&mut v);
                 v.len()
             })
         });
         let (_, radix_par) = with_threads(args.max_threads(), || {
-            time_avg(args.reps, || {
+            time_best_of(args.reps, || {
                 let mut v = records.clone();
                 radix_sort_pairs(&mut v);
                 v.len()

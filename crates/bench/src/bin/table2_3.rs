@@ -12,7 +12,7 @@
 use std::time::Duration;
 
 use bench::fmt::{pct1, x2, Table};
-use bench::timing::time_avg;
+use bench::timing::time_best_of;
 use bench::Args;
 use parlay::with_threads;
 use semisort::{semisort_with_stats, SemisortConfig, SemisortStats};
@@ -20,7 +20,9 @@ use workloads::{generate, representative_distributions};
 
 fn main() {
     let args = Args::parse();
-    let cfg = SemisortConfig::default().with_seed(args.seed);
+    let cfg = SemisortConfig::default()
+        .with_seed(args.seed)
+        .with_telemetry(args.telemetry);
     let (exp_dist, uni_dist) = representative_distributions(args.n);
     let par_threads = args.max_threads();
 
@@ -36,12 +38,19 @@ fn main() {
         println!("{label} — {}:", dist.label());
         let records = generate(dist, args.n, args.seed);
         let (seq_stats, _) = with_threads(1, || {
-            time_avg(args.reps, || semisort_with_stats(&records, &cfg).1)
+            time_best_of(args.reps, || semisort_with_stats(&records, &cfg).1)
         });
-        let (par_stats, _) = with_threads(par_threads, || {
-            time_avg(args.reps, || semisort_with_stats(&records, &cfg).1)
+        let (par_stats, par_t) = with_threads(par_threads, || {
+            time_best_of(args.reps, || semisort_with_stats(&records, &cfg).1)
         });
         print_breakdown(&seq_stats, &par_stats, par_threads);
+        bench::trajectory::emit(
+            &args,
+            "table2_3",
+            par_threads,
+            par_t.as_secs_f64(),
+            &par_stats,
+        );
         println!();
     }
     println!(

@@ -9,7 +9,7 @@
 
 use baselines::scatter_pack::scatter_and_pack;
 use bench::fmt::{s3, x2, Table};
-use bench::timing::time_avg;
+use bench::timing::time_best_of;
 use bench::Args;
 use parlay::with_threads;
 use semisort::{semisort_pairs, SemisortConfig};
@@ -47,20 +47,20 @@ fn main() {
         let uni_recs = generate(uni_dist, n, args.seed);
 
         let (_, exp_seq) = with_threads(1, || {
-            time_avg(args.reps, || semisort_pairs(&exp_recs, &cfg).len())
+            time_best_of(args.reps, || semisort_pairs(&exp_recs, &cfg).len())
         });
         let (_, exp_par) = with_threads(par_threads, || {
-            time_avg(args.reps, || semisort_pairs(&exp_recs, &cfg).len())
+            time_best_of(args.reps, || semisort_pairs(&exp_recs, &cfg).len())
         });
         let (_, uni_seq) = with_threads(1, || {
-            time_avg(args.reps, || semisort_pairs(&uni_recs, &cfg).len())
+            time_best_of(args.reps, || semisort_pairs(&uni_recs, &cfg).len())
         });
         let (_, uni_par) = with_threads(par_threads, || {
-            time_avg(args.reps, || semisort_pairs(&uni_recs, &cfg).len())
+            time_best_of(args.reps, || semisort_pairs(&uni_recs, &cfg).len())
         });
         // Scatter + pack on the uniform input (the paper's baseline column).
         let (timing, _) = with_threads(par_threads, || {
-            time_avg(args.reps, || scatter_and_pack(&uni_recs, args.seed).1)
+            time_best_of(args.reps, || scatter_and_pack(&uni_recs, args.seed).1)
         });
 
         let mrec = |t: std::time::Duration| x2(n as f64 / t.as_secs_f64() / 1e6);

@@ -10,7 +10,7 @@
 
 use baselines::comparison::{par_sort_semisort, seq_sort_semisort};
 use bench::fmt::{s3, x2, Table};
-use bench::timing::time_avg;
+use bench::timing::time_best_of;
 use bench::Args;
 use parlay::radix_sort::radix_sort_pairs;
 use parlay::sample_sort::sample_sort_pairs;
@@ -48,9 +48,9 @@ fn main() {
             let records = generate(dist, n, args.seed);
 
             let run_seq =
-                |f: &(dyn Fn() -> usize + Sync)| with_threads(1, || time_avg(args.reps, f)).1;
+                |f: &(dyn Fn() -> usize + Sync)| with_threads(1, || time_best_of(args.reps, f)).1;
             let run_par = |f: &(dyn Fn() -> usize + Sync)| {
-                with_threads(par_threads, || time_avg(args.reps, f)).1
+                with_threads(par_threads, || time_best_of(args.reps, f)).1
             };
 
             let stl = |recs: &[(u64, u64)]| seq_sort_semisort(recs).len();

@@ -10,6 +10,14 @@
 //! - `--sizes <list>` — comma-separated input sizes for size-sweep
 //!   binaries.
 //! - `--quick` — shrink everything for a fast smoke run.
+//! - `--stats-json <path>` — write the last run's `semisort-stats-v1`
+//!   JSON object to `path` (see `semisort::stats` for the schema).
+//! - `--trajectory <path>` — where to append one JSONL run record per
+//!   measured run (default `BENCH_semisort.json`; `none` disables).
+//! - `--telemetry <off|counters|deep>` — telemetry level for the measured
+//!   runs (default off).
+
+use semisort::TelemetryLevel;
 
 /// Parsed harness arguments.
 #[derive(Clone, Debug)]
@@ -26,6 +34,12 @@ pub struct Args {
     pub sizes: Vec<usize>,
     /// Smoke-run mode.
     pub quick: bool,
+    /// Where to write the last run's stats JSON, if anywhere.
+    pub stats_json: Option<String>,
+    /// Trajectory JSONL path (`"none"` disables appending).
+    pub trajectory: String,
+    /// Telemetry level for measured runs.
+    pub telemetry: TelemetryLevel,
 }
 
 impl Default for Args {
@@ -49,6 +63,9 @@ impl Default for Args {
             seed: 42,
             sizes: vec![100_000, 200_000, 500_000, 1_000_000, 2_000_000, 5_000_000],
             quick: false,
+            stats_json: None,
+            trajectory: crate::trajectory::DEFAULT_TRAJECTORY.to_string(),
+            telemetry: TelemetryLevel::Off,
         }
     }
 }
@@ -85,10 +102,19 @@ impl Args {
                         .collect()
                 }
                 "--quick" => out.quick = true,
+                "--stats-json" => out.stats_json = Some(value("--stats-json")),
+                "--trajectory" => out.trajectory = value("--trajectory"),
+                "--telemetry" => {
+                    let v = value("--telemetry");
+                    out.telemetry = TelemetryLevel::parse(&v)
+                        .unwrap_or_else(|| panic!("bad telemetry level {v} (off|counters|deep)"));
+                }
                 "--help" | "-h" => {
                     eprintln!(
                         "flags: --n <records> --threads <a,b,c> --reps <k> \
-                         --seed <u64> --sizes <a,b,c> --quick"
+                         --seed <u64> --sizes <a,b,c> --quick \
+                         --stats-json <path> --trajectory <path|none> \
+                         --telemetry <off|counters|deep>"
                     );
                     std::process::exit(0);
                 }
@@ -189,5 +215,34 @@ mod tests {
     fn max_threads() {
         let a = parse(&["--threads", "4,1,2"]);
         assert_eq!(a.max_threads(), 4);
+    }
+
+    #[test]
+    fn stats_flags_parse() {
+        let a = parse(&[
+            "--stats-json",
+            "/tmp/out.json",
+            "--trajectory",
+            "none",
+            "--telemetry",
+            "deep",
+        ]);
+        assert_eq!(a.stats_json.as_deref(), Some("/tmp/out.json"));
+        assert_eq!(a.trajectory, "none");
+        assert_eq!(a.telemetry, TelemetryLevel::Deep);
+    }
+
+    #[test]
+    fn stats_flags_default_off() {
+        let a = parse(&[]);
+        assert_eq!(a.stats_json, None);
+        assert_eq!(a.trajectory, crate::trajectory::DEFAULT_TRAJECTORY);
+        assert_eq!(a.telemetry, TelemetryLevel::Off);
+    }
+
+    #[test]
+    #[should_panic(expected = "bad telemetry level")]
+    fn bad_telemetry_level_panics() {
+        parse(&["--telemetry", "verbose"]);
     }
 }

@@ -10,7 +10,8 @@ pub mod alloc_track;
 pub mod cli;
 pub mod fmt;
 pub mod timing;
+pub mod trajectory;
 
 pub use cli::Args;
 pub use fmt::Table;
-pub use timing::{time, time_avg};
+pub use timing::{time, time_best_of};

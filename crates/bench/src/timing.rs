@@ -11,8 +11,9 @@ pub fn time<R>(f: impl FnOnce() -> R) -> (R, Duration) {
 
 /// Best-of-`reps` timing (the conventional way to suppress OS noise for
 /// throughput benchmarks): runs `f` `reps` times, returns the last result
-/// and the minimum elapsed time.
-pub fn time_avg<R>(reps: usize, mut f: impl FnMut() -> R) -> (R, Duration) {
+/// and the **minimum** elapsed time. (Formerly misnamed `time_avg` — it
+/// never averaged.)
+pub fn time_best_of<R>(reps: usize, mut f: impl FnMut() -> R) -> (R, Duration) {
     assert!(reps >= 1);
     let mut best = Duration::MAX;
     let mut last = None;
@@ -44,7 +45,7 @@ mod tests {
     #[test]
     fn best_of_is_min() {
         let mut calls = 0;
-        let (_, d) = time_avg(5, || {
+        let (_, d) = time_best_of(5, || {
             calls += 1;
             if calls == 3 {
                 std::thread::sleep(Duration::from_millis(5));
@@ -60,6 +61,6 @@ mod tests {
     #[test]
     #[should_panic]
     fn zero_reps_panics() {
-        time_avg(0, || ());
+        time_best_of(0, || ());
     }
 }

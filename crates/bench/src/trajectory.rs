@@ -1,0 +1,157 @@
+//! The `BENCH_semisort.json` trajectory file.
+//!
+//! Every benchmark binary (and `semisort-cli bench`) appends one JSON
+//! object per run — JSON Lines, one run per line — so the repo accumulates
+//! a machine-readable performance trajectory across commits. Each line
+//! wraps a `semisort-stats-v1` object (see `semisort::stats`) in a run
+//! record:
+//!
+//! ```json
+//! {"schema": "semisort-bench-v1", "ts_unix": 1754300000,
+//!  "git": "4538b58", "bin": "ablation", "threads": 8,
+//!  "wall_s": 0.123, "stats": { ... semisort-stats-v1 ... }}
+//! ```
+//!
+//! The default path is `BENCH_semisort.json` in the current directory;
+//! `--trajectory <path>` overrides it and `--trajectory none` disables
+//! appending.
+
+use std::fs::OpenOptions;
+use std::io::Write;
+use std::process::Command;
+use std::time::{SystemTime, UNIX_EPOCH};
+
+use semisort::Json;
+
+/// Default trajectory file name (JSONL despite the extension — one run
+/// record per line, which is what longitudinal tooling expects).
+pub const DEFAULT_TRAJECTORY: &str = "BENCH_semisort.json";
+
+/// Short git revision of the working tree (`git describe --always
+/// --dirty`), or `"unknown"` outside a repo / without git.
+pub fn git_describe() -> String {
+    Command::new("git")
+        .args(["describe", "--always", "--dirty"])
+        .output()
+        .ok()
+        .filter(|o| o.status.success())
+        .map(|o| String::from_utf8_lossy(&o.stdout).trim().to_string())
+        .filter(|s| !s.is_empty())
+        .unwrap_or_else(|| "unknown".to_string())
+}
+
+/// Seconds since the Unix epoch.
+pub fn unix_ts() -> u64 {
+    SystemTime::now()
+        .duration_since(UNIX_EPOCH)
+        .map(|d| d.as_secs())
+        .unwrap_or(0)
+}
+
+/// Wrap one run's stats JSON in a `semisort-bench-v1` run record.
+pub fn run_record(bin: &str, threads: usize, wall_s: f64, stats: Json) -> Json {
+    Json::Obj(vec![
+        ("schema".into(), Json::str("semisort-bench-v1")),
+        ("ts_unix".into(), Json::num(unix_ts())),
+        ("git".into(), Json::str(git_describe())),
+        ("bin".into(), Json::str(bin)),
+        ("threads".into(), Json::num(threads as u64)),
+        ("wall_s".into(), Json::Num(wall_s)),
+        ("stats".into(), stats),
+    ])
+}
+
+/// Append one record as a single line to `path` (creating the file on
+/// first use). `path == "none"` disables the append; I/O errors are
+/// reported on stderr but never fail the benchmark.
+pub fn append_line(path: &str, record: &Json) {
+    if path == "none" {
+        return;
+    }
+    let line = record.to_string();
+    debug_assert!(!line.contains('\n'), "records must be single-line");
+    let res = OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(path)
+        .and_then(|mut f| writeln!(f, "{line}"));
+    if let Err(e) = res {
+        eprintln!("trajectory: cannot append to {path}: {e}");
+    }
+}
+
+/// Shared tail of every harness binary: write `--stats-json` (when
+/// requested) and append one trajectory run record. The stats file holds
+/// the bare `semisort-stats-v1` object; the trajectory line wraps it.
+pub fn emit(
+    args: &crate::Args,
+    bin: &str,
+    threads: usize,
+    wall_s: f64,
+    stats: &semisort::SemisortStats,
+) {
+    let json = stats.to_json();
+    if let Some(path) = &args.stats_json {
+        if let Err(e) = std::fs::write(path, format!("{json}\n")) {
+            eprintln!("stats-json: cannot write {path}: {e}");
+        }
+    }
+    append_line(&args.trajectory, &run_record(bin, threads, wall_s, json));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn run_record_has_all_members() {
+        let stats = Json::Obj(vec![("n".into(), Json::num(5))]);
+        let r = run_record("testbin", 4, 1.5, stats);
+        assert_eq!(
+            r.get("schema").and_then(Json::as_str),
+            Some("semisort-bench-v1")
+        );
+        assert_eq!(r.get("bin").and_then(Json::as_str), Some("testbin"));
+        assert_eq!(r.get("threads").and_then(Json::as_u64), Some(4));
+        assert_eq!(r.get("wall_s").and_then(Json::as_f64), Some(1.5));
+        assert_eq!(
+            r.get("stats")
+                .and_then(|s| s.get("n"))
+                .and_then(Json::as_u64),
+            Some(5)
+        );
+        assert!(r.get("ts_unix").is_some() && r.get("git").is_some());
+    }
+
+    #[test]
+    fn records_round_trip_as_jsonl() {
+        let r = run_record("b", 1, 0.25, Json::Obj(vec![]));
+        let line = r.to_string();
+        assert!(!line.contains('\n'));
+        let back = Json::parse(&line).expect("parse back");
+        assert_eq!(back.get("threads").and_then(Json::as_u64), Some(1));
+    }
+
+    #[test]
+    fn append_to_none_is_noop() {
+        append_line("none", &Json::Null); // must not create a file "none"
+        assert!(!std::path::Path::new("none").exists());
+    }
+
+    #[test]
+    fn append_writes_one_line_per_record() {
+        let dir = std::env::temp_dir().join(format!("semisort-traj-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("t.json");
+        let p = path.to_str().unwrap();
+        append_line(p, &run_record("a", 1, 0.1, Json::Obj(vec![])));
+        append_line(p, &run_record("b", 2, 0.2, Json::Obj(vec![])));
+        let text = std::fs::read_to_string(&path).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 2);
+        for l in lines {
+            Json::parse(l).expect("each line parses");
+        }
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

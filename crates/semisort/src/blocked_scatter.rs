@@ -34,11 +34,12 @@
 //!
 //! [`SemisortConfig::scatter_block`]: crate::config::SemisortConfig::scatter_block
 
-use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicUsize, Ordering};
 
 use rayon::prelude::*;
 
 use crate::buckets::BucketPlan;
+use crate::obs::{ObsSink, OverflowCapture, WorkerCell};
 use crate::scatter::{place_linear, ScatterArena, EMPTY};
 
 /// Minimum records per worker chunk; below this, chunking overhead and the
@@ -59,6 +60,12 @@ pub struct BlockedOutcome {
     pub slab_overflows: usize,
     /// Records placed by the per-record CAS fallback in the tail region.
     pub fallback_records: usize,
+    /// The first overflowing bucket as `(bucket, allocated, observed)`.
+    /// `observed` is the slab-cursor demand at the failing flush
+    /// (`reservation start + flush size`, at least `allocated + 1`) — a
+    /// lower bound on the bucket's true record count, usually tighter than
+    /// the CAS scatter's `allocated + 1`.
+    pub overflow: Option<(u32, usize, usize)>,
 }
 
 /// Slab length (cursor-allocated prefix) for a bucket of `size` slots.
@@ -72,18 +79,23 @@ fn slab_len(size: usize, tail_log2: u32) -> usize {
 /// Scatter all records into the arena via per-worker block buffers.
 ///
 /// Same contract as [`crate::scatter::scatter`]: on `overflowed == true`
-/// the arena contents are garbage and the caller must retry.
+/// the arena contents are garbage and the caller must retry. The block
+/// counters (`blocks_flushed`, `slab_overflows`, `fallback_records`) are
+/// always collected — they ride the per-chunk `Local` merge and cost
+/// nothing per record; `sink` additionally receives the CAS/probe
+/// telemetry of the tail fallback when its level asks for it.
 pub fn blocked_scatter<V: Copy + Send + Sync>(
     records: &[(u64, V)],
     plan: &BucketPlan,
     arena: &ScatterArena<V>,
     block: usize,
     tail_log2: u32,
+    sink: &ObsSink,
 ) -> BlockedOutcome {
     debug_assert!(block.is_power_of_two());
     let num_buckets = plan.num_buckets();
     let cursors: Vec<AtomicUsize> = (0..num_buckets).map(|_| AtomicUsize::new(0)).collect();
-    let overflow = AtomicBool::new(false);
+    let overflow = OverflowCapture::new();
     let heavy_records = AtomicUsize::new(0);
     let blocks_flushed = AtomicUsize::new(0);
     let slab_overflows = AtomicUsize::new(0);
@@ -96,7 +108,11 @@ pub fn blocked_scatter<V: Copy + Send + Sync>(
         blocks: usize,
         slab_overflows: usize,
         fallback: usize,
+        cell: WorkerCell,
     }
+
+    let counters = sink.level().counters();
+    let deep = sink.level().deep();
 
     // Drain one buffer into bucket `b`: one fetch_add reserves a slab
     // range; whatever doesn't fit goes through the CAS tail. Returns false
@@ -121,13 +137,32 @@ pub fn blocked_scatter<V: Copy + Send + Sync>(
         if fit > 0 {
             local.blocks += 1;
         }
+        if counters {
+            local.cell.records_placed += fit as u64;
+        }
         if fit < k {
             local.slab_overflows += 1;
             let tail_mask = size - slab - 1; // tail length is a power of two
             let tail = &arena.slots[base + slab..base + size];
             for &(key, value) in &buf[fit..] {
                 local.fallback += 1;
-                if !place_linear(tail, res & tail_mask, tail_mask, key, value) {
+                let placed = place_linear(tail, res & tail_mask, tail_mask, key, value);
+                if counters {
+                    local.cell.cas_attempts += placed.cas as u64;
+                    local.cell.cas_failures += placed.cas_lost as u64;
+                    if placed.ok {
+                        local.cell.records_placed += 1;
+                        if deep {
+                            local.cell.probe_hist.record(placed.probes as u64);
+                        }
+                    }
+                }
+                if !placed.ok {
+                    // `res + k` is the cursor demand this flush drove the
+                    // bucket to — a lower bound on its record count. Another
+                    // worker's later reservation may have filled the tail,
+                    // so clamp to `size + 1`, which any overflow implies.
+                    overflow.report(b as u32, size, (res + k).max(size + 1));
                     buf.clear();
                     return false;
                 }
@@ -145,7 +180,7 @@ pub fn blocked_scatter<V: Copy + Send + Sync>(
         let mut local = Local::default();
         let mut failed = false;
         for &(key, value) in chunk_recs {
-            if overflow.load(Ordering::Relaxed) {
+            if overflow.is_set() {
                 failed = true;
                 break; // another chunk failed; stop doing useless work
             }
@@ -160,7 +195,6 @@ pub fn blocked_scatter<V: Copy + Send + Sync>(
             }
             buf.push((key, value));
             if buf.len() == block && !flush(b, buf, &mut local) {
-                overflow.store(true, Ordering::Relaxed);
                 failed = true;
                 break;
             }
@@ -168,7 +202,6 @@ pub fn blocked_scatter<V: Copy + Send + Sync>(
         if !failed {
             for &b in &touched {
                 if !flush(b as usize, &mut bufs[b as usize], &mut local) {
-                    overflow.store(true, Ordering::Relaxed);
                     break;
                 }
             }
@@ -177,14 +210,16 @@ pub fn blocked_scatter<V: Copy + Send + Sync>(
         blocks_flushed.fetch_add(local.blocks, Ordering::Relaxed);
         slab_overflows.fetch_add(local.slab_overflows, Ordering::Relaxed);
         fallback_records.fetch_add(local.fallback, Ordering::Relaxed);
+        sink.merge_cell(&local.cell);
     });
 
     BlockedOutcome {
         heavy_records: heavy_records.into_inner(),
-        overflowed: overflow.into_inner(),
+        overflowed: overflow.is_set(),
         blocks_flushed: blocks_flushed.into_inner(),
         slab_overflows: slab_overflows.into_inner(),
         fallback_records: fallback_records.into_inner(),
+        overflow: overflow.take(),
     }
 }
 
@@ -212,6 +247,7 @@ mod tests {
             &arena,
             cfg.scatter_block,
             cfg.blocked_tail_log2,
+            &ObsSink::disabled(),
         );
         (plan, arena, out)
     }
@@ -301,8 +337,14 @@ mod tests {
         let arena = allocate_arena::<u64>(&plan);
         let n_over = plan.total_slots + 1_000;
         let records: Vec<(u64, u64)> = (0..n_over as u64).map(|i| (hash64(i), i)).collect();
-        let out = blocked_scatter(&records, &plan, &arena, 16, 3);
+        let out = blocked_scatter(&records, &plan, &arena, 16, 3, &ObsSink::disabled());
         assert!(out.overflowed, "must report overflow instead of spinning");
+        let (bucket, allocated, observed) = out.overflow.expect("overflow details captured");
+        assert_eq!(allocated, plan.bucket_size[bucket as usize]);
+        assert!(
+            observed > allocated,
+            "observed demand {observed} must exceed allocation {allocated}"
+        );
     }
 
     #[test]

@@ -6,6 +6,8 @@
 //! `1.1` from Phase 2 ("each bucket with s samples allocates an array of
 //! size 1.1·f(s) with c = 1.25, and rounded up to the nearest power of 2").
 
+pub use crate::obs::TelemetryLevel;
+
 /// How the scatter phase resolves an occupied slot.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum ProbeStrategy {
@@ -97,6 +99,10 @@ pub struct SemisortConfig {
     /// before growing α; default 3. Each retry re-randomizes scatter
     /// positions and doubles the overflowing run's slack.
     pub max_retries: u32,
+    /// How much telemetry the run collects (see [`TelemetryLevel`]);
+    /// default `Off`, which keeps the hot loops at their pre-telemetry
+    /// cost. Retry causes are recorded at every level (cold path).
+    pub telemetry: TelemetryLevel,
 }
 
 impl Default for SemisortConfig {
@@ -116,6 +122,7 @@ impl Default for SemisortConfig {
             seed: 0x5eed_0f5e_u64,
             seq_threshold: 1 << 13,
             max_retries: 3,
+            telemetry: TelemetryLevel::Off,
         }
     }
 }
@@ -144,6 +151,12 @@ impl SemisortConfig {
     /// Builder-style setter for the seed.
     pub fn with_seed(mut self, seed: u64) -> Self {
         self.seed = seed;
+        self
+    }
+
+    /// Builder-style setter for the telemetry level.
+    pub fn with_telemetry(mut self, level: TelemetryLevel) -> Self {
+        self.telemetry = level;
         self
     }
 
@@ -183,6 +196,7 @@ mod tests {
         assert_eq!(c.scatter_strategy, ScatterStrategy::RandomCas);
         assert_eq!(c.scatter_block, 16);
         assert_eq!(c.blocked_tail_log2, 3);
+        assert_eq!(c.telemetry, TelemetryLevel::Off);
         c.validate();
     }
 

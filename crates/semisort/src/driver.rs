@@ -1,8 +1,6 @@
 //! The five-phase driver (Algorithm 1 end to end), with per-phase timing
 //! and the Las Vegas retry loop.
 
-use std::time::Instant;
-
 use parlay::random::Rng;
 use rayon::prelude::*;
 
@@ -10,6 +8,7 @@ use crate::blocked_scatter::blocked_scatter;
 use crate::buckets::build_plan;
 use crate::config::{ScatterStrategy, SemisortConfig};
 use crate::local_sort::local_sort_light_buckets;
+use crate::obs::{log_event, ObsSink, PhaseSpan, RetryCause};
 use crate::pack_phase::pack_output;
 use crate::sample::strided_sample_by;
 use crate::scatter::{allocate_arena, scatter, EMPTY};
@@ -45,6 +44,7 @@ pub fn semisort_with_stats<V: Copy + Send + Sync>(
     let n = records.len();
     let mut stats = SemisortStats {
         n,
+        config: *cfg,
         ..Default::default()
     };
 
@@ -65,6 +65,7 @@ pub fn semisort_with_stats<V: Copy + Send + Sync>(
     }
 
     let mut attempt = 0u32;
+    let mut retry_causes: Vec<RetryCause> = Vec::new();
     loop {
         // Each retry re-randomizes every random choice and doubles the
         // slack α (Corollary 3.4 failures are overwhelmingly due to an
@@ -75,30 +76,40 @@ pub fn semisort_with_stats<V: Copy + Send + Sync>(
             ..*cfg
         };
         let rng = Rng::new(run_cfg.seed);
+        // Fresh sink per attempt: the final stats describe the successful
+        // pass; failed attempts leave their trace as `retry_causes`.
+        let sink = ObsSink::new(run_cfg.telemetry);
 
         // Phase 1: sampling and sorting.
-        let t = Instant::now();
+        let span = PhaseSpan::start("sample_sort");
         let mut sample = strided_sample_by(n, run_cfg.sample_shift, rng.fork(1), |i| records[i].0);
         parlay::radix_sort::radix_sort_u64(&mut sample);
-        stats.t_sample_sort = t.elapsed();
+        stats.t_sample_sort = span.finish();
         stats.sample_size = sample.len();
 
         // Phase 2: bucket construction (classification, table, allocation).
-        let t = Instant::now();
+        let span = PhaseSpan::start("construct_buckets");
         let plan = build_plan(&sample, n, &run_cfg);
         let arena = allocate_arena::<V>(&plan);
-        stats.t_construct_buckets = t.elapsed();
+        stats.t_construct_buckets = span.finish();
         stats.heavy_keys = plan.num_heavy;
         stats.light_buckets = plan.num_light;
         stats.total_slots = plan.total_slots;
 
         // Phase 3: scatter (the paper's CAS loop or the block-buffered
         // variant; both fill the same arena under the same contract).
-        let t = Instant::now();
-        let (heavy_records, overflowed) = match run_cfg.scatter_strategy {
+        let span = PhaseSpan::start("scatter");
+        let (heavy_records, overflowed, overflow) = match run_cfg.scatter_strategy {
             ScatterStrategy::RandomCas => {
-                let o = scatter(records, &plan, &arena, run_cfg.probe_strategy, rng.fork(2));
-                (o.heavy_records, o.overflowed)
+                let o = scatter(
+                    records,
+                    &plan,
+                    &arena,
+                    run_cfg.probe_strategy,
+                    rng.fork(2),
+                    &sink,
+                );
+                (o.heavy_records, o.overflowed, o.overflow)
             }
             ScatterStrategy::Blocked => {
                 let o = blocked_scatter(
@@ -107,17 +118,38 @@ pub fn semisort_with_stats<V: Copy + Send + Sync>(
                     &arena,
                     run_cfg.scatter_block,
                     run_cfg.blocked_tail_log2,
+                    &sink,
                 );
                 stats.blocks_flushed = o.blocks_flushed;
                 stats.slab_overflows = o.slab_overflows;
                 stats.fallback_records = o.fallback_records;
-                (o.heavy_records, o.overflowed)
+                (o.heavy_records, o.overflowed, o.overflow)
             }
         };
-        stats.t_scatter = t.elapsed();
+        stats.t_scatter = span.finish();
         if overflowed {
             attempt += 1;
             stats.retries = attempt;
+            // Record *why* (cold path — every telemetry level keeps this:
+            // a run that retried is exactly the run worth diagnosing).
+            if let Some((bucket, allocated, observed)) = overflow {
+                retry_causes.push(RetryCause {
+                    attempt,
+                    bucket,
+                    heavy: (bucket as usize) < plan.num_heavy,
+                    allocated,
+                    observed,
+                });
+                log_event(
+                    "retry",
+                    &[
+                        ("attempt", attempt as u64),
+                        ("bucket", bucket as u64),
+                        ("allocated", allocated as u64),
+                        ("observed", observed as u64),
+                    ],
+                );
+            }
             assert!(
                 attempt <= cfg.max_retries,
                 "semisort: bucket overflow persisted after {attempt} retries \
@@ -130,16 +162,18 @@ pub fn semisort_with_stats<V: Copy + Send + Sync>(
         stats.light_records = n - heavy_records;
 
         // Phase 4: local sort of the light buckets.
-        let t = Instant::now();
-        let light_counts = local_sort_light_buckets(&plan, &arena, run_cfg.local_sort_algo);
-        stats.t_local_sort = t.elapsed();
+        let span = PhaseSpan::start("local_sort");
+        let light_counts = local_sort_light_buckets(&plan, &arena, run_cfg.local_sort_algo, &sink);
+        stats.t_local_sort = span.finish();
 
         // Phase 5: pack.
-        let t = Instant::now();
+        let span = PhaseSpan::start("pack");
         let out = pack_output(&plan, &arena, &light_counts);
-        stats.t_pack = t.elapsed();
+        stats.t_pack = span.finish();
         debug_assert_eq!(out.len(), n, "pack must emit every record");
 
+        stats.telemetry = sink.snapshot();
+        stats.telemetry.retry_causes = retry_causes;
         return (out, stats);
     }
 }

@@ -44,7 +44,9 @@ pub mod buckets;
 pub mod config;
 pub mod driver;
 pub mod estimate;
+pub mod json;
 pub mod local_sort;
+pub mod obs;
 pub mod pack_phase;
 pub mod sample;
 pub mod scatter;
@@ -58,4 +60,6 @@ pub use api::{
 pub use bounded::{semisort_auto, semisort_bounded};
 pub use config::{LocalSortAlgo, ProbeStrategy, ScatterStrategy, SemisortConfig};
 pub use driver::{semisort_core, semisort_with_stats};
+pub use json::Json;
+pub use obs::{Hist, PhaseSpan, RetryCause, Telemetry, TelemetryLevel};
 pub use stats::SemisortStats;

@@ -14,14 +14,21 @@ use rayon::prelude::*;
 
 use crate::buckets::BucketPlan;
 use crate::config::LocalSortAlgo;
+use crate::obs::ObsSink;
 use crate::scatter::ScatterArena;
 
 /// Compact each light bucket's occupied slots to the bucket front, sort
 /// them by key with `algo`, and return the per-light-bucket record counts.
+///
+/// At `Deep` telemetry, each light bucket's occupancy (its record count —
+/// already computed here for free) is recorded into `sink`'s occupancy
+/// histogram; heavy buckets hold a single key each, so their "occupancy"
+/// is just that key's multiplicity, visible in the heavy-records stat.
 pub fn local_sort_light_buckets<V: Copy + Send + Sync>(
     plan: &BucketPlan,
     arena: &ScatterArena<V>,
     algo: LocalSortAlgo,
+    sink: &ObsSink,
 ) -> Vec<usize> {
     (plan.num_heavy..plan.num_buckets())
         .into_par_iter()
@@ -38,6 +45,7 @@ pub fn local_sort_light_buckets<V: Copy + Send + Sync>(
                 .map(|s| (s.key(), unsafe { s.value() }))
                 .collect();
 
+            sink.record_occupancy(records.len() as u64);
             sort_records(&mut records, algo);
 
             // Write the sorted run back to the bucket front; the tail stays
@@ -134,9 +142,17 @@ mod tests {
         sample.sort_unstable();
         let plan = build_plan(&sample, records.len(), &cfg);
         let arena = allocate_arena::<u64>(&plan);
-        let out = scatter(records, &plan, &arena, cfg.probe_strategy, Rng::new(2));
+        let sink = crate::obs::ObsSink::disabled();
+        let out = scatter(
+            records,
+            &plan,
+            &arena,
+            cfg.probe_strategy,
+            Rng::new(2),
+            &sink,
+        );
         assert!(!out.overflowed);
-        let counts = local_sort_light_buckets(&plan, &arena, algo);
+        let counts = local_sort_light_buckets(&plan, &arena, algo, &sink);
         (plan, arena, counts)
     }
 

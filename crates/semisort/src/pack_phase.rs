@@ -126,9 +126,17 @@ mod tests {
         sample.sort_unstable();
         let plan = build_plan(&sample, records.len(), &cfg);
         let arena = allocate_arena::<u64>(&plan);
-        let out = scatter(records, &plan, &arena, cfg.probe_strategy, Rng::new(4));
+        let sink = crate::obs::ObsSink::disabled();
+        let out = scatter(
+            records,
+            &plan,
+            &arena,
+            cfg.probe_strategy,
+            Rng::new(4),
+            &sink,
+        );
         assert!(!out.overflowed);
-        let counts = local_sort_light_buckets(&plan, &arena, cfg.local_sort_algo);
+        let counts = local_sort_light_buckets(&plan, &arena, cfg.local_sort_algo, &sink);
         pack_output(&plan, &arena, &counts)
     }
 

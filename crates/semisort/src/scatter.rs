@@ -21,13 +21,19 @@
 use std::alloc::{alloc_zeroed, handle_alloc_error, Layout};
 use std::cell::UnsafeCell;
 use std::mem::MaybeUninit;
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 
 use parlay::random::Rng;
 use rayon::prelude::*;
 
 use crate::buckets::BucketPlan;
 use crate::config::ProbeStrategy;
+use crate::obs::{ObsSink, OverflowCapture, WorkerCell};
+
+/// Minimum records per worker chunk (the pre-telemetry `with_min_len`
+/// granularity): below this, per-chunk telemetry-cell merges and chunk
+/// bookkeeping would dominate.
+const MIN_CHUNK: usize = 4096;
 
 /// Slot vacancy sentinel. Zero, so that a freshly `alloc_zeroed` arena is
 /// all-vacant with no initialization pass: the kernel hands back lazily
@@ -106,6 +112,27 @@ pub struct ScatterOutcome {
     /// Corollary 3.4 failure; the driver must retry with fresh randomness
     /// and more slack.
     pub overflowed: bool,
+    /// The first overflowing bucket as `(bucket, allocated, observed)`,
+    /// recorded so the driver's retry telemetry can say *which* bucket's
+    /// estimate was unlucky. `observed` is `allocated + 1` here — the
+    /// failing record found the bucket full, so true demand is at least
+    /// one more than the allocation.
+    pub overflow: Option<(u32, usize, usize)>,
+}
+
+/// Result of one record placement attempt, with the counts the telemetry
+/// cells accumulate. Counting into these fields happens in registers; it is
+/// not gated on the telemetry level because the adds are free next to the
+/// CAS loop they annotate.
+pub(crate) struct Placed {
+    /// Whether the record landed (false ⇒ the bucket is full).
+    pub ok: bool,
+    /// Slots examined beyond the first (0 = landed at its start slot).
+    pub probes: u32,
+    /// CAS instructions issued.
+    pub cas: u32,
+    /// CAS instructions that lost their race.
+    pub cas_lost: u32,
 }
 
 /// Allocate the slot array (all vacant) for `plan`.
@@ -135,50 +162,86 @@ pub fn allocate_arena<V: Send + Sync>(plan: &BucketPlan) -> ScatterArena<V> {
 /// Scatter all records into the arena. Returns telemetry; on
 /// `overflowed == true` the arena contents are garbage and the caller must
 /// retry (the Las Vegas loop in the driver).
+///
+/// Workers walk fixed chunks of the input with a private [`WorkerCell`]
+/// and merge it into `sink` once per chunk, so telemetry adds no shared
+/// traffic to the per-record CAS loop. With the sink at `Off` the
+/// per-record telemetry code is one never-taken branch.
 pub fn scatter<V: Copy + Send + Sync>(
     records: &[(u64, V)],
     plan: &BucketPlan,
     arena: &ScatterArena<V>,
     strategy: ProbeStrategy,
     rng: Rng,
+    sink: &ObsSink,
 ) -> ScatterOutcome {
-    let overflow = AtomicBool::new(false);
-    let heavy_records: usize = records
-        .par_iter()
+    let overflow = OverflowCapture::new();
+    let heavy_records = AtomicUsize::new(0);
+    let workers = rayon::current_num_threads().max(1);
+    let chunk = records.len().div_ceil(workers * 4).max(MIN_CHUNK);
+    records
+        .par_chunks(chunk)
         .enumerate()
-        .with_min_len(4096)
-        .map(|(i, &(key, value))| {
-            if overflow.load(Ordering::Relaxed) {
-                return 0; // another task failed; stop doing useless work
-            }
-            let (bucket, is_heavy) = plan.bucket_of_tagged(key);
-            let b = bucket as usize;
-            let base = plan.bucket_offset[b];
-            let size = plan.bucket_size[b];
-            let mask = size - 1; // sizes are powers of two
-            let start = (rng.at(i as u64) as usize) & mask;
-            let placed = match strategy {
-                ProbeStrategy::Linear => {
-                    place_linear(&arena.slots[base..base + size], start, mask, key, value)
+        .for_each(|(ci, chunk_recs)| {
+            let counters = sink.level().counters();
+            let deep = sink.level().deep();
+            let mut cell = WorkerCell::default();
+            let mut heavy = 0usize;
+            for (j, &(key, value)) in chunk_recs.iter().enumerate() {
+                if overflow.is_set() {
+                    break; // another task failed; stop doing useless work
                 }
-                ProbeStrategy::Random => place_random(
-                    &arena.slots[base..base + size],
-                    mask,
-                    key,
-                    value,
-                    rng.fork(1),
-                    i as u64,
-                ),
-            };
-            if !placed {
-                overflow.store(true, Ordering::Relaxed);
+                let i = ci * chunk + j;
+                let (bucket, is_heavy) = plan.bucket_of_tagged(key);
+                let b = bucket as usize;
+                let base = plan.bucket_offset[b];
+                let size = plan.bucket_size[b];
+                let mask = size - 1; // sizes are powers of two
+                let start = (rng.at(i as u64) as usize) & mask;
+                let placed = match strategy {
+                    ProbeStrategy::Linear => {
+                        place_linear(&arena.slots[base..base + size], start, mask, key, value)
+                    }
+                    ProbeStrategy::Random => place_random(
+                        &arena.slots[base..base + size],
+                        mask,
+                        key,
+                        value,
+                        rng.fork(1),
+                        i as u64,
+                    ),
+                };
+                if counters {
+                    cell.cas_attempts += placed.cas as u64;
+                    cell.cas_failures += placed.cas_lost as u64;
+                    if placed.ok {
+                        cell.records_placed += 1;
+                        // Zero-probe placements (the common case) are
+                        // reconstructed below from records_placed, keeping
+                        // the hist update off the happy path.
+                        if deep && placed.probes != 0 {
+                            cell.probe_hist.record(placed.probes as u64);
+                        }
+                    }
+                }
+                if !placed.ok {
+                    overflow.report(bucket, size, size + 1);
+                    break;
+                }
+                heavy += is_heavy as usize;
             }
-            is_heavy as usize
-        })
-        .sum();
+            if deep {
+                // Every placed record either recorded a nonzero probe
+                // length above or landed at its start slot.
+                cell.probe_hist.buckets[0] += cell.records_placed - cell.probe_hist.count();
+            }
+            heavy_records.fetch_add(heavy, Ordering::Relaxed);
+            sink.merge_cell(&cell);
+        });
     ScatterOutcome {
-        heavy_records,
-        overflowed: overflow.load(Ordering::Relaxed),
+        heavy_records: heavy_records.into_inner(),
+        overflowed: overflow.is_set(),
+        overflow: overflow.take(),
     }
 }
 
@@ -192,23 +255,39 @@ pub(crate) fn place_linear<V: Copy>(
     mask: usize,
     key: u64,
     value: V,
-) -> bool {
+) -> Placed {
     let mut i = start;
-    for _ in 0..bucket.len() {
+    let mut cas = 0u32;
+    let mut cas_lost = 0u32;
+    for probes in 0..bucket.len() {
         let slot = &bucket[i];
-        if slot.key.load(Ordering::Relaxed) == EMPTY
-            && slot
+        if slot.key.load(Ordering::Relaxed) == EMPTY {
+            cas += 1;
+            if slot
                 .key
                 .compare_exchange(EMPTY, key, Ordering::AcqRel, Ordering::Relaxed)
                 .is_ok()
-        {
-            // SAFETY: we won the CAS; we are the unique writer of this cell.
-            unsafe { (*slot.val.get()).write(value) };
-            return true;
+            {
+                // SAFETY: we won the CAS; we are the unique writer of this
+                // cell.
+                unsafe { (*slot.val.get()).write(value) };
+                return Placed {
+                    ok: true,
+                    probes: probes as u32,
+                    cas,
+                    cas_lost,
+                };
+            }
+            cas_lost += 1;
         }
         i = (i + 1) & mask;
     }
-    false
+    Placed {
+        ok: false,
+        probes: bucket.len() as u32,
+        cas,
+        cas_lost,
+    }
 }
 
 /// The theoretical §3 strategy: a fresh random slot per attempt, giving a
@@ -222,25 +301,39 @@ fn place_random<V: Copy>(
     value: V,
     rng: Rng,
     record_id: u64,
-) -> bool {
+) -> Placed {
     let attempts = 8 * (usize::BITS - bucket.len().leading_zeros()) as usize + 16;
+    let mut cas = 0u32;
+    let mut cas_lost = 0u32;
     for t in 0..attempts {
         let i = (rng.at(record_id.wrapping_mul(1 << 20).wrapping_add(t as u64)) as usize) & mask;
         let slot = &bucket[i];
-        if slot.key.load(Ordering::Relaxed) == EMPTY
-            && slot
+        if slot.key.load(Ordering::Relaxed) == EMPTY {
+            cas += 1;
+            if slot
                 .key
                 .compare_exchange(EMPTY, key, Ordering::AcqRel, Ordering::Relaxed)
                 .is_ok()
-        {
-            // SAFETY: unique CAS winner.
-            unsafe { (*slot.val.get()).write(value) };
-            return true;
+            {
+                // SAFETY: unique CAS winner.
+                unsafe { (*slot.val.get()).write(value) };
+                return Placed {
+                    ok: true,
+                    probes: t as u32,
+                    cas,
+                    cas_lost,
+                };
+            }
+            cas_lost += 1;
         }
     }
     // Random probing ran out of luck; fall back to one deterministic sweep
     // so "full bucket" is the only way to fail.
-    place_linear(bucket, 0, mask, key, value)
+    let mut fallback = place_linear(bucket, 0, mask, key, value);
+    fallback.probes += attempts as u32;
+    fallback.cas += cas;
+    fallback.cas_lost += cas_lost;
+    fallback
 }
 
 #[cfg(test)]
@@ -266,6 +359,7 @@ mod tests {
             &arena,
             strategy,
             Rng::new(cfg.seed).fork(99),
+            &ObsSink::disabled(),
         );
         (plan, arena, out)
     }
@@ -353,8 +447,17 @@ mod tests {
         let arena = allocate_arena::<u64>(&plan);
         let n_over = plan.total_slots + 1_000;
         let records: Vec<(u64, u64)> = (0..n_over as u64).map(|i| (hash64(i), i)).collect();
-        let out = scatter(&records, &plan, &arena, ProbeStrategy::Linear, Rng::new(1));
+        let out = scatter(
+            &records,
+            &plan,
+            &arena,
+            ProbeStrategy::Linear,
+            Rng::new(1),
+            &ObsSink::disabled(),
+        );
         assert!(out.overflowed, "must report overflow instead of spinning");
+        let (_bucket, allocated, observed) = out.overflow.expect("overflow details captured");
+        assert_eq!(observed, allocated + 1);
     }
 
     #[test]
@@ -365,9 +468,9 @@ mod tests {
                 val: UnsafeCell::new(MaybeUninit::uninit()),
             })
             .collect();
-        assert!(place_linear(&v, 1, 1, 10, 100));
-        assert!(place_linear(&v, 1, 1, 11, 101));
-        assert!(!place_linear(&v, 0, 1, 12, 102), "full bucket must fail");
+        assert!(place_linear(&v, 1, 1, 10, 100).ok);
+        assert!(place_linear(&v, 1, 1, 11, 101).ok);
+        assert!(!place_linear(&v, 0, 1, 12, 102).ok, "full bucket must fail");
         let got: Vec<u64> = v.iter().map(|s| s.key()).collect();
         assert!(got.contains(&10) && got.contains(&11));
     }

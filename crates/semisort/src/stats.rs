@@ -4,9 +4,63 @@
 //! phases: "sample and sort", "construct buckets", "scatter", "local sort"
 //! and "pack". [`SemisortStats`] carries exactly that breakdown, plus the
 //! structural counters (sample size, heavy keys, slot usage, retries) that
-//! the consistency experiments in §5.2 report on.
+//! the consistency experiments in §5.2 report on, plus the merged
+//! [`Telemetry`] of the run (CAS attempts, probe-length histogram, retry
+//! causes — see [`crate::obs`]).
+//!
+//! # JSON schema (`semisort-stats-v1`)
+//!
+//! [`SemisortStats::to_json`] serializes one run as a single JSON object:
+//!
+//! ```json
+//! {
+//!   "schema": "semisort-stats-v1",
+//!   "n": 1000000,
+//!   "config": {
+//!     "sample_shift": 4, "heavy_threshold": 16, "light_bucket_log2": 16,
+//!     "alpha": 1.1, "c": 1.25, "merge_light_buckets": true,
+//!     "probe_strategy": "linear", "scatter_strategy": "random-cas",
+//!     "scatter_block": 16, "blocked_tail_log2": 3,
+//!     "local_sort_algo": "std-unstable", "seed": 42,
+//!     "seq_threshold": 8192, "max_retries": 3, "telemetry": "deep"
+//!   },
+//!   "phases": {
+//!     "sample_sort_s": 0.01, "construct_buckets_s": 0.001,
+//!     "scatter_s": 0.05, "local_sort_s": 0.02, "pack_s": 0.01,
+//!     "total_s": 0.091
+//!   },
+//!   "counters": {
+//!     "sample_size": 62500, "heavy_keys": 5, "light_buckets": 4096,
+//!     "heavy_records": 500000, "light_records": 500000,
+//!     "total_slots": 1300000, "retries": 0, "blocks_flushed": 0,
+//!     "slab_overflows": 0, "fallback_records": 0
+//!   },
+//!   "telemetry": {
+//!     "level": "deep", "cas_attempts": 1010000, "cas_failures": 10000,
+//!     "records_placed": 1000000,
+//!     "probe_hist": [990000, 8000, ...],       // 32 power-of-two buckets
+//!     "light_occupancy_hist": [0, 12, ...],    // 32 power-of-two buckets
+//!     "retry_causes": [
+//!       {"attempt": 1, "bucket": 17, "heavy": false,
+//!        "allocated": 64, "observed": 65}
+//!     ]
+//!   }
+//! }
+//! ```
+//!
+//! Histograms are arrays of [`crate::obs::HIST_BUCKETS`] counts; bucket 0
+//! holds value 0, bucket `i ≥ 1` holds values in `[2^(i-1), 2^i)`. The
+//! `config` member echoes the configuration the run *started* with (Las
+//! Vegas retries grow `alpha` internally; `retries`/`retry_causes` record
+//! that). The bench harness wraps this object in a run record that adds
+//! `git`, `ts_unix`, `bin`, `threads` and wall time — see
+//! `bench::trajectory`.
 
 use std::time::Duration;
+
+use crate::config::{LocalSortAlgo, ProbeStrategy, ScatterStrategy, SemisortConfig};
+use crate::json::Json;
+use crate::obs::Telemetry;
 
 /// Timing and structural telemetry for one semisort run.
 #[derive(Clone, Debug, Default)]
@@ -46,6 +100,12 @@ pub struct SemisortStats {
     pub slab_overflows: usize,
     /// Blocked scatter only: records placed by the per-record CAS fallback.
     pub fallback_records: usize,
+    /// The configuration the run started with (echoed into the JSON export
+    /// so a stats file is self-describing).
+    pub config: SemisortConfig,
+    /// Merged fine-grained telemetry (empty when the run's
+    /// [`crate::obs::TelemetryLevel`] was `Off`, except `retry_causes`).
+    pub telemetry: Telemetry,
 }
 
 impl SemisortStats {
@@ -88,6 +148,137 @@ impl SemisortStats {
             ("pack", self.t_pack),
         ]
     }
+
+    /// Serialize this run as a [`Json`] object following the
+    /// `semisort-stats-v1` schema documented at the top of this module.
+    pub fn to_json(&self) -> Json {
+        let cfg = &self.config;
+        let config = Json::Obj(vec![
+            ("sample_shift".into(), Json::num(cfg.sample_shift as u64)),
+            (
+                "heavy_threshold".into(),
+                Json::num(cfg.heavy_threshold as u64),
+            ),
+            (
+                "light_bucket_log2".into(),
+                Json::num(cfg.light_bucket_log2 as u64),
+            ),
+            ("alpha".into(), Json::Num(cfg.alpha)),
+            ("c".into(), Json::Num(cfg.c)),
+            (
+                "merge_light_buckets".into(),
+                Json::Bool(cfg.merge_light_buckets),
+            ),
+            (
+                "probe_strategy".into(),
+                Json::str(match cfg.probe_strategy {
+                    ProbeStrategy::Linear => "linear",
+                    ProbeStrategy::Random => "random",
+                }),
+            ),
+            (
+                "scatter_strategy".into(),
+                Json::str(match cfg.scatter_strategy {
+                    ScatterStrategy::RandomCas => "random-cas",
+                    ScatterStrategy::Blocked => "blocked",
+                }),
+            ),
+            ("scatter_block".into(), Json::num(cfg.scatter_block as u64)),
+            (
+                "blocked_tail_log2".into(),
+                Json::num(cfg.blocked_tail_log2 as u64),
+            ),
+            (
+                "local_sort_algo".into(),
+                Json::str(match cfg.local_sort_algo {
+                    LocalSortAlgo::StdUnstable => "std-unstable",
+                    LocalSortAlgo::Counting => "counting",
+                    LocalSortAlgo::StdStable => "std-stable",
+                }),
+            ),
+            ("seed".into(), Json::num(cfg.seed)),
+            ("seq_threshold".into(), Json::num(cfg.seq_threshold as u64)),
+            ("max_retries".into(), Json::num(cfg.max_retries as u64)),
+            ("telemetry".into(), Json::str(cfg.telemetry.as_str())),
+        ]);
+        let phases = Json::Obj(vec![
+            (
+                "sample_sort_s".into(),
+                Json::Num(self.t_sample_sort.as_secs_f64()),
+            ),
+            (
+                "construct_buckets_s".into(),
+                Json::Num(self.t_construct_buckets.as_secs_f64()),
+            ),
+            ("scatter_s".into(), Json::Num(self.t_scatter.as_secs_f64())),
+            (
+                "local_sort_s".into(),
+                Json::Num(self.t_local_sort.as_secs_f64()),
+            ),
+            ("pack_s".into(), Json::Num(self.t_pack.as_secs_f64())),
+            ("total_s".into(), Json::Num(self.total().as_secs_f64())),
+        ]);
+        let counters = Json::Obj(vec![
+            ("sample_size".into(), Json::num(self.sample_size as u64)),
+            ("heavy_keys".into(), Json::num(self.heavy_keys as u64)),
+            ("light_buckets".into(), Json::num(self.light_buckets as u64)),
+            ("heavy_records".into(), Json::num(self.heavy_records as u64)),
+            ("light_records".into(), Json::num(self.light_records as u64)),
+            ("total_slots".into(), Json::num(self.total_slots as u64)),
+            ("retries".into(), Json::num(self.retries as u64)),
+            (
+                "blocks_flushed".into(),
+                Json::num(self.blocks_flushed as u64),
+            ),
+            (
+                "slab_overflows".into(),
+                Json::num(self.slab_overflows as u64),
+            ),
+            (
+                "fallback_records".into(),
+                Json::num(self.fallback_records as u64),
+            ),
+        ]);
+        let hist_json =
+            |h: &crate::obs::Hist| Json::Arr(h.buckets.iter().map(|&b| Json::num(b)).collect());
+        let t = &self.telemetry;
+        let telemetry = Json::Obj(vec![
+            ("level".into(), Json::str(t.level.as_str())),
+            ("cas_attempts".into(), Json::num(t.cas_attempts)),
+            ("cas_failures".into(), Json::num(t.cas_failures)),
+            ("records_placed".into(), Json::num(t.records_placed)),
+            ("probe_hist".into(), hist_json(&t.probe_hist)),
+            (
+                "light_occupancy_hist".into(),
+                hist_json(&t.light_occupancy_hist),
+            ),
+            (
+                "retry_causes".into(),
+                Json::Arr(
+                    t.retry_causes
+                        .iter()
+                        .map(|r| {
+                            Json::Obj(vec![
+                                ("attempt".into(), Json::num(r.attempt as u64)),
+                                ("bucket".into(), Json::num(r.bucket as u64)),
+                                ("heavy".into(), Json::Bool(r.heavy)),
+                                ("allocated".into(), Json::num(r.allocated as u64)),
+                                ("observed".into(), Json::num(r.observed as u64)),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+        ]);
+        Json::Obj(vec![
+            ("schema".into(), Json::str("semisort-stats-v1")),
+            ("n".into(), Json::num(self.n as u64)),
+            ("config".into(), config),
+            ("phases".into(), phases),
+            ("counters".into(), counters),
+            ("telemetry".into(), telemetry),
+        ])
+    }
 }
 
 #[cfg(test)]
@@ -123,6 +314,38 @@ mod tests {
         s.n = 200;
         s.heavy_records = 50;
         assert!((s.heavy_fraction_pct() - 25.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn to_json_has_all_schema_sections() {
+        let s = SemisortStats {
+            n: 10,
+            t_scatter: Duration::from_millis(3),
+            heavy_records: 4,
+            light_records: 6,
+            ..Default::default()
+        };
+        let j = s.to_json();
+        let text = j.to_string();
+        let back = Json::parse(&text).expect("self-parse");
+        assert_eq!(
+            back.get("schema").and_then(Json::as_str),
+            Some("semisort-stats-v1")
+        );
+        for section in ["config", "phases", "counters", "telemetry"] {
+            assert!(back.get(section).is_some(), "missing {section}");
+        }
+        let phases = back.get("phases").unwrap();
+        for key in [
+            "sample_sort_s",
+            "construct_buckets_s",
+            "scatter_s",
+            "local_sort_s",
+            "pack_s",
+        ] {
+            assert!(phases.get(key).is_some(), "missing phase {key}");
+        }
+        assert_eq!(phases.get("scatter_s").and_then(Json::as_f64), Some(0.003));
     }
 
     #[test]

@@ -7,16 +7,26 @@
 //! semisort-cli generate --dist zipf:1000000 --n 5m --out data.bin
 //! semisort-cli sort     --input data.bin --out sorted.bin --algo semisort --stats
 //! semisort-cli verify   --input sorted.bin
+//! semisort-cli bench    --quick --stats-json stats.json
+//! semisort-cli validate-json --input stats.json --schema semisort-stats-v1
 //! ```
 //!
 //! Algorithms: `semisort` (default), `radix`, `sample`, `stdsort`,
 //! `seq-hash`, `rr`.
+//!
+//! `sort` and `bench` accept `--stats-json <path>` (write the run's
+//! `semisort-stats-v1` object — see `semisort::stats` for the schema) and
+//! `--telemetry <off|counters|deep>`. `bench` additionally appends one
+//! JSONL run record to the trajectory file (`BENCH_semisort.json` by
+//! default; `--trajectory none` disables). `validate-json` parses a stats
+//! or trajectory file with the in-tree JSON reader and fails on malformed
+//! content — the CI smoke check.
 
 use std::fs::File;
 use std::io::{BufReader, BufWriter, Read, Write};
 use std::time::Instant;
 
-use semisort::{semisort_with_stats, ScatterStrategy, SemisortConfig};
+use semisort::{semisort_with_stats, Json, ScatterStrategy, SemisortConfig, TelemetryLevel};
 use workloads::Distribution;
 
 fn main() {
@@ -29,13 +39,15 @@ fn main() {
         "generate" => generate(&flags),
         "sort" => sort(&flags),
         "verify" => verify(&flags),
+        "bench" => bench_run(&flags),
+        "validate-json" => validate_json(&flags),
         _ => usage_and_exit(),
     }
 }
 
 fn usage_and_exit() -> ! {
     eprintln!(
-        "usage:\n  semisort-cli generate --dist <uniform|exp|zipf>:<param> --n <count> --out <file> [--seed <u64>]\n  semisort-cli sort --input <file> --out <file> [--algo semisort|radix|sample|stdsort|seq-hash|rr] [--scatter random-cas|blocked] [--threads <k>] [--stats]\n  semisort-cli verify --input <file>"
+        "usage:\n  semisort-cli generate --dist <uniform|exp|zipf>:<param> --n <count> --out <file> [--seed <u64>]\n  semisort-cli sort --input <file> --out <file> [--algo semisort|radix|sample|stdsort|seq-hash|rr] [--scatter random-cas|blocked] [--threads <k>] [--stats] [--stats-json <file>] [--telemetry off|counters|deep]\n  semisort-cli verify --input <file>\n  semisort-cli bench [--n <count>] [--dist <spec>] [--quick] [--threads <k>] [--seed <u64>] [--scatter random-cas|blocked] [--telemetry off|counters|deep] [--stats-json <file>] [--trajectory <file|none>]\n  semisort-cli validate-json --input <file> [--schema <name>] [--jsonl]"
     );
     std::process::exit(2);
 }
@@ -159,6 +171,76 @@ fn generate(flags: &Flags) {
     );
 }
 
+/// Parse `--scatter` (default `random-cas`).
+fn parse_scatter(flags: &Flags) -> ScatterStrategy {
+    match flags.get("scatter").unwrap_or("random-cas") {
+        "random-cas" | "cas" => ScatterStrategy::RandomCas,
+        "blocked" => ScatterStrategy::Blocked,
+        other => {
+            eprintln!("unknown scatter strategy {other} (want random-cas or blocked)");
+            std::process::exit(2);
+        }
+    }
+}
+
+/// Parse `--telemetry` (default `off`).
+fn parse_telemetry(flags: &Flags) -> TelemetryLevel {
+    let s = flags.get("telemetry").unwrap_or("off");
+    TelemetryLevel::parse(s).unwrap_or_else(|| {
+        eprintln!("unknown telemetry level {s} (want off, counters or deep)");
+        std::process::exit(2);
+    })
+}
+
+/// Print the verbose `--stats` report for one run to stderr.
+fn print_stats(stats: &semisort::SemisortStats, scatter: ScatterStrategy) {
+    for (name, d) in stats.phases() {
+        eprintln!("  {name:<18} {:.4}s", d.as_secs_f64());
+    }
+    eprintln!(
+        "  heavy keys {} | light buckets {} | %heavy {:.1} | slots/n {:.2} | retries {}",
+        stats.heavy_keys,
+        stats.light_buckets,
+        stats.heavy_fraction_pct(),
+        stats.space_blowup(),
+        stats.retries
+    );
+    if scatter == ScatterStrategy::Blocked {
+        eprintln!(
+            "  blocks flushed {} | slab overflows {} | fallback records {}",
+            stats.blocks_flushed, stats.slab_overflows, stats.fallback_records
+        );
+    }
+    for rc in &stats.telemetry.retry_causes {
+        eprintln!(
+            "  retry {}: {} bucket {} overflowed — allocated {} slots, observed ≥ {} records",
+            rc.attempt,
+            if rc.heavy { "heavy" } else { "light" },
+            rc.bucket,
+            rc.allocated,
+            rc.observed
+        );
+    }
+    if stats.telemetry.level.counters() {
+        eprintln!(
+            "  cas attempts {} | cas failures {} | records placed {}",
+            stats.telemetry.cas_attempts,
+            stats.telemetry.cas_failures,
+            stats.telemetry.records_placed
+        );
+    }
+}
+
+/// Write a run's `semisort-stats-v1` object to `path`.
+fn write_stats_json(path: &str, stats: &semisort::SemisortStats) {
+    let json = stats.to_json();
+    if let Err(e) = std::fs::write(path, format!("{json}\n")) {
+        eprintln!("cannot write {path}: {e}");
+        std::process::exit(1);
+    }
+    eprintln!("stats JSON → {path}");
+}
+
 fn sort(flags: &Flags) {
     let input = flags.require("input");
     let out_path = flags.require("out");
@@ -166,41 +248,27 @@ fn sort(flags: &Flags) {
     let records = read_records(input);
     eprintln!("read {} records from {input}", records.len());
 
-    let scatter = match flags.get("scatter").unwrap_or("random-cas") {
-        "random-cas" | "cas" => ScatterStrategy::RandomCas,
-        "blocked" => ScatterStrategy::Blocked,
-        other => {
-            eprintln!("unknown scatter strategy {other} (want random-cas or blocked)");
-            std::process::exit(2);
-        }
-    };
+    let scatter = parse_scatter(flags);
+    let telemetry = parse_telemetry(flags);
+    if flags.has("stats-json") && algo != "semisort" {
+        eprintln!("--stats-json only applies to --algo semisort");
+        std::process::exit(2);
+    }
 
     let run = || -> Vec<(u64, u64)> {
         match algo {
             "semisort" => {
                 let cfg = SemisortConfig {
                     scatter_strategy: scatter,
+                    telemetry,
                     ..Default::default()
                 };
                 let (out, stats) = semisort_with_stats(&records, &cfg);
                 if flags.has("stats") {
-                    for (name, d) in stats.phases() {
-                        eprintln!("  {name:<18} {:.4}s", d.as_secs_f64());
-                    }
-                    eprintln!(
-                        "  heavy keys {} | light buckets {} | %heavy {:.1} | slots/n {:.2} | retries {}",
-                        stats.heavy_keys,
-                        stats.light_buckets,
-                        stats.heavy_fraction_pct(),
-                        stats.space_blowup(),
-                        stats.retries
-                    );
-                    if scatter == ScatterStrategy::Blocked {
-                        eprintln!(
-                            "  blocks flushed {} | slab overflows {} | fallback records {}",
-                            stats.blocks_flushed, stats.slab_overflows, stats.fallback_records
-                        );
-                    }
+                    print_stats(&stats, scatter);
+                }
+                if let Some(path) = flags.get("stats-json") {
+                    write_stats_json(path, &stats);
                 }
                 out
             }
@@ -235,6 +303,118 @@ fn sort(flags: &Flags) {
         "{algo}: {} records in {dt:.3}s ({:.1} Mrec/s) → {out_path}",
         sorted.len(),
         sorted.len() as f64 / dt / 1e6
+    );
+}
+
+/// `bench`: generate a workload in memory, run the semisort once, verify
+/// the output, and emit stats JSON + one trajectory run record.
+fn bench_run(flags: &Flags) {
+    let quick = flags.has("quick");
+    let mut n = flags.get("n").map_or(1_000_000, parse_count);
+    if quick {
+        n = n.min(200_000);
+    }
+    let seed: u64 = flags
+        .get("seed")
+        .map_or(42, |s| s.parse().expect("bad seed"));
+    let dist = flags
+        .get("dist")
+        .map(parse_dist)
+        .unwrap_or(Distribution::Zipfian {
+            m: (n as u64 / 10).max(1),
+        });
+    let cfg = SemisortConfig {
+        scatter_strategy: parse_scatter(flags),
+        telemetry: parse_telemetry(flags),
+        ..SemisortConfig::default().with_seed(seed)
+    };
+    let threads = flags
+        .get("threads")
+        .map(|k| k.parse::<usize>().expect("bad thread count"));
+    let effective_threads =
+        threads.unwrap_or_else(|| std::thread::available_parallelism().map_or(1, |p| p.get()));
+
+    let records = workloads::generate(dist, n, seed);
+    let t = Instant::now();
+    let run = || semisort_with_stats(&records, &cfg);
+    let (out, stats) = match threads {
+        Some(k) => parlay::with_threads(k, run),
+        None => run(),
+    };
+    let wall = t.elapsed().as_secs_f64();
+    assert!(
+        semisort::verify::is_semisorted_by(&out, |r| r.0) && out.len() == records.len(),
+        "bench run produced an invalid semisort"
+    );
+    eprintln!(
+        "bench: {} records of {} in {wall:.3}s ({:.1} Mrec/s), telemetry {}",
+        n,
+        dist.label(),
+        n as f64 / wall / 1e6,
+        cfg.telemetry.as_str()
+    );
+    if flags.has("stats") {
+        print_stats(&stats, cfg.scatter_strategy);
+    }
+    if let Some(path) = flags.get("stats-json") {
+        write_stats_json(path, &stats);
+    }
+    let trajectory = flags
+        .get("trajectory")
+        .unwrap_or(bench::trajectory::DEFAULT_TRAJECTORY);
+    bench::trajectory::append_line(
+        trajectory,
+        &bench::trajectory::run_record("semisort-cli", effective_threads, wall, stats.to_json()),
+    );
+    if trajectory != "none" {
+        eprintln!("trajectory record → {trajectory}");
+    }
+}
+
+/// `validate-json`: parse a stats or trajectory file with the in-tree JSON
+/// reader; non-zero exit on malformed content or a schema mismatch.
+fn validate_json(flags: &Flags) {
+    let input = flags.require("input");
+    let text = std::fs::read_to_string(input).unwrap_or_else(|e| {
+        eprintln!("cannot read {input}: {e}");
+        std::process::exit(1);
+    });
+    let jsonl = flags.has("jsonl");
+    let want_schema = flags.get("schema");
+    let check = |chunk: &str, what: &str| {
+        let parsed = Json::parse(chunk).unwrap_or_else(|e| {
+            eprintln!("{input}: {what}: malformed JSON: {e}");
+            std::process::exit(1);
+        });
+        if let Some(want) = want_schema {
+            let got = parsed.get("schema").and_then(Json::as_str);
+            if got != Some(want) {
+                eprintln!("{input}: {what}: schema {got:?}, expected {want:?}");
+                std::process::exit(1);
+            }
+        }
+    };
+    let count = if jsonl {
+        let mut count = 0usize;
+        for (i, line) in text.lines().enumerate() {
+            if line.trim().is_empty() {
+                continue;
+            }
+            check(line, &format!("line {}", i + 1));
+            count += 1;
+        }
+        count
+    } else {
+        check(&text, "document");
+        1
+    };
+    if count == 0 {
+        eprintln!("{input}: no records");
+        std::process::exit(1);
+    }
+    println!(
+        "{input}: OK ({count} record{})",
+        if count == 1 { "" } else { "s" }
     );
 }
 

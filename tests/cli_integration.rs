@@ -102,3 +102,156 @@ fn bad_usage_exits_nonzero() {
         .expect("run")
         .success());
 }
+
+#[test]
+fn sort_writes_stats_json() {
+    let data = tmp("statsjson.bin");
+    cli()
+        .args(["generate", "--dist", "zipf:5000", "--n", "50k", "--out"])
+        .arg(&data)
+        .status()
+        .expect("generate");
+    let sorted = tmp("statsjson_sorted.bin");
+    let stats = tmp("stats.json");
+    let status = cli()
+        .args(["sort", "--telemetry", "deep", "--input"])
+        .arg(&data)
+        .arg("--out")
+        .arg(&sorted)
+        .arg("--stats-json")
+        .arg(&stats)
+        .status()
+        .expect("sort");
+    assert!(status.success());
+
+    let text = std::fs::read_to_string(&stats).expect("stats file written");
+    let json = semisort::Json::parse(&text).expect("stats file is valid JSON");
+    assert_eq!(
+        json.get("schema").and_then(semisort::Json::as_str),
+        Some("semisort-stats-v1")
+    );
+    assert_eq!(json.get("n").and_then(semisort::Json::as_u64), Some(50_000));
+    assert_eq!(
+        json.get("telemetry")
+            .and_then(|t| t.get("level"))
+            .and_then(semisort::Json::as_str),
+        Some("deep")
+    );
+
+    // The in-tree validator accepts what sort wrote…
+    let status = cli()
+        .args(["validate-json", "--schema", "semisort-stats-v1", "--input"])
+        .arg(&stats)
+        .status()
+        .expect("validate");
+    assert!(status.success());
+    // …and rejects a wrong schema expectation.
+    let status = cli()
+        .args(["validate-json", "--schema", "other-schema", "--input"])
+        .arg(&stats)
+        .status()
+        .expect("validate");
+    assert!(!status.success());
+
+    for p in [&data, &sorted, &stats] {
+        std::fs::remove_file(p).ok();
+    }
+}
+
+#[test]
+fn bench_appends_trajectory_records() {
+    let stats = tmp("bench_stats.json");
+    let traj = tmp("bench_traj.json");
+    std::fs::remove_file(&traj).ok();
+    for _ in 0..2 {
+        let status = cli()
+            .args(["bench", "--quick", "--n", "30k", "--telemetry", "counters"])
+            .arg("--stats-json")
+            .arg(&stats)
+            .arg("--trajectory")
+            .arg(&traj)
+            .status()
+            .expect("bench");
+        assert!(status.success());
+    }
+    let text = std::fs::read_to_string(&traj).expect("trajectory written");
+    let lines: Vec<&str> = text.lines().collect();
+    assert_eq!(lines.len(), 2, "one JSONL record per bench run");
+    for line in &lines {
+        let rec = semisort::Json::parse(line).expect("trajectory line parses");
+        assert_eq!(
+            rec.get("schema").and_then(semisort::Json::as_str),
+            Some("semisort-bench-v1")
+        );
+        assert_eq!(
+            rec.get("bin").and_then(semisort::Json::as_str),
+            Some("semisort-cli")
+        );
+        assert_eq!(
+            rec.get("stats")
+                .and_then(|s| s.get("schema"))
+                .and_then(semisort::Json::as_str),
+            Some("semisort-stats-v1")
+        );
+    }
+    let status = cli()
+        .args([
+            "validate-json",
+            "--jsonl",
+            "--schema",
+            "semisort-bench-v1",
+            "--input",
+        ])
+        .arg(&traj)
+        .status()
+        .expect("validate");
+    assert!(status.success());
+    std::fs::remove_file(&stats).ok();
+    std::fs::remove_file(&traj).ok();
+}
+
+#[test]
+fn validate_json_rejects_malformed_input() {
+    let bad = tmp("bad.json");
+    std::fs::write(&bad, "{\"schema\": \"semisort-stats-v1\",").unwrap();
+    let status = cli()
+        .args(["validate-json", "--input"])
+        .arg(&bad)
+        .status()
+        .expect("validate");
+    assert!(!status.success(), "truncated JSON must fail validation");
+    std::fs::remove_file(&bad).ok();
+}
+
+#[test]
+fn semisort_log_emits_span_lines() {
+    let data = tmp("log.bin");
+    cli()
+        .args(["generate", "--dist", "uniform:50000", "--n", "50k", "--out"])
+        .arg(&data)
+        .status()
+        .expect("generate");
+    let sorted = tmp("log_sorted.bin");
+    let out = cli()
+        .env("SEMISORT_LOG", "1")
+        .args(["sort", "--input"])
+        .arg(&data)
+        .arg("--out")
+        .arg(&sorted)
+        .output()
+        .expect("sort");
+    assert!(out.status.success());
+    let err = String::from_utf8_lossy(&out.stderr);
+    for phase in [
+        "sample_sort",
+        "construct_buckets",
+        "scatter",
+        "local_sort",
+        "pack",
+    ] {
+        let needle = format!("{{\"event\":\"span\",\"name\":\"{phase}\"");
+        assert!(err.contains(&needle), "missing span for {phase}: {err}");
+    }
+    std::fs::remove_file(&data).ok();
+    std::fs::remove_file(&sorted).ok();
+}
