@@ -7,18 +7,41 @@
 //! with-high-probability), [`group_by`] returning the groups as slices, and
 //! [`reduce_by_key`] / [`count_by_key`] — the groupBy/shuffle operations the
 //! paper's introduction motivates.
+//!
+//! Every entry point comes in two flavors: the plain name panics on
+//! terminal failure (which, under the default
+//! [`OverflowPolicy::Fallback`](crate::config::OverflowPolicy::Fallback),
+//! cannot happen on valid input — overflow degrades to the comparison
+//! sort), and a `try_*` twin that returns
+//! `Result<_, `[`SemisortError`]`>` for callers running with
+//! [`OverflowPolicy::Error`](crate::config::OverflowPolicy::Error).
 
 use std::hash::{DefaultHasher, Hash, Hasher};
 
 use rayon::prelude::*;
 
 use crate::config::SemisortConfig;
-use crate::driver::semisort_core;
+use crate::driver::try_semisort_core;
+use crate::error::SemisortError;
+
+/// Unwrap a `try_*` result for the panicking entry points.
+fn expect_ok<T>(r: Result<T, SemisortError>) -> T {
+    r.unwrap_or_else(|e| panic!("semisort: {e}"))
+}
 
 /// Semisort pre-hashed `(key, payload)` pairs — the exact record shape of
-/// the paper's evaluation. Alias for [`semisort_core`] with `V = u64`.
+/// the paper's evaluation. Alias for [`crate::driver::semisort_core`] with
+/// `V = u64`.
 pub fn semisort_pairs(records: &[(u64, u64)], cfg: &SemisortConfig) -> Vec<(u64, u64)> {
-    semisort_core(records, cfg)
+    expect_ok(try_semisort_pairs(records, cfg))
+}
+
+/// Fallible [`semisort_pairs`].
+pub fn try_semisort_pairs(
+    records: &[(u64, u64)],
+    cfg: &SemisortConfig,
+) -> Result<Vec<(u64, u64)>, SemisortError> {
+    try_semisort_core(records, cfg)
 }
 
 /// Hash an arbitrary key to the scatter's 64-bit key space.
@@ -52,6 +75,20 @@ where
     K: Hash + Eq,
     F: Fn(&T) -> K + Send + Sync,
 {
+    expect_ok(try_semisort_by_key(items, key, cfg))
+}
+
+/// Fallible [`semisort_by_key`].
+pub fn try_semisort_by_key<T, K, F>(
+    items: &[T],
+    key: F,
+    cfg: &SemisortConfig,
+) -> Result<Vec<T>, SemisortError>
+where
+    T: Clone + Send + Sync,
+    K: Hash + Eq,
+    F: Fn(&T) -> K + Send + Sync,
+{
     let n = items.len();
     // Route (hash, index) pairs through the core, then gather.
     let hashed: Vec<(u64, u64)> = items
@@ -60,7 +97,7 @@ where
         .with_min_len(4096)
         .map(|(i, t)| (hash_key(&key(t)), i as u64))
         .collect();
-    let placed = semisort_core(&hashed, cfg);
+    let placed = try_semisort_core(&hashed, cfg)?;
     let mut out: Vec<T> = placed
         .par_iter()
         .with_min_len(4096)
@@ -69,7 +106,7 @@ where
 
     repair_hash_collisions(&mut out, &placed, &key);
     debug_assert_eq!(out.len(), n);
-    out
+    Ok(out)
 }
 
 /// Within each run of equal *hashes*, verify all *keys* are equal; if a
@@ -138,9 +175,23 @@ where
     K: Hash + Eq,
     F: Fn(&T) -> K + Send + Sync,
 {
+    expect_ok(try_semisort_stable_by_key(items, key, cfg))
+}
+
+/// Fallible [`semisort_stable_by_key`].
+pub fn try_semisort_stable_by_key<T, K, F>(
+    items: &[T],
+    key: F,
+    cfg: &SemisortConfig,
+) -> Result<Vec<T>, SemisortError>
+where
+    T: Clone + Send + Sync,
+    K: Hash + Eq,
+    F: Fn(&T) -> K + Send + Sync,
+{
     let n = items.len();
     // Permute indices, then restore input order inside each key run.
-    let mut perm = semisort_permutation(items, &key, cfg);
+    let mut perm = try_semisort_permutation(items, &key, cfg)?;
     {
         // Group boundaries on the permuted key sequence.
         let bounds: Vec<usize> = {
@@ -159,10 +210,11 @@ where
         }
         runs.into_par_iter().for_each(|run| run.sort_unstable());
     }
-    perm.par_iter()
+    Ok(perm
+        .par_iter()
         .with_min_len(4096)
         .map(|&i| items[i].clone())
-        .collect()
+        .collect())
 }
 
 /// The permutation a semisort would apply: `perm[j] = i` means output
@@ -177,17 +229,31 @@ where
     K: Hash + Eq,
     F: Fn(&T) -> K + Send + Sync,
 {
+    expect_ok(try_semisort_permutation(items, key, cfg))
+}
+
+/// Fallible [`semisort_permutation`].
+pub fn try_semisort_permutation<T, K, F>(
+    items: &[T],
+    key: F,
+    cfg: &SemisortConfig,
+) -> Result<Vec<usize>, SemisortError>
+where
+    T: Sync,
+    K: Hash + Eq,
+    F: Fn(&T) -> K + Send + Sync,
+{
     let hashed: Vec<(u64, u64)> = items
         .par_iter()
         .enumerate()
         .with_min_len(4096)
         .map(|(i, t)| (hash_key(&key(t)), i as u64))
         .collect();
-    let placed = semisort_core(&hashed, cfg);
+    let placed = try_semisort_core(&hashed, cfg)?;
     // Repair 64-bit hash collisions on the index permutation itself.
     let mut perm: Vec<usize> = placed.iter().map(|&(_, i)| i as usize).collect();
     repair_collisions_on_perm(&mut perm, &placed, items, &key);
-    perm
+    Ok(perm)
 }
 
 /// Collision repair working on indices (see `repair_hash_collisions`).
@@ -252,8 +318,24 @@ where
     K: Hash + Eq,
     F: Fn(&T) -> K + Send + Sync,
 {
-    let perm = semisort_permutation(items, &key, cfg);
+    expect_ok(try_semisort_in_place(items, key, cfg))
+}
+
+/// Fallible [`semisort_in_place`]. On `Err` the items are untouched (the
+/// failure happens before any permutation is applied).
+pub fn try_semisort_in_place<T, K, F>(
+    items: &mut [T],
+    key: F,
+    cfg: &SemisortConfig,
+) -> Result<(), SemisortError>
+where
+    T: Sync,
+    K: Hash + Eq,
+    F: Fn(&T) -> K + Send + Sync,
+{
+    let perm = try_semisort_permutation(items, &key, cfg)?;
     apply_permutation_in_place(items, &perm);
+    Ok(())
 }
 
 /// Rearrange `items` so that `items_new[j] = items_old[perm[j]]`, moving
@@ -362,14 +444,28 @@ where
     K: Hash + Eq,
     F: Fn(&T) -> K + Send + Sync,
 {
-    let sorted = semisort_by_key(items, &key, cfg);
+    expect_ok(try_group_by(items, key, cfg))
+}
+
+/// Fallible [`group_by`].
+pub fn try_group_by<T, K, F>(
+    items: &[T],
+    key: F,
+    cfg: &SemisortConfig,
+) -> Result<Groups<T>, SemisortError>
+where
+    T: Clone + Send + Sync,
+    K: Hash + Eq,
+    F: Fn(&T) -> K + Send + Sync,
+{
+    let sorted = try_semisort_by_key(items, &key, cfg)?;
     let n = sorted.len();
     let mut starts = parlay::pack_index(n, |i| i == 0 || key(&sorted[i]) != key(&sorted[i - 1]));
     starts.push(n);
-    Groups {
+    Ok(Groups {
         items: sorted,
         starts,
-    }
+    })
 }
 
 /// Fold every group: returns one `(key, accumulator)` per distinct key,
@@ -389,15 +485,33 @@ where
     F: Fn(&T) -> K + Send + Sync,
     G: Fn(A, &T) -> A + Send + Sync,
 {
-    let groups = group_by(items, &key, cfg);
-    (0..groups.len())
+    expect_ok(try_reduce_by_key(items, key, init, fold, cfg))
+}
+
+/// Fallible [`reduce_by_key`].
+pub fn try_reduce_by_key<T, K, A, F, G>(
+    items: &[T],
+    key: F,
+    init: A,
+    fold: G,
+    cfg: &SemisortConfig,
+) -> Result<Vec<(K, A)>, SemisortError>
+where
+    T: Clone + Send + Sync,
+    K: Hash + Eq + Send + Sync,
+    A: Clone + Send + Sync,
+    F: Fn(&T) -> K + Send + Sync,
+    G: Fn(A, &T) -> A + Send + Sync,
+{
+    let groups = try_group_by(items, &key, cfg)?;
+    Ok((0..groups.len())
         .into_par_iter()
         .map(|g| {
             let slice = groups.group(g);
             let acc = slice.iter().fold(init.clone(), &fold);
             (key(&slice[0]), acc)
         })
-        .collect()
+        .collect())
 }
 
 /// Histogram: the number of items per distinct key.
@@ -415,6 +529,20 @@ where
     F: Fn(&T) -> K + Send + Sync,
 {
     reduce_by_key(items, key, 0usize, |a, _| a + 1, cfg)
+}
+
+/// Fallible [`count_by_key`].
+pub fn try_count_by_key<T, K, F>(
+    items: &[T],
+    key: F,
+    cfg: &SemisortConfig,
+) -> Result<Vec<(K, usize)>, SemisortError>
+where
+    T: Clone + Send + Sync,
+    K: Hash + Eq + Send + Sync,
+    F: Fn(&T) -> K + Send + Sync,
+{
+    try_reduce_by_key(items, key, 0usize, |a, _| a + 1, cfg)
 }
 
 #[cfg(test)]

@@ -39,6 +39,7 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 use rayon::prelude::*;
 
 use crate::buckets::BucketPlan;
+use crate::fault::FaultClass;
 use crate::obs::{ObsSink, OverflowCapture, WorkerCell};
 use crate::scatter::{place_linear, ScatterArena, EMPTY};
 
@@ -84,6 +85,11 @@ fn slab_len(size: usize, tail_log2: u32) -> usize {
 /// always collected — they ride the per-chunk `Local` merge and cost
 /// nothing per record; `sink` additionally receives the CAS/probe
 /// telemetry of the tail fallback when its level asks for it.
+///
+/// `forced_overflow` is the fault-injection hook (see
+/// [`crate::scatter::scatter`]): the first record routed to a bucket of the
+/// given class reports an overflow through the real capture path. Pass
+/// `None` in production.
 pub fn blocked_scatter<V: Copy + Send + Sync>(
     records: &[(u64, V)],
     plan: &BucketPlan,
@@ -91,6 +97,7 @@ pub fn blocked_scatter<V: Copy + Send + Sync>(
     block: usize,
     tail_log2: u32,
     sink: &ObsSink,
+    forced_overflow: Option<FaultClass>,
 ) -> BlockedOutcome {
     debug_assert!(block.is_power_of_two());
     let num_buckets = plan.num_buckets();
@@ -186,6 +193,15 @@ pub fn blocked_scatter<V: Copy + Send + Sync>(
             }
             debug_assert_ne!(key, EMPTY, "driver screens the EMPTY sentinel");
             let (bucket, is_heavy) = plan.bucket_of_tagged(key);
+            if let Some(class) = forced_overflow {
+                if class.matches(is_heavy) {
+                    // Injected Corollary 3.4 failure (see `scatter`).
+                    let size = plan.bucket_size[bucket as usize];
+                    overflow.report(bucket, size, size + 1);
+                    failed = true;
+                    break;
+                }
+            }
             local.heavy += is_heavy as usize;
             let b = bucket as usize;
             let buf = &mut bufs[b];
@@ -248,6 +264,7 @@ mod tests {
             cfg.scatter_block,
             cfg.blocked_tail_log2,
             &ObsSink::disabled(),
+            None,
         );
         (plan, arena, out)
     }
@@ -337,7 +354,7 @@ mod tests {
         let arena = allocate_arena::<u64>(&plan);
         let n_over = plan.total_slots + 1_000;
         let records: Vec<(u64, u64)> = (0..n_over as u64).map(|i| (hash64(i), i)).collect();
-        let out = blocked_scatter(&records, &plan, &arena, 16, 3, &ObsSink::disabled());
+        let out = blocked_scatter(&records, &plan, &arena, 16, 3, &ObsSink::disabled(), None);
         assert!(out.overflowed, "must report overflow instead of spinning");
         let (bucket, allocated, observed) = out.overflow.expect("overflow details captured");
         assert_eq!(allocated, plan.bucket_size[bucket as usize]);
@@ -345,6 +362,38 @@ mod tests {
             observed > allocated,
             "observed demand {observed} must exceed allocation {allocated}"
         );
+    }
+
+    #[test]
+    fn forced_overflow_fires_per_class() {
+        let records: Vec<(u64, u64)> = (0..40_000u64)
+            .map(|i| {
+                let k = if i % 5 != 0 { 7u64 } else { 1_000 + i };
+                (hash64(k), i)
+            })
+            .collect();
+        let cfg = SemisortConfig::default();
+        let keys: Vec<u64> = records.iter().map(|r| r.0).collect();
+        let mut sample = crate::sample::strided_sample(&keys, cfg.sample_shift, Rng::new(cfg.seed));
+        sample.sort_unstable();
+        let plan = build_plan(&sample, records.len(), &cfg);
+        assert!(plan.num_heavy > 0 && plan.num_light > 0);
+        for (class, want_heavy) in [(FaultClass::Heavy, true), (FaultClass::Light, false)] {
+            let arena = allocate_arena::<u64>(&plan);
+            let out = blocked_scatter(
+                &records,
+                &plan,
+                &arena,
+                16,
+                3,
+                &ObsSink::disabled(),
+                Some(class),
+            );
+            assert!(out.overflowed, "{class:?} fault must report overflow");
+            let (bucket, allocated, observed) = out.overflow.expect("capture");
+            assert_eq!((bucket as usize) < plan.num_heavy, want_heavy);
+            assert_eq!(observed, allocated + 1);
+        }
     }
 
     #[test]

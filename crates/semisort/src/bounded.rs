@@ -9,7 +9,8 @@
 //! paper's remark that the definitions are interchangeable.
 
 use crate::config::SemisortConfig;
-use crate::driver::semisort_core;
+use crate::driver::try_semisort_core;
+use crate::error::SemisortError;
 use parlay::counting_sort::counting_sort_into;
 use rayon::prelude::*;
 
@@ -41,9 +42,19 @@ pub fn semisort_auto<V: Copy + Send + Sync>(
     records: &[(u64, V)],
     cfg: &SemisortConfig,
 ) -> Vec<(u64, V)> {
+    try_semisort_auto(records, cfg).unwrap_or_else(|e| panic!("semisort: {e}"))
+}
+
+/// Fallible [`semisort_auto`]. The counting-sort path is deterministic and
+/// cannot fail; errors can only come from the general algorithm under
+/// [`OverflowPolicy::Error`](crate::config::OverflowPolicy::Error).
+pub fn try_semisort_auto<V: Copy + Send + Sync>(
+    records: &[(u64, V)],
+    cfg: &SemisortConfig,
+) -> Result<Vec<(u64, V)>, SemisortError> {
     let n = records.len();
     if n <= 1 {
-        return records.to_vec();
+        return Ok(records.to_vec());
     }
     let max_key = records
         .par_iter()
@@ -54,9 +65,9 @@ pub fn semisort_auto<V: Copy + Send + Sync>(
     let log2n = (usize::BITS - n.leading_zeros()) as u64;
     let threshold = (n as u64 / log2n.max(1)).max(1024);
     if max_key < threshold {
-        semisort_bounded(records, max_key as usize + 1)
+        Ok(semisort_bounded(records, max_key as usize + 1))
     } else {
-        semisort_core(records, cfg)
+        try_semisort_core(records, cfg)
     }
 }
 

@@ -6,7 +6,48 @@
 //! `1.1` from Phase 2 ("each bucket with s samples allocates an array of
 //! size 1.1·f(s) with c = 1.25, and rounded up to the nearest power of 2").
 
+pub use crate::fault::FaultPlan;
 pub use crate::obs::TelemetryLevel;
+
+/// What the driver does once the Las Vegas machinery gives up — the retry
+/// budget is exhausted, the arena memory budget is exceeded, or the arena
+/// allocation fails. Retries always happen first; the policy governs only
+/// the terminal step.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum OverflowPolicy {
+    /// Retry, then degrade to the guaranteed comparison-sort fallback —
+    /// still a correct semisort, `O(n log n)` instead of `O(n)`, never a
+    /// crash. The default: valid input can never abort the process.
+    #[default]
+    Fallback,
+    /// Retry, then return a [`crate::SemisortError`] from the `try_*`
+    /// entry points (the panicking wrappers turn it into a panic).
+    Error,
+    /// Retry, then panic — the pre-policy behavior, for callers that
+    /// prefer to die loudly over degrading silently.
+    Panic,
+}
+
+impl OverflowPolicy {
+    /// Parse a CLI spelling (`fallback`, `error`, `panic`).
+    pub fn parse(s: &str) -> Option<Self> {
+        match s {
+            "fallback" => Some(OverflowPolicy::Fallback),
+            "error" => Some(OverflowPolicy::Error),
+            "panic" => Some(OverflowPolicy::Panic),
+            _ => None,
+        }
+    }
+
+    /// The CLI spelling of this policy.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            OverflowPolicy::Fallback => "fallback",
+            OverflowPolicy::Error => "error",
+            OverflowPolicy::Panic => "panic",
+        }
+    }
+}
 
 /// How the scatter phase resolves an occupied slot.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -96,9 +137,23 @@ pub struct SemisortConfig {
     /// (a semisorted order trivially); default 2^13.
     pub seq_threshold: usize,
     /// Maximum Las Vegas restarts on bucket overflow (Corollary 3.4 failure)
-    /// before growing α; default 3. Each retry re-randomizes scatter
-    /// positions and doubles the overflowing run's slack.
+    /// before growing α; default 3, must be < 32 (α growth is `2^attempt`).
+    /// Each retry re-randomizes scatter positions and doubles the
+    /// overflowing run's slack. What happens when the budget runs out is
+    /// governed by `overflow_policy`.
     pub max_retries: u32,
+    /// What to do when retries are exhausted, the arena budget is
+    /// exceeded, or the arena allocation fails; default
+    /// [`OverflowPolicy::Fallback`] (degrade, never crash).
+    pub overflow_policy: OverflowPolicy,
+    /// Upper bound in bytes on the scatter arena (slot array). α-doubling
+    /// across retries grows the arena; a plan whose arena would exceed this
+    /// budget triggers early degradation per `overflow_policy` instead of
+    /// an oversized allocation. Default `usize::MAX` (unlimited).
+    pub max_arena_bytes: usize,
+    /// Deterministic fault-injection schedule (dev/chaos-testing only);
+    /// default inert. See [`crate::fault`].
+    pub fault: FaultPlan,
     /// How much telemetry the run collects (see [`TelemetryLevel`]);
     /// default `Off`, which keeps the hot loops at their pre-telemetry
     /// cost. Retry causes are recorded at every level (cold path).
@@ -122,6 +177,9 @@ impl Default for SemisortConfig {
             seed: 0x5eed_0f5e_u64,
             seq_threshold: 1 << 13,
             max_retries: 3,
+            overflow_policy: OverflowPolicy::Fallback,
+            max_arena_bytes: usize::MAX,
+            fault: FaultPlan::NONE,
             telemetry: TelemetryLevel::Off,
         }
     }
@@ -160,6 +218,24 @@ impl SemisortConfig {
         self
     }
 
+    /// Builder-style setter for the overflow policy.
+    pub fn with_overflow_policy(mut self, policy: OverflowPolicy) -> Self {
+        self.overflow_policy = policy;
+        self
+    }
+
+    /// Builder-style setter for the arena memory budget.
+    pub fn with_max_arena_bytes(mut self, bytes: usize) -> Self {
+        self.max_arena_bytes = bytes;
+        self
+    }
+
+    /// Builder-style setter for the fault-injection plan.
+    pub fn with_fault(mut self, fault: FaultPlan) -> Self {
+        self.fault = fault;
+        self
+    }
+
     /// Validate parameter sanity; called once per run by the driver.
     pub fn validate(&self) {
         assert!(self.sample_shift >= 1 && self.sample_shift <= 16);
@@ -174,6 +250,17 @@ impl SemisortConfig {
         assert!(
             self.blocked_tail_log2 >= 1 && self.blocked_tail_log2 <= 16,
             "blocked_tail_log2 must be in 1..=16"
+        );
+        // α grows as 2^attempt across retries; 32 doublings already
+        // overflows any conceivable arena budget, and an unbounded retry
+        // count turns a hash-flooded input into unbounded memory growth.
+        assert!(
+            self.max_retries < 32,
+            "max_retries must be < 32 (each retry doubles α)"
+        );
+        assert!(
+            self.max_arena_bytes > 0,
+            "max_arena_bytes must be nonzero (usize::MAX = unlimited)"
         );
     }
 }
@@ -215,6 +302,46 @@ mod tests {
     fn alpha_one_rejected() {
         let cfg = SemisortConfig {
             alpha: 1.0,
+            ..Default::default()
+        };
+        cfg.validate();
+    }
+
+    #[test]
+    fn failure_handling_defaults_are_safe() {
+        let c = SemisortConfig::default();
+        assert_eq!(c.overflow_policy, OverflowPolicy::Fallback);
+        assert_eq!(c.max_arena_bytes, usize::MAX);
+        assert!(c.fault.is_inert());
+    }
+
+    #[test]
+    fn overflow_policy_parses_both_ways() {
+        for p in [
+            OverflowPolicy::Fallback,
+            OverflowPolicy::Error,
+            OverflowPolicy::Panic,
+        ] {
+            assert_eq!(OverflowPolicy::parse(p.as_str()), Some(p));
+        }
+        assert_eq!(OverflowPolicy::parse("abort"), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "max_retries must be < 32")]
+    fn huge_retry_budget_rejected() {
+        let cfg = SemisortConfig {
+            max_retries: 32,
+            ..Default::default()
+        };
+        cfg.validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "max_arena_bytes must be nonzero")]
+    fn zero_arena_budget_rejected() {
+        let cfg = SemisortConfig {
+            max_arena_bytes: 0,
             ..Default::default()
         };
         cfg.validate();

@@ -1,17 +1,20 @@
-//! The five-phase driver (Algorithm 1 end to end), with per-phase timing
-//! and the Las Vegas retry loop.
+//! The five-phase driver (Algorithm 1 end to end), with per-phase timing,
+//! the Las Vegas retry loop, and the escalation policy that decides what
+//! happens when the retry (or memory) budget runs out.
 
 use parlay::random::Rng;
 use rayon::prelude::*;
 
 use crate::blocked_scatter::blocked_scatter;
 use crate::buckets::build_plan;
-use crate::config::{ScatterStrategy, SemisortConfig};
+use crate::config::{OverflowPolicy, ScatterStrategy, SemisortConfig};
+use crate::error::SemisortError;
+use crate::fault::FaultPlan;
 use crate::local_sort::local_sort_light_buckets;
-use crate::obs::{log_event, ObsSink, PhaseSpan, RetryCause};
+use crate::obs::{log_event, log_event_kv, ObsSink, PhaseSpan, RetryCause};
 use crate::pack_phase::pack_output;
 use crate::sample::strided_sample_by;
-use crate::scatter::{allocate_arena, scatter, EMPTY};
+use crate::scatter::{arena_bytes, scatter, try_allocate_arena, EMPTY};
 use crate::stats::SemisortStats;
 
 /// Semisort pre-hashed records. See [`semisort_with_stats`] for details.
@@ -22,8 +25,33 @@ pub fn semisort_core<V: Copy + Send + Sync>(
     semisort_with_stats(records, cfg).0
 }
 
+/// Fallible [`semisort_core`]: returns the output alone, surfacing terminal
+/// failures per the configured policy (see [`try_semisort_with_stats`]).
+pub fn try_semisort_core<V: Copy + Send + Sync>(
+    records: &[(u64, V)],
+    cfg: &SemisortConfig,
+) -> Result<Vec<(u64, V)>, SemisortError> {
+    try_semisort_with_stats(records, cfg).map(|(out, _)| out)
+}
+
 /// Semisort pre-hashed `(key, value)` records, returning the output and the
 /// per-phase telemetry of [`SemisortStats`].
+///
+/// Panicking wrapper around [`try_semisort_with_stats`]: with the default
+/// [`OverflowPolicy::Fallback`] it never fails on valid input (terminal
+/// overflow degrades to the comparison sort); it panics only when the
+/// config selects [`OverflowPolicy::Error`] or [`OverflowPolicy::Panic`]
+/// and the escalation ladder bottoms out.
+pub fn semisort_with_stats<V: Copy + Send + Sync>(
+    records: &[(u64, V)],
+    cfg: &SemisortConfig,
+) -> (Vec<(u64, V)>, SemisortStats) {
+    try_semisort_with_stats(records, cfg).unwrap_or_else(|e| panic!("semisort: {e}"))
+}
+
+/// Semisort pre-hashed `(u64, value)` records, returning the output and the
+/// per-phase telemetry of [`SemisortStats`] — or a [`SemisortError`] when
+/// the run cannot complete and the config says so.
 ///
 /// Records with equal keys are contiguous in the output; distinct keys are
 /// in no particular order. The input must be *hashed* keys (uniformly
@@ -36,10 +64,21 @@ pub fn semisort_core<V: Copy + Send + Sync>(
 /// reserved [`EMPTY`] key (probability `≈ n/2^64` for hashed keys), take a
 /// sort-based fallback path — still a correct semisort, just without the
 /// linear-work machinery.
-pub fn semisort_with_stats<V: Copy + Send + Sync>(
+///
+/// # Errors
+///
+/// Three terminal conditions exist: the Las Vegas retry budget runs out,
+/// an attempt's arena would exceed [`SemisortConfig::max_arena_bytes`], or
+/// the arena allocation itself fails. Under the default
+/// [`OverflowPolicy::Fallback`] all three degrade to the comparison sort
+/// (`Ok` with [`SemisortStats::degraded`] set); under
+/// [`OverflowPolicy::Error`] they return `Err`; under
+/// [`OverflowPolicy::Panic`] they panic. So on valid input this function
+/// can only return `Err` (and can only panic) when the caller opted in.
+pub fn try_semisort_with_stats<V: Copy + Send + Sync>(
     records: &[(u64, V)],
     cfg: &SemisortConfig,
-) -> (Vec<(u64, V)>, SemisortStats) {
+) -> Result<(Vec<(u64, V)>, SemisortStats), SemisortError> {
     cfg.validate();
     let n = records.len();
     let mut stats = SemisortStats {
@@ -50,7 +89,7 @@ pub fn semisort_with_stats<V: Copy + Send + Sync>(
 
     if n <= cfg.seq_threshold {
         stats.light_records = n;
-        return (fallback_sort(records), stats);
+        return Ok((fallback_sort(records), stats));
     }
     // The scatter reserves EMPTY (= 0) as its slot-vacancy sentinel and the
     // heavy-key table reserves u64::MAX. A hashed key colliding with either
@@ -61,18 +100,23 @@ pub fn semisort_with_stats<V: Copy + Send + Sync>(
         .any(|r| r.0 == EMPTY || r.0 == parlay::hash_table::EMPTY)
     {
         stats.light_records = n;
-        return (fallback_sort(records), stats);
+        return Ok((fallback_sort(records), stats));
     }
 
     let mut attempt = 0u32;
     let mut retry_causes: Vec<RetryCause> = Vec::new();
+    let mut faults_injected = 0u32;
     loop {
         // Each retry re-randomizes every random choice and doubles the
         // slack α (Corollary 3.4 failures are overwhelmingly due to an
-        // unlucky sample underestimating a bucket).
+        // unlucky sample underestimating a bucket). The per-attempt seed is
+        // mixed through a splitmix64 finalizer so consecutive attempts are
+        // decorrelated — `seed + attempt` would hand attempt k the same
+        // random stream attempt k-1 ran with seed+1, re-rolling correlated
+        // dice against a correlated failure.
         let run_cfg = SemisortConfig {
-            alpha: cfg.alpha * (1u64 << attempt) as f64,
-            seed: cfg.seed.wrapping_add(attempt as u64),
+            alpha: cfg.alpha * 2f64.powi(attempt as i32),
+            seed: mix_seed(cfg.seed, attempt),
             ..*cfg
         };
         let rng = Rng::new(run_cfg.seed);
@@ -80,9 +124,28 @@ pub fn semisort_with_stats<V: Copy + Send + Sync>(
         // pass; failed attempts leave their trace as `retry_causes`.
         let sink = ObsSink::new(run_cfg.telemetry);
 
+        // Arm this attempt's faults (all no-ops in production: the default
+        // plan is inert and every check is a branch on a Copy struct).
+        let forced_overflow = cfg.fault.forced_overflow(attempt);
+        let fail_alloc = cfg.fault.alloc_fails(attempt);
+        let corrupt_sample = cfg.fault.sample_corrupted(attempt);
+        for (armed, kind) in [
+            (forced_overflow.is_some(), "force-overflow"),
+            (fail_alloc, "fail-alloc"),
+            (corrupt_sample, "corrupt-sample"),
+        ] {
+            if armed {
+                faults_injected += 1;
+                log_event_kv("fault", &[("kind", kind)], &[("attempt", attempt as u64)]);
+            }
+        }
+
         // Phase 1: sampling and sorting.
         let span = PhaseSpan::start("sample_sort");
         let mut sample = strided_sample_by(n, run_cfg.sample_shift, rng.fork(1), |i| records[i].0);
+        if corrupt_sample {
+            FaultPlan::corrupt_sample(&mut sample);
+        }
         parlay::radix_sort::radix_sort_u64(&mut sample);
         stats.t_sample_sort = span.finish();
         stats.sample_size = sample.len();
@@ -90,7 +153,29 @@ pub fn semisort_with_stats<V: Copy + Send + Sync>(
         // Phase 2: bucket construction (classification, table, allocation).
         let span = PhaseSpan::start("construct_buckets");
         let plan = build_plan(&sample, n, &run_cfg);
-        let arena = allocate_arena::<V>(&plan);
+        // Memory budget: α doubles every retry, so the arena grows
+        // geometrically — check the plan *before* allocating and escalate
+        // early instead of letting a doomed retry sequence eat the heap.
+        let required = arena_bytes::<V>(&plan);
+        if required > cfg.max_arena_bytes {
+            let err = SemisortError::ArenaBudgetExceeded {
+                required_bytes: required,
+                budget_bytes: cfg.max_arena_bytes,
+                attempt,
+            };
+            finish_stats(&mut stats, &sink, &mut retry_causes, faults_injected);
+            let out = escalate(records, cfg, err, &mut stats)?;
+            return Ok((out, stats));
+        }
+        let arena = match try_allocate_arena::<V>(&plan, fail_alloc) {
+            Ok(arena) => arena,
+            Err(bytes) => {
+                let err = SemisortError::ArenaAllocFailed { bytes, attempt };
+                finish_stats(&mut stats, &sink, &mut retry_causes, faults_injected);
+                let out = escalate(records, cfg, err, &mut stats)?;
+                return Ok((out, stats));
+            }
+        };
         stats.t_construct_buckets = span.finish();
         stats.heavy_keys = plan.num_heavy;
         stats.light_buckets = plan.num_light;
@@ -108,6 +193,7 @@ pub fn semisort_with_stats<V: Copy + Send + Sync>(
                     run_cfg.probe_strategy,
                     rng.fork(2),
                     &sink,
+                    forced_overflow,
                 );
                 (o.heavy_records, o.overflowed, o.overflow)
             }
@@ -119,6 +205,7 @@ pub fn semisort_with_stats<V: Copy + Send + Sync>(
                     run_cfg.scatter_block,
                     run_cfg.blocked_tail_log2,
                     &sink,
+                    forced_overflow,
                 );
                 stats.blocks_flushed = o.blocks_flushed;
                 stats.slab_overflows = o.slab_overflows;
@@ -150,12 +237,16 @@ pub fn semisort_with_stats<V: Copy + Send + Sync>(
                     ],
                 );
             }
-            assert!(
-                attempt <= cfg.max_retries,
-                "semisort: bucket overflow persisted after {attempt} retries \
-                 (α grown to {:.2}); input size {n}",
-                run_cfg.alpha * 2.0
-            );
+            if attempt > cfg.max_retries {
+                let err = SemisortError::RetriesExhausted {
+                    attempts: attempt,
+                    alpha: run_cfg.alpha,
+                    n,
+                };
+                finish_stats(&mut stats, &sink, &mut retry_causes, faults_injected);
+                let out = escalate(records, cfg, err, &mut stats)?;
+                return Ok((out, stats));
+            }
             continue;
         }
         stats.heavy_records = heavy_records;
@@ -172,9 +263,72 @@ pub fn semisort_with_stats<V: Copy + Send + Sync>(
         stats.t_pack = span.finish();
         debug_assert_eq!(out.len(), n, "pack must emit every record");
 
-        stats.telemetry = sink.snapshot();
-        stats.telemetry.retry_causes = retry_causes;
-        return (out, stats);
+        finish_stats(&mut stats, &sink, &mut retry_causes, faults_injected);
+        return Ok((out, stats));
+    }
+}
+
+/// Mix `(seed, attempt)` into a per-attempt seed with the splitmix64
+/// finalizer, so retry streams are statistically independent of the failed
+/// attempt's. Attempt 0 is mixed too — the entry seed is a label, not a
+/// stream prefix.
+fn mix_seed(seed: u64, attempt: u32) -> u64 {
+    let mut z = seed.wrapping_add((attempt as u64 + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Fold the attempt's telemetry and the run-level failure bookkeeping into
+/// the stats (shared by the success return and every escalation site).
+fn finish_stats(
+    stats: &mut SemisortStats,
+    sink: &ObsSink,
+    retry_causes: &mut Vec<RetryCause>,
+    faults_injected: u32,
+) {
+    stats.telemetry = sink.snapshot();
+    stats.telemetry.retry_causes = std::mem::take(retry_causes);
+    stats.faults_injected = faults_injected;
+}
+
+/// Apply the configured [`OverflowPolicy`] to a terminal failure: degrade
+/// to the comparison sort (marking the stats), surface the error, or panic.
+fn escalate<V: Copy + Send + Sync>(
+    records: &[(u64, V)],
+    cfg: &SemisortConfig,
+    err: SemisortError,
+    stats: &mut SemisortStats,
+) -> Result<Vec<(u64, V)>, SemisortError> {
+    match cfg.overflow_policy {
+        OverflowPolicy::Fallback => {
+            let reason = err.degrade_reason();
+            log_event_kv(
+                "degraded",
+                &[
+                    ("policy", cfg.overflow_policy.as_str()),
+                    ("reason", reason.as_str()),
+                ],
+                &[("n", records.len() as u64)],
+            );
+            stats.degraded = true;
+            stats.degrade_reason = Some(reason);
+            stats.heavy_records = 0;
+            stats.light_records = records.len();
+            Ok(fallback_sort(records))
+        }
+        OverflowPolicy::Error => {
+            log_event_kv(
+                "error",
+                &[
+                    ("policy", cfg.overflow_policy.as_str()),
+                    ("kind", err.kind()),
+                ],
+                &[("n", records.len() as u64)],
+            );
+            Err(err)
+        }
+        OverflowPolicy::Panic => panic!("semisort: {err}"),
     }
 }
 
@@ -216,6 +370,8 @@ mod tests {
         let stats = check(&recs, &cfg);
         assert_eq!(stats.heavy_records, 0, "all-distinct keys are never heavy");
         assert_eq!(stats.retries, 0);
+        assert!(!stats.degraded);
+        assert_eq!(stats.faults_injected, 0);
     }
 
     #[test]
@@ -394,5 +550,23 @@ mod tests {
         let stats = check(&recs, &SemisortConfig::default());
         assert_eq!(stats.heavy_keys, 1);
         assert_eq!(stats.heavy_records, recs.len());
+    }
+
+    #[test]
+    fn mixed_seeds_are_decorrelated() {
+        // Consecutive attempts must not share a seed with any nearby
+        // (seed, attempt) pair — the old `seed + attempt` scheme made
+        // (s, k+1) collide with (s+1, k).
+        let mut seen = std::collections::HashSet::new();
+        for seed in 0..64u64 {
+            for attempt in 0..8u32 {
+                assert!(
+                    seen.insert(mix_seed(seed, attempt)),
+                    "collision at seed={seed} attempt={attempt}"
+                );
+            }
+        }
+        // And mixing is deterministic.
+        assert_eq!(mix_seed(42, 3), mix_seed(42, 3));
     }
 }

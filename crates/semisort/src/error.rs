@@ -1,0 +1,186 @@
+//! Failure handling: the error type of the `try_*` entry points and the
+//! degradation vocabulary shared by the driver, stats, and CLI.
+//!
+//! The algorithm is Las Vegas: Corollary 3.4 bounds the probability that a
+//! bucket overflows to `O(1/n^c)`, but *bounded* is not *zero*, and an
+//! adversarial (hash-flooded) input can push the tail probability up.
+//! The library therefore never treats overflow as fatal. Every terminal
+//! failure — retry budget exhausted, arena memory budget exceeded, arena
+//! allocation failed — is routed through the configured
+//! [`OverflowPolicy`](crate::config::OverflowPolicy):
+//!
+//! - **Fallback** (default): degrade to the guaranteed `fallback_sort`
+//!   comparison path. Still a correct semisort — `O(n log n)` work instead
+//!   of `O(n)`, never a crash.
+//! - **Error**: return a [`SemisortError`] from the `try_*` entry points.
+//! - **Panic**: the pre-policy behavior, for callers that prefer to die
+//!   loudly.
+//!
+//! [`DegradeReason`] records *why* a run degraded; it rides on
+//! [`SemisortStats`](crate::stats::SemisortStats) and the stats JSON so a
+//! production fleet can alert on degradations.
+
+use std::fmt;
+
+/// Why a semisort run could not complete on the linear-work path.
+///
+/// Returned by the `try_*` entry points when
+/// [`OverflowPolicy::Error`](crate::config::OverflowPolicy::Error) is
+/// selected; stringified into the panic message under
+/// [`OverflowPolicy::Panic`](crate::config::OverflowPolicy::Panic).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum SemisortError {
+    /// Bucket overflow persisted through `max_retries` Las Vegas restarts.
+    RetriesExhausted {
+        /// Attempts made (initial run + retries).
+        attempts: u32,
+        /// The slack factor α the final attempt ran with.
+        alpha: f64,
+        /// Input size.
+        n: usize,
+    },
+    /// The bucket plan of the next attempt would need an arena larger than
+    /// [`SemisortConfig::max_arena_bytes`](crate::config::SemisortConfig::max_arena_bytes).
+    ArenaBudgetExceeded {
+        /// Bytes the attempt's slot array would have needed.
+        required_bytes: usize,
+        /// The configured budget.
+        budget_bytes: usize,
+        /// The attempt (0-based) whose plan burst the budget.
+        attempt: u32,
+    },
+    /// The global allocator refused the arena allocation (or a
+    /// [`FaultPlan`](crate::fault::FaultPlan) simulated that refusal).
+    ArenaAllocFailed {
+        /// Bytes requested.
+        bytes: usize,
+        /// The attempt (0-based) whose allocation failed.
+        attempt: u32,
+    },
+}
+
+impl SemisortError {
+    /// Stable machine-readable kind string (used in structured log/error
+    /// lines and the CLI's error output).
+    pub fn kind(&self) -> &'static str {
+        match self {
+            SemisortError::RetriesExhausted { .. } => "retries-exhausted",
+            SemisortError::ArenaBudgetExceeded { .. } => "arena-budget-exceeded",
+            SemisortError::ArenaAllocFailed { .. } => "arena-alloc-failed",
+        }
+    }
+
+    /// The [`DegradeReason`] this error maps to under
+    /// [`OverflowPolicy::Fallback`](crate::config::OverflowPolicy::Fallback).
+    pub fn degrade_reason(&self) -> DegradeReason {
+        match self {
+            SemisortError::RetriesExhausted { .. } => DegradeReason::RetriesExhausted,
+            SemisortError::ArenaBudgetExceeded { .. } => DegradeReason::BudgetExceeded,
+            SemisortError::ArenaAllocFailed { .. } => DegradeReason::AllocFailed,
+        }
+    }
+}
+
+impl fmt::Display for SemisortError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SemisortError::RetriesExhausted { attempts, alpha, n } => write!(
+                f,
+                "bucket overflow persisted after {attempts} attempts \
+                 (α grown to {alpha:.2}); input size {n}"
+            ),
+            SemisortError::ArenaBudgetExceeded {
+                required_bytes,
+                budget_bytes,
+                attempt,
+            } => write!(
+                f,
+                "attempt {attempt} needs a {required_bytes}-byte arena, \
+                 over the {budget_bytes}-byte budget"
+            ),
+            SemisortError::ArenaAllocFailed { bytes, attempt } => {
+                write!(
+                    f,
+                    "arena allocation of {bytes} bytes failed on attempt {attempt}"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for SemisortError {}
+
+/// Why a run degraded to the comparison-sort fallback (only set when it
+/// did; `None` on the linear-work path and on the pre-existing
+/// `seq_threshold` / reserved-key fallbacks, which are by-construction
+/// routing decisions rather than failures).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum DegradeReason {
+    /// The Las Vegas retry budget ran out.
+    RetriesExhausted,
+    /// The next attempt's arena would exceed `max_arena_bytes`.
+    BudgetExceeded,
+    /// The arena allocation itself failed.
+    AllocFailed,
+}
+
+impl DegradeReason {
+    /// Stable spelling used in the stats JSON and log events.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            DegradeReason::RetriesExhausted => "retries-exhausted",
+            DegradeReason::BudgetExceeded => "budget-exceeded",
+            DegradeReason::AllocFailed => "alloc-failed",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kinds_and_reasons_align() {
+        let e = SemisortError::RetriesExhausted {
+            attempts: 4,
+            alpha: 8.8,
+            n: 100,
+        };
+        assert_eq!(e.kind(), "retries-exhausted");
+        assert_eq!(e.degrade_reason(), DegradeReason::RetriesExhausted);
+        assert_eq!(e.degrade_reason().as_str(), e.kind());
+
+        let e = SemisortError::ArenaBudgetExceeded {
+            required_bytes: 1 << 20,
+            budget_bytes: 1 << 10,
+            attempt: 1,
+        };
+        assert_eq!(e.kind(), "arena-budget-exceeded");
+        assert_eq!(e.degrade_reason().as_str(), "budget-exceeded");
+
+        let e = SemisortError::ArenaAllocFailed {
+            bytes: 16,
+            attempt: 0,
+        };
+        assert_eq!(e.kind(), "arena-alloc-failed");
+        assert_eq!(e.degrade_reason().as_str(), "alloc-failed");
+    }
+
+    #[test]
+    fn display_is_informative() {
+        let msg = SemisortError::RetriesExhausted {
+            attempts: 3,
+            alpha: 4.4,
+            n: 1000,
+        }
+        .to_string();
+        assert!(msg.contains("3 attempts") && msg.contains("1000"), "{msg}");
+        let msg = SemisortError::ArenaBudgetExceeded {
+            required_bytes: 2048,
+            budget_bytes: 1024,
+            attempt: 2,
+        }
+        .to_string();
+        assert!(msg.contains("2048") && msg.contains("1024"), "{msg}");
+    }
+}

@@ -33,6 +33,17 @@
 //! Higher-level entry points: [`api::semisort_by_key`] semisorts arbitrary
 //! hashable keys, [`api::group_by`] returns the groups as ranges, and
 //! [`api::reduce_by_key`] / [`api::count_by_key`] fold each group.
+//!
+//! # Failure handling
+//!
+//! The scatter phase is Las Vegas: a bucket can overflow its allocated
+//! slots, in which case the run retries with doubled slack α. What happens
+//! when the retry budget (or the optional [`SemisortConfig::max_arena_bytes`]
+//! memory budget) is exhausted is governed by [`OverflowPolicy`]: degrade to
+//! the deterministic comparison-sort fallback (default), return a
+//! [`SemisortError`] from the `try_*` entry points, or panic. The
+//! [`fault`] module injects deterministic failures into each phase so the
+//! whole escalation ladder is testable.
 
 #![warn(missing_docs)]
 
@@ -43,7 +54,9 @@ pub mod bounded;
 pub mod buckets;
 pub mod config;
 pub mod driver;
+pub mod error;
 pub mod estimate;
+pub mod fault;
 pub mod json;
 pub mod local_sort;
 pub mod obs;
@@ -55,11 +68,15 @@ pub mod verify;
 
 pub use api::{
     count_by_key, group_by, reduce_by_key, semisort_by_key, semisort_in_place, semisort_pairs,
-    semisort_permutation, semisort_stable_by_key,
+    semisort_permutation, semisort_stable_by_key, try_count_by_key, try_group_by,
+    try_reduce_by_key, try_semisort_by_key, try_semisort_in_place, try_semisort_pairs,
+    try_semisort_permutation, try_semisort_stable_by_key,
 };
-pub use bounded::{semisort_auto, semisort_bounded};
-pub use config::{LocalSortAlgo, ProbeStrategy, ScatterStrategy, SemisortConfig};
-pub use driver::{semisort_core, semisort_with_stats};
+pub use bounded::{semisort_auto, semisort_bounded, try_semisort_auto};
+pub use config::{LocalSortAlgo, OverflowPolicy, ProbeStrategy, ScatterStrategy, SemisortConfig};
+pub use driver::{semisort_core, semisort_with_stats, try_semisort_core, try_semisort_with_stats};
+pub use error::{DegradeReason, SemisortError};
+pub use fault::{FaultClass, FaultPlan};
 pub use json::Json;
 pub use obs::{Hist, PhaseSpan, RetryCause, Telemetry, TelemetryLevel};
 pub use stats::SemisortStats;

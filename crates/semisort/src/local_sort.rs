@@ -150,6 +150,7 @@ mod tests {
             cfg.probe_strategy,
             Rng::new(2),
             &sink,
+            None,
         );
         assert!(!out.overflowed);
         let counts = local_sort_light_buckets(&plan, &arena, algo, &sink);

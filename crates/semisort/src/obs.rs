@@ -372,11 +372,22 @@ pub fn log_enabled() -> bool {
 /// Emit one structured event line to stderr (only when [`log_enabled`]).
 /// `fields` are appended as JSON number members.
 pub fn log_event(event: &str, fields: &[(&str, u64)]) {
+    log_event_kv(event, &[], fields);
+}
+
+/// Like [`log_event`] but with string members too (e.g.
+/// `{"event":"degraded","reason":"retries-exhausted","attempts":4}`).
+/// String values must not need JSON escaping (they are the library's own
+/// enum spellings).
+pub fn log_event_kv(event: &str, strs: &[(&str, &str)], nums: &[(&str, u64)]) {
     if !log_enabled() {
         return;
     }
     let mut line = format!("{{\"event\":\"{event}\"");
-    for (k, v) in fields {
+    for (k, v) in strs {
+        line.push_str(&format!(",\"{k}\":\"{v}\""));
+    }
+    for (k, v) in nums {
         line.push_str(&format!(",\"{k}\":{v}"));
     }
     line.push('}');

@@ -134,6 +134,7 @@ mod tests {
             cfg.probe_strategy,
             Rng::new(4),
             &sink,
+            None,
         );
         assert!(!out.overflowed);
         let counts = local_sort_light_buckets(&plan, &arena, cfg.local_sort_algo, &sink);

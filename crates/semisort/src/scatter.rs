@@ -28,6 +28,7 @@ use rayon::prelude::*;
 
 use crate::buckets::BucketPlan;
 use crate::config::ProbeStrategy;
+use crate::fault::FaultClass;
 use crate::obs::{ObsSink, OverflowCapture, WorkerCell};
 
 /// Minimum records per worker chunk (the pre-telemetry `with_min_len`
@@ -135,28 +136,60 @@ pub(crate) struct Placed {
     pub cas_lost: u32,
 }
 
+/// The arena byte footprint of `plan` for payload type `V` (what
+/// [`try_allocate_arena`] will request and what the driver charges against
+/// [`SemisortConfig::max_arena_bytes`](crate::config::SemisortConfig::max_arena_bytes)).
+pub fn arena_bytes<V>(plan: &BucketPlan) -> usize {
+    plan.total_slots
+        .saturating_mul(std::mem::size_of::<Slot<V>>())
+}
+
 /// Allocate the slot array (all vacant) for `plan`.
 ///
 /// Uses `alloc_zeroed`: a zeroed `Slot<V>` is a valid vacant slot
 /// (`AtomicU64(0) == EMPTY`; the value cell is `MaybeUninit`), so the OS's
 /// lazily zeroed pages make allocation O(1) page-table work instead of an
 /// O(total_slots) initialization sweep.
+///
+/// Aborts the process on allocator refusal (`handle_alloc_error`); the
+/// driver uses [`try_allocate_arena`], which reports refusal instead so the
+/// escalation policy can degrade gracefully.
 pub fn allocate_arena<V: Send + Sync>(plan: &BucketPlan) -> ScatterArena<V> {
-    let len = plan.total_slots;
-    if len == 0 {
-        return ScatterArena { slots: Vec::new() };
+    match try_allocate_arena(plan, false) {
+        Ok(arena) => arena,
+        Err(_) => {
+            let layout = Layout::array::<Slot<V>>(plan.total_slots).expect("arena layout overflow");
+            handle_alloc_error(layout)
+        }
     }
-    let layout = Layout::array::<Slot<V>>(len).expect("arena layout overflow");
+}
+
+/// Fallible [`allocate_arena`]: returns `Err(bytes_requested)` when the
+/// global allocator refuses (instead of aborting the process), or when
+/// `fail_injected` simulates that refusal
+/// ([`FaultPlan::fail_alloc_attempts`](crate::fault::FaultPlan::fail_alloc_attempts)).
+pub fn try_allocate_arena<V: Send + Sync>(
+    plan: &BucketPlan,
+    fail_injected: bool,
+) -> Result<ScatterArena<V>, usize> {
+    let len = plan.total_slots;
+    if fail_injected {
+        return Err(arena_bytes::<V>(plan));
+    }
+    if len == 0 {
+        return Ok(ScatterArena { slots: Vec::new() });
+    }
+    let layout = Layout::array::<Slot<V>>(len).map_err(|_| usize::MAX)?;
     // SAFETY: all-zero bytes are a valid Slot<V> (see above); the pointer
     // comes from the global allocator with exactly the layout Vec expects.
     let slots = unsafe {
         let ptr = alloc_zeroed(layout) as *mut Slot<V>;
         if ptr.is_null() {
-            handle_alloc_error(layout);
+            return Err(layout.size());
         }
         Vec::from_raw_parts(ptr, len, len)
     };
-    ScatterArena { slots }
+    Ok(ScatterArena { slots })
 }
 
 /// Scatter all records into the arena. Returns telemetry; on
@@ -167,6 +200,13 @@ pub fn allocate_arena<V: Send + Sync>(plan: &BucketPlan) -> ScatterArena<V> {
 /// and merge it into `sink` once per chunk, so telemetry adds no shared
 /// traffic to the per-record CAS loop. With the sink at `Off` the
 /// per-record telemetry code is one never-taken branch.
+///
+/// `forced_overflow` is the fault-injection hook
+/// ([`FaultPlan::forced_overflow`](crate::fault::FaultPlan::forced_overflow)):
+/// when set, the first record routed to a bucket of the given class reports
+/// a Corollary 3.4 overflow through the real [`OverflowCapture`] path, so
+/// the driver's retry/escalation machinery is exercised exactly as by a
+/// genuine overflow. Pass `None` in production.
 pub fn scatter<V: Copy + Send + Sync>(
     records: &[(u64, V)],
     plan: &BucketPlan,
@@ -174,6 +214,7 @@ pub fn scatter<V: Copy + Send + Sync>(
     strategy: ProbeStrategy,
     rng: Rng,
     sink: &ObsSink,
+    forced_overflow: Option<FaultClass>,
 ) -> ScatterOutcome {
     let overflow = OverflowCapture::new();
     let heavy_records = AtomicUsize::new(0);
@@ -196,6 +237,14 @@ pub fn scatter<V: Copy + Send + Sync>(
                 let b = bucket as usize;
                 let base = plan.bucket_offset[b];
                 let size = plan.bucket_size[b];
+                if let Some(class) = forced_overflow {
+                    if class.matches(is_heavy) {
+                        // Injected Corollary 3.4 failure: report this bucket
+                        // as overflowed without touching the arena.
+                        overflow.report(bucket, size, size + 1);
+                        break;
+                    }
+                }
                 let mask = size - 1; // sizes are powers of two
                 let start = (rng.at(i as u64) as usize) & mask;
                 let placed = match strategy {
@@ -360,6 +409,7 @@ mod tests {
             strategy,
             Rng::new(cfg.seed).fork(99),
             &ObsSink::disabled(),
+            None,
         );
         (plan, arena, out)
     }
@@ -454,10 +504,60 @@ mod tests {
             ProbeStrategy::Linear,
             Rng::new(1),
             &ObsSink::disabled(),
+            None,
         );
         assert!(out.overflowed, "must report overflow instead of spinning");
         let (_bucket, allocated, observed) = out.overflow.expect("overflow details captured");
         assert_eq!(observed, allocated + 1);
+    }
+
+    #[test]
+    fn forced_overflow_fires_per_class() {
+        // 80% of records share one key, so the plan has heavy and light
+        // buckets; the injected overflow must report a bucket of exactly
+        // the requested class.
+        let records: Vec<(u64, u64)> = (0..40_000u64)
+            .map(|i| {
+                let k = if i % 5 != 0 { 7u64 } else { 1_000 + i };
+                (hash64(k), i)
+            })
+            .collect();
+        let cfg = SemisortConfig::default();
+        let keys: Vec<u64> = records.iter().map(|r| r.0).collect();
+        let mut sample = crate::sample::strided_sample(&keys, cfg.sample_shift, Rng::new(cfg.seed));
+        sample.sort_unstable();
+        let plan = build_plan(&sample, records.len(), &cfg);
+        assert!(plan.num_heavy > 0 && plan.num_light > 0);
+        for (class, want_heavy) in [(FaultClass::Heavy, true), (FaultClass::Light, false)] {
+            let arena = allocate_arena::<u64>(&plan);
+            let out = scatter(
+                &records,
+                &plan,
+                &arena,
+                ProbeStrategy::Linear,
+                Rng::new(1),
+                &ObsSink::disabled(),
+                Some(class),
+            );
+            assert!(out.overflowed, "{class:?} fault must report overflow");
+            let (bucket, allocated, observed) = out.overflow.expect("capture");
+            assert_eq!(
+                (bucket as usize) < plan.num_heavy,
+                want_heavy,
+                "{class:?} overflowed bucket {bucket}"
+            );
+            assert_eq!(observed, allocated + 1);
+        }
+    }
+
+    #[test]
+    fn try_allocate_reports_injected_failure() {
+        let plan = build_plan(&[], 64, &SemisortConfig::default());
+        let bytes = arena_bytes::<u64>(&plan);
+        assert!(bytes > 0);
+        assert_eq!(try_allocate_arena::<u64>(&plan, true).err(), Some(bytes));
+        let arena = try_allocate_arena::<u64>(&plan, false).expect("real alloc succeeds");
+        assert_eq!(arena.slots.len(), plan.total_slots);
     }
 
     #[test]

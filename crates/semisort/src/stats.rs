@@ -22,7 +22,8 @@
 //!     "probe_strategy": "linear", "scatter_strategy": "random-cas",
 //!     "scatter_block": 16, "blocked_tail_log2": 3,
 //!     "local_sort_algo": "std-unstable", "seed": 42,
-//!     "seq_threshold": 8192, "max_retries": 3, "telemetry": "deep"
+//!     "seq_threshold": 8192, "max_retries": 3, "telemetry": "deep",
+//!     "overflow_policy": "fallback", "max_arena_bytes": null, "fault": "none"
 //!   },
 //!   "phases": {
 //!     "sample_sort_s": 0.01, "construct_buckets_s": 0.001,
@@ -34,6 +35,10 @@
 //!     "heavy_records": 500000, "light_records": 500000,
 //!     "total_slots": 1300000, "retries": 0, "blocks_flushed": 0,
 //!     "slab_overflows": 0, "fallback_records": 0
+//!   },
+//!   "outcome": {
+//!     "policy": "fallback", "degraded": false, "reason": null,
+//!     "faults_injected": 0
 //!   },
 //!   "telemetry": {
 //!     "level": "deep", "cas_attempts": 1010000, "cas_failures": 10000,
@@ -59,6 +64,7 @@
 use std::time::Duration;
 
 use crate::config::{LocalSortAlgo, ProbeStrategy, ScatterStrategy, SemisortConfig};
+use crate::error::DegradeReason;
 use crate::json::Json;
 use crate::obs::Telemetry;
 
@@ -100,6 +106,18 @@ pub struct SemisortStats {
     pub slab_overflows: usize,
     /// Blocked scatter only: records placed by the per-record CAS fallback.
     pub fallback_records: usize,
+    /// Whether the run degraded to the comparison-sort fallback because the
+    /// Las Vegas machinery gave up (retries exhausted, arena budget
+    /// exceeded, or allocation failed) under
+    /// [`OverflowPolicy::Fallback`]. The by-construction fallbacks
+    /// (`seq_threshold`-sized inputs, reserved-key screening) do **not**
+    /// set this: they are routing, not failure.
+    pub degraded: bool,
+    /// Why the run degraded (`None` unless `degraded`).
+    pub degrade_reason: Option<DegradeReason>,
+    /// Faults the run's [`crate::fault::FaultPlan`] armed across all
+    /// attempts (0 in production).
+    pub faults_injected: u32,
     /// The configuration the run started with (echoed into the JSON export
     /// so a stats file is self-describing).
     pub config: SemisortConfig,
@@ -200,6 +218,19 @@ impl SemisortStats {
             ("seq_threshold".into(), Json::num(cfg.seq_threshold as u64)),
             ("max_retries".into(), Json::num(cfg.max_retries as u64)),
             ("telemetry".into(), Json::str(cfg.telemetry.as_str())),
+            (
+                "overflow_policy".into(),
+                Json::str(cfg.overflow_policy.as_str()),
+            ),
+            (
+                "max_arena_bytes".into(),
+                if cfg.max_arena_bytes == usize::MAX {
+                    Json::Null
+                } else {
+                    Json::num(cfg.max_arena_bytes as u64)
+                },
+            ),
+            ("fault".into(), Json::Str(cfg.fault.spec())),
         ]);
         let phases = Json::Obj(vec![
             (
@@ -270,12 +301,31 @@ impl SemisortStats {
                 ),
             ),
         ]);
+        let outcome = Json::Obj(vec![
+            (
+                "policy".into(),
+                Json::str(self.config.overflow_policy.as_str()),
+            ),
+            ("degraded".into(), Json::Bool(self.degraded)),
+            (
+                "reason".into(),
+                match self.degrade_reason {
+                    Some(r) => Json::str(r.as_str()),
+                    None => Json::Null,
+                },
+            ),
+            (
+                "faults_injected".into(),
+                Json::num(self.faults_injected as u64),
+            ),
+        ]);
         Json::Obj(vec![
             ("schema".into(), Json::str("semisort-stats-v1")),
             ("n".into(), Json::num(self.n as u64)),
             ("config".into(), config),
             ("phases".into(), phases),
             ("counters".into(), counters),
+            ("outcome".into(), outcome),
             ("telemetry".into(), telemetry),
         ])
     }
@@ -332,7 +382,7 @@ mod tests {
             back.get("schema").and_then(Json::as_str),
             Some("semisort-stats-v1")
         );
-        for section in ["config", "phases", "counters", "telemetry"] {
+        for section in ["config", "phases", "counters", "outcome", "telemetry"] {
             assert!(back.get(section).is_some(), "missing {section}");
         }
         let phases = back.get("phases").unwrap();
@@ -346,6 +396,42 @@ mod tests {
             assert!(phases.get(key).is_some(), "missing phase {key}");
         }
         assert_eq!(phases.get("scatter_s").and_then(Json::as_f64), Some(0.003));
+    }
+
+    #[test]
+    fn outcome_section_reflects_degradation() {
+        let clean = SemisortStats::default().to_json().to_string();
+        let clean = Json::parse(&clean).unwrap();
+        let outcome = clean.get("outcome").expect("outcome section");
+        assert_eq!(outcome.get("degraded"), Some(&Json::Bool(false)));
+        assert_eq!(outcome.get("reason"), Some(&Json::Null));
+        assert_eq!(
+            outcome.get("policy").and_then(Json::as_str),
+            Some("fallback")
+        );
+
+        let degraded = SemisortStats {
+            degraded: true,
+            degrade_reason: Some(DegradeReason::RetriesExhausted),
+            faults_injected: 2,
+            ..Default::default()
+        }
+        .to_json()
+        .to_string();
+        let degraded = Json::parse(&degraded).unwrap();
+        let outcome = degraded.get("outcome").unwrap();
+        assert_eq!(outcome.get("degraded"), Some(&Json::Bool(true)));
+        assert_eq!(
+            outcome.get("reason").and_then(Json::as_str),
+            Some("retries-exhausted")
+        );
+        assert_eq!(
+            outcome.get("faults_injected").and_then(Json::as_f64),
+            Some(2.0)
+        );
+        let cfg = degraded.get("config").unwrap();
+        assert_eq!(cfg.get("max_arena_bytes"), Some(&Json::Null));
+        assert_eq!(cfg.get("fault").and_then(Json::as_str), Some("none"));
     }
 
     #[test]

@@ -21,12 +21,24 @@
 //! default; `--trajectory none` disables). `validate-json` parses a stats
 //! or trajectory file with the in-tree JSON reader and fails on malformed
 //! content — the CI smoke check.
+//!
+//! Failure handling (both `sort --algo semisort` and `bench`):
+//! `--on-overflow <fallback|error|panic>` selects the escalation policy,
+//! `--max-retries <k>` bounds the Las Vegas restarts, `--max-arena-bytes
+//! <bytes>` (k/m/g suffixes ok) caps the scatter arena, and `--fault
+//! <spec>` injects deterministic faults (`force-overflow:2`,
+//! `corrupt-sample:1,fail-alloc:1`, … — see `semisort::fault`). Under
+//! `--on-overflow error` a terminal failure prints one structured
+//! `{"event":"error",...}` line to stderr and exits 1.
 
 use std::fs::File;
 use std::io::{BufReader, BufWriter, Read, Write};
 use std::time::Instant;
 
-use semisort::{semisort_with_stats, Json, ScatterStrategy, SemisortConfig, TelemetryLevel};
+use semisort::{
+    try_semisort_with_stats, FaultPlan, Json, OverflowPolicy, ScatterStrategy, SemisortConfig,
+    SemisortError, SemisortStats, TelemetryLevel,
+};
 use workloads::Distribution;
 
 fn main() {
@@ -47,7 +59,7 @@ fn main() {
 
 fn usage_and_exit() -> ! {
     eprintln!(
-        "usage:\n  semisort-cli generate --dist <uniform|exp|zipf>:<param> --n <count> --out <file> [--seed <u64>]\n  semisort-cli sort --input <file> --out <file> [--algo semisort|radix|sample|stdsort|seq-hash|rr] [--scatter random-cas|blocked] [--threads <k>] [--stats] [--stats-json <file>] [--telemetry off|counters|deep]\n  semisort-cli verify --input <file>\n  semisort-cli bench [--n <count>] [--dist <spec>] [--quick] [--threads <k>] [--seed <u64>] [--scatter random-cas|blocked] [--telemetry off|counters|deep] [--stats-json <file>] [--trajectory <file|none>]\n  semisort-cli validate-json --input <file> [--schema <name>] [--jsonl]"
+        "usage:\n  semisort-cli generate --dist <uniform|exp|zipf>:<param> --n <count> --out <file> [--seed <u64>]\n  semisort-cli sort --input <file> --out <file> [--algo semisort|radix|sample|stdsort|seq-hash|rr] [--scatter random-cas|blocked] [--threads <k>] [--stats] [--stats-json <file>] [--telemetry off|counters|deep] [--on-overflow fallback|error|panic] [--max-retries <k>] [--max-arena-bytes <bytes>] [--fault <spec>]\n  semisort-cli verify --input <file>\n  semisort-cli bench [--n <count>] [--dist <spec>] [--quick] [--threads <k>] [--seed <u64>] [--scatter random-cas|blocked] [--telemetry off|counters|deep] [--stats-json <file>] [--trajectory <file|none>] [--on-overflow fallback|error|panic] [--max-retries <k>] [--max-arena-bytes <bytes>] [--fault <spec>]\n  semisort-cli validate-json --input <file> [--schema <name>] [--jsonl]"
     );
     std::process::exit(2);
 }
@@ -183,6 +195,46 @@ fn parse_scatter(flags: &Flags) -> ScatterStrategy {
     }
 }
 
+/// Apply the failure-handling flags — `--on-overflow`, `--max-retries`,
+/// `--max-arena-bytes`, `--fault` — on top of a config.
+fn apply_failure_flags(flags: &Flags, mut cfg: SemisortConfig) -> SemisortConfig {
+    if let Some(s) = flags.get("on-overflow") {
+        cfg.overflow_policy = OverflowPolicy::parse(s).unwrap_or_else(|| {
+            eprintln!("unknown overflow policy {s} (want fallback, error or panic)");
+            std::process::exit(2);
+        });
+    }
+    if let Some(s) = flags.get("max-retries") {
+        cfg.max_retries = s.parse().expect("bad retry count");
+    }
+    if let Some(s) = flags.get("max-arena-bytes") {
+        cfg.max_arena_bytes = parse_count(s);
+    }
+    if let Some(s) = flags.get("fault") {
+        cfg.fault = FaultPlan::parse(s).unwrap_or_else(|e| {
+            eprintln!("bad --fault spec: {e}");
+            std::process::exit(2);
+        });
+    }
+    cfg
+}
+
+/// Run the semisort, exiting with a structured one-line JSON error on a
+/// terminal failure (only reachable under `--on-overflow error`).
+fn run_or_exit(records: &[(u64, u64)], cfg: &SemisortConfig) -> (Vec<(u64, u64)>, SemisortStats) {
+    try_semisort_with_stats(records, cfg).unwrap_or_else(|e| exit_semisort_error(e))
+}
+
+fn exit_semisort_error(e: SemisortError) -> ! {
+    let line = Json::Obj(vec![
+        ("event".into(), Json::str("error")),
+        ("kind".into(), Json::str(e.kind())),
+        ("message".into(), Json::Str(e.to_string())),
+    ]);
+    eprintln!("{line}");
+    std::process::exit(1);
+}
+
 /// Parse `--telemetry` (default `off`).
 fn parse_telemetry(flags: &Flags) -> TelemetryLevel {
     let s = flags.get("telemetry").unwrap_or("off");
@@ -205,6 +257,12 @@ fn print_stats(stats: &semisort::SemisortStats, scatter: ScatterStrategy) {
         stats.space_blowup(),
         stats.retries
     );
+    if stats.degraded {
+        eprintln!(
+            "  DEGRADED to comparison-sort fallback: {}",
+            stats.degrade_reason.map_or("unknown", |r| r.as_str())
+        );
+    }
     if scatter == ScatterStrategy::Blocked {
         eprintln!(
             "  blocks flushed {} | slab overflows {} | fallback records {}",
@@ -258,12 +316,15 @@ fn sort(flags: &Flags) {
     let run = || -> Vec<(u64, u64)> {
         match algo {
             "semisort" => {
-                let cfg = SemisortConfig {
-                    scatter_strategy: scatter,
-                    telemetry,
-                    ..Default::default()
-                };
-                let (out, stats) = semisort_with_stats(&records, &cfg);
+                let cfg = apply_failure_flags(
+                    flags,
+                    SemisortConfig {
+                        scatter_strategy: scatter,
+                        telemetry,
+                        ..Default::default()
+                    },
+                );
+                let (out, stats) = run_or_exit(&records, &cfg);
                 if flags.has("stats") {
                     print_stats(&stats, scatter);
                 }
@@ -323,11 +384,14 @@ fn bench_run(flags: &Flags) {
         .unwrap_or(Distribution::Zipfian {
             m: (n as u64 / 10).max(1),
         });
-    let cfg = SemisortConfig {
-        scatter_strategy: parse_scatter(flags),
-        telemetry: parse_telemetry(flags),
-        ..SemisortConfig::default().with_seed(seed)
-    };
+    let cfg = apply_failure_flags(
+        flags,
+        SemisortConfig {
+            scatter_strategy: parse_scatter(flags),
+            telemetry: parse_telemetry(flags),
+            ..SemisortConfig::default().with_seed(seed)
+        },
+    );
     let threads = flags
         .get("threads")
         .map(|k| k.parse::<usize>().expect("bad thread count"));
@@ -336,7 +400,7 @@ fn bench_run(flags: &Flags) {
 
     let records = workloads::generate(dist, n, seed);
     let t = Instant::now();
-    let run = || semisort_with_stats(&records, &cfg);
+    let run = || run_or_exit(&records, &cfg);
     let (out, stats) = match threads {
         Some(k) => parlay::with_threads(k, run),
         None => run(),

@@ -224,6 +224,74 @@ fn validate_json_rejects_malformed_input() {
 }
 
 #[test]
+fn fault_flag_with_error_policy_exits_with_structured_error() {
+    // Mirrors the CI chaos smoke: persistent forced overflow with a retry
+    // budget of 1 under --on-overflow error must exit nonzero and print
+    // one structured {"event":"error",...} line to stderr.
+    let out = cli()
+        .args([
+            "bench",
+            "--quick",
+            "--n",
+            "50k",
+            "--on-overflow",
+            "error",
+            "--max-retries",
+            "1",
+            "--fault",
+            "force-overflow:2",
+            "--trajectory",
+            "none",
+        ])
+        .output()
+        .expect("bench");
+    assert!(!out.status.success(), "error policy must exit nonzero");
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("\"event\":\"error\""), "stderr: {err}");
+    assert!(
+        err.contains("\"kind\":\"retries-exhausted\""),
+        "stderr: {err}"
+    );
+}
+
+#[test]
+fn fault_flag_with_fallback_policy_degrades_and_succeeds() {
+    // Same persistent fault under the default fallback policy: exit 0, and
+    // the stats JSON records the degradation.
+    let stats = tmp("chaos_stats.json");
+    let status = cli()
+        .args([
+            "bench",
+            "--quick",
+            "--n",
+            "50k",
+            "--max-retries",
+            "1",
+            "--fault",
+            "force-overflow:31",
+            "--trajectory",
+            "none",
+        ])
+        .arg("--stats-json")
+        .arg(&stats)
+        .status()
+        .expect("bench");
+    assert!(status.success(), "fallback policy must keep the run alive");
+    let text = std::fs::read_to_string(&stats).expect("stats written");
+    let json = semisort::Json::parse(&text).expect("stats parse");
+    let outcome = json.get("outcome").expect("outcome section");
+    assert_eq!(
+        outcome.get("degraded").and_then(semisort::Json::as_bool),
+        Some(true)
+    );
+    assert_eq!(
+        outcome.get("reason").and_then(semisort::Json::as_str),
+        Some("retries-exhausted")
+    );
+    std::fs::remove_file(&stats).ok();
+}
+
+#[test]
 fn semisort_log_emits_span_lines() {
     let data = tmp("log.bin");
     cli()
