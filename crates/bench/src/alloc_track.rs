@@ -13,6 +13,7 @@ pub struct TrackingAllocator;
 
 static LIVE: AtomicUsize = AtomicUsize::new(0);
 static PEAK: AtomicUsize = AtomicUsize::new(0);
+static TOTAL: AtomicUsize = AtomicUsize::new(0);
 
 // SAFETY: delegates all allocation to `System`, only adding counters.
 unsafe impl GlobalAlloc for TrackingAllocator {
@@ -21,6 +22,7 @@ unsafe impl GlobalAlloc for TrackingAllocator {
         if !p.is_null() {
             let live = LIVE.fetch_add(layout.size(), Ordering::Relaxed) + layout.size();
             PEAK.fetch_max(live, Ordering::Relaxed);
+            TOTAL.fetch_add(layout.size(), Ordering::Relaxed);
         }
         p
     }
@@ -30,6 +32,7 @@ unsafe impl GlobalAlloc for TrackingAllocator {
         if !p.is_null() {
             let live = LIVE.fetch_add(layout.size(), Ordering::Relaxed) + layout.size();
             PEAK.fetch_max(live, Ordering::Relaxed);
+            TOTAL.fetch_add(layout.size(), Ordering::Relaxed);
         }
         p
     }
@@ -46,6 +49,7 @@ unsafe impl GlobalAlloc for TrackingAllocator {
             if new_size >= old {
                 let live = LIVE.fetch_add(new_size - old, Ordering::Relaxed) + (new_size - old);
                 PEAK.fetch_max(live, Ordering::Relaxed);
+                TOTAL.fetch_add(new_size - old, Ordering::Relaxed);
             } else {
                 LIVE.fetch_sub(old - new_size, Ordering::Relaxed);
             }
@@ -67,6 +71,23 @@ pub fn reset_peak() -> usize {
 /// Peak live bytes since the last [`reset_peak`].
 pub fn peak_bytes() -> usize {
     PEAK.load(Ordering::Relaxed)
+}
+
+/// Cumulative bytes ever allocated (never decremented; reallocation
+/// growth counts its delta). The steady-state reuse benchmark diffs this
+/// across calls: an engine call that reuses its pool adds ~0 here, a
+/// one-shot call re-adds its whole working set every time.
+pub fn total_allocated_bytes() -> usize {
+    TOTAL.load(Ordering::Relaxed)
+}
+
+/// Measure the heap bytes newly allocated while running `f` (cumulative,
+/// not peak — frees don't subtract). Only meaningful in a binary that
+/// installs [`TrackingAllocator`] via `#[global_allocator]`.
+pub fn measure_total<R>(f: impl FnOnce() -> R) -> (R, usize) {
+    let base = total_allocated_bytes();
+    let r = f();
+    (r, total_allocated_bytes() - base)
 }
 
 /// Measure the peak *additional* heap used while running `f`.

@@ -8,19 +8,116 @@
 //! - the heavy threshold δ;
 //! - the sampling rate p = 1/2^shift;
 //! - the local sort algorithm (paper: the STL hybrid sort was chosen for
-//!   consistency; alternatives performed similarly).
+//!   consistency; alternatives performed similarly);
+//! - `--reuse`: the [`Semisorter`] engine's pooled scratch vs the one-shot
+//!   API — same records, `--reps` consecutive calls each, reporting
+//!   per-call wall time and *newly allocated* heap bytes (the engine's
+//!   steady-state calls must allocate zero new arena bytes, verified via
+//!   `scratch_grows`).
 
+use bench::alloc_track::{measure_total, TrackingAllocator};
 use bench::fmt::{s3, x2, Table};
 use bench::timing::time_best_of;
 use bench::Args;
 use parlay::with_threads;
 use semisort::{
-    semisort_with_stats, LocalSortAlgo, ProbeStrategy, ScatterStrategy, SemisortConfig,
+    semisort_with_stats, try_semisort_with_stats, LocalSortAlgo, ProbeStrategy, ScatterStrategy,
+    SemisortConfig, Semisorter,
 };
 use workloads::{generate, representative_distributions, Distribution};
 
+#[global_allocator]
+static ALLOC: TrackingAllocator = TrackingAllocator;
+
+/// The `--reuse` arm: warm engine vs one-shot API, `reps` consecutive
+/// calls on the same records. Panics if a steady-state engine call grows
+/// its pool — that is the regression this arm exists to catch.
+fn reuse_arm(args: &Args) {
+    let n = args.n;
+    let reps = args.reps.max(2); // need ≥1 steady-state call
+    let threads = args.max_threads();
+    let cfg = SemisortConfig::default()
+        .with_seed(args.seed)
+        .with_telemetry(args.telemetry);
+    let records = generate(
+        Distribution::Zipfian {
+            m: (n as u64 / 10).max(1),
+        },
+        n,
+        args.seed,
+    );
+
+    println!("Engine reuse: n = {n}, {threads} threads, {reps} consecutive calls\n");
+    let mut table = Table::new([
+        "call",
+        "engine (s)",
+        "alloc (MB)",
+        "one-shot (s)",
+        "alloc (MB)",
+    ]);
+
+    let mut engine = Semisorter::new(cfg).expect("valid config");
+    let mut wall_engine_steady = 0.0f64;
+    let mut wall_oneshot_steady = 0.0f64;
+    for call in 0..reps {
+        let t = std::time::Instant::now();
+        let (out, eng_alloc) = with_threads(threads, || {
+            measure_total(|| engine.sort_pairs(&records).unwrap())
+        });
+        let eng_s = t.elapsed().as_secs_f64();
+        assert!(semisort::verify::is_semisorted_by(&out, |r| r.0));
+        if call > 0 {
+            wall_engine_steady += eng_s;
+            assert_eq!(
+                engine.last_stats().scratch_grows,
+                0,
+                "steady-state engine call {call} grew its scratch pool"
+            );
+        }
+        let t = std::time::Instant::now();
+        let (_, one_alloc) = with_threads(threads, || {
+            measure_total(|| try_semisort_with_stats(&records, &cfg).unwrap())
+        });
+        let one_s = t.elapsed().as_secs_f64();
+        if call > 0 {
+            wall_oneshot_steady += one_s;
+        }
+        let mb = |b: usize| format!("{:.1}", b as f64 / 1e6);
+        table.row([
+            call.to_string(),
+            format!("{eng_s:.3}"),
+            mb(eng_alloc),
+            format!("{one_s:.3}"),
+            mb(one_alloc),
+        ]);
+    }
+    table.print();
+    let steady = (reps - 1) as f64;
+    println!(
+        "\nsteady state (calls 1..{reps}): engine {:.3}s/call, one-shot {:.3}s/call \
+         ({:.2}x); engine steady-state scratch_grows = 0 (verified)",
+        wall_engine_steady / steady,
+        wall_oneshot_steady / steady,
+        wall_oneshot_steady / wall_engine_steady.max(1e-12),
+    );
+    // The trajectory line records the warm engine's final call: its
+    // scratch counters are the reuse evidence this arm archives.
+    let engine_stats = engine.last_stats().clone();
+    bench::trajectory::emit(
+        args,
+        "ablation-reuse",
+        threads,
+        wall_engine_steady / steady,
+        &engine_stats,
+    );
+}
+
 fn main() {
     let args = Args::parse();
+    if args.reuse {
+        reuse_arm(&args);
+        return;
+    }
     let (exp_dist, uni_dist) = representative_distributions(args.n);
     let threads = args.max_threads();
 

@@ -16,6 +16,9 @@
 //!   measured run (default `BENCH_semisort.json`; `none` disables).
 //! - `--telemetry <off|counters|deep>` — telemetry level for the measured
 //!   runs (default off).
+//! - `--reuse` — (`ablation` only) run the engine-reuse arm: a warm
+//!   [`semisort::Semisorter`] vs the one-shot API on the same records,
+//!   `--reps` consecutive calls each.
 
 use semisort::TelemetryLevel;
 
@@ -40,6 +43,8 @@ pub struct Args {
     pub trajectory: String,
     /// Telemetry level for measured runs.
     pub telemetry: TelemetryLevel,
+    /// Run the engine-reuse ablation arm (`ablation` only).
+    pub reuse: bool,
 }
 
 impl Default for Args {
@@ -66,6 +71,7 @@ impl Default for Args {
             stats_json: None,
             trajectory: crate::trajectory::DEFAULT_TRAJECTORY.to_string(),
             telemetry: TelemetryLevel::Off,
+            reuse: false,
         }
     }
 }
@@ -102,6 +108,7 @@ impl Args {
                         .collect()
                 }
                 "--quick" => out.quick = true,
+                "--reuse" => out.reuse = true,
                 "--stats-json" => out.stats_json = Some(value("--stats-json")),
                 "--trajectory" => out.trajectory = value("--trajectory"),
                 "--telemetry" => {
@@ -112,7 +119,7 @@ impl Args {
                 "--help" | "-h" => {
                     eprintln!(
                         "flags: --n <records> --threads <a,b,c> --reps <k> \
-                         --seed <u64> --sizes <a,b,c> --quick \
+                         --seed <u64> --sizes <a,b,c> --quick --reuse \
                          --stats-json <path> --trajectory <path|none> \
                          --telemetry <off|counters|deep>"
                     );
@@ -188,6 +195,15 @@ mod tests {
         assert_eq!(a.reps, 5);
         assert_eq!(a.seed, 9);
         assert_eq!(a.sizes, vec![100_000, 1_000_000]);
+    }
+
+    #[test]
+    fn reuse_flag_parses() {
+        assert!(!parse(&[]).reuse);
+        assert!(parse(&["--reuse"]).reuse);
+        let a = parse(&["--reuse", "--n", "10k"]);
+        assert!(a.reuse);
+        assert_eq!(a.n, 10_000);
     }
 
     #[test]

@@ -3,7 +3,7 @@
 //! Architecture: a parallel iterator is a *description* of an indexed item
 //! stream — it knows its exact length and how to feed the items of any index
 //! sub-range, in order, to a callback ([`ParallelIterator::pi_drive`]).
-//! Consumers split `0..len` into blocks with [`crate::run_blocks`], drive
+//! Consumers split `0..len` into blocks with `run_blocks` (crate-private), drive
 //! each block (possibly on different threads), and combine per-block
 //! results in index order. Adapters (`map`, `filter`, `enumerate`, …) wrap
 //! the drive callback. `zip` additionally needs random access to its right

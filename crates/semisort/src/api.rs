@@ -15,13 +15,19 @@
 //! sort), and a `try_*` twin that returns
 //! `Result<_, `[`SemisortError`]`>` for callers running with
 //! [`OverflowPolicy::Error`](crate::config::OverflowPolicy::Error).
+//!
+//! Since the [`Semisorter`] engine became the
+//! primary surface, every `try_*` function here is a thin one-shot wrapper:
+//! it builds a transient engine for the call and drops it (and its scratch)
+//! on return, so one-shot and engine calls are behaviorally identical. The
+//! panicking twins are **soft-deprecated** — kept for existing callers, but
+//! new code should prefer the `try_*` forms or the engine (see the
+//! deprecation policy in the [crate docs](crate)).
 
 use std::hash::{DefaultHasher, Hash, Hasher};
 
-use rayon::prelude::*;
-
 use crate::config::SemisortConfig;
-use crate::driver::try_semisort_core;
+use crate::engine::Semisorter;
 use crate::error::SemisortError;
 
 /// Unwrap a `try_*` result for the panicking entry points.
@@ -41,7 +47,7 @@ pub fn try_semisort_pairs(
     records: &[(u64, u64)],
     cfg: &SemisortConfig,
 ) -> Result<Vec<(u64, u64)>, SemisortError> {
-    try_semisort_core(records, cfg)
+    Semisorter::new(*cfg)?.sort_pairs(records)
 }
 
 /// Hash an arbitrary key to the scatter's 64-bit key space.
@@ -89,29 +95,12 @@ where
     K: Hash + Eq,
     F: Fn(&T) -> K + Send + Sync,
 {
-    let n = items.len();
-    // Route (hash, index) pairs through the core, then gather.
-    let hashed: Vec<(u64, u64)> = items
-        .par_iter()
-        .enumerate()
-        .with_min_len(4096)
-        .map(|(i, t)| (hash_key(&key(t)), i as u64))
-        .collect();
-    let placed = try_semisort_core(&hashed, cfg)?;
-    let mut out: Vec<T> = placed
-        .par_iter()
-        .with_min_len(4096)
-        .map(|&(_, i)| items[i as usize].clone())
-        .collect();
-
-    repair_hash_collisions(&mut out, &placed, &key);
-    debug_assert_eq!(out.len(), n);
-    Ok(out)
+    Semisorter::new(*cfg)?.sort_by_key(items, key)
 }
 
 /// Within each run of equal *hashes*, verify all *keys* are equal; if a
 /// 64-bit collision interleaved two keys, regroup that run stably.
-fn repair_hash_collisions<T, K, F>(out: &mut [T], placed: &[(u64, u64)], key: &F)
+pub(crate) fn repair_hash_collisions<T, K, F>(out: &mut [T], placed: &[(u64, u64)], key: &F)
 where
     T: Clone,
     K: Hash + Eq,
@@ -189,32 +178,7 @@ where
     K: Hash + Eq,
     F: Fn(&T) -> K + Send + Sync,
 {
-    let n = items.len();
-    // Permute indices, then restore input order inside each key run.
-    let mut perm = try_semisort_permutation(items, &key, cfg)?;
-    {
-        // Group boundaries on the permuted key sequence.
-        let bounds: Vec<usize> = {
-            let mut b = parlay::pack_index(n, |j| {
-                j == 0 || key(&items[perm[j]]) != key(&items[perm[j - 1]])
-            });
-            b.push(n);
-            b
-        };
-        let mut rest: &mut [usize] = &mut perm;
-        let mut runs: Vec<&mut [usize]> = Vec::with_capacity(bounds.len());
-        for w in bounds.windows(2) {
-            let (head, tail) = rest.split_at_mut(w[1] - w[0]);
-            runs.push(head);
-            rest = tail;
-        }
-        runs.into_par_iter().for_each(|run| run.sort_unstable());
-    }
-    Ok(perm
-        .par_iter()
-        .with_min_len(4096)
-        .map(|&i| items[i].clone())
-        .collect())
+    Semisorter::new(*cfg)?.stable_by_key(items, key)
 }
 
 /// The permutation a semisort would apply: `perm[j] = i` means output
@@ -243,21 +207,11 @@ where
     K: Hash + Eq,
     F: Fn(&T) -> K + Send + Sync,
 {
-    let hashed: Vec<(u64, u64)> = items
-        .par_iter()
-        .enumerate()
-        .with_min_len(4096)
-        .map(|(i, t)| (hash_key(&key(t)), i as u64))
-        .collect();
-    let placed = try_semisort_core(&hashed, cfg)?;
-    // Repair 64-bit hash collisions on the index permutation itself.
-    let mut perm: Vec<usize> = placed.iter().map(|&(_, i)| i as usize).collect();
-    repair_collisions_on_perm(&mut perm, &placed, items, &key);
-    Ok(perm)
+    Semisorter::new(*cfg)?.permutation(items, key)
 }
 
 /// Collision repair working on indices (see `repair_hash_collisions`).
-fn repair_collisions_on_perm<T, K, F>(
+pub(crate) fn repair_collisions_on_perm<T, K, F>(
     perm: &mut [usize],
     placed: &[(u64, u64)],
     items: &[T],
@@ -322,7 +276,9 @@ where
 }
 
 /// Fallible [`semisort_in_place`]. On `Err` the items are untouched (the
-/// failure happens before any permutation is applied).
+/// failure happens before any permutation is applied). Routes through the
+/// engine's permutation path, so the cycle-following scratch is a pooled
+/// bitset rather than a per-call `Vec<bool>`.
 pub fn try_semisort_in_place<T, K, F>(
     items: &mut [T],
     key: F,
@@ -333,20 +289,26 @@ where
     K: Hash + Eq,
     F: Fn(&T) -> K + Send + Sync,
 {
-    let perm = try_semisort_permutation(items, &key, cfg)?;
-    apply_permutation_in_place(items, &perm);
-    Ok(())
+    Semisorter::new(*cfg)?.in_place(items, key)
 }
 
 /// Rearrange `items` so that `items_new[j] = items_old[perm[j]]`, moving
 /// each element exactly once (cycle-following).
 pub fn apply_permutation_in_place<T>(items: &mut [T], perm: &[usize]) {
+    let mut visited = Vec::new();
+    apply_permutation_with_scratch(items, perm, &mut visited);
+}
+
+/// [`apply_permutation_in_place`] with a caller-owned visited bitset
+/// (cleared and resized to `⌈n/64⌉` words first), so pooled callers pay
+/// one bit — not one byte — per item and zero allocations at steady state.
+pub fn apply_permutation_with_scratch<T>(items: &mut [T], perm: &[usize], visited: &mut Vec<u64>) {
     assert_eq!(items.len(), perm.len());
     let n = items.len();
-    let mut done = vec![false; n];
+    visited.clear();
+    visited.resize(n.div_ceil(64), 0);
     for start in 0..n {
-        if done[start] || perm[start] == start {
-            done[start] = true;
+        if (visited[start >> 6] >> (start & 63)) & 1 == 1 || perm[start] == start {
             continue;
         }
         // Rotate the cycle containing `start`: position j receives the item
@@ -355,7 +317,7 @@ pub fn apply_permutation_in_place<T>(items: &mut [T], perm: &[usize]) {
         let mut j = start;
         loop {
             let src = perm[j];
-            done[j] = true;
+            visited[j >> 6] |= 1 << (j & 63);
             if src == start {
                 break;
             }
@@ -458,14 +420,7 @@ where
     K: Hash + Eq,
     F: Fn(&T) -> K + Send + Sync,
 {
-    let sorted = try_semisort_by_key(items, &key, cfg)?;
-    let n = sorted.len();
-    let mut starts = parlay::pack_index(n, |i| i == 0 || key(&sorted[i]) != key(&sorted[i - 1]));
-    starts.push(n);
-    Ok(Groups {
-        items: sorted,
-        starts,
-    })
+    Semisorter::new(*cfg)?.group_by(items, key)
 }
 
 /// Fold every group: returns one `(key, accumulator)` per distinct key,
@@ -503,15 +458,7 @@ where
     F: Fn(&T) -> K + Send + Sync,
     G: Fn(A, &T) -> A + Send + Sync,
 {
-    let groups = try_group_by(items, &key, cfg)?;
-    Ok((0..groups.len())
-        .into_par_iter()
-        .map(|g| {
-            let slice = groups.group(g);
-            let acc = slice.iter().fold(init.clone(), &fold);
-            (key(&slice[0]), acc)
-        })
-        .collect())
+    Semisorter::new(*cfg)?.reduce_by_key(items, key, init, fold)
 }
 
 /// Histogram: the number of items per distinct key.

@@ -11,7 +11,10 @@
 //!
 //! 1. Each worker walks its chunk of the input and appends every record to
 //!    a per-bucket buffer of [`SemisortConfig::scatter_block`] records
-//!    (buffers are allocated lazily, so sparse workers touch few buckets).
+//!    (buffers are opened lazily, so sparse workers touch few buckets).
+//!    The buffers live in a pooled [`BlockScratch`] — fixed-size slabs
+//!    bump-allocated from one per-worker store that is retained across
+//!    chunks, attempts, and (for the engine) whole runs.
 //! 2. When a buffer fills, the worker reserves a contiguous slab range in
 //!    the bucket with **one** `fetch_add` on the bucket's cursor and copies
 //!    the block in with plain (uncontended) stores — `block` records per
@@ -35,13 +38,15 @@
 //! [`SemisortConfig::scatter_block`]: crate::config::SemisortConfig::scatter_block
 
 use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
 
 use rayon::prelude::*;
 
 use crate::buckets::BucketPlan;
 use crate::fault::FaultClass;
 use crate::obs::{ObsSink, OverflowCapture, WorkerCell};
-use crate::scatter::{place_linear, ScatterArena, EMPTY};
+use crate::pool::{BlockScratch, WorkerScratch};
+use crate::scatter::{place_linear, Slot, EMPTY};
 
 /// Minimum records per worker chunk; below this, chunking overhead and the
 /// per-chunk buffer table dominate.
@@ -77,10 +82,18 @@ fn slab_len(size: usize, tail_log2: u32) -> usize {
     size - (size >> tail_log2).max(1)
 }
 
-/// Scatter all records into the arena via per-worker block buffers.
+/// Scatter all records into `slots` (see [`crate::scatter::scatter`] for
+/// the slot-slice contract) via per-worker block buffers.
+///
+/// The per-worker buffers and the per-bucket cursors live in `scratch`, a
+/// [`BlockScratch`] lease from the engine's
+/// [`ScratchPool`](crate::pool::ScratchPool): buffers grow to the run's
+/// high-water mark once and are reused by every later chunk and call. A
+/// transient `BlockScratch::new()` per call reproduces the unpooled
+/// behavior (that is what the one-shot entry points do).
 ///
 /// Same contract as [`crate::scatter::scatter`]: on `overflowed == true`
-/// the arena contents are garbage and the caller must retry. The block
+/// the slot contents are garbage and the caller must retry. The block
 /// counters (`blocks_flushed`, `slab_overflows`, `fallback_records`) are
 /// always collected — they ride the per-chunk `Local` merge and cost
 /// nothing per record; `sink` additionally receives the CAS/probe
@@ -90,18 +103,31 @@ fn slab_len(size: usize, tail_log2: u32) -> usize {
 /// [`crate::scatter::scatter`]): the first record routed to a bucket of the
 /// given class reports an overflow through the real capture path. Pass
 /// `None` in production.
+#[allow(clippy::too_many_arguments)] // phase boundary: every arg is a distinct concern
 pub fn blocked_scatter<V: Copy + Send + Sync>(
     records: &[(u64, V)],
     plan: &BucketPlan,
-    arena: &ScatterArena<V>,
+    slots: &[Slot<V>],
     block: usize,
     tail_log2: u32,
     sink: &ObsSink,
     forced_overflow: Option<FaultClass>,
+    scratch: &mut BlockScratch,
 ) -> BlockedOutcome {
     debug_assert!(block.is_power_of_two());
     let num_buckets = plan.num_buckets();
-    let cursors: Vec<AtomicUsize> = (0..num_buckets).map(|_| AtomicUsize::new(0)).collect();
+    let workers = rayon::current_num_threads().max(1);
+    let chunk = records.len().div_ceil(workers).max(MIN_CHUNK);
+    let num_chunks = records.len().div_ceil(chunk);
+    scratch.prepare(num_buckets, num_chunks);
+    let cursors: &[AtomicUsize] = &scratch.cursors[..num_buckets];
+    // Hand each chunk its dedicated worker scratch. Chunk indices are
+    // unique, so every mutex is locked exactly once; the lock only
+    // launders the `&mut` through the parallel closure.
+    let cells: Vec<Mutex<&mut WorkerScratch>> = scratch.workers[..num_chunks]
+        .iter_mut()
+        .map(Mutex::new)
+        .collect();
     let overflow = OverflowCapture::new();
     let heavy_records = AtomicUsize::new(0);
     let blocks_flushed = AtomicUsize::new(0);
@@ -121,10 +147,10 @@ pub fn blocked_scatter<V: Copy + Send + Sync>(
     let counters = sink.level().counters();
     let deep = sink.level().deep();
 
-    // Drain one buffer into bucket `b`: one fetch_add reserves a slab
-    // range; whatever doesn't fit goes through the CAS tail. Returns false
-    // only if the tail is full (Corollary 3.4 failure).
-    let flush = |b: usize, buf: &mut Vec<(u64, V)>, local: &mut Local| -> bool {
+    // Drain one buffered block into bucket `b`: one fetch_add reserves a
+    // slab range; whatever doesn't fit goes through the CAS tail. Returns
+    // false only if the tail is full (Corollary 3.4 failure).
+    let flush = |b: usize, buf: &[(u64, V)], local: &mut Local| -> bool {
         let k = buf.len();
         if k == 0 {
             return true;
@@ -139,7 +165,7 @@ pub fn blocked_scatter<V: Copy + Send + Sync>(
             // ours, so plain stores suffice (Slot::set's single-owner
             // contract); the tail CAS region starts at `slab` and never
             // reaches down here.
-            arena.slots[base + res + j].set(key, value);
+            slots[base + res + j].set(key, value);
         }
         if fit > 0 {
             local.blocks += 1;
@@ -150,7 +176,7 @@ pub fn blocked_scatter<V: Copy + Send + Sync>(
         if fit < k {
             local.slab_overflows += 1;
             let tail_mask = size - slab - 1; // tail length is a power of two
-            let tail = &arena.slots[base + slab..base + size];
+            let tail = &slots[base + slab..base + size];
             for &(key, value) in &buf[fit..] {
                 local.fallback += 1;
                 let placed = place_linear(tail, res & tail_mask, tail_mask, key, value);
@@ -170,64 +196,65 @@ pub fn blocked_scatter<V: Copy + Send + Sync>(
                     // worker's later reservation may have filled the tail,
                     // so clamp to `size + 1`, which any overflow implies.
                     overflow.report(b as u32, size, (res + k).max(size + 1));
-                    buf.clear();
                     return false;
                 }
             }
         }
-        buf.clear();
         true
     };
 
-    let workers = rayon::current_num_threads().max(1);
-    let chunk = records.len().div_ceil(workers).max(MIN_CHUNK);
-    records.par_chunks(chunk).for_each(|chunk_recs| {
-        let mut bufs: Vec<Vec<(u64, V)>> = (0..num_buckets).map(|_| Vec::new()).collect();
-        let mut touched: Vec<u32> = Vec::new();
-        let mut local = Local::default();
-        let mut failed = false;
-        for &(key, value) in chunk_recs {
-            if overflow.is_set() {
-                failed = true;
-                break; // another chunk failed; stop doing useless work
-            }
-            debug_assert_ne!(key, EMPTY, "driver screens the EMPTY sentinel");
-            let (bucket, is_heavy) = plan.bucket_of_tagged(key);
-            if let Some(class) = forced_overflow {
-                if class.matches(is_heavy) {
-                    // Injected Corollary 3.4 failure (see `scatter`).
-                    let size = plan.bucket_size[bucket as usize];
-                    overflow.report(bucket, size, size + 1);
+    records
+        .par_chunks(chunk)
+        .enumerate()
+        .for_each(|(ci, chunk_recs)| {
+            let mut guard = cells[ci].lock().unwrap();
+            let ws: &mut WorkerScratch = &mut guard;
+            ws.begin(num_buckets);
+            let mut local = Local::default();
+            let mut failed = false;
+            for &(key, value) in chunk_recs {
+                if overflow.is_set() {
                     failed = true;
-                    break;
+                    break; // another chunk failed; stop doing useless work
+                }
+                debug_assert_ne!(key, EMPTY, "driver screens the EMPTY sentinel");
+                let (bucket, is_heavy) = plan.bucket_of_tagged(key);
+                if let Some(class) = forced_overflow {
+                    if class.matches(is_heavy) {
+                        // Injected Corollary 3.4 failure (see `scatter`).
+                        let size = plan.bucket_size[bucket as usize];
+                        overflow.report(bucket, size, size + 1);
+                        failed = true;
+                        break;
+                    }
+                }
+                local.heavy += is_heavy as usize;
+                let b = bucket as usize;
+                if let Some(full) = ws.push(b, (key, value), block) {
+                    if !flush(b, full, &mut local) {
+                        failed = true;
+                        break;
+                    }
                 }
             }
-            local.heavy += is_heavy as usize;
-            let b = bucket as usize;
-            let buf = &mut bufs[b];
-            if buf.capacity() == 0 {
-                buf.reserve_exact(block);
-                touched.push(bucket);
-            }
-            buf.push((key, value));
-            if buf.len() == block && !flush(b, buf, &mut local) {
-                failed = true;
-                break;
-            }
-        }
-        if !failed {
-            for &b in &touched {
-                if !flush(b as usize, &mut bufs[b as usize], &mut local) {
-                    break;
+            if !failed {
+                for s in 0..ws.touched_len() {
+                    let (b, part) = ws.partial::<V>(s, block);
+                    if !flush(b, part, &mut local) {
+                        break;
+                    }
                 }
             }
-        }
-        heavy_records.fetch_add(local.heavy, Ordering::Relaxed);
-        blocks_flushed.fetch_add(local.blocks, Ordering::Relaxed);
-        slab_overflows.fetch_add(local.slab_overflows, Ordering::Relaxed);
-        fallback_records.fetch_add(local.fallback, Ordering::Relaxed);
-        sink.merge_cell(&local.cell);
-    });
+            // Restore the scratch invariant on every exit path — success,
+            // overflow, and injected fault alike — so the next chunk (or the
+            // next run reusing this pool) starts clean.
+            ws.reset();
+            heavy_records.fetch_add(local.heavy, Ordering::Relaxed);
+            blocks_flushed.fetch_add(local.blocks, Ordering::Relaxed);
+            slab_overflows.fetch_add(local.slab_overflows, Ordering::Relaxed);
+            fallback_records.fetch_add(local.fallback, Ordering::Relaxed);
+            sink.merge_cell(&local.cell);
+        });
 
     BlockedOutcome {
         heavy_records: heavy_records.into_inner(),
@@ -244,7 +271,7 @@ mod tests {
     use super::*;
     use crate::buckets::build_plan;
     use crate::config::SemisortConfig;
-    use crate::scatter::allocate_arena;
+    use crate::scatter::{allocate_arena, ScatterArena};
     use parlay::hash64;
     use parlay::random::Rng;
 
@@ -260,11 +287,12 @@ mod tests {
         let out = blocked_scatter(
             records,
             &plan,
-            &arena,
+            &arena.slots,
             cfg.scatter_block,
             cfg.blocked_tail_log2,
             &ObsSink::disabled(),
             None,
+            &mut BlockScratch::new(),
         );
         (plan, arena, out)
     }
@@ -354,7 +382,16 @@ mod tests {
         let arena = allocate_arena::<u64>(&plan);
         let n_over = plan.total_slots + 1_000;
         let records: Vec<(u64, u64)> = (0..n_over as u64).map(|i| (hash64(i), i)).collect();
-        let out = blocked_scatter(&records, &plan, &arena, 16, 3, &ObsSink::disabled(), None);
+        let out = blocked_scatter(
+            &records,
+            &plan,
+            &arena.slots,
+            16,
+            3,
+            &ObsSink::disabled(),
+            None,
+            &mut BlockScratch::new(),
+        );
         assert!(out.overflowed, "must report overflow instead of spinning");
         let (bucket, allocated, observed) = out.overflow.expect("overflow details captured");
         assert_eq!(allocated, plan.bucket_size[bucket as usize]);
@@ -383,11 +420,12 @@ mod tests {
             let out = blocked_scatter(
                 &records,
                 &plan,
-                &arena,
+                &arena.slots,
                 16,
                 3,
                 &ObsSink::disabled(),
                 Some(class),
+                &mut BlockScratch::new(),
             );
             assert!(out.overflowed, "{class:?} fault must report overflow");
             let (bucket, allocated, observed) = out.overflow.expect("capture");
@@ -406,6 +444,57 @@ mod tests {
         let (_, arena, out) = scatter_all(&records, &cfg);
         assert!(!out.overflowed);
         assert_eq!(collect_placed(&arena).len(), records.len());
+    }
+
+    #[test]
+    fn pooled_scratch_reuse_places_everything_again() {
+        // The same BlockScratch must serve back-to-back passes (including
+        // after an overflowed pass, which exercises the failed-path reset)
+        // without stale per-bucket state leaking between runs.
+        let records: Vec<(u64, u64)> = (0..50_000u64).map(|i| (hash64(i % 777), i)).collect();
+        let cfg = SemisortConfig::default();
+        let keys: Vec<u64> = records.iter().map(|r| r.0).collect();
+        let mut sample = crate::sample::strided_sample(&keys, cfg.sample_shift, Rng::new(cfg.seed));
+        sample.sort_unstable();
+        let plan = build_plan(&sample, records.len(), &cfg);
+        let mut scratch = BlockScratch::new();
+
+        // Pass 1: forced overflow leaves the scratch mid-flight.
+        let arena = allocate_arena::<u64>(&plan);
+        let out = blocked_scatter(
+            &records,
+            &plan,
+            &arena.slots,
+            cfg.scatter_block,
+            cfg.blocked_tail_log2,
+            &ObsSink::disabled(),
+            Some(FaultClass::Any),
+            &mut scratch,
+        );
+        assert!(out.overflowed);
+        let held = scratch.bytes();
+
+        // Passes 2–3: clean runs reusing the same scratch must place every
+        // record, and the scratch footprint must have stabilized.
+        for pass in 0..2 {
+            let arena = allocate_arena::<u64>(&plan);
+            let out = blocked_scatter(
+                &records,
+                &plan,
+                &arena.slots,
+                cfg.scatter_block,
+                cfg.blocked_tail_log2,
+                &ObsSink::disabled(),
+                None,
+                &mut scratch,
+            );
+            assert!(!out.overflowed, "pass {pass}");
+            assert_eq!(collect_placed(&arena).len(), records.len(), "pass {pass}");
+        }
+        assert!(
+            scratch.bytes() >= held,
+            "scratch grows monotonically, never thrashes"
+        );
     }
 
     #[test]

@@ -9,11 +9,17 @@
 pub use crate::fault::FaultPlan;
 pub use crate::obs::TelemetryLevel;
 
+use crate::error::SemisortError;
+
 /// What the driver does once the Las Vegas machinery gives up — the retry
 /// budget is exhausted, the arena memory budget is exceeded, or the arena
 /// allocation fails. Retries always happen first; the policy governs only
 /// the terminal step.
+///
+/// `#[non_exhaustive]`: future versions may add policies; match with a
+/// wildcard arm.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+#[non_exhaustive]
 pub enum OverflowPolicy {
     /// Retry, then degrade to the guaranteed comparison-sort fallback —
     /// still a correct semisort, `O(n log n)` instead of `O(n)`, never a
@@ -151,6 +157,14 @@ pub struct SemisortConfig {
     /// budget triggers early degradation per `overflow_policy` instead of
     /// an oversized allocation. Default `usize::MAX` (unlimited).
     pub max_arena_bytes: usize,
+    /// Upper bound in bytes on the scratch memory a
+    /// [`Semisorter`](crate::engine::Semisorter) *retains between calls*
+    /// (see [`ScratchPool::bytes_held`](crate::pool::ScratchPool::bytes_held)).
+    /// Unlike `max_arena_bytes` — which caps what a single run may
+    /// allocate — this caps what the pool keeps warm afterwards: a call
+    /// that leaves the pool over budget trims it back to empty on the way
+    /// out. Default `usize::MAX` (retain everything).
+    pub max_scratch_bytes: usize,
     /// Deterministic fault-injection schedule (dev/chaos-testing only);
     /// default inert. See [`crate::fault`].
     pub fault: FaultPlan,
@@ -179,6 +193,7 @@ impl Default for SemisortConfig {
             max_retries: 3,
             overflow_policy: OverflowPolicy::Fallback,
             max_arena_bytes: usize::MAX,
+            max_scratch_bytes: usize::MAX,
             fault: FaultPlan::NONE,
             telemetry: TelemetryLevel::Off,
         }
@@ -186,6 +201,16 @@ impl Default for SemisortConfig {
 }
 
 impl SemisortConfig {
+    /// Start a validating builder (see [`SemisortConfigBuilder`]); `build()`
+    /// returns `Err(SemisortError::InvalidConfig)` instead of panicking on
+    /// bad parameters.
+    #[must_use]
+    pub fn builder() -> SemisortConfigBuilder {
+        SemisortConfigBuilder {
+            cfg: SemisortConfig::default(),
+        }
+    }
+
     /// The sampling probability `p = 1/2^sample_shift`.
     #[inline]
     pub fn sample_probability(&self) -> f64 {
@@ -206,62 +231,186 @@ impl SemisortConfig {
         1 << self.light_bucket_log2
     }
 
-    /// Builder-style setter for the seed.
-    pub fn with_seed(mut self, seed: u64) -> Self {
-        self.seed = seed;
-        self
+    /// Wrap this config in a builder to override more fields (the inverse
+    /// of [`SemisortConfigBuilder::build`], minus the validation).
+    #[must_use]
+    pub fn to_builder(self) -> SemisortConfigBuilder {
+        SemisortConfigBuilder { cfg: self }
+    }
+
+    /// Builder-style setter for the seed (delegates to
+    /// [`SemisortConfigBuilder::seed`]; no validation).
+    pub fn with_seed(self, seed: u64) -> Self {
+        self.to_builder().seed(seed).cfg
     }
 
     /// Builder-style setter for the telemetry level.
-    pub fn with_telemetry(mut self, level: TelemetryLevel) -> Self {
-        self.telemetry = level;
-        self
+    pub fn with_telemetry(self, level: TelemetryLevel) -> Self {
+        self.to_builder().telemetry(level).cfg
     }
 
     /// Builder-style setter for the overflow policy.
-    pub fn with_overflow_policy(mut self, policy: OverflowPolicy) -> Self {
-        self.overflow_policy = policy;
-        self
+    pub fn with_overflow_policy(self, policy: OverflowPolicy) -> Self {
+        self.to_builder().overflow_policy(policy).cfg
     }
 
     /// Builder-style setter for the arena memory budget.
-    pub fn with_max_arena_bytes(mut self, bytes: usize) -> Self {
-        self.max_arena_bytes = bytes;
-        self
+    pub fn with_max_arena_bytes(self, bytes: usize) -> Self {
+        self.to_builder().max_arena_bytes(bytes).cfg
+    }
+
+    /// Builder-style setter for the retained-scratch budget.
+    pub fn with_max_scratch_bytes(self, bytes: usize) -> Self {
+        self.to_builder().max_scratch_bytes(bytes).cfg
     }
 
     /// Builder-style setter for the fault-injection plan.
-    pub fn with_fault(mut self, fault: FaultPlan) -> Self {
-        self.fault = fault;
-        self
+    pub fn with_fault(self, fault: FaultPlan) -> Self {
+        self.to_builder().fault(fault).cfg
     }
 
-    /// Validate parameter sanity; called once per run by the driver.
-    pub fn validate(&self) {
-        assert!(self.sample_shift >= 1 && self.sample_shift <= 16);
-        assert!(self.heavy_threshold >= 2, "δ must be at least 2");
-        assert!(self.light_bucket_log2 >= 1 && self.light_bucket_log2 <= 24);
-        assert!(self.alpha > 1.0, "α must exceed 1 for scatter termination");
-        assert!(self.c > 0.0);
-        assert!(
+    /// Validate parameter sanity without panicking; the error's `reason`
+    /// names the offending parameter. Called once per run by the driver and
+    /// by [`SemisortConfigBuilder::build`].
+    #[must_use = "the Err carries the validation failure"]
+    pub fn try_validate(&self) -> Result<(), SemisortError> {
+        fn check(ok: bool, reason: &'static str) -> Result<(), SemisortError> {
+            if ok {
+                Ok(())
+            } else {
+                Err(SemisortError::InvalidConfig { reason })
+            }
+        }
+        check(
+            self.sample_shift >= 1 && self.sample_shift <= 16,
+            "sample_shift must be in 1..=16",
+        )?;
+        check(self.heavy_threshold >= 2, "δ must be at least 2")?;
+        check(
+            self.light_bucket_log2 >= 1 && self.light_bucket_log2 <= 24,
+            "light_bucket_log2 must be in 1..=24",
+        )?;
+        check(self.alpha > 1.0, "α must exceed 1 for scatter termination")?;
+        check(self.c > 0.0, "estimator constant c must be positive")?;
+        check(
             self.scatter_block >= 1 && self.scatter_block.is_power_of_two(),
-            "scatter_block must be a power of two"
-        );
-        assert!(
+            "scatter_block must be a power of two",
+        )?;
+        check(
             self.blocked_tail_log2 >= 1 && self.blocked_tail_log2 <= 16,
-            "blocked_tail_log2 must be in 1..=16"
-        );
+            "blocked_tail_log2 must be in 1..=16",
+        )?;
         // α grows as 2^attempt across retries; 32 doublings already
         // overflows any conceivable arena budget, and an unbounded retry
         // count turns a hash-flooded input into unbounded memory growth.
-        assert!(
+        check(
             self.max_retries < 32,
-            "max_retries must be < 32 (each retry doubles α)"
-        );
-        assert!(
+            "max_retries must be < 32 (each retry doubles α)",
+        )?;
+        check(
             self.max_arena_bytes > 0,
-            "max_arena_bytes must be nonzero (usize::MAX = unlimited)"
-        );
+            "max_arena_bytes must be nonzero (usize::MAX = unlimited)",
+        )?;
+        check(
+            self.max_scratch_bytes > 0,
+            "max_scratch_bytes must be nonzero (usize::MAX = unlimited)",
+        )
+    }
+
+    /// Validate parameter sanity, panicking on the first violation (the
+    /// pre-builder behavior; [`Self::try_validate`] is the non-panicking
+    /// form).
+    pub fn validate(&self) {
+        if let Err(SemisortError::InvalidConfig { reason }) = self.try_validate() {
+            panic!("{reason}");
+        }
+    }
+}
+
+/// Validating builder for [`SemisortConfig`].
+///
+/// Starts from `SemisortConfig::default()` (the paper's constants); each
+/// setter overrides one field; [`build`](Self::build) runs
+/// [`SemisortConfig::try_validate`] and returns
+/// `Err(SemisortError::InvalidConfig)` — rather than panicking — on bad
+/// parameters.
+///
+/// ```
+/// use semisort::SemisortConfig;
+/// let cfg = SemisortConfig::builder()
+///     .seed(42)
+///     .max_arena_bytes(1 << 30)
+///     .build()
+///     .expect("valid config");
+/// assert_eq!(cfg.seed, 42);
+/// assert!(SemisortConfig::builder().max_retries(32).build().is_err());
+/// ```
+#[derive(Clone, Copy, Debug)]
+pub struct SemisortConfigBuilder {
+    cfg: SemisortConfig,
+}
+
+macro_rules! builder_setters {
+    ($($(#[$doc:meta])* $name:ident: $ty:ty),* $(,)?) => {
+        $(
+            $(#[$doc])*
+            #[must_use]
+            pub fn $name(mut self, $name: $ty) -> Self {
+                self.cfg.$name = $name;
+                self
+            }
+        )*
+    };
+}
+
+impl SemisortConfigBuilder {
+    builder_setters! {
+        /// Set the sampling shift (`p = 1/2^sample_shift`).
+        sample_shift: u32,
+        /// Set δ, the heavy-key sample-count threshold.
+        heavy_threshold: usize,
+        /// Set the light-bucket prefix-bit cap.
+        light_bucket_log2: u32,
+        /// Set the slack multiplier α.
+        alpha: f64,
+        /// Set the estimator constant c.
+        c: f64,
+        /// Set whether adjacent light buckets are merged.
+        merge_light_buckets: bool,
+        /// Set the scatter collision-probe strategy.
+        probe_strategy: ProbeStrategy,
+        /// Set the Phase 3 scatter implementation.
+        scatter_strategy: ScatterStrategy,
+        /// Set the blocked-scatter write-buffer block size (power of two).
+        scatter_block: usize,
+        /// Set the blocked-scatter CAS-fallback tail exponent.
+        blocked_tail_log2: u32,
+        /// Set the light-bucket sorting algorithm.
+        local_sort_algo: LocalSortAlgo,
+        /// Set the seed for sampling jitter and scatter randomness.
+        seed: u64,
+        /// Set the sequential-cutoff input size.
+        seq_threshold: usize,
+        /// Set the Las Vegas retry budget (must be < 32).
+        max_retries: u32,
+        /// Set the terminal overflow policy.
+        overflow_policy: OverflowPolicy,
+        /// Set the per-run arena memory budget in bytes.
+        max_arena_bytes: usize,
+        /// Set the retained-scratch budget in bytes (see
+        /// [`SemisortConfig::max_scratch_bytes`]).
+        max_scratch_bytes: usize,
+        /// Set the fault-injection plan (dev/chaos-testing only).
+        fault: FaultPlan,
+        /// Set the telemetry level.
+        telemetry: TelemetryLevel,
+    }
+
+    /// Validate and return the finished configuration.
+    #[must_use = "the Err carries the validation failure"]
+    pub fn build(self) -> Result<SemisortConfig, SemisortError> {
+        self.cfg.try_validate()?;
+        Ok(self.cfg)
     }
 }
 
@@ -353,5 +502,50 @@ mod tests {
         let b = SemisortConfig::default().with_seed(99);
         assert_eq!(b.seed, 99);
         assert_eq!(a.heavy_threshold, b.heavy_threshold);
+    }
+
+    #[test]
+    fn builder_accepts_defaults_and_overrides() {
+        let cfg = SemisortConfig::builder()
+            .seed(7)
+            .alpha(1.5)
+            .scatter_strategy(ScatterStrategy::Blocked)
+            .max_scratch_bytes(1 << 20)
+            .build()
+            .unwrap();
+        assert_eq!(cfg.seed, 7);
+        assert!((cfg.alpha - 1.5).abs() < 1e-12);
+        assert_eq!(cfg.scatter_strategy, ScatterStrategy::Blocked);
+        assert_eq!(cfg.max_scratch_bytes, 1 << 20);
+    }
+
+    #[test]
+    fn builder_rejects_invalid_without_panicking() {
+        let err = SemisortConfig::builder()
+            .max_retries(32)
+            .build()
+            .unwrap_err();
+        match err {
+            crate::SemisortError::InvalidConfig { reason } => {
+                assert!(reason.contains("max_retries must be < 32"), "{reason}");
+            }
+            other => panic!("unexpected error {other:?}"),
+        }
+        assert!(SemisortConfig::builder().alpha(1.0).build().is_err());
+        assert!(SemisortConfig::builder().scatter_block(12).build().is_err());
+        assert!(SemisortConfig::builder()
+            .max_scratch_bytes(0)
+            .build()
+            .is_err());
+    }
+
+    #[test]
+    fn try_validate_agrees_with_validate() {
+        assert!(SemisortConfig::default().try_validate().is_ok());
+        let bad = SemisortConfig {
+            max_arena_bytes: 0,
+            ..Default::default()
+        };
+        assert!(bad.try_validate().is_err());
     }
 }

@@ -11,10 +11,11 @@ use crate::config::{OverflowPolicy, ScatterStrategy, SemisortConfig};
 use crate::error::SemisortError;
 use crate::fault::FaultPlan;
 use crate::local_sort::local_sort_light_buckets;
-use crate::obs::{log_event, log_event_kv, ObsSink, PhaseSpan, RetryCause};
-use crate::pack_phase::pack_output;
-use crate::sample::strided_sample_by;
-use crate::scatter::{arena_bytes, scatter, try_allocate_arena, EMPTY};
+use crate::obs::{log_event, log_event_kv, ObsSink, PhaseSpan, RetryCause, ScratchCounters};
+use crate::pack_phase::pack_output_into;
+use crate::pool::ScratchPool;
+use crate::sample::strided_sample_by_into;
+use crate::scatter::{arena_bytes, scatter, Slot, EMPTY};
 use crate::stats::SemisortStats;
 
 /// Semisort pre-hashed records. See [`semisort_with_stats`] for details.
@@ -40,8 +41,9 @@ pub fn try_semisort_core<V: Copy + Send + Sync>(
 /// Panicking wrapper around [`try_semisort_with_stats`]: with the default
 /// [`OverflowPolicy::Fallback`] it never fails on valid input (terminal
 /// overflow degrades to the comparison sort); it panics only when the
-/// config selects [`OverflowPolicy::Error`] or [`OverflowPolicy::Panic`]
-/// and the escalation ladder bottoms out.
+/// config is invalid, or when the config selects
+/// [`OverflowPolicy::Error`] or [`OverflowPolicy::Panic`] and the
+/// escalation ladder bottoms out.
 pub fn semisort_with_stats<V: Copy + Send + Sync>(
     records: &[(u64, V)],
     cfg: &SemisortConfig,
@@ -52,6 +54,11 @@ pub fn semisort_with_stats<V: Copy + Send + Sync>(
 /// Semisort pre-hashed `(u64, value)` records, returning the output and the
 /// per-phase telemetry of [`SemisortStats`] — or a [`SemisortError`] when
 /// the run cannot complete and the config says so.
+///
+/// One-shot form: allocates a transient [`ScratchPool`] for this call and
+/// drops it on return. Callers that semisort repeatedly should hold a
+/// [`Semisorter`](crate::engine::Semisorter), which keeps the pool warm
+/// across calls.
 ///
 /// Records with equal keys are contiguous in the output; distinct keys are
 /// in no particular order. The input must be *hashed* keys (uniformly
@@ -67,7 +74,9 @@ pub fn semisort_with_stats<V: Copy + Send + Sync>(
 ///
 /// # Errors
 ///
-/// Three terminal conditions exist: the Las Vegas retry budget runs out,
+/// An invalid configuration returns
+/// [`SemisortError::InvalidConfig`] under every policy. Beyond that, three
+/// terminal runtime conditions exist: the Las Vegas retry budget runs out,
 /// an attempt's arena would exceed [`SemisortConfig::max_arena_bytes`], or
 /// the arena allocation itself fails. Under the default
 /// [`OverflowPolicy::Fallback`] all three degrade to the comparison sort
@@ -75,21 +84,80 @@ pub fn semisort_with_stats<V: Copy + Send + Sync>(
 /// [`OverflowPolicy::Error`] they return `Err`; under
 /// [`OverflowPolicy::Panic`] they panic. So on valid input this function
 /// can only return `Err` (and can only panic) when the caller opted in.
+#[must_use = "the Err carries the failure that the config asked to surface"]
 pub fn try_semisort_with_stats<V: Copy + Send + Sync>(
     records: &[(u64, V)],
     cfg: &SemisortConfig,
 ) -> Result<(Vec<(u64, V)>, SemisortStats), SemisortError> {
-    cfg.validate();
+    let mut pool = ScratchPool::new();
+    let mut out = Vec::new();
+    let stats = try_semisort_into_pooled(records, cfg, &mut pool, &mut out)?;
+    Ok((out, stats))
+}
+
+/// The pooled core every entry point funnels through: semisort `records`
+/// into `out` (cleared first) using — and growing — `pool`'s scratch.
+///
+/// On *every* exit (success, degradation, error) the pool's retained bytes
+/// are re-bounded by `cfg.max_scratch_bytes`; on success the stats carry
+/// the pool counters ([`SemisortStats::scratch_reuse_hits`] /
+/// [`SemisortStats::scratch_grows`] / [`SemisortStats::scratch_bytes_held`]).
+pub(crate) fn try_semisort_into_pooled<V: Copy + Send + Sync>(
+    records: &[(u64, V)],
+    cfg: &SemisortConfig,
+    pool: &mut ScratchPool,
+    out: &mut Vec<(u64, V)>,
+) -> Result<SemisortStats, SemisortError> {
+    cfg.try_validate()?;
+    let mut counters = ScratchCounters::default();
+    let result = run_pooled(records, cfg, pool, out, &mut counters);
+    pool.enforce_budget(cfg.max_scratch_bytes);
+    let mut stats = result?;
+    stats.scratch_reuse_hits = counters.reuse_hits;
+    stats.scratch_grows = counters.grows;
+    stats.scratch_bytes_held = pool.bytes_held();
+    if counters.grows > 0 {
+        log_event(
+            "scratch",
+            &[
+                ("grows", counters.grows as u64),
+                ("reuse_hits", counters.reuse_hits as u64),
+                ("bytes_held", stats.scratch_bytes_held as u64),
+            ],
+        );
+    }
+    Ok(stats)
+}
+
+/// The five-phase loop proper, writing into `out` and leasing all scratch
+/// from `pool`. Assumes `cfg` is already validated.
+fn run_pooled<V: Copy + Send + Sync>(
+    records: &[(u64, V)],
+    cfg: &SemisortConfig,
+    pool: &mut ScratchPool,
+    out: &mut Vec<(u64, V)>,
+    counters: &mut ScratchCounters,
+) -> Result<SemisortStats, SemisortError> {
     let n = records.len();
     let mut stats = SemisortStats {
         n,
         config: *cfg,
         ..Default::default()
     };
+    // Split the pool into independently-borrowed parts once: the sample
+    // buffer, the slot arena, and the blocked-scatter worker state are used
+    // in different phases of the same iteration.
+    let ScratchPool {
+        arena,
+        sample,
+        blocked,
+        ..
+    } = pool;
 
     if n <= cfg.seq_threshold {
         stats.light_records = n;
-        return Ok((fallback_sort(records), stats));
+        fallback_sort_into(records, out);
+        return Ok(stats);
     }
     // The scatter reserves EMPTY (= 0) as its slot-vacancy sentinel and the
     // heavy-key table reserves u64::MAX. A hashed key colliding with either
@@ -100,7 +168,8 @@ pub fn try_semisort_with_stats<V: Copy + Send + Sync>(
         .any(|r| r.0 == EMPTY || r.0 == parlay::hash_table::EMPTY)
     {
         stats.light_records = n;
-        return Ok((fallback_sort(records), stats));
+        fallback_sort_into(records, out);
+        return Ok(stats);
     }
 
     let mut attempt = 0u32;
@@ -142,17 +211,23 @@ pub fn try_semisort_with_stats<V: Copy + Send + Sync>(
 
         // Phase 1: sampling and sorting.
         let span = PhaseSpan::start("sample_sort");
-        let mut sample = strided_sample_by(n, run_cfg.sample_shift, rng.fork(1), |i| records[i].0);
+        strided_sample_by_into(
+            n,
+            run_cfg.sample_shift,
+            rng.fork(1),
+            |i| records[i].0,
+            sample,
+        );
         if corrupt_sample {
-            FaultPlan::corrupt_sample(&mut sample);
+            FaultPlan::corrupt_sample(sample);
         }
-        parlay::radix_sort::radix_sort_u64(&mut sample);
+        parlay::radix_sort::radix_sort_u64(sample);
         stats.t_sample_sort = span.finish();
         stats.sample_size = sample.len();
 
         // Phase 2: bucket construction (classification, table, allocation).
         let span = PhaseSpan::start("construct_buckets");
-        let plan = build_plan(&sample, n, &run_cfg);
+        let plan = build_plan(sample, n, &run_cfg);
         // Memory budget: α doubles every retry, so the arena grows
         // geometrically — check the plan *before* allocating and escalate
         // early instead of letting a doomed retry sequence eat the heap.
@@ -164,16 +239,17 @@ pub fn try_semisort_with_stats<V: Copy + Send + Sync>(
                 attempt,
             };
             finish_stats(&mut stats, &sink, &mut retry_causes, faults_injected);
-            let out = escalate(records, cfg, err, &mut stats)?;
-            return Ok((out, stats));
+            escalate(records, cfg, err, &mut stats, out)?;
+            return Ok(stats);
         }
-        let arena = match try_allocate_arena::<V>(&plan, fail_alloc) {
-            Ok(arena) => arena,
+        let slots: &[Slot<V>] = match arena.lease_slots::<V>(plan.total_slots, fail_alloc, counters)
+        {
+            Ok(slots) => slots,
             Err(bytes) => {
                 let err = SemisortError::ArenaAllocFailed { bytes, attempt };
                 finish_stats(&mut stats, &sink, &mut retry_causes, faults_injected);
-                let out = escalate(records, cfg, err, &mut stats)?;
-                return Ok((out, stats));
+                escalate(records, cfg, err, &mut stats, out)?;
+                return Ok(stats);
             }
         };
         stats.t_construct_buckets = span.finish();
@@ -189,7 +265,7 @@ pub fn try_semisort_with_stats<V: Copy + Send + Sync>(
                 let o = scatter(
                     records,
                     &plan,
-                    &arena,
+                    slots,
                     run_cfg.probe_strategy,
                     rng.fork(2),
                     &sink,
@@ -201,11 +277,12 @@ pub fn try_semisort_with_stats<V: Copy + Send + Sync>(
                 let o = blocked_scatter(
                     records,
                     &plan,
-                    &arena,
+                    slots,
                     run_cfg.scatter_block,
                     run_cfg.blocked_tail_log2,
                     &sink,
                     forced_overflow,
+                    blocked,
                 );
                 stats.blocks_flushed = o.blocks_flushed;
                 stats.slab_overflows = o.slab_overflows;
@@ -244,8 +321,8 @@ pub fn try_semisort_with_stats<V: Copy + Send + Sync>(
                     n,
                 };
                 finish_stats(&mut stats, &sink, &mut retry_causes, faults_injected);
-                let out = escalate(records, cfg, err, &mut stats)?;
-                return Ok((out, stats));
+                escalate(records, cfg, err, &mut stats, out)?;
+                return Ok(stats);
             }
             continue;
         }
@@ -254,17 +331,17 @@ pub fn try_semisort_with_stats<V: Copy + Send + Sync>(
 
         // Phase 4: local sort of the light buckets.
         let span = PhaseSpan::start("local_sort");
-        let light_counts = local_sort_light_buckets(&plan, &arena, run_cfg.local_sort_algo, &sink);
+        let light_counts = local_sort_light_buckets(&plan, slots, run_cfg.local_sort_algo, &sink);
         stats.t_local_sort = span.finish();
 
         // Phase 5: pack.
         let span = PhaseSpan::start("pack");
-        let out = pack_output(&plan, &arena, &light_counts);
+        pack_output_into(&plan, slots, &light_counts, out);
         stats.t_pack = span.finish();
         debug_assert_eq!(out.len(), n, "pack must emit every record");
 
         finish_stats(&mut stats, &sink, &mut retry_causes, faults_injected);
-        return Ok((out, stats));
+        return Ok(stats);
     }
 }
 
@@ -293,16 +370,22 @@ fn finish_stats(
 }
 
 /// Apply the configured [`OverflowPolicy`] to a terminal failure: degrade
-/// to the comparison sort (marking the stats), surface the error, or panic.
+/// to the comparison sort written into `out` (marking the stats), surface
+/// the error, or panic. Errors with no
+/// [`DegradeReason`](crate::error::DegradeReason) (invalid config) are
+/// surfaced under every policy — there is nothing to fall back *to*.
 fn escalate<V: Copy + Send + Sync>(
     records: &[(u64, V)],
     cfg: &SemisortConfig,
     err: SemisortError,
     stats: &mut SemisortStats,
-) -> Result<Vec<(u64, V)>, SemisortError> {
+    out: &mut Vec<(u64, V)>,
+) -> Result<(), SemisortError> {
     match cfg.overflow_policy {
         OverflowPolicy::Fallback => {
-            let reason = err.degrade_reason();
+            let Some(reason) = err.degrade_reason() else {
+                return Err(err);
+            };
             log_event_kv(
                 "degraded",
                 &[
@@ -315,7 +398,8 @@ fn escalate<V: Copy + Send + Sync>(
             stats.degrade_reason = Some(reason);
             stats.heavy_records = 0;
             stats.light_records = records.len();
-            Ok(fallback_sort(records))
+            fallback_sort_into(records, out);
+            Ok(())
         }
         OverflowPolicy::Error => {
             log_event_kv(
@@ -332,13 +416,14 @@ fn escalate<V: Copy + Send + Sync>(
     }
 }
 
-/// Sort-based fallback: a full sort by key is trivially a semisort.
-fn fallback_sort<V: Copy + Send + Sync>(records: &[(u64, V)]) -> Vec<(u64, V)> {
-    let mut out = records.to_vec();
+/// Sort-based fallback: a full sort by key is trivially a semisort. Writes
+/// into `out` (cleared first) so pooled callers keep its capacity.
+fn fallback_sort_into<V: Copy + Send + Sync>(records: &[(u64, V)], out: &mut Vec<(u64, V)>) {
+    out.clear();
+    out.extend_from_slice(records);
     if out.len() > 1 {
-        parlay::radix_sort::radix_sort_by_key(&mut out, 64, |r| r.0);
+        parlay::radix_sort::radix_sort_by_key(out, 64, |r| r.0);
     }
-    out
 }
 
 #[cfg(test)]

@@ -28,8 +28,21 @@ use std::fmt;
 /// [`OverflowPolicy::Error`](crate::config::OverflowPolicy::Error) is
 /// selected; stringified into the panic message under
 /// [`OverflowPolicy::Panic`](crate::config::OverflowPolicy::Panic).
+///
+/// `#[non_exhaustive]`: future versions may add failure kinds (as this one
+/// added [`SemisortError::InvalidConfig`]); match with a wildcard arm.
 #[derive(Clone, Copy, Debug, PartialEq)]
+#[non_exhaustive]
 pub enum SemisortError {
+    /// The configuration failed validation (see
+    /// [`SemisortConfig::try_validate`](crate::config::SemisortConfig::try_validate)
+    /// and the builder's
+    /// [`build`](crate::config::SemisortConfigBuilder::build)). Never a
+    /// degradation: no policy can run a semisort on an invalid config.
+    InvalidConfig {
+        /// What was wrong (a static validation message).
+        reason: &'static str,
+    },
     /// Bucket overflow persisted through `max_retries` Las Vegas restarts.
     RetriesExhausted {
         /// Attempts made (initial run + retries).
@@ -64,6 +77,7 @@ impl SemisortError {
     /// lines and the CLI's error output).
     pub fn kind(&self) -> &'static str {
         match self {
+            SemisortError::InvalidConfig { .. } => "invalid-config",
             SemisortError::RetriesExhausted { .. } => "retries-exhausted",
             SemisortError::ArenaBudgetExceeded { .. } => "arena-budget-exceeded",
             SemisortError::ArenaAllocFailed { .. } => "arena-alloc-failed",
@@ -71,12 +85,17 @@ impl SemisortError {
     }
 
     /// The [`DegradeReason`] this error maps to under
-    /// [`OverflowPolicy::Fallback`](crate::config::OverflowPolicy::Fallback).
-    pub fn degrade_reason(&self) -> DegradeReason {
+    /// [`OverflowPolicy::Fallback`](crate::config::OverflowPolicy::Fallback),
+    /// or `None` when the error is not a degradable runtime failure
+    /// ([`SemisortError::InvalidConfig`] cannot be recovered by falling back
+    /// to a comparison sort — the configuration itself is wrong).
+    #[must_use]
+    pub fn degrade_reason(&self) -> Option<DegradeReason> {
         match self {
-            SemisortError::RetriesExhausted { .. } => DegradeReason::RetriesExhausted,
-            SemisortError::ArenaBudgetExceeded { .. } => DegradeReason::BudgetExceeded,
-            SemisortError::ArenaAllocFailed { .. } => DegradeReason::AllocFailed,
+            SemisortError::InvalidConfig { .. } => None,
+            SemisortError::RetriesExhausted { .. } => Some(DegradeReason::RetriesExhausted),
+            SemisortError::ArenaBudgetExceeded { .. } => Some(DegradeReason::BudgetExceeded),
+            SemisortError::ArenaAllocFailed { .. } => Some(DegradeReason::AllocFailed),
         }
     }
 }
@@ -84,6 +103,9 @@ impl SemisortError {
 impl fmt::Display for SemisortError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
+            SemisortError::InvalidConfig { reason } => {
+                write!(f, "invalid configuration: {reason}")
+            }
             SemisortError::RetriesExhausted { attempts, alpha, n } => write!(
                 f,
                 "bucket overflow persisted after {attempts} attempts \
@@ -147,8 +169,8 @@ mod tests {
             n: 100,
         };
         assert_eq!(e.kind(), "retries-exhausted");
-        assert_eq!(e.degrade_reason(), DegradeReason::RetriesExhausted);
-        assert_eq!(e.degrade_reason().as_str(), e.kind());
+        assert_eq!(e.degrade_reason(), Some(DegradeReason::RetriesExhausted));
+        assert_eq!(e.degrade_reason().unwrap().as_str(), e.kind());
 
         let e = SemisortError::ArenaBudgetExceeded {
             required_bytes: 1 << 20,
@@ -156,14 +178,24 @@ mod tests {
             attempt: 1,
         };
         assert_eq!(e.kind(), "arena-budget-exceeded");
-        assert_eq!(e.degrade_reason().as_str(), "budget-exceeded");
+        assert_eq!(e.degrade_reason().unwrap().as_str(), "budget-exceeded");
 
         let e = SemisortError::ArenaAllocFailed {
             bytes: 16,
             attempt: 0,
         };
         assert_eq!(e.kind(), "arena-alloc-failed");
-        assert_eq!(e.degrade_reason().as_str(), "alloc-failed");
+        assert_eq!(e.degrade_reason().unwrap().as_str(), "alloc-failed");
+    }
+
+    #[test]
+    fn invalid_config_is_not_degradable() {
+        let e = SemisortError::InvalidConfig {
+            reason: "α must exceed 1",
+        };
+        assert_eq!(e.kind(), "invalid-config");
+        assert_eq!(e.degrade_reason(), None);
+        assert!(e.to_string().contains("α must exceed 1"));
     }
 
     #[test]

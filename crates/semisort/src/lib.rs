@@ -16,23 +16,38 @@
 //!
 //! # Quick start
 //!
+//! The primary surface is the [`Semisorter`] engine: build it once from a
+//! validated [`SemisortConfig`], then call it repeatedly — its
+//! [`pool::ScratchPool`] keeps every internal buffer warm between calls,
+//! so steady-state calls allocate nothing for scratch.
+//!
 //! ```
-//! use semisort::{semisort_pairs, SemisortConfig};
+//! use semisort::prelude::*;
+//!
+//! let mut engine = Semisorter::new(
+//!     SemisortConfig::builder().seed(42).build().unwrap(),
+//! ).unwrap();
 //!
 //! // (hashed key, payload) records; equal keys need not be adjacent.
 //! let records: Vec<(u64, u64)> = (0..1000u64)
 //!     .map(|i| (parlay::hash64(i % 10), i))
 //!     .collect();
-//! let out = semisort_pairs(&records, &SemisortConfig::default());
+//! let out = engine.sort_pairs(&records).unwrap();
 //!
 //! // Every key now occupies one contiguous run.
 //! assert!(semisort::verify::is_semisorted_by(&out, |r| r.0));
 //! assert_eq!(out.len(), records.len());
+//!
+//! // Arbitrary hashable keys, grouping, folding — same engine, same pool.
+//! let words = ["a", "b", "a", "c", "b", "a"];
+//! let groups = engine.group_by(&words, |w| *w).unwrap();
+//! assert_eq!(groups.len(), 3);
 //! ```
 //!
-//! Higher-level entry points: [`api::semisort_by_key`] semisorts arbitrary
-//! hashable keys, [`api::group_by`] returns the groups as ranges, and
-//! [`api::reduce_by_key`] / [`api::count_by_key`] fold each group.
+//! The free functions ([`semisort_pairs`], [`api::semisort_by_key`],
+//! [`api::group_by`], [`api::reduce_by_key`], …) remain as one-shot
+//! wrappers that build a transient engine per call — identical semantics,
+//! minus the scratch reuse.
 //!
 //! # Failure handling
 //!
@@ -44,6 +59,19 @@
 //! [`SemisortError`] from the `try_*` entry points, or panic. The
 //! [`fault`] module injects deterministic failures into each phase so the
 //! whole escalation ladder is testable.
+//!
+//! # Deprecation policy
+//!
+//! The v1 surface is the [`prelude`]: the [`Semisorter`] engine, the
+//! `try_*` free functions, and the config/error/stats vocabulary. The
+//! panicking twins (`semisort_pairs`, `semisort_by_key`, …) are
+//! **soft-deprecated**: they stay exported and tested indefinitely — no
+//! `#[deprecated]` attribute, no warnings — but they receive no new
+//! capabilities (engine-only features like scratch reuse and
+//! `max_scratch_bytes` retention will not grow panicking twins), and new
+//! code should call the engine or the `try_*` forms. Error enums
+//! ([`SemisortError`]), [`OverflowPolicy`] and [`TelemetryLevel`] are
+//! `#[non_exhaustive]`; downstream matches need a wildcard arm.
 
 #![warn(missing_docs)]
 
@@ -54,6 +82,7 @@ pub mod bounded;
 pub mod buckets;
 pub mod config;
 pub mod driver;
+pub mod engine;
 pub mod error;
 pub mod estimate;
 pub mod fault;
@@ -61,6 +90,7 @@ pub mod json;
 pub mod local_sort;
 pub mod obs;
 pub mod pack_phase;
+pub mod pool;
 pub mod sample;
 pub mod scatter;
 pub mod stats;
@@ -73,10 +103,39 @@ pub use api::{
     try_semisort_permutation, try_semisort_stable_by_key,
 };
 pub use bounded::{semisort_auto, semisort_bounded, try_semisort_auto};
-pub use config::{LocalSortAlgo, OverflowPolicy, ProbeStrategy, ScatterStrategy, SemisortConfig};
+pub use config::{
+    LocalSortAlgo, OverflowPolicy, ProbeStrategy, ScatterStrategy, SemisortConfig,
+    SemisortConfigBuilder,
+};
 pub use driver::{semisort_core, semisort_with_stats, try_semisort_core, try_semisort_with_stats};
+pub use engine::Semisorter;
 pub use error::{DegradeReason, SemisortError};
 pub use fault::{FaultClass, FaultPlan};
 pub use json::Json;
-pub use obs::{Hist, PhaseSpan, RetryCause, Telemetry, TelemetryLevel};
+pub use obs::{Hist, PhaseSpan, RetryCause, ScratchCounters, Telemetry, TelemetryLevel};
+pub use pool::ScratchPool;
 pub use stats::SemisortStats;
+
+/// The v1 public surface in one import.
+///
+/// `use semisort::prelude::*` brings in the [`Semisorter`] engine, the
+/// builder-based configuration, the `try_*` one-shot functions, and the
+/// error/stats vocabulary — everything a new caller needs, none of the
+/// soft-deprecated panicking twins.
+pub mod prelude {
+    pub use crate::api::{
+        hash_key, try_count_by_key, try_group_by, try_reduce_by_key, try_semisort_by_key,
+        try_semisort_in_place, try_semisort_pairs, try_semisort_permutation,
+        try_semisort_stable_by_key, Groups,
+    };
+    pub use crate::config::{
+        LocalSortAlgo, OverflowPolicy, ProbeStrategy, ScatterStrategy, SemisortConfig,
+        SemisortConfigBuilder,
+    };
+    pub use crate::driver::{try_semisort_core, try_semisort_with_stats};
+    pub use crate::engine::Semisorter;
+    pub use crate::error::{DegradeReason, SemisortError};
+    pub use crate::obs::{ScratchCounters, TelemetryLevel};
+    pub use crate::pool::ScratchPool;
+    pub use crate::stats::SemisortStats;
+}

@@ -15,10 +15,11 @@ use rayon::prelude::*;
 use crate::buckets::BucketPlan;
 use crate::config::LocalSortAlgo;
 use crate::obs::ObsSink;
-use crate::scatter::ScatterArena;
+use crate::scatter::Slot;
 
 /// Compact each light bucket's occupied slots to the bucket front, sort
 /// them by key with `algo`, and return the per-light-bucket record counts.
+/// `slots` is the scattered slot array (see [`crate::scatter::scatter`]).
 ///
 /// At `Deep` telemetry, each light bucket's occupancy (its record count —
 /// already computed here for free) is recorded into `sink`'s occupancy
@@ -26,7 +27,7 @@ use crate::scatter::ScatterArena;
 /// is just that key's multiplicity, visible in the heavy-records stat.
 pub fn local_sort_light_buckets<V: Copy + Send + Sync>(
     plan: &BucketPlan,
-    arena: &ScatterArena<V>,
+    slots: &[Slot<V>],
     algo: LocalSortAlgo,
     sink: &ObsSink,
 ) -> Vec<usize> {
@@ -35,7 +36,7 @@ pub fn local_sort_light_buckets<V: Copy + Send + Sync>(
         .map(|b| {
             let base = plan.bucket_offset[b];
             let size = plan.bucket_size[b];
-            let bucket = &arena.slots[base..base + size];
+            let bucket = &slots[base..base + size];
 
             // Pack: gather occupied records. SAFETY: scatter has joined;
             // this task is the unique owner of this bucket's slots.
@@ -128,7 +129,7 @@ mod tests {
     use crate::buckets::build_plan;
     use crate::config::SemisortConfig;
     use crate::sample::strided_sample;
-    use crate::scatter::{allocate_arena, scatter};
+    use crate::scatter::{allocate_arena, scatter, ScatterArena};
     use parlay::hash64;
     use parlay::random::Rng;
 
@@ -146,14 +147,14 @@ mod tests {
         let out = scatter(
             records,
             &plan,
-            &arena,
+            &arena.slots,
             cfg.probe_strategy,
             Rng::new(2),
             &sink,
             None,
         );
         assert!(!out.overflowed);
-        let counts = local_sort_light_buckets(&plan, &arena, algo, &sink);
+        let counts = local_sort_light_buckets(&plan, &arena.slots, algo, &sink);
         (plan, arena, counts)
     }
 

@@ -31,7 +31,11 @@ use std::time::{Duration, Instant};
 
 /// How much telemetry the semisort collects. Ordered: each level includes
 /// everything below it.
+///
+/// Marked `#[non_exhaustive]`: levels may be added in future versions, so
+/// downstream `match`es need a wildcard arm.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq, PartialOrd, Ord)]
+#[non_exhaustive]
 pub enum TelemetryLevel {
     /// No telemetry: the hot loops keep only the always-on aggregate
     /// counters that existed before this module (phase times, heavy/light
@@ -251,6 +255,22 @@ impl ObsSink {
             retry_causes: Vec::new(),
         }
     }
+}
+
+/// Per-run counters describing how the [`ScratchPool`](crate::pool::ScratchPool)
+/// behaved: whether the arena lease was served from pooled capacity or had
+/// to grow. Carried into
+/// [`SemisortStats::scratch_reuse_hits`](crate::stats::SemisortStats::scratch_reuse_hits)
+/// / [`SemisortStats::scratch_grows`](crate::stats::SemisortStats::scratch_grows);
+/// a steady-state engine shows `grows == 0` from the second same-size call
+/// on. Under `SEMISORT_LOG` the driver also emits one
+/// `{"event":"scratch",…}` line per run that grew.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ScratchCounters {
+    /// Arena leases satisfied entirely from already-pooled capacity.
+    pub reuse_hits: u32,
+    /// Arena leases that had to (re)allocate backing memory.
+    pub grows: u32,
 }
 
 /// Why one Las Vegas retry happened: the first bucket observed to overflow

@@ -18,20 +18,33 @@ use parlay::shared::SendPtr;
 use rayon::prelude::*;
 
 use crate::buckets::BucketPlan;
-use crate::scatter::ScatterArena;
+use crate::scatter::Slot;
 
 /// Number of heavy-region intervals (the paper's constant).
 const INTERVALS: usize = 1000;
 
-/// Assemble the semisorted output from the arena: packed heavy region
+/// Assemble the semisorted output from the slot array: packed heavy region
 /// first, then the light buckets' sorted fronts.
 pub fn pack_output<V: Copy + Send + Sync>(
     plan: &BucketPlan,
-    arena: &ScatterArena<V>,
+    slots: &[Slot<V>],
     light_counts: &[usize],
 ) -> Vec<(u64, V)> {
+    let mut out = Vec::new();
+    pack_output_into(plan, slots, light_counts, &mut out);
+    out
+}
+
+/// [`pack_output`] writing into a caller-owned buffer (cleared first), so
+/// the engine's pooled output vector keeps its capacity across calls.
+pub fn pack_output_into<V: Copy + Send + Sync>(
+    plan: &BucketPlan,
+    slots: &[Slot<V>],
+    light_counts: &[usize],
+    out: &mut Vec<(u64, V)>,
+) {
     debug_assert_eq!(light_counts.len(), plan.num_light);
-    let heavy_region = &arena.slots[..plan.heavy_slots];
+    let heavy_region = &slots[..plan.heavy_slots];
 
     // Step 1: pack each interval in place, sequentially per interval.
     let intervals = INTERVALS.min(plan.heavy_slots.max(1));
@@ -65,7 +78,8 @@ pub fn pack_output<V: Copy + Send + Sync>(
     let n_out = heavy_total + light_total;
 
     // Step 3: parallel copies into the output.
-    let mut out: Vec<(u64, V)> = Vec::with_capacity(n_out);
+    out.clear();
+    out.reserve(n_out);
     let out_ptr = SendPtr(out.spare_capacity_mut().as_mut_ptr());
 
     // Heavy intervals.
@@ -94,7 +108,7 @@ pub fn pack_output<V: Copy + Send + Sync>(
         let dst = heavy_total + light_offsets[li];
         let ptr = out_ptr;
         for i in 0..light_counts[li] {
-            let s = &arena.slots[base + i];
+            let s = &slots[base + i];
             // SAFETY: disjoint output ranges per bucket; the first
             // `light_counts[li]` slots hold Phase 4's sorted records.
             unsafe { (*ptr.0.add(dst + i)).write((s.key(), s.value())) };
@@ -104,7 +118,6 @@ pub fn pack_output<V: Copy + Send + Sync>(
     // SAFETY: heavy intervals wrote [0, heavy_total) and light buckets wrote
     // [heavy_total, n_out), jointly initializing every slot.
     unsafe { out.set_len(n_out) };
-    out
 }
 
 #[cfg(test)]
@@ -130,15 +143,15 @@ mod tests {
         let out = scatter(
             records,
             &plan,
-            &arena,
+            &arena.slots,
             cfg.probe_strategy,
             Rng::new(4),
             &sink,
             None,
         );
         assert!(!out.overflowed);
-        let counts = local_sort_light_buckets(&plan, &arena, cfg.local_sort_algo, &sink);
-        pack_output(&plan, &arena, &counts)
+        let counts = local_sort_light_buckets(&plan, &arena.slots, cfg.local_sort_algo, &sink);
+        pack_output(&plan, &arena.slots, &counts)
     }
 
     #[test]

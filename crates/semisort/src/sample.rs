@@ -24,18 +24,31 @@ pub fn strided_sample_by<F>(n: usize, shift: u32, rng: Rng, key_at: F) -> Vec<u6
 where
     F: Fn(usize) -> u64 + Send + Sync,
 {
+    let mut out = Vec::new();
+    strided_sample_by_into(n, shift, rng, key_at, &mut out);
+    out
+}
+
+/// [`strided_sample_by`] writing into a caller-owned buffer (cleared
+/// first), so the engine's pooled sample vector keeps its capacity across
+/// calls and attempts.
+pub fn strided_sample_by_into<F>(n: usize, shift: u32, rng: Rng, key_at: F, out: &mut Vec<u64>)
+where
+    F: Fn(usize) -> u64 + Send + Sync,
+{
     let stride = 1usize << shift;
     let count = n.div_ceil(stride);
-    (0..count)
-        .into_par_iter()
+    out.clear();
+    out.resize(count, 0);
+    out.par_iter_mut()
+        .enumerate()
         .with_min_len(2048)
-        .map(|i| {
+        .for_each(|(i, slot)| {
             let lo = i * stride;
             let hi = ((i + 1) * stride).min(n);
             let off = rng.at_bounded(i as u64, (hi - lo) as u64) as usize;
-            key_at(lo + off)
-        })
-        .collect()
+            *slot = key_at(lo + off);
+        });
 }
 
 #[cfg(test)]
@@ -79,6 +92,20 @@ mod tests {
             strided_sample(&keys, 4, Rng::new(3)),
             strided_sample(&keys, 4, Rng::new(4))
         );
+    }
+
+    #[test]
+    fn into_variant_matches_and_keeps_capacity() {
+        let keys: Vec<u64> = (0..50_000).map(parlay::hash64).collect();
+        let want = strided_sample(&keys, 4, Rng::new(3));
+        let mut buf = Vec::new();
+        strided_sample_by_into(keys.len(), 4, Rng::new(3), |i| keys[i], &mut buf);
+        assert_eq!(buf, want);
+        let cap = buf.capacity();
+        // A smaller re-fill reuses the buffer without reallocating.
+        strided_sample_by_into(1000, 4, Rng::new(3), |i| keys[i], &mut buf);
+        assert_eq!(buf.len(), 63);
+        assert_eq!(buf.capacity(), cap);
     }
 
     #[test]

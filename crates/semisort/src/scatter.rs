@@ -192,8 +192,10 @@ pub fn try_allocate_arena<V: Send + Sync>(
     Ok(ScatterArena { slots })
 }
 
-/// Scatter all records into the arena. Returns telemetry; on
-/// `overflowed == true` the arena contents are garbage and the caller must
+/// Scatter all records into `slots` — `plan.total_slots` vacant slots,
+/// either a fresh [`ScatterArena`]'s `slots` or a zeroed
+/// [`ScratchPool`](crate::pool::ScratchPool) lease. Returns telemetry; on
+/// `overflowed == true` the slot contents are garbage and the caller must
 /// retry (the Las Vegas loop in the driver).
 ///
 /// Workers walk fixed chunks of the input with a private [`WorkerCell`]
@@ -210,7 +212,7 @@ pub fn try_allocate_arena<V: Send + Sync>(
 pub fn scatter<V: Copy + Send + Sync>(
     records: &[(u64, V)],
     plan: &BucketPlan,
-    arena: &ScatterArena<V>,
+    slots: &[Slot<V>],
     strategy: ProbeStrategy,
     rng: Rng,
     sink: &ObsSink,
@@ -249,10 +251,10 @@ pub fn scatter<V: Copy + Send + Sync>(
                 let start = (rng.at(i as u64) as usize) & mask;
                 let placed = match strategy {
                     ProbeStrategy::Linear => {
-                        place_linear(&arena.slots[base..base + size], start, mask, key, value)
+                        place_linear(&slots[base..base + size], start, mask, key, value)
                     }
                     ProbeStrategy::Random => place_random(
-                        &arena.slots[base..base + size],
+                        &slots[base..base + size],
                         mask,
                         key,
                         value,
@@ -405,7 +407,7 @@ mod tests {
         let out = scatter(
             records,
             &plan,
-            &arena,
+            &arena.slots,
             strategy,
             Rng::new(cfg.seed).fork(99),
             &ObsSink::disabled(),
@@ -500,7 +502,7 @@ mod tests {
         let out = scatter(
             &records,
             &plan,
-            &arena,
+            &arena.slots,
             ProbeStrategy::Linear,
             Rng::new(1),
             &ObsSink::disabled(),
@@ -533,7 +535,7 @@ mod tests {
             let out = scatter(
                 &records,
                 &plan,
-                &arena,
+                &arena.slots,
                 ProbeStrategy::Linear,
                 Rng::new(1),
                 &ObsSink::disabled(),

@@ -23,7 +23,8 @@
 //!     "scatter_block": 16, "blocked_tail_log2": 3,
 //!     "local_sort_algo": "std-unstable", "seed": 42,
 //!     "seq_threshold": 8192, "max_retries": 3, "telemetry": "deep",
-//!     "overflow_policy": "fallback", "max_arena_bytes": null, "fault": "none"
+//!     "overflow_policy": "fallback", "max_arena_bytes": null,
+//!     "max_scratch_bytes": null, "fault": "none"
 //!   },
 //!   "phases": {
 //!     "sample_sort_s": 0.01, "construct_buckets_s": 0.001,
@@ -34,7 +35,9 @@
 //!     "sample_size": 62500, "heavy_keys": 5, "light_buckets": 4096,
 //!     "heavy_records": 500000, "light_records": 500000,
 //!     "total_slots": 1300000, "retries": 0, "blocks_flushed": 0,
-//!     "slab_overflows": 0, "fallback_records": 0
+//!     "slab_overflows": 0, "fallback_records": 0,
+//!     "scratch_bytes_held": 20800000, "scratch_reuse_hits": 1,
+//!     "scratch_grows": 0
 //!   },
 //!   "outcome": {
 //!     "policy": "fallback", "degraded": false, "reason": null,
@@ -106,10 +109,23 @@ pub struct SemisortStats {
     pub slab_overflows: usize,
     /// Blocked scatter only: records placed by the per-record CAS fallback.
     pub fallback_records: usize,
+    /// Bytes of scratch the [`ScratchPool`](crate::pool::ScratchPool)
+    /// retains after this call (post `max_scratch_bytes` enforcement).
+    /// One-shot entry points drop the pool on return, so this reports what
+    /// *was* held; engine calls report what stays warm for the next call.
+    pub scratch_bytes_held: usize,
+    /// Arena leases this call satisfied from already-held pool memory (see
+    /// [`ScratchCounters`](crate::obs::ScratchCounters)). Steady-state
+    /// engine reuse shows `scratch_grows == 0` with this nonzero.
+    pub scratch_reuse_hits: u32,
+    /// Arena leases this call satisfied by (re)allocating pool memory.
+    /// First call on an engine: ≥ 1; steady state at the high-water mark: 0.
+    pub scratch_grows: u32,
     /// Whether the run degraded to the comparison-sort fallback because the
     /// Las Vegas machinery gave up (retries exhausted, arena budget
     /// exceeded, or allocation failed) under
-    /// [`OverflowPolicy::Fallback`]. The by-construction fallbacks
+    /// [`OverflowPolicy::Fallback`](crate::config::OverflowPolicy::Fallback).
+    /// The by-construction fallbacks
     /// (`seq_threshold`-sized inputs, reserved-key screening) do **not**
     /// set this: they are routing, not failure.
     pub degraded: bool,
@@ -230,6 +246,14 @@ impl SemisortStats {
                     Json::num(cfg.max_arena_bytes as u64)
                 },
             ),
+            (
+                "max_scratch_bytes".into(),
+                if cfg.max_scratch_bytes == usize::MAX {
+                    Json::Null
+                } else {
+                    Json::num(cfg.max_scratch_bytes as u64)
+                },
+            ),
             ("fault".into(), Json::Str(cfg.fault.spec())),
         ]);
         let phases = Json::Obj(vec![
@@ -269,6 +293,15 @@ impl SemisortStats {
                 "fallback_records".into(),
                 Json::num(self.fallback_records as u64),
             ),
+            (
+                "scratch_bytes_held".into(),
+                Json::num(self.scratch_bytes_held as u64),
+            ),
+            (
+                "scratch_reuse_hits".into(),
+                Json::num(self.scratch_reuse_hits as u64),
+            ),
+            ("scratch_grows".into(), Json::num(self.scratch_grows as u64)),
         ]);
         let hist_json =
             |h: &crate::obs::Hist| Json::Arr(h.buckets.iter().map(|&b| Json::num(b)).collect());

@@ -30,6 +30,12 @@
 //! `corrupt-sample:1,fail-alloc:1`, … — see `semisort::fault`). Under
 //! `--on-overflow error` a terminal failure prints one structured
 //! `{"event":"error",...}` line to stderr and exits 1.
+//!
+//! `bench --reuse <k>` runs `k` consecutive calls through one warm
+//! [`semisort::Semisorter`] instead of one one-shot call, reporting
+//! per-call times and the engine's scratch-pool counters;
+//! `--max-scratch-bytes <bytes>` bounds what the pool retains between
+//! calls (`sort` and `bench`).
 
 use std::fs::File;
 use std::io::{BufReader, BufWriter, Read, Write};
@@ -37,7 +43,7 @@ use std::time::Instant;
 
 use semisort::{
     try_semisort_with_stats, FaultPlan, Json, OverflowPolicy, ScatterStrategy, SemisortConfig,
-    SemisortError, SemisortStats, TelemetryLevel,
+    SemisortError, SemisortStats, Semisorter, TelemetryLevel,
 };
 use workloads::Distribution;
 
@@ -59,7 +65,7 @@ fn main() {
 
 fn usage_and_exit() -> ! {
     eprintln!(
-        "usage:\n  semisort-cli generate --dist <uniform|exp|zipf>:<param> --n <count> --out <file> [--seed <u64>]\n  semisort-cli sort --input <file> --out <file> [--algo semisort|radix|sample|stdsort|seq-hash|rr] [--scatter random-cas|blocked] [--threads <k>] [--stats] [--stats-json <file>] [--telemetry off|counters|deep] [--on-overflow fallback|error|panic] [--max-retries <k>] [--max-arena-bytes <bytes>] [--fault <spec>]\n  semisort-cli verify --input <file>\n  semisort-cli bench [--n <count>] [--dist <spec>] [--quick] [--threads <k>] [--seed <u64>] [--scatter random-cas|blocked] [--telemetry off|counters|deep] [--stats-json <file>] [--trajectory <file|none>] [--on-overflow fallback|error|panic] [--max-retries <k>] [--max-arena-bytes <bytes>] [--fault <spec>]\n  semisort-cli validate-json --input <file> [--schema <name>] [--jsonl]"
+        "usage:\n  semisort-cli generate --dist <uniform|exp|zipf>:<param> --n <count> --out <file> [--seed <u64>]\n  semisort-cli sort --input <file> --out <file> [--algo semisort|radix|sample|stdsort|seq-hash|rr] [--scatter random-cas|blocked] [--threads <k>] [--stats] [--stats-json <file>] [--telemetry off|counters|deep] [--on-overflow fallback|error|panic] [--max-retries <k>] [--max-arena-bytes <bytes>] [--max-scratch-bytes <bytes>] [--fault <spec>]\n  semisort-cli verify --input <file>\n  semisort-cli bench [--n <count>] [--dist <spec>] [--quick] [--reuse <k>] [--threads <k>] [--seed <u64>] [--scatter random-cas|blocked] [--telemetry off|counters|deep] [--stats-json <file>] [--trajectory <file|none>] [--on-overflow fallback|error|panic] [--max-retries <k>] [--max-arena-bytes <bytes>] [--max-scratch-bytes <bytes>] [--fault <spec>]\n  semisort-cli validate-json --input <file> [--schema <name>] [--jsonl]"
     );
     std::process::exit(2);
 }
@@ -209,6 +215,9 @@ fn apply_failure_flags(flags: &Flags, mut cfg: SemisortConfig) -> SemisortConfig
     }
     if let Some(s) = flags.get("max-arena-bytes") {
         cfg.max_arena_bytes = parse_count(s);
+    }
+    if let Some(s) = flags.get("max-scratch-bytes") {
+        cfg.max_scratch_bytes = parse_count(s);
     }
     if let Some(s) = flags.get("fault") {
         cfg.fault = FaultPlan::parse(s).unwrap_or_else(|e| {
@@ -398,22 +407,57 @@ fn bench_run(flags: &Flags) {
     let effective_threads =
         threads.unwrap_or_else(|| std::thread::available_parallelism().map_or(1, |p| p.get()));
 
+    let reuse: usize = flags
+        .get("reuse")
+        .map_or(1, |s| s.parse().expect("bad --reuse count"))
+        .max(1);
+
     let records = workloads::generate(dist, n, seed);
     let t = Instant::now();
-    let run = || run_or_exit(&records, &cfg);
+    let run = || {
+        if reuse > 1 {
+            // Warm-engine mode: `reuse` consecutive calls through one
+            // Semisorter; report the last call (whose scratch counters
+            // show the steady-state pool behavior).
+            let mut engine = Semisorter::new(cfg).unwrap_or_else(|e| exit_semisort_error(e));
+            let mut out = Vec::new();
+            for call in 0..reuse {
+                out = engine
+                    .sort_pairs(&records)
+                    .unwrap_or_else(|e| exit_semisort_error(e));
+                if call > 0 {
+                    eprintln!(
+                        "  call {call}: scratch_grows {} reuse_hits {} held {} bytes",
+                        engine.last_stats().scratch_grows,
+                        engine.last_stats().scratch_reuse_hits,
+                        engine.last_stats().scratch_bytes_held,
+                    );
+                }
+            }
+            let stats = engine.last_stats().clone();
+            (out, stats)
+        } else {
+            run_or_exit(&records, &cfg)
+        }
+    };
     let (out, stats) = match threads {
         Some(k) => parlay::with_threads(k, run),
         None => run(),
     };
-    let wall = t.elapsed().as_secs_f64();
+    let wall = t.elapsed().as_secs_f64() / reuse as f64;
     assert!(
         semisort::verify::is_semisorted_by(&out, |r| r.0) && out.len() == records.len(),
         "bench run produced an invalid semisort"
     );
     eprintln!(
-        "bench: {} records of {} in {wall:.3}s ({:.1} Mrec/s), telemetry {}",
+        "bench: {} records of {} in {wall:.3}s{} ({:.1} Mrec/s), telemetry {}",
         n,
         dist.label(),
+        if reuse > 1 {
+            format!("/call over {reuse} warm-engine calls")
+        } else {
+            String::new()
+        },
         n as f64 / wall / 1e6,
         cfg.telemetry.as_str()
     );
