@@ -18,6 +18,8 @@ static TOTAL: AtomicUsize = AtomicUsize::new(0);
 // SAFETY: delegates all allocation to `System`, only adding counters.
 unsafe impl GlobalAlloc for TrackingAllocator {
     unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        // SAFETY: forwarded verbatim to the system allocator under
+        // the caller's GlobalAlloc contract.
         let p = unsafe { System.alloc(layout) };
         if !p.is_null() {
             let live = LIVE.fetch_add(layout.size(), Ordering::Relaxed) + layout.size();
@@ -28,6 +30,8 @@ unsafe impl GlobalAlloc for TrackingAllocator {
     }
 
     unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        // SAFETY: forwarded verbatim to the system allocator under
+        // the caller's GlobalAlloc contract.
         let p = unsafe { System.alloc_zeroed(layout) };
         if !p.is_null() {
             let live = LIVE.fetch_add(layout.size(), Ordering::Relaxed) + layout.size();
@@ -38,11 +42,15 @@ unsafe impl GlobalAlloc for TrackingAllocator {
     }
 
     unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        // SAFETY: forwarded verbatim to the system allocator under
+        // the caller's GlobalAlloc contract.
         unsafe { System.dealloc(ptr, layout) };
         LIVE.fetch_sub(layout.size(), Ordering::Relaxed);
     }
 
     unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        // SAFETY: forwarded verbatim to the system allocator under
+        // the caller's GlobalAlloc contract.
         let p = unsafe { System.realloc(ptr, layout, new_size) };
         if !p.is_null() {
             let old = layout.size();

@@ -113,7 +113,7 @@ fn reuse_arm(args: &Args) {
 }
 
 fn main() {
-    let args = Args::parse();
+    let Some(args) = Args::parse() else { return };
     if args.reuse {
         reuse_arm(&args);
         return;

@@ -15,7 +15,7 @@ use semisort::{semisort_pairs, SemisortConfig};
 use workloads::{generate, representative_distributions};
 
 fn main() {
-    let args = Args::parse();
+    let Some(args) = Args::parse() else { return };
     let cfg = SemisortConfig::default().with_seed(args.seed);
     let (exp_dist, uni_dist) = representative_distributions(args.n);
 

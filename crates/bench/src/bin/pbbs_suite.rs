@@ -10,7 +10,7 @@ use rayon::slice::ParallelSliceMut;
 use workloads::{generate, Distribution};
 
 fn main() {
-    let args = Args::parse();
+    let Some(args) = Args::parse() else { return };
     let n = args.n;
     let threads = args.max_threads();
     println!(

@@ -17,7 +17,7 @@ use semisort::{semisort_pairs, SemisortConfig};
 use workloads::{generate, paper_distributions, representative_distributions};
 
 fn main() {
-    let args = Args::parse();
+    let Some(args) = Args::parse() else { return };
     let cfg = SemisortConfig::default().with_seed(args.seed);
     let threads = args.max_threads();
 

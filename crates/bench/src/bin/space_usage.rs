@@ -19,7 +19,7 @@ use workloads::{generate, representative_distributions, Distribution};
 static ALLOC: TrackingAllocator = TrackingAllocator;
 
 fn main() {
-    let args = Args::parse();
+    let Some(args) = Args::parse() else { return };
     let cfg = SemisortConfig::default().with_seed(args.seed);
 
     println!(

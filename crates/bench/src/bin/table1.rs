@@ -18,7 +18,7 @@ use semisort::{semisort_with_stats, SemisortConfig};
 use workloads::{generate, paper_distributions};
 
 fn main() {
-    let args = Args::parse();
+    let Some(args) = Args::parse() else { return };
     let cfg = SemisortConfig::default().with_seed(args.seed);
 
     println!(

@@ -19,7 +19,7 @@ use semisort::{semisort_with_stats, SemisortConfig, SemisortStats};
 use workloads::{generate, representative_distributions};
 
 fn main() {
-    let args = Args::parse();
+    let Some(args) = Args::parse() else { return };
     let cfg = SemisortConfig::default()
         .with_seed(args.seed)
         .with_telemetry(args.telemetry);

@@ -19,7 +19,7 @@ use semisort::{semisort_pairs, SemisortConfig};
 use workloads::{generate, representative_distributions, Distribution};
 
 fn main() {
-    let args = Args::parse();
+    let Some(args) = Args::parse() else { return };
     let cfg = SemisortConfig::default().with_seed(args.seed);
     let par_threads = args.max_threads();
 

@@ -12,7 +12,7 @@ use semisort::SemisortConfig;
 use workloads::{generate, representative_distributions, Distribution};
 
 fn main() {
-    let args = Args::parse();
+    let Some(args) = Args::parse() else { return };
     let cfg = SemisortConfig::default().with_seed(args.seed);
 
     println!("Theorem 3.1: operation counts (no timing) across input sizes\n");

@@ -78,12 +78,14 @@ impl Default for Args {
 
 impl Args {
     /// Parse `std::env::args()`; panics with a usage message on bad input.
-    pub fn parse() -> Self {
+    /// Returns `None` when `--help` was requested (usage already printed) —
+    /// the caller should simply return from `main`.
+    pub fn parse() -> Option<Self> {
         Self::parse_from(std::env::args().skip(1))
     }
 
     /// Parse from an explicit iterator (testable).
-    pub fn parse_from<I: IntoIterator<Item = String>>(args: I) -> Self {
+    pub fn parse_from<I: IntoIterator<Item = String>>(args: I) -> Option<Self> {
         let mut out = Args::default();
         let mut it = args.into_iter();
         while let Some(flag) = it.next() {
@@ -123,7 +125,7 @@ impl Args {
                          --stats-json <path> --trajectory <path|none> \
                          --telemetry <off|counters|deep>"
                     );
-                    std::process::exit(0);
+                    return None;
                 }
                 other => panic!("unknown flag {other}"),
             }
@@ -133,7 +135,7 @@ impl Args {
             out.sizes = vec![50_000, 100_000, 200_000];
             out.reps = 1;
         }
-        out
+        Some(out)
     }
 
     /// The largest thread count in the sweep (the "40h" column analogue).
@@ -165,7 +167,13 @@ mod tests {
     use super::*;
 
     fn parse(args: &[&str]) -> Args {
-        Args::parse_from(args.iter().map(|s| s.to_string()))
+        Args::parse_from(args.iter().map(|s| s.to_string())).expect("not a --help invocation")
+    }
+
+    #[test]
+    fn help_returns_none_instead_of_exiting() {
+        assert!(Args::parse_from(["--help".to_string()]).is_none());
+        assert!(Args::parse_from(["-h".to_string()]).is_none());
     }
 
     #[test]

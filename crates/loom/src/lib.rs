@@ -1,0 +1,53 @@
+//! A registry-free stand-in for the `loom` crate.
+//!
+//! The build sandbox for this workspace has no access to crates.io (see the
+//! `rayon`/`proptest` shims), so the real `loom` cannot be vendored. This
+//! crate re-implements the *idea* of loom for the subset of the API the
+//! workspace uses: [`model`] runs a closure under **every** interleaving of
+//! its threads' atomic operations, so an assertion that holds across the
+//! whole run proves a concurrency property exhaustively rather than
+//! probabilistically.
+//!
+//! # How the explorer works
+//!
+//! Real OS threads execute the model body, but a cooperative scheduler
+//! (one mutex + condvar) admits exactly **one** runnable thread at a time.
+//! Every operation on a [`sync::atomic`] wrapper first reaches a *yield
+//! point*, where the running thread consults the current schedule — a
+//! vector of decision indices — to pick which runnable thread executes
+//! next (possibly itself). When an execution finishes, the schedule
+//! backtracks depth-first: the last decision that still has an untried
+//! alternative is incremented and everything after it is discarded, and
+//! [`model`] replays the closure under the new schedule. Exploration ends
+//! when no decision has alternatives left, i.e. after every schedule has
+//! run.
+//!
+//! Because only one thread runs between yield points and each decision is
+//! replayed deterministically, executions are reproducible; a panic (a
+//! failed assertion in the model) surfaces on the first schedule that
+//! triggers it. All wrapped atomic operations run under `SeqCst`, so the
+//! explorer checks the sequentially-consistent interleaving space — which
+//! is exactly the level of the claims the scatter protocols make (slot
+//! claims are CAS-exclusive regardless of ordering relaxations; see
+//! `crates/semisort/tests/race_model.rs`).
+//!
+//! # Differences from real loom
+//!
+//! - No `Relaxed`/`Acquire`/`Release` weak-memory modeling: every atomic op
+//!   is explored as `SeqCst`. Weak-memory bugs are ThreadSanitizer's job
+//!   (see the `tsan` CI lane); this shim proves *protocol* properties.
+//! - No `UnsafeCell` access tracking and no partial-order reduction; the
+//!   state space is walked whole, so models must stay small (2–3 threads,
+//!   a handful of atomic ops each — the same discipline real loom needs).
+//! - Thread-count and execution-count limits guard against runaway models:
+//!   [`MAX_EXECUTIONS`] schedules, [`MAX_STEPS`] decisions per execution.
+
+#![warn(missing_docs)]
+#![deny(unsafe_code)]
+
+pub mod sync;
+pub mod thread;
+
+mod rt;
+
+pub use rt::{model, MAX_EXECUTIONS, MAX_STEPS};

@@ -1,0 +1,263 @@
+//! The schedule explorer: a cooperative scheduler over real threads plus a
+//! depth-first search over scheduling decisions. See the crate docs for
+//! the execution model.
+
+use std::cell::RefCell;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
+
+/// Upper bound on schedules explored per [`model`] call. A model that
+/// exceeds it has a state space too large to walk exhaustively and must be
+/// shrunk (fewer threads or fewer atomic ops), exactly as with real loom.
+pub const MAX_EXECUTIONS: usize = 1 << 20;
+
+/// Upper bound on scheduling decisions within one execution — a livelock
+/// guard (e.g. a CAS retry loop that never makes progress under some
+/// schedule would otherwise spin forever).
+pub const MAX_STEPS: usize = 1 << 16;
+
+/// Per-thread bookkeeping inside one execution.
+struct ThreadState {
+    /// Eligible to be scheduled (false while blocked in `join` or after
+    /// finishing).
+    runnable: bool,
+    /// The thread's closure has returned (or unwound).
+    finished: bool,
+    /// Set while blocked joining another model thread; cleared (and
+    /// `runnable` restored) when that thread finishes.
+    waiting_on: Option<usize>,
+}
+
+/// Shared state of one execution.
+struct State {
+    threads: Vec<ThreadState>,
+    /// The single thread currently admitted to run.
+    current: usize,
+    /// Decision vector: `schedule[k]` = index into the runnable set chosen
+    /// at decision `k`. A replayed prefix plus `0`s appended at the
+    /// frontier.
+    schedule: Vec<usize>,
+    /// Number of runnable choices that existed at each decision (recorded
+    /// during the run; drives backtracking).
+    alternatives: Vec<usize>,
+    /// Next decision index.
+    pos: usize,
+}
+
+impl State {
+    /// Record the next scheduling decision and return the chosen thread.
+    /// Panics on deadlock (no runnable thread while some are unfinished).
+    fn pick_next(&mut self) -> Option<usize> {
+        let runnable: Vec<usize> = self
+            .threads
+            .iter()
+            .enumerate()
+            .filter(|(_, t)| t.runnable && !t.finished)
+            .map(|(i, _)| i)
+            .collect();
+        if runnable.is_empty() {
+            assert!(
+                self.threads.iter().all(|t| t.finished),
+                "loom model deadlock: no runnable thread but {} unfinished",
+                self.threads.iter().filter(|t| !t.finished).count()
+            );
+            return None;
+        }
+        let k = self.pos;
+        assert!(
+            k < MAX_STEPS,
+            "loom model exceeded {MAX_STEPS} decisions in one execution"
+        );
+        if k == self.schedule.len() {
+            self.schedule.push(0);
+        }
+        // `alternatives` is rebuilt from scratch every execution (the
+        // schedule prefix is replayed, the alternative counts re-observed;
+        // determinism makes them identical to the previous run's).
+        debug_assert_eq!(k, self.alternatives.len());
+        self.alternatives.push(runnable.len());
+        let choice = self.schedule[k];
+        debug_assert!(
+            choice < runnable.len(),
+            "stale schedule replayed non-deterministically"
+        );
+        self.pos += 1;
+        Some(runnable[choice])
+    }
+}
+
+/// One execution's scheduler, shared by all its threads.
+pub(crate) struct Ctx {
+    state: Mutex<State>,
+    cv: Condvar,
+}
+
+impl Ctx {
+    fn new(schedule: Vec<usize>) -> Self {
+        Ctx {
+            state: Mutex::new(State {
+                threads: vec![ThreadState {
+                    runnable: true,
+                    finished: false,
+                    waiting_on: None,
+                }],
+                current: 0,
+                schedule,
+                alternatives: Vec::new(),
+                pos: 0,
+            }),
+            cv: Condvar::new(),
+        }
+    }
+
+    /// Lock the state, shrugging off poisoning (a panicking model thread
+    /// must not wedge the rest of the execution).
+    fn lock(&self) -> MutexGuard<'_, State> {
+        self.state.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// The yield point: record a scheduling decision, hand the baton to the
+    /// chosen thread, and block until this thread is chosen again.
+    pub(crate) fn yield_point(&self, tid: usize) {
+        let mut st = self.lock();
+        debug_assert_eq!(st.current, tid, "yield from a thread that is not current");
+        let next = st.pick_next().expect("running thread is always runnable");
+        st.current = next;
+        if next != tid {
+            self.cv.notify_all();
+            while st.current != tid {
+                st = self.cv.wait(st).unwrap_or_else(PoisonError::into_inner);
+            }
+        }
+    }
+
+    /// Register a newly spawned model thread; it is runnable immediately
+    /// but executes only once scheduled.
+    pub(crate) fn register_thread(&self) -> usize {
+        let mut st = self.lock();
+        st.threads.push(ThreadState {
+            runnable: true,
+            finished: false,
+            waiting_on: None,
+        });
+        st.threads.len() - 1
+    }
+
+    /// Block a freshly spawned thread until the scheduler first picks it.
+    pub(crate) fn wait_until_scheduled(&self, tid: usize) {
+        let mut st = self.lock();
+        while st.current != tid {
+            st = self.cv.wait(st).unwrap_or_else(PoisonError::into_inner);
+        }
+    }
+
+    /// Mark `tid` finished, wake its joiners, and hand the baton onward.
+    pub(crate) fn on_finish(&self, tid: usize) {
+        let mut st = self.lock();
+        st.threads[tid].finished = true;
+        st.threads[tid].runnable = false;
+        for t in &mut st.threads {
+            if t.waiting_on == Some(tid) {
+                t.waiting_on = None;
+                t.runnable = true;
+            }
+        }
+        if let Some(next) = st.pick_next() {
+            st.current = next;
+        }
+        self.cv.notify_all();
+    }
+
+    /// Block `me` until `target` finishes (the scheduling half of
+    /// [`crate::thread::JoinHandle::join`]; the real `join` follows it).
+    pub(crate) fn join_wait(&self, me: usize, target: usize) {
+        let mut st = self.lock();
+        if st.threads[target].finished {
+            return;
+        }
+        st.threads[me].runnable = false;
+        st.threads[me].waiting_on = Some(target);
+        let next = st.pick_next().expect("join would deadlock");
+        st.current = next;
+        self.cv.notify_all();
+        while st.current != me {
+            st = self.cv.wait(st).unwrap_or_else(PoisonError::into_inner);
+        }
+    }
+}
+
+thread_local! {
+    /// The execution this OS thread belongs to, and its model thread id.
+    static CURRENT: RefCell<Option<(Arc<Ctx>, usize)>> = const { RefCell::new(None) };
+}
+
+/// The calling thread's execution context, if it is inside a model.
+pub(crate) fn current() -> Option<(Arc<Ctx>, usize)> {
+    CURRENT.with(|c| c.borrow().clone())
+}
+
+/// Bind this OS thread to a model execution (used by `thread::spawn`).
+pub(crate) fn install(ctx: Arc<Ctx>, tid: usize) {
+    CURRENT.with(|c| *c.borrow_mut() = Some((ctx, tid)));
+}
+
+/// Unbind this OS thread from its model execution.
+pub(crate) fn uninstall() {
+    CURRENT.with(|c| *c.borrow_mut() = None);
+}
+
+/// A yield point for the calling thread, if it is inside a model (atomic
+/// wrappers call this before every operation; outside a model it is free).
+pub(crate) fn step() {
+    if let Some((ctx, tid)) = current() {
+        ctx.yield_point(tid);
+    }
+}
+
+/// Run `f` under every interleaving of its threads' atomic operations.
+///
+/// `f` is invoked once per schedule; it must create its shared state
+/// afresh each call (the loom idiom: build `Arc`s inside the closure),
+/// spawn threads with [`crate::thread::spawn`], and join every handle
+/// before returning. A panic inside the model (a failed assertion, i.e. a
+/// protocol violation found on some schedule) propagates to the caller on
+/// the first schedule that triggers it.
+pub fn model<F>(f: F)
+where
+    F: Fn() + Send + Sync + 'static,
+{
+    let mut schedule: Vec<usize> = Vec::new();
+    let mut executions = 0usize;
+    loop {
+        executions += 1;
+        assert!(
+            executions <= MAX_EXECUTIONS,
+            "loom model explored {MAX_EXECUTIONS} schedules without converging; shrink the model"
+        );
+        let ctx = Arc::new(Ctx::new(schedule.clone()));
+        install(ctx.clone(), 0);
+        let result = catch_unwind(AssertUnwindSafe(&f));
+        uninstall();
+        if let Err(payload) = result {
+            resume_unwind(payload);
+        }
+        // Depth-first backtrack: bump the last decision with an untried
+        // alternative, discard everything after it.
+        let st = ctx.lock();
+        schedule = st.schedule.clone();
+        let alternatives = st.alternatives.clone();
+        drop(st);
+        let mut k = schedule.len();
+        loop {
+            if k == 0 {
+                return; // every schedule explored
+            }
+            k -= 1;
+            if schedule[k] + 1 < alternatives[k] {
+                schedule[k] += 1;
+                schedule.truncate(k + 1);
+                break;
+            }
+        }
+    }
+}

@@ -1,0 +1,99 @@
+//! Model-aware synchronization primitives: atomics whose every operation
+//! is a yield point for the schedule explorer. `Arc` is re-exported from
+//! `std` (reference counting has no schedule-visible effect the models
+//! care about), matching the loom API surface the workspace uses.
+
+pub use std::sync::Arc;
+
+/// Model-aware atomic integers. Every operation runs under `SeqCst`
+/// regardless of the ordering passed (the explorer walks the
+/// sequentially-consistent interleaving space; see the crate docs).
+pub mod atomic {
+    pub use std::sync::atomic::Ordering;
+
+    use crate::rt;
+
+    macro_rules! model_atomic {
+        ($(#[$doc:meta])* $name:ident, $std:ident, $ty:ty) => {
+            $(#[$doc])*
+            #[derive(Debug, Default)]
+            pub struct $name(std::sync::atomic::$std);
+
+            impl $name {
+                /// A new atomic holding `v`.
+                pub const fn new(v: $ty) -> Self {
+                    Self(std::sync::atomic::$std::new(v))
+                }
+
+                /// Model-scheduled load (explored as `SeqCst`).
+                pub fn load(&self, _order: Ordering) -> $ty {
+                    rt::step();
+                    self.0.load(Ordering::SeqCst)
+                }
+
+                /// Model-scheduled store (explored as `SeqCst`).
+                pub fn store(&self, v: $ty, _order: Ordering) {
+                    rt::step();
+                    self.0.store(v, Ordering::SeqCst)
+                }
+
+                /// Model-scheduled fetch-add (explored as `SeqCst`).
+                pub fn fetch_add(&self, v: $ty, _order: Ordering) -> $ty {
+                    rt::step();
+                    self.0.fetch_add(v, Ordering::SeqCst)
+                }
+
+                /// Model-scheduled compare-exchange (explored as `SeqCst`).
+                pub fn compare_exchange(
+                    &self,
+                    current: $ty,
+                    new: $ty,
+                    _success: Ordering,
+                    _failure: Ordering,
+                ) -> Result<$ty, $ty> {
+                    rt::step();
+                    self.0
+                        .compare_exchange(current, new, Ordering::SeqCst, Ordering::SeqCst)
+                }
+
+                /// Model-scheduled weak compare-exchange. Never fails
+                /// spuriously in the model (spurious failure adds schedules
+                /// without adding protocol outcomes).
+                pub fn compare_exchange_weak(
+                    &self,
+                    current: $ty,
+                    new: $ty,
+                    success: Ordering,
+                    failure: Ordering,
+                ) -> Result<$ty, $ty> {
+                    self.compare_exchange(current, new, success, failure)
+                }
+
+                /// Read the final value without scheduling — for asserting
+                /// on the outcome *after* every model thread has joined.
+                pub fn unsync_load(&self) -> $ty {
+                    self.0.load(Ordering::SeqCst)
+                }
+            }
+        };
+    }
+
+    model_atomic!(
+        /// Model-aware `AtomicU64` (the scatter's slot-key type).
+        AtomicU64,
+        AtomicU64,
+        u64
+    );
+    model_atomic!(
+        /// Model-aware `AtomicUsize` (the blocked scatter's slab cursors).
+        AtomicUsize,
+        AtomicUsize,
+        usize
+    );
+    model_atomic!(
+        /// Model-aware `AtomicU32`.
+        AtomicU32,
+        AtomicU32,
+        u32
+    );
+}

@@ -1,0 +1,57 @@
+//! Model-aware threads: `loom::thread::spawn`/`join` mirroring
+//! `std::thread`, scheduled by the explorer in [`crate::rt`].
+
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::Arc;
+
+use crate::rt;
+
+/// Handle to a model thread, as returned by [`spawn`].
+pub struct JoinHandle<T> {
+    real: std::thread::JoinHandle<T>,
+    tid: usize,
+    ctx: Arc<crate::rt::Ctx>,
+}
+
+impl<T> JoinHandle<T> {
+    /// Wait for the thread to finish, yielding to the scheduler so other
+    /// threads interleave while this one blocks. Returns the closure's
+    /// value, or `Err` with the panic payload if it unwound (matching
+    /// `std::thread::JoinHandle::join`).
+    pub fn join(self) -> std::thread::Result<T> {
+        let (_, me) = rt::current().expect("join called outside the owning model");
+        self.ctx.join_wait(me, self.tid);
+        self.real.join()
+    }
+}
+
+/// Spawn a model thread. Must be called from inside [`crate::model`]; the
+/// thread starts executing only when the explorer schedules it, and every
+/// handle must be joined before the model closure returns.
+pub fn spawn<F, T>(f: F) -> JoinHandle<T>
+where
+    F: FnOnce() -> T + Send + 'static,
+    T: Send + 'static,
+{
+    let (ctx, _) = rt::current().expect("loom::thread::spawn outside loom::model");
+    let tid = ctx.register_thread();
+    let child_ctx = ctx.clone();
+    let real = std::thread::spawn(move || {
+        rt::install(child_ctx.clone(), tid);
+        child_ctx.wait_until_scheduled(tid);
+        let out = catch_unwind(AssertUnwindSafe(f));
+        child_ctx.on_finish(tid);
+        rt::uninstall();
+        match out {
+            Ok(v) => v,
+            Err(p) => resume_unwind(p),
+        }
+    });
+    JoinHandle { real, tid, ctx }
+}
+
+/// An explicit yield point (a scheduling opportunity with no memory
+/// effect), mirroring `loom::thread::yield_now`.
+pub fn yield_now() {
+    rt::step();
+}

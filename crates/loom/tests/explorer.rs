@@ -1,0 +1,167 @@
+//! Self-tests for the schedule explorer: the shim must genuinely explore
+//! distinct interleavings (not just replay one), terminate, and surface
+//! model panics — otherwise the race models in `crates/semisort` would
+//! vacuously pass.
+
+use std::collections::BTreeSet;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicUsize, Ordering as StdOrdering};
+use std::sync::Mutex;
+
+use loom::sync::atomic::{AtomicU64, Ordering};
+use loom::sync::Arc;
+use loom::thread;
+
+#[test]
+fn store_store_race_reaches_both_final_values() {
+    // Two threads each store their id into one cell: exhaustive
+    // exploration must witness both "1 wins" and "2 wins" orders.
+    let outcomes = Arc::new(Mutex::new(BTreeSet::new()));
+    let sink = outcomes.clone();
+    loom::model(move || {
+        let cell = Arc::new(AtomicU64::new(0));
+        let a = {
+            let cell = cell.clone();
+            thread::spawn(move || cell.store(1, Ordering::SeqCst))
+        };
+        let b = {
+            let cell = cell.clone();
+            thread::spawn(move || cell.store(2, Ordering::SeqCst))
+        };
+        a.join().unwrap();
+        b.join().unwrap();
+        sink.lock().unwrap().insert(cell.unsync_load());
+    });
+    assert_eq!(
+        *outcomes.lock().unwrap(),
+        BTreeSet::from([1, 2]),
+        "explorer must reach both store orders"
+    );
+}
+
+#[test]
+fn load_then_store_race_is_interleavable() {
+    // The classic lost-update shape: both threads read 0, both write
+    // read+1, final value 1. A sound explorer must find it (and also the
+    // serialized schedules where the final value is 2).
+    let outcomes = Arc::new(Mutex::new(BTreeSet::new()));
+    let sink = outcomes.clone();
+    loom::model(move || {
+        let cell = Arc::new(AtomicU64::new(0));
+        let handles: Vec<_> = (0..2)
+            .map(|_| {
+                let cell = cell.clone();
+                thread::spawn(move || {
+                    let v = cell.load(Ordering::SeqCst);
+                    cell.store(v + 1, Ordering::SeqCst);
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        sink.lock().unwrap().insert(cell.unsync_load());
+    });
+    assert_eq!(
+        *outcomes.lock().unwrap(),
+        BTreeSet::from([1, 2]),
+        "explorer must reach both the lost-update and the serialized outcomes"
+    );
+}
+
+#[test]
+fn fetch_add_never_loses_updates() {
+    // The atomic counterpart of the test above: fetch_add is exclusive in
+    // every interleaving, so the final value is always 2.
+    loom::model(|| {
+        let cell = Arc::new(AtomicU64::new(0));
+        let handles: Vec<_> = (0..2)
+            .map(|_| {
+                let cell = cell.clone();
+                thread::spawn(move || {
+                    cell.fetch_add(1, Ordering::SeqCst);
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(cell.unsync_load(), 2);
+    });
+}
+
+#[test]
+fn model_panic_propagates_to_caller() {
+    // An assertion that fails only under one interleaving must escape
+    // loom::model as a panic — this is what the duplicate-claim injection
+    // test in the semisort race models relies on.
+    let result = catch_unwind(AssertUnwindSafe(|| {
+        loom::model(|| {
+            let cell = Arc::new(AtomicU64::new(0));
+            let handles: Vec<_> = (0..2)
+                .map(|_| {
+                    let cell = cell.clone();
+                    thread::spawn(move || {
+                        let v = cell.load(Ordering::SeqCst);
+                        cell.store(v + 1, Ordering::SeqCst);
+                    })
+                })
+                .collect();
+            for h in handles {
+                h.join().unwrap();
+            }
+            assert_eq!(cell.unsync_load(), 2, "lost update");
+        });
+    }));
+    assert!(result.is_err(), "the lost-update schedule must panic out");
+}
+
+#[test]
+fn execution_count_is_bounded_and_plural() {
+    // Sanity on the DFS bookkeeping: a 2-thread, 2-op model explores more
+    // than one schedule and terminates well under the execution cap.
+    let runs = std::sync::Arc::new(AtomicUsize::new(0));
+    let counter = runs.clone();
+    loom::model(move || {
+        counter.fetch_add(1, StdOrdering::Relaxed);
+        let cell = Arc::new(AtomicU64::new(0));
+        let a = {
+            let cell = cell.clone();
+            thread::spawn(move || cell.store(1, Ordering::SeqCst))
+        };
+        cell.store(2, Ordering::SeqCst);
+        a.join().unwrap();
+    });
+    let n = runs.load(StdOrdering::Relaxed);
+    assert!(n > 1, "must explore more than one schedule, got {n}");
+    assert!(n < 1000, "tiny model exploded to {n} schedules");
+}
+
+#[test]
+fn compare_exchange_is_exclusive() {
+    // Two threads CAS 0→id on one cell: exactly one wins in every
+    // interleaving, and the loser observes the winner's value.
+    loom::model(|| {
+        let cell = Arc::new(AtomicU64::new(0));
+        let wins = Arc::new(AtomicU64::new(0));
+        let handles: Vec<_> = (1..=2u64)
+            .map(|id| {
+                let cell = cell.clone();
+                let wins = wins.clone();
+                thread::spawn(move || {
+                    if cell
+                        .compare_exchange(0, id, Ordering::SeqCst, Ordering::SeqCst)
+                        .is_ok()
+                    {
+                        wins.fetch_add(1, Ordering::SeqCst);
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(wins.unsync_load(), 1, "exactly one CAS may claim");
+        assert_ne!(cell.unsync_load(), 0, "the claim must be visible");
+    });
+}

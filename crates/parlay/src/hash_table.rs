@@ -89,9 +89,9 @@ impl<V: Copy + Default> PhaseConcurrentMap<V> {
                 match self.keys[i].compare_exchange(EMPTY, key, Ordering::AcqRel, Ordering::Relaxed)
                 {
                     Ok(_) => {
-                        // We own this slot: write the value. Readers only
-                        // arrive in the next phase (after a barrier), so the
-                        // plain write cannot race with a read.
+                        // SAFETY: we own this slot (CAS winner): readers
+                        // only arrive in the next phase (after a barrier),
+                        // so the plain write cannot race with a read.
                         unsafe { *self.values[i].get() = value };
                         return true;
                     }
@@ -134,6 +134,8 @@ impl<V: Copy + Default> PhaseConcurrentMap<V> {
         (0..self.keys.len())
             .filter_map(|i| {
                 let k = self.keys[i].load(Ordering::Acquire);
+                // SAFETY: the insert phase has ended (single-phase use);
+                // an occupied key's value write happened-before this load.
                 (k != EMPTY).then(|| (k, unsafe { *self.values[i].get() }))
             })
             .collect()

@@ -70,6 +70,8 @@ impl<'a, T> SharedSlice<'a, T> {
         // Bounds check stays on: scatter targets come from size *estimates*
         // (the f function), and an estimate bug must fail loudly.
         let cell = &self.data[i];
+        // SAFETY: per this method's contract, no other task touches
+        // index i during the parallel phase.
         unsafe { *cell.get() = v };
     }
 
@@ -85,6 +87,8 @@ impl<'a, T> SharedSlice<'a, T> {
         T: Copy,
     {
         let cell = &self.data[i];
+        // SAFETY: per this method's contract, no concurrent writer to
+        // index i is live (phase barrier has passed).
         unsafe { *cell.get() }
     }
 }
@@ -113,7 +117,7 @@ mod tests {
         {
             let s = SharedSlice::new(&mut v);
             (0..n).into_par_iter().for_each(|i| {
-                // Each task writes exactly its own index: disjoint.
+                // SAFETY: each task writes exactly its own index: disjoint.
                 unsafe { s.write(i, (i as u64) * 3) };
             });
         }
@@ -126,8 +130,9 @@ mod tests {
         let s = SharedSlice::new(&mut v);
         (0..1000)
             .into_par_iter()
+            // SAFETY: each task writes only its own index i.
             .for_each(|i| unsafe { s.write(i, 7) });
-        // Same-thread read after the parallel loop joined.
+        // SAFETY: same-thread read after the parallel loop joined.
         let sum: u64 = (0..1000).map(|i| unsafe { s.read(i) } as u64).sum();
         assert_eq!(sum, 7000);
     }
@@ -137,6 +142,7 @@ mod tests {
     fn out_of_bounds_write_panics() {
         let mut v = vec![0u8; 4];
         let s = SharedSlice::new(&mut v);
+        // SAFETY: single-threaded; the call must panic on bounds, not UB.
         unsafe { s.write(4, 1) };
     }
 

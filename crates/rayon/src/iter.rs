@@ -420,6 +420,8 @@ impl<'a, T: Send + 'a> ParallelIterator for IterSliceMut<'a, T> {
 unsafe impl<'a, T: Send + 'a> RandomAccess for IterSliceMut<'a, T> {
     unsafe fn pi_get(&self, i: usize) -> &'a mut T {
         debug_assert!(i < self.len);
+        // SAFETY: the caller visits each index at most once (trait
+        // contract), so this is the only live &mut to element i; i < len.
         unsafe { &mut *self.ptr.add(i) }
     }
 }
@@ -479,6 +481,8 @@ impl<T: Send> ParallelIterator for VecIntoIter<T> {
 unsafe impl<T: Send> RandomAccess for VecIntoIter<T> {
     unsafe fn pi_get(&self, i: usize) -> T {
         debug_assert!(i < self.len);
+        // SAFETY: i < len and the once-per-index contract makes this the
+        // single read (move) of element i; Drop skips consumed elements.
         unsafe { std::ptr::read(self.ptr.add(i)) }
     }
 }
@@ -615,6 +619,7 @@ impl<S: ParallelIterator> ParallelIterator for MinLen<S> {
         self.min.max(self.base.pi_min_len())
     }
     unsafe fn pi_drive<F: FnMut(Self::Item)>(&self, r: Range<usize>, f: &mut F) {
+        // SAFETY: forwarded — same range, same once-per-index contract.
         unsafe { self.base.pi_drive(r, f) }
     }
 }
@@ -640,6 +645,7 @@ where
     }
     unsafe fn pi_drive<G: FnMut(R)>(&self, r: Range<usize>, f: &mut G) {
         let map = &self.f;
+        // SAFETY: forwarded — same range, same once-per-index contract.
         unsafe { self.base.pi_drive(r, &mut |x| f(map(x))) }
     }
 }
@@ -659,6 +665,7 @@ impl<S: ParallelIterator> ParallelIterator for Enumerate<S> {
     }
     unsafe fn pi_drive<F: FnMut(Self::Item)>(&self, r: Range<usize>, f: &mut F) {
         let mut i = r.start;
+        // SAFETY: forwarded — same range, same once-per-index contract.
         unsafe {
             self.base.pi_drive(r, &mut |x| {
                 f((i, x));
@@ -693,6 +700,7 @@ impl<A: RandomAccess, B: RandomAccess> ParallelIterator for Zip<A, B> {
 // SAFETY: forwards the once-per-index contract to both sides.
 unsafe impl<A: RandomAccess, B: RandomAccess> RandomAccess for Zip<A, B> {
     unsafe fn pi_get(&self, i: usize) -> Self::Item {
+        // SAFETY: forwarded to both sides for the same index i.
         unsafe { (self.a.pi_get(i), self.b.pi_get(i)) }
     }
 }
@@ -717,6 +725,7 @@ where
     }
     unsafe fn pi_drive<F: FnMut(Self::Item)>(&self, r: Range<usize>, f: &mut F) {
         let keep = &self.p;
+        // SAFETY: forwarded — same range, same once-per-index contract.
         unsafe {
             self.base.pi_drive(r, &mut |x| {
                 if keep(&x) {
@@ -748,6 +757,7 @@ where
     }
     unsafe fn pi_drive<F: FnMut(R)>(&self, r: Range<usize>, f: &mut F) {
         let fm = &self.p;
+        // SAFETY: forwarded — same range, same once-per-index contract.
         unsafe {
             self.base.pi_drive(r, &mut |x| {
                 if let Some(y) = fm(x) {
@@ -780,6 +790,7 @@ where
     }
     unsafe fn pi_drive<G: FnMut(I::Item)>(&self, r: Range<usize>, f: &mut G) {
         let fm = &self.f;
+        // SAFETY: forwarded — same range, same once-per-index contract.
         unsafe {
             self.base.pi_drive(r, &mut |x| {
                 for y in fm(x) {
@@ -808,6 +819,7 @@ where
         self.base.pi_min_len()
     }
     unsafe fn pi_drive<F: FnMut(T)>(&self, r: Range<usize>, f: &mut F) {
+        // SAFETY: forwarded — same range, same once-per-index contract.
         unsafe { self.base.pi_drive(r, &mut |x| f(*x)) }
     }
 }
@@ -830,6 +842,7 @@ where
         self.base.pi_min_len()
     }
     unsafe fn pi_drive<F: FnMut(T)>(&self, r: Range<usize>, f: &mut F) {
+        // SAFETY: forwarded — same range, same once-per-index contract.
         unsafe { self.base.pi_drive(r, &mut |x| f(x.clone())) }
     }
 }

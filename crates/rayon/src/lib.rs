@@ -56,7 +56,20 @@ pub fn current_num_threads() -> usize {
 }
 
 /// How many OS threads the current task may still fan out into.
+///
+/// Under Miri this is pinned to 1: every parallel operation collapses to
+/// deterministic sequential execution on the calling thread (`run_blocks`
+/// takes its single-worker path, `join` runs `a` then `b`). Miri *can*
+/// execute real threads, but its scheduler makes runs slow and
+/// interleaving-dependent; the workspace's algorithms are all
+/// schedule-independent, so the sequential collapse checks the same memory
+/// model obligations (initialization, aliasing, leaks) deterministically.
+/// `current_num_threads()` still reports the installed pool size, so
+/// chunk-size arithmetic matches a parallel run's.
 pub(crate) fn spawn_budget() -> usize {
+    if cfg!(miri) {
+        return 1;
+    }
     let b = BUDGET.with(|c| c.get());
     if b == 0 {
         current_num_threads()

@@ -87,10 +87,10 @@ fn sort_rec<T: Send, K: Ord, F: Fn(&T) -> K + Sync>(
             || sort_rec(ar, br, f, depth - 1),
         );
     }
-    // Merge the two sorted halves of `a` into `buf`, then move back. The
-    // merge *moves* elements (ptr::read), which is sound because nothing
-    // reads `a` again before the copy-back overwrites it, and key
-    // extraction takes `&T` without dropping.
+    // SAFETY: the merge below *moves* elements out of `a` (ptr::read),
+    // which is sound because nothing reads `a` again before the copy-back
+    // overwrites it, and key extraction takes `&T` without dropping; `buf`
+    // has capacity n and is exclusively ours.
     unsafe {
         let out = buf.as_mut_ptr() as *mut T;
         par_merge(
@@ -137,6 +137,8 @@ impl<T> RawSlice<T> {
     where
         T: 's,
     {
+        // SAFETY: forwarded — the caller upholds the liveness/unaliasing
+        // contract documented above.
         unsafe { std::slice::from_raw_parts(self.0, self.1) }
     }
 }
@@ -157,22 +159,29 @@ unsafe fn par_merge<T: Send, K: Ord, F: Fn(&T) -> K + Sync>(
 ) {
     let (n, m) = (a.1, b.1);
     if depth == 0 || n + m < SORT_SEQ_CUTOFF {
+        // SAFETY: same contract, delegated unchanged to the sequential merge.
         unsafe { seq_merge(a.get(), b.get(), out.0, f) };
         return;
     }
     if n < m {
         // Keep the bisected run on the left for the midpoint choice.
+        // SAFETY: same contract, arguments swapped (merge is symmetric).
         unsafe { par_merge(b, a, out, f, depth) };
         return;
     }
     let amid = n / 2;
+    // SAFETY: caller guarantees `a` and `b` stay live and unaliased for
+    // this whole merge call tree.
     let (a_s, b_s) = unsafe { (a.get(), b.get()) };
     let key = f(&a_s[amid]);
     let bmid = b_s.partition_point(|x| f(x) < key);
     let a1 = RawSlice(a.0, amid);
+    // SAFETY: amid ≤ n, so the offset stays inside `a`'s region.
     let a2 = unsafe { RawSlice(a.0.add(amid), n - amid) };
     let b1 = RawSlice(b.0, bmid);
+    // SAFETY: bmid ≤ m (partition_point), so the offset stays inside `b`.
     let b2 = unsafe { RawSlice(b.0.add(bmid), m - bmid) };
+    // SAFETY: amid + bmid ≤ n + m, the caller-guaranteed length of `out`.
     let out2 = unsafe { SendOut(out.0.add(amid + bmid)) };
     crate::join(
         // SAFETY: [a1,b1]→out[..amid+bmid] and [a2,b2]→out[amid+bmid..] are
@@ -180,6 +189,7 @@ unsafe fn par_merge<T: Send, K: Ord, F: Fn(&T) -> K + Sync>(
         // compares ≤ key ≤ every element of part 2, so concatenation of the
         // two merged parts is sorted.
         move || unsafe { par_merge(a1, b1, out, f, depth - 1) },
+        // SAFETY: as above, for the disjoint second halves.
         move || unsafe { par_merge(a2, b2, out2, f, depth - 1) },
     );
 }
@@ -188,6 +198,9 @@ unsafe fn par_merge<T: Send, K: Ord, F: Fn(&T) -> K + Sync>(
 /// Same contract as [`par_merge`].
 unsafe fn seq_merge<T, K: Ord, F: Fn(&T) -> K>(a: &[T], b: &[T], mut out: *mut T, f: &F) {
     let (mut i, mut j) = (0, 0);
+    // SAFETY: per the contract, `out` has room for a.len() + b.len()
+    // elements disjoint from `a`/`b`, and each source element is moved
+    // out exactly once (i/j only advance past moved elements).
     unsafe {
         while i < a.len() && j < b.len() {
             if f(&b[j]) < f(&a[i]) {

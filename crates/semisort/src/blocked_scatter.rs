@@ -222,7 +222,8 @@ pub fn blocked_scatter<V: Copy + Send + Sync>(
                 if let Some(class) = forced_overflow {
                     if class.matches(is_heavy) {
                         // Injected Corollary 3.4 failure (see `scatter`).
-                        let size = plan.bucket_size[bucket as usize];
+                        let bucket_idx = bucket as usize;
+                        let size = plan.bucket_size[bucket_idx];
                         overflow.report(bucket, size, size + 1);
                         failed = true;
                         break;
@@ -302,6 +303,8 @@ mod tests {
             .slots
             .iter()
             .filter(|s| s.occupied())
+            // SAFETY: the scatter under test has returned; occupied slots
+            // hold initialized values and nothing writes concurrently.
             .map(|s| (s.key(), unsafe { s.value() }))
             .collect()
     }
@@ -394,7 +397,8 @@ mod tests {
         );
         assert!(out.overflowed, "must report overflow instead of spinning");
         let (bucket, allocated, observed) = out.overflow.expect("overflow details captured");
-        assert_eq!(allocated, plan.bucket_size[bucket as usize]);
+        let bucket = bucket as usize;
+        assert_eq!(allocated, plan.bucket_size[bucket]);
         assert!(
             observed > allocated,
             "observed demand {observed} must exceed allocation {allocated}"

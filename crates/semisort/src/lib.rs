@@ -74,6 +74,12 @@
 //! `#[non_exhaustive]`; downstream matches need a wildcard arm.
 
 #![warn(missing_docs)]
+// The unsafe-code discipline (DESIGN.md §11): interior unsafe operations
+// need their own block even inside `unsafe fn`, and every unsafe block
+// carries a `// SAFETY:` comment. `cargo xtask lint` enforces the textual
+// half workspace-wide; these make the compiler enforce it here.
+#![deny(unsafe_op_in_unsafe_fn)]
+#![deny(clippy::undocumented_unsafe_blocks)]
 
 pub mod analysis;
 pub mod api;

@@ -38,11 +38,13 @@ pub fn local_sort_light_buckets<V: Copy + Send + Sync>(
             let size = plan.bucket_size[b];
             let bucket = &slots[base..base + size];
 
-            // Pack: gather occupied records. SAFETY: scatter has joined;
-            // this task is the unique owner of this bucket's slots.
+            // Pack: gather occupied records.
             let mut records: Vec<(u64, V)> = bucket
                 .iter()
                 .filter(|s| s.occupied())
+                // SAFETY: scatter has joined; this task is the unique
+                // owner of this bucket's slots, and the filter admits
+                // only occupied (initialized) ones.
                 .map(|s| (s.key(), unsafe { s.value() }))
                 .collect();
 
@@ -111,15 +113,17 @@ fn counting_group<V: Copy>(records: &mut [(u64, V)]) {
     let m = next as usize;
     let mut counts = vec![0usize; m + 1];
     for &l in &labels {
-        counts[l as usize + 1] += 1;
+        let l = l as usize;
+        counts[l + 1] += 1;
     }
     for i in 1..=m {
         counts[i] += counts[i - 1];
     }
     let src = records.to_vec();
     for (rec, l) in src.into_iter().zip(labels) {
-        records[counts[l as usize]] = rec;
-        counts[l as usize] += 1;
+        let l = l as usize;
+        records[counts[l]] = rec;
+        counts[l] += 1;
     }
 }
 

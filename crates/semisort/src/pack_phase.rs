@@ -55,9 +55,10 @@ pub fn pack_output_into<V: Copy + Send + Sync>(
             let hi = (plan.heavy_slots * (t + 1)) / intervals;
             let mut w = lo;
             for i in lo..hi {
-                // SAFETY: this task owns slots [lo, hi); scatter has joined.
                 if heavy_region[i].occupied() {
                     if i != w {
+                        // SAFETY: this task owns slots [lo, hi), scatter
+                        // has joined, and slot i is occupied (initialized).
                         let (k, v) = (heavy_region[i].key(), unsafe { heavy_region[i].value() });
                         heavy_region[w].set(k, v);
                     }
@@ -185,6 +186,59 @@ mod tests {
         let out = full_pipeline(&records);
         assert_eq!(out.len(), records.len());
         assert!(is_semisorted_by(&out, |r| r.0));
+    }
+
+    #[test]
+    fn pack_ignores_slots_beyond_light_bucket_counts() {
+        // Regression: pack must read exactly `light_counts[li]` slots per
+        // light bucket — records past the count fence (e.g. stale slots a
+        // re-zeroing bug would leave behind in a reused arena) must never
+        // reach the output.
+        let cfg = SemisortConfig::default();
+        let records: Vec<(u64, u64)> = (0..40_000u64).map(|i| (hash64(i), i)).collect();
+        let keys: Vec<u64> = records.iter().map(|r| r.0).collect();
+        let mut sample = strided_sample(&keys, cfg.sample_shift, Rng::new(3));
+        sample.sort_unstable();
+        let plan = build_plan(&sample, records.len(), &cfg);
+        let arena = allocate_arena::<u64>(&plan);
+        let sink = crate::obs::ObsSink::disabled();
+        let out = scatter(
+            &records,
+            &plan,
+            &arena.slots,
+            cfg.probe_strategy,
+            Rng::new(4),
+            &sink,
+            None,
+        );
+        assert!(!out.overflowed);
+        let counts = local_sort_light_buckets(&plan, &arena.slots, cfg.local_sort_algo, &sink);
+
+        // Poison the last slot of every light bucket with slack. (Heavy
+        // buckets are excluded: the heavy pack legitimately scans occupancy.)
+        const POISON: u64 = u64::MAX;
+        let mut poisoned = 0usize;
+        for (li, &cnt) in counts.iter().enumerate() {
+            let b = plan.num_heavy + li;
+            let base = plan.bucket_offset[b];
+            let size = plan.bucket_size[b];
+            if cnt < size {
+                arena.slots[base + size - 1].set(POISON, POISON);
+                poisoned += 1;
+            }
+        }
+        assert!(poisoned > 0, "need at least one bucket with slack");
+
+        let got = pack_output(&plan, &arena.slots, &counts);
+        assert!(
+            got.iter().all(|&(k, _)| k != POISON),
+            "a poisoned slot beyond the count fence leaked into the output"
+        );
+        let mut sorted = got;
+        sorted.sort_unstable();
+        let mut want = records;
+        want.sort_unstable();
+        assert_eq!(sorted, want, "output must still be an exact permutation");
     }
 
     #[test]

@@ -56,8 +56,14 @@ const ZERO_CHUNK: usize = 1 << 20;
 /// nonzero, and can lease its memory as a zeroed `&[Slot<V>]` for any `V`
 /// — which a typed `Vec` cannot do across calls with different payload
 /// types.
+///
+/// `#[doc(hidden)] pub`: this type is internal (the supported surface is
+/// [`ScratchPool`]), but the Miri verification suite
+/// (`tests/miri_suite.rs`) drives its lease/grow/free state machine
+/// directly, which an integration test can only do through a public path.
+#[doc(hidden)]
 #[derive(Debug)]
-pub(crate) struct RawBuf {
+pub struct RawBuf {
     ptr: *mut u8,
     cap: usize,
     align: usize,
@@ -80,7 +86,7 @@ impl Default for RawBuf {
 
 impl RawBuf {
     /// An empty buffer holding no allocation.
-    pub(crate) const fn new() -> Self {
+    pub const fn new() -> Self {
         RawBuf {
             ptr: std::ptr::null_mut(),
             cap: 0,
@@ -90,12 +96,12 @@ impl RawBuf {
     }
 
     /// Bytes currently held (the high-water mark of past leases).
-    pub(crate) fn bytes(&self) -> usize {
+    pub fn bytes(&self) -> usize {
         self.cap
     }
 
     /// Release the backing allocation.
-    pub(crate) fn free(&mut self) {
+    pub fn free(&mut self) {
         if self.cap > 0 {
             // SAFETY: (ptr, cap, align) describe the live allocation.
             unsafe {
@@ -121,7 +127,7 @@ impl RawBuf {
     /// hook — injected failures leave the pooled memory untouched so a
     /// warm pool still exercises the alloc-failure escalation path).
     /// Counts one reuse hit or one grow into `counters`.
-    pub(crate) fn lease_slots<V: Send + Sync>(
+    pub fn lease_slots<V: Send + Sync>(
         &mut self,
         len: usize,
         fail_injected: bool,
@@ -191,7 +197,7 @@ impl RawBuf {
     /// must not lose already-buffered records). Aborts on allocator
     /// refusal — this path has no graceful degradation, matching the
     /// behavior of the `Vec` buffers it replaced.
-    pub(crate) fn grow_preserve(&mut self, bytes: usize, align: usize) {
+    pub fn grow_preserve(&mut self, bytes: usize, align: usize) {
         if self.cap >= bytes && self.align >= align {
             return;
         }
@@ -222,8 +228,12 @@ impl RawBuf {
     ///
     /// `len * size_of::<T>() <= self.bytes()`, the buffer's alignment must
     /// satisfy `T`, and the first `len` records must have been written.
-    pub(crate) unsafe fn as_slice<T>(&self, offset: usize, len: usize) -> &[T] {
-        debug_assert!((offset + len) * std::mem::size_of::<T>() <= self.cap);
+    pub unsafe fn as_slice<T>(&self, offset: usize, len: usize) -> &[T] {
+        // Checked: a huge offset/len must fail the assert, not wrap past it.
+        debug_assert!(offset
+            .checked_add(len)
+            .and_then(|n| n.checked_mul(std::mem::size_of::<T>()))
+            .is_some_and(|bytes| bytes <= self.cap));
         // SAFETY: caller contract.
         unsafe { std::slice::from_raw_parts((self.ptr as *const T).add(offset), len) }
     }
@@ -234,8 +244,12 @@ impl RawBuf {
     ///
     /// `(i + 1) * size_of::<T>() <= self.bytes()` and the buffer's
     /// alignment must satisfy `T`.
-    pub(crate) unsafe fn write_at<T>(&mut self, i: usize, value: T) {
-        debug_assert!((i + 1) * std::mem::size_of::<T>() <= self.cap);
+    pub unsafe fn write_at<T>(&mut self, i: usize, value: T) {
+        // Checked: a huge index must fail the assert, not wrap past it.
+        debug_assert!(i
+            .checked_add(1)
+            .and_then(|n| n.checked_mul(std::mem::size_of::<T>()))
+            .is_some_and(|bytes| bytes <= self.cap));
         // SAFETY: caller contract.
         unsafe { (self.ptr as *mut T).add(i).write(value) };
     }
@@ -305,13 +319,14 @@ impl WorkerScratch {
         let mut s = self.slot_of[b];
         if s == u32::MAX {
             s = self.touched.len() as u32;
-            let need = (s as usize + 1) * block * std::mem::size_of::<(u64, V)>();
+            let si = s as usize;
+            let need = (si + 1) * block * std::mem::size_of::<(u64, V)>();
             self.store
                 .grow_preserve(need, std::mem::align_of::<(u64, V)>());
-            if self.fill.len() <= s as usize {
+            if self.fill.len() <= si {
                 self.fill.push(0);
             } else {
-                self.fill[s as usize] = 0;
+                self.fill[si] = 0;
             }
             self.slot_of[b] = s;
             self.touched.push(b as u32);
@@ -354,7 +369,8 @@ impl WorkerScratch {
     /// end of every chunk, including failed/overflowed ones.
     pub(crate) fn reset(&mut self) {
         for &b in &self.touched {
-            self.slot_of[b as usize] = u32::MAX;
+            let b = b as usize;
+            self.slot_of[b] = u32::MAX;
         }
         self.touched.clear();
     }
@@ -510,6 +526,54 @@ mod tests {
     }
 
     #[test]
+    fn reuse_rezeroes_the_high_water_dirty_prefix() {
+        // Regression for the dirty-prefix boundary: after a LARGE lease
+        // dirties [0, B1) and a SMALL lease sweeps only [0, B2), a mid-size
+        // lease B3 with B2 < B3 <= B1 must still see vacant slots across
+        // [B2, B3) — `dirty` must track the high-water mark, not the size
+        // of the most recent lease.
+        let mut buf = RawBuf::new();
+        let mut c = ScratchCounters::default();
+        {
+            let slots = buf.lease_slots::<u64>(256, false, &mut c).unwrap();
+            for (i, s) in slots.iter().enumerate() {
+                s.set(i as u64 + 1, 0); // occupy every slot (keys nonzero)
+            }
+        }
+        {
+            let slots = buf.lease_slots::<u64>(16, false, &mut c).unwrap();
+            assert!(slots.iter().all(|s| !s.occupied()));
+        }
+        let slots = buf.lease_slots::<u64>(128, false, &mut c).unwrap();
+        assert!(
+            slots.iter().all(|s| !s.occupied()),
+            "slots in [16, 128) held stale keys: dirty high-water mark lost"
+        );
+    }
+
+    #[test]
+    #[should_panic]
+    #[cfg(debug_assertions)]
+    fn wrapping_view_arithmetic_is_caught() {
+        // The bounds check must use checked arithmetic: an offset+len that
+        // wraps past usize::MAX would sail under a naive `<= cap` compare.
+        let mut buf = RawBuf::new();
+        buf.grow_preserve(64, 8);
+        // SAFETY: never dereferenced — the checked debug_assert fires first.
+        let _ = unsafe { buf.as_slice::<u64>(usize::MAX, 2) };
+    }
+
+    #[test]
+    #[should_panic]
+    #[cfg(debug_assertions)]
+    fn wrapping_write_index_is_caught() {
+        let mut buf = RawBuf::new();
+        buf.grow_preserve(64, 8);
+        // SAFETY: never dereferenced — the checked debug_assert fires first.
+        unsafe { buf.write_at::<u64>(usize::MAX, 1) };
+    }
+
+    #[test]
     fn injected_failure_reports_bytes_and_keeps_memory() {
         let mut buf = RawBuf::new();
         let mut c = ScratchCounters::default();
@@ -533,9 +597,11 @@ mod tests {
         let mut buf = RawBuf::new();
         buf.grow_preserve(8 * 4, 8);
         for i in 0..4usize {
+            // SAFETY: grow_preserve sized the store for 4 u64s; i < 4.
             unsafe { buf.write_at::<u64>(i, i as u64 + 10) };
         }
         buf.grow_preserve(8 * 1000, 8);
+        // SAFETY: indices [0, 4) were all written above; grow preserved them.
         let got: &[u64] = unsafe { buf.as_slice(0, 4) };
         assert_eq!(got, &[10, 11, 12, 13]);
     }

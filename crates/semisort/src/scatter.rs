@@ -55,6 +55,8 @@ pub struct Slot<V> {
 // SAFETY: the value cell is written only by the unique CAS winner of the
 // slot and read only after the scatter barrier (see module docs).
 unsafe impl<V: Send> Send for Slot<V> {}
+// SAFETY: as above — the CAS claim plus the phase barrier make all
+// cross-thread access to the value cell data-race free.
 unsafe impl<V: Send + Sync> Sync for Slot<V> {}
 
 impl<V> Slot<V> {
@@ -80,6 +82,9 @@ impl<V> Slot<V> {
     where
         V: Copy,
     {
+        // SAFETY: per this method's contract the slot is occupied (its
+        // value was initialized by the claiming writer) and all scatter
+        // writers have joined, so the read cannot race.
         unsafe { (*self.val.get()).assume_init() }
     }
 
@@ -421,6 +426,8 @@ mod tests {
             .slots
             .iter()
             .filter(|s| s.occupied())
+            // SAFETY: the scatter under test has returned; occupied slots
+            // hold initialized values and nothing writes concurrently.
             .map(|s| (s.key(), unsafe { s.value() }))
             .collect()
     }

@@ -1,0 +1,220 @@
+//! Exhaustive race models of the two scatter slot-claim protocols.
+//!
+//! The paper's Algorithm 1 (steps 6–7) and the blocked variant rest on two
+//! concurrency claims that differential tests can only sample:
+//!
+//! 1. **CAS + linear probing** (`scatter::place_linear`): no two threads
+//!    ever claim the same slot, and every record lands in exactly one slot.
+//! 2. **`fetch_add` slab reservation with CAS-fallback tail**
+//!    (`blocked_scatter`'s flush): slab ranges reserved by `fetch_add` are
+//!    exclusive, spill past the slab goes through the CAS tail, and again
+//!    every record lands exactly once with no slot claimed twice.
+//!
+//! These tests re-state each protocol over `loom` atomics (the in-tree
+//! shim, `crates/loom`) and run it under **every** interleaving of 2
+//! threads contending for the same slots — ≥ 2 contended slots each, per
+//! the verification plan in DESIGN.md §11. The protocol bodies mirror the
+//! production loops line-for-line (same probe order, same CAS, same
+//! cursor arithmetic) so a protocol-level regression in `scatter.rs` /
+//! `blocked_scatter.rs` has to break the model too.
+//!
+//! The final test injects the classic broken protocol — load-then-store
+//! claiming instead of CAS — and asserts the explorer *catches* it: a
+//! harness that cannot see the duplicate claim would vacuously pass the
+//! first two models.
+//!
+//! Not run under Miri: the explorer spawns thousands of real scheduled
+//! threads, which Miri executes orders of magnitude too slowly; Miri
+//! covers the sequential memory-model obligations in `miri_suite.rs`.
+
+#![cfg(not(miri))]
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicUsize, Ordering as StdOrdering};
+
+use loom::sync::atomic::{AtomicU64, AtomicUsize as LoomUsize, Ordering};
+use loom::sync::Arc;
+use loom::thread;
+
+/// The scatter's slot-vacancy sentinel (`scatter::EMPTY`).
+const EMPTY: u64 = 0;
+
+/// Model mirror of `scatter::place_linear`: CAS at `start`, then linear
+/// probing with wraparound; fails only if the bucket is completely full.
+/// `claims[i]` counts successful claims of slot `i` (std atomics:
+/// instrumentation, not protocol — no schedule points).
+fn model_place_linear(
+    bucket: &[AtomicU64],
+    claims: &[AtomicUsize],
+    start: usize,
+    mask: usize,
+    key: u64,
+) -> bool {
+    let mut i = start;
+    for _probes in 0..bucket.len() {
+        if bucket[i].load(Ordering::Relaxed) == EMPTY
+            && bucket[i]
+                .compare_exchange(EMPTY, key, Ordering::AcqRel, Ordering::Relaxed)
+                .is_ok()
+        {
+            claims[i].fetch_add(1, StdOrdering::Relaxed);
+            return true;
+        }
+        i = (i + 1) & mask;
+    }
+    false
+}
+
+/// After every model thread joined: each slot claimed at most once, every
+/// record's key present exactly once — "no two threads ever claim one
+/// slot, every record lands exactly once".
+fn assert_exactly_once(bucket: &[AtomicU64], claims: &[AtomicUsize], keys: &[u64]) {
+    for (i, c) in claims.iter().enumerate() {
+        assert!(
+            c.load(StdOrdering::Relaxed) <= 1,
+            "slot {i} claimed {} times",
+            c.load(StdOrdering::Relaxed)
+        );
+    }
+    let mut landed: Vec<u64> = bucket
+        .iter()
+        .map(AtomicU64::unsync_load)
+        .filter(|&k| k != EMPTY)
+        .collect();
+    landed.sort_unstable();
+    let mut expect = keys.to_vec();
+    expect.sort_unstable();
+    assert_eq!(landed, expect, "every record must land exactly once");
+}
+
+#[test]
+fn cas_linear_probe_claims_are_exclusive() {
+    // 2 threads × 2 records into a 4-slot bucket, every thread probing
+    // from slot 0: slots 0 and 1 are contended by both threads in every
+    // schedule, and the bucket ends exactly full (the boundary where a
+    // duplicate claim would also evict a record).
+    loom::model(|| {
+        let bucket: Arc<Vec<AtomicU64>> = Arc::new((0..4).map(|_| AtomicU64::new(EMPTY)).collect());
+        let claims: Arc<Vec<AtomicUsize>> = Arc::new((0..4).map(|_| AtomicUsize::new(0)).collect());
+        let handles: Vec<_> = [[1u64, 2], [3, 4]]
+            .into_iter()
+            .map(|keys| {
+                let bucket = bucket.clone();
+                let claims = claims.clone();
+                thread::spawn(move || {
+                    for key in keys {
+                        assert!(
+                            model_place_linear(&bucket, &claims, 0, 3, key),
+                            "4 records cannot overflow 4 slots"
+                        );
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_exactly_once(&bucket, &claims, &[1, 2, 3, 4]);
+    });
+}
+
+#[test]
+fn fetch_add_slab_with_cas_tail_is_exclusive() {
+    // Model mirror of `blocked_scatter`'s flush: bucket of size 4 with
+    // tail_log2 = 1 (slab = 2 slots, CAS tail = 2 slots). Each of 2
+    // threads flushes a 2-record block: one fetch_add reserves a slab
+    // range, whatever does not fit goes through the CAS tail. Both
+    // threads contend on the cursor and, for whichever loses the slab, on
+    // both tail slots.
+    loom::model(|| {
+        let size = 4usize;
+        let slab = 2usize; // slab_len(4, tail_log2 = 1)
+        let tail_mask = size - slab - 1;
+        let slots: Arc<Vec<AtomicU64>> =
+            Arc::new((0..size).map(|_| AtomicU64::new(EMPTY)).collect());
+        let claims: Arc<Vec<AtomicUsize>> =
+            Arc::new((0..size).map(|_| AtomicUsize::new(0)).collect());
+        let cursor = Arc::new(LoomUsize::new(0));
+        let handles: Vec<_> = [[1u64, 2], [3, 4]]
+            .into_iter()
+            .map(|buf| {
+                let slots = slots.clone();
+                let claims = claims.clone();
+                let cursor = cursor.clone();
+                thread::spawn(move || {
+                    let k = buf.len();
+                    let res = cursor.fetch_add(k, Ordering::Relaxed);
+                    let fit = slab.saturating_sub(res).min(k);
+                    for (j, &key) in buf[..fit].iter().enumerate() {
+                        // The cursor reservation makes [res, res + fit)
+                        // exclusively ours — plain stores, like Slot::set.
+                        slots[res + j].store(key, Ordering::Relaxed);
+                        claims[res + j].fetch_add(1, StdOrdering::Relaxed);
+                    }
+                    for &key in &buf[fit..] {
+                        assert!(
+                            model_place_linear(
+                                &slots[slab..],
+                                &claims[slab..],
+                                res & tail_mask,
+                                tail_mask,
+                                key,
+                            ),
+                            "2 spilled records cannot overflow a 2-slot tail"
+                        );
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_exactly_once(&slots, &claims, &[1, 2, 3, 4]);
+    });
+}
+
+#[test]
+fn broken_load_then_store_protocol_is_caught() {
+    // Duplicate-claim injection: replace the CAS with the torn
+    // load-then-store "claim" and the explorer MUST find the schedule
+    // where both threads read EMPTY from slot 0 and both store into it —
+    // one record overwrites the other. If this test ever stops failing
+    // inside the model, the harness has lost its power to see races and
+    // the two green models above prove nothing.
+    let result = catch_unwind(AssertUnwindSafe(|| {
+        loom::model(|| {
+            let bucket: Arc<Vec<AtomicU64>> =
+                Arc::new((0..2).map(|_| AtomicU64::new(EMPTY)).collect());
+            let claims: Arc<Vec<AtomicUsize>> =
+                Arc::new((0..2).map(|_| AtomicUsize::new(0)).collect());
+            let handles: Vec<_> = [1u64, 2]
+                .into_iter()
+                .map(|key| {
+                    let bucket = bucket.clone();
+                    let claims = claims.clone();
+                    thread::spawn(move || {
+                        let mut i = 0usize;
+                        loop {
+                            if bucket[i].load(Ordering::Relaxed) == EMPTY {
+                                // BROKEN: the vacancy check and the claim
+                                // are not one atomic step.
+                                bucket[i].store(key, Ordering::Relaxed);
+                                claims[i].fetch_add(1, StdOrdering::Relaxed);
+                                return;
+                            }
+                            i = (i + 1) & 1;
+                        }
+                    })
+                })
+                .collect();
+            for h in handles {
+                h.join().unwrap();
+            }
+            assert_exactly_once(&bucket, &claims, &[1, 2]);
+        });
+    }));
+    assert!(
+        result.is_err(),
+        "the explorer failed to catch an injected duplicate claim"
+    );
+}

@@ -1,0 +1,7 @@
+//! Lint fixture: a clean hot-path file — the linter must exit 0 and
+//! report zero violations.
+
+pub fn pick(v: &[u32], i: u32) -> u32 {
+    let i = i as usize;
+    v[i]
+}

@@ -1,0 +1,7 @@
+//! Lint fixture: a truncating `as` cast inside index brackets on a
+//! hot-path file — must trip `as-cast-in-index` (and nothing else; no
+//! unsafe in sight).
+
+pub fn pick(v: &[u32], i: u32) -> u32 {
+    v[i as usize]
+}

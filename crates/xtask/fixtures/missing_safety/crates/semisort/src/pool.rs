@@ -1,0 +1,7 @@
+//! Lint fixture: an allowlisted file whose unsafe block has no
+//! `// SAFETY:` comment — must trip `undocumented-unsafe` (and nothing
+//! else; the path is on the allowlist and holds no index casts).
+
+pub fn read(p: *const u8) -> u8 {
+    unsafe { *p }
+}

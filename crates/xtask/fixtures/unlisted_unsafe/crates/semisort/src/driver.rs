@@ -1,0 +1,8 @@
+//! Lint fixture: a correctly documented unsafe block in a file that is
+//! NOT on the unsafe allowlist — must trip `unsafe-outside-allowlist`
+//! (and only that; the SAFETY comment satisfies `undocumented-unsafe`).
+
+pub fn read(p: *const u8) -> u8 {
+    // SAFETY: documented, but this module is not audited for unsafe.
+    unsafe { *p }
+}

@@ -1,0 +1,120 @@
+//! End-to-end tests of the lint gate binary against the fixture trees in
+//! `crates/xtask/fixtures/`: each known-bad tree must produce the expected
+//! `semisort-lint-v1` diagnostic AND a nonzero exit, the clean tree must
+//! exit 0, and the real workspace must be clean (the gate guards itself).
+
+use std::path::{Path, PathBuf};
+use std::process::Output;
+
+use semisort::Json;
+
+fn fixture(name: &str) -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("fixtures")
+        .join(name)
+}
+
+fn run_lint(root: &Path) -> (Output, Json) {
+    let out = std::process::Command::new(env!("CARGO_BIN_EXE_xtask"))
+        .args(["lint", "--root"])
+        .arg(root)
+        .output()
+        .expect("spawn xtask");
+    let stdout = String::from_utf8(out.stdout.clone()).expect("utf8 stdout");
+    let doc = Json::parse(stdout.trim())
+        .unwrap_or_else(|e| panic!("stdout is not valid semisort-lint-v1 JSON: {e}\n{stdout}"));
+    assert_eq!(
+        doc.get("schema").and_then(Json::as_str),
+        Some("semisort-lint-v1"),
+        "report must carry the schema tag"
+    );
+    (out, doc)
+}
+
+/// The single violation of a one-violation report.
+fn sole_violation(doc: &Json) -> &Json {
+    let v = doc.get("violations").and_then(Json::as_arr).expect("array");
+    assert_eq!(v.len(), 1, "expected exactly one violation, got {doc}");
+    &v[0]
+}
+
+#[test]
+fn missing_safety_fixture_fails_with_undocumented_unsafe() {
+    let (out, doc) = run_lint(&fixture("missing_safety"));
+    assert!(!out.status.success(), "lint must exit nonzero");
+    assert_eq!(doc.get("ok").and_then(Json::as_bool), Some(false));
+    let v = sole_violation(&doc);
+    assert_eq!(
+        v.get("rule").and_then(Json::as_str),
+        Some("undocumented-unsafe")
+    );
+    assert_eq!(
+        v.get("file").and_then(Json::as_str),
+        Some("crates/semisort/src/pool.rs")
+    );
+    assert_eq!(v.get("line").and_then(Json::as_u64), Some(6));
+}
+
+#[test]
+fn unlisted_unsafe_fixture_fails_with_allowlist_violation() {
+    let (out, doc) = run_lint(&fixture("unlisted_unsafe"));
+    assert!(!out.status.success(), "lint must exit nonzero");
+    let v = sole_violation(&doc);
+    assert_eq!(
+        v.get("rule").and_then(Json::as_str),
+        Some("unsafe-outside-allowlist")
+    );
+    assert_eq!(
+        v.get("file").and_then(Json::as_str),
+        Some("crates/semisort/src/driver.rs")
+    );
+    assert_eq!(v.get("line").and_then(Json::as_u64), Some(7));
+}
+
+#[test]
+fn index_cast_fixture_fails_with_cast_violation() {
+    let (out, doc) = run_lint(&fixture("index_cast"));
+    assert!(!out.status.success(), "lint must exit nonzero");
+    let v = sole_violation(&doc);
+    assert_eq!(
+        v.get("rule").and_then(Json::as_str),
+        Some("as-cast-in-index")
+    );
+    assert_eq!(
+        v.get("file").and_then(Json::as_str),
+        Some("crates/semisort/src/scatter.rs")
+    );
+    assert_eq!(v.get("line").and_then(Json::as_u64), Some(6));
+}
+
+#[test]
+fn clean_fixture_passes() {
+    let (out, doc) = run_lint(&fixture("clean"));
+    assert!(out.status.success(), "clean tree must exit 0");
+    assert_eq!(doc.get("ok").and_then(Json::as_bool), Some(true));
+    assert_eq!(
+        doc.get("violations").and_then(Json::as_arr).map(<[_]>::len),
+        Some(0)
+    );
+    assert_eq!(doc.get("files_scanned").and_then(Json::as_u64), Some(1));
+}
+
+#[test]
+fn real_workspace_is_clean() {
+    // The gate guards the actual tree too: `cargo test` fails the moment
+    // someone lands undocumented unsafe, an unlisted unsafe module, a
+    // hot-path index cast, or a stray process::exit.
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .parent()
+        .and_then(Path::parent)
+        .expect("workspace root");
+    let (out, doc) = run_lint(root);
+    assert!(
+        out.status.success(),
+        "workspace lint violations:\n{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    assert_eq!(doc.get("ok").and_then(Json::as_bool), Some(true));
+    // Sanity: the scan actually visited the workspace, not an empty dir.
+    assert!(doc.get("files_scanned").and_then(Json::as_u64).unwrap() > 30);
+}
