@@ -96,4 +96,19 @@ pub mod atomic {
         AtomicU32,
         u32
     );
+    model_atomic!(
+        /// Model-aware `AtomicIsize` (the work-stealing deque's
+        /// `top`/`bottom` indices, which go transiently negative in `pop`).
+        AtomicIsize,
+        AtomicIsize,
+        isize
+    );
+
+    /// Model-scheduled memory fence. The explorer runs every atomic op
+    /// `SeqCst`, so the fence contributes no extra ordering — it is a
+    /// yield point only, letting schedules branch where the production
+    /// code has its Dekker-style fences.
+    pub fn fence(_order: Ordering) {
+        crate::rt::step();
+    }
 }

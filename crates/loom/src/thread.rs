@@ -1,5 +1,5 @@
 //! Model-aware threads: `loom::thread::spawn`/`join` mirroring
-//! `std::thread`, scheduled by the explorer in [`crate::rt`].
+//! `std::thread`, scheduled by the explorer in the private `rt` module.
 
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 use std::sync::Arc;

@@ -1,0 +1,171 @@
+//! A Chase–Lev work-stealing deque over [`JobRef`] pointers.
+//!
+//! One deque per pool worker. The owner pushes and pops at the *bottom*
+//! (LIFO — the hot path of `join`'s lazy task splitting); thieves steal
+//! from the *top* (FIFO — they take the oldest, largest pending task) by
+//! CAS-advancing `top`. The memory orderings follow Lê, Pop, Cohen &
+//! Nardelli, *Correct and Efficient Work-Stealing for Weak Memory Models*
+//! (PPoPP 2013); the exactly-once claim protocol — owner-pop and
+//! thief-steal race on the last element through the CAS on `top` — is
+//! model-checked exhaustively in `crates/rayon/tests/race_model.rs` and
+//! race-tested under ThreadSanitizer in CI.
+//!
+//! The ring buffer is **fixed-capacity**: `push` on a full deque returns
+//! the job to the caller, and `join` responds by running the task inline —
+//! i.e. a join recursion deeper than [`CAPACITY`] degrades to sequential
+//! execution instead of reallocating (growth would need epoch-style buffer
+//! reclamation for racing thieves; a bounded deque needs none, and the
+//! sequential degrade matches the semantics the workspace's algorithms
+//! already tolerate).
+//!
+//! Why the racy slot read is sound: slots are `AtomicPtr` (so even a racy
+//! read is a well-defined atomic load, never a torn value), and a slot at
+//! ring index `i mod CAPACITY` is only *overwritten* by a push at bottom
+//! `i + CAPACITY`, which the full-check admits only once `top > i`. A
+//! thief that read slot `i` before the overwrite then fails its
+//! `CAS(top: i → i+1)` (top already moved) and discards the stale value;
+//! a thief that succeeds had `top == i` through the CAS, so no overwrite
+//! had been admitted. The owner's `pop` reads the slot only at
+//! `bottom - 1`, which no concurrent push can target.
+
+use std::sync::atomic::{fence, AtomicIsize, AtomicPtr, Ordering};
+
+use crate::job::{JobHeader, JobRef};
+
+/// Ring capacity (a power of two). Each pending `join` holds at most one
+/// deque entry per stack frame, so even a 1024-deep *linear* join nest fits;
+/// beyond it, pushes fail and joins run inline.
+pub(crate) const CAPACITY: usize = 1024;
+
+/// Outcome of a steal attempt.
+pub(crate) enum Steal {
+    /// The deque was observed empty.
+    Empty,
+    /// Lost a race (another thief or the owner's pop advanced `top`);
+    /// worth retrying after trying other victims.
+    Retry,
+    /// Won the top job.
+    Success(JobRef),
+}
+
+/// The deque proper. `top`/`bottom` are monotonically increasing logical
+/// indices (never wrapped); `bottom - top` is the current length and the
+/// ring index is `index & (CAPACITY - 1)`. `isize` (not `usize`) because
+/// `pop` decrements `bottom` before examining it, transiently taking
+/// `bottom = top - 1` on an empty deque.
+pub(crate) struct Deque {
+    top: AtomicIsize,
+    bottom: AtomicIsize,
+    slots: Box<[AtomicPtr<JobHeader>]>,
+}
+
+impl Deque {
+    pub(crate) fn new() -> Self {
+        let slots = (0..CAPACITY)
+            .map(|_| AtomicPtr::new(std::ptr::null_mut()))
+            .collect::<Vec<_>>()
+            .into_boxed_slice();
+        Deque {
+            top: AtomicIsize::new(0),
+            bottom: AtomicIsize::new(0),
+            slots,
+        }
+    }
+
+    #[inline]
+    fn slot(&self, index: isize) -> &AtomicPtr<JobHeader> {
+        &self.slots[(index as usize) & (CAPACITY - 1)]
+    }
+
+    /// Owner-only: push a job at the bottom. Returns `Err(job)` when the
+    /// ring is full (the caller should run the job inline).
+    ///
+    /// # Safety
+    ///
+    /// May only be called by the deque's owning worker thread — `bottom`
+    /// has a single writer.
+    pub(crate) unsafe fn push(&self, job: JobRef) -> Result<(), JobRef> {
+        let b = self.bottom.load(Ordering::Relaxed);
+        let t = self.top.load(Ordering::Acquire);
+        if b - t >= CAPACITY as isize {
+            return Err(job);
+        }
+        self.slot(b).store(job.as_ptr(), Ordering::Relaxed);
+        // Release: a thief that Acquire-loads the new `bottom` sees the
+        // slot store above.
+        self.bottom.store(b + 1, Ordering::Release);
+        Ok(())
+    }
+
+    /// Owner-only: pop the most recently pushed job, racing thieves for
+    /// the last element via the CAS on `top`.
+    ///
+    /// # Safety
+    ///
+    /// May only be called by the deque's owning worker thread.
+    pub(crate) unsafe fn pop(&self) -> Option<JobRef> {
+        let b = self.bottom.load(Ordering::Relaxed) - 1;
+        self.bottom.store(b, Ordering::Relaxed);
+        // SeqCst fence: the `bottom` store above and the `top` load below
+        // must not reorder — this is the Dekker-style handshake with
+        // `steal`'s (load top, fence, load bottom) that makes owner and
+        // thief agree on who saw whom when exactly one element remains.
+        fence(Ordering::SeqCst);
+        let t = self.top.load(Ordering::Relaxed);
+        if t > b {
+            // Empty (every element stolen); undo the decrement.
+            self.bottom.store(b + 1, Ordering::Relaxed);
+            return None;
+        }
+        let ptr = self.slot(b).load(Ordering::Relaxed);
+        if t == b {
+            // Exactly one element left: claim it against concurrent
+            // thieves by advancing `top` ourselves. Losing means a thief
+            // already owns the job.
+            let won = self
+                .top
+                .compare_exchange(t, t + 1, Ordering::SeqCst, Ordering::Relaxed)
+                .is_ok();
+            self.bottom.store(b + 1, Ordering::Relaxed);
+            if !won {
+                return None;
+            }
+        }
+        // SAFETY: `ptr` was stored by `push` from a live JobRef; the claim
+        // protocol above makes us its sole taker.
+        Some(unsafe { JobRef::from_ptr(ptr) })
+    }
+
+    /// Thief path: try to claim the oldest job. Callable from any thread.
+    pub(crate) fn steal(&self) -> Steal {
+        let t = self.top.load(Ordering::Acquire);
+        // SeqCst fence: pairs with the fence in `pop` (see there).
+        fence(Ordering::SeqCst);
+        let b = self.bottom.load(Ordering::Acquire);
+        if t >= b {
+            return Steal::Empty;
+        }
+        // Racy read — validated by the CAS below; see the module docs for
+        // why a successful CAS implies the value read was the live one.
+        let ptr = self.slot(t).load(Ordering::Relaxed);
+        if self
+            .top
+            .compare_exchange(t, t + 1, Ordering::SeqCst, Ordering::Relaxed)
+            .is_err()
+        {
+            return Steal::Retry;
+        }
+        // SAFETY: the CAS claimed logical index `t` exclusively, and the
+        // pointer read cannot have been overwritten before a successful
+        // claim (module docs).
+        Steal::Success(unsafe { JobRef::from_ptr(ptr) })
+    }
+
+    /// Whether the deque currently appears non-empty (a wake-up heuristic
+    /// for the sleep protocol, not a claim).
+    pub(crate) fn looks_nonempty(&self) -> bool {
+        let t = self.top.load(Ordering::Relaxed);
+        let b = self.bottom.load(Ordering::Relaxed);
+        b > t
+    }
+}

@@ -1,0 +1,284 @@
+//! Jobs and latches: the units of schedulable work and the completion
+//! signals that connect a forked task back to the frame that spawned it.
+//!
+//! A *job* is a type-erased pointer to a stack- (or caller-) owned
+//! [`StackJob`], laid out so the first field is a [`JobHeader`] holding the
+//! monomorphized execute function. The deque and the injector move bare
+//! [`JobRef`] pointers; whoever wins a job (owner pop, thief steal, or a
+//! worker draining the injector) calls [`JobRef::execute`] exactly once,
+//! which runs the closure under `catch_unwind`, stores the result (or the
+//! panic payload) back into the `StackJob`, and sets the job's latch.
+//!
+//! Two latch flavors exist, matching the two kinds of waiter:
+//!
+//! - [`SpinLatch`] — the waiter is a pool worker; it never blocks on the
+//!   latch directly but keeps stealing work between probes (see
+//!   `WorkerThread::wait_until`), parking through the registry's sleep
+//!   protocol when there is nothing to steal. `set` therefore pokes the
+//!   registry's wake path.
+//! - [`LockLatch`] — the waiter is an external (non-worker) thread blocked
+//!   in [`ThreadPool::install`](crate::ThreadPool::install) or a top-level
+//!   `join`; it sleeps on a private mutex + condvar.
+
+use std::any::Any;
+use std::cell::UnsafeCell;
+use std::panic::{self, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Condvar, Mutex, PoisonError};
+
+use crate::registry::Registry;
+
+/// First field of every job type: the type-erased execute entry point.
+pub(crate) struct JobHeader {
+    execute_fn: unsafe fn(*const JobHeader),
+}
+
+/// A type-erased pointer to a live job. The pointee is owned by the frame
+/// that created it (a `join` or `install` frame), which outlives the job's
+/// execution because it does not return until the job's latch is set.
+#[derive(Clone, Copy, PartialEq, Eq)]
+pub(crate) struct JobRef(*const JobHeader);
+
+// SAFETY: a JobRef is a pointer to a StackJob whose owning frame blocks
+// (or work-steals) until the job's latch is set, so the pointee stays live
+// for any thread that receives the ref through the deque or injector; the
+// exactly-once discipline of those channels ensures a single executor.
+unsafe impl Send for JobRef {}
+
+impl JobRef {
+    /// The raw header pointer, for storage in the deque's `AtomicPtr` slots.
+    pub(crate) fn as_ptr(self) -> *mut JobHeader {
+        self.0 as *mut JobHeader
+    }
+
+    /// Rebuild a ref from a pointer previously obtained via [`Self::as_ptr`].
+    ///
+    /// # Safety
+    ///
+    /// `ptr` must have come from `as_ptr` on a job whose owning frame is
+    /// still waiting on its latch (the deque/injector protocols guarantee
+    /// this for every pointer they hand out).
+    pub(crate) unsafe fn from_ptr(ptr: *mut JobHeader) -> Self {
+        JobRef(ptr)
+    }
+
+    /// Run the job. Consumes the ref conceptually: the pointee's latch is
+    /// set when this returns and the owning frame may free it immediately.
+    ///
+    /// # Safety
+    ///
+    /// Must be called at most once per job, and only while the owning
+    /// frame is still waiting on the job's latch.
+    pub(crate) unsafe fn execute(self) {
+        // SAFETY: the pointee is live (owner still waiting) and this is the
+        // job's single execution, per this function's contract.
+        unsafe { ((*self.0).execute_fn)(self.0) }
+    }
+}
+
+/// Result slot of a job: empty until executed, then the value or the
+/// panic payload.
+pub(crate) enum JobResult<R> {
+    Pending,
+    Ok(R),
+    Panic(Box<dyn Any + Send>),
+}
+
+impl<R> JobResult<R> {
+    /// Return the value or resume the captured panic on the calling thread.
+    pub(crate) fn unwrap_or_propagate(self) -> R {
+        match self {
+            JobResult::Ok(v) => v,
+            JobResult::Panic(p) => panic::resume_unwind(p),
+            JobResult::Pending => unreachable!("job result read before the latch was set"),
+        }
+    }
+}
+
+/// A job whose storage lives in the spawning frame. `#[repr(C)]` pins the
+/// header at offset 0 so a `*const JobHeader` is a `*const Self`.
+#[repr(C)]
+pub(crate) struct StackJob<L, F, R> {
+    header: JobHeader,
+    /// Completion signal; public to the module so waiters can probe it.
+    pub(crate) latch: L,
+    func: UnsafeCell<Option<F>>,
+    result: UnsafeCell<JobResult<R>>,
+}
+
+// SAFETY: the UnsafeCell fields are accessed under the job protocol — the
+// closure is taken once by the single executor, and the result is read by
+// the owner only after the latch's Acquire-ordered probe observes `set` —
+// so no two threads touch a cell concurrently.
+unsafe impl<L: Sync, F: Send, R: Send> Sync for StackJob<L, F, R> {}
+
+impl<L: Latch, F, R> StackJob<L, F, R>
+where
+    F: FnOnce() -> R + Send,
+    R: Send,
+{
+    pub(crate) fn new(func: F, latch: L) -> Self {
+        StackJob {
+            header: JobHeader {
+                execute_fn: Self::execute_from,
+            },
+            latch,
+            func: UnsafeCell::new(Some(func)),
+            result: UnsafeCell::new(JobResult::Pending),
+        }
+    }
+
+    /// A type-erased ref to this job.
+    ///
+    /// # Safety
+    ///
+    /// The caller must keep `self` alive (and not move it) until the latch
+    /// is set, and must ensure the ref is executed at most once.
+    pub(crate) unsafe fn as_job_ref(&self) -> JobRef {
+        JobRef(&self.header as *const JobHeader)
+    }
+
+    /// The type-erased execute entry: run the closure, store the outcome,
+    /// set the latch. The latch store is last — the owning frame may free
+    /// the whole job the moment the latch reads as set.
+    unsafe fn execute_from(ptr: *const JobHeader) {
+        let this = ptr as *const Self;
+        // SAFETY: `ptr` came from `as_job_ref` (repr(C): header at offset
+        // 0), the pointee is live, and this is the job's only execution, so
+        // the cells are unaliased here.
+        unsafe {
+            let func = (*(*this).func.get()).take().expect("job executed twice");
+            let result = match panic::catch_unwind(AssertUnwindSafe(func)) {
+                Ok(v) => JobResult::Ok(v),
+                Err(payload) => JobResult::Panic(payload),
+            };
+            *(*this).result.get() = result;
+            Latch::set(&(*this).latch);
+        }
+    }
+
+    /// Take the closure back out of a job that was *not* executed (popped
+    /// unstolen from the deque, or never pushed at all).
+    ///
+    /// # Safety
+    ///
+    /// The job must not have been executed and must not be executable by
+    /// anyone else (its ref is out of every queue).
+    pub(crate) unsafe fn take_func(&self) -> F {
+        // SAFETY: per the contract no executor raced us to the cell.
+        unsafe {
+            (*self.func.get())
+                .take()
+                .expect("job closure already taken")
+        }
+    }
+
+    /// Read the result of an executed job.
+    ///
+    /// # Safety
+    ///
+    /// The job's latch must have been observed set (with Acquire ordering),
+    /// which happens-after the executor's result store.
+    pub(crate) unsafe fn take_result(&self) -> JobResult<R> {
+        // SAFETY: latch set ⇒ the executor is done with the cell.
+        unsafe { std::mem::replace(&mut *self.result.get(), JobResult::Pending) }
+    }
+}
+
+/// A completion signal. `set` takes a raw pointer because the waiting frame
+/// may free the latch the instant the `set` flag becomes visible: the
+/// implementation must not touch `this` after the store that publishes it
+/// (any registry poke must go through a pointer copied out beforehand).
+pub(crate) trait Latch {
+    /// Mark the latch set and wake its waiter.
+    ///
+    /// # Safety
+    ///
+    /// `this` must point to a live latch; after the publishing store the
+    /// pointee may be freed concurrently, so implementations must not read
+    /// or write through `this` past that point.
+    unsafe fn set(this: *const Self);
+}
+
+/// Latch for a waiter that is a pool worker: a flag plus a registry poke so
+/// a parked waiter wakes. The registry outlives the latch: both the waiter
+/// and the executor are workers of that registry, each holding it alive.
+pub(crate) struct SpinLatch {
+    flag: AtomicBool,
+    registry: *const Registry,
+}
+
+// SAFETY: the registry pointer is only dereferenced inside `set`, where the
+// executing worker's own Arc keeps the registry alive; the flag is atomic.
+unsafe impl Sync for SpinLatch {}
+// SAFETY: as above — the latch carries no thread-affine state.
+unsafe impl Send for SpinLatch {}
+
+impl SpinLatch {
+    pub(crate) fn new(registry: &Registry) -> Self {
+        SpinLatch {
+            flag: AtomicBool::new(false),
+            registry,
+        }
+    }
+
+    /// Has the latch been set? Acquire: a `true` result orders the
+    /// executor's result store before the caller's result read.
+    pub(crate) fn probe(&self) -> bool {
+        self.flag.load(Ordering::Acquire)
+    }
+}
+
+impl Latch for SpinLatch {
+    unsafe fn set(this: *const Self) {
+        // Copy the registry pointer out BEFORE publishing: after the store,
+        // the waiter may observe the flag, return from join, and free the
+        // latch while we are still here.
+        // SAFETY: `this` is live until the publishing store below.
+        let registry = unsafe { (*this).registry };
+        // SAFETY: as above.
+        unsafe { (*this).flag.store(true, Ordering::Release) };
+        // SAFETY: `registry` outlives the latch — the executor is one of
+        // its workers and holds an Arc to it for the whole main loop.
+        unsafe { (*registry).notify_all() };
+    }
+}
+
+/// Latch for an external waiter: mutex + condvar blocking wait.
+pub(crate) struct LockLatch {
+    m: Mutex<bool>,
+    cv: Condvar,
+}
+
+impl LockLatch {
+    pub(crate) fn new() -> Self {
+        LockLatch {
+            m: Mutex::new(false),
+            cv: Condvar::new(),
+        }
+    }
+
+    /// Block until the latch is set.
+    pub(crate) fn wait(&self) {
+        let mut set = self.m.lock().unwrap_or_else(PoisonError::into_inner);
+        while !*set {
+            set = self.cv.wait(set).unwrap_or_else(PoisonError::into_inner);
+        }
+    }
+}
+
+impl Latch for LockLatch {
+    unsafe fn set(this: *const Self) {
+        // Publish under the mutex: the waiter can only observe `true` (and
+        // thus free the latch) after reacquiring the mutex, which
+        // happens-after this guard's unlock — so every touch of `this`
+        // below lands before the pointee can be freed.
+        // SAFETY: `this` is live until the waiter observes the flag, which
+        // the mutex defers past this function's final unlock.
+        unsafe {
+            let mut set = (*this).m.lock().unwrap_or_else(PoisonError::into_inner);
+            *set = true;
+            (*this).cv.notify_all();
+        }
+    }
+}

@@ -1,27 +1,52 @@
-//! A registry-free stand-in for the `rayon` crate.
+//! A work-stealing stand-in for the `rayon` crate.
 //!
 //! The build sandbox for this workspace has no access to crates.io, so the
 //! real `rayon` cannot be vendored. This crate re-implements the *exact* API
 //! subset the workspace uses — parallel iterators over slices/vecs/ranges,
-//! `join`, `par_sort_unstable_by_key`, and scoped thread pools — on top of
-//! `std::thread::scope`. Semantics match rayon where the workspace depends
-//! on them:
+//! `join`, `par_sort_unstable_by_key`, and thread pools — on a real
+//! work-stealing scheduler:
 //!
-//! - `join(a, b)` may run both closures concurrently and propagates panics.
-//! - Parallel iterators partition the index space into blocks; every element
-//!   is visited exactly once; `with_min_len` bounds the split granularity.
-//! - `ThreadPoolBuilder::new().num_threads(n).build()?.install(f)` runs `f`
-//!   with `current_num_threads() == n`, observed by nested parallel calls.
+//! - a persistent registry (`registry` module) of worker threads, each
+//!   owning a Chase–Lev deque (`deque` module: owner pushes/pops LIFO at
+//!   the bottom, thieves CAS-steal FIFO from the top);
+//! - **lazy task splitting** in [`join`]: the caller pushes `b` as a
+//!   stealable job (`job` module), runs `a` inline, then pops — if nobody
+//!   stole `b` it runs inline too, so an uncontended `join` costs one deque
+//!   push/pop rather than a thread spawn;
+//! - a park/unpark idle protocol plus a global injector queue for work
+//!   submitted from outside the pool;
+//! - panic propagation across steals (a panicking stolen task is caught,
+//!   shipped back through its job slot, and re-raised in the `join` caller,
+//!   `a`'s panic winning over `b`'s as in rayon).
 //!
-//! The one deliberate difference: there is no work-stealing deque. Instead a
-//! thread-local *spawn budget* (initialized to the pool size) is split among
-//! children at each fork point, so deeply nested `join` recursions (e.g.
-//! parallel merge sort) degrade to sequential execution instead of spawning
-//! one OS thread per task. This bounds live threads by the pool size while
-//! keeping leaf work identical, which preserves the workspace's determinism
-//! guarantees (all algorithms are written to be schedule-independent).
+//! Semantics match rayon where the workspace depends on them: `join(a, b)`
+//! may run both closures concurrently and propagates panics; parallel
+//! iterators visit every element exactly once with `with_min_len` bounding
+//! split granularity; `ThreadPoolBuilder::new().num_threads(n).build()?
+//! .install(f)` runs `f` with `current_num_threads() == n` observed by
+//! nested parallel calls. The deque is fixed-capacity: a `join` nest deeper
+//! than the ring degrades to inline sequential execution instead of
+//! reallocating, which bounds memory and preserves the workspace's
+//! schedule-independence guarantees.
+//!
+//! Under Miri (`cfg(miri)`) no worker threads are ever spawned: `join` runs
+//! `a` then `b` on the calling thread and pools install by setting a
+//! thread-local size. Miri *can* execute real threads, but its scheduler
+//! makes runs slow and interleaving-dependent; the workspace's algorithms
+//! are all schedule-independent, so the sequential collapse checks the same
+//! memory-model obligations (initialization, aliasing, leaks)
+//! deterministically. `current_num_threads()` still reports the installed
+//! pool size, so chunk-size arithmetic matches a parallel run's.
+//!
+//! The global (no-pool) registry's size can be pinned with the
+//! `RAYON_NUM_THREADS` environment variable, read once at first use —
+//! mirroring real rayon, and what CI's 4-thread matrix leg uses.
 
 #![warn(missing_docs)]
+
+mod deque;
+mod job;
+pub(crate) mod registry;
 
 pub mod iter;
 pub mod prelude;
@@ -29,13 +54,17 @@ pub mod slice;
 
 use std::cell::Cell;
 use std::ops::Range;
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::panic::{self, AssertUnwindSafe};
+use std::sync::{Arc, OnceLock};
+
+use job::{JobResult, SpinLatch, StackJob};
+use registry::{Registry, WorkerThread};
 
 thread_local! {
-    /// Size of the innermost installed pool (0 = none; use hardware count).
-    static POOL_SIZE: Cell<usize> = const { Cell::new(0) };
-    /// Remaining threads this task may fan out into (0 = unset; use pool).
-    static BUDGET: Cell<usize> = const { Cell::new(0) };
+    /// Size of the innermost *inline-installed* pool (0 = none). Only the
+    /// inline install path (Miri, or a 1-thread pool) uses this; a real
+    /// pool's size travels with the worker identity instead.
+    static INSTALLED: Cell<usize> = const { Cell::new(0) };
 }
 
 fn hardware_threads() -> usize {
@@ -44,42 +73,135 @@ fn hardware_threads() -> usize {
         .unwrap_or(1)
 }
 
-/// Number of threads in the current pool (the installed pool size, or the
-/// hardware parallelism when no pool is installed).
+/// Thread count the global registry uses (or would use): `RAYON_NUM_THREADS`
+/// if set to a positive integer, else the hardware parallelism.
+fn global_thread_count() -> usize {
+    std::env::var("RAYON_NUM_THREADS")
+        .ok()
+        .and_then(|s| s.trim().parse::<usize>().ok())
+        .filter(|&n| n > 0)
+        .unwrap_or_else(hardware_threads)
+}
+
+/// The lazily-created registry used by parallel calls made outside any
+/// explicit [`ThreadPool`]. Never terminated — its workers park when idle.
+fn global_registry() -> &'static Arc<Registry> {
+    static GLOBAL: OnceLock<Arc<Registry>> = OnceLock::new();
+    GLOBAL.get_or_init(|| Registry::new(global_thread_count()))
+}
+
+/// Number of threads in the current pool: the pool whose worker is running
+/// the calling thread, the inline-installed pool size, or the global
+/// registry's (configured) size when neither applies.
 pub fn current_num_threads() -> usize {
-    let p = POOL_SIZE.with(|c| c.get());
-    if p == 0 {
-        hardware_threads()
+    if !cfg!(miri) {
+        if let Some(worker) = WorkerThread::current() {
+            return worker.registry.num_threads();
+        }
+    }
+    let installed = INSTALLED.with(Cell::get);
+    if installed != 0 {
+        installed
     } else {
-        p
+        // Report the configured size without forcing the registry (and its
+        // threads) into existence just to answer a query.
+        global_thread_count()
     }
 }
 
-/// How many OS threads the current task may still fan out into.
+/// Run two closures, potentially in parallel, and return both results.
+/// Panics in either closure propagate to the caller (first `a`'s, then
+/// `b`'s, matching the order rayon documents).
 ///
-/// Under Miri this is pinned to 1: every parallel operation collapses to
-/// deterministic sequential execution on the calling thread (`run_blocks`
-/// takes its single-worker path, `join` runs `a` then `b`). Miri *can*
-/// execute real threads, but its scheduler makes runs slow and
-/// interleaving-dependent; the workspace's algorithms are all
-/// schedule-independent, so the sequential collapse checks the same memory
-/// model obligations (initialization, aliasing, leaks) deterministically.
-/// `current_num_threads()` still reports the installed pool size, so
-/// chunk-size arithmetic matches a parallel run's.
-pub(crate) fn spawn_budget() -> usize {
-    if cfg!(miri) {
-        return 1;
+/// On a pool worker this is the lazy-splitting hot path: push `b`, run `a`,
+/// pop — stolen `b` is awaited by *stealing other work in the meantime*
+/// (see `WorkerThread::wait_until`), unstolen `b` runs inline. Outside the
+/// pool, the whole `join` is injected into the global registry (or runs
+/// inline when the effective pool size is 1).
+pub fn join<A, B, RA, RB>(a: A, b: B) -> (RA, RB)
+where
+    A: FnOnce() -> RA + Send,
+    B: FnOnce() -> RB + Send,
+    RA: Send,
+    RB: Send,
+{
+    if cfg!(miri) || current_num_threads() <= 1 {
+        let ra = a();
+        let rb = b();
+        return (ra, rb);
     }
-    let b = BUDGET.with(|c| c.get());
-    if b == 0 {
-        current_num_threads()
-    } else {
-        b
+    match WorkerThread::current() {
+        Some(worker) => join_worker(worker, a, b),
+        None => global_registry().in_worker(move || join(a, b)),
     }
 }
 
-/// Raw pointer to a block-result slot array; Send so workers can write
-/// their (disjoint) slots.
+/// The worker-thread body of [`join`]: lazy task splitting over the
+/// calling worker's own deque.
+fn join_worker<A, B, RA, RB>(worker: &WorkerThread, a: A, b: B) -> (RA, RB)
+where
+    A: FnOnce() -> RA + Send,
+    B: FnOnce() -> RB + Send,
+    RA: Send,
+    RB: Send,
+{
+    let job_b = StackJob::new(b, SpinLatch::new(&worker.registry));
+    // SAFETY: this frame does not return until `job_b` is resolved (run
+    // inline after an unstolen pop, or its latch observed set), so the job
+    // outlives any executor; the deque hands its ref to exactly one taker.
+    let job_ref = unsafe { job_b.as_job_ref() };
+    if let Err(_returned) = worker.push(job_ref) {
+        // Deque full (join nest deeper than the ring): degrade to inline
+        // sequential execution, the bounded-memory escape hatch.
+        // SAFETY: the ref never entered the deque; nobody else can run it.
+        let b = unsafe { job_b.take_func() };
+        let ra = a();
+        let rb = b();
+        return (ra, rb);
+    }
+    // Run `a` with the panic contained: stolen-`b` still references this
+    // frame, so we must not unwind past it before `b` is resolved.
+    let status_a = panic::catch_unwind(AssertUnwindSafe(a));
+    let result_b: JobResult<RB> = loop {
+        match worker.pop() {
+            Some(job) if job == job_ref => {
+                // Unstolen: reclaim and run inline.
+                // SAFETY: the pop removed the ref from the deque before any
+                // thief claimed it, so we are the sole executor.
+                let b = unsafe { job_b.take_func() };
+                break match panic::catch_unwind(AssertUnwindSafe(b)) {
+                    Ok(v) => JobResult::Ok(v),
+                    Err(p) => JobResult::Panic(p),
+                };
+            }
+            Some(job) => {
+                // Strict join nesting means everything pushed above our job
+                // was popped before `a` returned; defensively execute any
+                // straggler rather than lose it.
+                // SAFETY: popped refs are ours to execute exactly once.
+                unsafe { job.execute() };
+            }
+            None => {
+                // Stolen: wait for the thief, stealing other work meanwhile.
+                worker.wait_until(&job_b.latch);
+                // SAFETY: the latch's Acquire probe ordered the thief's
+                // result store before this read.
+                break unsafe { job_b.take_result() };
+            }
+        }
+    };
+    match status_a {
+        Ok(ra) => (ra, result_b.unwrap_or_propagate()),
+        Err(p) => {
+            // `b` is fully resolved (result or panic payload dropped here),
+            // so unwinding past this frame is now safe; `a`'s panic wins.
+            panic::resume_unwind(p);
+        }
+    }
+}
+
+/// Raw pointer to a block-result slot array; Send so forked `join` arms can
+/// write their (disjoint) slots.
 struct ResultsPtr<R>(*mut Option<R>);
 impl<R> Clone for ResultsPtr<R> {
     fn clone(&self) -> Self {
@@ -87,31 +209,40 @@ impl<R> Clone for ResultsPtr<R> {
     }
 }
 impl<R> Copy for ResultsPtr<R> {}
-// SAFETY: each worker writes only slots it claimed via the shared atomic
-// counter, so writes are disjoint; results are read only after the scope
-// joins every worker.
+// SAFETY: the recursive splitter gives each leaf call a distinct block
+// index, so writes land in disjoint slots; results are read only after the
+// root `join` tree completes, which happens-after every leaf write.
 unsafe impl<R: Send> Send for ResultsPtr<R> {}
 
-fn drain<R, F>(next: &AtomicUsize, blocks: usize, len: usize, eval: &F, out: ResultsPtr<R>)
+/// Evaluate blocks `range` (of `blocks` total over `0..len`) by binary
+/// `join` splitting — the recursion is what makes block evaluation
+/// stealable at every granularity.
+fn eval_blocks<R, F>(range: Range<usize>, blocks: usize, len: usize, eval: &F, out: ResultsPtr<R>)
 where
+    R: Send,
     F: Fn(Range<usize>) -> R + Sync,
 {
-    loop {
-        let b = next.fetch_add(1, Ordering::Relaxed);
-        if b >= blocks {
-            break;
-        }
+    if range.len() == 1 {
+        let b = range.start;
         let lo = b * len / blocks;
         let hi = (b + 1) * len / blocks;
         let r = eval(lo..hi);
-        // SAFETY: slot `b` was claimed exclusively by the fetch_add above.
+        // SAFETY: slot `b` is this leaf's exclusively (disjoint recursion).
         unsafe { *out.0.add(b) = Some(r) };
+        return;
     }
+    let mid = range.start + range.len() / 2;
+    let (lo_half, hi_half) = (range.start..mid, mid..range.end);
+    join(
+        move || eval_blocks(lo_half, blocks, len, eval, out),
+        move || eval_blocks(hi_half, blocks, len, eval, out),
+    );
 }
 
 /// Partition `0..len` into blocks of at least `min_len` indices, evaluate
 /// `eval` on every block (possibly concurrently), and return the per-block
-/// results in index order. The building block for every consumer below.
+/// results in index order. The building block for every parallel-iterator
+/// consumer.
 pub(crate) fn run_blocks<R, F>(len: usize, min_len: usize, eval: &F) -> Vec<R>
 where
     R: Send,
@@ -121,81 +252,26 @@ where
         return Vec::new();
     }
     let min_len = min_len.max(1);
-    let budget = spawn_budget();
+    let workers = current_num_threads();
     let max_blocks = (len / min_len).max(1);
-    let workers = budget.min(max_blocks);
-    if workers <= 1 {
+    // Over-split a little so an unlucky slow block does not leave the other
+    // workers idle for its whole duration; stealing balances the rest.
+    let blocks = if cfg!(miri) || workers <= 1 {
+        1
+    } else {
+        (workers * 4).min(max_blocks)
+    };
+    if blocks <= 1 {
         return vec![eval(0..len)];
     }
-    // Over-split a little so an unlucky slow block does not leave the other
-    // workers idle for its whole duration.
-    let blocks = (workers * 4).min(max_blocks);
-    let pool = current_num_threads();
-    let child_budget = (budget / workers).max(1);
-    let next = AtomicUsize::new(0);
     let mut results: Vec<Option<R>> = Vec::with_capacity(blocks);
     results.resize_with(blocks, || None);
     let out = ResultsPtr(results.as_mut_ptr());
-    std::thread::scope(|s| {
-        for _ in 1..workers {
-            let next = &next;
-            let eval = &eval;
-            s.spawn(move || {
-                POOL_SIZE.with(|c| c.set(pool));
-                BUDGET.with(|c| c.set(child_budget));
-                drain(next, blocks, len, *eval, out);
-            });
-        }
-        let saved = BUDGET.with(|c| c.replace(child_budget));
-        drain(&next, blocks, len, eval, out);
-        BUDGET.with(|c| c.set(saved));
-    });
+    eval_blocks(0..blocks, blocks, len, eval, out);
     results
         .into_iter()
-        .map(|r| r.expect("every block is claimed before the scope joins"))
+        .map(|r| r.expect("every block slot is written before the join tree completes"))
         .collect()
-}
-
-/// Run two closures, potentially in parallel, and return both results.
-/// Panics in either closure propagate to the caller (first `a`'s, then
-/// `b`'s, matching the order rayon documents).
-pub fn join<A, B, RA, RB>(a: A, b: B) -> (RA, RB)
-where
-    A: FnOnce() -> RA + Send,
-    B: FnOnce() -> RB + Send,
-    RA: Send,
-    RB: Send,
-{
-    let budget = spawn_budget();
-    if budget <= 1 {
-        let ra = a();
-        let rb = b();
-        return (ra, rb);
-    }
-    let pool = current_num_threads();
-    let half = budget / 2;
-    let mut ra = None;
-    let mut rb = None;
-    std::thread::scope(|s| {
-        let handle = s.spawn(move || {
-            POOL_SIZE.with(|c| c.set(pool));
-            BUDGET.with(|c| c.set(half.max(1)));
-            b()
-        });
-        let saved = BUDGET.with(|c| c.replace((budget - half).max(1)));
-        let res_a = std::panic::catch_unwind(std::panic::AssertUnwindSafe(a));
-        BUDGET.with(|c| c.set(saved));
-        let res_b = handle.join();
-        match res_a {
-            Ok(v) => ra = Some(v),
-            Err(p) => std::panic::resume_unwind(p),
-        }
-        match res_b {
-            Ok(v) => rb = Some(v),
-            Err(p) => std::panic::resume_unwind(p),
-        }
-    });
-    (ra.unwrap(), rb.unwrap())
 }
 
 /// Error from [`ThreadPoolBuilder::build`]. This shim cannot actually fail
@@ -229,43 +305,85 @@ impl ThreadPoolBuilder {
         self
     }
 
-    /// Build the pool. Never fails in this shim.
+    /// Build the pool, spawning its worker threads (except under Miri or
+    /// for 1-thread pools, which install inline). Never fails in this shim.
     pub fn build(self) -> Result<ThreadPool, ThreadPoolBuildError> {
         let n = if self.num_threads == 0 {
             hardware_threads()
         } else {
             self.num_threads
         };
-        Ok(ThreadPool { num_threads: n })
+        let registry = if cfg!(miri) || n == 1 {
+            None
+        } else {
+            Some(Registry::new(n))
+        };
+        Ok(ThreadPool {
+            num_threads: n,
+            registry,
+        })
     }
 }
 
-/// A logical thread pool: a thread-count scope, not a set of live threads.
-/// Threads are created on demand by the parallel operations run inside
-/// [`ThreadPool::install`].
+/// A thread pool: `n` persistent worker threads with work-stealing deques.
+/// Dropping the pool terminates and joins its workers (pending work is
+/// drained first).
 pub struct ThreadPool {
     num_threads: usize,
+    /// `None` for the inline flavors (Miri / 1 thread), which have no
+    /// worker threads at all.
+    registry: Option<Arc<Registry>>,
+}
+
+/// Restores the inline-install thread-local on drop, so a panicking
+/// `install` cannot leak the pool size into subsequent code on this thread.
+struct InstallGuard {
+    saved: usize,
+}
+
+impl InstallGuard {
+    fn set(n: usize) -> Self {
+        InstallGuard {
+            saved: INSTALLED.with(|c| c.replace(n)),
+        }
+    }
+}
+
+impl Drop for InstallGuard {
+    fn drop(&mut self) {
+        INSTALLED.with(|c| c.set(self.saved));
+    }
 }
 
 impl ThreadPool {
-    /// Run `f` with `current_num_threads()` reporting this pool's size and
-    /// parallel operations fanning out to at most that many threads.
+    /// Run `f` on this pool: `current_num_threads()` reports the pool's
+    /// size inside `f`, and parallel operations fan out over the pool's
+    /// workers. Blocks until `f` completes; panics in `f` propagate.
     pub fn install<R, F>(&self, f: F) -> R
     where
         F: FnOnce() -> R + Send,
         R: Send,
     {
-        let saved_pool = POOL_SIZE.with(|c| c.replace(self.num_threads));
-        let saved_budget = BUDGET.with(|c| c.replace(self.num_threads));
-        let out = f();
-        POOL_SIZE.with(|c| c.set(saved_pool));
-        BUDGET.with(|c| c.set(saved_budget));
-        out
+        match &self.registry {
+            Some(registry) => registry.in_worker(f),
+            None => {
+                let _guard = InstallGuard::set(self.num_threads);
+                f()
+            }
+        }
     }
 
     /// The pool's thread count.
     pub fn current_num_threads(&self) -> usize {
         self.num_threads
+    }
+}
+
+impl Drop for ThreadPool {
+    fn drop(&mut self) {
+        if let Some(registry) = &self.registry {
+            registry.terminate();
+        }
     }
 }
 
@@ -288,9 +406,34 @@ mod tests {
     }
 
     #[test]
+    fn install_on_one_thread_pool_is_inline() {
+        let pool = ThreadPoolBuilder::new().num_threads(1).build().unwrap();
+        let caller = std::thread::current().id();
+        let (inside, n) = pool.install(|| (std::thread::current().id(), current_num_threads()));
+        assert_eq!(inside, caller);
+        assert_eq!(n, 1);
+    }
+
+    #[test]
+    fn install_restores_thread_count_on_panic() {
+        // Regression: the inline install path used to restore its
+        // thread-local with straight-line code after `f()`, so a panicking
+        // `f` left the pool size installed forever on this thread. The
+        // drop guard must restore it during unwinding.
+        let baseline = current_num_threads();
+        let pool = ThreadPoolBuilder::new().num_threads(1).build().unwrap();
+        let result = std::panic::catch_unwind(AssertUnwindSafe(|| {
+            pool.install(|| -> () { panic!("install bomb") })
+        }));
+        assert!(result.is_err());
+        assert_eq!(current_num_threads(), baseline);
+    }
+
+    #[test]
     fn nested_join_does_not_explode() {
-        // A full binary recursion 16 levels deep = 65k leaf tasks; the spawn
-        // budget must keep live threads bounded (this would OOM otherwise).
+        // A full binary recursion 16 levels deep = 65k leaf tasks; lazy
+        // splitting must keep this to deque traffic, not thread spawns
+        // (the old shim would OOM without its spawn budget here).
         fn rec(d: u32) -> u64 {
             if d == 0 {
                 return 1;
@@ -303,12 +446,41 @@ mod tests {
     }
 
     #[test]
+    fn linear_join_nest_deeper_than_deque_degrades_gracefully() {
+        // A *linear* nest (each join's `a` arm forks again before b runs)
+        // keeps every frame's b-job live in the deque at once; past the
+        // ring capacity, pushes fail and join must run inline instead of
+        // aborting or reallocating.
+        fn nest(d: u32) -> u64 {
+            if d == 0 {
+                return 0;
+            }
+            let (a, b) = join(|| nest(d - 1), || 1u64);
+            a + b
+        }
+        let pool = ThreadPoolBuilder::new().num_threads(2).build().unwrap();
+        let depth = crate::deque::CAPACITY as u32 + 512;
+        assert_eq!(pool.install(|| nest(depth)), depth as u64);
+    }
+
+    #[test]
     #[should_panic(expected = "boom")]
     fn join_propagates_panics() {
         let pool = ThreadPoolBuilder::new().num_threads(2).build().unwrap();
         pool.install(|| {
             join(|| (), || panic!("boom"));
         });
+    }
+
+    #[test]
+    fn join_prefers_a_panic_over_b_panic() {
+        let pool = ThreadPoolBuilder::new().num_threads(2).build().unwrap();
+        let err = std::panic::catch_unwind(AssertUnwindSafe(|| {
+            pool.install(|| join(|| panic!("from-a"), || panic!("from-b")));
+        }))
+        .unwrap_err();
+        let msg = err.downcast_ref::<&str>().copied().unwrap_or_default();
+        assert_eq!(msg, "from-a");
     }
 
     #[test]
@@ -324,5 +496,24 @@ mod tests {
         let v: Vec<u64> = (0..10_000u64).collect();
         let s: u64 = pool.install(|| v.par_iter().map(|&x| x * 2).sum());
         assert_eq!(s, 10_000 * 9_999);
+    }
+
+    #[test]
+    fn dropping_pool_joins_workers() {
+        // Dropping must terminate cleanly even with work recently run.
+        let pool = ThreadPoolBuilder::new().num_threads(4).build().unwrap();
+        let v: Vec<u64> = (0..100_000u64).collect();
+        let s: u64 = pool.install(|| v.par_iter().sum());
+        assert_eq!(s, (0..100_000u64).sum());
+        drop(pool);
+    }
+
+    #[test]
+    fn top_level_join_outside_any_pool_works() {
+        // Exercises the external-thread path: injection into the global
+        // registry plus the LockLatch round trip.
+        let (a, b) = join(|| (0..1000u64).sum::<u64>(), || vec![1u8; 64].len());
+        assert_eq!(a, 499_500);
+        assert_eq!(b, 64);
     }
 }

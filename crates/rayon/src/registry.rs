@@ -1,0 +1,356 @@
+//! The worker registry: persistent threads, per-worker Chase–Lev deques, a
+//! global injector for work arriving from outside the pool, and the
+//! park/unpark protocol that lets idle workers sleep without missing work.
+//!
+//! # Shape
+//!
+//! A [`Registry`] owns `n` deques and spawns `n` OS threads at
+//! construction; each thread runs [`main_loop`] until the registry is
+//! terminated. A worker's schedule is:
+//!
+//! 1. pop its own deque (LIFO — depth-first on its own `join` spine,
+//!    cache-warm);
+//! 2. steal from the other workers' deques, starting at a per-worker
+//!    rotating victim index (FIFO from the victim — thieves take the
+//!    oldest, i.e. largest, pending task);
+//! 3. drain the injector (work submitted by non-worker threads:
+//!    `install`, or a top-level `join`/parallel-iterator call);
+//! 4. park.
+//!
+//! # Park/unpark
+//!
+//! Parking uses one registry-wide mutex + condvar plus an atomic sleeper
+//! count. A worker about to park increments the count, takes the lock,
+//! **re-checks for visible work under the lock**, and only then waits (with
+//! a timeout as a belt-and-braces net against the one unsynchronized
+//! publish path, a deque push's Release store racing the sleeper-count
+//! read). Publishers — push, inject, latch-set — call [`Registry::notify_all`],
+//! which skips the lock entirely while no one sleeps, making wake-up cost
+//! zero on the hot path.
+//!
+//! # Termination
+//!
+//! [`Registry::terminate`] sets a flag and wakes everyone; workers exit
+//! once they find no work. The global registry (see [`crate::global_registry`])
+//! is never terminated; per-[`ThreadPool`](crate::ThreadPool) registries
+//! are terminated and joined when the pool drops.
+
+use std::cell::Cell;
+use std::collections::VecDeque;
+use std::ptr;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex, PoisonError};
+use std::time::Duration;
+
+use crate::deque::{Deque, Steal};
+use crate::job::{JobRef, LockLatch, SpinLatch, StackJob};
+
+/// How many consecutive empty work hunts a waiting worker spins through
+/// (with `yield_now`) before parking on the condvar.
+const SPINS_BEFORE_PARK: u32 = 32;
+
+/// Park timeout: bounds the cost of the (rare) lost-wakeup race described
+/// in the module docs.
+const PARK_TIMEOUT: Duration = Duration::from_micros(500);
+
+/// Sleep-protocol state: see the module docs.
+struct Sleep {
+    lock: Mutex<()>,
+    cv: Condvar,
+    sleepers: AtomicUsize,
+}
+
+/// A persistent work-stealing thread pool.
+pub(crate) struct Registry {
+    deques: Vec<Deque>,
+    injector: Mutex<VecDeque<JobRef>>,
+    /// Lock-free emptiness probe for the injector (workers check it on
+    /// every hunt; taking the mutex each time would serialize the pool).
+    injector_len: AtomicUsize,
+    sleep: Sleep,
+    terminate: AtomicBool,
+    handles: Mutex<Vec<std::thread::JoinHandle<()>>>,
+}
+
+impl Registry {
+    /// Build a registry and spawn its `num_threads` workers.
+    pub(crate) fn new(num_threads: usize) -> Arc<Registry> {
+        let num_threads = num_threads.max(1);
+        let registry = Arc::new(Registry {
+            deques: (0..num_threads).map(|_| Deque::new()).collect(),
+            injector: Mutex::new(VecDeque::new()),
+            injector_len: AtomicUsize::new(0),
+            sleep: Sleep {
+                lock: Mutex::new(()),
+                cv: Condvar::new(),
+                sleepers: AtomicUsize::new(0),
+            },
+            terminate: AtomicBool::new(false),
+            handles: Mutex::new(Vec::new()),
+        });
+        let mut handles = Vec::with_capacity(num_threads);
+        for index in 0..num_threads {
+            let reg = registry.clone();
+            let handle = std::thread::Builder::new()
+                .name(format!("rayon-shim-{index}"))
+                // Deep join recursions (parallel merge sort, full-deque
+                // inline degrade) live on worker stacks; the std 2 MiB
+                // default is too tight for debug-build frames.
+                .stack_size(8 * 1024 * 1024)
+                .spawn(move || main_loop(reg, index))
+                .expect("failed to spawn pool worker thread");
+            handles.push(handle);
+        }
+        *registry
+            .handles
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner) = handles;
+        registry
+    }
+
+    pub(crate) fn num_threads(&self) -> usize {
+        self.deques.len()
+    }
+
+    /// Submit a job from outside the pool.
+    pub(crate) fn inject(&self, job: JobRef) {
+        {
+            let mut q = self.injector.lock().unwrap_or_else(PoisonError::into_inner);
+            q.push_back(job);
+            self.injector_len.store(q.len(), Ordering::SeqCst);
+        }
+        self.notify_all();
+    }
+
+    fn pop_injected(&self) -> Option<JobRef> {
+        if self.injector_len.load(Ordering::SeqCst) == 0 {
+            return None;
+        }
+        let mut q = self.injector.lock().unwrap_or_else(PoisonError::into_inner);
+        let job = q.pop_front();
+        self.injector_len.store(q.len(), Ordering::SeqCst);
+        job
+    }
+
+    /// Wake every parked worker (free when nobody is parked).
+    pub(crate) fn notify_all(&self) {
+        if self.sleep.sleepers.load(Ordering::SeqCst) > 0 {
+            // Taking (and immediately releasing) the lock serializes with a
+            // parking worker's under-lock re-check, so the worker either
+            // sees the new work or is already in `wait` when we notify.
+            drop(
+                self.sleep
+                    .lock
+                    .lock()
+                    .unwrap_or_else(PoisonError::into_inner),
+            );
+            self.sleep.cv.notify_all();
+        }
+    }
+
+    /// Any work a parked worker could usefully wake for?
+    fn has_visible_work(&self) -> bool {
+        self.injector_len.load(Ordering::SeqCst) > 0
+            || self.deques.iter().any(Deque::looks_nonempty)
+    }
+
+    /// Park the calling worker until `wake` turns true, work appears, or
+    /// the timeout elapses. `wake` is re-evaluated under the sleep lock
+    /// before actually waiting, closing the publish/park race.
+    fn park(&self, wake: impl Fn() -> bool) {
+        self.sleep.sleepers.fetch_add(1, Ordering::SeqCst);
+        let guard = self
+            .sleep
+            .lock
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner);
+        if !wake() && !self.has_visible_work() && !self.terminate.load(Ordering::Acquire) {
+            let _ = self
+                .sleep
+                .cv
+                .wait_timeout(guard, PARK_TIMEOUT)
+                .unwrap_or_else(PoisonError::into_inner);
+        }
+        self.sleep.sleepers.fetch_sub(1, Ordering::SeqCst);
+    }
+
+    /// Run `f` inside the pool: directly if the calling thread is already
+    /// one of this registry's workers, otherwise injected as a job while
+    /// the caller blocks. Panics in `f` propagate to the caller.
+    pub(crate) fn in_worker<R, F>(self: &Arc<Self>, f: F) -> R
+    where
+        F: FnOnce() -> R + Send,
+        R: Send,
+    {
+        if let Some(worker) = WorkerThread::current() {
+            if ptr::eq(Arc::as_ptr(&worker.registry), Arc::as_ptr(self)) {
+                return f();
+            }
+        }
+        let job = StackJob::new(f, LockLatch::new());
+        // SAFETY: this frame blocks on the latch below, keeping the job
+        // alive until its single execution completes.
+        let job_ref = unsafe { job.as_job_ref() };
+        self.inject(job_ref);
+        job.latch.wait();
+        // SAFETY: the latch wait synchronizes with the executor's result
+        // store, and nobody else reads the result.
+        unsafe { job.take_result() }.unwrap_or_propagate()
+    }
+
+    /// Ask the workers to exit and join their threads. Jobs still visible
+    /// in the deques or injector are drained first (workers only exit on
+    /// an empty hunt).
+    pub(crate) fn terminate(&self) {
+        self.terminate.store(true, Ordering::Release);
+        // Wake unconditionally: a worker may be between its last hunt and
+        // the park, and the sleeper count alone cannot rule that out.
+        drop(
+            self.sleep
+                .lock
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner),
+        );
+        self.sleep.cv.notify_all();
+        let handles =
+            std::mem::take(&mut *self.handles.lock().unwrap_or_else(PoisonError::into_inner));
+        for h in handles {
+            let _ = h.join();
+        }
+    }
+}
+
+/// Per-thread identity of a pool worker, stack-allocated in [`main_loop`]
+/// and published through a thread-local pointer for the lifetime of the
+/// thread.
+pub(crate) struct WorkerThread {
+    pub(crate) registry: Arc<Registry>,
+    index: usize,
+    /// xorshift state for randomizing the first steal victim, so thieves
+    /// do not convoy on worker 0.
+    rng: Cell<u64>,
+}
+
+thread_local! {
+    static WORKER: Cell<*const WorkerThread> = const { Cell::new(ptr::null()) };
+}
+
+impl WorkerThread {
+    /// The calling thread's worker identity, if it is a pool worker.
+    pub(crate) fn current() -> Option<&'static WorkerThread> {
+        let ptr = WORKER.with(Cell::get);
+        // SAFETY: the pointee lives on the worker thread's own `main_loop`
+        // stack frame, which outlives every borrow handed out here: the
+        // thread-local is cleared before that frame returns, and the
+        // reference never leaves the thread it was created on.
+        unsafe { ptr.as_ref() }
+    }
+
+    fn deque(&self) -> &Deque {
+        &self.registry.deques[self.index]
+    }
+
+    /// Push a job onto this worker's own deque (wakes a thief if any are
+    /// parked). `Err(job)` when the deque is full.
+    pub(crate) fn push(&self, job: JobRef) -> Result<(), JobRef> {
+        // SAFETY: `self` is the calling thread's own worker identity
+        // (`WorkerThread::current`), so this thread owns the deque.
+        unsafe { self.deque().push(job) }?;
+        self.registry.notify_all();
+        Ok(())
+    }
+
+    /// Pop from this worker's own deque.
+    pub(crate) fn pop(&self) -> Option<JobRef> {
+        // SAFETY: as in `push` — the calling thread owns this deque.
+        unsafe { self.deque().pop() }
+    }
+
+    /// Hunt for a job: own deque, then steal, then the injector.
+    pub(crate) fn find_work(&self) -> Option<JobRef> {
+        self.pop()
+            .or_else(|| self.steal())
+            .or_else(|| self.registry.pop_injected())
+    }
+
+    /// One sweep over the other workers' deques in rotated order,
+    /// re-sweeping while any victim reports a lost race.
+    fn steal(&self) -> Option<JobRef> {
+        let n = self.registry.num_threads();
+        if n <= 1 {
+            return None;
+        }
+        // xorshift64 step for the sweep's starting victim.
+        let mut x = self.rng.get();
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.rng.set(x);
+        let start = (x as usize) % n;
+        loop {
+            let mut saw_retry = false;
+            for k in 0..n {
+                let victim = (start + k) % n;
+                if victim == self.index {
+                    continue;
+                }
+                match self.registry.deques[victim].steal() {
+                    Steal::Success(job) => return Some(job),
+                    Steal::Retry => saw_retry = true,
+                    Steal::Empty => {}
+                }
+            }
+            if !saw_retry {
+                return None;
+            }
+        }
+    }
+
+    /// Work-stealing wait: keep the CPU busy with other jobs until `latch`
+    /// is set, parking when the whole pool looks idle. This is what makes
+    /// a blocked `join` frame a thief instead of a bystander.
+    pub(crate) fn wait_until(&self, latch: &SpinLatch) {
+        let mut idle: u32 = 0;
+        while !latch.probe() {
+            if let Some(job) = self.find_work() {
+                // SAFETY: the job came out of a deque or the injector,
+                // each of which hands a ref to exactly one taker.
+                unsafe { job.execute() };
+                idle = 0;
+            } else {
+                idle += 1;
+                if idle < SPINS_BEFORE_PARK {
+                    std::thread::yield_now();
+                } else {
+                    self.registry.park(|| latch.probe());
+                    idle = 0;
+                }
+            }
+        }
+    }
+}
+
+/// A worker thread's whole life: publish the identity, hunt and execute
+/// until terminated, unpublish.
+fn main_loop(registry: Arc<Registry>, index: usize) {
+    let worker = WorkerThread {
+        registry,
+        index,
+        // Seed must be per-worker and nonzero for xorshift.
+        rng: Cell::new(0x9E37_79B9_7F4A_7C15 ^ ((index as u64 + 1) << 17)),
+    };
+    WORKER.with(|w| w.set(&worker as *const WorkerThread));
+    loop {
+        while let Some(job) = worker.find_work() {
+            // SAFETY: exactly-once hand-off per the deque/injector
+            // protocols; job closures are caught by StackJob::execute_from,
+            // so no unwind crosses this frame.
+            unsafe { job.execute() };
+        }
+        if worker.registry.terminate.load(Ordering::Acquire) {
+            break;
+        }
+        worker.registry.park(|| false);
+    }
+    WORKER.with(|w| w.set(ptr::null()));
+}

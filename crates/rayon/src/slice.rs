@@ -1,8 +1,8 @@
 //! Slice extension traits: `par_chunks`, `par_chunks_mut`, and
 //! `par_sort_unstable_by_key` (a depth-limited parallel merge sort).
 
+use crate::current_num_threads;
 use crate::iter::{Chunks, ChunksMut};
-use crate::spawn_budget;
 use std::marker::PhantomData;
 use std::mem::MaybeUninit;
 
@@ -29,8 +29,8 @@ pub trait ParallelSliceMut<T: Send> {
 
     /// Sort the slice (not preserving equal-element order) by a key
     /// function, in parallel. Implemented as merge sort with a scratch
-    /// buffer; recursion forks via [`crate::join`], so parallelism is
-    /// bounded by the current pool's spawn budget.
+    /// buffer; recursion forks via [`crate::join`], with the fork depth
+    /// sized to the current pool so work stealing can balance the halves.
     fn par_sort_unstable_by_key<K, F>(&mut self, f: F)
     where
         K: Ord,
@@ -54,14 +54,17 @@ impl<T: Send> ParallelSliceMut<T> for [T] {
         F: Fn(&T) -> K + Sync,
     {
         let n = self.len();
-        if n < SORT_SEQ_CUTOFF || spawn_budget() <= 1 {
+        let threads = if cfg!(miri) { 1 } else { current_num_threads() };
+        if n < SORT_SEQ_CUTOFF || threads <= 1 {
             self.sort_unstable_by_key(|x| f(x));
             return;
         }
         let mut scratch: Vec<MaybeUninit<T>> = Vec::with_capacity(n);
         // SAFETY: MaybeUninit<T> needs no initialization.
         unsafe { scratch.set_len(n) };
-        let depth = usize::BITS - spawn_budget().leading_zeros() + 1;
+        // log2(threads) levels saturate the pool; +2 oversplits so work
+        // stealing can rebalance uneven halves.
+        let depth = usize::BITS - threads.leading_zeros() + 2;
         sort_rec(self, &mut scratch, &f, depth);
     }
 }

@@ -1,0 +1,287 @@
+//! Exhaustive race model of the Chase–Lev work-stealing deque protocol.
+//!
+//! The scheduler's correctness rests on one concurrency claim the
+//! differential tests can only sample: **every job pushed into a deque is
+//! executed exactly once**, even when the owner's `pop` and a thief's
+//! `steal` race for the last element. The claim protocol (`src/deque.rs`)
+//! resolves that race with a CAS on `top`, fenced Dekker-style against the
+//! owner's `bottom` decrement.
+//!
+//! These tests re-state the deque over `loom` atomics (the in-tree shim,
+//! `crates/loom`) and run the contended window — owner publish/pop vs.
+//! thief steal — under **every** interleaving of 2 threads. The model
+//! bodies mirror `src/deque.rs` line-for-line (same loads, same fences,
+//! same CAS, same bottom restores) so a protocol-level regression there has
+//! to break the model too. Jobs are plain ids; a std-atomic claim counter
+//! per id plays the role of "executed" (instrumentation, not protocol — no
+//! schedule points).
+//!
+//! The final test injects the classic broken steal — claiming `top` with a
+//! plain store instead of a CAS, i.e. skipping validation of the racy slot
+//! read — and asserts the explorer *catches* the resulting duplicate
+//! execution. A harness that cannot see that would make the green models
+//! above vacuous (the PR 5 negative-test pattern, `semisort`'s
+//! `race_model.rs`).
+//!
+//! Not run under Miri: the explorer spawns thousands of real scheduled
+//! threads, which Miri executes orders of magnitude too slowly; Miri
+//! covers the scheduler's sequential collapse in `miri_suite.rs`.
+
+#![cfg(not(miri))]
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicUsize, Ordering as StdOrdering};
+
+use loom::sync::atomic::{fence, AtomicIsize, AtomicU64, Ordering};
+use loom::sync::Arc;
+use loom::thread;
+
+/// Model ring size (production: 1024; the protocol is capacity-blind, the
+/// models never hold more than 2 elements).
+const CAP: usize = 4;
+
+/// Model mirror of `deque::Deque`: `top`/`bottom` logical indices over a
+/// small ring of job-id slots.
+struct ModelDeque {
+    top: AtomicIsize,
+    bottom: AtomicIsize,
+    slots: Vec<AtomicU64>,
+}
+
+/// Outcome of a model steal attempt, mirroring `deque::Steal`.
+enum Steal {
+    Empty,
+    Retry,
+    Success(u64),
+}
+
+impl ModelDeque {
+    fn new() -> Self {
+        ModelDeque {
+            top: AtomicIsize::new(0),
+            bottom: AtomicIsize::new(0),
+            slots: (0..CAP).map(|_| AtomicU64::new(0)).collect(),
+        }
+    }
+
+    fn slot(&self, index: isize) -> &AtomicU64 {
+        &self.slots[(index as usize) & (CAP - 1)]
+    }
+
+    /// Mirror of `Deque::push` (owner only). The models never fill the
+    /// ring, so the full-check is an assert rather than an `Err` path.
+    fn push(&self, job: u64) {
+        let b = self.bottom.load(Ordering::Relaxed);
+        let t = self.top.load(Ordering::Acquire);
+        assert!(b - t < CAP as isize, "model deque overfilled");
+        self.slot(b).store(job, Ordering::Relaxed);
+        self.bottom.store(b + 1, Ordering::Release);
+    }
+
+    /// Mirror of `Deque::pop` (owner only): decrement `bottom`, fence,
+    /// read `top`, CAS-claim when exactly one element remains.
+    fn pop(&self) -> Option<u64> {
+        let b = self.bottom.load(Ordering::Relaxed) - 1;
+        self.bottom.store(b, Ordering::Relaxed);
+        fence(Ordering::SeqCst);
+        let t = self.top.load(Ordering::Relaxed);
+        if t > b {
+            self.bottom.store(b + 1, Ordering::Relaxed);
+            return None;
+        }
+        let job = self.slot(b).load(Ordering::Relaxed);
+        if t == b {
+            let won = self
+                .top
+                .compare_exchange(t, t + 1, Ordering::SeqCst, Ordering::Relaxed)
+                .is_ok();
+            self.bottom.store(b + 1, Ordering::Relaxed);
+            if !won {
+                return None;
+            }
+        }
+        Some(job)
+    }
+
+    /// Mirror of `Deque::steal` (any thread): read `top`, fence, read
+    /// `bottom`, racy slot read validated by the CAS on `top`.
+    fn steal(&self) -> Steal {
+        let t = self.top.load(Ordering::Acquire);
+        fence(Ordering::SeqCst);
+        let b = self.bottom.load(Ordering::Acquire);
+        if t >= b {
+            return Steal::Empty;
+        }
+        let job = self.slot(t).load(Ordering::Relaxed);
+        if self
+            .top
+            .compare_exchange(t, t + 1, Ordering::SeqCst, Ordering::Relaxed)
+            .is_err()
+        {
+            return Steal::Retry;
+        }
+        Steal::Success(job)
+    }
+
+    /// BROKEN steal for the negative test: the racy slot read is never
+    /// validated — `top` is claimed with a plain store, so a thief racing
+    /// the owner's last-element pop can both "win".
+    fn steal_broken(&self) -> Steal {
+        let t = self.top.load(Ordering::Acquire);
+        fence(Ordering::SeqCst);
+        let b = self.bottom.load(Ordering::Acquire);
+        if t >= b {
+            return Steal::Empty;
+        }
+        let job = self.slot(t).load(Ordering::Relaxed);
+        self.top.store(t + 1, Ordering::SeqCst);
+        Steal::Success(job)
+    }
+}
+
+/// Claim job `id` (ids are 1-based; index 0 of `claims` is unused).
+fn claim(claims: &[AtomicUsize], id: u64) {
+    claims[id as usize].fetch_add(1, StdOrdering::Relaxed);
+}
+
+/// After every model thread joined: each pushed job claimed exactly once —
+/// never duplicated (two executors) and never lost (dropped job).
+fn assert_exactly_once(claims: &[AtomicUsize], jobs: u64) {
+    for id in 1..=jobs {
+        let n = claims[id as usize].load(StdOrdering::Relaxed);
+        assert_eq!(n, 1, "job {id} executed {n} times (must be exactly 1)");
+    }
+}
+
+/// Steal in a loop until the attempt resolves (`Retry` means the CAS lost a
+/// race that is guaranteed to have advanced `top`, so the loop terminates).
+fn steal_resolved(deque: &ModelDeque, claims: &[AtomicUsize]) {
+    loop {
+        match deque.steal() {
+            Steal::Success(job) => {
+                claim(claims, job);
+                return;
+            }
+            Steal::Empty => return,
+            Steal::Retry => {}
+        }
+    }
+}
+
+#[test]
+fn last_element_pop_vs_steal_is_exactly_once() {
+    // The headline race: one element, the owner publishing it (push) and
+    // immediately popping while a thief steals. Every interleaving of the
+    // push's Release store, the pop's bottom decrement + CAS, and the
+    // steal's fenced reads + CAS must hand job 1 to exactly one of them —
+    // including the windows where the thief reads `bottom` before the push
+    // publishes (Empty), and where both reach the CAS on `top` (one loses).
+    loom::model(|| {
+        let deque = Arc::new(ModelDeque::new());
+        let claims: Arc<Vec<AtomicUsize>> = Arc::new((0..2).map(|_| AtomicUsize::new(0)).collect());
+
+        let owner = {
+            let deque = deque.clone();
+            let claims = claims.clone();
+            thread::spawn(move || {
+                deque.push(1);
+                if let Some(job) = deque.pop() {
+                    claim(&claims, job);
+                }
+            })
+        };
+        let thief = {
+            let deque = deque.clone();
+            let claims = claims.clone();
+            thread::spawn(move || {
+                // Two resolved attempts: the first may see Empty purely
+                // because it ran before the push published.
+                steal_resolved(&deque, &claims);
+                steal_resolved(&deque, &claims);
+            })
+        };
+        owner.join().unwrap();
+        thief.join().unwrap();
+        assert_exactly_once(&claims, 1);
+    });
+}
+
+#[test]
+fn two_element_drain_loses_and_duplicates_nothing() {
+    // Two elements pre-published (sequential prelude), then the owner
+    // drains bottom-up while a thief takes from the top. The owner's first
+    // pop targets job 2 uncontended; the *second* pop and the thief then
+    // race for job 1 through the CAS. No schedule may lose or duplicate
+    // either job, and the owner's `bottom` restores must leave the deque
+    // consistent for its own next pop.
+    loom::model(|| {
+        let deque = Arc::new(ModelDeque::new());
+        let claims: Arc<Vec<AtomicUsize>> = Arc::new((0..3).map(|_| AtomicUsize::new(0)).collect());
+        deque.push(1);
+        deque.push(2);
+
+        let owner = {
+            let deque = deque.clone();
+            let claims = claims.clone();
+            thread::spawn(move || {
+                for _ in 0..2 {
+                    if let Some(job) = deque.pop() {
+                        claim(&claims, job);
+                    }
+                }
+            })
+        };
+        let thief = {
+            let deque = deque.clone();
+            let claims = claims.clone();
+            thread::spawn(move || steal_resolved(&deque, &claims))
+        };
+        owner.join().unwrap();
+        thief.join().unwrap();
+        assert_exactly_once(&claims, 2);
+    });
+}
+
+#[test]
+fn unvalidated_steal_is_caught() {
+    // Broken-protocol injection: a thief that claims `top` with a plain
+    // store instead of the validating CAS. The explorer MUST find the
+    // schedule where the thief's stale reads overlap the owner's
+    // last-element pop and job 1 executes twice. If this test ever stops
+    // failing inside the model, the harness has lost its power to see
+    // deque races and the two green models above prove nothing.
+    let result = catch_unwind(AssertUnwindSafe(|| {
+        loom::model(|| {
+            let deque = Arc::new(ModelDeque::new());
+            let claims: Arc<Vec<AtomicUsize>> =
+                Arc::new((0..2).map(|_| AtomicUsize::new(0)).collect());
+            deque.push(1);
+
+            let owner = {
+                let deque = deque.clone();
+                let claims = claims.clone();
+                thread::spawn(move || {
+                    if let Some(job) = deque.pop() {
+                        claim(&claims, job);
+                    }
+                })
+            };
+            let thief = {
+                let deque = deque.clone();
+                let claims = claims.clone();
+                thread::spawn(move || {
+                    if let Steal::Success(job) = deque.steal_broken() {
+                        claim(&claims, job);
+                    }
+                })
+            };
+            owner.join().unwrap();
+            thief.join().unwrap();
+            assert_exactly_once(&claims, 1);
+        });
+    }));
+    assert!(
+        result.is_err(),
+        "the explorer failed to catch an injected unvalidated steal"
+    );
+}

@@ -117,7 +117,10 @@ pub fn blocked_scatter<V: Copy + Send + Sync>(
     debug_assert!(block.is_power_of_two());
     let num_buckets = plan.num_buckets();
     let workers = rayon::current_num_threads().max(1);
-    let chunk = records.len().div_ceil(workers).max(MIN_CHUNK);
+    // 2 chunks per worker (not 1): tasks are cheap deque entries under the
+    // work-stealing pool, and the slack lets a thief rebalance when one
+    // chunk's bucket mix flushes slower than the others'.
+    let chunk = records.len().div_ceil(workers * 2).max(MIN_CHUNK);
     let num_chunks = records.len().div_ceil(chunk);
     scratch.prepare(num_buckets, num_chunks);
     let cursors: &[AtomicUsize] = &scratch.cursors[..num_buckets];

@@ -326,6 +326,30 @@ fn alloc_failure_surfaces_as_error_when_asked() {
     );
 }
 
+// ---------------------------------------------------------------------------
+// Scheduler collapse: the work-stealing pool's cfg(miri) path.
+// ---------------------------------------------------------------------------
+
+#[test]
+fn pool_collapses_to_sequential_join_under_miri() {
+    // Under Miri the rayon shim spawns no worker threads: `install` pins
+    // the reported pool size through a thread-local and `join` runs
+    // a-then-b inline on the calling thread. This drives a full semisort
+    // *plus* nested joins through that collapsed path with
+    // `current_num_threads() == 4`, so the chunk arithmetic matches a real
+    // 4-thread run while Miri replays the pointer patterns sequentially.
+    let n = if cfg!(miri) { 1_200 } else { 24_000 };
+    let recs = mixed_records(n);
+    let (out, nested) = parlay::with_threads(4, || {
+        rayon::join(
+            || semisort::semisort_pairs(&recs, &small_cfg()),
+            || rayon::join(rayon::current_num_threads, || 7u64),
+        )
+    });
+    check(&out, &recs);
+    assert_eq!(nested, (4, 7));
+}
+
 #[test]
 fn arena_budget_exceeded_degrades() {
     let recs = mixed_records(N);

@@ -42,8 +42,11 @@ pub const UNSAFE_ALLOWLIST: &[&str] = &[
     "crates/parlay/src/pack.rs",
     "crates/parlay/src/rr_sort.rs",
     "crates/parlay/src/shared.rs",
+    "crates/rayon/src/deque.rs",
     "crates/rayon/src/iter.rs",
+    "crates/rayon/src/job.rs",
     "crates/rayon/src/lib.rs",
+    "crates/rayon/src/registry.rs",
     "crates/rayon/src/slice.rs",
     "crates/semisort/src/blocked_scatter.rs",
     "crates/semisort/src/local_sort.rs",
