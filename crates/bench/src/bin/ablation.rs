@@ -103,10 +103,12 @@ fn reuse_arm(args: &Args) {
     // The trajectory line records the warm engine's final call: its
     // scratch counters are the reuse evidence this arm archives.
     let engine_stats = engine.last_stats().clone();
+    let eff = with_threads(threads, bench::trajectory::effective_threads);
     bench::trajectory::emit(
         args,
         "ablation-reuse",
         threads,
+        eff,
         wall_engine_steady / steady,
         &engine_stats,
     );
@@ -132,11 +134,12 @@ fn main() {
         let base_cfg = SemisortConfig::default()
             .with_seed(args.seed)
             .with_telemetry(args.telemetry);
-        let (base_stats, base) = with_threads(threads, || {
-            time_best_of(args.reps, || semisort_with_stats(&records, &base_cfg).1)
+        let ((base_stats, base), eff) = with_threads(threads, || {
+            let timed = time_best_of(args.reps, || semisort_with_stats(&records, &base_cfg).1);
+            (timed, bench::trajectory::effective_threads())
         });
         let base_s = base.as_secs_f64();
-        bench::trajectory::emit(&args, "ablation", threads, base_s, &base_stats);
+        bench::trajectory::emit(&args, "ablation", threads, eff, base_s, &base_stats);
 
         let mut table = Table::new(["variant", "time (s)", "vs default", "slots/n"]);
         let mut run = |name: &str, cfg: SemisortConfig| {

@@ -105,8 +105,9 @@ fn main() {
     let cfg = semisort::SemisortConfig::default()
         .with_seed(args.seed)
         .with_telemetry(args.telemetry);
-    let (stats, dt) = with_threads(threads, || {
-        time_best_of(args.reps, || semisort::semisort_with_stats(&pairs, &cfg).1)
+    let ((stats, dt), eff) = with_threads(threads, || {
+        let timed = time_best_of(args.reps, || semisort::semisort_with_stats(&pairs, &cfg).1);
+        (timed, bench::trajectory::effective_threads())
     });
-    bench::trajectory::emit(&args, "pbbs_suite", threads, dt.as_secs_f64(), &stats);
+    bench::trajectory::emit(&args, "pbbs_suite", threads, eff, dt.as_secs_f64(), &stats);
 }

@@ -40,14 +40,16 @@ fn main() {
         let (seq_stats, _) = with_threads(1, || {
             time_best_of(args.reps, || semisort_with_stats(&records, &cfg).1)
         });
-        let (par_stats, par_t) = with_threads(par_threads, || {
-            time_best_of(args.reps, || semisort_with_stats(&records, &cfg).1)
+        let ((par_stats, par_t), par_eff) = with_threads(par_threads, || {
+            let timed = time_best_of(args.reps, || semisort_with_stats(&records, &cfg).1);
+            (timed, bench::trajectory::effective_threads())
         });
         print_breakdown(&seq_stats, &par_stats, par_threads);
         bench::trajectory::emit(
             &args,
             "table2_3",
             par_threads,
+            par_eff,
             par_t.as_secs_f64(),
             &par_stats,
         );

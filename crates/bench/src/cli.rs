@@ -10,7 +10,7 @@
 //! - `--sizes <list>` — comma-separated input sizes for size-sweep
 //!   binaries.
 //! - `--quick` — shrink everything for a fast smoke run.
-//! - `--stats-json <path>` — write the last run's `semisort-stats-v1`
+//! - `--stats-json <path>` — write the last run's `semisort-stats-v2`
 //!   JSON object to `path` (see `semisort::stats` for the schema).
 //! - `--trajectory <path>` — where to append one JSONL run record per
 //!   measured run (default `BENCH_semisort.json`; `none` disables).

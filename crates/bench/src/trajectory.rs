@@ -3,14 +3,22 @@
 //! Every benchmark binary (and `semisort-cli bench`) appends one JSON
 //! object per run — JSON Lines, one run per line — so the repo accumulates
 //! a machine-readable performance trajectory across commits. Each line
-//! wraps a `semisort-stats-v1` object (see `semisort::stats`) in a run
+//! wraps a `semisort-stats-v2` object (see `semisort::stats`) in a run
 //! record:
 //!
 //! ```json
 //! {"schema": "semisort-bench-v1", "ts_unix": 1754300000,
 //!  "git": "4538b58", "bin": "ablation", "threads": 8,
-//!  "wall_s": 0.123, "stats": { ... semisort-stats-v1 ... }}
+//!  "threads_effective": 8, "wall_s": 0.123,
+//!  "stats": { ... semisort-stats-v2 ... }}
 //! ```
+//!
+//! `threads` echoes the `--threads` flag (or the machine default);
+//! `threads_effective` is what the scheduler registry actually reported
+//! *inside* the run — capture it with [`effective_threads`] from within
+//! the `with_threads` closure. The two differ when a pool clamps, when
+//! the inline (single-thread) executor is installed, or when a flag typo
+//! never reached the pool; recording both makes that visible per entry.
 //!
 //! The default path is `BENCH_semisort.json` in the current directory;
 //! `--trajectory <path>` overrides it and `--trajectory none` disables
@@ -48,14 +56,33 @@ pub fn unix_ts() -> u64 {
         .unwrap_or(0)
 }
 
+/// Worker count the scheduler registry reports for the current context.
+/// Call this *inside* the benchmark's `with_threads` closure so it sees
+/// the pool the run actually executed on, not the process default.
+pub fn effective_threads() -> usize {
+    rayon::current_num_threads()
+}
+
 /// Wrap one run's stats JSON in a `semisort-bench-v1` run record.
-pub fn run_record(bin: &str, threads: usize, wall_s: f64, stats: Json) -> Json {
+/// `threads` is the requested count (flag echo); `threads_effective` is
+/// the registry-reported count from inside the run.
+pub fn run_record(
+    bin: &str,
+    threads: usize,
+    threads_effective: usize,
+    wall_s: f64,
+    stats: Json,
+) -> Json {
     Json::Obj(vec![
         ("schema".into(), Json::str("semisort-bench-v1")),
         ("ts_unix".into(), Json::num(unix_ts())),
         ("git".into(), Json::str(git_describe())),
         ("bin".into(), Json::str(bin)),
         ("threads".into(), Json::num(threads as u64)),
+        (
+            "threads_effective".into(),
+            Json::num(threads_effective as u64),
+        ),
         ("wall_s".into(), Json::Num(wall_s)),
         ("stats".into(), stats),
     ])
@@ -82,11 +109,14 @@ pub fn append_line(path: &str, record: &Json) {
 
 /// Shared tail of every harness binary: write `--stats-json` (when
 /// requested) and append one trajectory run record. The stats file holds
-/// the bare `semisort-stats-v1` object; the trajectory line wraps it.
+/// the bare `semisort-stats-v2` object; the trajectory line wraps it.
+/// `threads_effective` should come from [`effective_threads`] called
+/// inside the run closure.
 pub fn emit(
     args: &crate::Args,
     bin: &str,
     threads: usize,
+    threads_effective: usize,
     wall_s: f64,
     stats: &semisort::SemisortStats,
 ) {
@@ -96,7 +126,10 @@ pub fn emit(
             eprintln!("stats-json: cannot write {path}: {e}");
         }
     }
-    append_line(&args.trajectory, &run_record(bin, threads, wall_s, json));
+    append_line(
+        &args.trajectory,
+        &run_record(bin, threads, threads_effective, wall_s, json),
+    );
 }
 
 #[cfg(test)]
@@ -106,13 +139,14 @@ mod tests {
     #[test]
     fn run_record_has_all_members() {
         let stats = Json::Obj(vec![("n".into(), Json::num(5))]);
-        let r = run_record("testbin", 4, 1.5, stats);
+        let r = run_record("testbin", 4, 3, 1.5, stats);
         assert_eq!(
             r.get("schema").and_then(Json::as_str),
             Some("semisort-bench-v1")
         );
         assert_eq!(r.get("bin").and_then(Json::as_str), Some("testbin"));
         assert_eq!(r.get("threads").and_then(Json::as_u64), Some(4));
+        assert_eq!(r.get("threads_effective").and_then(Json::as_u64), Some(3));
         assert_eq!(r.get("wall_s").and_then(Json::as_f64), Some(1.5));
         assert_eq!(
             r.get("stats")
@@ -125,7 +159,7 @@ mod tests {
 
     #[test]
     fn records_round_trip_as_jsonl() {
-        let r = run_record("b", 1, 0.25, Json::Obj(vec![]));
+        let r = run_record("b", 1, 1, 0.25, Json::Obj(vec![]));
         let line = r.to_string();
         assert!(!line.contains('\n'));
         let back = Json::parse(&line).expect("parse back");
@@ -144,8 +178,8 @@ mod tests {
         std::fs::create_dir_all(&dir).unwrap();
         let path = dir.join("t.json");
         let p = path.to_str().unwrap();
-        append_line(p, &run_record("a", 1, 0.1, Json::Obj(vec![])));
-        append_line(p, &run_record("b", 2, 0.2, Json::Obj(vec![])));
+        append_line(p, &run_record("a", 1, 1, 0.1, Json::Obj(vec![])));
+        append_line(p, &run_record("b", 2, 2, 0.2, Json::Obj(vec![])));
         let text = std::fs::read_to_string(&path).unwrap();
         let lines: Vec<&str> = text.lines().collect();
         assert_eq!(lines.len(), 2);

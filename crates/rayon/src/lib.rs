@@ -51,6 +51,7 @@ pub(crate) mod registry;
 pub mod iter;
 pub mod prelude;
 pub mod slice;
+pub mod trace;
 
 use std::cell::Cell;
 use std::ops::Range;
@@ -109,6 +110,36 @@ pub fn current_num_threads() -> usize {
     }
 }
 
+/// The calling thread's worker index within its pool, or `None` when the
+/// caller is not a pool worker (external threads, inline installs, Miri).
+pub fn current_worker_index() -> Option<usize> {
+    if cfg!(miri) {
+        return None;
+    }
+    WorkerThread::current().map(WorkerThread::index)
+}
+
+/// Snapshot the scheduler activity of the current pool: the pool whose
+/// worker is running the calling thread, else the global registry. Returns
+/// `None` when no pool with real workers applies (Miri, inline installs
+/// with the global registry never started).
+///
+/// Numbers are cumulative since the registry started; diff two snapshots
+/// with [`trace::SchedulerStats::delta`] for per-run figures. Consistent
+/// when the pool is quiescent (e.g. after the `join`s of interest
+/// completed); always memory-safe.
+pub fn scheduler_stats() -> Option<trace::SchedulerStats> {
+    if cfg!(miri) {
+        return None;
+    }
+    if let Some(worker) = WorkerThread::current() {
+        return Some(worker.registry.scheduler_stats());
+    }
+    // Outside any pool: report on the global registry, creating it — an
+    // observer asking for scheduler stats is about to run work on it.
+    Some(global_registry().scheduler_stats())
+}
+
 /// Run two closures, potentially in parallel, and return both results.
 /// Panics in either closure propagate to the caller (first `a`'s, then
 /// `b`'s, matching the order rayon documents).
@@ -153,6 +184,7 @@ where
     if let Err(_returned) = worker.push(job_ref) {
         // Deque full (join nest deeper than the ring): degrade to inline
         // sequential execution, the bounded-memory escape hatch.
+        worker.trace().on_inline_degrade(worker.index());
         // SAFETY: the ref never entered the deque; nobody else can run it.
         let b = unsafe { job_b.take_func() };
         let ra = a();
@@ -376,6 +408,12 @@ impl ThreadPool {
     /// The pool's thread count.
     pub fn current_num_threads(&self) -> usize {
         self.num_threads
+    }
+
+    /// Snapshot this pool's scheduler activity (`None` for the inline
+    /// flavors, which have no workers to trace). See [`scheduler_stats`].
+    pub fn scheduler_stats(&self) -> Option<trace::SchedulerStats> {
+        self.registry.as_ref().map(|r| r.scheduler_stats())
     }
 }
 

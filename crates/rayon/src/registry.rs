@@ -44,6 +44,7 @@ use std::time::Duration;
 
 use crate::deque::{Deque, Steal};
 use crate::job::{JobRef, LockLatch, SpinLatch, StackJob};
+use crate::trace::{self, RegistryTrace, SchedulerStats, WorkerTrace};
 
 /// How many consecutive empty work hunts a waiting worker spins through
 /// (with `yield_now`) before parking on the condvar.
@@ -63,6 +64,10 @@ struct Sleep {
 /// A persistent work-stealing thread pool.
 pub(crate) struct Registry {
     deques: Vec<Deque>,
+    /// Per-worker trace cells, parallel to `deques` (single-writer: only
+    /// worker `i` writes `traces[i]`; see [`crate::trace`]).
+    traces: Vec<WorkerTrace>,
+    trace: RegistryTrace,
     injector: Mutex<VecDeque<JobRef>>,
     /// Lock-free emptiness probe for the injector (workers check it on
     /// every hunt; taking the mutex each time would serialize the pool).
@@ -78,6 +83,10 @@ impl Registry {
         let num_threads = num_threads.max(1);
         let registry = Arc::new(Registry {
             deques: (0..num_threads).map(|_| Deque::new()).collect(),
+            traces: (0..num_threads)
+                .map(|_| WorkerTrace::new(num_threads))
+                .collect(),
+            trace: RegistryTrace::default(),
             injector: Mutex::new(VecDeque::new()),
             injector_len: AtomicUsize::new(0),
             sleep: Sleep {
@@ -112,8 +121,26 @@ impl Registry {
         self.deques.len()
     }
 
+    /// Snapshot the cumulative scheduler activity of this registry. Safe
+    /// to call from any thread at any time; numbers are consistent when
+    /// the pool is quiescent (see [`crate::trace`] for the drain
+    /// protocol).
+    pub(crate) fn scheduler_stats(&self) -> SchedulerStats {
+        SchedulerStats {
+            num_threads: self.num_threads(),
+            injector_submissions: self.trace.injector_submissions.load(Ordering::Relaxed),
+            workers: self
+                .traces
+                .iter()
+                .enumerate()
+                .map(|(i, t)| t.snapshot(i))
+                .collect(),
+        }
+    }
+
     /// Submit a job from outside the pool.
     pub(crate) fn inject(&self, job: JobRef) {
+        self.trace.on_inject();
         {
             let mut q = self.injector.lock().unwrap_or_else(PoisonError::into_inner);
             q.push_back(job);
@@ -154,10 +181,11 @@ impl Registry {
             || self.deques.iter().any(Deque::looks_nonempty)
     }
 
-    /// Park the calling worker until `wake` turns true, work appears, or
-    /// the timeout elapses. `wake` is re-evaluated under the sleep lock
-    /// before actually waiting, closing the publish/park race.
-    fn park(&self, wake: impl Fn() -> bool) {
+    /// Park the calling worker (identified by `index`) until `wake` turns
+    /// true, work appears, or the timeout elapses. `wake` is re-evaluated
+    /// under the sleep lock before actually waiting, closing the
+    /// publish/park race.
+    fn park(&self, index: usize, wake: impl Fn() -> bool) {
         self.sleep.sleepers.fetch_add(1, Ordering::SeqCst);
         let guard = self
             .sleep
@@ -165,11 +193,16 @@ impl Registry {
             .lock()
             .unwrap_or_else(PoisonError::into_inner);
         if !wake() && !self.has_visible_work() && !self.terminate.load(Ordering::Acquire) {
+            // Cold path by construction (the worker found no work for
+            // SPINS_BEFORE_PARK hunts), so clock reads are affordable.
+            let start_us = trace::epoch_micros();
             let _ = self
                 .sleep
                 .cv
                 .wait_timeout(guard, PARK_TIMEOUT)
                 .unwrap_or_else(PoisonError::into_inner);
+            let dur_us = trace::epoch_micros().saturating_sub(start_us);
+            self.traces[index].on_park(start_us, dur_us);
         }
         self.sleep.sleepers.fetch_sub(1, Ordering::SeqCst);
     }
@@ -250,12 +283,23 @@ impl WorkerThread {
         &self.registry.deques[self.index]
     }
 
+    /// This worker's trace cells (single-writer: only this thread).
+    pub(crate) fn trace(&self) -> &WorkerTrace {
+        &self.registry.traces[self.index]
+    }
+
+    /// This worker's index within its registry.
+    pub(crate) fn index(&self) -> usize {
+        self.index
+    }
+
     /// Push a job onto this worker's own deque (wakes a thief if any are
     /// parked). `Err(job)` when the deque is full.
     pub(crate) fn push(&self, job: JobRef) -> Result<(), JobRef> {
         // SAFETY: `self` is the calling thread's own worker identity
         // (`WorkerThread::current`), so this thread owns the deque.
         unsafe { self.deque().push(job) }?;
+        self.trace().on_push();
         self.registry.notify_all();
         Ok(())
     }
@@ -263,14 +307,22 @@ impl WorkerThread {
     /// Pop from this worker's own deque.
     pub(crate) fn pop(&self) -> Option<JobRef> {
         // SAFETY: as in `push` — the calling thread owns this deque.
-        unsafe { self.deque().pop() }
+        let job = unsafe { self.deque().pop() };
+        if job.is_some() {
+            self.trace().on_pop();
+        }
+        job
     }
 
     /// Hunt for a job: own deque, then steal, then the injector.
     pub(crate) fn find_work(&self) -> Option<JobRef> {
-        self.pop()
-            .or_else(|| self.steal())
-            .or_else(|| self.registry.pop_injected())
+        self.pop().or_else(|| self.steal()).or_else(|| {
+            let job = self.registry.pop_injected();
+            if job.is_some() {
+                self.trace().on_injector_pop();
+            }
+            job
+        })
     }
 
     /// One sweep over the other workers' deques in rotated order,
@@ -294,9 +346,16 @@ impl WorkerThread {
                 if victim == self.index {
                     continue;
                 }
+                self.trace().on_steal_attempt();
                 match self.registry.deques[victim].steal() {
-                    Steal::Success(job) => return Some(job),
-                    Steal::Retry => saw_retry = true,
+                    Steal::Success(job) => {
+                        self.trace().on_steal_success(victim);
+                        return Some(job);
+                    }
+                    Steal::Retry => {
+                        self.trace().on_steal_retry();
+                        saw_retry = true;
+                    }
                     Steal::Empty => {}
                 }
             }
@@ -316,13 +375,14 @@ impl WorkerThread {
                 // SAFETY: the job came out of a deque or the injector,
                 // each of which hands a ref to exactly one taker.
                 unsafe { job.execute() };
+                self.trace().on_job_executed();
                 idle = 0;
             } else {
                 idle += 1;
                 if idle < SPINS_BEFORE_PARK {
                     std::thread::yield_now();
                 } else {
-                    self.registry.park(|| latch.probe());
+                    self.registry.park(self.index, || latch.probe());
                     idle = 0;
                 }
             }
@@ -346,11 +406,12 @@ fn main_loop(registry: Arc<Registry>, index: usize) {
             // protocols; job closures are caught by StackJob::execute_from,
             // so no unwind crosses this frame.
             unsafe { job.execute() };
+            worker.trace().on_job_executed();
         }
         if worker.registry.terminate.load(Ordering::Acquire) {
             break;
         }
-        worker.registry.park(|| false);
+        worker.registry.park(index, || false);
     }
     WORKER.with(|w| w.set(ptr::null()));
 }

@@ -1,0 +1,608 @@
+//! Scheduler tracing: per-worker event rings and counter cells, snapshot
+//! as [`SchedulerStats`].
+//!
+//! PR 6 made the scheduler real (persistent workers, Chase–Lev deques,
+//! park/unpark); this module makes it *observable*. Until now a flat
+//! scaling curve could not be diagnosed: was the pool stealing? parking?
+//! degrading joins to inline execution? Nothing recorded any of it.
+//!
+//! # Design: single-writer cells, no locks on the hot path
+//!
+//! Each worker owns one `WorkerTrace`: a block of `AtomicU64` counters
+//! plus a fixed-capacity event ring. Every field has exactly one writer —
+//! the owning worker — so increments compile to a relaxed load + relaxed
+//! store (plain add on x86/ARM, no `lock` prefix, no contention), and the
+//! hot `join` path (push/pop) pays two such increments on top of the
+//! fences it already executes. Readers (the registry's
+//! `scheduler_stats` snapshot path) use relaxed loads from any
+//! thread; counters are monotone, so a racy read is merely slightly stale,
+//! never torn and never unsound.
+//!
+//! The event ring records the *cold* transitions — parks (with duration),
+//! steal successes (with victim), overflow-inline degrades — as packed
+//! two-word entries in a power-of-two ring of atomics. The writer bumps a
+//! monotone cursor with a Release store after filling the slot; a drain
+//! reads the cursor with Acquire and walks backwards. Ring capture is
+//! gated by a process-wide flag ([`set_events_enabled`], or the
+//! `RAYON_TRACE` environment variable read once) so the default-off cost
+//! is one relaxed bool load per cold event. When the ring wraps, the
+//! oldest events are overwritten and the loss is visible as
+//! `events_total - events.len()`.
+//!
+//! # Drain protocol
+//!
+//! The intended reader is a *quiesced* pool: the driver snapshots after
+//! its parallel phase joins, so every worker's writes to its own cells
+//! happen-before the join's latch synchronization and the snapshot sees a
+//! consistent picture. Snapshotting a *busy* pool is still memory-safe
+//! (everything is an atomic) — the numbers are just mid-flight.
+//!
+//! Counters are cumulative over the registry's lifetime; per-run figures
+//! come from [`SchedulerStats::delta`] over a before/after snapshot pair.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::OnceLock;
+use std::time::Instant;
+
+/// Events each worker's ring can hold before the oldest are overwritten.
+/// 1024 two-word entries = 16 KiB per worker — parks and steals arrive at
+/// park-timeout granularity (hundreds of µs), so this covers minutes of
+/// the busiest realistic schedule.
+pub const RING_CAPACITY: usize = 1024;
+
+/// Process-wide gate for event-ring capture (counters are always on).
+static EVENTS_ENABLED: OnceLock<AtomicBool> = OnceLock::new();
+
+fn events_flag() -> &'static AtomicBool {
+    EVENTS_ENABLED.get_or_init(|| {
+        AtomicBool::new(matches!(
+            std::env::var("RAYON_TRACE").as_deref(),
+            Ok(v) if !v.is_empty() && v != "0"
+        ))
+    })
+}
+
+/// Whether event-ring capture is currently on (see [`set_events_enabled`]).
+#[inline]
+pub fn events_enabled() -> bool {
+    events_flag().load(Ordering::Relaxed)
+}
+
+/// Turn event-ring capture on or off process-wide. Counters are unaffected
+/// (always collected). Defaults to the `RAYON_TRACE` environment variable
+/// (`RAYON_TRACE=1`), read once at first use.
+pub fn set_events_enabled(enabled: bool) {
+    events_flag().store(enabled, Ordering::Relaxed);
+}
+
+/// Microseconds since the process-wide trace epoch (the first call to this
+/// function). One monotonic base for every timestamp the workspace emits —
+/// scheduler events here, phase spans in `semisort::obs` — so lines from
+/// different sources order into a single timeline.
+pub fn epoch_micros() -> u64 {
+    static EPOCH: OnceLock<Instant> = OnceLock::new();
+    EPOCH.get_or_init(Instant::now).elapsed().as_micros() as u64
+}
+
+/// What a ring event records.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TraceEventKind {
+    /// The worker parked (condvar wait); `dur_us` is the time asleep.
+    Park,
+    /// The worker stole a job; `arg` is the victim's worker index.
+    StealSuccess,
+    /// A `join` push found the deque full and ran its task inline.
+    InlineDegrade,
+}
+
+impl TraceEventKind {
+    fn code(self) -> u64 {
+        match self {
+            TraceEventKind::Park => 1,
+            TraceEventKind::StealSuccess => 2,
+            TraceEventKind::InlineDegrade => 3,
+        }
+    }
+
+    fn from_code(code: u64) -> Option<Self> {
+        match code {
+            1 => Some(TraceEventKind::Park),
+            2 => Some(TraceEventKind::StealSuccess),
+            3 => Some(TraceEventKind::InlineDegrade),
+            _ => None,
+        }
+    }
+
+    /// Stable lowercase spelling (used by exporters).
+    pub fn as_str(self) -> &'static str {
+        match self {
+            TraceEventKind::Park => "park",
+            TraceEventKind::StealSuccess => "steal",
+            TraceEventKind::InlineDegrade => "inline-degrade",
+        }
+    }
+}
+
+/// One drained ring event.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct TraceEvent {
+    /// What happened.
+    pub kind: TraceEventKind,
+    /// Worker that recorded it (rings are single-writer).
+    pub worker: usize,
+    /// Start time, µs since [`epoch_micros`]'s epoch.
+    pub start_us: u64,
+    /// Duration in µs (0 for instantaneous events).
+    pub dur_us: u64,
+    /// Kind-specific argument (steal: victim index; otherwise 0).
+    pub arg: u64,
+}
+
+// Packing: word0 = kind(8 bits) | arg(16 bits) | start_us(40 bits),
+// word1 = dur_us. 40 bits of µs ≈ 12.7 days of process uptime; the ring
+// is diagnostics, not accounting, so saturation is acceptable.
+const START_BITS: u64 = 40;
+const ARG_BITS: u64 = 16;
+
+fn pack(kind: TraceEventKind, arg: u64, start_us: u64) -> u64 {
+    (kind.code() << (START_BITS + ARG_BITS))
+        | (arg.min((1 << ARG_BITS) - 1) << START_BITS)
+        | start_us.min((1 << START_BITS) - 1)
+}
+
+fn unpack(word0: u64, word1: u64, worker: usize) -> Option<TraceEvent> {
+    let kind = TraceEventKind::from_code(word0 >> (START_BITS + ARG_BITS))?;
+    Some(TraceEvent {
+        kind,
+        worker,
+        start_us: word0 & ((1 << START_BITS) - 1),
+        dur_us: word1,
+        arg: (word0 >> START_BITS) & ((1 << ARG_BITS) - 1),
+    })
+}
+
+/// A single-writer counter: relaxed load + relaxed store instead of a
+/// `fetch_add`, sound because exactly one thread (the owning worker) ever
+/// writes it. Readers see a monotone, possibly slightly stale value.
+#[derive(Default)]
+struct OwnerCounter(AtomicU64);
+
+impl OwnerCounter {
+    #[inline(always)]
+    fn add(&self, delta: u64) {
+        // Single writer: no RMW needed, a plain read-modify-write in two
+        // relaxed accesses cannot lose updates.
+        let v = self.0.load(Ordering::Relaxed);
+        self.0.store(v + delta, Ordering::Relaxed);
+    }
+
+    #[inline(always)]
+    fn inc(&self) {
+        self.add(1);
+    }
+
+    fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// Per-worker trace state: counters plus the event ring. Owned by the
+/// registry (one per deque), written only by the owning worker.
+pub(crate) struct WorkerTrace {
+    // Deque traffic.
+    pushes: OwnerCounter,
+    pops: OwnerCounter,
+    inline_degrades: OwnerCounter,
+    // Steal traffic (this worker acting as the thief).
+    steal_attempts: OwnerCounter,
+    steal_retries: OwnerCounter,
+    steals_from: Vec<OwnerCounter>,
+    // Idle protocol.
+    parks: OwnerCounter,
+    park_time_us: OwnerCounter,
+    // Work intake.
+    injector_pops: OwnerCounter,
+    jobs_executed: OwnerCounter,
+    // Event ring: RING_CAPACITY two-word slots + a monotone cursor.
+    ring: Box<[AtomicU64]>,
+    cursor: AtomicU64,
+}
+
+impl WorkerTrace {
+    pub(crate) fn new(num_threads: usize) -> Self {
+        WorkerTrace {
+            pushes: OwnerCounter::default(),
+            pops: OwnerCounter::default(),
+            inline_degrades: OwnerCounter::default(),
+            steal_attempts: OwnerCounter::default(),
+            steal_retries: OwnerCounter::default(),
+            steals_from: (0..num_threads).map(|_| OwnerCounter::default()).collect(),
+            parks: OwnerCounter::default(),
+            park_time_us: OwnerCounter::default(),
+            injector_pops: OwnerCounter::default(),
+            jobs_executed: OwnerCounter::default(),
+            ring: (0..RING_CAPACITY * 2)
+                .map(|_| AtomicU64::new(0))
+                .collect::<Vec<_>>()
+                .into_boxed_slice(),
+            cursor: AtomicU64::new(0),
+        }
+    }
+
+    #[inline(always)]
+    pub(crate) fn on_push(&self) {
+        self.pushes.inc();
+    }
+
+    #[inline(always)]
+    pub(crate) fn on_pop(&self) {
+        self.pops.inc();
+    }
+
+    pub(crate) fn on_inline_degrade(&self, worker: usize) {
+        self.inline_degrades.inc();
+        self.record(TraceEventKind::InlineDegrade, worker as u64, 0);
+    }
+
+    #[inline(always)]
+    pub(crate) fn on_steal_attempt(&self) {
+        self.steal_attempts.inc();
+    }
+
+    #[inline(always)]
+    pub(crate) fn on_steal_retry(&self) {
+        self.steal_retries.inc();
+    }
+
+    pub(crate) fn on_steal_success(&self, victim: usize) {
+        if let Some(c) = self.steals_from.get(victim) {
+            c.inc();
+        }
+        self.record(TraceEventKind::StealSuccess, victim as u64, 0);
+    }
+
+    pub(crate) fn on_park(&self, start_us: u64, dur_us: u64) {
+        self.parks.inc();
+        self.park_time_us.add(dur_us);
+        self.record_at(TraceEventKind::Park, 0, start_us, dur_us);
+    }
+
+    #[inline(always)]
+    pub(crate) fn on_injector_pop(&self) {
+        self.injector_pops.inc();
+    }
+
+    #[inline(always)]
+    pub(crate) fn on_job_executed(&self) {
+        self.jobs_executed.inc();
+    }
+
+    fn record(&self, kind: TraceEventKind, arg: u64, dur_us: u64) {
+        if events_enabled() {
+            self.record_at(kind, arg, epoch_micros(), dur_us);
+        }
+    }
+
+    fn record_at(&self, kind: TraceEventKind, arg: u64, start_us: u64, dur_us: u64) {
+        if !events_enabled() {
+            return;
+        }
+        let i = self.cursor.load(Ordering::Relaxed);
+        let slot = ((i as usize) % RING_CAPACITY) * 2;
+        self.ring[slot].store(pack(kind, arg, start_us), Ordering::Relaxed);
+        self.ring[slot + 1].store(dur_us, Ordering::Relaxed);
+        // Release: a drain that Acquire-loads the new cursor sees the slot
+        // words stored above.
+        self.cursor.store(i + 1, Ordering::Release);
+    }
+
+    pub(crate) fn snapshot(&self, index: usize) -> WorkerStats {
+        let total = self.cursor.load(Ordering::Acquire);
+        let kept = total.min(RING_CAPACITY as u64);
+        let mut events = Vec::with_capacity(kept as usize);
+        for seq in (total - kept)..total {
+            let slot = ((seq as usize) % RING_CAPACITY) * 2;
+            let w0 = self.ring[slot].load(Ordering::Relaxed);
+            let w1 = self.ring[slot + 1].load(Ordering::Relaxed);
+            if let Some(ev) = unpack(w0, w1, index) {
+                events.push(ev);
+            }
+        }
+        WorkerStats {
+            pushes: self.pushes.get(),
+            pops: self.pops.get(),
+            inline_degrades: self.inline_degrades.get(),
+            steal_attempts: self.steal_attempts.get(),
+            steal_retries: self.steal_retries.get(),
+            steals_from: self.steals_from.iter().map(OwnerCounter::get).collect(),
+            parks: self.parks.get(),
+            park_time_us: self.park_time_us.get(),
+            injector_pops: self.injector_pops.get(),
+            jobs_executed: self.jobs_executed.get(),
+            events_total: total,
+            events,
+        }
+    }
+}
+
+/// One worker's slice of a [`SchedulerStats`] snapshot.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct WorkerStats {
+    /// Jobs pushed onto this worker's own deque (`join` lazy splits).
+    pub pushes: u64,
+    /// Jobs popped back unstolen (the uncontended `join` fast path).
+    pub pops: u64,
+    /// `join` pushes that found the deque full and ran inline instead.
+    pub inline_degrades: u64,
+    /// Individual victim probes this worker made while hunting.
+    pub steal_attempts: u64,
+    /// Probes that lost a CAS race (victim non-empty but contended).
+    pub steal_retries: u64,
+    /// Successful steals by victim index (`steals_from[v]` = jobs this
+    /// worker took from worker `v`). Sums to this worker's success count.
+    pub steals_from: Vec<u64>,
+    /// Times this worker parked on the idle condvar.
+    pub parks: u64,
+    /// Total µs spent parked.
+    pub park_time_us: u64,
+    /// Jobs this worker pulled from the global injector.
+    pub injector_pops: u64,
+    /// Jobs this worker executed (own pops excluded — those run inside
+    /// `join` frames; this counts hunted work: steals + injector + deque
+    /// drains in the main loop).
+    pub jobs_executed: u64,
+    /// Ring events ever written (monotone; `events_total -
+    /// events.len()` of them have been overwritten when it exceeds
+    /// [`RING_CAPACITY`]).
+    pub events_total: u64,
+    /// Drained ring events, oldest first (empty unless capture was on).
+    pub events: Vec<TraceEvent>,
+}
+
+impl WorkerStats {
+    /// Successful steals by this worker (sum over victims).
+    pub fn steal_successes(&self) -> u64 {
+        self.steals_from.iter().sum()
+    }
+
+    fn delta(&self, before: &WorkerStats) -> WorkerStats {
+        let cut = before.events_total;
+        WorkerStats {
+            pushes: self.pushes.saturating_sub(before.pushes),
+            pops: self.pops.saturating_sub(before.pops),
+            inline_degrades: self.inline_degrades.saturating_sub(before.inline_degrades),
+            steal_attempts: self.steal_attempts.saturating_sub(before.steal_attempts),
+            steal_retries: self.steal_retries.saturating_sub(before.steal_retries),
+            steals_from: self
+                .steals_from
+                .iter()
+                .zip(before.steals_from.iter().chain(std::iter::repeat(&0)))
+                .map(|(a, b)| a.saturating_sub(*b))
+                .collect(),
+            parks: self.parks.saturating_sub(before.parks),
+            park_time_us: self.park_time_us.saturating_sub(before.park_time_us),
+            injector_pops: self.injector_pops.saturating_sub(before.injector_pops),
+            jobs_executed: self.jobs_executed.saturating_sub(before.jobs_executed),
+            events_total: self.events_total.saturating_sub(before.events_total),
+            // Keep only events written after the `before` snapshot. The
+            // ring may have wrapped past `cut`; what survives is the tail.
+            events: {
+                let new = self.events_total.saturating_sub(cut) as usize;
+                let skip = self.events.len().saturating_sub(new);
+                self.events[skip..].to_vec()
+            },
+        }
+    }
+}
+
+/// A snapshot of one registry's scheduler activity. Cumulative since the
+/// registry was created; see [`SchedulerStats::delta`] for per-run figures.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct SchedulerStats {
+    /// Worker count of the registry this was snapshot from.
+    pub num_threads: usize,
+    /// Jobs submitted through the global injector (external `join`s,
+    /// `install` calls).
+    pub injector_submissions: u64,
+    /// Per-worker breakdown, indexed by worker.
+    pub workers: Vec<WorkerStats>,
+}
+
+impl SchedulerStats {
+    /// Sum of successful steals across workers.
+    pub fn total_steals(&self) -> u64 {
+        self.workers.iter().map(WorkerStats::steal_successes).sum()
+    }
+
+    /// Sum of victim probes across workers.
+    pub fn total_steal_attempts(&self) -> u64 {
+        self.workers.iter().map(|w| w.steal_attempts).sum()
+    }
+
+    /// Sum of parks across workers.
+    pub fn total_parks(&self) -> u64 {
+        self.workers.iter().map(|w| w.parks).sum()
+    }
+
+    /// Sum of µs spent parked across workers.
+    pub fn total_park_time_us(&self) -> u64 {
+        self.workers.iter().map(|w| w.park_time_us).sum()
+    }
+
+    /// Sum of overflow-inline degrades across workers.
+    pub fn total_inline_degrades(&self) -> u64 {
+        self.workers.iter().map(|w| w.inline_degrades).sum()
+    }
+
+    /// Sum of deque pushes across workers.
+    pub fn total_pushes(&self) -> u64 {
+        self.workers.iter().map(|w| w.pushes).sum()
+    }
+
+    /// Sum of own-deque pops across workers.
+    pub fn total_pops(&self) -> u64 {
+        self.workers.iter().map(|w| w.pops).sum()
+    }
+
+    /// All drained ring events across workers, in worker order.
+    pub fn events(&self) -> impl Iterator<Item = &TraceEvent> {
+        self.workers.iter().flat_map(|w| w.events.iter())
+    }
+
+    /// The activity between snapshot `before` and `self` (fieldwise
+    /// saturating subtraction; ring events reduce to those written after
+    /// `before`). Snapshots from registries of different sizes (e.g. a
+    /// fresh pool) diff as `self` unchanged for the extra workers.
+    pub fn delta(&self, before: &SchedulerStats) -> SchedulerStats {
+        let empty = WorkerStats::default();
+        SchedulerStats {
+            num_threads: self.num_threads,
+            injector_submissions: self
+                .injector_submissions
+                .saturating_sub(before.injector_submissions),
+            workers: self
+                .workers
+                .iter()
+                .enumerate()
+                .map(|(i, w)| w.delta(before.workers.get(i).unwrap_or(&empty)))
+                .collect(),
+        }
+    }
+}
+
+/// Registry-level shared trace state (multi-writer, cold paths only).
+#[derive(Default)]
+pub(crate) struct RegistryTrace {
+    pub(crate) injector_submissions: AtomicU64,
+}
+
+impl RegistryTrace {
+    pub(crate) fn on_inject(&self) {
+        // Multi-writer (any external thread may inject): a real RMW, but
+        // injection already takes the injector mutex, so this is noise.
+        self.injector_submissions.fetch_add(1, Ordering::Relaxed);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Mutex;
+
+    /// The events flag is process-global; tests that flip it must not
+    /// overlap. (Poisoning is fine to ignore — the flag is reset below.)
+    static FLAG_LOCK: Mutex<()> = Mutex::new(());
+
+    #[test]
+    fn pack_unpack_round_trips() {
+        for (kind, arg, start, dur) in [
+            (TraceEventKind::Park, 0u64, 0u64, 412u64),
+            (TraceEventKind::StealSuccess, 7, 123_456, 0),
+            (TraceEventKind::InlineDegrade, 3, (1 << 40) - 1, u64::MAX),
+        ] {
+            let ev = unpack(pack(kind, arg, start), dur, 5).expect("valid event");
+            assert_eq!(ev.kind, kind);
+            assert_eq!(ev.arg, arg);
+            assert_eq!(ev.start_us, start);
+            assert_eq!(ev.dur_us, dur);
+            assert_eq!(ev.worker, 5);
+        }
+        assert!(unpack(0, 0, 0).is_none(), "zeroed slot is not an event");
+    }
+
+    #[test]
+    fn pack_saturates_oversized_fields() {
+        let ev = unpack(pack(TraceEventKind::Park, u64::MAX, u64::MAX), 1, 0).unwrap();
+        assert_eq!(ev.arg, (1 << ARG_BITS) - 1);
+        assert_eq!(ev.start_us, (1 << START_BITS) - 1);
+    }
+
+    #[test]
+    fn ring_keeps_last_capacity_events() {
+        let _g = FLAG_LOCK
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        set_events_enabled(true);
+        let t = WorkerTrace::new(2);
+        let total = RING_CAPACITY as u64 + 10;
+        for i in 0..total {
+            t.record_at(TraceEventKind::Park, 0, i, 1);
+        }
+        let snap = t.snapshot(0);
+        assert_eq!(snap.events_total, total);
+        assert_eq!(snap.events.len(), RING_CAPACITY);
+        assert_eq!(snap.events.first().unwrap().start_us, 10);
+        assert_eq!(snap.events.last().unwrap().start_us, total - 1);
+        set_events_enabled(false);
+    }
+
+    #[test]
+    fn delta_subtracts_and_trims_events() {
+        let _g = FLAG_LOCK
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        set_events_enabled(true);
+        let t = WorkerTrace::new(2);
+        t.on_push();
+        t.on_push();
+        t.on_park(10, 5);
+        let before = SchedulerStats {
+            num_threads: 2,
+            injector_submissions: 0,
+            workers: vec![t.snapshot(0), WorkerStats::default()],
+        };
+        t.on_push();
+        t.on_steal_success(1);
+        t.on_park(20, 7);
+        let after = SchedulerStats {
+            num_threads: 2,
+            injector_submissions: 3,
+            workers: vec![t.snapshot(0), WorkerStats::default()],
+        };
+        let d = after.delta(&before);
+        assert_eq!(d.workers[0].pushes, 1);
+        assert_eq!(d.workers[0].parks, 1);
+        assert_eq!(d.workers[0].park_time_us, 7);
+        assert_eq!(d.workers[0].steals_from, vec![0, 1]);
+        assert_eq!(d.total_steals(), 1);
+        assert_eq!(d.injector_submissions, 3);
+        // Only the two post-`before` events survive the delta.
+        assert_eq!(d.workers[0].events.len(), 2);
+        assert_eq!(d.workers[0].events[0].kind, TraceEventKind::StealSuccess);
+        assert_eq!(d.workers[0].events[1].kind, TraceEventKind::Park);
+        set_events_enabled(false);
+    }
+
+    #[test]
+    fn counters_do_not_need_events_enabled() {
+        let _g = FLAG_LOCK
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        set_events_enabled(false);
+        let t = WorkerTrace::new(3);
+        t.on_steal_attempt();
+        t.on_steal_retry();
+        t.on_steal_success(2);
+        t.on_pop();
+        t.on_injector_pop();
+        t.on_job_executed();
+        t.on_inline_degrade(0);
+        let s = t.snapshot(0);
+        assert_eq!(s.steal_attempts, 1);
+        assert_eq!(s.steal_retries, 1);
+        assert_eq!(s.steal_successes(), 1);
+        assert_eq!(s.steals_from, vec![0, 0, 1]);
+        assert_eq!(s.pops, 1);
+        assert_eq!(s.injector_pops, 1);
+        assert_eq!(s.jobs_executed, 1);
+        assert_eq!(s.inline_degrades, 1);
+        assert!(s.events.is_empty(), "ring gated off");
+    }
+
+    #[test]
+    fn epoch_is_monotone() {
+        let a = epoch_micros();
+        let b = epoch_micros();
+        assert!(b >= a);
+    }
+}

@@ -168,6 +168,149 @@ fn steal_resolved(deque: &ModelDeque, claims: &[AtomicUsize]) {
     }
 }
 
+/// Model mirror of the production trace cells (`src/trace.rs` via the
+/// `registry.rs` wrappers): std atomics, instrumentation only — counting
+/// introduces no schedule points, exactly like the single-writer relaxed
+/// counters in production.
+#[derive(Default)]
+struct ModelTrace {
+    pushes: AtomicUsize,
+    pop_successes: AtomicUsize,
+    steal_attempts: AtomicUsize,
+    steal_retries: AtomicUsize,
+    steal_successes: AtomicUsize,
+}
+
+impl ModelTrace {
+    fn get(&self, c: &AtomicUsize) -> usize {
+        c.load(StdOrdering::Relaxed)
+    }
+}
+
+/// `WorkerThread::pop` mirror: count a pop only when the claim succeeded —
+/// the same site production increments `pops`.
+fn counted_pop(deque: &ModelDeque, trace: &ModelTrace, claims: &[AtomicUsize]) {
+    if let Some(job) = deque.pop() {
+        trace.pop_successes.fetch_add(1, StdOrdering::Relaxed);
+        claim(claims, job);
+    }
+}
+
+/// `WorkerThread::steal` mirror: every probe counts an attempt; `Retry`
+/// and `Success` count at the same protocol points as production.
+fn counted_steal_resolved(deque: &ModelDeque, trace: &ModelTrace, claims: &[AtomicUsize]) {
+    loop {
+        trace.steal_attempts.fetch_add(1, StdOrdering::Relaxed);
+        match deque.steal() {
+            Steal::Success(job) => {
+                trace.steal_successes.fetch_add(1, StdOrdering::Relaxed);
+                claim(claims, job);
+                return;
+            }
+            Steal::Empty => return,
+            Steal::Retry => {
+                trace.steal_retries.fetch_add(1, StdOrdering::Relaxed);
+            }
+        }
+    }
+}
+
+/// The trace-counter consistency claim: in every reachable schedule the
+/// counters reconcile with the exactly-once protocol —
+/// `pushes == pop_successes + steal_successes` once the deque is drained,
+/// and each success is backed by a distinct attempt.
+fn assert_trace_consistent(trace: &ModelTrace, pushed: usize) {
+    let pops = trace.get(&trace.pop_successes);
+    let steals = trace.get(&trace.steal_successes);
+    let attempts = trace.get(&trace.steal_attempts);
+    let retries = trace.get(&trace.steal_retries);
+    assert_eq!(
+        pops + steals,
+        pushed,
+        "claims ({pops} pops + {steals} steals) must equal pushes ({pushed})"
+    );
+    assert!(
+        attempts >= steals + retries,
+        "attempts ({attempts}) must cover successes ({steals}) and retries ({retries})"
+    );
+}
+
+#[test]
+fn trace_counters_consistent_with_last_element_race() {
+    // The headline race again (owner publish+pop vs. thief steal on one
+    // element), now with the production counter sites attached. Every
+    // interleaving must leave the counters telling a story consistent with
+    // exactly-once: the job's single execution appears as exactly one pop
+    // OR one steal success, never both, never neither — so a SchedulerStats
+    // snapshot of a quiescent pool can assert pushes == pops + steals.
+    loom::model(|| {
+        let deque = Arc::new(ModelDeque::new());
+        let trace = Arc::new(ModelTrace::default());
+        let claims: Arc<Vec<AtomicUsize>> = Arc::new((0..2).map(|_| AtomicUsize::new(0)).collect());
+
+        let owner = {
+            let deque = deque.clone();
+            let trace = trace.clone();
+            let claims = claims.clone();
+            thread::spawn(move || {
+                deque.push(1);
+                trace.pushes.fetch_add(1, StdOrdering::Relaxed);
+                counted_pop(&deque, &trace, &claims);
+            })
+        };
+        let thief = {
+            let deque = deque.clone();
+            let trace = trace.clone();
+            let claims = claims.clone();
+            thread::spawn(move || {
+                counted_steal_resolved(&deque, &trace, &claims);
+                counted_steal_resolved(&deque, &trace, &claims);
+            })
+        };
+        owner.join().unwrap();
+        thief.join().unwrap();
+        assert_exactly_once(&claims, 1);
+        assert_trace_consistent(&trace, 1);
+    });
+}
+
+#[test]
+fn trace_counters_consistent_with_two_element_drain() {
+    // Two-element drain with counters: the owner's two pops and the
+    // thief's resolved steal partition both jobs; the counters must sum to
+    // the push count in every schedule, including those where the thief's
+    // CAS loses and records a retry.
+    loom::model(|| {
+        let deque = Arc::new(ModelDeque::new());
+        let trace = Arc::new(ModelTrace::default());
+        let claims: Arc<Vec<AtomicUsize>> = Arc::new((0..3).map(|_| AtomicUsize::new(0)).collect());
+        deque.push(1);
+        deque.push(2);
+        trace.pushes.fetch_add(2, StdOrdering::Relaxed);
+
+        let owner = {
+            let deque = deque.clone();
+            let trace = trace.clone();
+            let claims = claims.clone();
+            thread::spawn(move || {
+                for _ in 0..2 {
+                    counted_pop(&deque, &trace, &claims);
+                }
+            })
+        };
+        let thief = {
+            let deque = deque.clone();
+            let trace = trace.clone();
+            let claims = claims.clone();
+            thread::spawn(move || counted_steal_resolved(&deque, &trace, &claims))
+        };
+        owner.join().unwrap();
+        thief.join().unwrap();
+        assert_exactly_once(&claims, 2);
+        assert_trace_consistent(&trace, 2);
+    });
+}
+
 #[test]
 fn last_element_pop_vs_steal_is_exactly_once() {
     // The headline race: one element, the owner publishing it (push) and

@@ -172,6 +172,14 @@ pub struct SemisortConfig {
     /// default `Off`, which keeps the hot loops at their pre-telemetry
     /// cost. Retry causes are recorded at every level (cold path).
     pub telemetry: TelemetryLevel,
+    /// Whether the driver snapshots the work-stealing pool's
+    /// [`SchedulerStats`](rayon::trace::SchedulerStats) around the run and
+    /// attaches the delta to
+    /// [`SemisortStats::scheduler`](crate::stats::SemisortStats::scheduler).
+    /// Default true: two counter snapshots per run, far off the hot path.
+    /// Turn off for byte-stable stats JSON across runs, or to skip forcing
+    /// the global registry into existence on otherwise sequential paths.
+    pub capture_scheduler: bool,
 }
 
 impl Default for SemisortConfig {
@@ -196,6 +204,7 @@ impl Default for SemisortConfig {
             max_scratch_bytes: usize::MAX,
             fault: FaultPlan::NONE,
             telemetry: TelemetryLevel::Off,
+            capture_scheduler: true,
         }
     }
 }
@@ -404,6 +413,8 @@ impl SemisortConfigBuilder {
         fault: FaultPlan,
         /// Set the telemetry level.
         telemetry: TelemetryLevel,
+        /// Set whether scheduler stats are snapshot around each run.
+        capture_scheduler: bool,
     }
 
     /// Validate and return the finished configuration.

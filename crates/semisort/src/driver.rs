@@ -4,6 +4,7 @@
 
 use parlay::random::Rng;
 use rayon::prelude::*;
+use rayon::trace::SchedulerStats;
 
 use crate::blocked_scatter::blocked_scatter;
 use crate::buckets::build_plan;
@@ -159,6 +160,16 @@ fn run_pooled<V: Copy + Send + Sync>(
         fallback_sort_into(records, out);
         return Ok(stats);
     }
+    // Baseline scheduler snapshot: the final stats carry the delta across
+    // the whole run (sentinel screen included — its par_iter is part of the
+    // run's scheduler footprint). Skipped when the run executes inline
+    // (effective pool of 1, or Miri): there is no scheduler to observe, and
+    // asking would force the global registry into existence for nothing.
+    let sched_before = if cfg.capture_scheduler && rayon::current_num_threads() > 1 {
+        rayon::scheduler_stats()
+    } else {
+        None
+    };
     // The scatter reserves EMPTY (= 0) as its slot-vacancy sentinel and the
     // heavy-key table reserves u64::MAX. A hashed key colliding with either
     // is a ~n/2^63 event; handle it by falling back rather than by silently
@@ -222,7 +233,7 @@ fn run_pooled<V: Copy + Send + Sync>(
             FaultPlan::corrupt_sample(sample);
         }
         parlay::radix_sort::radix_sort_u64(sample);
-        stats.t_sample_sort = span.finish();
+        stats.t_sample_sort = span.finish_into(&mut stats.spans);
         stats.sample_size = sample.len();
 
         // Phase 2: bucket construction (classification, table, allocation).
@@ -238,7 +249,13 @@ fn run_pooled<V: Copy + Send + Sync>(
                 budget_bytes: cfg.max_arena_bytes,
                 attempt,
             };
-            finish_stats(&mut stats, &sink, &mut retry_causes, faults_injected);
+            finish_stats(
+                &mut stats,
+                &sink,
+                &mut retry_causes,
+                faults_injected,
+                sched_before.as_ref(),
+            );
             escalate(records, cfg, err, &mut stats, out)?;
             return Ok(stats);
         }
@@ -247,12 +264,18 @@ fn run_pooled<V: Copy + Send + Sync>(
             Ok(slots) => slots,
             Err(bytes) => {
                 let err = SemisortError::ArenaAllocFailed { bytes, attempt };
-                finish_stats(&mut stats, &sink, &mut retry_causes, faults_injected);
+                finish_stats(
+                    &mut stats,
+                    &sink,
+                    &mut retry_causes,
+                    faults_injected,
+                    sched_before.as_ref(),
+                );
                 escalate(records, cfg, err, &mut stats, out)?;
                 return Ok(stats);
             }
         };
-        stats.t_construct_buckets = span.finish();
+        stats.t_construct_buckets = span.finish_into(&mut stats.spans);
         stats.heavy_keys = plan.num_heavy;
         stats.light_buckets = plan.num_light;
         stats.total_slots = plan.total_slots;
@@ -290,7 +313,7 @@ fn run_pooled<V: Copy + Send + Sync>(
                 (o.heavy_records, o.overflowed, o.overflow)
             }
         };
-        stats.t_scatter = span.finish();
+        stats.t_scatter = span.finish_into(&mut stats.spans);
         if overflowed {
             attempt += 1;
             stats.retries = attempt;
@@ -320,7 +343,13 @@ fn run_pooled<V: Copy + Send + Sync>(
                     alpha: run_cfg.alpha,
                     n,
                 };
-                finish_stats(&mut stats, &sink, &mut retry_causes, faults_injected);
+                finish_stats(
+                    &mut stats,
+                    &sink,
+                    &mut retry_causes,
+                    faults_injected,
+                    sched_before.as_ref(),
+                );
                 escalate(records, cfg, err, &mut stats, out)?;
                 return Ok(stats);
             }
@@ -332,15 +361,21 @@ fn run_pooled<V: Copy + Send + Sync>(
         // Phase 4: local sort of the light buckets.
         let span = PhaseSpan::start("local_sort");
         let light_counts = local_sort_light_buckets(&plan, slots, run_cfg.local_sort_algo, &sink);
-        stats.t_local_sort = span.finish();
+        stats.t_local_sort = span.finish_into(&mut stats.spans);
 
         // Phase 5: pack.
         let span = PhaseSpan::start("pack");
         pack_output_into(&plan, slots, &light_counts, out);
-        stats.t_pack = span.finish();
+        stats.t_pack = span.finish_into(&mut stats.spans);
         debug_assert_eq!(out.len(), n, "pack must emit every record");
 
-        finish_stats(&mut stats, &sink, &mut retry_causes, faults_injected);
+        finish_stats(
+            &mut stats,
+            &sink,
+            &mut retry_causes,
+            faults_injected,
+            sched_before.as_ref(),
+        );
         return Ok(stats);
     }
 }
@@ -358,15 +393,22 @@ fn mix_seed(seed: u64, attempt: u32) -> u64 {
 
 /// Fold the attempt's telemetry and the run-level failure bookkeeping into
 /// the stats (shared by the success return and every escalation site).
+/// When a baseline scheduler snapshot was taken, the closing snapshot is
+/// taken here — after the run's parallel phases joined, so the pool is
+/// quiescent with respect to this run's jobs — and the delta attached.
 fn finish_stats(
     stats: &mut SemisortStats,
     sink: &ObsSink,
     retry_causes: &mut Vec<RetryCause>,
     faults_injected: u32,
+    sched_before: Option<&SchedulerStats>,
 ) {
     stats.telemetry = sink.snapshot();
     stats.telemetry.retry_causes = std::mem::take(retry_causes);
     stats.faults_injected = faults_injected;
+    if let Some(before) = sched_before {
+        stats.scheduler = rayon::scheduler_stats().map(|after| after.delta(before));
+    }
 }
 
 /// Apply the configured [`OverflowPolicy`] to a terminal failure: degrade

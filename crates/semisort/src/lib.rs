@@ -100,6 +100,7 @@ pub mod pool;
 pub mod sample;
 pub mod scatter;
 pub mod stats;
+pub mod trace;
 pub mod verify;
 
 pub use api::{
@@ -118,9 +119,12 @@ pub use engine::Semisorter;
 pub use error::{DegradeReason, SemisortError};
 pub use fault::{FaultClass, FaultPlan};
 pub use json::Json;
-pub use obs::{Hist, PhaseSpan, RetryCause, ScratchCounters, Telemetry, TelemetryLevel};
+pub use obs::{
+    Hist, PhaseSpan, RetryCause, ScratchCounters, SpanRecord, Telemetry, TelemetryLevel,
+};
 pub use pool::ScratchPool;
 pub use stats::SemisortStats;
+pub use trace::{chrome_trace, TRACE_SCHEMA};
 
 /// The v1 public surface in one import.
 ///

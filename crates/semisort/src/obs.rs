@@ -21,13 +21,22 @@
 //! [`PhaseSpan`] replaces hand-rolled `Instant::now()` pairs for phase
 //! timing and, when the `SEMISORT_LOG` environment variable is set to
 //! anything other than `0` or the empty string, emits one structured JSON
-//! line per span to stderr (`{"event":"span","name":"scatter","us":1234}`),
-//! so a run's phase trace can be scraped without touching the binary's
-//! stdout tables.
+//! line per span to stderr
+//! (`{"event":"span","name":"scatter","t_us":87,"us":1234}`), so a run's
+//! phase trace can be scraped without touching the binary's stdout tables.
+//!
+//! All timestamps — span starts, `SEMISORT_LOG` lines, and the scheduler
+//! events in `rayon::trace` — share **one process-wide monotonic epoch**
+//! ([`epoch_micros`], delegating to `rayon::trace::epoch_micros`). Earlier
+//! versions timed each span with its own `Instant`, so lines from
+//! different spans could not be ordered into a timeline; now every `t_us`
+//! is an offset on the same axis, which is also what lets the Chrome-trace
+//! exporter (`crate::trace`) interleave phase spans with scheduler parks
+//! and steals.
 
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::OnceLock;
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
 /// How much telemetry the semisort collects. Ordered: each level includes
 /// everything below it.
@@ -380,6 +389,14 @@ pub struct Telemetry {
     pub retry_causes: Vec<RetryCause>,
 }
 
+/// Microseconds since the process-wide trace epoch — the shared monotonic
+/// clock base for spans, `SEMISORT_LOG` lines, and scheduler trace events
+/// (one axis; see the module docs).
+#[inline]
+pub fn epoch_micros() -> u64 {
+    rayon::trace::epoch_micros()
+}
+
 /// Whether `SEMISORT_LOG` asks for structured span lines on stderr.
 pub fn log_enabled() -> bool {
     static ENABLED: OnceLock<bool> = OnceLock::new();
@@ -403,7 +420,9 @@ pub fn log_event_kv(event: &str, strs: &[(&str, &str)], nums: &[(&str, u64)]) {
     if !log_enabled() {
         return;
     }
-    let mut line = format!("{{\"event\":\"{event}\"");
+    // Every line carries its epoch offset so events and spans from one run
+    // (or several) order into a single timeline.
+    let mut line = format!("{{\"event\":\"{event}\",\"t_us\":{}", epoch_micros());
     for (k, v) in strs {
         line.push_str(&format!(",\"{k}\":\"{v}\""));
     }
@@ -414,13 +433,38 @@ pub fn log_event_kv(event: &str, strs: &[(&str, &str)], nums: &[(&str, u64)]) {
     eprintln!("{line}");
 }
 
+/// One finished phase span: name plus epoch-relative endpoints, as carried
+/// in [`SemisortStats::spans`](crate::stats::SemisortStats::spans) and laid
+/// out on the Chrome-trace timeline by [`crate::trace`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SpanRecord {
+    /// Phase name (`"sample_sort"`, `"scatter"`, …).
+    pub name: &'static str,
+    /// Start, µs since the shared epoch ([`epoch_micros`]).
+    pub start_us: u64,
+    /// End, µs since the shared epoch (`end_us >= start_us`).
+    pub end_us: u64,
+    /// Pool worker the span ran on, or `None` when it ran on an external
+    /// (non-pool) thread — e.g. the driver thread of a plain API call.
+    pub worker: Option<usize>,
+}
+
+impl SpanRecord {
+    /// The span's duration.
+    pub fn duration(&self) -> Duration {
+        Duration::from_micros(self.end_us - self.start_us)
+    }
+}
+
 /// Scoped phase timer: replaces hand-rolled `Instant::now()` pairs in the
 /// driver. [`PhaseSpan::finish`] returns the elapsed time and, under
-/// `SEMISORT_LOG`, emits a `{"event":"span","name":…,"us":…}` line.
+/// `SEMISORT_LOG`, emits a `{"event":"span","name":…,"t_us":…,"us":…}`
+/// line. All spans time against the shared epoch ([`epoch_micros`]), so
+/// their endpoints compose into one timeline.
 #[must_use = "a span that is never finished times nothing"]
 pub struct PhaseSpan {
     name: &'static str,
-    start: Instant,
+    start_us: u64,
 }
 
 impl PhaseSpan {
@@ -428,21 +472,41 @@ impl PhaseSpan {
     pub fn start(name: &'static str) -> Self {
         PhaseSpan {
             name,
-            start: Instant::now(),
+            start_us: epoch_micros(),
         }
     }
 
     /// Stop timing; returns the elapsed duration.
     pub fn finish(self) -> Duration {
-        let elapsed = self.start.elapsed();
+        self.finish_record().duration()
+    }
+
+    /// Stop timing; returns the elapsed duration after appending the full
+    /// [`SpanRecord`] to `out` (the driver collects these into
+    /// `SemisortStats::spans`).
+    pub fn finish_into(self, out: &mut Vec<SpanRecord>) -> Duration {
+        let rec = self.finish_record();
+        out.push(rec);
+        rec.duration()
+    }
+
+    fn finish_record(self) -> SpanRecord {
+        let end_us = epoch_micros().max(self.start_us);
+        let rec = SpanRecord {
+            name: self.name,
+            start_us: self.start_us,
+            end_us,
+            worker: rayon::current_worker_index(),
+        };
         if log_enabled() {
             eprintln!(
-                "{{\"event\":\"span\",\"name\":\"{}\",\"us\":{}}}",
-                self.name,
-                elapsed.as_micros()
+                "{{\"event\":\"span\",\"name\":\"{}\",\"t_us\":{},\"us\":{}}}",
+                rec.name,
+                rec.start_us,
+                end_us - rec.start_us
             );
         }
-        elapsed
+        rec
     }
 }
 
@@ -539,5 +603,27 @@ mod tests {
         let span = PhaseSpan::start("test");
         std::thread::sleep(Duration::from_millis(2));
         assert!(span.finish() >= Duration::from_millis(2));
+    }
+
+    #[test]
+    fn span_records_order_on_one_clock_axis() {
+        // The satellite fix this encodes: spans used to each carry their
+        // own `Instant`, so two spans' timestamps were incomparable. Now
+        // sequential spans must land on one monotone axis.
+        let mut spans = Vec::new();
+        let a = PhaseSpan::start("a");
+        std::thread::sleep(Duration::from_millis(1));
+        let da = a.finish_into(&mut spans);
+        let b = PhaseSpan::start("b");
+        let db = b.finish_into(&mut spans);
+        assert_eq!(spans.len(), 2);
+        assert_eq!(spans[0].name, "a");
+        assert_eq!(spans[1].name, "b");
+        assert!(spans[0].start_us <= spans[0].end_us);
+        assert!(spans[0].end_us <= spans[1].start_us, "spans share an epoch");
+        assert_eq!(spans[0].duration(), da);
+        assert_eq!(spans[1].duration(), db);
+        // Not running on a pool worker here.
+        assert_eq!(spans[0].worker, None);
     }
 }

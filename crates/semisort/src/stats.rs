@@ -8,13 +8,19 @@
 //! [`Telemetry`] of the run (CAS attempts, probe-length histogram, retry
 //! causes — see [`crate::obs`]).
 //!
-//! # JSON schema (`semisort-stats-v1`)
+//! # JSON schema (`semisort-stats-v2`)
 //!
-//! [`SemisortStats::to_json`] serializes one run as a single JSON object:
+//! [`SemisortStats::to_json`] serializes one run as a single JSON object.
+//! v2 is a strict superset of v1: it adds the `"spans"` array (epoch-based
+//! phase span endpoints, see [`SpanRecord`]) and the `"scheduler"` section
+//! (the work-stealing pool's activity during the run, diffed from
+//! before/after [`rayon::trace::SchedulerStats`] snapshots — `null` when
+//! no real pool ran, e.g. single-thread or Miri). Consumers that accepted
+//! v1 keep working; `semisort-cli validate-json` accepts both spellings.
 //!
 //! ```json
 //! {
-//!   "schema": "semisort-stats-v1",
+//!   "schema": "semisort-stats-v2",
 //!   "n": 1000000,
 //!   "config": {
 //!     "sample_shift": 4, "heavy_threshold": 16, "light_bucket_log2": 16,
@@ -24,7 +30,8 @@
 //!     "local_sort_algo": "std-unstable", "seed": 42,
 //!     "seq_threshold": 8192, "max_retries": 3, "telemetry": "deep",
 //!     "overflow_policy": "fallback", "max_arena_bytes": null,
-//!     "max_scratch_bytes": null, "fault": "none"
+//!     "max_scratch_bytes": null, "fault": "none",
+//!     "capture_scheduler": true
 //!   },
 //!   "phases": {
 //!     "sample_sort_s": 0.01, "construct_buckets_s": 0.001,
@@ -52,9 +59,34 @@
 //!       {"attempt": 1, "bucket": 17, "heavy": false,
 //!        "allocated": 64, "observed": 65}
 //!     ]
+//!   },
+//!   "spans": [
+//!     {"name": "sample_sort", "start_us": 120, "end_us": 10120,
+//!      "worker": null}
+//!   ],
+//!   "scheduler": {
+//!     "num_threads": 4, "injector_submissions": 1,
+//!     "totals": {
+//!       "pushes": 5000, "pops": 4200, "steals": 800,
+//!       "steal_attempts": 9000, "parks": 40, "park_time_us": 20000,
+//!       "inline_degrades": 0
+//!     },
+//!     "workers": [
+//!       {"pushes": 1250, "pops": 1050, "inline_degrades": 0,
+//!        "steal_attempts": 2250, "steal_retries": 3,
+//!        "steals_from": [0, 120, 40, 40], "parks": 10,
+//!        "park_time_us": 5000, "injector_pops": 1,
+//!        "jobs_executed": 220, "events_total": 210}
+//!     ]
 //!   }
 //! }
 //! ```
+//!
+//! The `"scheduler"` section carries counters only; the individual ring
+//! events stay in memory (on [`SemisortStats::scheduler`]) for the
+//! Chrome-trace exporter ([`crate::trace`]) — serializing up to 1024
+//! events per worker into every bench record would bloat the trajectory
+//! file for no analytical gain (`events_total` is there for accounting).
 //!
 //! Histograms are arrays of [`crate::obs::HIST_BUCKETS`] counts; bucket 0
 //! holds value 0, bucket `i ≥ 1` holds values in `[2^(i-1), 2^i)`. The
@@ -66,10 +98,12 @@
 
 use std::time::Duration;
 
+use rayon::trace::SchedulerStats;
+
 use crate::config::{LocalSortAlgo, ProbeStrategy, ScatterStrategy, SemisortConfig};
 use crate::error::DegradeReason;
 use crate::json::Json;
-use crate::obs::Telemetry;
+use crate::obs::{SpanRecord, Telemetry};
 
 /// Timing and structural telemetry for one semisort run.
 #[derive(Clone, Debug, Default)]
@@ -140,6 +174,16 @@ pub struct SemisortStats {
     /// Merged fine-grained telemetry (empty when the run's
     /// [`crate::obs::TelemetryLevel`] was `Off`, except `retry_causes`).
     pub telemetry: Telemetry,
+    /// Finished phase spans with epoch-relative endpoints, in completion
+    /// order across all attempts (a Las Vegas retry appends a second
+    /// `sample_sort`…`scatter` group). Same data as the `t_*` durations,
+    /// plus *when* — what the Chrome-trace exporter lays on the timeline.
+    pub spans: Vec<SpanRecord>,
+    /// What the work-stealing pool did during this run: the delta between
+    /// scheduler snapshots taken around the driver's attempt loop. `None`
+    /// when no real pool ran (single-thread path, Miri, or
+    /// [`SemisortConfig::capture_scheduler`] off).
+    pub scheduler: Option<SchedulerStats>,
 }
 
 impl SemisortStats {
@@ -184,7 +228,7 @@ impl SemisortStats {
     }
 
     /// Serialize this run as a [`Json`] object following the
-    /// `semisort-stats-v1` schema documented at the top of this module.
+    /// `semisort-stats-v2` schema documented at the top of this module.
     pub fn to_json(&self) -> Json {
         let cfg = &self.config;
         let config = Json::Obj(vec![
@@ -255,6 +299,10 @@ impl SemisortStats {
                 },
             ),
             ("fault".into(), Json::Str(cfg.fault.spec())),
+            (
+                "capture_scheduler".into(),
+                Json::Bool(cfg.capture_scheduler),
+            ),
         ]);
         let phases = Json::Obj(vec![
             (
@@ -352,16 +400,90 @@ impl SemisortStats {
                 Json::num(self.faults_injected as u64),
             ),
         ]);
+        let spans = Json::Arr(
+            self.spans
+                .iter()
+                .map(|s| {
+                    Json::Obj(vec![
+                        ("name".into(), Json::str(s.name)),
+                        ("start_us".into(), Json::num(s.start_us)),
+                        ("end_us".into(), Json::num(s.end_us)),
+                        (
+                            "worker".into(),
+                            match s.worker {
+                                Some(w) => Json::num(w as u64),
+                                None => Json::Null,
+                            },
+                        ),
+                    ])
+                })
+                .collect(),
+        );
+        let scheduler = match &self.scheduler {
+            Some(s) => scheduler_json(s),
+            None => Json::Null,
+        };
         Json::Obj(vec![
-            ("schema".into(), Json::str("semisort-stats-v1")),
+            ("schema".into(), Json::str("semisort-stats-v2")),
             ("n".into(), Json::num(self.n as u64)),
             ("config".into(), config),
             ("phases".into(), phases),
             ("counters".into(), counters),
             ("outcome".into(), outcome),
             ("telemetry".into(), telemetry),
+            ("spans".into(), spans),
+            ("scheduler".into(), scheduler),
         ])
     }
+}
+
+/// The `"scheduler"` section: counters only (ring events stay in memory
+/// for the trace exporter; see the module docs).
+fn scheduler_json(s: &SchedulerStats) -> Json {
+    let totals = Json::Obj(vec![
+        ("pushes".into(), Json::num(s.total_pushes())),
+        ("pops".into(), Json::num(s.total_pops())),
+        ("steals".into(), Json::num(s.total_steals())),
+        ("steal_attempts".into(), Json::num(s.total_steal_attempts())),
+        ("parks".into(), Json::num(s.total_parks())),
+        ("park_time_us".into(), Json::num(s.total_park_time_us())),
+        (
+            "inline_degrades".into(),
+            Json::num(s.total_inline_degrades()),
+        ),
+    ]);
+    let workers = Json::Arr(
+        s.workers
+            .iter()
+            .map(|w| {
+                Json::Obj(vec![
+                    ("pushes".into(), Json::num(w.pushes)),
+                    ("pops".into(), Json::num(w.pops)),
+                    ("inline_degrades".into(), Json::num(w.inline_degrades)),
+                    ("steal_attempts".into(), Json::num(w.steal_attempts)),
+                    ("steal_retries".into(), Json::num(w.steal_retries)),
+                    (
+                        "steals_from".into(),
+                        Json::Arr(w.steals_from.iter().map(|&v| Json::num(v)).collect()),
+                    ),
+                    ("parks".into(), Json::num(w.parks)),
+                    ("park_time_us".into(), Json::num(w.park_time_us)),
+                    ("injector_pops".into(), Json::num(w.injector_pops)),
+                    ("jobs_executed".into(), Json::num(w.jobs_executed)),
+                    ("events_total".into(), Json::num(w.events_total)),
+                ])
+            })
+            .collect(),
+    );
+    Json::Obj(vec![
+        ("num_threads".into(), Json::num(s.num_threads as u64)),
+        (
+            "injector_submissions".into(),
+            Json::num(s.injector_submissions),
+        ),
+        ("totals".into(), totals),
+        ("workers".into(), workers),
+    ])
 }
 
 #[cfg(test)]
@@ -413,11 +535,21 @@ mod tests {
         let back = Json::parse(&text).expect("self-parse");
         assert_eq!(
             back.get("schema").and_then(Json::as_str),
-            Some("semisort-stats-v1")
+            Some("semisort-stats-v2")
         );
-        for section in ["config", "phases", "counters", "outcome", "telemetry"] {
+        for section in [
+            "config",
+            "phases",
+            "counters",
+            "outcome",
+            "telemetry",
+            "spans",
+            "scheduler",
+        ] {
             assert!(back.get(section).is_some(), "missing {section}");
         }
+        // No pool ran for this synthetic stats object.
+        assert_eq!(back.get("scheduler"), Some(&Json::Null));
         let phases = back.get("phases").unwrap();
         for key in [
             "sample_sort_s",
@@ -465,6 +597,53 @@ mod tests {
         let cfg = degraded.get("config").unwrap();
         assert_eq!(cfg.get("max_arena_bytes"), Some(&Json::Null));
         assert_eq!(cfg.get("fault").and_then(Json::as_str), Some("none"));
+    }
+
+    #[test]
+    fn scheduler_and_spans_serialize_when_present() {
+        use rayon::trace::WorkerStats;
+        let mut w0 = WorkerStats {
+            pushes: 10,
+            pops: 7,
+            steal_attempts: 5,
+            steals_from: vec![0, 0],
+            parks: 2,
+            park_time_us: 900,
+            ..Default::default()
+        };
+        w0.steals_from = vec![0, 3];
+        let s = SemisortStats {
+            n: 10,
+            spans: vec![SpanRecord {
+                name: "scatter",
+                start_us: 100,
+                end_us: 350,
+                worker: Some(1),
+            }],
+            scheduler: Some(SchedulerStats {
+                num_threads: 2,
+                injector_submissions: 1,
+                workers: vec![w0, WorkerStats::default()],
+            }),
+            ..Default::default()
+        };
+        let back = Json::parse(&s.to_json().to_string()).expect("self-parse");
+        let spans = back.get("spans").and_then(Json::as_arr).unwrap();
+        let span = &spans[0];
+        assert_eq!(span.get("name").and_then(Json::as_str), Some("scatter"));
+        assert_eq!(span.get("start_us").and_then(Json::as_u64), Some(100));
+        assert_eq!(span.get("worker").and_then(Json::as_u64), Some(1));
+        let sched = back.get("scheduler").unwrap();
+        assert_eq!(sched.get("num_threads").and_then(Json::as_u64), Some(2));
+        let totals = sched.get("totals").unwrap();
+        assert_eq!(totals.get("steals").and_then(Json::as_u64), Some(3));
+        assert_eq!(totals.get("pushes").and_then(Json::as_u64), Some(10));
+        assert_eq!(totals.get("park_time_us").and_then(Json::as_u64), Some(900));
+        let workers = sched.get("workers").and_then(Json::as_arr).unwrap();
+        let w = &workers[0];
+        assert_eq!(w.get("pops").and_then(Json::as_u64), Some(7));
+        let steals_from = w.get("steals_from").and_then(Json::as_arr).unwrap();
+        assert_eq!(steals_from[1].as_u64(), Some(3));
     }
 
     #[test]

@@ -1,0 +1,310 @@
+//! Chrome-trace export: lay a run's phase spans and scheduler events on
+//! one timeline loadable in Perfetto (<https://ui.perfetto.dev>) or
+//! `chrome://tracing`.
+//!
+//! [`chrome_trace`] turns a [`SemisortStats`] — its [`spans`]
+//! (epoch-based phase endpoints) and its [`scheduler`] section (per-worker
+//! ring events: parks with durations, steal successes, inline degrades) —
+//! into a Chrome Trace Event Format object:
+//!
+//! ```json
+//! {
+//!   "schema": "semisort-trace-v1",
+//!   "displayTimeUnit": "ms",
+//!   "traceEvents": [
+//!     {"ph": "M", "pid": 1, "tid": 0, "name": "thread_name",
+//!      "args": {"name": "driver"}},
+//!     {"ph": "X", "pid": 1, "tid": 0, "name": "scatter",
+//!      "ts": 1200, "dur": 54000},
+//!     {"ph": "X", "pid": 1, "tid": 2, "name": "park",
+//!      "ts": 60000, "dur": 480},
+//!     {"ph": "i", "pid": 1, "tid": 2, "name": "steal",
+//!      "s": "t", "ts": 61000, "args": {"victim": 0}}
+//!   ]
+//! }
+//! ```
+//!
+//! Everything shares the process-wide epoch ([`crate::obs::epoch_micros`]),
+//! so span and scheduler timestamps interleave correctly. Rows (`tid`s):
+//! row 0 is the driver thread for spans that ran outside the pool; worker
+//! `w` maps to row `w + 1`. The `"schema"` member is ours, not Chrome's —
+//! trace viewers ignore unknown top-level keys, and it lets
+//! `semisort-cli validate-json` check trace files like any other artifact.
+//!
+//! Capture is two-switch: spans are always recorded, but scheduler *ring
+//! events* only flow while `rayon::trace::set_events_enabled(true)` (or
+//! `RAYON_TRACE=1`) — the `semisort-cli trace` subcommand flips it for
+//! you. A stats object captured without ring events still exports; the
+//! timeline just has no park/steal rows.
+//!
+//! [`spans`]: SemisortStats::spans
+//! [`scheduler`]: SemisortStats::scheduler
+
+use rayon::trace::{TraceEvent, TraceEventKind};
+
+use crate::json::Json;
+use crate::stats::SemisortStats;
+
+/// Schema tag embedded in exported trace files.
+pub const TRACE_SCHEMA: &str = "semisort-trace-v1";
+
+/// The `pid` every event carries (one process; viewers want it present).
+const PID: u64 = 1;
+
+fn meta_thread(tid: u64, name: &str) -> Json {
+    Json::Obj(vec![
+        ("ph".into(), Json::str("M")),
+        ("pid".into(), Json::num(PID)),
+        ("tid".into(), Json::num(tid)),
+        ("name".into(), Json::str("thread_name")),
+        (
+            "args".into(),
+            Json::Obj(vec![("name".into(), Json::str(name))]),
+        ),
+    ])
+}
+
+fn duration_event(tid: u64, name: &str, ts_us: u64, dur_us: u64, args: Option<Json>) -> Json {
+    let mut members = vec![
+        ("ph".into(), Json::str("X")),
+        ("pid".into(), Json::num(PID)),
+        ("tid".into(), Json::num(tid)),
+        ("name".into(), Json::str(name)),
+        ("ts".into(), Json::num(ts_us)),
+        ("dur".into(), Json::num(dur_us)),
+    ];
+    if let Some(args) = args {
+        members.push(("args".into(), args));
+    }
+    Json::Obj(members)
+}
+
+fn instant_event(tid: u64, name: &str, ts_us: u64, args: Option<Json>) -> Json {
+    let mut members = vec![
+        ("ph".into(), Json::str("i")),
+        ("pid".into(), Json::num(PID)),
+        ("tid".into(), Json::num(tid)),
+        ("name".into(), Json::str(name)),
+        // Instant scope: thread-local tick mark.
+        ("s".into(), Json::str("t")),
+        ("ts".into(), Json::num(ts_us)),
+    ];
+    if let Some(args) = args {
+        members.push(("args".into(), args));
+    }
+    Json::Obj(members)
+}
+
+/// Worker index → timeline row (row 0 is the external driver thread).
+fn worker_tid(worker: usize) -> u64 {
+    worker as u64 + 1
+}
+
+fn scheduler_event_json(ev: &TraceEvent) -> Json {
+    let tid = worker_tid(ev.worker);
+    match ev.kind {
+        TraceEventKind::Park => duration_event(tid, "park", ev.start_us, ev.dur_us, None),
+        TraceEventKind::StealSuccess => instant_event(
+            tid,
+            "steal",
+            ev.start_us,
+            Some(Json::Obj(vec![("victim".into(), Json::num(ev.arg))])),
+        ),
+        TraceEventKind::InlineDegrade => instant_event(tid, "inline-degrade", ev.start_us, None),
+    }
+}
+
+/// Export one run's stats as a Chrome Trace Event Format document (see the
+/// module docs for the layout). Pure function of `stats`; serialize with
+/// `to_string()` and the file loads in Perfetto as-is.
+pub fn chrome_trace(stats: &SemisortStats) -> Json {
+    let mut events: Vec<Json> = Vec::new();
+    // Thread-name metadata first: the driver row, then one row per worker
+    // the snapshot knows about.
+    events.push(meta_thread(0, "driver"));
+    if let Some(sched) = &stats.scheduler {
+        for w in 0..sched.num_threads {
+            events.push(meta_thread(worker_tid(w), &format!("worker-{w}")));
+        }
+    }
+    // Phase spans, on the row of the thread that ran them.
+    for span in &stats.spans {
+        let tid = span.worker.map_or(0, worker_tid);
+        events.push(duration_event(
+            tid,
+            span.name,
+            span.start_us,
+            span.end_us - span.start_us,
+            None,
+        ));
+    }
+    // Scheduler ring events (parks as slices, steals/degrades as ticks).
+    if let Some(sched) = &stats.scheduler {
+        for ev in sched.events() {
+            events.push(scheduler_event_json(ev));
+        }
+    }
+    let other = Json::Obj(vec![
+        ("n".into(), Json::num(stats.n as u64)),
+        ("spans".into(), Json::num(stats.spans.len() as u64)),
+        (
+            "scheduler_events".into(),
+            Json::num(
+                stats
+                    .scheduler
+                    .as_ref()
+                    .map_or(0, |s| s.events().count() as u64),
+            ),
+        ),
+    ]);
+    Json::Obj(vec![
+        ("schema".into(), Json::str(TRACE_SCHEMA)),
+        ("displayTimeUnit".into(), Json::str("ms")),
+        ("traceEvents".into(), Json::Arr(events)),
+        ("otherData".into(), other),
+    ])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::obs::SpanRecord;
+    use rayon::trace::{SchedulerStats, WorkerStats};
+
+    fn sample_stats() -> SemisortStats {
+        SemisortStats {
+            n: 100,
+            spans: vec![
+                SpanRecord {
+                    name: "sample_sort",
+                    start_us: 10,
+                    end_us: 40,
+                    worker: None,
+                },
+                SpanRecord {
+                    name: "scatter",
+                    start_us: 50,
+                    end_us: 220,
+                    worker: Some(1),
+                },
+            ],
+            scheduler: Some(SchedulerStats {
+                num_threads: 2,
+                injector_submissions: 1,
+                workers: vec![
+                    WorkerStats {
+                        events: vec![
+                            TraceEvent {
+                                kind: TraceEventKind::Park,
+                                worker: 0,
+                                start_us: 60,
+                                dur_us: 500,
+                                arg: 0,
+                            },
+                            TraceEvent {
+                                kind: TraceEventKind::StealSuccess,
+                                worker: 0,
+                                start_us: 700,
+                                dur_us: 0,
+                                arg: 1,
+                            },
+                        ],
+                        events_total: 2,
+                        ..Default::default()
+                    },
+                    WorkerStats::default(),
+                ],
+            }),
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn trace_has_schema_and_round_trips_through_parse() {
+        let doc = chrome_trace(&sample_stats());
+        let text = doc.to_string();
+        let back = Json::parse(&text).expect("trace self-parse");
+        assert_eq!(
+            back.get("schema").and_then(Json::as_str),
+            Some(TRACE_SCHEMA)
+        );
+        assert_eq!(
+            back.get("displayTimeUnit").and_then(Json::as_str),
+            Some("ms")
+        );
+        assert!(back.get("traceEvents").and_then(Json::as_arr).is_some());
+        assert_eq!(back, doc, "Display → parse must be lossless");
+    }
+
+    #[test]
+    fn events_cover_spans_and_scheduler_rows() {
+        let doc = chrome_trace(&sample_stats());
+        let events = doc.get("traceEvents").and_then(Json::as_arr).unwrap();
+        // 3 thread_name metas (driver + 2 workers) + 2 spans + 2 ring events.
+        assert_eq!(events.len(), 7);
+        let phase = |e: &Json| e.get("ph").and_then(Json::as_str).map(str::to_owned);
+        assert_eq!(
+            events
+                .iter()
+                .filter(|e| phase(e).as_deref() == Some("M"))
+                .count(),
+            3
+        );
+        // The external span sits on tid 0, the worker span on tid 2.
+        let span0 = events
+            .iter()
+            .find(|e| e.get("name").and_then(Json::as_str) == Some("sample_sort"))
+            .unwrap();
+        assert_eq!(span0.get("tid").and_then(Json::as_u64), Some(0));
+        let span1 = events
+            .iter()
+            .find(|e| e.get("name").and_then(Json::as_str) == Some("scatter"))
+            .unwrap();
+        assert_eq!(span1.get("tid").and_then(Json::as_u64), Some(2));
+        assert_eq!(span1.get("dur").and_then(Json::as_u64), Some(170));
+        // The park is a duration slice on worker 0's row (tid 1); the steal
+        // is an instant with its victim in args.
+        let park = events
+            .iter()
+            .find(|e| e.get("name").and_then(Json::as_str) == Some("park"))
+            .unwrap();
+        assert_eq!(park.get("ph").and_then(Json::as_str), Some("X"));
+        assert_eq!(park.get("tid").and_then(Json::as_u64), Some(1));
+        assert_eq!(park.get("dur").and_then(Json::as_u64), Some(500));
+        let steal = events
+            .iter()
+            .find(|e| e.get("name").and_then(Json::as_str) == Some("steal"))
+            .unwrap();
+        assert_eq!(steal.get("ph").and_then(Json::as_str), Some("i"));
+        assert_eq!(
+            steal
+                .get("args")
+                .and_then(|a| a.get("victim"))
+                .and_then(Json::as_u64),
+            Some(1)
+        );
+    }
+
+    #[test]
+    fn stats_without_scheduler_still_export() {
+        let stats = SemisortStats {
+            n: 5,
+            spans: vec![SpanRecord {
+                name: "pack",
+                start_us: 0,
+                end_us: 9,
+                worker: None,
+            }],
+            ..Default::default()
+        };
+        let doc = chrome_trace(&stats);
+        let events = doc.get("traceEvents").and_then(Json::as_arr).unwrap();
+        // Driver meta + the one span.
+        assert_eq!(events.len(), 2);
+        let other = doc.get("otherData").unwrap();
+        assert_eq!(
+            other.get("scheduler_events").and_then(Json::as_u64),
+            Some(0)
+        );
+    }
+}

@@ -134,7 +134,7 @@ fn grows_stabilize_after_high_water_mark() {
     assert_eq!(engine.last_stats().scratch_grows, 0);
 }
 
-/// The stats JSON carries the pool counters (schema `semisort-stats-v1`).
+/// The stats JSON carries the pool counters (schema `semisort-stats-v2`).
 #[test]
 fn scratch_counters_reach_stats_json() {
     let mut engine = Semisorter::new(SemisortConfig::default()).unwrap();

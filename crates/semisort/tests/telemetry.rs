@@ -102,7 +102,7 @@ fn json_round_trips_for_all_variants() {
 
             assert_eq!(
                 back.get("schema").and_then(Json::as_str),
-                Some("semisort-stats-v1")
+                Some("semisort-stats-v2")
             );
             assert_eq!(back.get("n").and_then(Json::as_u64), Some(50_000));
             let phases = back.get("phases").expect("phases section");

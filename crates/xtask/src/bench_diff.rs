@@ -1,0 +1,519 @@
+//! `cargo xtask bench-diff` — the benchmark regression gate.
+//!
+//! Reads the trajectory file (`BENCH_semisort.json`, JSONL of
+//! `semisort-bench-v1` run records), takes the **last** usable record as
+//! the candidate, and compares it against the best earlier record with
+//! the same configuration key `(bin, n, threads, scatter, telemetry)` —
+//! or against a separate `--baseline` file when one is given. The gate
+//! fails (exit 1) when candidate wall time regresses by more than
+//! `--threshold-pct` percent, or any phase regresses by more than
+//! `--phase-threshold-pct` percent.
+//!
+//! Guard rails that keep the gate honest rather than noisy:
+//!
+//! - degraded or fault-injected runs never participate (neither as
+//!   candidate nor as baseline) — they measure the fallback path;
+//! - the baseline is the *fastest* earlier same-key run (`min` wall), so
+//!   one slow CI machine in history cannot mask a real regression;
+//! - runs faster than `--min-wall-s` are compared but never failed —
+//!   sub-noise walls regress by 50% when the allocator sneezes;
+//! - phases shorter than [`PHASE_FLOOR_S`] in *both* runs are skipped —
+//!   a 0.2 ms `construct_buckets` doubling is not a finding;
+//! - no same-key history is a clean exit 0 with `status: "no-baseline"`,
+//!   so the gate can run in CI from the first commit.
+//!
+//! The machine-readable verdict (`semisort-bench-diff-v1`) goes to
+//! stdout or `--json <path>`.
+
+use semisort::Json;
+
+/// Phase members of a `semisort-stats-v2` object compared by the gate.
+pub const PHASES: [&str; 5] = [
+    "sample_sort_s",
+    "construct_buckets_s",
+    "scatter_s",
+    "local_sort_s",
+    "pack_s",
+];
+
+/// Phases shorter than this (in both runs) are excluded from the phase
+/// gate; relative thresholds are meaningless below timer noise.
+pub const PHASE_FLOOR_S: f64 = 0.005;
+
+/// Gate thresholds.
+pub struct DiffConfig {
+    /// Wall-time regression (percent) that fails the gate.
+    pub threshold_pct: f64,
+    /// Per-phase regression (percent) that fails the gate.
+    pub phase_threshold_pct: f64,
+    /// Walls below this (seconds) are reported but never failed.
+    pub min_wall_s: f64,
+}
+
+impl Default for DiffConfig {
+    fn default() -> Self {
+        DiffConfig {
+            threshold_pct: 20.0,
+            phase_threshold_pct: 35.0,
+            min_wall_s: 0.05,
+        }
+    }
+}
+
+/// The configuration identity of a run record: two records are comparable
+/// only when every member matches.
+#[derive(Clone, Debug, PartialEq)]
+pub struct RunKey {
+    bin: String,
+    n: u64,
+    threads: u64,
+    scatter: String,
+    telemetry: String,
+}
+
+impl std::fmt::Display for RunKey {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{} n={} threads={} scatter={} telemetry={}",
+            self.bin, self.n, self.threads, self.scatter, self.telemetry
+        )
+    }
+}
+
+fn key_of(rec: &Json) -> Option<RunKey> {
+    let stats = rec.get("stats")?;
+    let cfg = stats.get("config")?;
+    Some(RunKey {
+        bin: rec.get("bin")?.as_str()?.to_string(),
+        n: stats.get("n")?.as_u64()?,
+        threads: rec.get("threads")?.as_u64()?,
+        scatter: cfg.get("scatter_strategy")?.as_str()?.to_string(),
+        telemetry: cfg.get("telemetry")?.as_str()?.to_string(),
+    })
+}
+
+/// A record qualifies as candidate/baseline material only when it parsed
+/// a key, has a wall time, and measured the real algorithm (not a
+/// degraded fallback or a fault-injection run).
+fn usable(rec: &Json) -> bool {
+    let Some(outcome) = rec.get("stats").and_then(|s| s.get("outcome")) else {
+        return false;
+    };
+    key_of(rec).is_some()
+        && rec.get("wall_s").and_then(Json::as_f64).is_some()
+        && outcome.get("degraded").and_then(Json::as_bool) == Some(false)
+        && outcome.get("faults_injected").and_then(Json::as_u64) == Some(0)
+}
+
+fn wall_of(rec: &Json) -> f64 {
+    rec.get("wall_s").and_then(Json::as_f64).unwrap_or(f64::NAN)
+}
+
+fn phase_of(rec: &Json, phase: &str) -> Option<f64> {
+    rec.get("stats")?.get("phases")?.get(phase)?.as_f64()
+}
+
+fn pct_delta(base: f64, cand: f64) -> f64 {
+    if base <= 0.0 {
+        return 0.0;
+    }
+    (cand - base) / base * 100.0
+}
+
+/// One phase's comparison row.
+pub struct PhaseDelta {
+    /// Stats member name (e.g. `scatter_s`).
+    pub phase: &'static str,
+    /// Baseline seconds.
+    pub baseline_s: f64,
+    /// Candidate seconds.
+    pub candidate_s: f64,
+    /// Relative change in percent (positive = slower).
+    pub delta_pct: f64,
+    /// Whether this row alone fails the gate.
+    pub regressed: bool,
+}
+
+/// The gate's verdict over one trajectory.
+pub struct DiffReport {
+    /// `ok`, `regression`, `no-baseline`, or `no-records`.
+    pub status: &'static str,
+    /// Human-readable one-liners (what was compared, what was skipped).
+    pub notes: Vec<String>,
+    /// The comparison key, when a candidate was found.
+    pub key: Option<RunKey>,
+    /// Baseline wall seconds (when a baseline was found).
+    pub baseline_wall_s: Option<f64>,
+    /// Candidate wall seconds (when a candidate was found).
+    pub candidate_wall_s: Option<f64>,
+    /// Wall delta percent (when both sides exist).
+    pub wall_delta_pct: Option<f64>,
+    /// Per-phase rows (when both sides exist).
+    pub phases: Vec<PhaseDelta>,
+}
+
+impl DiffReport {
+    /// False exactly when the gate should exit 1.
+    pub fn ok(&self) -> bool {
+        self.status != "regression"
+    }
+
+    /// The `semisort-bench-diff-v1` report object.
+    pub fn to_json(&self) -> Json {
+        let opt_num = |v: Option<f64>| match v {
+            Some(x) => Json::Num(x),
+            None => Json::Null,
+        };
+        Json::Obj(vec![
+            ("schema".into(), Json::str("semisort-bench-diff-v1")),
+            ("status".into(), Json::str(self.status)),
+            ("ok".into(), Json::Bool(self.ok())),
+            (
+                "key".into(),
+                match &self.key {
+                    Some(k) => Json::Str(k.to_string()),
+                    None => Json::Null,
+                },
+            ),
+            ("baseline_wall_s".into(), opt_num(self.baseline_wall_s)),
+            ("candidate_wall_s".into(), opt_num(self.candidate_wall_s)),
+            ("wall_delta_pct".into(), opt_num(self.wall_delta_pct)),
+            (
+                "phases".into(),
+                Json::Arr(
+                    self.phases
+                        .iter()
+                        .map(|p| {
+                            Json::Obj(vec![
+                                ("phase".into(), Json::str(p.phase)),
+                                ("baseline_s".into(), Json::Num(p.baseline_s)),
+                                ("candidate_s".into(), Json::Num(p.candidate_s)),
+                                ("delta_pct".into(), Json::Num(p.delta_pct)),
+                                ("regressed".into(), Json::Bool(p.regressed)),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+            (
+                "notes".into(),
+                Json::Arr(self.notes.iter().map(|n| Json::Str(n.clone())).collect()),
+            ),
+        ])
+    }
+}
+
+fn no_candidate(status: &'static str, note: String) -> DiffReport {
+    DiffReport {
+        status,
+        notes: vec![note],
+        key: None,
+        baseline_wall_s: None,
+        candidate_wall_s: None,
+        wall_delta_pct: None,
+        phases: Vec::new(),
+    }
+}
+
+/// Parse a JSONL trajectory into records, skipping blank lines. Malformed
+/// lines are an error: a corrupt trajectory should fail loudly, not
+/// silently shrink the baseline pool.
+pub fn parse_jsonl(text: &str) -> Result<Vec<Json>, String> {
+    let mut out = Vec::new();
+    for (i, line) in text.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        out.push(Json::parse(line).map_err(|e| format!("line {}: malformed JSON: {e}", i + 1))?);
+    }
+    Ok(out)
+}
+
+/// Run the gate: candidate = last usable record of `records`; baseline
+/// pool = earlier usable same-key records of `records`, or the usable
+/// same-key records of `baseline` when one is supplied.
+pub fn diff(records: &[Json], baseline: Option<&[Json]>, cfg: &DiffConfig) -> DiffReport {
+    let Some(candidate) = records.iter().rev().find(|r| usable(r)) else {
+        return no_candidate(
+            "no-records",
+            "no usable run record found (degraded and fault-injection runs are excluded)".into(),
+        );
+    };
+    let key = key_of(candidate).expect("usable implies key");
+    let candidate_wall = wall_of(candidate);
+
+    // Everything before the candidate (by position) with the same key —
+    // or the whole separate baseline file.
+    let candidate_pos = records
+        .iter()
+        .position(|r| std::ptr::eq(r, candidate))
+        .expect("candidate came from records");
+    let pool: Vec<&Json> = match baseline {
+        Some(base) => base
+            .iter()
+            .filter(|r| usable(r) && key_of(r).as_ref() == Some(&key))
+            .collect(),
+        None => records[..candidate_pos]
+            .iter()
+            .filter(|r| usable(r) && key_of(r).as_ref() == Some(&key))
+            .collect(),
+    };
+    let Some(best) = pool
+        .iter()
+        .copied()
+        .min_by(|a, b| wall_of(a).total_cmp(&wall_of(b)))
+    else {
+        return DiffReport {
+            status: "no-baseline",
+            notes: vec![format!(
+                "no earlier run matches key [{key}]; nothing to gate"
+            )],
+            key: Some(key),
+            baseline_wall_s: None,
+            candidate_wall_s: Some(candidate_wall),
+            wall_delta_pct: None,
+            phases: Vec::new(),
+        };
+    };
+    let baseline_wall = wall_of(best);
+    let wall_delta = pct_delta(baseline_wall, candidate_wall);
+    let mut notes = vec![format!(
+        "compared against best of {} earlier run(s) with key [{key}]",
+        pool.len()
+    )];
+
+    let below_noise = baseline_wall < cfg.min_wall_s && candidate_wall < cfg.min_wall_s;
+    if below_noise {
+        notes.push(format!(
+            "both walls below --min-wall-s {}; thresholds not enforced",
+            cfg.min_wall_s
+        ));
+    }
+
+    let mut phases = Vec::new();
+    for phase in PHASES {
+        let (Some(b), Some(c)) = (phase_of(best, phase), phase_of(candidate, phase)) else {
+            continue;
+        };
+        if b < PHASE_FLOOR_S && c < PHASE_FLOOR_S {
+            continue;
+        }
+        let delta = pct_delta(b, c);
+        phases.push(PhaseDelta {
+            phase,
+            baseline_s: b,
+            candidate_s: c,
+            delta_pct: delta,
+            regressed: !below_noise && delta > cfg.phase_threshold_pct,
+        });
+    }
+
+    let wall_regressed = !below_noise && wall_delta > cfg.threshold_pct;
+    let regressed = wall_regressed || phases.iter().any(|p| p.regressed);
+    if wall_regressed {
+        notes.push(format!(
+            "wall {baseline_wall:.4}s -> {candidate_wall:.4}s ({wall_delta:+.1}%) exceeds {}%",
+            cfg.threshold_pct
+        ));
+    }
+    for p in phases.iter().filter(|p| p.regressed) {
+        notes.push(format!(
+            "phase {} {:.4}s -> {:.4}s ({:+.1}%) exceeds {}%",
+            p.phase, p.baseline_s, p.candidate_s, p.delta_pct, cfg.phase_threshold_pct
+        ));
+    }
+
+    DiffReport {
+        status: if regressed { "regression" } else { "ok" },
+        notes,
+        key: Some(key),
+        baseline_wall_s: Some(baseline_wall),
+        candidate_wall_s: Some(candidate_wall),
+        wall_delta_pct: Some(wall_delta),
+        phases,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Build a minimal usable run record (the nested `semisort-stats-v2`
+    /// sections the gate reads: config, phases, outcome).
+    fn rec(bin: &str, n: u64, threads: u64, wall: f64, scatter_s: f64) -> Json {
+        Json::Obj(vec![
+            ("schema".into(), Json::str("semisort-bench-v1")),
+            ("bin".into(), Json::str(bin)),
+            ("threads".into(), Json::num(threads)),
+            ("wall_s".into(), Json::Num(wall)),
+            (
+                "stats".into(),
+                Json::Obj(vec![
+                    ("n".into(), Json::num(n)),
+                    (
+                        "config".into(),
+                        Json::Obj(vec![
+                            ("scatter_strategy".into(), Json::str("random-cas")),
+                            ("telemetry".into(), Json::str("off")),
+                        ]),
+                    ),
+                    (
+                        "phases".into(),
+                        Json::Obj(vec![
+                            ("scatter_s".into(), Json::Num(scatter_s)),
+                            ("pack_s".into(), Json::Num(0.0001)),
+                        ]),
+                    ),
+                    (
+                        "outcome".into(),
+                        Json::Obj(vec![
+                            ("degraded".into(), Json::Bool(false)),
+                            ("faults_injected".into(), Json::num(0)),
+                        ]),
+                    ),
+                ]),
+            ),
+        ])
+    }
+
+    fn degraded(mut r: Json) -> Json {
+        let Json::Obj(members) = &mut r else { panic!() };
+        let Some((_, Json::Obj(stats))) = members.iter_mut().find(|(k, _)| k == "stats") else {
+            panic!()
+        };
+        let Some((_, Json::Obj(outcome))) = stats.iter_mut().find(|(k, _)| k == "outcome") else {
+            panic!()
+        };
+        outcome.retain(|(k, _)| k != "degraded");
+        outcome.push(("degraded".into(), Json::Bool(true)));
+        r
+    }
+
+    #[test]
+    fn identical_runs_pass() {
+        let records = vec![rec("b", 100, 2, 1.0, 0.5), rec("b", 100, 2, 1.0, 0.5)];
+        let report = diff(&records, None, &DiffConfig::default());
+        assert_eq!(report.status, "ok");
+        assert!(report.ok());
+        assert_eq!(report.wall_delta_pct, Some(0.0));
+    }
+
+    #[test]
+    fn wall_regression_fails() {
+        let records = vec![rec("b", 100, 2, 1.0, 0.5), rec("b", 100, 2, 1.5, 0.5)];
+        let report = diff(&records, None, &DiffConfig::default());
+        assert_eq!(report.status, "regression");
+        assert!(!report.ok());
+        assert!(report.wall_delta_pct.unwrap() > 49.0);
+    }
+
+    #[test]
+    fn phase_regression_fails_even_with_flat_wall() {
+        let records = vec![rec("b", 100, 2, 1.0, 0.2), rec("b", 100, 2, 1.0, 0.4)];
+        let report = diff(&records, None, &DiffConfig::default());
+        assert_eq!(report.status, "regression");
+        let scatter = report
+            .phases
+            .iter()
+            .find(|p| p.phase == "scatter_s")
+            .unwrap();
+        assert!(scatter.regressed);
+        // The sub-floor pack phase must not appear at all.
+        assert!(report.phases.iter().all(|p| p.phase != "pack_s"));
+    }
+
+    #[test]
+    fn improvement_passes() {
+        let records = vec![rec("b", 100, 2, 1.5, 0.5), rec("b", 100, 2, 1.0, 0.2)];
+        let report = diff(&records, None, &DiffConfig::default());
+        assert_eq!(report.status, "ok");
+        assert!(report.wall_delta_pct.unwrap() < 0.0);
+    }
+
+    #[test]
+    fn different_key_is_no_baseline() {
+        // Same bin, different n and threads: not comparable.
+        let records = vec![rec("b", 100, 2, 1.0, 0.5), rec("b", 200, 4, 9.0, 4.0)];
+        let report = diff(&records, None, &DiffConfig::default());
+        assert_eq!(report.status, "no-baseline");
+        assert!(report.ok(), "no baseline must not fail CI");
+    }
+
+    #[test]
+    fn baseline_is_best_of_history_not_latest() {
+        // History: fast, then slow. A candidate matching the slow run
+        // must still fail against the fast one.
+        let records = vec![
+            rec("b", 100, 2, 1.0, 0.5),
+            rec("b", 100, 2, 1.6, 0.5),
+            rec("b", 100, 2, 1.55, 0.5),
+        ];
+        let report = diff(&records, None, &DiffConfig::default());
+        assert_eq!(report.status, "regression");
+        assert_eq!(report.baseline_wall_s, Some(1.0));
+    }
+
+    #[test]
+    fn degraded_and_fault_runs_are_invisible() {
+        // A degraded candidate is skipped; the last usable record wins.
+        let records = vec![
+            rec("b", 100, 2, 1.0, 0.5),
+            rec("b", 100, 2, 1.05, 0.5),
+            degraded(rec("b", 100, 2, 9.0, 4.0)),
+        ];
+        let report = diff(&records, None, &DiffConfig::default());
+        assert_eq!(report.status, "ok");
+        assert_eq!(report.candidate_wall_s, Some(1.05));
+    }
+
+    #[test]
+    fn sub_noise_walls_never_fail() {
+        let records = vec![
+            rec("b", 100, 2, 0.010, 0.001),
+            rec("b", 100, 2, 0.030, 0.001),
+        ];
+        let report = diff(&records, None, &DiffConfig::default());
+        assert_eq!(report.status, "ok", "200% on a 10ms wall is noise");
+    }
+
+    #[test]
+    fn explicit_baseline_file_overrides_history() {
+        // In-file history would pass; the stricter external baseline fails.
+        let records = vec![rec("b", 100, 2, 1.5, 0.5), rec("b", 100, 2, 1.45, 0.5)];
+        let baseline = vec![rec("b", 100, 2, 1.0, 0.5)];
+        let report = diff(&records, Some(&baseline), &DiffConfig::default());
+        assert_eq!(report.status, "regression");
+        assert_eq!(report.baseline_wall_s, Some(1.0));
+    }
+
+    #[test]
+    fn empty_trajectory_is_no_records() {
+        let report = diff(&[], None, &DiffConfig::default());
+        assert_eq!(report.status, "no-records");
+        assert!(report.ok());
+    }
+
+    #[test]
+    fn report_json_round_trips() {
+        let records = vec![rec("b", 100, 2, 1.0, 0.5), rec("b", 100, 2, 1.5, 0.5)];
+        let report = diff(&records, None, &DiffConfig::default());
+        let doc = report.to_json();
+        let back = Json::parse(&doc.to_string()).expect("parse back");
+        assert_eq!(
+            back.get("schema").and_then(Json::as_str),
+            Some("semisort-bench-diff-v1")
+        );
+        assert_eq!(back.get("ok").and_then(Json::as_bool), Some(false));
+        assert_eq!(
+            back.get("status").and_then(Json::as_str),
+            Some("regression")
+        );
+    }
+
+    #[test]
+    fn parse_jsonl_rejects_corrupt_lines() {
+        assert!(parse_jsonl("{\"a\": 1}\nnot json\n").is_err());
+        assert_eq!(parse_jsonl("{\"a\": 1}\n\n{\"b\": 2}\n").unwrap().len(), 2);
+    }
+}

@@ -8,19 +8,98 @@
 //!   to stderr; the `semisort-lint-v1` JSON report goes to stdout (or to
 //!   `--json <path>`). Exits 0 on a clean tree, 1 on violations, 2 on
 //!   usage or I/O errors.
+//! - `bench-diff [--trajectory <file>] [--baseline <file>]
+//!   [--threshold-pct <f>] [--phase-threshold-pct <f>] [--min-wall-s <f>]
+//!   [--json <path>]` — compare the last trajectory run record against
+//!   the best earlier same-configuration run (see [`bench_diff`]). Exits
+//!   0 when within thresholds (or when there is nothing to compare), 1 on
+//!   a regression, 2 on usage or I/O errors.
 
 use std::path::PathBuf;
 
+mod bench_diff;
 mod lint;
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match args.first().map(String::as_str) {
         Some("lint") => run_lint(&args[1..]),
+        Some("bench-diff") => run_bench_diff(&args[1..]),
         _ => {
-            eprintln!("usage: cargo xtask lint [--root <dir>] [--json <path>]");
+            eprintln!(
+                "usage:\n  cargo xtask lint [--root <dir>] [--json <path>]\n  cargo xtask bench-diff [--trajectory <file>] [--baseline <file>] [--threshold-pct <f>] [--phase-threshold-pct <f>] [--min-wall-s <f>] [--json <path>]"
+            );
             std::process::exit(2);
         }
+    }
+}
+
+fn run_bench_diff(args: &[String]) {
+    let mut trajectory = "BENCH_semisort.json".to_string();
+    let mut baseline_path: Option<String> = None;
+    let mut json_path: Option<PathBuf> = None;
+    let mut cfg = bench_diff::DiffConfig::default();
+    let mut it = args.iter();
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| {
+            it.next().cloned().unwrap_or_else(|| {
+                eprintln!("missing value for {name}");
+                std::process::exit(2);
+            })
+        };
+        let parse_f = |name: &str, v: String| -> f64 {
+            v.parse().unwrap_or_else(|_| {
+                eprintln!("bad value for {name}: {v}");
+                std::process::exit(2);
+            })
+        };
+        match flag.as_str() {
+            "--trajectory" => trajectory = value("--trajectory"),
+            "--baseline" => baseline_path = Some(value("--baseline")),
+            "--threshold-pct" => {
+                cfg.threshold_pct = parse_f("--threshold-pct", value("--threshold-pct"));
+            }
+            "--phase-threshold-pct" => {
+                cfg.phase_threshold_pct =
+                    parse_f("--phase-threshold-pct", value("--phase-threshold-pct"));
+            }
+            "--min-wall-s" => cfg.min_wall_s = parse_f("--min-wall-s", value("--min-wall-s")),
+            "--json" => json_path = Some(PathBuf::from(value("--json"))),
+            other => {
+                eprintln!("unknown flag {other}");
+                std::process::exit(2);
+            }
+        }
+    }
+    let read_records = |path: &str| -> Vec<semisort::Json> {
+        let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
+            eprintln!("bench-diff: cannot read {path}: {e}");
+            std::process::exit(2);
+        });
+        bench_diff::parse_jsonl(&text).unwrap_or_else(|e| {
+            eprintln!("bench-diff: {path}: {e}");
+            std::process::exit(2);
+        })
+    };
+    let records = read_records(&trajectory);
+    let baseline = baseline_path.as_deref().map(read_records);
+    let report = bench_diff::diff(&records, baseline.as_deref(), &cfg);
+    for note in &report.notes {
+        eprintln!("bench-diff: {note}");
+    }
+    let doc = report.to_json().to_string();
+    match &json_path {
+        Some(path) => {
+            if let Err(e) = std::fs::write(path, format!("{doc}\n")) {
+                eprintln!("bench-diff: cannot write {}: {e}", path.display());
+                std::process::exit(2);
+            }
+        }
+        None => println!("{doc}"),
+    }
+    eprintln!("bench-diff: status {}", report.status);
+    if !report.ok() {
+        std::process::exit(1);
     }
 }
 

@@ -1,0 +1,128 @@
+//! End-to-end tests of `cargo xtask bench-diff` as a subprocess: exit
+//! codes and the `semisort-bench-diff-v1` verdict for a regressing, a
+//! healthy, and an empty trajectory.
+
+use std::path::PathBuf;
+use std::process::Output;
+
+use semisort::Json;
+
+fn record_line(wall: f64, scatter_s: f64) -> String {
+    format!(
+        concat!(
+            "{{\"schema\": \"semisort-bench-v1\", \"bin\": \"t\", \"threads\": 2, ",
+            "\"wall_s\": {}, \"stats\": {{\"n\": 1000, ",
+            "\"config\": {{\"scatter_strategy\": \"random-cas\", \"telemetry\": \"off\"}}, ",
+            "\"phases\": {{\"scatter_s\": {}}}, ",
+            "\"outcome\": {{\"degraded\": false, \"faults_injected\": 0}}}}}}"
+        ),
+        wall, scatter_s
+    )
+}
+
+fn tmp_file(name: &str, lines: &[String]) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("semisort-bench-diff-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join(name);
+    std::fs::write(&path, lines.join("\n") + "\n").unwrap();
+    path
+}
+
+fn run_diff(args: &[&str]) -> (Output, Json) {
+    let out = std::process::Command::new(env!("CARGO_BIN_EXE_xtask"))
+        .arg("bench-diff")
+        .args(args)
+        .output()
+        .expect("spawn xtask");
+    let stdout = String::from_utf8(out.stdout.clone()).expect("utf8 stdout");
+    let doc = Json::parse(stdout.trim())
+        .unwrap_or_else(|e| panic!("stdout is not a bench-diff report: {e}\n{stdout}"));
+    assert_eq!(
+        doc.get("schema").and_then(Json::as_str),
+        Some("semisort-bench-diff-v1")
+    );
+    (out, doc)
+}
+
+#[test]
+fn regressing_trajectory_exits_nonzero() {
+    let traj = tmp_file(
+        "regress.jsonl",
+        &[record_line(1.0, 0.5), record_line(1.6, 0.5)],
+    );
+    let (out, doc) = run_diff(&["--trajectory", traj.to_str().unwrap()]);
+    assert!(!out.status.success(), "regression must exit nonzero");
+    assert_eq!(doc.get("status").and_then(Json::as_str), Some("regression"));
+    assert_eq!(doc.get("ok").and_then(Json::as_bool), Some(false));
+    assert!(doc.get("wall_delta_pct").and_then(Json::as_f64).unwrap() > 49.0);
+}
+
+#[test]
+fn healthy_trajectory_exits_zero() {
+    let traj = tmp_file(
+        "healthy.jsonl",
+        &[record_line(1.0, 0.5), record_line(1.05, 0.5)],
+    );
+    let (out, doc) = run_diff(&["--trajectory", traj.to_str().unwrap()]);
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    assert_eq!(doc.get("status").and_then(Json::as_str), Some("ok"));
+}
+
+#[test]
+fn single_record_is_no_baseline_and_exits_zero() {
+    let traj = tmp_file("first.jsonl", &[record_line(1.0, 0.5)]);
+    let (out, doc) = run_diff(&["--trajectory", traj.to_str().unwrap()]);
+    assert!(out.status.success(), "first-ever record must not fail CI");
+    assert_eq!(
+        doc.get("status").and_then(Json::as_str),
+        Some("no-baseline")
+    );
+}
+
+#[test]
+fn threshold_flag_loosens_the_gate() {
+    let traj = tmp_file(
+        "loose.jsonl",
+        &[record_line(1.0, 0.5), record_line(1.6, 0.5)],
+    );
+    let (out, doc) = run_diff(&[
+        "--trajectory",
+        traj.to_str().unwrap(),
+        "--threshold-pct",
+        "100",
+        "--phase-threshold-pct",
+        "100",
+    ]);
+    assert!(out.status.success());
+    assert_eq!(doc.get("status").and_then(Json::as_str), Some("ok"));
+}
+
+#[test]
+fn baseline_file_is_honored() {
+    let traj = tmp_file("cand.jsonl", &[record_line(1.5, 0.5)]);
+    let base = tmp_file("base.jsonl", &[record_line(1.0, 0.5)]);
+    let (out, doc) = run_diff(&[
+        "--trajectory",
+        traj.to_str().unwrap(),
+        "--baseline",
+        base.to_str().unwrap(),
+    ]);
+    assert!(!out.status.success());
+    assert_eq!(doc.get("status").and_then(Json::as_str), Some("regression"));
+    assert_eq!(doc.get("baseline_wall_s").and_then(Json::as_f64), Some(1.0));
+}
+
+#[test]
+fn corrupt_trajectory_is_a_usage_error() {
+    let traj = tmp_file("corrupt.jsonl", &["not json".to_string()]);
+    let out = std::process::Command::new(env!("CARGO_BIN_EXE_xtask"))
+        .args(["bench-diff", "--trajectory"])
+        .arg(&traj)
+        .output()
+        .expect("spawn xtask");
+    assert_eq!(out.status.code(), Some(2), "corrupt input is exit 2, not 1");
+}

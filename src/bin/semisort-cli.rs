@@ -8,19 +8,23 @@
 //! semisort-cli sort     --input data.bin --out sorted.bin --algo semisort --stats
 //! semisort-cli verify   --input sorted.bin
 //! semisort-cli bench    --quick --stats-json stats.json
-//! semisort-cli validate-json --input stats.json --schema semisort-stats-v1
+//! semisort-cli trace    --n 1m --out run.trace.json
+//! semisort-cli validate-json --input stats.json --schema semisort-stats-v2
 //! ```
 //!
 //! Algorithms: `semisort` (default), `radix`, `sample`, `stdsort`,
 //! `seq-hash`, `rr`.
 //!
 //! `sort` and `bench` accept `--stats-json <path>` (write the run's
-//! `semisort-stats-v1` object — see `semisort::stats` for the schema) and
+//! `semisort-stats-v2` object — see `semisort::stats` for the schema) and
 //! `--telemetry <off|counters|deep>`. `bench` additionally appends one
 //! JSONL run record to the trajectory file (`BENCH_semisort.json` by
-//! default; `--trajectory none` disables). `validate-json` parses a stats
-//! or trajectory file with the in-tree JSON reader and fails on malformed
-//! content — the CI smoke check.
+//! default; `--trajectory none` disables). `trace` runs one semisort with
+//! scheduler event capture on and writes a Chrome-trace
+//! (`semisort-trace-v1`) file for Perfetto. `validate-json` parses a
+//! stats, trajectory, or trace file with the in-tree JSON reader and
+//! fails on malformed content (`--schema` accepts a comma-separated list
+//! of acceptable names) — the CI smoke check.
 //!
 //! Failure handling (both `sort --algo semisort` and `bench`):
 //! `--on-overflow <fallback|error|panic>` selects the escalation policy,
@@ -58,6 +62,7 @@ fn main() {
         "sort" => sort(&flags),
         "verify" => verify(&flags),
         "bench" => bench_run(&flags),
+        "trace" => trace_run(&flags),
         "validate-json" => validate_json(&flags),
         _ => usage_and_exit(),
     }
@@ -65,7 +70,7 @@ fn main() {
 
 fn usage_and_exit() -> ! {
     eprintln!(
-        "usage:\n  semisort-cli generate --dist <uniform|exp|zipf>:<param> --n <count> --out <file> [--seed <u64>]\n  semisort-cli sort --input <file> --out <file> [--algo semisort|radix|sample|stdsort|seq-hash|rr] [--scatter random-cas|blocked] [--threads <k>] [--stats] [--stats-json <file>] [--telemetry off|counters|deep] [--on-overflow fallback|error|panic] [--max-retries <k>] [--max-arena-bytes <bytes>] [--max-scratch-bytes <bytes>] [--fault <spec>]\n  semisort-cli verify --input <file>\n  semisort-cli bench [--n <count>] [--dist <spec>] [--quick] [--reuse <k>] [--threads <k>] [--seed <u64>] [--scatter random-cas|blocked] [--telemetry off|counters|deep] [--stats-json <file>] [--trajectory <file|none>] [--on-overflow fallback|error|panic] [--max-retries <k>] [--max-arena-bytes <bytes>] [--max-scratch-bytes <bytes>] [--fault <spec>]\n  semisort-cli validate-json --input <file> [--schema <name>] [--jsonl]"
+        "usage:\n  semisort-cli generate --dist <uniform|exp|zipf>:<param> --n <count> --out <file> [--seed <u64>]\n  semisort-cli sort --input <file> --out <file> [--algo semisort|radix|sample|stdsort|seq-hash|rr] [--scatter random-cas|blocked] [--threads <k>] [--stats] [--stats-json <file>] [--telemetry off|counters|deep] [--on-overflow fallback|error|panic] [--max-retries <k>] [--max-arena-bytes <bytes>] [--max-scratch-bytes <bytes>] [--fault <spec>]\n  semisort-cli verify --input <file>\n  semisort-cli bench [--n <count>] [--dist <spec>] [--quick] [--reuse <k>] [--threads <k>] [--seed <u64>] [--scatter random-cas|blocked] [--telemetry off|counters|deep] [--stats-json <file>] [--trajectory <file|none>] [--on-overflow fallback|error|panic] [--max-retries <k>] [--max-arena-bytes <bytes>] [--max-scratch-bytes <bytes>] [--fault <spec>]\n  semisort-cli trace [--n <count>] [--dist <spec>] [--seed <u64>] [--threads <k>] [--scatter random-cas|blocked] [--out <file>] [--stats-json <file>]\n  semisort-cli validate-json --input <file> [--schema <name>[,<name>...]] [--jsonl]"
     );
     std::process::exit(2);
 }
@@ -298,7 +303,7 @@ fn print_stats(stats: &semisort::SemisortStats, scatter: ScatterStrategy) {
     }
 }
 
-/// Write a run's `semisort-stats-v1` object to `path`.
+/// Write a run's `semisort-stats-v2` object to `path`.
 fn write_stats_json(path: &str, stats: &semisort::SemisortStats) {
     let json = stats.to_json();
     if let Err(e) = std::fs::write(path, format!("{json}\n")) {
@@ -404,7 +409,7 @@ fn bench_run(flags: &Flags) {
     let threads = flags
         .get("threads")
         .map(|k| k.parse::<usize>().expect("bad thread count"));
-    let effective_threads =
+    let threads_requested =
         threads.unwrap_or_else(|| std::thread::available_parallelism().map_or(1, |p| p.get()));
 
     let reuse: usize = flags
@@ -435,12 +440,13 @@ fn bench_run(flags: &Flags) {
                 }
             }
             let stats = engine.last_stats().clone();
-            (out, stats)
+            (out, stats, bench::trajectory::effective_threads())
         } else {
-            run_or_exit(&records, &cfg)
+            let (out, stats) = run_or_exit(&records, &cfg);
+            (out, stats, bench::trajectory::effective_threads())
         }
     };
-    let (out, stats) = match threads {
+    let (out, stats, threads_effective) = match threads {
         Some(k) => parlay::with_threads(k, run),
         None => run(),
     };
@@ -472,15 +478,85 @@ fn bench_run(flags: &Flags) {
         .unwrap_or(bench::trajectory::DEFAULT_TRAJECTORY);
     bench::trajectory::append_line(
         trajectory,
-        &bench::trajectory::run_record("semisort-cli", effective_threads, wall, stats.to_json()),
+        &bench::trajectory::run_record(
+            "semisort-cli",
+            threads_requested,
+            threads_effective,
+            wall,
+            stats.to_json(),
+        ),
     );
     if trajectory != "none" {
         eprintln!("trajectory record → {trajectory}");
     }
 }
 
-/// `validate-json`: parse a stats or trajectory file with the in-tree JSON
-/// reader; non-zero exit on malformed content or a schema mismatch.
+/// `trace`: run one semisort with scheduler event capture switched on and
+/// export the run as a Chrome-trace file (`semisort-trace-v1`) loadable in
+/// Perfetto (<https://ui.perfetto.dev>) or `chrome://tracing`.
+fn trace_run(flags: &Flags) {
+    let n = flags.get("n").map_or(1_000_000, parse_count);
+    let seed: u64 = flags
+        .get("seed")
+        .map_or(42, |s| s.parse().expect("bad seed"));
+    let dist = flags
+        .get("dist")
+        .map(parse_dist)
+        .unwrap_or(Distribution::Zipfian {
+            m: (n as u64 / 10).max(1),
+        });
+    let cfg = apply_failure_flags(
+        flags,
+        SemisortConfig {
+            scatter_strategy: parse_scatter(flags),
+            telemetry: parse_telemetry(flags),
+            ..SemisortConfig::default().with_seed(seed)
+        },
+    );
+    // Scheduler rings only exist on a multi-worker pool; when the machine
+    // reports one hardware thread, still trace on two workers so the
+    // timeline has scheduler rows (concurrency, if not parallelism).
+    let threads = flags.get("threads").map_or_else(
+        || {
+            std::thread::available_parallelism()
+                .map_or(1, |p| p.get())
+                .max(2)
+        },
+        |k| k.parse().expect("bad thread count"),
+    );
+    let out_path = flags.get("out").unwrap_or("semisort.trace.json");
+
+    let records = workloads::generate(dist, n, seed);
+    rayon::trace::set_events_enabled(true);
+    let (out, stats) = parlay::with_threads(threads, || run_or_exit(&records, &cfg));
+    rayon::trace::set_events_enabled(false);
+    assert!(
+        semisort::verify::is_semisorted_by(&out, |r| r.0) && out.len() == records.len(),
+        "trace run produced an invalid semisort"
+    );
+
+    let doc = semisort::chrome_trace(&stats);
+    if let Err(e) = std::fs::write(out_path, format!("{doc}\n")) {
+        eprintln!("cannot write {out_path}: {e}");
+        std::process::exit(1);
+    }
+    if let Some(path) = flags.get("stats-json") {
+        write_stats_json(path, &stats);
+    }
+    let sched_events = stats.scheduler.as_ref().map_or(0, |s| s.events().count());
+    eprintln!(
+        "trace: {} records of {} on {threads} threads → {out_path} \
+         ({} spans, {sched_events} scheduler events); open in https://ui.perfetto.dev",
+        n,
+        dist.label(),
+        stats.spans.len()
+    );
+}
+
+/// `validate-json`: parse a stats, trajectory, or trace file with the
+/// in-tree JSON reader; non-zero exit on malformed content or a schema
+/// mismatch. `--schema` takes a comma-separated list of acceptable names
+/// (e.g. `semisort-stats-v1,semisort-stats-v2` across a schema bump).
 fn validate_json(flags: &Flags) {
     let input = flags.require("input");
     let text = std::fs::read_to_string(input).unwrap_or_else(|e| {
@@ -488,16 +564,21 @@ fn validate_json(flags: &Flags) {
         std::process::exit(1);
     });
     let jsonl = flags.has("jsonl");
-    let want_schema = flags.get("schema");
+    let want_schemas: Option<Vec<&str>> = flags.get("schema").map(|s| {
+        s.split(',')
+            .map(str::trim)
+            .filter(|s| !s.is_empty())
+            .collect()
+    });
     let check = |chunk: &str, what: &str| {
         let parsed = Json::parse(chunk).unwrap_or_else(|e| {
             eprintln!("{input}: {what}: malformed JSON: {e}");
             std::process::exit(1);
         });
-        if let Some(want) = want_schema {
+        if let Some(want) = &want_schemas {
             let got = parsed.get("schema").and_then(Json::as_str);
-            if got != Some(want) {
-                eprintln!("{input}: {what}: schema {got:?}, expected {want:?}");
+            if !got.is_some_and(|g| want.contains(&g)) {
+                eprintln!("{input}: {what}: schema {got:?}, expected one of {want:?}");
                 std::process::exit(1);
             }
         }

@@ -128,7 +128,7 @@ fn sort_writes_stats_json() {
     let json = semisort::Json::parse(&text).expect("stats file is valid JSON");
     assert_eq!(
         json.get("schema").and_then(semisort::Json::as_str),
-        Some("semisort-stats-v1")
+        Some("semisort-stats-v2")
     );
     assert_eq!(json.get("n").and_then(semisort::Json::as_u64), Some(50_000));
     assert_eq!(
@@ -138,9 +138,21 @@ fn sort_writes_stats_json() {
         Some("deep")
     );
 
-    // The in-tree validator accepts what sort wrote…
+    // The in-tree validator accepts what sort wrote, including through a
+    // comma-separated alternative list spanning the schema bump…
     let status = cli()
-        .args(["validate-json", "--schema", "semisort-stats-v1", "--input"])
+        .args(["validate-json", "--schema", "semisort-stats-v2", "--input"])
+        .arg(&stats)
+        .status()
+        .expect("validate");
+    assert!(status.success());
+    let status = cli()
+        .args([
+            "validate-json",
+            "--schema",
+            "semisort-stats-v1,semisort-stats-v2",
+            "--input",
+        ])
         .arg(&stats)
         .status()
         .expect("validate");
@@ -191,8 +203,17 @@ fn bench_appends_trajectory_records() {
             rec.get("stats")
                 .and_then(|s| s.get("schema"))
                 .and_then(semisort::Json::as_str),
-            Some("semisort-stats-v1")
+            Some("semisort-stats-v2")
         );
+        // Both the flag echo and the registry-observed thread count.
+        assert!(rec
+            .get("threads")
+            .and_then(semisort::Json::as_u64)
+            .is_some());
+        assert!(rec
+            .get("threads_effective")
+            .and_then(semisort::Json::as_u64)
+            .is_some());
     }
     let status = cli()
         .args([
@@ -208,6 +229,69 @@ fn bench_appends_trajectory_records() {
     assert!(status.success());
     std::fs::remove_file(&stats).ok();
     std::fs::remove_file(&traj).ok();
+}
+
+#[test]
+fn trace_emits_a_perfetto_loadable_file() {
+    let trace = tmp("run.trace.json");
+    let status = cli()
+        .args(["trace", "--n", "200k", "--threads", "2", "--out"])
+        .arg(&trace)
+        .status()
+        .expect("trace");
+    assert!(status.success());
+
+    let text = std::fs::read_to_string(&trace).expect("trace file written");
+    let doc = semisort::Json::parse(&text).expect("trace file is valid JSON");
+    assert_eq!(
+        doc.get("schema").and_then(semisort::Json::as_str),
+        Some("semisort-trace-v1")
+    );
+    let events = doc
+        .get("traceEvents")
+        .and_then(semisort::Json::as_arr)
+        .expect("traceEvents array");
+    // Chrome Trace Event Format essentials: every event has ph/pid/tid,
+    // and the five phase spans appear as "X" duration slices.
+    for e in events {
+        assert!(e.get("ph").and_then(semisort::Json::as_str).is_some());
+        assert!(e.get("pid").and_then(semisort::Json::as_u64).is_some());
+        assert!(e.get("tid").and_then(semisort::Json::as_u64).is_some());
+    }
+    for phase in [
+        "sample_sort",
+        "construct_buckets",
+        "scatter",
+        "local_sort",
+        "pack",
+    ] {
+        assert!(
+            events.iter().any(|e| {
+                e.get("name").and_then(semisort::Json::as_str) == Some(phase)
+                    && e.get("ph").and_then(semisort::Json::as_str) == Some("X")
+            }),
+            "phase span {phase} missing from trace"
+        );
+    }
+    // Scheduler rows: on a 2-thread pool the run parks and/or steals.
+    assert!(
+        events.iter().any(|e| {
+            matches!(
+                e.get("name").and_then(semisort::Json::as_str),
+                Some("park" | "steal")
+            )
+        }),
+        "expected at least one scheduler event at threads=2"
+    );
+
+    // And the validator accepts the trace schema like any other artifact.
+    let status = cli()
+        .args(["validate-json", "--schema", "semisort-trace-v1", "--input"])
+        .arg(&trace)
+        .status()
+        .expect("validate");
+    assert!(status.success());
+    std::fs::remove_file(&trace).ok();
 }
 
 #[test]

@@ -131,6 +131,31 @@ fn all_distinct_blocked_thread_invariant() {
 }
 
 #[test]
+fn tracing_does_not_change_output() {
+    // Scheduler tracing is pure observation: the same seeded run must
+    // produce the same bytes with event capture on and off. At threads=1
+    // the algorithm is fully deterministic, so this is exact byte
+    // equality, not just canonical equality; at threads=2 the canonical
+    // form and key sequence must still match.
+    let records = workload("power-law", N);
+    let cfg = SemisortConfig::default();
+
+    let quiet = parlay::with_threads(1, || semisort_pairs(&records, &cfg));
+    rayon::trace::set_events_enabled(true);
+    let traced = parlay::with_threads(1, || semisort_pairs(&records, &cfg));
+    let traced_par = parlay::with_threads(2, || semisort_pairs(&records, &cfg));
+    rayon::trace::set_events_enabled(false);
+
+    assert_eq!(traced, quiet, "tracing changed single-thread output bytes");
+    assert_eq!(canonical(traced_par.clone()), canonical(quiet.clone()));
+    assert_eq!(
+        traced_par.iter().map(|r| r.0).collect::<Vec<_>>(),
+        quiet.iter().map(|r| r.0).collect::<Vec<_>>(),
+        "tracing at threads=2 changed the key sequence"
+    );
+}
+
+#[test]
 fn join_nest_deeper_than_pool_size() {
     // 2^16 leaf tasks on a 2-thread pool: lazy splitting must absorb the
     // whole recursion as deque pushes/pops (the spawn-per-join shim this
