@@ -88,6 +88,31 @@ pub fn run_record(
     ])
 }
 
+/// Wrap a sustained-throughput service run (the `semisortd` load
+/// generator) in a `semisort-bench-v1` run record. On top of the common
+/// members it carries `records_per_s` and the request-latency quantiles
+/// `latency_p50_s` / `latency_p99_s`; `stats` is the server's final
+/// `semisort-stats-v2` object, whose `service` section holds the
+/// shed/poison/drain counters for the same run.
+pub fn service_record(
+    bin: &str,
+    threads: usize,
+    wall_s: f64,
+    records_per_s: f64,
+    latency_p50_s: f64,
+    latency_p99_s: f64,
+    stats: Json,
+) -> Json {
+    let Json::Obj(mut members) = run_record(bin, threads, threads, wall_s, stats) else {
+        unreachable!("run_record always returns an object");
+    };
+    let at = members.len() - 1; // keep "stats" last
+    members.insert(at, ("records_per_s".into(), Json::Num(records_per_s)));
+    members.insert(at + 1, ("latency_p50_s".into(), Json::Num(latency_p50_s)));
+    members.insert(at + 2, ("latency_p99_s".into(), Json::Num(latency_p99_s)));
+    Json::Obj(members)
+}
+
 /// Append one record as a single line to `path` (creating the file on
 /// first use). `path == "none"` disables the append; I/O errors are
 /// reported on stderr but never fail the benchmark.
@@ -164,6 +189,29 @@ mod tests {
         assert!(!line.contains('\n'));
         let back = Json::parse(&line).expect("parse back");
         assert_eq!(back.get("threads").and_then(Json::as_u64), Some(1));
+    }
+
+    #[test]
+    fn service_record_extends_run_record() {
+        let r = service_record(
+            "semisortd-load",
+            8,
+            2.0,
+            1.25e6,
+            0.004,
+            0.021,
+            Json::Obj(vec![]),
+        );
+        assert_eq!(
+            r.get("schema").and_then(Json::as_str),
+            Some("semisort-bench-v1")
+        );
+        assert_eq!(r.get("records_per_s").and_then(Json::as_f64), Some(1.25e6));
+        assert_eq!(r.get("latency_p50_s").and_then(Json::as_f64), Some(0.004));
+        assert_eq!(r.get("latency_p99_s").and_then(Json::as_f64), Some(0.021));
+        assert!(r.get("stats").is_some());
+        // Still one line of JSONL.
+        assert!(!r.to_string().contains('\n'));
     }
 
     #[test]

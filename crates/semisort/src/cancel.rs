@@ -1,0 +1,217 @@
+//! Cooperative cancellation and per-request deadlines.
+//!
+//! A [`CancelToken`] is a cheap, cloneable handle shared between a caller
+//! (a service shard, a CLI timeout, a test) and a running semisort. The
+//! driver polls it at **phase boundaries** — never inside a phase's hot
+//! loop — so cancellation latency is bounded by one phase, and a run that
+//! observes the token either returns the input untouched or has already
+//! committed the full output (DESIGN.md §14): there is no partial state.
+//!
+//! Two conditions trip the token:
+//!
+//! - **Explicit cancellation** via [`CancelToken::cancel`], mapped to
+//!   [`SemisortError::Cancelled`].
+//! - **A deadline** set with [`CancelToken::set_deadline_in`] or
+//!   [`CancelToken::set_deadline_at`], expressed on the same monotonic
+//!   microsecond clock as spans and trace events
+//!   ([`crate::obs::epoch_micros`]), mapped to
+//!   [`SemisortError::DeadlineExceeded`].
+//!
+//! The default token is **inert**: never cancelled, no deadline, and
+//! [`CancelToken::check`] compiles to two relaxed atomic loads. Every
+//! pre-existing entry point threads an inert token through the driver, so
+//! callers that never heard of cancellation pay only those loads.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use crate::error::SemisortError;
+use crate::obs::epoch_micros;
+
+/// Sentinel for "no deadline" in [`Inner::deadline_us`].
+const NO_DEADLINE: u64 = u64::MAX;
+
+#[derive(Debug)]
+struct Inner {
+    cancelled: AtomicBool,
+    /// Deadline in monotonic microseconds ([`epoch_micros`] clock);
+    /// [`NO_DEADLINE`] means none is set.
+    deadline_us: AtomicU64,
+}
+
+/// A cloneable cancellation/deadline handle polled at phase boundaries.
+///
+/// All clones share one state: cancelling any clone cancels them all.
+/// `Default` yields an inert token (never fires), which is what the
+/// non-cancellable entry points use internally.
+///
+/// ```
+/// use semisort::cancel::CancelToken;
+///
+/// let token = CancelToken::new();
+/// assert!(token.check().is_ok());
+/// token.cancel();
+/// assert!(token.check().is_err());
+/// ```
+#[derive(Clone, Debug)]
+pub struct CancelToken {
+    inner: Arc<Inner>,
+}
+
+impl Default for CancelToken {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl CancelToken {
+    /// A fresh, inert token: not cancelled, no deadline.
+    pub fn new() -> Self {
+        CancelToken {
+            inner: Arc::new(Inner {
+                cancelled: AtomicBool::new(false),
+                deadline_us: AtomicU64::new(NO_DEADLINE),
+            }),
+        }
+    }
+
+    /// Trips the token; every subsequent [`check`](Self::check) on any
+    /// clone returns [`SemisortError::Cancelled`]. Idempotent.
+    pub fn cancel(&self) {
+        self.inner.cancelled.store(true, Ordering::Release);
+    }
+
+    /// Whether [`cancel`](Self::cancel) has been called on any clone.
+    /// Does not consult the deadline; use [`check`](Self::check) for the
+    /// combined verdict.
+    pub fn is_cancelled(&self) -> bool {
+        self.inner.cancelled.load(Ordering::Acquire)
+    }
+
+    /// Sets the deadline to `budget` from now on the shared monotonic
+    /// clock. Overwrites any previous deadline.
+    pub fn set_deadline_in(&self, budget: Duration) {
+        let now = epoch_micros();
+        let deadline = now.saturating_add(budget.as_micros().min(u128::from(u64::MAX)) as u64);
+        self.set_deadline_at(deadline);
+    }
+
+    /// Sets an absolute deadline in [`epoch_micros`] microseconds.
+    /// `u64::MAX` is reserved to mean "no deadline" (same as
+    /// [`clear_deadline`](Self::clear_deadline)).
+    pub fn set_deadline_at(&self, deadline_us: u64) {
+        self.inner.deadline_us.store(deadline_us, Ordering::Release);
+    }
+
+    /// Removes any deadline. Does not un-cancel an explicit
+    /// [`cancel`](Self::cancel).
+    pub fn clear_deadline(&self) {
+        self.inner.deadline_us.store(NO_DEADLINE, Ordering::Release);
+    }
+
+    /// Resets the token to the inert state: not cancelled, no deadline.
+    ///
+    /// Service shards reuse one token across requests; `reset` between
+    /// requests is what makes that sound.
+    pub fn reset(&self) {
+        self.inner.cancelled.store(false, Ordering::Release);
+        self.clear_deadline();
+    }
+
+    /// The deadline in monotonic microseconds, if one is set.
+    pub fn deadline_us(&self) -> Option<u64> {
+        match self.inner.deadline_us.load(Ordering::Acquire) {
+            NO_DEADLINE => None,
+            d => Some(d),
+        }
+    }
+
+    /// The phase-boundary poll: `Ok(())` while the run may continue,
+    /// otherwise the terminal error to surface.
+    ///
+    /// Explicit cancellation wins over a simultaneously-expired deadline
+    /// (the caller asked first).
+    pub fn check(&self) -> Result<(), SemisortError> {
+        if self.is_cancelled() {
+            return Err(SemisortError::Cancelled);
+        }
+        let deadline_us = self.inner.deadline_us.load(Ordering::Acquire);
+        if deadline_us != NO_DEADLINE {
+            let now_us = epoch_micros();
+            if now_us >= deadline_us {
+                return Err(SemisortError::DeadlineExceeded {
+                    deadline_us,
+                    now_us,
+                });
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fresh_token_is_inert() {
+        let t = CancelToken::new();
+        assert!(!t.is_cancelled());
+        assert_eq!(t.deadline_us(), None);
+        assert!(t.check().is_ok());
+    }
+
+    #[test]
+    fn cancel_is_shared_across_clones_and_idempotent() {
+        let t = CancelToken::new();
+        let clone = t.clone();
+        clone.cancel();
+        clone.cancel();
+        assert!(t.is_cancelled());
+        assert_eq!(t.check(), Err(SemisortError::Cancelled));
+    }
+
+    #[test]
+    fn past_deadline_reports_both_clock_readings() {
+        let t = CancelToken::new();
+        t.set_deadline_at(1); // long past on the monotonic clock
+        match t.check() {
+            Err(SemisortError::DeadlineExceeded {
+                deadline_us,
+                now_us,
+            }) => {
+                assert_eq!(deadline_us, 1);
+                assert!(now_us >= deadline_us);
+            }
+            other => panic!("expected DeadlineExceeded, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn future_deadline_does_not_fire() {
+        let t = CancelToken::new();
+        t.set_deadline_in(Duration::from_secs(3600));
+        assert!(t.check().is_ok());
+        t.clear_deadline();
+        assert_eq!(t.deadline_us(), None);
+    }
+
+    #[test]
+    fn cancellation_wins_over_expired_deadline() {
+        let t = CancelToken::new();
+        t.set_deadline_at(1);
+        t.cancel();
+        assert_eq!(t.check(), Err(SemisortError::Cancelled));
+    }
+
+    #[test]
+    fn reset_restores_inert_state() {
+        let t = CancelToken::new();
+        t.cancel();
+        t.set_deadline_at(1);
+        t.reset();
+        assert!(t.check().is_ok());
+        assert_eq!(t.deadline_us(), None);
+    }
+}

@@ -8,6 +8,7 @@ use rayon::trace::SchedulerStats;
 
 use crate::blocked_scatter::blocked_scatter;
 use crate::buckets::build_plan;
+use crate::cancel::CancelToken;
 use crate::config::{OverflowPolicy, ScatterStrategy, SemisortConfig};
 use crate::error::SemisortError;
 use crate::fault::FaultPlan;
@@ -90,9 +91,28 @@ pub fn try_semisort_with_stats<V: Copy + Send + Sync>(
     records: &[(u64, V)],
     cfg: &SemisortConfig,
 ) -> Result<(Vec<(u64, V)>, SemisortStats), SemisortError> {
+    try_semisort_with_stats_cancellable(records, cfg, &CancelToken::new())
+}
+
+/// [`try_semisort_with_stats`] with a caller-supplied [`CancelToken`].
+///
+/// The token is polled at **phase boundaries** (never inside a phase's hot
+/// loop), so cancellation latency is bounded by the longest single phase.
+/// A run that observes the token returns
+/// [`SemisortError::Cancelled`] / [`SemisortError::DeadlineExceeded`]
+/// *before* touching the output: the result is all-or-nothing, never a
+/// partially-written semisort. A tripped token also suppresses the
+/// [`OverflowPolicy::Fallback`] degradation path — a caller whose deadline
+/// has passed does not want an even slower comparison sort.
+#[must_use = "the Err carries the failure that the config asked to surface"]
+pub fn try_semisort_with_stats_cancellable<V: Copy + Send + Sync>(
+    records: &[(u64, V)],
+    cfg: &SemisortConfig,
+    cancel: &CancelToken,
+) -> Result<(Vec<(u64, V)>, SemisortStats), SemisortError> {
     let mut pool = ScratchPool::new();
     let mut out = Vec::new();
-    let stats = try_semisort_into_pooled(records, cfg, &mut pool, &mut out)?;
+    let stats = try_semisort_into_pooled(records, cfg, &mut pool, &mut out, cancel)?;
     Ok((out, stats))
 }
 
@@ -108,10 +128,11 @@ pub(crate) fn try_semisort_into_pooled<V: Copy + Send + Sync>(
     cfg: &SemisortConfig,
     pool: &mut ScratchPool,
     out: &mut Vec<(u64, V)>,
+    cancel: &CancelToken,
 ) -> Result<SemisortStats, SemisortError> {
     cfg.try_validate()?;
     let mut counters = ScratchCounters::default();
-    let result = run_pooled(records, cfg, pool, out, &mut counters);
+    let result = run_pooled(records, cfg, pool, out, &mut counters, cancel);
     pool.enforce_budget(cfg.max_scratch_bytes);
     let mut stats = result?;
     stats.scratch_reuse_hits = counters.reuse_hits;
@@ -138,7 +159,9 @@ fn run_pooled<V: Copy + Send + Sync>(
     pool: &mut ScratchPool,
     out: &mut Vec<(u64, V)>,
     counters: &mut ScratchCounters,
+    cancel: &CancelToken,
 ) -> Result<SemisortStats, SemisortError> {
+    cancel.check()?;
     let n = records.len();
     let mut stats = SemisortStats {
         n,
@@ -187,6 +210,9 @@ fn run_pooled<V: Copy + Send + Sync>(
     let mut retry_causes: Vec<RetryCause> = Vec::new();
     let mut faults_injected = 0u32;
     loop {
+        // Retry boundary: a deadline that expired while the previous attempt
+        // was scattering fires here, before any of this attempt's work.
+        cancel.check()?;
         // Each retry re-randomizes every random choice and doubles the
         // slack α (Corollary 3.4 failures are overwhelmingly due to an
         // unlucky sample underestimating a bucket). The per-attempt seed is
@@ -209,10 +235,12 @@ fn run_pooled<V: Copy + Send + Sync>(
         let forced_overflow = cfg.fault.forced_overflow(attempt);
         let fail_alloc = cfg.fault.alloc_fails(attempt);
         let corrupt_sample = cfg.fault.sample_corrupted(attempt);
+        let forced_panic = cfg.fault.panics(attempt);
         for (armed, kind) in [
             (forced_overflow.is_some(), "force-overflow"),
             (fail_alloc, "fail-alloc"),
             (corrupt_sample, "corrupt-sample"),
+            (forced_panic, "panic"),
         ] {
             if armed {
                 faults_injected += 1;
@@ -235,6 +263,7 @@ fn run_pooled<V: Copy + Send + Sync>(
         parlay::radix_sort::radix_sort_u64(sample);
         stats.t_sample_sort = span.finish_into(&mut stats.spans);
         stats.sample_size = sample.len();
+        cancel.check()?;
 
         // Phase 2: bucket construction (classification, table, allocation).
         let span = PhaseSpan::start("construct_buckets");
@@ -256,7 +285,7 @@ fn run_pooled<V: Copy + Send + Sync>(
                 faults_injected,
                 sched_before.as_ref(),
             );
-            escalate(records, cfg, err, &mut stats, out)?;
+            escalate(records, cfg, err, &mut stats, out, cancel)?;
             return Ok(stats);
         }
         let slots: &[Slot<V>] = match arena.lease_slots::<V>(plan.total_slots, fail_alloc, counters)
@@ -271,7 +300,7 @@ fn run_pooled<V: Copy + Send + Sync>(
                     faults_injected,
                     sched_before.as_ref(),
                 );
-                escalate(records, cfg, err, &mut stats, out)?;
+                escalate(records, cfg, err, &mut stats, out, cancel)?;
                 return Ok(stats);
             }
         };
@@ -279,10 +308,21 @@ fn run_pooled<V: Copy + Send + Sync>(
         stats.heavy_keys = plan.num_heavy;
         stats.light_buckets = plan.num_light;
         stats.total_slots = plan.total_slots;
+        cancel.check()?;
 
         // Phase 3: scatter (the paper's CAS loop or the block-buffered
         // variant; both fill the same arena under the same contract).
         let span = PhaseSpan::start("scatter");
+        if forced_panic {
+            // Chaos injection: a real unwind from the middle of the hot
+            // phase, for the service layer's `catch_unwind` containment to
+            // absorb. All scratch is leased from `pool` via borrows, so the
+            // unwind cannot leave a lease dangling (tests/poison_recovery.rs).
+            panic!(
+                "semisort: injected panic (fault plan `{}`)",
+                cfg.fault.spec()
+            );
+        }
         let (heavy_records, overflowed, overflow) = match run_cfg.scatter_strategy {
             ScatterStrategy::RandomCas => {
                 let o = scatter(
@@ -350,18 +390,22 @@ fn run_pooled<V: Copy + Send + Sync>(
                     faults_injected,
                     sched_before.as_ref(),
                 );
-                escalate(records, cfg, err, &mut stats, out)?;
+                escalate(records, cfg, err, &mut stats, out, cancel)?;
                 return Ok(stats);
             }
             continue;
         }
         stats.heavy_records = heavy_records;
         stats.light_records = n - heavy_records;
+        cancel.check()?;
 
         // Phase 4: local sort of the light buckets.
         let span = PhaseSpan::start("local_sort");
         let light_counts = local_sort_light_buckets(&plan, slots, run_cfg.local_sort_algo, &sink);
         stats.t_local_sort = span.finish_into(&mut stats.spans);
+        // Last cancellation point: past here the run commits to writing
+        // `out`, and finishing is cheaper than throwing the work away.
+        cancel.check()?;
 
         // Phase 5: pack.
         let span = PhaseSpan::start("pack");
@@ -416,13 +460,19 @@ fn finish_stats(
 /// the error, or panic. Errors with no
 /// [`DegradeReason`](crate::error::DegradeReason) (invalid config) are
 /// surfaced under every policy — there is nothing to fall back *to*.
+///
+/// A tripped [`CancelToken`] overrides the policy: a caller whose deadline
+/// has already passed must not be handed to the comparison-sort fallback,
+/// which is the *slowest* path in the crate.
 fn escalate<V: Copy + Send + Sync>(
     records: &[(u64, V)],
     cfg: &SemisortConfig,
     err: SemisortError,
     stats: &mut SemisortStats,
     out: &mut Vec<(u64, V)>,
+    cancel: &CancelToken,
 ) -> Result<(), SemisortError> {
+    cancel.check()?;
     match cfg.overflow_policy {
         OverflowPolicy::Fallback => {
             let Some(reason) = err.degrade_reason() else {

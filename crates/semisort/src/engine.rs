@@ -47,6 +47,7 @@ use crate::api::{
     apply_permutation_with_scratch, hash_key, repair_collisions_on_perm, repair_hash_collisions,
     Groups,
 };
+use crate::cancel::CancelToken;
 use crate::config::SemisortConfig;
 use crate::driver::try_semisort_into_pooled;
 use crate::error::SemisortError;
@@ -65,6 +66,7 @@ pub struct Semisorter {
     cfg: SemisortConfig,
     pool: ScratchPool,
     last_stats: SemisortStats,
+    cancel: CancelToken,
 }
 
 impl Semisorter {
@@ -82,12 +84,22 @@ impl Semisorter {
             cfg,
             pool: ScratchPool::new(),
             last_stats: SemisortStats::default(),
+            cancel: CancelToken::new(),
         })
     }
 
     /// The configuration every call runs with.
     pub fn config(&self) -> &SemisortConfig {
         &self.cfg
+    }
+
+    /// The engine's [`CancelToken`], polled at phase boundaries by every
+    /// method. Clone it to another thread to cancel or deadline a call in
+    /// flight; the engine does **not** reset it between calls — services
+    /// that reuse a token per request call [`CancelToken::reset`]
+    /// themselves (see `semisortd`'s shard loop).
+    pub fn cancel_token(&self) -> &CancelToken {
+        &self.cancel
     }
 
     /// Stats of the most recent successful call (default-initialized before
@@ -128,7 +140,8 @@ impl Semisorter {
         records: &[(u64, V)],
     ) -> Result<Vec<(u64, V)>, SemisortError> {
         let mut out = Vec::new();
-        let result = try_semisort_into_pooled(records, &self.cfg, &mut self.pool, &mut out);
+        let result =
+            try_semisort_into_pooled(records, &self.cfg, &mut self.pool, &mut out, &self.cancel);
         self.finish();
         self.last_stats = result?;
         self.last_stats.scratch_bytes_held = self.pool.bytes_held();
@@ -153,7 +166,13 @@ impl Semisorter {
             .enumerate()
             .with_min_len(4096)
             .for_each(|(i, slot)| *slot = (hash_key(&key(&items[i])), i as u64));
-        let result = try_semisort_into_pooled(&hashed, &self.cfg, &mut self.pool, &mut placed);
+        let result = try_semisort_into_pooled(
+            &hashed,
+            &self.cfg,
+            &mut self.pool,
+            &mut placed,
+            &self.cancel,
+        );
         self.pool.hashed = hashed;
         self.pool.placed = placed;
         self.finish();

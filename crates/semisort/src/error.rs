@@ -70,6 +70,49 @@ pub enum SemisortError {
         /// The attempt (0-based) whose allocation failed.
         attempt: u32,
     },
+    /// A service refused the request because accepting it would exceed a
+    /// resource budget (admission control: shard queues full, request too
+    /// large, or the estimated arena over
+    /// [`SemisortConfig::max_arena_bytes`](crate::config::SemisortConfig::max_arena_bytes)).
+    /// Shedding load with this error — instead of queueing unboundedly —
+    /// is what keeps an overloaded `semisortd` answering.
+    Overloaded {
+        /// What was over budget (a static admission-check label, e.g.
+        /// `"queue-full"`, `"arena-estimate"`, `"request-records"`,
+        /// `"draining"`).
+        reason: &'static str,
+        /// The demand that was measured against the limit (units depend on
+        /// `reason`: bytes, records, or queued requests).
+        required: u64,
+        /// The configured limit the demand exceeded.
+        limit: u64,
+    },
+    /// The run's [`CancelToken`](crate::cancel::CancelToken) deadline
+    /// passed before the run completed. Checked at phase boundaries, so
+    /// the caller's buffers are either untouched or fully semisorted —
+    /// never partially permuted. Surfaced under **every**
+    /// [`OverflowPolicy`](crate::config::OverflowPolicy): falling back to
+    /// a comparison sort would burn *more* time, which is exactly what a
+    /// deadline forbids.
+    DeadlineExceeded {
+        /// The deadline, µs since the process epoch
+        /// (see [`crate::obs::epoch_micros`]).
+        deadline_us: u64,
+        /// When the overrun was observed, µs since the same epoch.
+        now_us: u64,
+    },
+    /// The run's [`CancelToken`](crate::cancel::CancelToken) was cancelled
+    /// explicitly (client disconnect, shutdown drain). Same
+    /// phase-boundary / policy-independent semantics as
+    /// [`SemisortError::DeadlineExceeded`].
+    Cancelled,
+    /// The engine shard serving this request was poisoned by a panic and
+    /// has been (or is being) rebuilt. The request did not complete; a
+    /// retry against the rebuilt shard is safe.
+    EnginePoisoned {
+        /// Which shard panicked (service-assigned index).
+        shard: u32,
+    },
 }
 
 impl SemisortError {
@@ -81,6 +124,34 @@ impl SemisortError {
             SemisortError::RetriesExhausted { .. } => "retries-exhausted",
             SemisortError::ArenaBudgetExceeded { .. } => "arena-budget-exceeded",
             SemisortError::ArenaAllocFailed { .. } => "arena-alloc-failed",
+            SemisortError::Overloaded { .. } => "overloaded",
+            SemisortError::DeadlineExceeded { .. } => "deadline-exceeded",
+            SemisortError::Cancelled => "cancelled",
+            SemisortError::EnginePoisoned { .. } => "engine-poisoned",
+        }
+    }
+
+    /// Process exit code for this error in the CLI/service binaries, so a
+    /// supervisor (or the chaos soak) can distinguish failure classes
+    /// without parsing stderr. The structured `{"event":"error"}` line
+    /// carries the same value as `"exit_code"`.
+    ///
+    /// `1` — terminal algorithmic failure (retries / arena budget / alloc);
+    /// `2` — invalid configuration or usage;
+    /// `3` — overloaded (load was shed; retry later);
+    /// `4` — deadline exceeded;
+    /// `5` — cancelled;
+    /// `6` — engine shard poisoned (rebuilt; retry is safe).
+    pub fn exit_code(&self) -> i32 {
+        match self {
+            SemisortError::RetriesExhausted { .. }
+            | SemisortError::ArenaBudgetExceeded { .. }
+            | SemisortError::ArenaAllocFailed { .. } => 1,
+            SemisortError::InvalidConfig { .. } => 2,
+            SemisortError::Overloaded { .. } => 3,
+            SemisortError::DeadlineExceeded { .. } => 4,
+            SemisortError::Cancelled => 5,
+            SemisortError::EnginePoisoned { .. } => 6,
         }
     }
 
@@ -92,10 +163,14 @@ impl SemisortError {
     #[must_use]
     pub fn degrade_reason(&self) -> Option<DegradeReason> {
         match self {
-            SemisortError::InvalidConfig { .. } => None,
             SemisortError::RetriesExhausted { .. } => Some(DegradeReason::RetriesExhausted),
             SemisortError::ArenaBudgetExceeded { .. } => Some(DegradeReason::BudgetExceeded),
             SemisortError::ArenaAllocFailed { .. } => Some(DegradeReason::AllocFailed),
+            // Cancellation-family and service errors are never degradable:
+            // the comparison-sort fallback costs *more* time (deadline /
+            // cancel) or re-runs work the service already refused
+            // (overloaded / poisoned).
+            _ => None,
         }
     }
 }
@@ -126,6 +201,28 @@ impl fmt::Display for SemisortError {
                     "arena allocation of {bytes} bytes failed on attempt {attempt}"
                 )
             }
+            SemisortError::Overloaded {
+                reason,
+                required,
+                limit,
+            } => write!(
+                f,
+                "overloaded ({reason}): demand {required} exceeds limit {limit}; \
+                 request shed, retry with backoff"
+            ),
+            SemisortError::DeadlineExceeded {
+                deadline_us,
+                now_us,
+            } => write!(
+                f,
+                "deadline exceeded: {}µs past the {deadline_us}µs deadline",
+                now_us.saturating_sub(*deadline_us)
+            ),
+            SemisortError::Cancelled => write!(f, "run cancelled before completion"),
+            SemisortError::EnginePoisoned { shard } => write!(
+                f,
+                "engine shard {shard} was poisoned by a panic and rebuilt; retry is safe"
+            ),
         }
     }
 }
@@ -186,6 +283,71 @@ mod tests {
         };
         assert_eq!(e.kind(), "arena-alloc-failed");
         assert_eq!(e.degrade_reason().unwrap().as_str(), "alloc-failed");
+    }
+
+    #[test]
+    fn service_variants_are_terminal_not_degradable() {
+        let overloaded = SemisortError::Overloaded {
+            reason: "queue-full",
+            required: 9,
+            limit: 8,
+        };
+        assert_eq!(overloaded.kind(), "overloaded");
+        assert_eq!(overloaded.degrade_reason(), None);
+        assert_eq!(overloaded.exit_code(), 3);
+        assert!(overloaded.to_string().contains("queue-full"));
+
+        let deadline = SemisortError::DeadlineExceeded {
+            deadline_us: 1000,
+            now_us: 1500,
+        };
+        assert_eq!(deadline.kind(), "deadline-exceeded");
+        assert_eq!(deadline.degrade_reason(), None);
+        assert_eq!(deadline.exit_code(), 4);
+        assert!(deadline.to_string().contains("500µs"), "{deadline}");
+
+        assert_eq!(SemisortError::Cancelled.kind(), "cancelled");
+        assert_eq!(SemisortError::Cancelled.exit_code(), 5);
+        assert_eq!(SemisortError::Cancelled.degrade_reason(), None);
+
+        let poisoned = SemisortError::EnginePoisoned { shard: 3 };
+        assert_eq!(poisoned.kind(), "engine-poisoned");
+        assert_eq!(poisoned.degrade_reason(), None);
+        assert_eq!(poisoned.exit_code(), 6);
+        assert!(poisoned.to_string().contains("shard 3"));
+    }
+
+    #[test]
+    fn exit_codes_partition_the_error_space() {
+        // Degradable runtime failures share exit code 1; every other kind
+        // gets a distinct code a supervisor can branch on.
+        let runtime = SemisortError::RetriesExhausted {
+            attempts: 4,
+            alpha: 8.8,
+            n: 10,
+        };
+        assert_eq!(runtime.exit_code(), 1);
+        assert_eq!(SemisortError::InvalidConfig { reason: "x" }.exit_code(), 2);
+        let mut codes = vec![
+            runtime.exit_code(),
+            SemisortError::InvalidConfig { reason: "x" }.exit_code(),
+            SemisortError::Overloaded {
+                reason: "r",
+                required: 1,
+                limit: 0,
+            }
+            .exit_code(),
+            SemisortError::DeadlineExceeded {
+                deadline_us: 0,
+                now_us: 1,
+            }
+            .exit_code(),
+            SemisortError::Cancelled.exit_code(),
+            SemisortError::EnginePoisoned { shard: 0 }.exit_code(),
+        ];
+        codes.sort_unstable();
+        codes.dedup();
+        assert_eq!(codes.len(), 6, "codes must be pairwise distinct");
     }
 
     #[test]

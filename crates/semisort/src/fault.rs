@@ -19,6 +19,10 @@
 //!   planning, simulating the sample badly underestimating bucket sizes;
 //!   unlike the forced overflow this triggers a *natural* overflow
 //!   downstream, end-to-end through estimate/buckets/scatter.
+//! - **Forced panic** — the driver panics mid-scatter, exercising the
+//!   `catch_unwind` poison/rebuild containment in the `semisortd` service
+//!   layer (DESIGN.md §14) and the no-dangling-leases guarantee of
+//!   [`crate::pool::ScratchPool`].
 //!
 //! Faults are armed per attempt: each knob fires on the first *k* attempts
 //! of a run (attempts are 0-based internally; `k = 1` faults only the
@@ -64,6 +68,10 @@ pub struct FaultPlan {
     pub fail_alloc_attempts: u32,
     /// Corrupt (decimate) the Phase 1 sample on the first `k` attempts.
     pub corrupt_sample_attempts: u32,
+    /// Panic mid-scatter on the first `k` attempts (service-layer chaos:
+    /// the driver raises a real unwind for `catch_unwind` containment to
+    /// absorb).
+    pub panic_attempts: u32,
 }
 
 /// Keep-1-in-N decimation factor used by [`FaultPlan::corrupt_sample`]: the
@@ -78,6 +86,7 @@ impl FaultPlan {
         force_overflow_class: FaultClass::Any,
         fail_alloc_attempts: 0,
         corrupt_sample_attempts: 0,
+        panic_attempts: 0,
     };
 
     /// Whether this plan injects no faults at all.
@@ -85,6 +94,7 @@ impl FaultPlan {
         self.force_overflow_attempts == 0
             && self.fail_alloc_attempts == 0
             && self.corrupt_sample_attempts == 0
+            && self.panic_attempts == 0
     }
 
     /// The bucket class to force-overflow on this (0-based) attempt, if any.
@@ -100,6 +110,11 @@ impl FaultPlan {
     /// Whether the sample is corrupted on this (0-based) attempt.
     pub fn sample_corrupted(&self, attempt: u32) -> bool {
         attempt < self.corrupt_sample_attempts
+    }
+
+    /// Whether the driver panics mid-scatter on this (0-based) attempt.
+    pub fn panics(&self, attempt: u32) -> bool {
+        attempt < self.panic_attempts
     }
 
     /// Decimate `sample` in place, keeping every
@@ -120,7 +135,7 @@ impl FaultPlan {
     /// clauses, e.g. `force-overflow:2` or
     /// `corrupt-sample:1,fail-alloc:1`. Kinds: `force-overflow`,
     /// `force-overflow-heavy`, `force-overflow-light`, `fail-alloc`,
-    /// `corrupt-sample`.
+    /// `corrupt-sample`, `panic`.
     pub fn parse(spec: &str) -> Result<FaultPlan, String> {
         let mut plan = FaultPlan::default();
         if spec.is_empty() || spec == "none" {
@@ -148,6 +163,7 @@ impl FaultPlan {
                 }
                 "fail-alloc" => plan.fail_alloc_attempts = k,
                 "corrupt-sample" => plan.corrupt_sample_attempts = k,
+                "panic" => plan.panic_attempts = k,
                 other => return Err(format!("unknown fault kind `{other}`")),
             }
         }
@@ -175,6 +191,9 @@ impl FaultPlan {
         if self.corrupt_sample_attempts > 0 {
             parts.push(format!("corrupt-sample:{}", self.corrupt_sample_attempts));
         }
+        if self.panic_attempts > 0 {
+            parts.push(format!("panic:{}", self.panic_attempts));
+        }
         parts.join(",")
     }
 }
@@ -191,6 +210,7 @@ mod tests {
         assert_eq!(p.forced_overflow(0), None);
         assert!(!p.alloc_fails(0));
         assert!(!p.sample_corrupted(0));
+        assert!(!p.panics(0));
         assert_eq!(p.spec(), "none");
     }
 
@@ -221,7 +241,8 @@ mod tests {
             "force-overflow-light:3",
             "fail-alloc:1",
             "corrupt-sample:4",
-            "force-overflow:2,fail-alloc:1,corrupt-sample:1",
+            "panic:1",
+            "force-overflow:2,fail-alloc:1,corrupt-sample:1,panic:2",
         ] {
             let plan = FaultPlan::parse(spec).expect(spec);
             assert_eq!(plan.spec(), spec, "round-trip of {spec}");

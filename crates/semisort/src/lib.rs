@@ -86,6 +86,7 @@ pub mod api;
 pub mod blocked_scatter;
 pub mod bounded;
 pub mod buckets;
+pub mod cancel;
 pub mod config;
 pub mod driver;
 pub mod engine;
@@ -110,17 +111,22 @@ pub use api::{
     try_semisort_permutation, try_semisort_stable_by_key,
 };
 pub use bounded::{semisort_auto, semisort_bounded, try_semisort_auto};
+pub use cancel::CancelToken;
 pub use config::{
     LocalSortAlgo, OverflowPolicy, ProbeStrategy, ScatterStrategy, SemisortConfig,
     SemisortConfigBuilder,
 };
-pub use driver::{semisort_core, semisort_with_stats, try_semisort_core, try_semisort_with_stats};
+pub use driver::{
+    semisort_core, semisort_with_stats, try_semisort_core, try_semisort_with_stats,
+    try_semisort_with_stats_cancellable,
+};
 pub use engine::Semisorter;
 pub use error::{DegradeReason, SemisortError};
 pub use fault::{FaultClass, FaultPlan};
 pub use json::Json;
 pub use obs::{
-    Hist, PhaseSpan, RetryCause, ScratchCounters, SpanRecord, Telemetry, TelemetryLevel,
+    Hist, PhaseSpan, RetryCause, ScratchCounters, ServiceCounters, ServiceSnapshot, SpanRecord,
+    Telemetry, TelemetryLevel,
 };
 pub use pool::ScratchPool;
 pub use stats::SemisortStats;
@@ -138,11 +144,14 @@ pub mod prelude {
         try_semisort_in_place, try_semisort_pairs, try_semisort_permutation,
         try_semisort_stable_by_key, Groups,
     };
+    pub use crate::cancel::CancelToken;
     pub use crate::config::{
         LocalSortAlgo, OverflowPolicy, ProbeStrategy, ScatterStrategy, SemisortConfig,
         SemisortConfigBuilder,
     };
-    pub use crate::driver::{try_semisort_core, try_semisort_with_stats};
+    pub use crate::driver::{
+        try_semisort_core, try_semisort_with_stats, try_semisort_with_stats_cancellable,
+    };
     pub use crate::engine::Semisorter;
     pub use crate::error::{DegradeReason, SemisortError};
     pub use crate::obs::{ScratchCounters, TelemetryLevel};

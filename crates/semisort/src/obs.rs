@@ -282,6 +282,78 @@ pub struct ScratchCounters {
     pub grows: u32,
 }
 
+/// Shared counters for the service layer (`semisortd`): one instance per
+/// server, incremented from shard workers and the admission path, snapshot
+/// into the stats JSON's `service` section. All increments are `Relaxed` —
+/// these are monotonic tallies, not synchronization.
+#[derive(Debug, Default)]
+pub struct ServiceCounters {
+    /// Requests admitted past admission control.
+    pub admitted: AtomicU64,
+    /// Requests that completed successfully.
+    pub completed: AtomicU64,
+    /// Requests shed with `Overloaded` (budget or queue admission).
+    pub shed_overload: AtomicU64,
+    /// Requests that failed with `DeadlineExceeded`.
+    pub deadline_exceeded: AtomicU64,
+    /// Requests that observed explicit cancellation.
+    pub cancelled: AtomicU64,
+    /// Engine-shard panics contained by `catch_unwind` (each poisons the
+    /// shard).
+    pub panics_contained: AtomicU64,
+    /// Poisoned shards rebuilt with a fresh engine.
+    pub shards_rebuilt: AtomicU64,
+    /// Graceful drains completed (all in-flight requests answered before
+    /// shutdown).
+    pub drains: AtomicU64,
+}
+
+impl ServiceCounters {
+    /// Bump one counter by 1 (`Relaxed`; tallies, not synchronization).
+    #[inline]
+    pub fn bump(counter: &AtomicU64) {
+        counter.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// A point-in-time copy of every counter.
+    pub fn snapshot(&self) -> ServiceSnapshot {
+        ServiceSnapshot {
+            admitted: self.admitted.load(Ordering::Relaxed),
+            completed: self.completed.load(Ordering::Relaxed),
+            shed_overload: self.shed_overload.load(Ordering::Relaxed),
+            deadline_exceeded: self.deadline_exceeded.load(Ordering::Relaxed),
+            cancelled: self.cancelled.load(Ordering::Relaxed),
+            panics_contained: self.panics_contained.load(Ordering::Relaxed),
+            shards_rebuilt: self.shards_rebuilt.load(Ordering::Relaxed),
+            drains: self.drains.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// A point-in-time copy of [`ServiceCounters`], carried on
+/// [`SemisortStats`](crate::stats::SemisortStats) as the `service` section
+/// of the stats JSON (absent/`null` for library runs that never went
+/// through a server).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ServiceSnapshot {
+    /// Requests admitted past admission control.
+    pub admitted: u64,
+    /// Requests that completed successfully.
+    pub completed: u64,
+    /// Requests shed with `Overloaded`.
+    pub shed_overload: u64,
+    /// Requests that failed with `DeadlineExceeded`.
+    pub deadline_exceeded: u64,
+    /// Requests that observed explicit cancellation.
+    pub cancelled: u64,
+    /// Engine-shard panics contained by `catch_unwind`.
+    pub panics_contained: u64,
+    /// Poisoned shards rebuilt with a fresh engine.
+    pub shards_rebuilt: u64,
+    /// Graceful drains completed.
+    pub drains: u64,
+}
+
 /// Why one Las Vegas retry happened: the first bucket observed to overflow
 /// on the failed attempt, with its demand versus its allocation.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]

@@ -17,6 +17,9 @@
 //! before/after [`rayon::trace::SchedulerStats`] snapshots — `null` when
 //! no real pool ran, e.g. single-thread or Miri). Consumers that accepted
 //! v1 keep working; `semisort-cli validate-json` accepts both spellings.
+//! Runs that went through the `semisortd` service layer additionally fill
+//! the `"service"` section (admission/shed/poison/drain counters, see
+//! [`crate::obs::ServiceSnapshot`]); library runs leave it `null`.
 //!
 //! ```json
 //! {
@@ -78,6 +81,11 @@
 //!        "park_time_us": 5000, "injector_pops": 1,
 //!        "jobs_executed": 220, "events_total": 210}
 //!     ]
+//!   },
+//!   "service": {
+//!     "admitted": 1000, "completed": 990, "shed_overload": 8,
+//!     "deadline_exceeded": 2, "cancelled": 0, "panics_contained": 1,
+//!     "shards_rebuilt": 1, "drains": 1
 //!   }
 //! }
 //! ```
@@ -103,7 +111,7 @@ use rayon::trace::SchedulerStats;
 use crate::config::{LocalSortAlgo, ProbeStrategy, ScatterStrategy, SemisortConfig};
 use crate::error::DegradeReason;
 use crate::json::Json;
-use crate::obs::{SpanRecord, Telemetry};
+use crate::obs::{ServiceSnapshot, SpanRecord, Telemetry};
 
 /// Timing and structural telemetry for one semisort run.
 #[derive(Clone, Debug, Default)]
@@ -184,6 +192,10 @@ pub struct SemisortStats {
     /// when no real pool ran (single-thread path, Miri, or
     /// [`SemisortConfig::capture_scheduler`] off).
     pub scheduler: Option<SchedulerStats>,
+    /// Service-layer counters (`semisortd`): admission/shed/poison/drain
+    /// tallies snapshot at report time. `None` (`null` in the JSON) for
+    /// library runs that never went through a server.
+    pub service: Option<ServiceSnapshot>,
 }
 
 impl SemisortStats {
@@ -423,6 +435,10 @@ impl SemisortStats {
             Some(s) => scheduler_json(s),
             None => Json::Null,
         };
+        let service = match &self.service {
+            Some(s) => service_json(s),
+            None => Json::Null,
+        };
         Json::Obj(vec![
             ("schema".into(), Json::str("semisort-stats-v2")),
             ("n".into(), Json::num(self.n as u64)),
@@ -433,8 +449,24 @@ impl SemisortStats {
             ("telemetry".into(), telemetry),
             ("spans".into(), spans),
             ("scheduler".into(), scheduler),
+            ("service".into(), service),
         ])
     }
+}
+
+/// The `"service"` section: the `semisortd` degradation-ladder tallies
+/// (`null` for library runs; see [`ServiceSnapshot`]).
+fn service_json(s: &ServiceSnapshot) -> Json {
+    Json::Obj(vec![
+        ("admitted".into(), Json::num(s.admitted)),
+        ("completed".into(), Json::num(s.completed)),
+        ("shed_overload".into(), Json::num(s.shed_overload)),
+        ("deadline_exceeded".into(), Json::num(s.deadline_exceeded)),
+        ("cancelled".into(), Json::num(s.cancelled)),
+        ("panics_contained".into(), Json::num(s.panics_contained)),
+        ("shards_rebuilt".into(), Json::num(s.shards_rebuilt)),
+        ("drains".into(), Json::num(s.drains)),
+    ])
 }
 
 /// The `"scheduler"` section: counters only (ring events stay in memory
@@ -545,11 +577,14 @@ mod tests {
             "telemetry",
             "spans",
             "scheduler",
+            "service",
         ] {
             assert!(back.get(section).is_some(), "missing {section}");
         }
-        // No pool ran for this synthetic stats object.
+        // No pool ran for this synthetic stats object, and it never went
+        // through a server.
         assert_eq!(back.get("scheduler"), Some(&Json::Null));
+        assert_eq!(back.get("service"), Some(&Json::Null));
         let phases = back.get("phases").unwrap();
         for key in [
             "sample_sort_s",
@@ -644,6 +679,33 @@ mod tests {
         assert_eq!(w.get("pops").and_then(Json::as_u64), Some(7));
         let steals_from = w.get("steals_from").and_then(Json::as_arr).unwrap();
         assert_eq!(steals_from[1].as_u64(), Some(3));
+    }
+
+    #[test]
+    fn service_section_serializes_when_present() {
+        let s = SemisortStats {
+            service: Some(ServiceSnapshot {
+                admitted: 100,
+                completed: 93,
+                shed_overload: 4,
+                deadline_exceeded: 2,
+                cancelled: 1,
+                panics_contained: 3,
+                shards_rebuilt: 3,
+                drains: 1,
+            }),
+            ..Default::default()
+        };
+        let back = Json::parse(&s.to_json().to_string()).expect("self-parse");
+        let svc = back.get("service").expect("service section");
+        assert_eq!(svc.get("admitted").and_then(Json::as_u64), Some(100));
+        assert_eq!(svc.get("completed").and_then(Json::as_u64), Some(93));
+        assert_eq!(svc.get("shed_overload").and_then(Json::as_u64), Some(4));
+        assert_eq!(svc.get("deadline_exceeded").and_then(Json::as_u64), Some(2));
+        assert_eq!(svc.get("cancelled").and_then(Json::as_u64), Some(1));
+        assert_eq!(svc.get("panics_contained").and_then(Json::as_u64), Some(3));
+        assert_eq!(svc.get("shards_rebuilt").and_then(Json::as_u64), Some(3));
+        assert_eq!(svc.get("drains").and_then(Json::as_u64), Some(1));
     }
 
     #[test]

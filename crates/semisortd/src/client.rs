@@ -1,0 +1,350 @@
+//! The client: framed requests over TCP with a jittered-exponential,
+//! budget-capped retry policy.
+//!
+//! Retry classification follows the degradation ladder: **transport
+//! failures** (dropped connections, short reads) and **`overloaded`** /
+//! **`engine-poisoned`** replies are retryable — the condition is expected
+//! to clear, and backing off is exactly what admission control asks of
+//! clients. **`deadline-exceeded`** is not retried (the answer is already
+//! late) and neither are invalid-request rejections (retrying a malformed
+//! request re-sends the same malformed request).
+//!
+//! Backoff is exponential with multiplicative jitter in `[0.5, 1.0)` of
+//! the nominal delay (decorrelates clients that were shed by the same
+//! overload spike) and is capped by a **cumulative sleep budget**: a
+//! client gives up when retrying would exceed the budget, bounding the
+//! worst-case time a caller spends on one logical request.
+
+use std::io::{self, Write};
+use std::net::TcpStream;
+use std::time::Duration;
+
+use crate::proto::{read_frame, write_frame, Op, Request, Response};
+
+/// Jittered exponential backoff with a cumulative budget.
+#[derive(Clone, Copy, Debug)]
+pub struct RetryPolicy {
+    /// Nominal delay before the first retry.
+    pub base: Duration,
+    /// Multiplier applied per retry (nominal delay = base × factor^k).
+    pub factor: f64,
+    /// Maximum retries (0 = never retry).
+    pub max_retries: u32,
+    /// Cumulative sleep budget; a retry whose backoff would exceed the
+    /// remaining budget is not taken.
+    pub budget: Duration,
+    /// Seed for the jitter stream (vary per client thread).
+    pub jitter_seed: u64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            base: Duration::from_millis(5),
+            factor: 2.0,
+            max_retries: 6,
+            budget: Duration::from_secs(2),
+            jitter_seed: 0x5EED,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// A policy that never retries.
+    pub fn none() -> Self {
+        RetryPolicy {
+            max_retries: 0,
+            ..Default::default()
+        }
+    }
+
+    /// The jittered backoff before retry `k` (0-based), or `None` when
+    /// `k` exceeds `max_retries` or the remaining budget can't cover it.
+    /// `slept` is the total backoff already spent on this request.
+    pub fn backoff(&self, k: u32, slept: Duration, jitter: &mut u64) -> Option<Duration> {
+        if k >= self.max_retries {
+            return None;
+        }
+        let nominal = self.base.as_secs_f64() * self.factor.powi(k as i32);
+        // Multiplicative jitter in [0.5, 1.0): half the nominal delay is
+        // always respected, full synchronization never happens.
+        let frac = 0.5 + 0.5 * (splitmix64(jitter) >> 11) as f64 / (1u64 << 53) as f64;
+        let delay = Duration::from_secs_f64(nominal * frac);
+        (slept + delay <= self.budget).then_some(delay)
+    }
+}
+
+/// The splitmix64 stream (same mixer the engine uses for retry seeds):
+/// full avalanche, so adjacent seeds still decorrelate.
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut x = *state;
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+/// Why a request ultimately failed at the client.
+#[derive(Debug)]
+pub enum ClientError {
+    /// The transport failed and retries (if any) were exhausted.
+    Io(io::Error),
+    /// The server replied with a structured error that is not retried
+    /// (or retries were exhausted); carries `(code, kind, message)`.
+    Server {
+        /// Exit-style code from the wire.
+        code: u8,
+        /// Stable error kind (`overloaded`, `deadline-exceeded`, …).
+        kind: String,
+        /// Human-readable detail.
+        message: String,
+    },
+    /// The reply frame did not parse.
+    Protocol(&'static str),
+}
+
+impl std::fmt::Display for ClientError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClientError::Io(e) => write!(f, "transport: {e}"),
+            ClientError::Server {
+                code,
+                kind,
+                message,
+            } => write!(f, "server error {kind} (code {code}): {message}"),
+            ClientError::Protocol(what) => write!(f, "protocol: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+/// Whether a structured server error kind is worth retrying.
+pub fn retryable_kind(kind: &str) -> bool {
+    matches!(kind, "overloaded" | "engine-poisoned")
+}
+
+/// A connection to a `semisortd` server, reconnecting lazily after
+/// transport failures.
+pub struct Client {
+    addr: String,
+    stream: Option<TcpStream>,
+    policy: RetryPolicy,
+    jitter: u64,
+    /// Retries taken across this client's lifetime (observability for the
+    /// load generator's report).
+    pub retries_taken: u64,
+    /// Total backoff slept across this client's lifetime.
+    pub backoff_slept: Duration,
+}
+
+impl Client {
+    /// Create a client for `addr` (e.g. `127.0.0.1:7400`). Connects on
+    /// first use.
+    pub fn new(addr: impl Into<String>, policy: RetryPolicy) -> Client {
+        let policy = RetryPolicy {
+            jitter_seed: policy.jitter_seed,
+            ..policy
+        };
+        Client {
+            addr: addr.into(),
+            stream: None,
+            jitter: policy.jitter_seed,
+            policy,
+            retries_taken: 0,
+            backoff_slept: Duration::ZERO,
+        }
+    }
+
+    fn stream(&mut self) -> io::Result<&mut TcpStream> {
+        if self.stream.is_none() {
+            let s = TcpStream::connect(&self.addr)?;
+            s.set_nodelay(true)?;
+            self.stream = Some(s);
+        }
+        Ok(self.stream.as_mut().expect("just connected"))
+    }
+
+    /// One send/receive without retries. Transport errors drop the
+    /// connection so the next attempt reconnects.
+    fn request_once(&mut self, frame: &[u8]) -> Result<Response, ClientError> {
+        let attempt = (|| -> io::Result<Option<Vec<u8>>> {
+            let s = self.stream()?;
+            write_frame(s, frame)?;
+            read_frame(s)
+        })();
+        match attempt {
+            Ok(Some(payload)) => {
+                Response::decode(&payload).ok_or(ClientError::Protocol("unparseable response"))
+            }
+            Ok(None) => {
+                // Server hung up without replying (drop fault / died).
+                self.stream = None;
+                Err(ClientError::Io(io::Error::new(
+                    io::ErrorKind::ConnectionAborted,
+                    "server closed connection without a reply",
+                )))
+            }
+            Err(e) => {
+                self.stream = None;
+                Err(ClientError::Io(e))
+            }
+        }
+    }
+
+    /// Send a request, applying the retry policy to transport failures
+    /// and retryable server errors.
+    pub fn request(&mut self, req: &Request) -> Result<Response, ClientError> {
+        let frame = req.encode();
+        let mut slept = Duration::ZERO;
+        let mut k = 0u32;
+        loop {
+            let outcome = self.request_once(&frame);
+            let retryable = match &outcome {
+                Ok(Response::Error { kind, .. }) => retryable_kind(kind),
+                Ok(_) => return outcome,
+                Err(ClientError::Io(_)) => true,
+                Err(_) => false,
+            };
+            if !retryable {
+                return finalize(outcome);
+            }
+            match self.policy.backoff(k, slept, &mut self.jitter) {
+                Some(delay) => {
+                    std::thread::sleep(delay);
+                    slept += delay;
+                    self.backoff_slept += delay;
+                    self.retries_taken += 1;
+                    k += 1;
+                }
+                None => return finalize(outcome),
+            }
+        }
+    }
+
+    /// Convenience: semisort `records` with an optional deadline.
+    pub fn semisort(
+        &mut self,
+        records: Vec<(u64, u64)>,
+        deadline_ms: u32,
+    ) -> Result<Response, ClientError> {
+        self.request(&Request {
+            op: Op::Semisort,
+            deadline_ms,
+            records,
+        })
+    }
+
+    /// Convenience: fetch the server's stats JSON.
+    pub fn stats(&mut self) -> Result<String, ClientError> {
+        match self.request(&Request {
+            op: Op::Stats,
+            deadline_ms: 0,
+            records: vec![],
+        })? {
+            Response::Stats(json) => Ok(json),
+            _ => Err(ClientError::Protocol("stats reply had wrong variant")),
+        }
+    }
+
+    /// Convenience: ask the server to drain and shut down.
+    pub fn shutdown(&mut self) -> Result<(), ClientError> {
+        match self.request(&Request {
+            op: Op::Shutdown,
+            deadline_ms: 0,
+            records: vec![],
+        })? {
+            Response::ShutdownAck => Ok(()),
+            _ => Err(ClientError::Protocol("shutdown reply had wrong variant")),
+        }
+    }
+
+    /// Chaos helper: write `frac` of the request frame, flush, and close
+    /// the connection — the client side of a short-read fault. The next
+    /// request reconnects.
+    pub fn short_write(&mut self, req: &Request, frac: f64) -> io::Result<()> {
+        let frame = req.encode();
+        let cut = ((frame.len() as f64 * frac.clamp(0.0, 1.0)) as usize).min(frame.len());
+        let s = self.stream()?;
+        s.write_all(&frame[..cut])?;
+        s.flush()?;
+        self.stream = None; // drop → close
+        Ok(())
+    }
+}
+
+/// Turn a retryable-but-exhausted outcome into its terminal error form.
+fn finalize(outcome: Result<Response, ClientError>) -> Result<Response, ClientError> {
+    match outcome {
+        Ok(Response::Error {
+            code,
+            kind,
+            message,
+        }) => Err(ClientError::Server {
+            code,
+            kind,
+            message,
+        }),
+        other => other,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn backoff_is_jittered_exponential_and_budget_capped() {
+        let policy = RetryPolicy {
+            base: Duration::from_millis(10),
+            factor: 2.0,
+            max_retries: 10,
+            budget: Duration::from_millis(100),
+            jitter_seed: 7,
+        };
+        let mut jitter = policy.jitter_seed;
+        let mut slept = Duration::ZERO;
+        let mut delays = Vec::new();
+        let mut k = 0;
+        while let Some(d) = policy.backoff(k, slept, &mut jitter) {
+            // Jitter keeps every delay within [0.5, 1.0) of nominal.
+            let nominal = policy.base.as_secs_f64() * policy.factor.powi(k as i32);
+            assert!(d.as_secs_f64() >= nominal * 0.5 - 1e-9, "k={k}");
+            assert!(d.as_secs_f64() < nominal + 1e-9, "k={k}");
+            slept += d;
+            delays.push(d);
+            k += 1;
+        }
+        assert!(!delays.is_empty(), "some retries must fit the budget");
+        assert!(slept <= policy.budget, "cumulative sleep within budget");
+        // The budget stops it well before max_retries (10 nominal retries
+        // would sleep > 10s against a 100ms budget).
+        assert!(k < policy.max_retries);
+    }
+
+    #[test]
+    fn zero_retries_means_none() {
+        let policy = RetryPolicy::none();
+        let mut jitter = 1;
+        assert_eq!(policy.backoff(0, Duration::ZERO, &mut jitter), None);
+    }
+
+    #[test]
+    fn jitter_streams_decorrelate_by_seed() {
+        let policy = RetryPolicy::default();
+        let mut a_seed = 1u64;
+        let mut b_seed = 2u64;
+        let a = policy.backoff(3, Duration::ZERO, &mut a_seed);
+        let b = policy.backoff(3, Duration::ZERO, &mut b_seed);
+        assert_ne!(a, b, "different seeds should jitter differently");
+    }
+
+    #[test]
+    fn retryable_kinds_follow_the_ladder() {
+        assert!(retryable_kind("overloaded"));
+        assert!(retryable_kind("engine-poisoned"));
+        assert!(!retryable_kind("deadline-exceeded"));
+        assert!(!retryable_kind("invalid-request"));
+        assert!(!retryable_kind("invalid-config"));
+    }
+}

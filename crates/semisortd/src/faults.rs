@@ -1,0 +1,204 @@
+//! Deterministic fault injection for the service layer.
+//!
+//! [`semisort::FaultPlan`] makes the *engine's* failure ladder testable;
+//! [`ServiceFaultPlan`] does the same for the *service's*: dropped
+//! replies, delayed processing, forced shard panics, and short-written
+//! request frames. The spec grammar mirrors the engine's
+//! (`kind:arg` clauses joined by commas, `"none"` for inert) so chaos
+//! recipes read the same at both layers.
+//!
+//! Faults fire on a deterministic **every-k-th** schedule against a
+//! request counter the caller supplies (the server numbers admitted
+//! requests; the load generator numbers sent requests). `k = 0` disables
+//! a clause; `k = 1` fires on every request. Counters are 1-based so
+//! `drop:3` means requests 3, 6, 9, … — the first request always works,
+//! which keeps "server is actually up" distinguishable from "everything
+//! is on fire".
+
+use std::time::Duration;
+
+/// A deterministic service-fault schedule. Each `*_every` field is the
+/// period `k` of an every-k-th trigger (0 = never).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ServiceFaultPlan {
+    /// Drop the connection instead of replying (client sees EOF).
+    pub drop_every: u32,
+    /// Sleep [`ServiceFaultPlan::delay`] before processing (backs queues
+    /// up, expires deadlines).
+    pub delay_every: u32,
+    /// How long a triggered delay sleeps, in milliseconds.
+    pub delay_ms: u32,
+    /// Run the request with an engine plan of `panic:1`, forcing a shard
+    /// panic for `catch_unwind` to contain.
+    pub panic_every: u32,
+    /// Client-side: write only half the request frame, then close
+    /// (exercises the server's short-read handling).
+    pub short_write_every: u32,
+}
+
+impl ServiceFaultPlan {
+    /// A plan that injects nothing (the default).
+    pub const NONE: ServiceFaultPlan = ServiceFaultPlan {
+        drop_every: 0,
+        delay_every: 0,
+        delay_ms: 0,
+        panic_every: 0,
+        short_write_every: 0,
+    };
+
+    /// Whether this plan injects no faults at all.
+    pub fn is_inert(&self) -> bool {
+        self.drop_every == 0
+            && self.delay_every == 0
+            && self.panic_every == 0
+            && self.short_write_every == 0
+    }
+
+    fn every(period: u32, seq: u64) -> bool {
+        period > 0 && seq > 0 && seq.is_multiple_of(u64::from(period))
+    }
+
+    /// Whether request `seq` (1-based) gets its reply dropped.
+    pub fn drops(&self, seq: u64) -> bool {
+        Self::every(self.drop_every, seq)
+    }
+
+    /// The processing delay for request `seq`, if one triggers.
+    pub fn delay(&self, seq: u64) -> Option<Duration> {
+        Self::every(self.delay_every, seq).then(|| Duration::from_millis(u64::from(self.delay_ms)))
+    }
+
+    /// Whether request `seq` forces a shard panic.
+    pub fn panics(&self, seq: u64) -> bool {
+        Self::every(self.panic_every, seq)
+    }
+
+    /// Whether request `seq` is short-written by the client.
+    pub fn short_writes(&self, seq: u64) -> bool {
+        Self::every(self.short_write_every, seq)
+    }
+
+    /// Parse a spec: comma-separated clauses out of `drop:k`,
+    /// `delay-ms:d:k`, `panic:k`, `short-write:k`; `""`/`"none"` is inert.
+    pub fn parse(spec: &str) -> Result<ServiceFaultPlan, String> {
+        let mut plan = ServiceFaultPlan::default();
+        if spec.is_empty() || spec == "none" {
+            return Ok(plan);
+        }
+        for clause in spec.split(',') {
+            let (kind, rest) = clause
+                .split_once(':')
+                .ok_or_else(|| format!("service fault clause `{clause}` is not `kind:arg`"))?;
+            let num = |s: &str| -> Result<u32, String> {
+                s.parse()
+                    .map_err(|_| format!("bad number `{s}` in `{clause}`"))
+            };
+            match kind {
+                "drop" => plan.drop_every = num(rest)?,
+                "delay-ms" => {
+                    let (d, k) = rest
+                        .split_once(':')
+                        .ok_or_else(|| format!("`{clause}` is not `delay-ms:millis:k`"))?;
+                    plan.delay_ms = num(d)?;
+                    plan.delay_every = num(k)?;
+                }
+                "panic" => plan.panic_every = num(rest)?,
+                "short-write" => plan.short_write_every = num(rest)?,
+                other => return Err(format!("unknown service fault kind `{other}`")),
+            }
+        }
+        Ok(plan)
+    }
+
+    /// The canonical spec string (round-trips through
+    /// [`ServiceFaultPlan::parse`]; `"none"` when inert). Echoed into
+    /// ready/report lines so a chaos run is self-describing.
+    pub fn spec(&self) -> String {
+        if self.is_inert() {
+            return "none".into();
+        }
+        let mut parts = Vec::new();
+        if self.drop_every > 0 {
+            parts.push(format!("drop:{}", self.drop_every));
+        }
+        if self.delay_every > 0 {
+            parts.push(format!("delay-ms:{}:{}", self.delay_ms, self.delay_every));
+        }
+        if self.panic_every > 0 {
+            parts.push(format!("panic:{}", self.panic_every));
+        }
+        if self.short_write_every > 0 {
+            parts.push(format!("short-write:{}", self.short_write_every));
+        }
+        parts.join(",")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_inert() {
+        let p = ServiceFaultPlan::default();
+        assert!(p.is_inert());
+        assert_eq!(p, ServiceFaultPlan::NONE);
+        assert_eq!(p.spec(), "none");
+        for seq in 0..10 {
+            assert!(!p.drops(seq) && !p.panics(seq) && !p.short_writes(seq));
+            assert_eq!(p.delay(seq), None);
+        }
+    }
+
+    #[test]
+    fn every_kth_schedule_is_one_based() {
+        let p = ServiceFaultPlan {
+            drop_every: 3,
+            ..Default::default()
+        };
+        let fired: Vec<u64> = (0..10).filter(|&s| p.drops(s)).collect();
+        assert_eq!(fired, vec![3, 6, 9], "first request never faulted");
+        let every = ServiceFaultPlan {
+            panic_every: 1,
+            ..Default::default()
+        };
+        assert!(every.panics(1) && every.panics(2));
+        assert!(!every.panics(0), "seq 0 is reserved as 'no request'");
+    }
+
+    #[test]
+    fn delay_carries_duration() {
+        let p = ServiceFaultPlan {
+            delay_every: 2,
+            delay_ms: 40,
+            ..Default::default()
+        };
+        assert_eq!(p.delay(1), None);
+        assert_eq!(p.delay(2), Some(Duration::from_millis(40)));
+    }
+
+    #[test]
+    fn parse_round_trips() {
+        for spec in [
+            "none",
+            "drop:3",
+            "delay-ms:40:2",
+            "panic:5",
+            "short-write:7",
+            "drop:3,delay-ms:40:2,panic:5,short-write:7",
+        ] {
+            let plan = ServiceFaultPlan::parse(spec).expect(spec);
+            assert_eq!(plan.spec(), spec, "round-trip of {spec}");
+            assert_eq!(ServiceFaultPlan::parse(&plan.spec()).unwrap(), plan);
+        }
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        assert!(ServiceFaultPlan::parse("drop").is_err());
+        assert!(ServiceFaultPlan::parse("drop:x").is_err());
+        assert!(ServiceFaultPlan::parse("delay-ms:40").is_err());
+        assert!(ServiceFaultPlan::parse("explode:1").is_err());
+        assert!(ServiceFaultPlan::parse("drop:1,,").is_err());
+    }
+}

@@ -1,0 +1,118 @@
+//! Latency recording for sustained-throughput reporting.
+//!
+//! The load generator records one microsecond sample per *successful*
+//! request and reports records/sec plus p50/p99 request latency — the
+//! sustained-throughput entries appended to `BENCH_semisort.json`.
+
+/// A bag of microsecond latency samples with percentile queries.
+///
+/// Samples are kept raw (one `u64` each); percentiles sort a copy on
+/// demand. For the load generator's scale (≤ millions of samples) that is
+/// simpler and more exact than a sketch.
+#[derive(Clone, Debug, Default)]
+pub struct LatencyRecorder {
+    samples_us: Vec<u64>,
+}
+
+impl LatencyRecorder {
+    /// An empty recorder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record one sample.
+    pub fn record_us(&mut self, us: u64) {
+        self.samples_us.push(us);
+    }
+
+    /// Merge another recorder's samples into this one (per-thread
+    /// recorders, merged at report time).
+    pub fn merge(&mut self, other: &LatencyRecorder) {
+        self.samples_us.extend_from_slice(&other.samples_us);
+    }
+
+    /// Number of samples recorded.
+    pub fn len(&self) -> usize {
+        self.samples_us.len()
+    }
+
+    /// Whether no samples have been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.samples_us.is_empty()
+    }
+
+    /// The `q`-quantile (0.0 ≤ q ≤ 1.0) in microseconds, by the
+    /// nearest-rank method. `None` when empty.
+    pub fn quantile_us(&self, q: f64) -> Option<u64> {
+        if self.samples_us.is_empty() {
+            return None;
+        }
+        let mut sorted = self.samples_us.clone();
+        sorted.sort_unstable();
+        let q = q.clamp(0.0, 1.0);
+        // Nearest-rank: ceil(q * N), 1-based; q = 0 maps to rank 1.
+        let rank = ((q * sorted.len() as f64).ceil() as usize).max(1);
+        Some(sorted[rank - 1])
+    }
+
+    /// Median latency in seconds. `None` when empty.
+    pub fn p50_s(&self) -> Option<f64> {
+        self.quantile_us(0.50).map(|us| us as f64 / 1e6)
+    }
+
+    /// 99th-percentile latency in seconds. `None` when empty.
+    pub fn p99_s(&self) -> Option<f64> {
+        self.quantile_us(0.99).map(|us| us as f64 / 1e6)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_has_no_quantiles() {
+        let r = LatencyRecorder::new();
+        assert!(r.is_empty());
+        assert_eq!(r.quantile_us(0.5), None);
+        assert_eq!(r.p50_s(), None);
+        assert_eq!(r.p99_s(), None);
+    }
+
+    #[test]
+    fn nearest_rank_quantiles() {
+        let mut r = LatencyRecorder::new();
+        for us in [10u64, 20, 30, 40, 50, 60, 70, 80, 90, 100] {
+            r.record_us(us);
+        }
+        assert_eq!(r.len(), 10);
+        assert_eq!(r.quantile_us(0.0), Some(10));
+        assert_eq!(r.quantile_us(0.50), Some(50));
+        assert_eq!(r.quantile_us(0.99), Some(100));
+        assert_eq!(r.quantile_us(1.0), Some(100));
+        assert_eq!(r.p50_s(), Some(50e-6));
+    }
+
+    #[test]
+    fn merge_combines_samples() {
+        let mut a = LatencyRecorder::new();
+        a.record_us(1);
+        let mut b = LatencyRecorder::new();
+        b.record_us(3);
+        b.record_us(2);
+        a.merge(&b);
+        assert_eq!(a.len(), 3);
+        assert_eq!(a.quantile_us(1.0), Some(3));
+        // Order of recording doesn't matter.
+        assert_eq!(a.quantile_us(0.5), Some(2));
+    }
+
+    #[test]
+    fn single_sample_is_every_quantile() {
+        let mut r = LatencyRecorder::new();
+        r.record_us(77);
+        for q in [0.0, 0.5, 0.99, 1.0] {
+            assert_eq!(r.quantile_us(q), Some(77));
+        }
+    }
+}

@@ -1,0 +1,437 @@
+//! The wire protocol: length-prefixed binary frames over any
+//! `Read + Write` transport (TCP or stdio).
+//!
+//! Every message is `[u32 payload_len (LE)][payload]`. Requests carry an
+//! opcode, an optional relative deadline, and the `(key, value)` records;
+//! responses carry either an op-specific success body or a structured
+//! `(code, kind, message)` error triple that mirrors
+//! [`semisort::SemisortError::kind`] / `exit_code`. All integers are
+//! little-endian; keys are raw (unhashed) `u64`s — the server hashes.
+//!
+//! The payload length is bounded by [`MAX_FRAME_BYTES`] *before* any
+//! allocation happens: a malicious or corrupt length prefix cannot make
+//! the server allocate unboundedly. (Per-request record caps are the
+//! admission layer's job; this bound is the framing layer's last line.)
+
+use std::io::{self, Read, Write};
+
+/// Hard upper bound on one frame's payload, checked before allocating.
+/// Generous enough for tens of millions of records, small enough that a
+/// corrupt prefix cannot OOM the process.
+pub const MAX_FRAME_BYTES: usize = 1 << 30;
+
+/// Wire opcodes.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum Op {
+    /// Semisort the records; reply with the reordered records.
+    Semisort,
+    /// Semisort and group; reply with records plus group boundaries.
+    GroupBy,
+    /// Reply with one `(key, count)` per distinct key.
+    CountByKey,
+    /// Reply with the server's `semisort-stats-v2` JSON (service section
+    /// filled).
+    Stats,
+    /// Drain every in-flight request, then shut the server down.
+    Shutdown,
+}
+
+impl Op {
+    fn to_byte(self) -> u8 {
+        match self {
+            Op::Semisort => 0,
+            Op::GroupBy => 1,
+            Op::CountByKey => 2,
+            Op::Stats => 3,
+            Op::Shutdown => 4,
+        }
+    }
+
+    fn from_byte(b: u8) -> Option<Op> {
+        Some(match b {
+            0 => Op::Semisort,
+            1 => Op::GroupBy,
+            2 => Op::CountByKey,
+            3 => Op::Stats,
+            4 => Op::Shutdown,
+            _ => return None,
+        })
+    }
+}
+
+/// One parsed request.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Request {
+    /// What to do.
+    pub op: Op,
+    /// Relative deadline in milliseconds; 0 means none.
+    pub deadline_ms: u32,
+    /// The `(key, value)` records (empty for `Stats` / `Shutdown`).
+    pub records: Vec<(u64, u64)>,
+}
+
+/// One parsed response.
+#[derive(Clone, Debug, PartialEq)]
+#[non_exhaustive]
+pub enum Response {
+    /// Semisorted records (every key one contiguous run).
+    Records(Vec<(u64, u64)>),
+    /// Semisorted records plus group boundaries: group `g` is
+    /// `records[starts[g]..starts[g + 1]]`.
+    Groups {
+        /// The semisorted records.
+        records: Vec<(u64, u64)>,
+        /// `num_groups + 1` boundaries into `records`.
+        starts: Vec<u32>,
+    },
+    /// One `(key, count)` per distinct key.
+    Counts(Vec<(u64, u64)>),
+    /// The server's stats JSON text.
+    Stats(String),
+    /// Drain acknowledged; the server is exiting.
+    ShutdownAck,
+    /// Structured failure: `(exit code, error kind, human message)`.
+    /// `kind` matches [`semisort::SemisortError::kind`] for engine errors,
+    /// plus `"invalid-request"` for protocol-level rejections.
+    Error {
+        /// Process-exit-style code ([`semisort::SemisortError::exit_code`]).
+        code: u8,
+        /// Stable machine-readable kind.
+        kind: String,
+        /// Human-readable detail.
+        message: String,
+    },
+}
+
+/// Error kind for requests the server could not even parse.
+pub const KIND_INVALID_REQUEST: &str = "invalid-request";
+/// Exit-style code paired with [`KIND_INVALID_REQUEST`].
+pub const CODE_INVALID_REQUEST: u8 = 10;
+
+fn put_u32(buf: &mut Vec<u8>, v: u32) {
+    buf.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_u64(buf: &mut Vec<u8>, v: u64) {
+    buf.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_str(buf: &mut Vec<u8>, s: &str) {
+    put_u32(buf, s.len() as u32);
+    buf.extend_from_slice(s.as_bytes());
+}
+
+/// A bounds-checked cursor over one frame's payload.
+struct Cursor<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn new(buf: &'a [u8]) -> Self {
+        Cursor { buf, pos: 0 }
+    }
+
+    fn take(&mut self, n: usize) -> Option<&'a [u8]> {
+        let end = self.pos.checked_add(n)?;
+        let s = self.buf.get(self.pos..end)?;
+        self.pos = end;
+        Some(s)
+    }
+
+    fn u8(&mut self) -> Option<u8> {
+        self.take(1).map(|s| s[0])
+    }
+
+    fn u32(&mut self) -> Option<u32> {
+        self.take(4)
+            .map(|s| u32::from_le_bytes(s.try_into().unwrap()))
+    }
+
+    fn u64(&mut self) -> Option<u64> {
+        self.take(8)
+            .map(|s| u64::from_le_bytes(s.try_into().unwrap()))
+    }
+
+    fn str(&mut self) -> Option<String> {
+        let len = self.u32()? as usize;
+        let bytes = self.take(len)?;
+        String::from_utf8(bytes.to_vec()).ok()
+    }
+
+    fn pairs(&mut self, n: usize) -> Option<Vec<(u64, u64)>> {
+        // Size sanity before the allocation: n pairs need 16 n bytes of
+        // remaining payload, so a lying count can't reserve gigabytes.
+        if self.buf.len().saturating_sub(self.pos) < n.checked_mul(16)? {
+            return None;
+        }
+        let mut v = Vec::with_capacity(n);
+        for _ in 0..n {
+            v.push((self.u64()?, self.u64()?));
+        }
+        Some(v)
+    }
+
+    fn at_end(&self) -> bool {
+        self.pos == self.buf.len()
+    }
+}
+
+impl Request {
+    /// Serialize into one frame (length prefix included).
+    pub fn encode(&self) -> Vec<u8> {
+        let mut payload = Vec::with_capacity(9 + self.records.len() * 16);
+        payload.push(self.op.to_byte());
+        put_u32(&mut payload, self.deadline_ms);
+        put_u32(&mut payload, self.records.len() as u32);
+        for &(k, v) in &self.records {
+            put_u64(&mut payload, k);
+            put_u64(&mut payload, v);
+        }
+        frame(payload)
+    }
+
+    /// Parse one frame's payload. `None` on any malformed content
+    /// (unknown op, lying lengths, trailing bytes).
+    pub fn decode(payload: &[u8]) -> Option<Request> {
+        let mut c = Cursor::new(payload);
+        let op = Op::from_byte(c.u8()?)?;
+        let deadline_ms = c.u32()?;
+        let n = c.u32()? as usize;
+        let records = c.pairs(n)?;
+        c.at_end().then_some(Request {
+            op,
+            deadline_ms,
+            records,
+        })
+    }
+}
+
+impl Response {
+    /// Serialize into one frame (length prefix included).
+    pub fn encode(&self) -> Vec<u8> {
+        let mut p = Vec::new();
+        match self {
+            Response::Records(records) => {
+                p.push(0u8);
+                put_u32(&mut p, records.len() as u32);
+                for &(k, v) in records {
+                    put_u64(&mut p, k);
+                    put_u64(&mut p, v);
+                }
+            }
+            Response::Groups { records, starts } => {
+                p.push(1u8);
+                put_u32(&mut p, records.len() as u32);
+                for &(k, v) in records {
+                    put_u64(&mut p, k);
+                    put_u64(&mut p, v);
+                }
+                put_u32(&mut p, starts.len() as u32);
+                for &s in starts {
+                    put_u32(&mut p, s);
+                }
+            }
+            Response::Counts(counts) => {
+                p.push(2u8);
+                put_u32(&mut p, counts.len() as u32);
+                for &(k, c) in counts {
+                    put_u64(&mut p, k);
+                    put_u64(&mut p, c);
+                }
+            }
+            Response::Stats(json) => {
+                p.push(3u8);
+                put_str(&mut p, json);
+            }
+            Response::ShutdownAck => p.push(4u8),
+            Response::Error {
+                code,
+                kind,
+                message,
+            } => {
+                p.push(5u8);
+                p.push(*code);
+                put_str(&mut p, kind);
+                put_str(&mut p, message);
+            }
+        }
+        frame(p)
+    }
+
+    /// Parse one frame's payload. `None` on malformed content.
+    pub fn decode(payload: &[u8]) -> Option<Response> {
+        let mut c = Cursor::new(payload);
+        let resp = match c.u8()? {
+            0 => Response::Records(c.u32().and_then(|n| c.pairs(n as usize))?),
+            1 => {
+                let records = c.u32().and_then(|n| c.pairs(n as usize))?;
+                let g = c.u32()? as usize;
+                if c.buf.len().saturating_sub(c.pos) < g.checked_mul(4)? {
+                    return None;
+                }
+                let mut starts = Vec::with_capacity(g);
+                for _ in 0..g {
+                    starts.push(c.u32()?);
+                }
+                Response::Groups { records, starts }
+            }
+            2 => Response::Counts(c.u32().and_then(|n| c.pairs(n as usize))?),
+            3 => Response::Stats(c.str()?),
+            4 => Response::ShutdownAck,
+            5 => Response::Error {
+                code: c.u8()?,
+                kind: c.str()?,
+                message: c.str()?,
+            },
+            _ => return None,
+        };
+        c.at_end().then_some(resp)
+    }
+}
+
+fn frame(payload: Vec<u8>) -> Vec<u8> {
+    let mut out = Vec::with_capacity(4 + payload.len());
+    out.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    out.extend_from_slice(&payload);
+    out
+}
+
+/// Write one already-encoded frame.
+pub fn write_frame(w: &mut impl Write, frame: &[u8]) -> io::Result<()> {
+    w.write_all(frame)?;
+    w.flush()
+}
+
+/// Read one frame's payload. `Ok(None)` on clean EOF at a frame boundary
+/// (the peer hung up between requests); `Err` on short reads mid-frame,
+/// transport errors, or a length prefix beyond [`MAX_FRAME_BYTES`].
+pub fn read_frame(r: &mut impl Read) -> io::Result<Option<Vec<u8>>> {
+    let mut len_buf = [0u8; 4];
+    // Hand-rolled first read so EOF-before-any-byte is clean (None) while
+    // EOF mid-prefix is a short read (Err).
+    let mut got = 0usize;
+    while got < 4 {
+        match r.read(&mut len_buf[got..])? {
+            0 if got == 0 => return Ok(None),
+            0 => {
+                return Err(io::Error::new(
+                    io::ErrorKind::UnexpectedEof,
+                    "short read in frame length",
+                ))
+            }
+            k => got += k,
+        }
+    }
+    let len = u32::from_le_bytes(len_buf) as usize;
+    if len > MAX_FRAME_BYTES {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("frame of {len} bytes exceeds cap of {MAX_FRAME_BYTES}"),
+        ));
+    }
+    let mut payload = vec![0u8; len];
+    r.read_exact(&mut payload)?;
+    Ok(Some(payload))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn strip(frame: &[u8]) -> &[u8] {
+        &frame[4..]
+    }
+
+    #[test]
+    fn request_round_trips() {
+        let req = Request {
+            op: Op::GroupBy,
+            deadline_ms: 250,
+            records: vec![(1, 10), (u64::MAX, 0), (1, 11)],
+        };
+        let enc = req.encode();
+        let len = u32::from_le_bytes(enc[..4].try_into().unwrap()) as usize;
+        assert_eq!(len, enc.len() - 4);
+        assert_eq!(Request::decode(strip(&enc)), Some(req));
+    }
+
+    #[test]
+    fn response_variants_round_trip() {
+        let cases = [
+            Response::Records(vec![(3, 4), (3, 5)]),
+            Response::Groups {
+                records: vec![(1, 1), (1, 2), (9, 0)],
+                starts: vec![0, 2, 3],
+            },
+            Response::Counts(vec![(7, 2), (9, 1)]),
+            Response::Stats("{\"schema\":\"semisort-stats-v2\"}".into()),
+            Response::ShutdownAck,
+            Response::Error {
+                code: 3,
+                kind: "overloaded".into(),
+                message: "queue full".into(),
+            },
+        ];
+        for resp in cases {
+            let enc = resp.encode();
+            assert_eq!(Response::decode(strip(&enc)), Some(resp));
+        }
+    }
+
+    #[test]
+    fn malformed_payloads_are_rejected_not_panicked() {
+        assert_eq!(Request::decode(&[]), None);
+        assert_eq!(Request::decode(&[99, 0, 0, 0, 0, 0, 0, 0, 0]), None);
+        // Lying record count: claims 1000 records with no bytes behind it.
+        let mut lying = vec![0u8];
+        lying.extend_from_slice(&0u32.to_le_bytes());
+        lying.extend_from_slice(&1000u32.to_le_bytes());
+        assert_eq!(Request::decode(&lying), None);
+        // Trailing garbage after a valid body.
+        let mut trailing = Request {
+            op: Op::Semisort,
+            deadline_ms: 0,
+            records: vec![],
+        }
+        .encode()[4..]
+            .to_vec();
+        trailing.push(0xFF);
+        assert_eq!(Request::decode(&trailing), None);
+        assert_eq!(Response::decode(&[200]), None);
+    }
+
+    #[test]
+    fn frame_io_handles_eof_and_oversize() {
+        use std::io::Cursor as IoCursor;
+        // Clean EOF at a boundary.
+        let mut empty = IoCursor::new(Vec::<u8>::new());
+        assert!(matches!(read_frame(&mut empty), Ok(None)));
+        // Short read mid-prefix.
+        let mut short = IoCursor::new(vec![1u8, 0]);
+        assert!(read_frame(&mut short).is_err());
+        // Short read mid-payload.
+        let mut truncated = IoCursor::new({
+            let mut b = 100u32.to_le_bytes().to_vec();
+            b.extend_from_slice(&[0u8; 10]);
+            b
+        });
+        assert!(read_frame(&mut truncated).is_err());
+        // Oversize prefix refused before allocation.
+        let mut oversize = IoCursor::new(((MAX_FRAME_BYTES as u32) + 1).to_le_bytes().to_vec());
+        assert!(read_frame(&mut oversize).is_err());
+        // Round trip through the io layer.
+        let req = Request {
+            op: Op::Stats,
+            deadline_ms: 0,
+            records: vec![],
+        };
+        let mut buf = Vec::new();
+        write_frame(&mut buf, &req.encode()).unwrap();
+        let mut rd = IoCursor::new(buf);
+        let payload = read_frame(&mut rd).unwrap().unwrap();
+        assert_eq!(Request::decode(&payload), Some(req));
+        assert!(matches!(read_frame(&mut rd), Ok(None)));
+    }
+}

@@ -24,7 +24,8 @@
 //! (`semisort-trace-v1`) file for Perfetto. `validate-json` parses a
 //! stats, trajectory, or trace file with the in-tree JSON reader and
 //! fails on malformed content (`--schema` accepts a comma-separated list
-//! of acceptable names) — the CI smoke check.
+//! of acceptable names; `--require a.b.c` additionally asserts dotted-path
+//! members are present and non-null) — the CI smoke check.
 //!
 //! Failure handling (both `sort --algo semisort` and `bench`):
 //! `--on-overflow <fallback|error|panic>` selects the escalation policy,
@@ -33,7 +34,10 @@
 //! <spec>` injects deterministic faults (`force-overflow:2`,
 //! `corrupt-sample:1,fail-alloc:1`, … — see `semisort::fault`). Under
 //! `--on-overflow error` a terminal failure prints one structured
-//! `{"event":"error",...}` line to stderr and exits 1.
+//! `{"event":"error",...}` line (with an `exit_code` member) to stderr
+//! and exits with [`semisort::SemisortError::exit_code`]'s mapping
+//! (degradable runtime failures 1, invalid config 2, overloaded 3,
+//! deadline exceeded 4, cancelled 5, engine poisoned 6).
 //!
 //! `bench --reuse <k>` runs `k` consecutive calls through one warm
 //! [`semisort::Semisorter`] instead of one one-shot call, reporting
@@ -70,7 +74,7 @@ fn main() {
 
 fn usage_and_exit() -> ! {
     eprintln!(
-        "usage:\n  semisort-cli generate --dist <uniform|exp|zipf>:<param> --n <count> --out <file> [--seed <u64>]\n  semisort-cli sort --input <file> --out <file> [--algo semisort|radix|sample|stdsort|seq-hash|rr] [--scatter random-cas|blocked] [--threads <k>] [--stats] [--stats-json <file>] [--telemetry off|counters|deep] [--on-overflow fallback|error|panic] [--max-retries <k>] [--max-arena-bytes <bytes>] [--max-scratch-bytes <bytes>] [--fault <spec>]\n  semisort-cli verify --input <file>\n  semisort-cli bench [--n <count>] [--dist <spec>] [--quick] [--reuse <k>] [--threads <k>] [--seed <u64>] [--scatter random-cas|blocked] [--telemetry off|counters|deep] [--stats-json <file>] [--trajectory <file|none>] [--on-overflow fallback|error|panic] [--max-retries <k>] [--max-arena-bytes <bytes>] [--max-scratch-bytes <bytes>] [--fault <spec>]\n  semisort-cli trace [--n <count>] [--dist <spec>] [--seed <u64>] [--threads <k>] [--scatter random-cas|blocked] [--out <file>] [--stats-json <file>]\n  semisort-cli validate-json --input <file> [--schema <name>[,<name>...]] [--jsonl]"
+        "usage:\n  semisort-cli generate --dist <uniform|exp|zipf>:<param> --n <count> --out <file> [--seed <u64>]\n  semisort-cli sort --input <file> --out <file> [--algo semisort|radix|sample|stdsort|seq-hash|rr] [--scatter random-cas|blocked] [--threads <k>] [--stats] [--stats-json <file>] [--telemetry off|counters|deep] [--on-overflow fallback|error|panic] [--max-retries <k>] [--max-arena-bytes <bytes>] [--max-scratch-bytes <bytes>] [--fault <spec>]\n  semisort-cli verify --input <file>\n  semisort-cli bench [--n <count>] [--dist <spec>] [--quick] [--reuse <k>] [--threads <k>] [--seed <u64>] [--scatter random-cas|blocked] [--telemetry off|counters|deep] [--stats-json <file>] [--trajectory <file|none>] [--on-overflow fallback|error|panic] [--max-retries <k>] [--max-arena-bytes <bytes>] [--max-scratch-bytes <bytes>] [--fault <spec>]\n  semisort-cli trace [--n <count>] [--dist <spec>] [--seed <u64>] [--threads <k>] [--scatter random-cas|blocked] [--out <file>] [--stats-json <file>]\n  semisort-cli validate-json --input <file> [--schema <name>[,<name>...]] [--require <path>[,<path>...]] [--jsonl]"
     );
     std::process::exit(2);
 }
@@ -243,10 +247,11 @@ fn exit_semisort_error(e: SemisortError) -> ! {
     let line = Json::Obj(vec![
         ("event".into(), Json::str("error")),
         ("kind".into(), Json::str(e.kind())),
+        ("exit_code".into(), Json::num(e.exit_code() as u64)),
         ("message".into(), Json::Str(e.to_string())),
     ]);
     eprintln!("{line}");
-    std::process::exit(1);
+    std::process::exit(e.exit_code());
 }
 
 /// Parse `--telemetry` (default `off`).
@@ -570,6 +575,18 @@ fn validate_json(flags: &Flags) {
             .filter(|s| !s.is_empty())
             .collect()
     });
+    // `--require a.b.c[,x.y]`: each dotted path must resolve to a non-null
+    // member (e.g. `service.admitted` asserts a stats file came from a
+    // service run).
+    let required_paths: Vec<&str> = flags
+        .get("require")
+        .map(|s| {
+            s.split(',')
+                .map(str::trim)
+                .filter(|s| !s.is_empty())
+                .collect()
+        })
+        .unwrap_or_default();
     let check = |chunk: &str, what: &str| {
         let parsed = Json::parse(chunk).unwrap_or_else(|e| {
             eprintln!("{input}: {what}: malformed JSON: {e}");
@@ -580,6 +597,19 @@ fn validate_json(flags: &Flags) {
             if !got.is_some_and(|g| want.contains(&g)) {
                 eprintln!("{input}: {what}: schema {got:?}, expected one of {want:?}");
                 std::process::exit(1);
+            }
+        }
+        for path in &required_paths {
+            let mut node = Some(&parsed);
+            for seg in path.split('.') {
+                node = node.and_then(|n| n.get(seg));
+            }
+            match node {
+                Some(Json::Null) | None => {
+                    eprintln!("{input}: {what}: required member `{path}` is missing or null");
+                    std::process::exit(1);
+                }
+                Some(_) => {}
             }
         }
     };
