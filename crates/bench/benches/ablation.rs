@@ -2,7 +2,10 @@
 //! harness binary, which prints a paper-style sweep table).
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
-use semisort::{semisort_pairs, LocalSortAlgo, ProbeStrategy, ScatterStrategy, SemisortConfig};
+use semisort::{
+    try_semisort_pairs, LocalSortAlgo, ProbeStrategy, ScatterConfig, ScatterStrategy,
+    SemisortConfig,
+};
 use workloads::{generate, Distribution};
 
 const N: usize = 500_000;
@@ -67,29 +70,56 @@ fn bench_ablation(c: &mut Criterion) {
         (
             "blocked_scatter",
             SemisortConfig {
-                scatter_strategy: ScatterStrategy::Blocked,
+                scatter: ScatterConfig {
+                    strategy: ScatterStrategy::Blocked,
+                    ..ScatterConfig::default()
+                },
                 ..base
             },
         ),
         (
             "blocked_scatter_b64",
             SemisortConfig {
-                scatter_strategy: ScatterStrategy::Blocked,
-                scatter_block: 64,
+                scatter: ScatterConfig {
+                    strategy: ScatterStrategy::Blocked,
+                    block: 64,
+                    ..ScatterConfig::default()
+                },
+                ..base
+            },
+        ),
+        (
+            "inplace_scatter",
+            SemisortConfig {
+                scatter: ScatterConfig {
+                    strategy: ScatterStrategy::InPlace,
+                    ..ScatterConfig::default()
+                },
+                ..base
+            },
+        ),
+        (
+            "prefetch_off",
+            SemisortConfig {
+                scatter: ScatterConfig {
+                    prefetch_distance: 0,
+                    ..ScatterConfig::default()
+                },
                 ..base
             },
         ),
     ];
     for (name, cfg) in variants {
         g.bench_with_input(BenchmarkId::from_parameter(name), &cfg, |b, cfg| {
-            b.iter(|| semisort_pairs(&records, cfg))
+            b.iter(|| try_semisort_pairs(&records, cfg).unwrap())
         });
     }
     g.finish();
 }
 
-/// RandomCas vs Blocked on the three shapes that stress the scatter
-/// differently: all-light uniform, power-law (Zipfian), and all-equal.
+/// RandomCas vs Blocked vs InPlace on the three shapes that stress the
+/// scatter differently: all-light uniform, power-law (Zipfian), and
+/// all-equal.
 fn bench_scatter_strategies(c: &mut Criterion) {
     let inputs = [
         ("uniform", Distribution::Uniform { n: N as u64 }),
@@ -103,13 +133,17 @@ fn bench_scatter_strategies(c: &mut Criterion) {
         for (strat_name, strategy) in [
             ("random_cas", ScatterStrategy::RandomCas),
             ("blocked", ScatterStrategy::Blocked),
+            ("inplace", ScatterStrategy::InPlace),
         ] {
             let cfg = SemisortConfig {
-                scatter_strategy: strategy,
+                scatter: ScatterConfig {
+                    strategy,
+                    ..ScatterConfig::default()
+                },
                 ..SemisortConfig::default()
             };
             g.bench_with_input(BenchmarkId::new(dist_name, strat_name), &cfg, |b, cfg| {
-                b.iter(|| semisort_pairs(&records, cfg))
+                b.iter(|| try_semisort_pairs(&records, cfg).unwrap())
             });
         }
     }

@@ -4,7 +4,7 @@
 use baselines::scatter_pack::scatter_and_pack;
 use baselines::{seq_hash_semisort, seq_two_phase_semisort};
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
-use semisort::{semisort_pairs, SemisortConfig};
+use semisort::{try_semisort_pairs, SemisortConfig};
 use workloads::{generate, Distribution};
 
 const N: usize = 500_000;
@@ -42,7 +42,7 @@ fn bench_semisort(c: &mut Criterion) {
     g.throughput(Throughput::Elements(N as u64));
     for (dist, records) in inputs() {
         g.bench_with_input(BenchmarkId::new("semisort", dist), &records, |b, r| {
-            b.iter(|| semisort_pairs(r, &cfg))
+            b.iter(|| try_semisort_pairs(r, &cfg).unwrap())
         });
         g.bench_with_input(BenchmarkId::new("seq_hash", dist), &records, |b, r| {
             b.iter(|| seq_hash_semisort(r))
@@ -65,13 +65,21 @@ fn bench_api_level(c: &mut Criterion) {
     let mut g = c.benchmark_group("api_500k");
     g.throughput(Throughput::Elements(N as u64));
     g.bench_function("group_by", |b| {
-        b.iter(|| semisort::group_by(&items, |t| t.0, &cfg).len())
+        b.iter(|| semisort::try_group_by(&items, |t| t.0, &cfg).unwrap().len())
     });
     g.bench_function("reduce_by_key_sum", |b| {
-        b.iter(|| semisort::reduce_by_key(&items, |t| t.0, 0u64, |a, t| a + t.1, &cfg).len())
+        b.iter(|| {
+            semisort::try_reduce_by_key(&items, |t| t.0, 0u64, |a, t| a + t.1, &cfg)
+                .unwrap()
+                .len()
+        })
     });
     g.bench_function("stable_semisort", |b| {
-        b.iter(|| semisort::semisort_stable_by_key(&items, |t| t.0, &cfg).len())
+        b.iter(|| {
+            semisort::try_semisort_stable_by_key(&items, |t| t.0, &cfg)
+                .unwrap()
+                .len()
+        })
     });
     // Bounded integer keys: the counting-sort fast path vs the general path.
     let bounded: Vec<(u64, u64)> = items.iter().map(|&(k, v)| (k as u64, v)).collect();
@@ -83,7 +91,7 @@ fn bench_api_level(c: &mut Criterion) {
             .iter()
             .map(|&(k, v)| (parlay::hash64(k), v))
             .collect();
-        b.iter(|| semisort::semisort_pairs(&hashed, &cfg).len())
+        b.iter(|| semisort::try_semisort_pairs(&hashed, &cfg).unwrap().len())
     });
     g.finish();
 }

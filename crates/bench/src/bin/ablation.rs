@@ -21,7 +21,7 @@ use bench::timing::time_best_of;
 use bench::Args;
 use parlay::with_threads;
 use semisort::{
-    semisort_with_stats, try_semisort_with_stats, LocalSortAlgo, ProbeStrategy, ScatterStrategy,
+    try_semisort_with_stats, LocalSortAlgo, ProbeStrategy, ScatterConfig, ScatterStrategy,
     SemisortConfig, Semisorter,
 };
 use workloads::{generate, representative_distributions, Distribution};
@@ -135,7 +135,9 @@ fn main() {
             .with_seed(args.seed)
             .with_telemetry(args.telemetry);
         let ((base_stats, base), eff) = with_threads(threads, || {
-            let timed = time_best_of(args.reps, || semisort_with_stats(&records, &base_cfg).1);
+            let timed = time_best_of(args.reps, || {
+                try_semisort_with_stats(&records, &base_cfg).unwrap().1
+            });
             (timed, bench::trajectory::effective_threads())
         });
         let base_s = base.as_secs_f64();
@@ -144,7 +146,9 @@ fn main() {
         let mut table = Table::new(["variant", "time (s)", "vs default", "slots/n"]);
         let mut run = |name: &str, cfg: SemisortConfig| {
             let (stats, t) = with_threads(threads, || {
-                time_best_of(args.reps, || semisort_with_stats(&records, &cfg).1)
+                time_best_of(args.reps, || {
+                    try_semisort_with_stats(&records, &cfg).unwrap().1
+                })
             });
             table.row([
                 name.to_string(),
@@ -172,15 +176,41 @@ fn main() {
         run(
             "blocked scatter",
             SemisortConfig {
-                scatter_strategy: ScatterStrategy::Blocked,
+                scatter: ScatterConfig {
+                    strategy: ScatterStrategy::Blocked,
+                    ..ScatterConfig::default()
+                },
                 ..base_cfg
             },
         );
         run(
             "blocked scatter, block = 64",
             SemisortConfig {
-                scatter_strategy: ScatterStrategy::Blocked,
-                scatter_block: 64,
+                scatter: ScatterConfig {
+                    strategy: ScatterStrategy::Blocked,
+                    block: 64,
+                    ..ScatterConfig::default()
+                },
+                ..base_cfg
+            },
+        );
+        run(
+            "in-place scatter",
+            SemisortConfig {
+                scatter: ScatterConfig {
+                    strategy: ScatterStrategy::InPlace,
+                    ..ScatterConfig::default()
+                },
+                ..base_cfg
+            },
+        );
+        run(
+            "prefetch off",
+            SemisortConfig {
+                scatter: ScatterConfig {
+                    prefetch_distance: 0,
+                    ..ScatterConfig::default()
+                },
                 ..base_cfg
             },
         );
@@ -222,8 +252,11 @@ fn main() {
 
     // Head-to-head scatter comparison on the three shapes that stress it
     // differently: all-light (uniform), skewed (Zipfian power law), and
-    // single-bucket (all keys equal).
-    println!("Scatter strategy (RandomCas vs Blocked), t_scatter isolated:");
+    // single-bucket (all keys equal). Each strategy also runs with
+    // prefetching disabled, and every run appends a trajectory record so
+    // the three-strategy (± prefetch) ablation lands in
+    // `BENCH_semisort.json`.
+    println!("Scatter strategy (RandomCas vs Blocked vs InPlace), t_scatter isolated:");
     let scatter_dists = [
         Distribution::Uniform { n: args.n as u64 },
         Distribution::Zipfian { m: 1_000_000 },
@@ -236,31 +269,57 @@ fn main() {
         "scatter (s)",
         "blocks",
         "slab ovf",
-        "fallback",
+        "cycles",
+        "swap flush",
+        "scratch (B)",
     ]);
     for dist in scatter_dists {
         let records = generate(dist, args.n, args.seed);
         for (name, strategy) in [
             ("random-cas", ScatterStrategy::RandomCas),
             ("blocked", ScatterStrategy::Blocked),
+            ("inplace", ScatterStrategy::InPlace),
         ] {
-            let cfg = SemisortConfig {
-                scatter_strategy: strategy,
-                telemetry: args.telemetry,
-                ..SemisortConfig::default().with_seed(args.seed)
-            };
-            let (stats, t) = with_threads(threads, || {
-                time_best_of(args.reps, || semisort_with_stats(&records, &cfg).1)
-            });
-            table.row([
-                dist.label(),
-                name.to_string(),
-                s3(t),
-                format!("{:.3}", stats.t_scatter.as_secs_f64()),
-                stats.blocks_flushed.to_string(),
-                stats.slab_overflows.to_string(),
-                stats.fallback_records.to_string(),
-            ]);
+            for prefetch_distance in [ScatterConfig::default().prefetch_distance, 0] {
+                let cfg = SemisortConfig {
+                    scatter: ScatterConfig {
+                        strategy,
+                        prefetch_distance,
+                        ..ScatterConfig::default()
+                    },
+                    telemetry: args.telemetry,
+                    ..SemisortConfig::default().with_seed(args.seed)
+                };
+                let ((stats, t), eff) = with_threads(threads, || {
+                    let timed = time_best_of(args.reps, || {
+                        try_semisort_with_stats(&records, &cfg).unwrap().1
+                    });
+                    (timed, bench::trajectory::effective_threads())
+                });
+                bench::trajectory::emit(
+                    &args,
+                    "ablation-scatter",
+                    threads,
+                    eff,
+                    t.as_secs_f64(),
+                    &stats,
+                );
+                table.row([
+                    dist.label(),
+                    if prefetch_distance == 0 {
+                        format!("{name} (no prefetch)")
+                    } else {
+                        name.to_string()
+                    },
+                    s3(t),
+                    format!("{:.3}", stats.t_scatter.as_secs_f64()),
+                    stats.blocks_flushed.to_string(),
+                    stats.slab_overflows.to_string(),
+                    stats.inplace_cycles.to_string(),
+                    stats.swap_buffer_flushes.to_string(),
+                    stats.scratch_bytes_held.to_string(),
+                ]);
+            }
         }
     }
     table.print();

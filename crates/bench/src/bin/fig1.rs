@@ -11,7 +11,7 @@ use bench::fmt::{pct1, s3, Table};
 use bench::timing::time_best_of;
 use bench::Args;
 use parlay::with_threads;
-use semisort::{semisort_with_stats, SemisortConfig};
+use semisort::{try_semisort_with_stats, SemisortConfig};
 use workloads::{generate, paper_distributions, Distribution};
 
 fn main() {
@@ -36,7 +36,9 @@ fn main() {
         for pd in paper_distributions().iter().filter(|p| pick(&p.dist)) {
             let records = generate(pd.dist, args.n, args.seed);
             let (stats, dt) = with_threads(threads, || {
-                time_best_of(args.reps, || semisort_with_stats(&records, &cfg).1)
+                time_best_of(args.reps, || {
+                    try_semisort_with_stats(&records, &cfg).unwrap().1
+                })
             });
             table.row([
                 pd.dist.label(),

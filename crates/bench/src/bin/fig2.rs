@@ -11,7 +11,7 @@ use bench::timing::time_best_of;
 use bench::Args;
 use parlay::radix_sort::radix_sort_pairs;
 use parlay::with_threads;
-use semisort::{semisort_pairs, SemisortConfig};
+use semisort::{try_semisort_pairs, SemisortConfig};
 use workloads::{generate, representative_distributions};
 
 fn main() {
@@ -39,7 +39,9 @@ fn main() {
         let mut radix_t1 = 0.0;
         for &t in &args.threads {
             let (_, semi) = with_threads(t, || {
-                time_best_of(args.reps, || semisort_pairs(&records, &cfg).len())
+                time_best_of(args.reps, || {
+                    try_semisort_pairs(&records, &cfg).unwrap().len()
+                })
             });
             let (_, radix) = with_threads(t, || {
                 time_best_of(args.reps, || {

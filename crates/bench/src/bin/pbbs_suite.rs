@@ -95,7 +95,9 @@ fn main() {
             .count()
     });
     bench("semisort (end to end)", &|| {
-        semisort::semisort_pairs(&pairs, &semisort::SemisortConfig::default()).len()
+        semisort::try_semisort_pairs(&pairs, &semisort::SemisortConfig::default())
+            .unwrap()
+            .len()
     });
 
     table.print();
@@ -106,7 +108,9 @@ fn main() {
         .with_seed(args.seed)
         .with_telemetry(args.telemetry);
     let ((stats, dt), eff) = with_threads(threads, || {
-        let timed = time_best_of(args.reps, || semisort::semisort_with_stats(&pairs, &cfg).1);
+        let timed = time_best_of(args.reps, || {
+            semisort::try_semisort_with_stats(&pairs, &cfg).unwrap().1
+        });
         (timed, bench::trajectory::effective_threads())
     });
     bench::trajectory::emit(&args, "pbbs_suite", threads, eff, dt.as_secs_f64(), &stats);

@@ -13,7 +13,7 @@ use bench::fmt::{s3, x2, Table};
 use bench::timing::time_best_of;
 use bench::Args;
 use parlay::with_threads;
-use semisort::{semisort_pairs, SemisortConfig};
+use semisort::{try_semisort_pairs, SemisortConfig};
 use workloads::{generate, paper_distributions, representative_distributions};
 
 fn main() {
@@ -42,7 +42,9 @@ fn main() {
     for dist in dists {
         let records = generate(dist, args.n, args.seed);
         let (_, t_semi) = with_threads(threads, || {
-            time_best_of(args.reps, || semisort_pairs(&records, &cfg).len())
+            time_best_of(args.reps, || {
+                try_semisort_pairs(&records, &cfg).unwrap().len()
+            })
         });
         let (timing, _) = with_threads(threads, || {
             time_best_of(args.reps, || rr_semisort(&records).1)

@@ -12,7 +12,7 @@ use bench::fmt::{s3, x2, Table};
 use bench::timing::time_best_of;
 use bench::Args;
 use parlay::with_threads;
-use semisort::{semisort_pairs, SemisortConfig};
+use semisort::{try_semisort_pairs, SemisortConfig};
 use workloads::{generate, representative_distributions};
 
 fn main() {
@@ -31,7 +31,9 @@ fn main() {
         let mut table = Table::new(["algorithm", "time (s)", "vs semisort"]);
 
         let (_, t_semi) = with_threads(1, || {
-            time_best_of(args.reps, || semisort_pairs(&records, &cfg).len())
+            time_best_of(args.reps, || {
+                try_semisort_pairs(&records, &cfg).unwrap().len()
+            })
         });
         let entries: Vec<(&str, std::time::Duration)> = vec![
             ("parallel semisort (1 thread)", t_semi),

@@ -12,7 +12,7 @@ use baselines::{seq_hash_semisort, seq_two_phase_semisort};
 use bench::alloc_track::{measure_peak, TrackingAllocator};
 use bench::fmt::{x2, Table};
 use bench::Args;
-use semisort::{semisort_pairs, SemisortConfig};
+use semisort::{try_semisort_pairs, SemisortConfig};
 use workloads::{generate, representative_distributions, Distribution};
 
 #[global_allocator]
@@ -46,7 +46,7 @@ fn main() {
             ]);
         };
 
-        let (_, peak) = measure_peak(|| semisort_pairs(&records, &cfg).len());
+        let (_, peak) = measure_peak(|| try_semisort_pairs(&records, &cfg).unwrap().len());
         row("parallel semisort", peak);
         let (_, peak) = measure_peak(|| seq_hash_semisort(&records).len());
         row("seq chained hash", peak);

@@ -14,7 +14,7 @@ use bench::timing::time_best_of;
 use bench::Args;
 use parlay::radix_sort::radix_sort_pairs;
 use parlay::with_threads;
-use semisort::{semisort_with_stats, SemisortConfig};
+use semisort::{try_semisort_with_stats, SemisortConfig};
 use workloads::{generate, paper_distributions};
 
 fn main() {
@@ -46,7 +46,9 @@ fn main() {
         let mut heavy_pct = 0.0;
         for &t in &args.threads {
             let (stats, dt) = with_threads(t, || {
-                time_best_of(args.reps, || semisort_with_stats(&records, &cfg).1)
+                time_best_of(args.reps, || {
+                    try_semisort_with_stats(&records, &cfg).unwrap().1
+                })
             });
             heavy_pct = stats.heavy_fraction_pct();
             semi_times.push(dt);

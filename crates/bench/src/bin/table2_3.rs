@@ -15,7 +15,7 @@ use bench::fmt::{pct1, x2, Table};
 use bench::timing::time_best_of;
 use bench::Args;
 use parlay::with_threads;
-use semisort::{semisort_with_stats, SemisortConfig, SemisortStats};
+use semisort::{try_semisort_with_stats, SemisortConfig, SemisortStats};
 use workloads::{generate, representative_distributions};
 
 fn main() {
@@ -38,10 +38,14 @@ fn main() {
         println!("{label} — {}:", dist.label());
         let records = generate(dist, args.n, args.seed);
         let (seq_stats, _) = with_threads(1, || {
-            time_best_of(args.reps, || semisort_with_stats(&records, &cfg).1)
+            time_best_of(args.reps, || {
+                try_semisort_with_stats(&records, &cfg).unwrap().1
+            })
         });
         let ((par_stats, par_t), par_eff) = with_threads(par_threads, || {
-            let timed = time_best_of(args.reps, || semisort_with_stats(&records, &cfg).1);
+            let timed = time_best_of(args.reps, || {
+                try_semisort_with_stats(&records, &cfg).unwrap().1
+            });
             (timed, bench::trajectory::effective_threads())
         });
         print_breakdown(&seq_stats, &par_stats, par_threads);

@@ -12,7 +12,7 @@ use bench::fmt::{s3, x2, Table};
 use bench::timing::time_best_of;
 use bench::Args;
 use parlay::with_threads;
-use semisort::{semisort_pairs, SemisortConfig};
+use semisort::{try_semisort_pairs, SemisortConfig};
 use workloads::{generate, representative_distributions};
 
 fn main() {
@@ -47,16 +47,24 @@ fn main() {
         let uni_recs = generate(uni_dist, n, args.seed);
 
         let (_, exp_seq) = with_threads(1, || {
-            time_best_of(args.reps, || semisort_pairs(&exp_recs, &cfg).len())
+            time_best_of(args.reps, || {
+                try_semisort_pairs(&exp_recs, &cfg).unwrap().len()
+            })
         });
         let (_, exp_par) = with_threads(par_threads, || {
-            time_best_of(args.reps, || semisort_pairs(&exp_recs, &cfg).len())
+            time_best_of(args.reps, || {
+                try_semisort_pairs(&exp_recs, &cfg).unwrap().len()
+            })
         });
         let (_, uni_seq) = with_threads(1, || {
-            time_best_of(args.reps, || semisort_pairs(&uni_recs, &cfg).len())
+            time_best_of(args.reps, || {
+                try_semisort_pairs(&uni_recs, &cfg).unwrap().len()
+            })
         });
         let (_, uni_par) = with_threads(par_threads, || {
-            time_best_of(args.reps, || semisort_pairs(&uni_recs, &cfg).len())
+            time_best_of(args.reps, || {
+                try_semisort_pairs(&uni_recs, &cfg).unwrap().len()
+            })
         });
         // Scatter + pack on the uniform input (the paper's baseline column).
         let (timing, _) = with_threads(par_threads, || {

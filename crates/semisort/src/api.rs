@@ -8,21 +8,20 @@
 //! [`reduce_by_key`] / [`count_by_key`] — the groupBy/shuffle operations the
 //! paper's introduction motivates.
 //!
-//! Every entry point comes in two flavors: the plain name panics on
-//! terminal failure (which, under the default
-//! [`OverflowPolicy::Fallback`](crate::config::OverflowPolicy::Fallback),
-//! cannot happen on valid input — overflow degrades to the comparison
-//! sort), and a `try_*` twin that returns
-//! `Result<_, `[`SemisortError`]`>` for callers running with
-//! [`OverflowPolicy::Error`](crate::config::OverflowPolicy::Error).
+//! The v1 surface is Result-first: every entry point is a `try_*`
+//! function returning `Result<_, `[`SemisortError`]`>`. Since the
+//! [`Semisorter`] engine became the primary surface, every `try_*`
+//! function here is a thin one-shot wrapper: it builds a transient engine
+//! for the call and drops it (and its scratch) on return, so one-shot and
+//! engine calls are behaviorally identical.
 //!
-//! Since the [`Semisorter`] engine became the
-//! primary surface, every `try_*` function here is a thin one-shot wrapper:
-//! it builds a transient engine for the call and drops it (and its scratch)
-//! on return, so one-shot and engine calls are behaviorally identical. The
-//! panicking twins are **soft-deprecated** — kept for existing callers, but
-//! new code should prefer the `try_*` forms or the engine (see the
-//! deprecation policy in the [crate docs](crate)).
+//! The panicking twins (the plain names) are **hard-deprecated**: each is
+//! a `#[deprecated]` shim that delegates to its `try_*` twin and panics on
+//! `Err` — which, under the default
+//! [`OverflowPolicy::Fallback`](crate::config::OverflowPolicy::Fallback),
+//! cannot happen on valid input (overflow degrades to the comparison
+//! sort). The shims last one release; see the deprecation policy in the
+//! [crate docs](crate).
 
 use std::hash::{DefaultHasher, Hash, Hasher};
 
@@ -36,8 +35,12 @@ fn expect_ok<T>(r: Result<T, SemisortError>) -> T {
 }
 
 /// Semisort pre-hashed `(key, payload)` pairs — the exact record shape of
-/// the paper's evaluation. Alias for [`crate::driver::semisort_core`] with
-/// `V = u64`.
+/// the paper's evaluation. Panicking [`try_semisort_pairs`].
+#[deprecated(
+    since = "0.9.0",
+    note = "panicking one-shot wrappers are superseded by the `try_*` twins; \
+            use `try_semisort_pairs` (or a pooled `Semisorter`)"
+)]
 pub fn semisort_pairs(records: &[(u64, u64)], cfg: &SemisortConfig) -> Vec<(u64, u64)> {
     expect_ok(try_semisort_pairs(records, cfg))
 }
@@ -61,20 +64,12 @@ pub fn hash_key<K: Hash>(key: &K) -> u64 {
     parlay::hash64(h.finish())
 }
 
-/// Semisort `items` by an arbitrary `Hash + Eq` key.
-///
-/// Returns the reordered items: equal keys contiguous, distinct keys in no
-/// particular order. Unlike the raw hashed-record path, the result is
-/// *exactly* correct even under 64-bit hash collisions: colliding groups
-/// are detected and repaired locally (an `O(run)` fix hit with probability
-/// `≈ n²/2^64`).
-///
-/// ```
-/// use semisort::{semisort_by_key, SemisortConfig};
-/// let logs = vec![("db", 1), ("web", 2), ("db", 3), ("web", 4)];
-/// let out = semisort_by_key(&logs, |l| l.0, &SemisortConfig::default());
-/// assert!(semisort::verify::is_semisorted_by(&out, |l| l.0));
-/// ```
+/// Panicking [`try_semisort_by_key`].
+#[deprecated(
+    since = "0.9.0",
+    note = "panicking one-shot wrappers are superseded by the `try_*` twins; \
+            use `try_semisort_by_key` (or a pooled `Semisorter`)"
+)]
 pub fn semisort_by_key<T, K, F>(items: &[T], key: F, cfg: &SemisortConfig) -> Vec<T>
 where
     T: Clone + Send + Sync,
@@ -84,7 +79,20 @@ where
     expect_ok(try_semisort_by_key(items, key, cfg))
 }
 
-/// Fallible [`semisort_by_key`].
+/// Semisort `items` by an arbitrary `Hash + Eq` key.
+///
+/// Returns the reordered items: equal keys contiguous, distinct keys in no
+/// particular order. Unlike the raw hashed-record path, the result is
+/// *exactly* correct even under 64-bit hash collisions: colliding groups
+/// are detected and repaired locally (an `O(run)` fix hit with probability
+/// `≈ n²/2^64`).
+///
+/// ```
+/// use semisort::{try_semisort_by_key, SemisortConfig};
+/// let logs = vec![("db", 1), ("web", 2), ("db", 3), ("web", 4)];
+/// let out = try_semisort_by_key(&logs, |l| l.0, &SemisortConfig::default()).unwrap();
+/// assert!(semisort::verify::is_semisorted_by(&out, |l| l.0));
+/// ```
 pub fn try_semisort_by_key<T, K, F>(
     items: &[T],
     key: F,
@@ -140,24 +148,12 @@ where
     }
 }
 
-/// Stable semisort: like [`semisort_by_key`], but records within each group
-/// keep their input order.
-///
-/// The core algorithm is unstable (the scatter randomizes positions within
-/// a bucket), so stability is restored afterwards by sorting each group by
-/// original index — `O(Σ gᵢ log gᵢ)` extra work, groups in parallel. Use
-/// the unstable variant when input order is irrelevant.
-///
-/// ```
-/// use semisort::{semisort_stable_by_key, SemisortConfig};
-/// let v = vec![(2, 'a'), (1, 'b'), (2, 'c'), (1, 'd')];
-/// let out = semisort_stable_by_key(&v, |p| p.0, &SemisortConfig::default());
-/// // Within each group, input order survives: 'a' before 'c', 'b' before 'd'.
-/// let pos = |ch: char| out.iter().position(|p| p.1 == ch).unwrap();
-/// assert!(pos('a') < pos('c'));
-/// assert!(pos('b') < pos('d'));
-/// assert!(semisort::verify::is_semisorted_by(&out, |p| p.0));
-/// ```
+/// Panicking [`try_semisort_stable_by_key`].
+#[deprecated(
+    since = "0.9.0",
+    note = "panicking one-shot wrappers are superseded by the `try_*` twins; \
+            use `try_semisort_stable_by_key` (or a pooled `Semisorter`)"
+)]
 pub fn semisort_stable_by_key<T, K, F>(items: &[T], key: F, cfg: &SemisortConfig) -> Vec<T>
 where
     T: Clone + Send + Sync,
@@ -167,7 +163,24 @@ where
     expect_ok(try_semisort_stable_by_key(items, key, cfg))
 }
 
-/// Fallible [`semisort_stable_by_key`].
+/// Stable semisort: like [`try_semisort_by_key`], but records within each
+/// group keep their input order.
+///
+/// The core algorithm is unstable (the scatter randomizes positions within
+/// a bucket), so stability is restored afterwards by sorting each group by
+/// original index — `O(Σ gᵢ log gᵢ)` extra work, groups in parallel. Use
+/// the unstable variant when input order is irrelevant.
+///
+/// ```
+/// use semisort::{try_semisort_stable_by_key, SemisortConfig};
+/// let v = vec![(2, 'a'), (1, 'b'), (2, 'c'), (1, 'd')];
+/// let out = try_semisort_stable_by_key(&v, |p| p.0, &SemisortConfig::default()).unwrap();
+/// // Within each group, input order survives: 'a' before 'c', 'b' before 'd'.
+/// let pos = |ch: char| out.iter().position(|p| p.1 == ch).unwrap();
+/// assert!(pos('a') < pos('c'));
+/// assert!(pos('b') < pos('d'));
+/// assert!(semisort::verify::is_semisorted_by(&out, |p| p.0));
+/// ```
 pub fn try_semisort_stable_by_key<T, K, F>(
     items: &[T],
     key: F,
@@ -181,12 +194,12 @@ where
     Semisorter::new(*cfg)?.stable_by_key(items, key)
 }
 
-/// The permutation a semisort would apply: `perm[j] = i` means output
-/// position `j` takes input item `i`.
-///
-/// Useful when items are large or not `Clone`: compute the permutation from
-/// the (cheaply copied) keys, then move the items yourself — or let
-/// [`semisort_in_place`] do it.
+/// Panicking [`try_semisort_permutation`].
+#[deprecated(
+    since = "0.9.0",
+    note = "panicking one-shot wrappers are superseded by the `try_*` twins; \
+            use `try_semisort_permutation` (or a pooled `Semisorter`)"
+)]
 pub fn semisort_permutation<T, K, F>(items: &[T], key: F, cfg: &SemisortConfig) -> Vec<usize>
 where
     T: Sync,
@@ -196,7 +209,12 @@ where
     expect_ok(try_semisort_permutation(items, key, cfg))
 }
 
-/// Fallible [`semisort_permutation`].
+/// The permutation a semisort would apply: `perm[j] = i` means output
+/// position `j` takes input item `i`.
+///
+/// Useful when items are large or not `Clone`: compute the permutation from
+/// the (cheaply copied) keys, then move the items yourself — or let
+/// [`try_semisort_in_place`] do it.
 pub fn try_semisort_permutation<T, K, F>(
     items: &[T],
     key: F,
@@ -256,16 +274,12 @@ pub(crate) fn repair_collisions_on_perm<T, K, F>(
     }
 }
 
-/// Semisort `items` in place, without cloning: computes the permutation,
-/// then applies it by cycle rotation (`O(n)` moves, one bit per item of
-/// scratch).
-///
-/// ```
-/// use semisort::{semisort_in_place, SemisortConfig};
-/// let mut v = vec![3u8, 1, 3, 2, 1];
-/// semisort_in_place(&mut v, |&x| x, &SemisortConfig::default());
-/// assert!(semisort::verify::is_semisorted_by(&v, |&x| x));
-/// ```
+/// Panicking [`try_semisort_in_place`].
+#[deprecated(
+    since = "0.9.0",
+    note = "panicking one-shot wrappers are superseded by the `try_*` twins; \
+            use `try_semisort_in_place` (or a pooled `Semisorter`)"
+)]
 pub fn semisort_in_place<T, K, F>(items: &mut [T], key: F, cfg: &SemisortConfig)
 where
     T: Sync,
@@ -275,10 +289,19 @@ where
     expect_ok(try_semisort_in_place(items, key, cfg))
 }
 
-/// Fallible [`semisort_in_place`]. On `Err` the items are untouched (the
-/// failure happens before any permutation is applied). Routes through the
-/// engine's permutation path, so the cycle-following scratch is a pooled
-/// bitset rather than a per-call `Vec<bool>`.
+/// Semisort `items` in place, without cloning: computes the permutation,
+/// then applies it by cycle rotation (`O(n)` moves, one bit per item of
+/// scratch). On `Err` the items are untouched (the failure happens before
+/// any permutation is applied). Routes through the engine's permutation
+/// path, so the cycle-following scratch is a pooled bitset rather than a
+/// per-call `Vec<bool>`.
+///
+/// ```
+/// use semisort::{try_semisort_in_place, SemisortConfig};
+/// let mut v = vec![3u8, 1, 3, 2, 1];
+/// try_semisort_in_place(&mut v, |&x| x, &SemisortConfig::default()).unwrap();
+/// assert!(semisort::verify::is_semisorted_by(&v, |&x| x));
+/// ```
 pub fn try_semisort_in_place<T, K, F>(
     items: &mut [T],
     key: F,
@@ -386,20 +409,12 @@ impl<T> Groups<T> {
     }
 }
 
-/// Group `items` by key: semisort, then cut at every key change.
-///
-/// This is the `groupBy` / MapReduce-shuffle operation of the paper's
-/// introduction, built directly on the semisort.
-///
-/// ```
-/// use semisort::{group_by, SemisortConfig};
-/// let words = ["a", "b", "a", "c", "b", "a"];
-/// let groups = group_by(&words, |w| *w, &SemisortConfig::default());
-/// assert_eq!(groups.len(), 3);
-/// let mut sizes: Vec<usize> = groups.iter().map(|g| g.len()).collect();
-/// sizes.sort_unstable();
-/// assert_eq!(sizes, vec![1, 2, 3]);
-/// ```
+/// Panicking [`try_group_by`].
+#[deprecated(
+    since = "0.9.0",
+    note = "panicking one-shot wrappers are superseded by the `try_*` twins; \
+            use `try_group_by` (or a pooled `Semisorter`)"
+)]
 pub fn group_by<T, K, F>(items: &[T], key: F, cfg: &SemisortConfig) -> Groups<T>
 where
     T: Clone + Send + Sync,
@@ -409,7 +424,20 @@ where
     expect_ok(try_group_by(items, key, cfg))
 }
 
-/// Fallible [`group_by`].
+/// Group `items` by key: semisort, then cut at every key change.
+///
+/// This is the `groupBy` / MapReduce-shuffle operation of the paper's
+/// introduction, built directly on the semisort.
+///
+/// ```
+/// use semisort::{try_group_by, SemisortConfig};
+/// let words = ["a", "b", "a", "c", "b", "a"];
+/// let groups = try_group_by(&words, |w| *w, &SemisortConfig::default()).unwrap();
+/// assert_eq!(groups.len(), 3);
+/// let mut sizes: Vec<usize> = groups.iter().map(|g| g.len()).collect();
+/// sizes.sort_unstable();
+/// assert_eq!(sizes, vec![1, 2, 3]);
+/// ```
 pub fn try_group_by<T, K, F>(
     items: &[T],
     key: F,
@@ -423,9 +451,12 @@ where
     Semisorter::new(*cfg)?.group_by(items, key)
 }
 
-/// Fold every group: returns one `(key, accumulator)` per distinct key,
-/// with `fold` applied left-to-right over the group's items starting from
-/// `init`. Groups are processed in parallel.
+/// Panicking [`try_reduce_by_key`].
+#[deprecated(
+    since = "0.9.0",
+    note = "panicking one-shot wrappers are superseded by the `try_*` twins; \
+            use `try_reduce_by_key` (or a pooled `Semisorter`)"
+)]
 pub fn reduce_by_key<T, K, A, F, G>(
     items: &[T],
     key: F,
@@ -443,7 +474,9 @@ where
     expect_ok(try_reduce_by_key(items, key, init, fold, cfg))
 }
 
-/// Fallible [`reduce_by_key`].
+/// Fold every group: returns one `(key, accumulator)` per distinct key,
+/// with `fold` applied left-to-right over the group's items starting from
+/// `init`. Groups are processed in parallel.
 pub fn try_reduce_by_key<T, K, A, F, G>(
     items: &[T],
     key: F,
@@ -461,24 +494,30 @@ where
     Semisorter::new(*cfg)?.reduce_by_key(items, key, init, fold)
 }
 
-/// Histogram: the number of items per distinct key.
-///
-/// ```
-/// use semisort::{count_by_key, SemisortConfig};
-/// let mut counts = count_by_key(&[1, 2, 1, 1], |&x| x, &SemisortConfig::default());
-/// counts.sort_unstable();
-/// assert_eq!(counts, vec![(1, 3), (2, 1)]);
-/// ```
+/// Panicking [`try_count_by_key`].
+#[deprecated(
+    since = "0.9.0",
+    note = "panicking one-shot wrappers are superseded by the `try_*` twins; \
+            use `try_count_by_key` (or a pooled `Semisorter`)"
+)]
 pub fn count_by_key<T, K, F>(items: &[T], key: F, cfg: &SemisortConfig) -> Vec<(K, usize)>
 where
     T: Clone + Send + Sync,
     K: Hash + Eq + Send + Sync,
     F: Fn(&T) -> K + Send + Sync,
 {
-    reduce_by_key(items, key, 0usize, |a, _| a + 1, cfg)
+    expect_ok(try_count_by_key(items, key, cfg))
 }
 
-/// Fallible [`count_by_key`].
+/// Histogram: the number of items per distinct key.
+///
+/// ```
+/// use semisort::{try_count_by_key, SemisortConfig};
+/// let mut counts =
+///     try_count_by_key(&[1, 2, 1, 1], |&x| x, &SemisortConfig::default()).unwrap();
+/// counts.sort_unstable();
+/// assert_eq!(counts, vec![(1, 3), (2, 1)]);
+/// ```
 pub fn try_count_by_key<T, K, F>(
     items: &[T],
     key: F,
@@ -508,7 +547,7 @@ mod tests {
     #[test]
     fn semisort_by_string_key() {
         let items: Vec<String> = (0..20_000).map(|i| format!("key-{}", i % 123)).collect();
-        let out = semisort_by_key(&items, |s| s.clone(), &cfg());
+        let out = try_semisort_by_key(&items, |s| s.clone(), &cfg()).unwrap();
         assert!(is_semisorted_by(&out, |s| s.clone()));
         assert!(is_permutation_of(&out, &items));
     }
@@ -526,7 +565,7 @@ mod tests {
                 amount: i,
             })
             .collect();
-        let out = semisort_by_key(&items, |o| o.customer, &cfg());
+        let out = try_semisort_by_key(&items, |o| o.customer, &cfg()).unwrap();
         assert!(is_semisorted_by(&out, |o| o.customer));
         assert!(is_permutation_of(&out, &items));
     }
@@ -534,7 +573,7 @@ mod tests {
     #[test]
     fn group_by_covers_input_exactly() {
         let items: Vec<u32> = (0..25_000).map(|i| i % 321).collect();
-        let g = group_by(&items, |&x| x, &cfg());
+        let g = try_group_by(&items, |&x| x, &cfg()).unwrap();
         assert_eq!(g.len(), 321);
         assert_eq!(g.starts[0], 0);
         assert_eq!(*g.starts.last().unwrap(), items.len());
@@ -551,7 +590,7 @@ mod tests {
     fn group_sizes_are_exact() {
         // 25_000 items over 321 keys: sizes 78 or 79.
         let items: Vec<u32> = (0..25_000).map(|i| i % 321).collect();
-        let g = group_by(&items, |&x| x, &cfg());
+        let g = try_group_by(&items, |&x| x, &cfg()).unwrap();
         for grp in g.iter() {
             let k = grp[0];
             let expect = (0..25_000).filter(|i| i % 321 == k).count();
@@ -562,7 +601,7 @@ mod tests {
     #[test]
     fn reduce_by_key_sums() {
         let items: Vec<(u32, u64)> = (0..10_000u64).map(|i| ((i % 10) as u32, i)).collect();
-        let mut sums = reduce_by_key(&items, |t| t.0, 0u64, |a, t| a + t.1, &cfg());
+        let mut sums = try_reduce_by_key(&items, |t| t.0, 0u64, |a, t| a + t.1, &cfg()).unwrap();
         sums.sort_unstable_by_key(|s| s.0);
         assert_eq!(sums.len(), 10);
         for (k, s) in sums {
@@ -574,7 +613,7 @@ mod tests {
     #[test]
     fn count_by_key_is_a_histogram() {
         let items: Vec<u8> = (0..9_999).map(|i| (i % 7) as u8).collect();
-        let mut counts = count_by_key(&items, |&x| x, &cfg());
+        let mut counts = try_count_by_key(&items, |&x| x, &cfg()).unwrap();
         counts.sort_unstable_by_key(|c| c.0);
         let total: usize = counts.iter().map(|c| c.1).sum();
         assert_eq!(total, 9_999);
@@ -607,18 +646,18 @@ mod tests {
     #[test]
     fn empty_input() {
         let items: Vec<u32> = vec![];
-        let g = group_by(&items, |&x| x, &cfg());
+        let g = try_group_by(&items, |&x| x, &cfg()).unwrap();
         assert!(g.is_empty());
         assert_eq!(g.len(), 0);
         assert_eq!(g.max_group_size(), 0);
-        let out = semisort_by_key(&items, |&x| x, &cfg());
+        let out = try_semisort_by_key(&items, |&x| x, &cfg()).unwrap();
         assert!(out.is_empty());
     }
 
     #[test]
     fn stable_semisort_preserves_group_order() {
         let items: Vec<(u32, u32)> = (0..25_000).map(|i| (i % 97, i)).collect();
-        let out = semisort_stable_by_key(&items, |p| p.0, &cfg());
+        let out = try_semisort_stable_by_key(&items, |p| p.0, &cfg()).unwrap();
         assert!(is_semisorted_by(&out, |p| p.0));
         assert!(is_permutation_of(&out, &items));
         // Payloads strictly increase within every group.
@@ -632,16 +671,18 @@ mod tests {
     #[test]
     fn stable_semisort_empty_and_single_group() {
         let empty: Vec<u32> = vec![];
-        assert!(semisort_stable_by_key(&empty, |&x| x, &cfg()).is_empty());
+        assert!(try_semisort_stable_by_key(&empty, |&x| x, &cfg())
+            .unwrap()
+            .is_empty());
         let same: Vec<(u8, u32)> = (0..10_000).map(|i| (7u8, i)).collect();
-        let out = semisort_stable_by_key(&same, |p| p.0, &cfg());
+        let out = try_semisort_stable_by_key(&same, |p| p.0, &cfg()).unwrap();
         assert_eq!(out, same, "single group must come back in input order");
     }
 
     #[test]
     fn permutation_matches_semisort() {
         let items: Vec<u32> = (0..20_000).map(|i| (i * 37) % 450).collect();
-        let perm = semisort_permutation(&items, |&x| x, &cfg());
+        let perm = try_semisort_permutation(&items, |&x| x, &cfg()).unwrap();
         // perm is a permutation of 0..n.
         let mut sorted = perm.clone();
         sorted.sort_unstable();
@@ -657,7 +698,7 @@ mod tests {
         #[derive(Debug, PartialEq)]
         struct Token(u32);
         let mut items: Vec<Token> = (0..15_000).map(|i| Token(i % 123)).collect();
-        semisort_in_place(&mut items, |t| t.0, &cfg());
+        try_semisort_in_place(&mut items, |t| t.0, &cfg()).unwrap();
         assert!(is_semisorted_by(&items, |t| t.0));
         let mut ids: Vec<u32> = items.iter().map(|t| t.0).collect();
         ids.sort_unstable();
@@ -684,7 +725,7 @@ mod tests {
     #[test]
     fn par_map_and_sizes() {
         let items: Vec<u32> = (0..12_000).map(|i| i % 40).collect();
-        let g = group_by(&items, |&x| x, &cfg());
+        let g = try_group_by(&items, |&x| x, &cfg()).unwrap();
         let sums = g.par_map(|grp| grp.iter().map(|&x| x as u64).sum::<u64>());
         assert_eq!(sums.len(), 40);
         for (i, &s) in sums.iter().enumerate() {
@@ -693,5 +734,22 @@ mod tests {
         }
         assert_eq!(g.sizes().iter().sum::<usize>(), items.len());
         assert_eq!(g.max_group_size(), 300);
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_panicking_shims_delegate() {
+        // The one-release `#[deprecated]` shims must keep behaving exactly
+        // like their `try_*` twins until removal.
+        let items: Vec<u32> = (0..5_000).map(|i| i % 37).collect();
+        let out = semisort_by_key(&items, |&x| x, &cfg());
+        assert!(is_semisorted_by(&out, |&x| x));
+        assert_eq!(group_by(&items, |&x| x, &cfg()).len(), 37);
+        let counts = count_by_key(&items, |&x| x, &cfg());
+        assert_eq!(counts.iter().map(|c| c.1).sum::<usize>(), items.len());
+        let pairs: Vec<(u64, u64)> = (0..5_000u64).map(|i| (parlay::hash64(i % 7), i)).collect();
+        let out = semisort_pairs(&pairs, &cfg());
+        assert!(is_semisorted_by(&out, |r| r.0));
+        assert!(is_permutation_of(&out, &pairs));
     }
 }

@@ -10,7 +10,7 @@
 //! semisort's bucket arena:
 //!
 //! 1. Each worker walks its chunk of the input and appends every record to
-//!    a per-bucket buffer of [`SemisortConfig::scatter_block`] records
+//!    a per-bucket buffer of [`ScatterConfig::block`] records
 //!    (buffers are opened lazily, so sparse workers touch few buckets).
 //!    The buffers live in a pooled [`BlockScratch`] — fixed-size slabs
 //!    bump-allocated from one per-worker store that is retained across
@@ -35,7 +35,7 @@
 //! occupancy may be arbitrarily fragmented (Phases 4–5 scan for occupied
 //! slots and never assume density).
 //!
-//! [`SemisortConfig::scatter_block`]: crate::config::SemisortConfig::scatter_block
+//! [`ScatterConfig::block`]: crate::config::ScatterConfig::block
 
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
@@ -103,6 +103,12 @@ fn slab_len(size: usize, tail_log2: u32) -> usize {
 /// [`crate::scatter::scatter`]): the first record routed to a bucket of the
 /// given class reports an overflow through the real capture path. Pass
 /// `None` in production.
+///
+/// `prefetch_distance` routes records that many positions ahead and hints
+/// the worker's bucket-map entry for each — the first dependent load of
+/// the upcoming buffer push, and (for wide bucket maps) the likeliest
+/// miss on this path. 0 disables the lookahead; routing still happens
+/// exactly once per record (the ring recycles its answers).
 #[allow(clippy::too_many_arguments)] // phase boundary: every arg is a distinct concern
 pub fn blocked_scatter<V: Copy + Send + Sync>(
     records: &[(u64, V)],
@@ -110,6 +116,7 @@ pub fn blocked_scatter<V: Copy + Send + Sync>(
     slots: &[Slot<V>],
     block: usize,
     tail_log2: u32,
+    prefetch_distance: usize,
     sink: &ObsSink,
     forced_overflow: Option<FaultClass>,
     scratch: &mut BlockScratch,
@@ -215,13 +222,32 @@ pub fn blocked_scatter<V: Copy + Send + Sync>(
             ws.begin(num_buckets);
             let mut local = Local::default();
             let mut failed = false;
-            for &(key, value) in chunk_recs {
+            let route = |j: usize| plan.bucket_of_tagged(chunk_recs[j].0);
+            let d = prefetch_distance.min(chunk_recs.len());
+            let mut ring: Vec<(u32, bool)> = (0..d)
+                .map(|j| {
+                    let r = route(j);
+                    ws.prefetch_bucket(r.0 as usize);
+                    r
+                })
+                .collect();
+            for (j, &(key, value)) in chunk_recs.iter().enumerate() {
                 if overflow.is_set() {
                     failed = true;
                     break; // another chunk failed; stop doing useless work
                 }
                 debug_assert_ne!(key, EMPTY, "driver screens the EMPTY sentinel");
-                let (bucket, is_heavy) = plan.bucket_of_tagged(key);
+                let (bucket, is_heavy) = if d > 0 {
+                    let r = ring[j % d];
+                    if j + d < chunk_recs.len() {
+                        let next = route(j + d);
+                        ws.prefetch_bucket(next.0 as usize);
+                        ring[j % d] = next;
+                    }
+                    r
+                } else {
+                    route(j)
+                };
                 if let Some(class) = forced_overflow {
                     if class.matches(is_heavy) {
                         // Injected Corollary 3.4 failure (see `scatter`).
@@ -274,7 +300,7 @@ pub fn blocked_scatter<V: Copy + Send + Sync>(
 mod tests {
     use super::*;
     use crate::buckets::build_plan;
-    use crate::config::SemisortConfig;
+    use crate::config::{ScatterConfig, SemisortConfig};
     use crate::scatter::{allocate_arena, ScatterArena};
     use parlay::hash64;
     use parlay::random::Rng;
@@ -292,8 +318,9 @@ mod tests {
             records,
             &plan,
             &arena.slots,
-            cfg.scatter_block,
-            cfg.blocked_tail_log2,
+            cfg.scatter.block,
+            cfg.scatter.tail_log2,
+            cfg.scatter.prefetch_distance,
             &ObsSink::disabled(),
             None,
             &mut BlockScratch::new(),
@@ -369,7 +396,10 @@ mod tests {
         // tightly sized bucket, so flushes must spill into the CAS tail.
         let records: Vec<(u64, u64)> = (0..60_000u64).map(|i| (hash64(i % 3), i)).collect();
         let cfg = SemisortConfig {
-            blocked_tail_log2: 1,
+            scatter: ScatterConfig {
+                tail_log2: 1,
+                ..Default::default()
+            },
             ..Default::default()
         };
         let (_, arena, out) = scatter_all(&records, &cfg);
@@ -394,6 +424,7 @@ mod tests {
             &arena.slots,
             16,
             3,
+            8,
             &ObsSink::disabled(),
             None,
             &mut BlockScratch::new(),
@@ -430,6 +461,7 @@ mod tests {
                 &arena.slots,
                 16,
                 3,
+                8,
                 &ObsSink::disabled(),
                 Some(class),
                 &mut BlockScratch::new(),
@@ -445,7 +477,10 @@ mod tests {
     fn block_size_one_degenerates_correctly() {
         let records: Vec<(u64, u64)> = (0..20_000u64).map(|i| (hash64(i % 50), i)).collect();
         let cfg = SemisortConfig {
-            scatter_block: 1,
+            scatter: ScatterConfig {
+                block: 1,
+                ..Default::default()
+            },
             ..Default::default()
         };
         let (_, arena, out) = scatter_all(&records, &cfg);
@@ -472,8 +507,9 @@ mod tests {
             &records,
             &plan,
             &arena.slots,
-            cfg.scatter_block,
-            cfg.blocked_tail_log2,
+            cfg.scatter.block,
+            cfg.scatter.tail_log2,
+            cfg.scatter.prefetch_distance,
             &ObsSink::disabled(),
             Some(FaultClass::Any),
             &mut scratch,
@@ -489,8 +525,9 @@ mod tests {
                 &records,
                 &plan,
                 &arena.slots,
-                cfg.scatter_block,
-                cfg.blocked_tail_log2,
+                cfg.scatter.block,
+                cfg.scatter.tail_log2,
+                cfg.scatter.prefetch_distance,
                 &ObsSink::disabled(),
                 None,
                 &mut scratch,

@@ -33,11 +33,12 @@ pub fn semisort_bounded<V: Copy + Send + Sync>(records: &[(u64, V)], m: usize) -
     out
 }
 
-/// Dispatching semisort: uses the counting-sort path when the observed key
-/// range is small (`max_key < n / log₂n`), the general top-down algorithm
-/// otherwise.
-///
-/// The range scan costs one parallel pass — noise next to either sort.
+/// Panicking [`try_semisort_auto`].
+#[deprecated(
+    since = "0.9.0",
+    note = "panicking one-shot wrappers are superseded by the `try_*` twins; \
+            use `try_semisort_auto`"
+)]
 pub fn semisort_auto<V: Copy + Send + Sync>(
     records: &[(u64, V)],
     cfg: &SemisortConfig,
@@ -45,7 +46,12 @@ pub fn semisort_auto<V: Copy + Send + Sync>(
     try_semisort_auto(records, cfg).unwrap_or_else(|e| panic!("semisort: {e}"))
 }
 
-/// Fallible [`semisort_auto`]. The counting-sort path is deterministic and
+/// Dispatching semisort: uses the counting-sort path when the observed key
+/// range is small (`max_key < n / log₂n`), the general top-down algorithm
+/// otherwise.
+///
+/// The range scan costs one parallel pass — noise next to either sort.
+/// The counting-sort path is deterministic and
 /// cannot fail; errors can only come from the general algorithm under
 /// [`OverflowPolicy::Error`](crate::config::OverflowPolicy::Error).
 pub fn try_semisort_auto<V: Copy + Send + Sync>(
@@ -100,7 +106,7 @@ mod tests {
     fn auto_picks_counting_for_dense_keys() {
         // Dense keys: result must be fully sorted (the counting path).
         let recs: Vec<(u64, u64)> = (0..100_000u64).map(|i| ((i * 31) % 500, i)).collect();
-        let out = semisort_auto(&recs, &SemisortConfig::default());
+        let out = try_semisort_auto(&recs, &SemisortConfig::default()).unwrap();
         assert!(out.windows(2).all(|w| w[0].0 <= w[1].0));
         assert!(is_permutation_of(&out, &recs));
     }
@@ -110,7 +116,7 @@ mod tests {
         let recs: Vec<(u64, u64)> = (0..100_000u64)
             .map(|i| (parlay::hash64(i % 500), i))
             .collect();
-        let out = semisort_auto(&recs, &SemisortConfig::default());
+        let out = try_semisort_auto(&recs, &SemisortConfig::default()).unwrap();
         assert!(is_semisorted_by(&out, |r| r.0));
         assert!(is_permutation_of(&out, &recs));
     }

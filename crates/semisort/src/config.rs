@@ -79,6 +79,64 @@ pub enum ScatterStrategy {
     /// Buckets whose reserved slab fills fall back to CAS placement in a
     /// tail region. See `blocked_scatter`.
     Blocked,
+    /// Arena-free permutation: a counting pass computes exact bucket
+    /// boundaries inside the output buffer, then workers claim hole ranges
+    /// from per-bucket region cursors (`fetch_add`) and move records
+    /// through small per-bucket swap buffers until every region holds only
+    /// its own records. No slot array, no probing, no Las Vegas overflow —
+    /// scratch is O(buckets + workers·swap_buffer) instead of O(n·α).
+    /// See `inplace_scatter`.
+    InPlace,
+}
+
+/// Phase 3 backend selection plus every scatter-side tuning knob, grouped
+/// so a strategy and the knobs it reads travel together (and so adding a
+/// knob is not a breaking change to [`SemisortConfig`] construction via
+/// `..Default::default()`).
+///
+/// Which knobs each backend reads:
+///
+/// | field               | `RandomCas` | `Blocked` | `InPlace` |
+/// |---------------------|-------------|-----------|-----------|
+/// | `block`             |      –      |     ✓     |     –     |
+/// | `tail_log2`         |      –      |     ✓     |     –     |
+/// | `prefetch_distance` |      ✓      |     ✓     |     –     |
+/// | `swap_buffer`       |      –      |     –     |     ✓     |
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ScatterConfig {
+    /// Which Phase 3 implementation to run; default the paper's
+    /// [`ScatterStrategy::RandomCas`].
+    pub strategy: ScatterStrategy,
+    /// Records per per-worker write-buffer block in the blocked scatter;
+    /// default 32 (512 bytes of `(u64, u64)` records — eight cache lines,
+    /// so a flush is a whole-line burst). Must be a power of two.
+    pub block: usize,
+    /// In the blocked scatter, each bucket reserves its last
+    /// `size / 2^tail_log2` slots as the CAS-fallback tail (the slab
+    /// cursor allocates only below it); default 3 (tail = size/8).
+    pub tail_log2: u32,
+    /// How many records ahead of the store the CAS/slab scatters compute
+    /// the hash→slot mapping and issue a software prefetch for the target
+    /// cache line; default 8, `0` disables prefetching. Capped at 64 —
+    /// beyond that the lines fall out of the fill buffers before use.
+    pub prefetch_distance: usize,
+    /// Records per per-bucket swap buffer in the in-place scatter: a
+    /// worker batches this many displaced records per destination bucket
+    /// before claiming a hole range to flush them into; default 32. Must
+    /// be a power of two in `1..=4096`.
+    pub swap_buffer: usize,
+}
+
+impl Default for ScatterConfig {
+    fn default() -> Self {
+        ScatterConfig {
+            strategy: ScatterStrategy::RandomCas,
+            block: 32,
+            tail_log2: 3,
+            prefetch_distance: 8,
+            swap_buffer: 32,
+        }
+    }
 }
 
 /// Which algorithm sorts each light bucket in Phase 4.
@@ -123,17 +181,14 @@ pub struct SemisortConfig {
     pub merge_light_buckets: bool,
     /// Collision handling in the scatter; default linear probing.
     pub probe_strategy: ProbeStrategy,
-    /// Which Phase 3 implementation to run; default the paper's
-    /// [`ScatterStrategy::RandomCas`].
-    pub scatter_strategy: ScatterStrategy,
-    /// Records per per-worker write-buffer block in the blocked scatter;
-    /// default 16 (256 bytes of `(u64, u64)` records — a few cache lines).
-    /// Must be a power of two.
-    pub scatter_block: usize,
-    /// In the blocked scatter, each bucket reserves its last
-    /// `size / 2^blocked_tail_log2` slots as the CAS-fallback tail (the
-    /// slab cursor allocates only below it); default 3 (tail = size/8).
-    pub blocked_tail_log2: u32,
+    /// Phase 3 backend and its tuning knobs — strategy, block width,
+    /// CAS-tail exponent, prefetch distance, in-place swap-buffer size —
+    /// grouped in one validated sub-struct (see [`ScatterConfig`]).
+    ///
+    /// This replaces the former flat `scatter_strategy` / `scatter_block` /
+    /// `blocked_tail_log2` fields; the builder keeps `#[deprecated]`
+    /// setters under the old names for one release.
+    pub scatter: ScatterConfig,
     /// Light-bucket sorting algorithm; default `StdUnstable`.
     pub local_sort_algo: LocalSortAlgo,
     /// Seed for sampling jitter and scatter randomness. Runs with equal
@@ -192,9 +247,7 @@ impl Default for SemisortConfig {
             c: 1.25,
             merge_light_buckets: true,
             probe_strategy: ProbeStrategy::Linear,
-            scatter_strategy: ScatterStrategy::RandomCas,
-            scatter_block: 16,
-            blocked_tail_log2: 3,
+            scatter: ScatterConfig::default(),
             local_sort_algo: LocalSortAlgo::StdUnstable,
             seed: 0x5eed_0f5e_u64,
             seq_threshold: 1 << 13,
@@ -302,12 +355,22 @@ impl SemisortConfig {
         check(self.alpha > 1.0, "α must exceed 1 for scatter termination")?;
         check(self.c > 0.0, "estimator constant c must be positive")?;
         check(
-            self.scatter_block >= 1 && self.scatter_block.is_power_of_two(),
-            "scatter_block must be a power of two",
+            self.scatter.block >= 1 && self.scatter.block.is_power_of_two(),
+            "scatter.block must be a power of two",
         )?;
         check(
-            self.blocked_tail_log2 >= 1 && self.blocked_tail_log2 <= 16,
-            "blocked_tail_log2 must be in 1..=16",
+            self.scatter.tail_log2 >= 1 && self.scatter.tail_log2 <= 16,
+            "scatter.tail_log2 must be in 1..=16",
+        )?;
+        check(
+            self.scatter.prefetch_distance <= 64,
+            "scatter.prefetch_distance must be <= 64 (0 disables)",
+        )?;
+        check(
+            self.scatter.swap_buffer >= 1
+                && self.scatter.swap_buffer <= 4096
+                && self.scatter.swap_buffer.is_power_of_two(),
+            "scatter.swap_buffer must be a power of two in 1..=4096",
         )?;
         // α grows as 2^attempt across retries; 32 doublings already
         // overflows any conceivable arena budget, and an unbounded retry
@@ -388,12 +451,9 @@ impl SemisortConfigBuilder {
         merge_light_buckets: bool,
         /// Set the scatter collision-probe strategy.
         probe_strategy: ProbeStrategy,
-        /// Set the Phase 3 scatter implementation.
-        scatter_strategy: ScatterStrategy,
-        /// Set the blocked-scatter write-buffer block size (power of two).
-        scatter_block: usize,
-        /// Set the blocked-scatter CAS-fallback tail exponent.
-        blocked_tail_log2: u32,
+        /// Set the whole Phase 3 scatter sub-config (strategy + knobs) in
+        /// one call; see [`ScatterConfig`].
+        scatter: ScatterConfig,
         /// Set the light-bucket sorting algorithm.
         local_sort_algo: LocalSortAlgo,
         /// Set the seed for sampling jitter and scatter randomness.
@@ -415,6 +475,42 @@ impl SemisortConfigBuilder {
         telemetry: TelemetryLevel,
         /// Set whether scheduler stats are snapshot around each run.
         capture_scheduler: bool,
+    }
+
+    /// Set the Phase 3 scatter implementation.
+    #[deprecated(
+        since = "0.9.0",
+        note = "scatter knobs moved into the `ScatterConfig` sub-struct; \
+                use `.scatter(ScatterConfig { strategy, ..Default::default() })`"
+    )]
+    #[must_use]
+    pub fn scatter_strategy(mut self, strategy: ScatterStrategy) -> Self {
+        self.cfg.scatter.strategy = strategy;
+        self
+    }
+
+    /// Set the blocked-scatter write-buffer block size (power of two).
+    #[deprecated(
+        since = "0.9.0",
+        note = "scatter knobs moved into the `ScatterConfig` sub-struct; \
+                use `.scatter(ScatterConfig { block, ..Default::default() })`"
+    )]
+    #[must_use]
+    pub fn scatter_block(mut self, block: usize) -> Self {
+        self.cfg.scatter.block = block;
+        self
+    }
+
+    /// Set the blocked-scatter CAS-fallback tail exponent.
+    #[deprecated(
+        since = "0.9.0",
+        note = "scatter knobs moved into the `ScatterConfig` sub-struct; \
+                use `.scatter(ScatterConfig { tail_log2, ..Default::default() })`"
+    )]
+    #[must_use]
+    pub fn blocked_tail_log2(mut self, tail_log2: u32) -> Self {
+        self.cfg.scatter.tail_log2 = tail_log2;
+        self
     }
 
     /// Validate and return the finished configuration.
@@ -440,21 +536,76 @@ mod tests {
         assert!((c.c - 1.25).abs() < 1e-12);
         assert!(c.merge_light_buckets);
         assert_eq!(c.probe_strategy, ProbeStrategy::Linear);
-        assert_eq!(c.scatter_strategy, ScatterStrategy::RandomCas);
-        assert_eq!(c.scatter_block, 16);
-        assert_eq!(c.blocked_tail_log2, 3);
+        assert_eq!(c.scatter.strategy, ScatterStrategy::RandomCas);
+        assert_eq!(c.scatter.block, 32);
+        assert_eq!(c.scatter.tail_log2, 3);
+        assert_eq!(c.scatter.prefetch_distance, 8);
+        assert_eq!(c.scatter.swap_buffer, 32);
         assert_eq!(c.telemetry, TelemetryLevel::Off);
         c.validate();
     }
 
     #[test]
-    #[should_panic(expected = "scatter_block must be a power of two")]
+    #[should_panic(expected = "scatter.block must be a power of two")]
     fn non_power_of_two_block_rejected() {
         let cfg = SemisortConfig {
-            scatter_block: 12,
+            scatter: ScatterConfig {
+                block: 12,
+                ..Default::default()
+            },
             ..Default::default()
         };
         cfg.validate();
+    }
+
+    #[test]
+    fn scatter_knobs_validated() {
+        let from = |scatter: ScatterConfig| SemisortConfig {
+            scatter,
+            ..Default::default()
+        };
+        assert!(from(ScatterConfig {
+            prefetch_distance: 65,
+            ..Default::default()
+        })
+        .try_validate()
+        .is_err());
+        assert!(from(ScatterConfig {
+            prefetch_distance: 0,
+            ..Default::default()
+        })
+        .try_validate()
+        .is_ok());
+        assert!(from(ScatterConfig {
+            swap_buffer: 0,
+            ..Default::default()
+        })
+        .try_validate()
+        .is_err());
+        assert!(from(ScatterConfig {
+            swap_buffer: 3,
+            ..Default::default()
+        })
+        .try_validate()
+        .is_err());
+        assert!(from(ScatterConfig {
+            swap_buffer: 8192,
+            ..Default::default()
+        })
+        .try_validate()
+        .is_err());
+        assert!(from(ScatterConfig {
+            swap_buffer: 1,
+            ..Default::default()
+        })
+        .try_validate()
+        .is_ok());
+        assert!(from(ScatterConfig {
+            tail_log2: 0,
+            ..Default::default()
+        })
+        .try_validate()
+        .is_err());
     }
 
     #[test]
@@ -520,13 +671,16 @@ mod tests {
         let cfg = SemisortConfig::builder()
             .seed(7)
             .alpha(1.5)
-            .scatter_strategy(ScatterStrategy::Blocked)
+            .scatter(ScatterConfig {
+                strategy: ScatterStrategy::Blocked,
+                ..Default::default()
+            })
             .max_scratch_bytes(1 << 20)
             .build()
             .unwrap();
         assert_eq!(cfg.seed, 7);
         assert!((cfg.alpha - 1.5).abs() < 1e-12);
-        assert_eq!(cfg.scatter_strategy, ScatterStrategy::Blocked);
+        assert_eq!(cfg.scatter.strategy, ScatterStrategy::Blocked);
         assert_eq!(cfg.max_scratch_bytes, 1 << 20);
     }
 
@@ -543,11 +697,34 @@ mod tests {
             other => panic!("unexpected error {other:?}"),
         }
         assert!(SemisortConfig::builder().alpha(1.0).build().is_err());
-        assert!(SemisortConfig::builder().scatter_block(12).build().is_err());
+        assert!(SemisortConfig::builder()
+            .scatter(ScatterConfig {
+                block: 12,
+                ..Default::default()
+            })
+            .build()
+            .is_err());
         assert!(SemisortConfig::builder()
             .max_scratch_bytes(0)
             .build()
             .is_err());
+    }
+
+    /// The deprecated flat builder setters must keep delegating into the
+    /// `scatter` sub-struct for one release.
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_flat_setters_delegate() {
+        let cfg = SemisortConfig::builder()
+            .scatter_strategy(ScatterStrategy::InPlace)
+            .scatter_block(64)
+            .blocked_tail_log2(4)
+            .build()
+            .unwrap();
+        assert_eq!(cfg.scatter.strategy, ScatterStrategy::InPlace);
+        assert_eq!(cfg.scatter.block, 64);
+        assert_eq!(cfg.scatter.tail_log2, 4);
+        assert!(SemisortConfig::builder().scatter_block(12).build().is_err());
     }
 
     #[test]

@@ -12,6 +12,7 @@ use crate::cancel::CancelToken;
 use crate::config::{OverflowPolicy, ScatterStrategy, SemisortConfig};
 use crate::error::SemisortError;
 use crate::fault::FaultPlan;
+use crate::inplace_scatter::{inplace_bytes, inplace_scatter, sort_light_regions};
 use crate::local_sort::local_sort_light_buckets;
 use crate::obs::{log_event, log_event_kv, ObsSink, PhaseSpan, RetryCause, ScratchCounters};
 use crate::pack_phase::pack_output_into;
@@ -20,12 +21,17 @@ use crate::sample::strided_sample_by_into;
 use crate::scatter::{arena_bytes, scatter, Slot, EMPTY};
 use crate::stats::SemisortStats;
 
-/// Semisort pre-hashed records. See [`semisort_with_stats`] for details.
+/// Semisort pre-hashed records. See [`try_semisort_core`] for details.
+#[deprecated(
+    since = "0.9.0",
+    note = "panicking one-shot wrappers are superseded by the `try_*` twins; \
+            use `try_semisort_core` (or a pooled `Semisorter`)"
+)]
 pub fn semisort_core<V: Copy + Send + Sync>(
     records: &[(u64, V)],
     cfg: &SemisortConfig,
 ) -> Vec<(u64, V)> {
-    semisort_with_stats(records, cfg).0
+    try_semisort_core(records, cfg).unwrap_or_else(|e| panic!("semisort: {e}"))
 }
 
 /// Fallible [`semisort_core`]: returns the output alone, surfacing terminal
@@ -46,6 +52,11 @@ pub fn try_semisort_core<V: Copy + Send + Sync>(
 /// config is invalid, or when the config selects
 /// [`OverflowPolicy::Error`] or [`OverflowPolicy::Panic`] and the
 /// escalation ladder bottoms out.
+#[deprecated(
+    since = "0.9.0",
+    note = "panicking one-shot wrappers are superseded by the `try_*` twins; \
+            use `try_semisort_with_stats` (or a pooled `Semisorter`)"
+)]
 pub fn semisort_with_stats<V: Copy + Send + Sync>(
     records: &[(u64, V)],
     cfg: &SemisortConfig,
@@ -100,10 +111,16 @@ pub fn try_semisort_with_stats<V: Copy + Send + Sync>(
 /// loop), so cancellation latency is bounded by the longest single phase.
 /// A run that observes the token returns
 /// [`SemisortError::Cancelled`] / [`SemisortError::DeadlineExceeded`]
-/// *before* touching the output: the result is all-or-nothing, never a
-/// partially-written semisort. A tripped token also suppresses the
+/// with the output empty or untouched: the result is all-or-nothing,
+/// never a partially-written semisort. A tripped token also suppresses the
 /// [`OverflowPolicy::Fallback`] degradation path — a caller whose deadline
 /// has passed does not want an even slower comparison sort.
+///
+/// [`ScatterStrategy::InPlace`] permutes *inside* the output buffer, so
+/// once its scatter begins the run commits: no further polls happen and
+/// cancellation latency extends to the end of the run. Exits that leave
+/// the loop after an in-place scatter started (fault-injected retries)
+/// clear the output first, preserving the all-or-nothing contract.
 #[must_use = "the Err carries the failure that the config asked to surface"]
 pub fn try_semisort_with_stats_cancellable<V: Copy + Send + Sync>(
     records: &[(u64, V)],
@@ -175,8 +192,10 @@ fn run_pooled<V: Copy + Send + Sync>(
         arena,
         sample,
         blocked,
+        inplace,
         ..
     } = pool;
+    let in_place = cfg.scatter.strategy == ScatterStrategy::InPlace;
 
     if n <= cfg.seq_threshold {
         stats.light_records = n;
@@ -212,6 +231,8 @@ fn run_pooled<V: Copy + Send + Sync>(
     loop {
         // Retry boundary: a deadline that expired while the previous attempt
         // was scattering fires here, before any of this attempt's work.
+        // (In-place retries cleared `out` on the way here, so this early
+        // return still honors the all-or-nothing output contract.)
         cancel.check()?;
         // Each retry re-randomizes every random choice and doubles the
         // slack α (Corollary 3.4 failures are overwhelmingly due to an
@@ -271,7 +292,18 @@ fn run_pooled<V: Copy + Send + Sync>(
         // Memory budget: α doubles every retry, so the arena grows
         // geometrically — check the plan *before* allocating and escalate
         // early instead of letting a doomed retry sequence eat the heap.
-        let required = arena_bytes::<V>(&plan);
+        // The in-place path holds no arena; its (much smaller) scratch
+        // estimate goes through the same gate so the budget policy and its
+        // fault tests behave uniformly across strategies.
+        let required = if in_place {
+            inplace_bytes::<V>(
+                &plan,
+                rayon::current_num_threads().max(1),
+                run_cfg.scatter.swap_buffer,
+            )
+        } else {
+            arena_bytes::<V>(&plan)
+        };
         if required > cfg.max_arena_bytes {
             let err = SemisortError::ArenaBudgetExceeded {
                 required_bytes: required,
@@ -288,8 +320,19 @@ fn run_pooled<V: Copy + Send + Sync>(
             escalate(records, cfg, err, &mut stats, out, cancel)?;
             return Ok(stats);
         }
-        let slots: &[Slot<V>] = match arena.lease_slots::<V>(plan.total_slots, fail_alloc, counters)
-        {
+        // The in-place path leases no slots; an injected alloc failure
+        // escalates with its scratch estimate so the chaos ladder still
+        // exercises the same error path.
+        let slot_lease = if in_place {
+            if fail_alloc {
+                Err(required)
+            } else {
+                Ok(&[][..])
+            }
+        } else {
+            arena.lease_slots::<V>(plan.total_slots, fail_alloc, counters)
+        };
+        let slots: &[Slot<V>] = match slot_lease {
             Ok(slots) => slots,
             Err(bytes) => {
                 let err = SemisortError::ArenaAllocFailed { bytes, attempt };
@@ -323,13 +366,14 @@ fn run_pooled<V: Copy + Send + Sync>(
                 cfg.fault.spec()
             );
         }
-        let (heavy_records, overflowed, overflow) = match run_cfg.scatter_strategy {
+        let (heavy_records, overflowed, overflow) = match run_cfg.scatter.strategy {
             ScatterStrategy::RandomCas => {
                 let o = scatter(
                     records,
                     &plan,
                     slots,
                     run_cfg.probe_strategy,
+                    run_cfg.scatter.prefetch_distance,
                     rng.fork(2),
                     &sink,
                     forced_overflow,
@@ -341,8 +385,9 @@ fn run_pooled<V: Copy + Send + Sync>(
                     records,
                     &plan,
                     slots,
-                    run_cfg.scatter_block,
-                    run_cfg.blocked_tail_log2,
+                    run_cfg.scatter.block,
+                    run_cfg.scatter.tail_log2,
+                    run_cfg.scatter.prefetch_distance,
                     &sink,
                     forced_overflow,
                     blocked,
@@ -352,9 +397,37 @@ fn run_pooled<V: Copy + Send + Sync>(
                 stats.fallback_records = o.fallback_records;
                 (o.heavy_records, o.overflowed, o.overflow)
             }
+            ScatterStrategy::InPlace => {
+                let o = inplace_scatter(
+                    records,
+                    &plan,
+                    out,
+                    run_cfg.scatter.swap_buffer,
+                    &sink,
+                    forced_overflow,
+                    inplace,
+                );
+                stats.inplace_cycles = o.cycles;
+                stats.swap_buffer_flushes = o.flushes;
+                // The in-place path never touches the arena, so fold its
+                // scratch fate into the pool counters here.
+                if o.grew {
+                    counters.grows += 1;
+                } else {
+                    counters.reuse_hits += 1;
+                }
+                (o.heavy_records, o.overflowed, o.overflow)
+            }
         };
         stats.t_scatter = span.finish_into(&mut stats.spans);
         if overflowed {
+            // The in-place scatter wrote (a copy) into `out` before the
+            // injected overflow bailed; clear it so every later exit path
+            // (cancellation, escalation) keeps the all-or-nothing output
+            // contract.
+            if in_place {
+                out.clear();
+            }
             attempt += 1;
             stats.retries = attempt;
             // Record *why* (cold path — every telemetry level keeps this:
@@ -397,6 +470,26 @@ fn run_pooled<V: Copy + Send + Sync>(
         }
         stats.heavy_records = heavy_records;
         stats.light_records = n - heavy_records;
+
+        if in_place {
+            // The records already sit in their exact bucket regions inside
+            // `out`; sorting the light regions is all that remains (heavy
+            // regions hold one key each) and there is no pack. No
+            // cancellation polls past this point: the run has committed to
+            // the output buffer (see `try_semisort_with_stats_cancellable`).
+            let span = PhaseSpan::start("local_sort");
+            sort_light_regions(out, &plan, &inplace.starts, run_cfg.local_sort_algo);
+            stats.t_local_sort = span.finish_into(&mut stats.spans);
+            debug_assert_eq!(out.len(), n, "in-place permute preserves length");
+            finish_stats(
+                &mut stats,
+                &sink,
+                &mut retry_causes,
+                faults_injected,
+                sched_before.as_ref(),
+            );
+            return Ok(stats);
+        }
         cancel.check()?;
 
         // Phase 4: local sort of the light buckets.
@@ -521,11 +614,22 @@ fn fallback_sort_into<V: Copy + Send + Sync>(records: &[(u64, V)], out: &mut Vec
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::config::ScatterConfig;
     use crate::verify::{is_permutation_of, is_semisorted_by};
     use parlay::hash64;
 
+    fn with_strategy(strategy: ScatterStrategy) -> SemisortConfig {
+        SemisortConfig {
+            scatter: ScatterConfig {
+                strategy,
+                ..Default::default()
+            },
+            ..Default::default()
+        }
+    }
+
     fn check(records: &[(u64, u64)], cfg: &SemisortConfig) -> SemisortStats {
-        let (out, stats) = semisort_with_stats(records, cfg);
+        let (out, stats) = try_semisort_with_stats(records, cfg).unwrap();
         assert!(is_semisorted_by(&out, |r| r.0), "not semisorted");
         assert!(is_permutation_of(&out, records), "not a permutation");
         stats
@@ -596,7 +700,7 @@ mod tests {
         let cfg = SemisortConfig::default();
         let recs: Vec<(u64, u64)> = (0..60_000u64).map(|i| (hash64(i % 1000), i)).collect();
         for threads in [1usize, 2, 4] {
-            let out = parlay::with_threads(threads, || semisort_core(&recs, &cfg));
+            let out = parlay::with_threads(threads, || try_semisort_core(&recs, &cfg).unwrap());
             assert!(is_semisorted_by(&out, |r| r.0), "threads={threads}");
             assert!(is_permutation_of(&out, &recs), "threads={threads}");
         }
@@ -607,16 +711,16 @@ mod tests {
         // With one thread there are no CAS races, so seed ⇒ output exactly.
         let cfg = SemisortConfig::default();
         let recs: Vec<(u64, u64)> = (0..60_000u64).map(|i| (hash64(i % 1000), i)).collect();
-        let a = parlay::with_threads(1, || semisort_core(&recs, &cfg));
-        let b = parlay::with_threads(1, || semisort_core(&recs, &cfg));
+        let a = parlay::with_threads(1, || try_semisort_core(&recs, &cfg).unwrap());
+        let b = parlay::with_threads(1, || try_semisort_core(&recs, &cfg).unwrap());
         assert_eq!(a, b, "same seed + one thread must reproduce exactly");
     }
 
     #[test]
     fn different_seeds_differ_but_both_valid() {
         let recs: Vec<(u64, u64)> = (0..60_000u64).map(|i| (hash64(i % 50), i)).collect();
-        let a = semisort_core(&recs, &SemisortConfig::default().with_seed(1));
-        let b = semisort_core(&recs, &SemisortConfig::default().with_seed(2));
+        let a = try_semisort_core(&recs, &SemisortConfig::default().with_seed(1)).unwrap();
+        let b = try_semisort_core(&recs, &SemisortConfig::default().with_seed(2)).unwrap();
         assert!(is_semisorted_by(&a, |r| r.0));
         assert!(is_semisorted_by(&b, |r| r.0));
         assert_ne!(a, b, "different seeds should shuffle differently");
@@ -627,7 +731,7 @@ mod tests {
         let mut recs: Vec<(u64, u64)> = (0..50_000u64).map(|i| (hash64(i % 100), i)).collect();
         recs[12_345].0 = EMPTY;
         recs[23_456].0 = EMPTY;
-        let (out, _) = semisort_with_stats(&recs, &SemisortConfig::default());
+        let (out, _) = try_semisort_with_stats(&recs, &SemisortConfig::default()).unwrap();
         assert!(is_semisorted_by(&out, |r| r.0));
         assert!(is_permutation_of(&out, &recs));
     }
@@ -654,7 +758,7 @@ mod tests {
         let recs: Vec<(u64, Payload)> = (0..50_000u32)
             .map(|i| (hash64((i % 321) as u64), Payload { a: i as f32, b: i }))
             .collect();
-        let out = semisort_core(&recs, &SemisortConfig::default());
+        let out = try_semisort_core(&recs, &SemisortConfig::default()).unwrap();
         assert_eq!(out.len(), recs.len());
         assert!(is_semisorted_by(&out, |r| r.0));
         let mut got: Vec<u32> = out.iter().map(|r| r.1.b).collect();
@@ -664,10 +768,7 @@ mod tests {
 
     #[test]
     fn blocked_strategy_end_to_end() {
-        let cfg = SemisortConfig {
-            scatter_strategy: ScatterStrategy::Blocked,
-            ..Default::default()
-        };
+        let cfg = with_strategy(ScatterStrategy::Blocked);
         let recs: Vec<(u64, u64)> = (0..150_000u64)
             .map(|i| {
                 let k = if i % 2 == 0 { i % 10 } else { 1_000_000 + i };
@@ -681,13 +782,10 @@ mod tests {
 
     #[test]
     fn blocked_valid_at_any_thread_count() {
-        let cfg = SemisortConfig {
-            scatter_strategy: ScatterStrategy::Blocked,
-            ..Default::default()
-        };
+        let cfg = with_strategy(ScatterStrategy::Blocked);
         let recs: Vec<(u64, u64)> = (0..60_000u64).map(|i| (hash64(i % 1000), i)).collect();
         for threads in [1usize, 2, 4] {
-            let out = parlay::with_threads(threads, || semisort_core(&recs, &cfg));
+            let out = parlay::with_threads(threads, || try_semisort_core(&recs, &cfg).unwrap());
             assert!(is_semisorted_by(&out, |r| r.0), "threads={threads}");
             assert!(is_permutation_of(&out, &recs), "threads={threads}");
         }
@@ -696,12 +794,65 @@ mod tests {
     #[test]
     fn blocked_tight_alpha_retries_instead_of_failing() {
         let cfg = SemisortConfig {
-            scatter_strategy: ScatterStrategy::Blocked,
             alpha: 1.01,
-            ..Default::default()
+            ..with_strategy(ScatterStrategy::Blocked)
         };
         let recs: Vec<(u64, u64)> = (0..100_000u64).map(|i| (hash64(i), i)).collect();
         check(&recs, &cfg);
+    }
+
+    #[test]
+    fn inplace_strategy_end_to_end() {
+        let cfg = with_strategy(ScatterStrategy::InPlace);
+        let recs: Vec<(u64, u64)> = (0..150_000u64)
+            .map(|i| {
+                let k = if i % 2 == 0 { i % 10 } else { 1_000_000 + i };
+                (hash64(k), i)
+            })
+            .collect();
+        let stats = check(&recs, &cfg);
+        assert_eq!(stats.heavy_records + stats.light_records, recs.len());
+        assert!(stats.inplace_cycles > 0, "permutation must claim positions");
+        assert_eq!(stats.blocks_flushed, 0, "no slab machinery runs in-place");
+        assert_eq!(stats.retries, 0, "exact counting cannot overflow");
+    }
+
+    #[test]
+    fn inplace_valid_at_any_thread_count() {
+        let cfg = with_strategy(ScatterStrategy::InPlace);
+        let recs: Vec<(u64, u64)> = (0..60_000u64).map(|i| (hash64(i % 1000), i)).collect();
+        for threads in [1usize, 2, 4] {
+            let out = parlay::with_threads(threads, || try_semisort_core(&recs, &cfg).unwrap());
+            assert!(is_semisorted_by(&out, |r| r.0), "threads={threads}");
+            assert!(is_permutation_of(&out, &recs), "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn inplace_tiny_swap_buffer_still_correct() {
+        // A 1-record swap buffer degenerates to pure cycle-following with a
+        // flush per displacement — maximum strand/reconcile pressure.
+        let cfg = SemisortConfig {
+            scatter: ScatterConfig {
+                strategy: ScatterStrategy::InPlace,
+                swap_buffer: 1,
+                ..Default::default()
+            },
+            ..Default::default()
+        };
+        let recs: Vec<(u64, u64)> = (0..80_000u64).map(|i| (hash64(i % 700), i)).collect();
+        let stats = check(&recs, &cfg);
+        assert!(stats.swap_buffer_flushes > 0);
+    }
+
+    #[test]
+    fn inplace_all_equal_keys_is_a_fixed_point() {
+        // One heavy key ⇒ every record is already in its (only) bucket; the
+        // fixed-point skip should leave the permutation with zero work.
+        let cfg = with_strategy(ScatterStrategy::InPlace);
+        let recs: Vec<(u64, u64)> = (0..80_000u64).map(|i| (hash64(7), i)).collect();
+        let stats = check(&recs, &cfg);
+        assert_eq!(stats.heavy_records, recs.len());
     }
 
     #[test]
@@ -717,7 +868,7 @@ mod tests {
         assert!(stats.heavy_records > 0 && stats.light_records > 0);
         assert_eq!(stats.heavy_records + stats.light_records, recs.len());
         // Fallback paths count everything as light.
-        let (_, small_stats) = semisort_with_stats(&recs[..100], &cfg);
+        let (_, small_stats) = try_semisort_with_stats(&recs[..100], &cfg).unwrap();
         assert_eq!(small_stats.light_records, 100);
     }
 

@@ -1,0 +1,756 @@
+//! Phase 3 (in-place variant): permute records into their bucket regions
+//! without the scatter arena.
+//!
+//! The CAS and blocked scatters trade memory for simplicity: both write
+//! through a slot array of `α · n` slots (~70 MB at n = 10⁶ for
+//! `(u64, u64)` records), which the pack phase then compacts. This module
+//! instead computes **exact** bucket boundaries with a counting pass and
+//! permutes the records *within the output buffer itself*, in the style of
+//! in-place parallel shuffling / IPS⁴o-like block permutation (see
+//! PAPERS.md, arXiv 2302.03317): scratch drops to
+//! O(buckets + workers · swap_buffer).
+//!
+//! # The cursor-claim protocol
+//!
+//! After the counting pass, bucket `b` owns the region
+//! `[starts[b], starts[b+1])` of the output buffer and an atomic claim
+//! cursor `heads[b]` (initialized to `starts[b]`). The only shared-memory
+//! operation in the whole permutation is
+//! `heads[b].fetch_add(k)` (clamped to the region end): it hands the
+//! calling worker *exclusive* ownership of `k` fresh positions. Claimed
+//! positions are read once (displacing the records that sat there),
+//! written once (with records that belong to `b`), and never touched
+//! again. Because `fetch_add` ranges are disjoint and no data flows
+//! through the cursors themselves, `Relaxed` ordering suffices — the
+//! fork/join edges of the parallel loop publish everything else
+//! (`tests/race_model.rs` holds the loom model of exactly this argument).
+//!
+//! Each worker runs a prime/flush/strand loop:
+//!
+//! - **prime**: claim up to `swap_buffer` positions from some unexhausted
+//!   bucket `b`. Displaced records that already belong to `b` are left in
+//!   place (fixed points are free — an all-equal-keys input permutes with
+//!   zero writes); the rest are read in-hand and their positions become
+//!   the worker's **private holes** in `b`, tracked as per-bucket linked
+//!   lists of ranges.
+//! - **classify**: in-hand records are pushed into per-destination-bucket
+//!   swap buffers (the same sparse-slab `WorkerScratch` structure the
+//!   blocked scatter uses, so memory scales with *touched* buckets).
+//! - **flush**: a full buffer for bucket `d` first repays the worker's
+//!   private `d`-holes (write-only), then claims fresh `d` positions
+//!   (swap: read the displaced record in-hand, write the buffered one).
+//!   In-hand count never grows during a flush, so the loop cannot run
+//!   away.
+//! - **strand**: if `d`'s region is exhausted and no private holes
+//!   remain, the leftover buffered records are stranded — their holes
+//!   belong to *other* workers.
+//!
+//! When every cursor is exhausted the workers drain their partial buffers
+//! (repay-or-strand) and join. A short sequential **reconciliation** then
+//! fills the surviving holes from the stranded records: per bucket,
+//! `unfilled holes == stranded records` by conservation (every position is
+//! claimed exactly once, read exactly once, written exactly once; every
+//! record is read exactly once and written exactly once).
+//!
+//! Unlike the arena scatters this phase cannot overflow — the counting
+//! pass is exact — so the Las Vegas retry machinery only ever triggers
+//! here under fault injection.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use rayon::prelude::*;
+
+use crate::buckets::BucketPlan;
+use crate::config::LocalSortAlgo;
+use crate::fault::FaultClass;
+use crate::local_sort::sort_records;
+use crate::obs::{ObsSink, OverflowCapture, WorkerCell};
+use crate::pool::{HoleRange, InPlaceScratch, InPlaceWorker, HOLES_EMPTY, HOLES_NONE};
+
+/// Below this many records the counting pass runs as a single chunk.
+const MIN_CHUNK: usize = 8192;
+
+/// One counting-pass work item: a private matrix row plus the record chunk
+/// that fills it.
+type CountRow<'a, V> = (&'a mut [usize], &'a [(u64, V)]);
+
+/// What one worker hands back: its stranded records, cycle count and swap
+/// buffer flush count.
+type WorkerYield<V> = (Vec<(u64, V)>, usize, usize);
+
+/// What [`inplace_scatter`] reports back to the driver.
+#[derive(Debug, Default)]
+pub struct InPlaceOutcome {
+    /// Records that landed in heavy buckets (bucket id < `num_heavy`).
+    pub heavy_records: usize,
+    /// True only under fault injection: the counting pass is exact, so a
+    /// genuine overflow is impossible.
+    pub overflowed: bool,
+    /// `(bucket, allocated, observed)` for the injected overflow.
+    pub overflow: Option<(u32, usize, usize)>,
+    /// Prime claims issued — each starts one displacement chain (the
+    /// in-place analogue of following a permutation cycle).
+    pub cycles: usize,
+    /// Swap-buffer flushes (full slabs plus end-of-run partial drains).
+    pub flushes: usize,
+    /// True when `InPlaceScratch::prepare` had to allocate (cold pool or
+    /// a larger run); false when the pooled buffers were big enough — the
+    /// driver folds this into the scratch reuse/grow counters.
+    pub grew: bool,
+}
+
+/// A raw view of the output buffer that workers write through.
+///
+/// Plain `Copy` wrapper so the parallel closures can capture it by value;
+/// all dereferences go through the unsafe [`SharedOut::read`] /
+/// [`SharedOut::write`], whose safety rests on the cursor-claim protocol
+/// (each index is owned by exactly one worker at a time).
+struct SharedOut<V> {
+    ptr: *mut (u64, V),
+    #[cfg(debug_assertions)]
+    len: usize,
+}
+
+impl<V> Clone for SharedOut<V> {
+    fn clone(&self) -> Self {
+        *self
+    }
+}
+impl<V> Copy for SharedOut<V> {}
+// SAFETY: the wrapper itself is just a pointer; cross-thread use is
+// governed by the claim protocol documented on the methods.
+unsafe impl<V: Send> Send for SharedOut<V> {}
+// SAFETY: as above — &SharedOut only exposes the unsafe accessors.
+unsafe impl<V: Send> Sync for SharedOut<V> {}
+
+impl<V: Copy> SharedOut<V> {
+    /// Read the record at `i`.
+    ///
+    /// # Safety
+    ///
+    /// `i` is in bounds and currently claimed by the calling worker (no
+    /// other thread may access index `i` concurrently).
+    #[inline]
+    unsafe fn read(self, i: usize) -> (u64, V) {
+        #[cfg(debug_assertions)]
+        debug_assert!(i < self.len);
+        // SAFETY: caller contract — exclusive claim over index i.
+        unsafe { *self.ptr.add(i) }
+    }
+
+    /// Write the record at `i`.
+    ///
+    /// # Safety
+    ///
+    /// As [`SharedOut::read`]: `i` is in bounds and exclusively claimed.
+    #[inline]
+    unsafe fn write(self, i: usize, r: (u64, V)) {
+        #[cfg(debug_assertions)]
+        debug_assert!(i < self.len);
+        // SAFETY: caller contract — exclusive claim over index i.
+        unsafe { self.ptr.add(i).write(r) };
+    }
+}
+
+/// Claim up to `want` fresh positions of the region ending at `end` from
+/// `head`. Returns the claimed range `(pos, k)` or `None` when the region
+/// is exhausted (a lost race counts as exhausted — the winner owns the
+/// tail).
+///
+/// The `fetch_add` may overshoot `end`; overshoot positions are outside
+/// every returned range, so they are never read or written by anyone, and
+/// the preceding load bounds how far the cursor can run past the end.
+#[inline]
+fn claim(head: &AtomicUsize, end: usize, want: usize) -> Option<(usize, usize)> {
+    if head.load(Ordering::Relaxed) >= end {
+        return None;
+    }
+    let pos = head.fetch_add(want, Ordering::Relaxed);
+    if pos >= end {
+        return None;
+    }
+    Some((pos, want.min(end - pos)))
+}
+
+/// Scratch-free estimate of the bytes the in-place scatter will hold for
+/// this plan — the budget analogue of
+/// [`arena_bytes`](crate::scatter::arena_bytes) for the arena strategies.
+/// Counting matrix + bounds + cursors + per-worker bucket maps; the swap
+/// slabs themselves scale with touched buckets and are excluded (they are
+/// bounded by this term anyway).
+pub fn inplace_bytes<V>(plan: &BucketPlan, workers: usize, swap_buffer: usize) -> usize {
+    let b = plan.num_buckets();
+    let usize_b = std::mem::size_of::<usize>();
+    // counts (≤ 2·workers rows) + starts + heads + per-worker maps + one
+    // slab per worker as a floor.
+    b * usize_b * (2 * workers + 2)
+        + workers * b * std::mem::size_of::<u32>() * 2
+        + workers * swap_buffer * std::mem::size_of::<(u64, V)>()
+}
+
+/// Permute `records` into `out` so every record sits inside its bucket's
+/// region (exact boundaries from the counting pass; region order is bucket
+/// order, heavy then light). Record order *within* a region is
+/// scheduling-dependent; [`sort_light_regions`] restores a deterministic
+/// key sequence afterwards.
+///
+/// `swap_buffer` is [`ScatterConfig::swap_buffer`](crate::config::ScatterConfig::swap_buffer);
+/// `forced_overflow` injects the Las Vegas failure that this strategy
+/// cannot produce organically, keeping the chaos-test ladder uniform
+/// across strategies.
+pub fn inplace_scatter<V: Copy + Send + Sync>(
+    records: &[(u64, V)],
+    plan: &BucketPlan,
+    out: &mut Vec<(u64, V)>,
+    swap_buffer: usize,
+    sink: &ObsSink,
+    forced_overflow: Option<FaultClass>,
+    scratch: &mut InPlaceScratch,
+) -> InPlaceOutcome {
+    let n = records.len();
+    let num_buckets = plan.num_buckets();
+    out.clear();
+    out.extend_from_slice(records);
+    if n == 0 || num_buckets == 0 {
+        return InPlaceOutcome::default();
+    }
+
+    let workers = rayon::current_num_threads().max(1);
+    let chunk = n.div_ceil(workers * 2).max(MIN_CHUNK);
+    let num_chunks = n.div_ceil(chunk);
+    let grew = scratch.prepare(num_buckets, num_chunks, workers);
+
+    // Counting pass: one private row of the matrix per chunk, no sharing.
+    {
+        let mut rows: Vec<CountRow<'_, V>> = scratch
+            .counts
+            .chunks_mut(num_buckets)
+            .zip(records.chunks(chunk))
+            .collect();
+        rows.par_iter_mut().for_each(|(row, chunk_recs)| {
+            for &(key, _) in chunk_recs.iter() {
+                row[plan.bucket_of(key) as usize] += 1;
+            }
+        });
+    }
+
+    // Exclusive prefix sum → exact region bounds. Never overflows: the
+    // regions partition [0, n) exactly.
+    let mut heavy_records = 0usize;
+    let mut acc = 0usize;
+    scratch.starts.push(0);
+    for b in 0..num_buckets {
+        let mut total = 0usize;
+        for ci in 0..num_chunks {
+            total += scratch.counts[ci * num_buckets + b];
+        }
+        if b < plan.num_heavy {
+            heavy_records += total;
+        } else {
+            sink.record_occupancy(total as u64);
+        }
+        acc += total;
+        scratch.starts.push(acc);
+    }
+    debug_assert_eq!(acc, n, "regions must partition the input");
+
+    // Fault injection: the first nonempty bucket of the matching class
+    // "overflows", exercising the driver's retry machinery exactly as the
+    // arena strategies do.
+    if let Some(class) = forced_overflow {
+        let capture = OverflowCapture::new();
+        for b in 0..num_buckets {
+            let size = scratch.starts[b + 1] - scratch.starts[b];
+            if size == 0 || !class.matches(b < plan.num_heavy) {
+                continue;
+            }
+            capture.report(b as u32, size, size + 1);
+            return InPlaceOutcome {
+                heavy_records,
+                overflowed: true,
+                overflow: capture.take(),
+                grew,
+                ..Default::default()
+            };
+        }
+    }
+
+    for b in 0..num_buckets {
+        scratch.heads[b].store(scratch.starts[b], Ordering::Relaxed);
+    }
+
+    let shared = SharedOut {
+        ptr: out.as_mut_ptr(),
+        #[cfg(debug_assertions)]
+        len: n,
+    };
+    let starts: &[usize] = &scratch.starts;
+    let heads: &[AtomicUsize] = &scratch.heads[..num_buckets];
+
+    // The parallel permutation. Each worker owns its InPlaceWorker state
+    // (`par_iter_mut` hands out disjoint &mut); `shared`, `starts` and
+    // `heads` are the only cross-worker state, and only `heads` is ever
+    // written concurrently.
+    let results: Vec<WorkerYield<V>> = scratch.workers[..workers]
+        .par_iter_mut()
+        .enumerate()
+        .map(|(w, worker)| {
+            worker_loop(w, workers, worker, shared, starts, heads, plan, swap_buffer)
+        })
+        .collect();
+
+    // Sequential reconciliation: fill each worker's surviving holes from
+    // the stranded records. Conservation (see module docs) guarantees the
+    // per-bucket counts match exactly.
+    let mut cycles = 0usize;
+    let mut flushes = 0usize;
+    let mut leftovers: Vec<(u64, V)> = Vec::new();
+    for (stranded, c, f) in results {
+        cycles += c;
+        flushes += f;
+        leftovers.extend_from_slice(&stranded);
+    }
+    let mut holes: Vec<(u32, usize, usize)> = Vec::new();
+    for worker in scratch.workers[..workers].iter_mut() {
+        for &b in &worker.touched_holes {
+            let mut h = worker.hole_of[b as usize];
+            // Both sentinels (HOLES_EMPTY entry, HOLES_NONE terminator)
+            // sit above every valid arena index, so one bound ends the walk.
+            while h < HOLES_EMPTY {
+                let hr = worker.holes[h as usize];
+                if hr.len > 0 {
+                    holes.push((b, hr.start, hr.len));
+                }
+                h = hr.next;
+            }
+        }
+        worker.reset_holes();
+    }
+    if !leftovers.is_empty() || !holes.is_empty() {
+        holes.sort_unstable_by_key(|&(b, start, _)| (b, start));
+        leftovers.sort_unstable_by_key(|r| plan.bucket_of(r.0));
+        let mut li = 0usize;
+        for &(b, start, len) in &holes {
+            for j in 0..len {
+                debug_assert_eq!(
+                    plan.bucket_of(leftovers[li].0),
+                    b,
+                    "conservation: stranded records must match holes per bucket"
+                );
+                out[start + j] = leftovers[li];
+                li += 1;
+            }
+        }
+        debug_assert_eq!(li, leftovers.len(), "every stranded record placed");
+    }
+
+    // Every record was placed exactly once (fixed points, hole repayments,
+    // claim-swaps, and the reconciliation zip-fill partition the input), so
+    // the strategy-uniform placement counter is simply n.
+    if sink.level().counters() {
+        sink.merge_cell(&WorkerCell {
+            records_placed: n as u64,
+            ..WorkerCell::default()
+        });
+    }
+
+    InPlaceOutcome {
+        heavy_records,
+        overflowed: false,
+        overflow: None,
+        cycles,
+        flushes,
+        grew,
+    }
+}
+
+/// One worker's prime/flush/strand loop (see module docs). Returns the
+/// stranded records plus the worker's `(cycles, flushes)` counters; the
+/// worker's unfilled holes stay behind in `worker` for reconciliation.
+#[allow(clippy::too_many_arguments)]
+fn worker_loop<V: Copy + Send + Sync>(
+    w: usize,
+    workers: usize,
+    worker: &mut InPlaceWorker,
+    out: SharedOut<V>,
+    starts: &[usize],
+    heads: &[AtomicUsize],
+    plan: &BucketPlan,
+    swap_buffer: usize,
+) -> (Vec<(u64, V)>, usize, usize) {
+    let num_buckets = starts.len() - 1;
+    worker.begin(num_buckets);
+    let mut pending: Vec<(u64, V)> = Vec::new();
+    let mut flush_buf: Vec<(u64, V)> = Vec::with_capacity(swap_buffer);
+    let mut stranded: Vec<(u64, V)> = Vec::new();
+    let mut cycles = 0usize;
+    let mut flushes = 0usize;
+    // Workers start their bucket scan spread across the ring so early
+    // claims don't all contend on bucket 0's cursor.
+    let mut scan = w * num_buckets / workers;
+
+    loop {
+        // Classify in-hand records; flush buffers as they fill.
+        while let Some((key, val)) = pending.pop() {
+            let d = plan.bucket_of(key) as usize;
+            if let Some(full) = worker.buf.push(d, (key, val), swap_buffer) {
+                flush_buf.clear();
+                flush_buf.extend_from_slice(full);
+                flushes += 1;
+                flush_records(
+                    worker,
+                    d,
+                    &flush_buf,
+                    out,
+                    starts,
+                    heads,
+                    &mut pending,
+                    &mut stranded,
+                );
+            }
+        }
+
+        // Prime: claim a batch of fresh positions from the next
+        // unexhausted bucket on the ring.
+        let mut primed = false;
+        for _ in 0..num_buckets {
+            let b = scan;
+            let end = starts[b + 1];
+            if let Some((pos, k)) = claim(&heads[b], end, swap_buffer) {
+                cycles += 1;
+                // Read the displaced records; fixed points (records
+                // already in bucket b) stay put and never become holes.
+                let mut run_start = pos;
+                for i in pos..pos + k {
+                    // SAFETY: [pos, pos+k) was claimed above — this worker
+                    // exclusively owns these indices, which lie inside
+                    // bucket b's region (claim clamps to `end` ≤ n).
+                    let r = unsafe { out.read(i) };
+                    if plan.bucket_of(r.0) as usize == b {
+                        if i > run_start {
+                            push_hole(worker, b, run_start, i - run_start);
+                        }
+                        run_start = i + 1;
+                    } else {
+                        pending.push(r);
+                    }
+                }
+                if pos + k > run_start {
+                    push_hole(worker, b, run_start, pos + k - run_start);
+                }
+                primed = true;
+                break;
+            }
+            scan = if b + 1 == num_buckets { 0 } else { b + 1 };
+        }
+        if primed {
+            continue;
+        }
+
+        // Every cursor is exhausted: drain the partial buffers. Claims can
+        // no longer succeed (cursors are monotone), so this only repays
+        // private holes or strands — `pending` stays empty.
+        for s in 0..worker.buf.touched_len() {
+            let (d, part) = worker.buf.partial::<V>(s, swap_buffer);
+            if part.is_empty() {
+                continue;
+            }
+            flush_buf.clear();
+            flush_buf.extend_from_slice(part);
+            flushes += 1;
+            flush_records(
+                worker,
+                d,
+                &flush_buf,
+                out,
+                starts,
+                heads,
+                &mut pending,
+                &mut stranded,
+            );
+        }
+        debug_assert!(pending.is_empty(), "exhausted cursors cannot displace");
+        worker.buf.reset();
+        return (stranded, cycles, flushes);
+    }
+}
+
+/// Place `records` (all destined for bucket `d`) into the output: private
+/// holes first (write-only), then freshly claimed positions (swap —
+/// displaced records go to `pending`), stranding whatever is left once
+/// `d`'s region is exhausted.
+#[allow(clippy::too_many_arguments)]
+fn flush_records<V: Copy + Send + Sync>(
+    worker: &mut InPlaceWorker,
+    d: usize,
+    records: &[(u64, V)],
+    out: SharedOut<V>,
+    starts: &[usize],
+    heads: &[AtomicUsize],
+    pending: &mut Vec<(u64, V)>,
+    stranded: &mut Vec<(u64, V)>,
+) {
+    let mut i = 0usize;
+    // Repay private holes: positions this worker claimed from d earlier
+    // and still owes records to.
+    while i < records.len() {
+        let h = worker.hole_of[d];
+        if h >= HOLES_EMPTY {
+            break;
+        }
+        let hr = &mut worker.holes[h as usize];
+        let take = hr.len.min(records.len() - i);
+        for j in 0..take {
+            // SAFETY: the hole range was claimed by this worker at prime
+            // time and has not been written since (len tracks the unfilled
+            // remainder), so these indices are exclusively owned.
+            unsafe { out.write(hr.start + j, records[i + j]) };
+        }
+        hr.start += take;
+        hr.len -= take;
+        i += take;
+        if worker.holes[h as usize].len == 0 {
+            // A fully repaid list parks at HOLES_EMPTY (not HOLES_NONE):
+            // the bucket stays registered in `touched_holes` exactly once.
+            let next = worker.holes[h as usize].next;
+            worker.hole_of[d] = if next == HOLES_NONE {
+                HOLES_EMPTY
+            } else {
+                next
+            };
+        }
+    }
+    // Claim fresh positions: read the displaced record, write ours.
+    while i < records.len() {
+        let Some((pos, k)) = claim(&heads[d], starts[d + 1], records.len() - i) else {
+            break;
+        };
+        for j in 0..k {
+            // SAFETY: [pos, pos+k) was claimed above — exclusively owned,
+            // inside bucket d's region.
+            pending.push(unsafe { out.read(pos + j) });
+            // SAFETY: as above.
+            unsafe { out.write(pos + j, records[i + j]) };
+        }
+        i += k;
+    }
+    if i < records.len() {
+        stranded.extend_from_slice(&records[i..]);
+    }
+}
+
+/// Record positions `[start, start + len)` as private holes of `worker` in
+/// bucket `b` (prepended to `b`'s range list).
+///
+/// `b` enters `touched_holes` only on the transition away from
+/// [`HOLES_NONE`] — a drained list parks at [`HOLES_EMPTY`], so re-priming
+/// the same bucket later cannot register it twice (a duplicate would make
+/// reconciliation refill the bucket's surviving holes twice).
+fn push_hole(worker: &mut InPlaceWorker, b: usize, start: usize, len: usize) {
+    let prev = worker.hole_of[b];
+    if prev == HOLES_NONE {
+        worker.touched_holes.push(b as u32);
+    }
+    let idx = worker.holes.len() as u32;
+    worker.holes.push(HoleRange {
+        start,
+        len,
+        next: if prev >= HOLES_EMPTY {
+            HOLES_NONE
+        } else {
+            prev
+        },
+    });
+    worker.hole_of[b] = idx;
+}
+
+/// Sort every light-bucket region of `out` by key (heavy regions hold a
+/// single key and need no sort). This is the in-place path's Phase 4; with
+/// it, the output's *key sequence* is deterministic for a given seed and
+/// input at any thread count — the same sequence the arena strategies
+/// produce with [`LocalSortAlgo::StdUnstable`] / `StdStable`.
+pub fn sort_light_regions<V: Copy + Send + Sync>(
+    out: &mut [(u64, V)],
+    plan: &BucketPlan,
+    starts: &[usize],
+    algo: LocalSortAlgo,
+) {
+    let num_buckets = plan.num_buckets();
+    debug_assert_eq!(starts.len(), num_buckets + 1);
+    let light_base = starts[plan.num_heavy];
+    let (_, mut rest) = out.split_at_mut(light_base);
+    let mut offset = light_base;
+    let mut regions: Vec<&mut [(u64, V)]> = Vec::with_capacity(num_buckets - plan.num_heavy);
+    for b in plan.num_heavy..num_buckets {
+        let len = starts[b + 1] - starts[b];
+        let (region, tail) = rest.split_at_mut(len);
+        regions.push(region);
+        rest = tail;
+        offset += len;
+    }
+    debug_assert_eq!(offset, starts[num_buckets]);
+    regions
+        .into_par_iter()
+        .for_each(|region| sort_records(region, algo));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::buckets::build_plan;
+    use crate::config::SemisortConfig;
+    use crate::sample::strided_sample;
+    use crate::verify::{is_permutation_of, is_semisorted_by};
+    use parlay::hash64;
+    use parlay::random::Rng;
+
+    fn run(
+        records: &[(u64, u64)],
+        swap_buffer: usize,
+        forced: Option<FaultClass>,
+    ) -> (BucketPlan, Vec<(u64, u64)>, InPlaceOutcome, InPlaceScratch) {
+        let cfg = SemisortConfig::default();
+        let keys: Vec<u64> = records.iter().map(|r| r.0).collect();
+        let mut sample = strided_sample(&keys, cfg.sample_shift, Rng::new(1));
+        sample.sort_unstable();
+        let plan = build_plan(&sample, records.len(), &cfg);
+        let sink = ObsSink::disabled();
+        let mut scratch = InPlaceScratch::new();
+        let mut out = Vec::new();
+        let outcome = inplace_scatter(
+            records,
+            &plan,
+            &mut out,
+            swap_buffer,
+            &sink,
+            forced,
+            &mut scratch,
+        );
+        (plan, out, outcome, scratch)
+    }
+
+    fn assert_regioned(plan: &BucketPlan, starts: &[usize], out: &[(u64, u64)]) {
+        for b in 0..plan.num_buckets() {
+            for &(key, _) in &out[starts[b]..starts[b + 1]] {
+                assert_eq!(
+                    plan.bucket_of(key) as usize,
+                    b,
+                    "record in wrong region (bucket {b})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn permutes_into_exact_regions() {
+        let records: Vec<(u64, u64)> = (0..40_000u64).map(|i| (hash64(i % 3000), i)).collect();
+        let (plan, out, outcome, scratch) = run(&records, 32, None);
+        assert!(!outcome.overflowed);
+        assert!(is_permutation_of(&out, &records));
+        assert_regioned(&plan, &scratch.starts, &out);
+        assert!(outcome.cycles > 0, "40k records must prime at least once");
+    }
+
+    #[test]
+    fn all_equal_keys_need_no_movement() {
+        let records: Vec<(u64, u64)> = (0..20_000u64).map(|i| (hash64(7), i)).collect();
+        let (plan, out, outcome, _) = run(&records, 32, None);
+        assert_eq!(outcome.heavy_records, records.len());
+        assert_eq!(plan.num_heavy, 1);
+        assert_eq!(out, records, "fixed points stay in place untouched");
+        assert_eq!(outcome.flushes, 0, "nothing to buffer when nothing moves");
+    }
+
+    #[test]
+    fn tiny_swap_buffer_still_correct() {
+        let records: Vec<(u64, u64)> = (0..30_000u64).map(|i| (hash64(i % 777), i)).collect();
+        for s in [1usize, 2, 4] {
+            let (plan, out, outcome, scratch) = run(&records, s, None);
+            assert!(!outcome.overflowed, "swap_buffer={s}");
+            assert!(is_permutation_of(&out, &records), "swap_buffer={s}");
+            assert_regioned(&plan, &scratch.starts, &out);
+        }
+    }
+
+    #[test]
+    fn sorted_regions_semisort() {
+        let records: Vec<(u64, u64)> = (0..50_000u64)
+            .map(|i| {
+                let k = if i % 2 == 0 { i % 10 } else { 1_000_000 + i };
+                (hash64(k), i)
+            })
+            .collect();
+        let (plan, mut out, outcome, scratch) = run(&records, 32, None);
+        assert!(outcome.heavy_records > 0);
+        sort_light_regions(&mut out, &plan, &scratch.starts, LocalSortAlgo::StdUnstable);
+        assert!(is_semisorted_by(&out, |r| r.0));
+        assert!(is_permutation_of(&out, &records));
+    }
+
+    #[test]
+    fn forced_overflow_reports_and_bails() {
+        let records: Vec<(u64, u64)> = (0..20_000u64).map(|i| (hash64(i), i)).collect();
+        let (_, _, outcome, _) = run(&records, 32, Some(FaultClass::Any));
+        assert!(outcome.overflowed);
+        let (b, allocated, observed) = outcome.overflow.expect("capture set");
+        assert!(observed > allocated, "bucket {b} must over-report");
+    }
+
+    #[test]
+    fn forced_heavy_overflow_inert_without_heavy_keys() {
+        // All-distinct keys produce no heavy buckets; a Heavy-class fault
+        // must be inert, exactly like the arena strategies.
+        let records: Vec<(u64, u64)> = (0..20_000u64).map(|i| (hash64(i), i)).collect();
+        let (_, out, outcome, _) = run(&records, 32, Some(FaultClass::Heavy));
+        assert!(!outcome.overflowed);
+        assert!(is_permutation_of(&out, &records));
+    }
+
+    #[test]
+    fn scratch_is_reused_across_runs() {
+        let records: Vec<(u64, u64)> = (0..30_000u64).map(|i| (hash64(i % 500), i)).collect();
+        let cfg = SemisortConfig::default();
+        let keys: Vec<u64> = records.iter().map(|r| r.0).collect();
+        let mut sample = strided_sample(&keys, cfg.sample_shift, Rng::new(1));
+        sample.sort_unstable();
+        let plan = build_plan(&sample, records.len(), &cfg);
+        let sink = ObsSink::disabled();
+        let mut scratch = InPlaceScratch::new();
+        let mut out = Vec::new();
+        inplace_scatter(&records, &plan, &mut out, 32, &sink, None, &mut scratch);
+        let held = scratch.bytes();
+        assert!(held > 0);
+        let out1 = out.clone();
+        inplace_scatter(&records, &plan, &mut out, 32, &sink, None, &mut scratch);
+        assert_eq!(scratch.bytes(), held, "steady state: no regrowth");
+        assert!(is_permutation_of(&out, &out1));
+    }
+
+    #[test]
+    fn inplace_bytes_is_far_below_arena() {
+        let records: Vec<(u64, u64)> = (0..200_000u64).map(|i| (hash64(i), i)).collect();
+        let cfg = SemisortConfig::default();
+        let keys: Vec<u64> = records.iter().map(|r| r.0).collect();
+        let mut sample = strided_sample(&keys, cfg.sample_shift, Rng::new(1));
+        sample.sort_unstable();
+        let plan = build_plan(&sample, records.len(), &cfg);
+        let arena = crate::scatter::arena_bytes::<u64>(&plan);
+        let inplace = inplace_bytes::<u64>(&plan, 8, 32);
+        assert!(
+            inplace * 4 <= arena,
+            "in-place estimate {inplace} not ≥4× below arena {arena}"
+        );
+    }
+
+    #[test]
+    fn empty_input_is_a_no_op() {
+        let cfg = SemisortConfig::default();
+        let plan = build_plan(&[], 0, &cfg);
+        let sink = ObsSink::disabled();
+        let mut scratch = InPlaceScratch::new();
+        let mut out: Vec<(u64, u64)> = vec![(1, 1)];
+        let outcome = inplace_scatter(&[], &plan, &mut out, 32, &sink, None, &mut scratch);
+        assert!(out.is_empty());
+        assert!(!outcome.overflowed);
+    }
+}

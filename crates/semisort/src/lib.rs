@@ -44,8 +44,8 @@
 //! assert_eq!(groups.len(), 3);
 //! ```
 //!
-//! The free functions ([`semisort_pairs`], [`api::semisort_by_key`],
-//! [`api::group_by`], [`api::reduce_by_key`], …) remain as one-shot
+//! The free functions ([`try_semisort_pairs`], [`api::try_semisort_by_key`],
+//! [`api::try_group_by`], [`api::try_reduce_by_key`], …) remain as one-shot
 //! wrappers that build a transient engine per call — identical semantics,
 //! minus the scratch reuse.
 //!
@@ -63,15 +63,17 @@
 //! # Deprecation policy
 //!
 //! The v1 surface is the [`prelude`]: the [`Semisorter`] engine, the
-//! `try_*` free functions, and the config/error/stats vocabulary. The
-//! panicking twins (`semisort_pairs`, `semisort_by_key`, …) are
-//! **soft-deprecated**: they stay exported and tested indefinitely — no
-//! `#[deprecated]` attribute, no warnings — but they receive no new
-//! capabilities (engine-only features like scratch reuse and
-//! `max_scratch_bytes` retention will not grow panicking twins), and new
-//! code should call the engine or the `try_*` forms. Error enums
-//! ([`SemisortError`]), [`OverflowPolicy`] and [`TelemetryLevel`] are
-//! `#[non_exhaustive]`; downstream matches need a wildcard arm.
+//! `try_*` free functions, and the config/error/stats vocabulary — a
+//! Result-first surface everywhere. The panicking twins
+//! (`semisort_pairs`, `semisort_by_key`, `semisort_with_stats`, …) that
+//! the `try_*` forms superseded are now **hard-deprecated**: each remains
+//! as a thin `#[deprecated]` shim delegating to its `try_*` twin (so
+//! existing callers keep compiling, with a warning) for one release, after
+//! which the shims are removed. The same applies to the flat
+//! `scatter_strategy` / `scatter_block` / `blocked_tail_log2` builder
+//! setters, replaced by the [`config::ScatterConfig`] sub-struct. Error
+//! enums ([`SemisortError`]), [`OverflowPolicy`] and [`TelemetryLevel`]
+//! are `#[non_exhaustive]`; downstream matches need a wildcard arm.
 
 #![warn(missing_docs)]
 // The unsafe-code discipline (DESIGN.md §11): interior unsafe operations
@@ -93,6 +95,7 @@ pub mod engine;
 pub mod error;
 pub mod estimate;
 pub mod fault;
+pub mod inplace_scatter;
 pub mod json;
 pub mod local_sort;
 pub mod obs;
@@ -104,22 +107,26 @@ pub mod stats;
 pub mod trace;
 pub mod verify;
 
+#[allow(deprecated)]
 pub use api::{
     count_by_key, group_by, reduce_by_key, semisort_by_key, semisort_in_place, semisort_pairs,
-    semisort_permutation, semisort_stable_by_key, try_count_by_key, try_group_by,
-    try_reduce_by_key, try_semisort_by_key, try_semisort_in_place, try_semisort_pairs,
-    try_semisort_permutation, try_semisort_stable_by_key,
+    semisort_permutation, semisort_stable_by_key,
 };
-pub use bounded::{semisort_auto, semisort_bounded, try_semisort_auto};
+pub use api::{
+    try_count_by_key, try_group_by, try_reduce_by_key, try_semisort_by_key, try_semisort_in_place,
+    try_semisort_pairs, try_semisort_permutation, try_semisort_stable_by_key,
+};
+#[allow(deprecated)]
+pub use bounded::semisort_auto;
+pub use bounded::{semisort_bounded, try_semisort_auto};
 pub use cancel::CancelToken;
 pub use config::{
-    LocalSortAlgo, OverflowPolicy, ProbeStrategy, ScatterStrategy, SemisortConfig,
+    LocalSortAlgo, OverflowPolicy, ProbeStrategy, ScatterConfig, ScatterStrategy, SemisortConfig,
     SemisortConfigBuilder,
 };
-pub use driver::{
-    semisort_core, semisort_with_stats, try_semisort_core, try_semisort_with_stats,
-    try_semisort_with_stats_cancellable,
-};
+#[allow(deprecated)]
+pub use driver::{semisort_core, semisort_with_stats};
+pub use driver::{try_semisort_core, try_semisort_with_stats, try_semisort_with_stats_cancellable};
 pub use engine::Semisorter;
 pub use error::{DegradeReason, SemisortError};
 pub use fault::{FaultClass, FaultPlan};
@@ -146,8 +153,8 @@ pub mod prelude {
     };
     pub use crate::cancel::CancelToken;
     pub use crate::config::{
-        LocalSortAlgo, OverflowPolicy, ProbeStrategy, ScatterStrategy, SemisortConfig,
-        SemisortConfigBuilder,
+        LocalSortAlgo, OverflowPolicy, ProbeStrategy, ScatterConfig, ScatterStrategy,
+        SemisortConfig, SemisortConfigBuilder,
     };
     pub use crate::driver::{
         try_semisort_core, try_semisort_with_stats, try_semisort_with_stats_cancellable,

@@ -153,6 +153,7 @@ mod tests {
             &plan,
             &arena.slots,
             cfg.probe_strategy,
+            cfg.scatter.prefetch_distance,
             Rng::new(2),
             &sink,
             None,

@@ -146,6 +146,7 @@ mod tests {
             &plan,
             &arena.slots,
             cfg.probe_strategy,
+            cfg.scatter.prefetch_distance,
             Rng::new(4),
             &sink,
             None,
@@ -207,6 +208,7 @@ mod tests {
             &plan,
             &arena.slots,
             cfg.probe_strategy,
+            cfg.scatter.prefetch_distance,
             Rng::new(4),
             &sink,
             None,

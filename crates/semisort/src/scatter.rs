@@ -36,6 +36,31 @@ use crate::obs::{ObsSink, OverflowCapture, WorkerCell};
 /// bookkeeping would dominate.
 const MIN_CHUNK: usize = 4096;
 
+/// Best-effort hint to pull the cache line holding `p` toward the core.
+///
+/// The scatter's write targets are random cache lines (that is the point
+/// of the random-slot placement), so every CAS starts with a demand miss.
+/// Routing records [`ScatterConfig::prefetch_distance`] ahead of the write
+/// cursor and hinting their destination lines overlaps those misses with
+/// useful work. A prefetch is a hint, not an access — it cannot fault and
+/// has no architectural effect — so there is nothing unsafe to get wrong
+/// beyond passing a pointer, which stays in-bounds here anyway.
+///
+/// Compiles to `prefetcht0` on x86-64 and to nothing elsewhere.
+///
+/// [`ScatterConfig::prefetch_distance`]: crate::config::ScatterConfig::prefetch_distance
+#[inline(always)]
+pub(crate) fn prefetch<T>(p: *const T) {
+    #[cfg(target_arch = "x86_64")]
+    // SAFETY: `_mm_prefetch` is a pure cache hint with no memory access
+    // semantics; it is defined for any address value.
+    unsafe {
+        core::arch::x86_64::_mm_prefetch(p as *const i8, core::arch::x86_64::_MM_HINT_T0)
+    };
+    #[cfg(not(target_arch = "x86_64"))]
+    let _ = p;
+}
+
 /// Slot vacancy sentinel. Zero, so that a freshly `alloc_zeroed` arena is
 /// all-vacant with no initialization pass: the kernel hands back lazily
 /// zeroed pages and the first touch happens during the scatter itself —
@@ -214,11 +239,19 @@ pub fn try_allocate_arena<V: Send + Sync>(
 /// a Corollary 3.4 overflow through the real [`OverflowCapture`] path, so
 /// the driver's retry/escalation machinery is exercised exactly as by a
 /// genuine overflow. Pass `None` in production.
+///
+/// `prefetch_distance` routes records that many positions ahead of the
+/// write cursor and `prefetch`es their destination slot lines (0
+/// disables the lookahead entirely). Routing happens once per record
+/// either way — the lookahead ring recycles its answers into the
+/// placement loop.
+#[allow(clippy::too_many_arguments)] // phase boundary: every arg is a distinct concern
 pub fn scatter<V: Copy + Send + Sync>(
     records: &[(u64, V)],
     plan: &BucketPlan,
     slots: &[Slot<V>],
     strategy: ProbeStrategy,
+    prefetch_distance: usize,
     rng: Rng,
     sink: &ObsSink,
     forced_overflow: Option<FaultClass>,
@@ -235,12 +268,41 @@ pub fn scatter<V: Copy + Send + Sync>(
             let deep = sink.level().deep();
             let mut cell = WorkerCell::default();
             let mut heavy = 0usize;
+            // Route record `j` of this chunk: bucket id, heavy tag, and its
+            // random start slot (global index for rng reproducibility).
+            let route = |j: usize| {
+                let (bucket, is_heavy) = plan.bucket_of_tagged(chunk_recs[j].0);
+                let b = bucket as usize;
+                let mask = plan.bucket_size[b] - 1; // sizes are powers of two
+                let start = (rng.at((ci * chunk + j) as u64) as usize) & mask;
+                (bucket, is_heavy, start)
+            };
+            let d = prefetch_distance.min(chunk_recs.len());
+            let mut ring: Vec<(u32, bool, usize)> = (0..d)
+                .map(|j| {
+                    let r = route(j);
+                    let b = r.0 as usize;
+                    prefetch(&slots[plan.bucket_offset[b] + r.2]);
+                    r
+                })
+                .collect();
             for (j, &(key, value)) in chunk_recs.iter().enumerate() {
                 if overflow.is_set() {
                     break; // another task failed; stop doing useless work
                 }
                 let i = ci * chunk + j;
-                let (bucket, is_heavy) = plan.bucket_of_tagged(key);
+                let (bucket, is_heavy, start) = if d > 0 {
+                    let r = ring[j % d];
+                    if j + d < chunk_recs.len() {
+                        let next = route(j + d);
+                        let b = next.0 as usize;
+                        prefetch(&slots[plan.bucket_offset[b] + next.2]);
+                        ring[j % d] = next;
+                    }
+                    r
+                } else {
+                    route(j)
+                };
                 let b = bucket as usize;
                 let base = plan.bucket_offset[b];
                 let size = plan.bucket_size[b];
@@ -252,8 +314,7 @@ pub fn scatter<V: Copy + Send + Sync>(
                         break;
                     }
                 }
-                let mask = size - 1; // sizes are powers of two
-                let start = (rng.at(i as u64) as usize) & mask;
+                let mask = size - 1;
                 let placed = match strategy {
                     ProbeStrategy::Linear => {
                         place_linear(&slots[base..base + size], start, mask, key, value)
@@ -414,6 +475,7 @@ mod tests {
             &plan,
             &arena.slots,
             strategy,
+            cfg.scatter.prefetch_distance,
             Rng::new(cfg.seed).fork(99),
             &ObsSink::disabled(),
             None,
@@ -511,6 +573,7 @@ mod tests {
             &plan,
             &arena.slots,
             ProbeStrategy::Linear,
+            8,
             Rng::new(1),
             &ObsSink::disabled(),
             None,
@@ -544,6 +607,7 @@ mod tests {
                 &plan,
                 &arena.slots,
                 ProbeStrategy::Linear,
+                8,
                 Rng::new(1),
                 &ObsSink::disabled(),
                 Some(class),

@@ -30,6 +30,7 @@
 //!     "alpha": 1.1, "c": 1.25, "merge_light_buckets": true,
 //!     "probe_strategy": "linear", "scatter_strategy": "random-cas",
 //!     "scatter_block": 16, "blocked_tail_log2": 3,
+//!     "prefetch_distance": 8, "swap_buffer": 32,
 //!     "local_sort_algo": "std-unstable", "seed": 42,
 //!     "seq_threshold": 8192, "max_retries": 3, "telemetry": "deep",
 //!     "overflow_policy": "fallback", "max_arena_bytes": null,
@@ -46,6 +47,7 @@
 //!     "heavy_records": 500000, "light_records": 500000,
 //!     "total_slots": 1300000, "retries": 0, "blocks_flushed": 0,
 //!     "slab_overflows": 0, "fallback_records": 0,
+//!     "inplace_cycles": 0, "swap_buffer_flushes": 0,
 //!     "scratch_bytes_held": 20800000, "scratch_reuse_hits": 1,
 //!     "scratch_grows": 0
 //!   },
@@ -151,6 +153,13 @@ pub struct SemisortStats {
     pub slab_overflows: usize,
     /// Blocked scatter only: records placed by the per-record CAS fallback.
     pub fallback_records: usize,
+    /// In-place scatter only: positions claimed from bucket cursors during
+    /// the cycle-following permutation (each claim opens or extends one
+    /// displacement chain; 0 under the arena-backed strategies).
+    pub inplace_cycles: usize,
+    /// In-place scatter only: times a worker's per-bucket swap buffer
+    /// filled and was written back through the claim/displace protocol.
+    pub swap_buffer_flushes: usize,
     /// Bytes of scratch the [`ScratchPool`](crate::pool::ScratchPool)
     /// retains after this call (post `max_scratch_bytes` enforcement).
     /// One-shot entry points drop the pool on return, so this reports what
@@ -268,15 +277,24 @@ impl SemisortStats {
             ),
             (
                 "scatter_strategy".into(),
-                Json::str(match cfg.scatter_strategy {
+                Json::str(match cfg.scatter.strategy {
                     ScatterStrategy::RandomCas => "random-cas",
                     ScatterStrategy::Blocked => "blocked",
+                    ScatterStrategy::InPlace => "inplace",
                 }),
             ),
-            ("scatter_block".into(), Json::num(cfg.scatter_block as u64)),
+            ("scatter_block".into(), Json::num(cfg.scatter.block as u64)),
             (
                 "blocked_tail_log2".into(),
-                Json::num(cfg.blocked_tail_log2 as u64),
+                Json::num(cfg.scatter.tail_log2 as u64),
+            ),
+            (
+                "prefetch_distance".into(),
+                Json::num(cfg.scatter.prefetch_distance as u64),
+            ),
+            (
+                "swap_buffer".into(),
+                Json::num(cfg.scatter.swap_buffer as u64),
             ),
             (
                 "local_sort_algo".into(),
@@ -352,6 +370,14 @@ impl SemisortStats {
             (
                 "fallback_records".into(),
                 Json::num(self.fallback_records as u64),
+            ),
+            (
+                "inplace_cycles".into(),
+                Json::num(self.inplace_cycles as u64),
+            ),
+            (
+                "swap_buffer_flushes".into(),
+                Json::num(self.swap_buffer_flushes as u64),
             ),
             (
                 "scratch_bytes_held".into(),
@@ -542,6 +568,8 @@ mod tests {
         assert_eq!(s.blocks_flushed, 0);
         assert_eq!(s.slab_overflows, 0);
         assert_eq!(s.fallback_records, 0);
+        assert_eq!(s.inplace_cycles, 0);
+        assert_eq!(s.swap_buffer_flushes, 0);
     }
 
     #[test]

@@ -3,10 +3,12 @@
 //! structural assumption (via retries or fallbacks, never wrong output).
 
 use semisort::verify::{is_permutation_of, is_semisorted_by};
-use semisort::{semisort_core, semisort_with_stats, ScatterStrategy, SemisortConfig};
+use semisort::{
+    try_semisort_core, try_semisort_with_stats, ScatterConfig, ScatterStrategy, SemisortConfig,
+};
 
 fn check(records: &[(u64, u64)], cfg: &SemisortConfig) {
-    let out = semisort_core(records, cfg);
+    let out = try_semisort_core(records, cfg).unwrap();
     assert!(is_semisorted_by(&out, |r| r.0), "not semisorted");
     assert!(is_permutation_of(&out, records), "not a permutation");
 }
@@ -44,7 +46,7 @@ fn keys_at_the_heavy_light_boundary() {
     let n = 131_072u64;
     let keys = 512u64; // multiplicity n / keys = 256
     let recs: Vec<(u64, u64)> = (0..n).map(|i| (parlay::hash64(i % keys) | 1, i)).collect();
-    let (out, stats) = semisort_with_stats(&recs, &cfg());
+    let (out, stats) = try_semisort_with_stats(&recs, &cfg()).unwrap();
     assert!(is_semisorted_by(&out, |r| r.0));
     assert!(is_permutation_of(&out, &recs));
     // Roughly half the keys should be classified heavy at the boundary
@@ -62,7 +64,7 @@ fn contiguous_boundary_runs_are_deterministically_heavy() {
     let mult = 256u64;
     let n = 131_072u64;
     let recs: Vec<(u64, u64)> = (0..n).map(|i| (parlay::hash64(i / mult) | 1, i)).collect();
-    let (out, stats) = semisort_with_stats(&recs, &cfg());
+    let (out, stats) = try_semisort_with_stats(&recs, &cfg()).unwrap();
     assert!(is_semisorted_by(&out, |r| r.0));
     assert!(is_permutation_of(&out, &recs));
     assert!(
@@ -105,7 +107,7 @@ fn saw_tooth_arrangement_defeats_strided_sampling_bias() {
     // sampler were biased within strides, this would mis-estimate wildly.
     let n = 160_000u64;
     let recs: Vec<(u64, u64)> = (0..n).map(|i| (parlay::hash64(i % 16) | 1, i)).collect();
-    let (out, stats) = semisort_with_stats(&recs, &cfg());
+    let (out, stats) = try_semisort_with_stats(&recs, &cfg()).unwrap();
     assert!(is_semisorted_by(&out, |r| r.0));
     assert!(is_permutation_of(&out, &recs));
     assert_eq!(stats.heavy_keys, 16, "all 16 periodic keys are heavy");
@@ -197,11 +199,14 @@ fn blocked_slab_overflow_is_forced_and_survived() {
         .map(|i| (parlay::hash64(i % 5) | 1, i))
         .collect();
     let cfg = SemisortConfig {
-        scatter_strategy: ScatterStrategy::Blocked,
-        blocked_tail_log2: 1,
+        scatter: ScatterConfig {
+            strategy: ScatterStrategy::Blocked,
+            tail_log2: 1,
+            ..ScatterConfig::default()
+        },
         ..Default::default()
     };
-    let (out, stats) = semisort_with_stats(&recs, &cfg);
+    let (out, stats) = try_semisort_with_stats(&recs, &cfg).unwrap();
     assert!(is_semisorted_by(&out, |r| r.0));
     assert!(is_permutation_of(&out, &recs));
     assert!(
@@ -222,7 +227,10 @@ fn blocked_tail_exhaustion_retries_like_cas_overflow() {
     // Vegas loop must converge by doubling α — same contract as the CAS
     // path's overflow.
     let cfg = SemisortConfig {
-        scatter_strategy: ScatterStrategy::Blocked,
+        scatter: ScatterConfig {
+            strategy: ScatterStrategy::Blocked,
+            ..ScatterConfig::default()
+        },
         alpha: 1.001,
         ..Default::default()
     };
@@ -236,7 +244,10 @@ fn blocked_tail_exhaustion_retries_like_cas_overflow() {
 fn blocked_strategy_survives_the_adversarial_gauntlet() {
     // The structural attacks above, replayed under the blocked scatter.
     let cfg = SemisortConfig {
-        scatter_strategy: ScatterStrategy::Blocked,
+        scatter: ScatterConfig {
+            strategy: ScatterStrategy::Blocked,
+            ..ScatterConfig::default()
+        },
         ..Default::default()
     };
     let light_prefix: Vec<(u64, u64)> = (0..120_000u64).map(|i| (i + 1, i)).collect();
@@ -259,6 +270,47 @@ fn blocked_strategy_survives_the_adversarial_gauntlet() {
 }
 
 #[test]
+fn inplace_strategy_survives_the_adversarial_gauntlet() {
+    // The structural attacks above, replayed under the in-place scatter:
+    // exact counting makes organic overflow impossible, so these exercise
+    // the permutation loop (fixed-point runs, strand/reconcile) instead.
+    let cfg = SemisortConfig {
+        scatter: ScatterConfig {
+            strategy: ScatterStrategy::InPlace,
+            ..ScatterConfig::default()
+        },
+        ..Default::default()
+    };
+    let light_prefix: Vec<(u64, u64)> = (0..120_000u64).map(|i| (i + 1, i)).collect();
+    check(&light_prefix, &cfg);
+    let mut geometric: Vec<(u64, u64)> = Vec::new();
+    let mut payload = 0u64;
+    for j in 0..17u64 {
+        for _ in 0..(1u64 << j) {
+            geometric.push((parlay::hash64(j), payload));
+            payload += 1;
+        }
+    }
+    check(&geometric, &cfg);
+    let mut sentinels: Vec<(u64, u64)> = Vec::new();
+    for i in 0..40_000u64 {
+        sentinels.push((i % 64, i));
+        sentinels.push((u64::MAX - (i % 64), i));
+    }
+    check(&sentinels, &cfg);
+    // Tiny swap buffers shrink every displacement chain to single records.
+    let tiny = SemisortConfig {
+        scatter: ScatterConfig {
+            strategy: ScatterStrategy::InPlace,
+            swap_buffer: 1,
+            ..ScatterConfig::default()
+        },
+        ..Default::default()
+    };
+    check(&sentinels, &tiny);
+}
+
+#[test]
 fn payload_values_are_never_corrupted() {
     // Payload = function of key; verify the pairing after semisorting.
     let recs: Vec<(u64, u64)> = (0..150_000u64)
@@ -267,7 +319,7 @@ fn payload_values_are_never_corrupted() {
             (k, k.wrapping_mul(3).wrapping_add(1))
         })
         .collect();
-    let out = semisort_core(&recs, &cfg());
+    let out = try_semisort_core(&recs, &cfg()).unwrap();
     assert!(out
         .iter()
         .all(|&(k, v)| v == k.wrapping_mul(3).wrapping_add(1)));

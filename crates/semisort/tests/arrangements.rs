@@ -3,7 +3,7 @@
 //! fixes the distribution, so this matrix covers what it leaves open.
 
 use semisort::verify::{is_permutation_of, is_semisorted_by};
-use semisort::{semisort_pairs, semisort_with_stats, SemisortConfig};
+use semisort::{try_semisort_pairs, try_semisort_with_stats, SemisortConfig};
 use workloads::{generate, Arrangement, Distribution};
 
 const N: usize = 80_000;
@@ -23,7 +23,7 @@ fn every_arrangement_of_every_distribution_semisorts() {
         for arr in Arrangement::all() {
             let mut input = base.clone();
             arr.apply(&mut input, 23);
-            let out = semisort_pairs(&input, &cfg);
+            let out = try_semisort_pairs(&input, &cfg).unwrap();
             assert!(
                 is_semisorted_by(&out, |r| r.0),
                 "{} / {arr:?}: not semisorted",
@@ -48,7 +48,7 @@ fn heavy_classification_is_arrangement_insensitive_for_clear_cases() {
     for arr in Arrangement::all() {
         let mut input = base.clone();
         arr.apply(&mut input, 31);
-        let (_, stats) = semisort_with_stats(&input, &cfg);
+        let (_, stats) = try_semisort_with_stats(&input, &cfg).unwrap();
         assert!(
             stats.heavy_fraction_pct() > 99.9,
             "{arr:?}: {}% heavy",
@@ -69,8 +69,8 @@ fn presorted_input_is_not_a_pathology() {
     Arrangement::Sorted.apply(&mut sorted_in, 0);
     Arrangement::Random.apply(&mut random_in, 0);
 
-    let (_, s_random) = semisort_with_stats(&random_in, &cfg);
-    let (_, s_sorted) = semisort_with_stats(&sorted_in, &cfg);
+    let (_, s_random) = try_semisort_with_stats(&random_in, &cfg).unwrap();
+    let (_, s_sorted) = try_semisort_with_stats(&sorted_in, &cfg).unwrap();
     assert_eq!(s_random.retries, 0);
     assert_eq!(s_sorted.retries, 0);
     let blow_ratio = s_sorted.space_blowup() / s_random.space_blowup();

@@ -13,7 +13,8 @@ use std::time::Duration;
 
 use semisort::driver::try_semisort_with_stats_cancellable;
 use semisort::{
-    CancelToken, OverflowPolicy, ScatterStrategy, SemisortConfig, SemisortError, Semisorter,
+    CancelToken, OverflowPolicy, ScatterConfig, ScatterStrategy, SemisortConfig, SemisortError,
+    Semisorter,
 };
 
 fn records(n: usize) -> Vec<(u64, u64)> {
@@ -24,7 +25,11 @@ fn records(n: usize) -> Vec<(u64, u64)> {
 
 fn all_configs() -> Vec<SemisortConfig> {
     let mut cfgs = Vec::new();
-    for scatter in [ScatterStrategy::RandomCas, ScatterStrategy::Blocked] {
+    for scatter in [
+        ScatterStrategy::RandomCas,
+        ScatterStrategy::Blocked,
+        ScatterStrategy::InPlace,
+    ] {
         for policy in [
             OverflowPolicy::Fallback,
             OverflowPolicy::Error,
@@ -32,7 +37,10 @@ fn all_configs() -> Vec<SemisortConfig> {
         ] {
             cfgs.push(SemisortConfig {
                 seq_threshold: 64,
-                scatter_strategy: scatter,
+                scatter: ScatterConfig {
+                    strategy: scatter,
+                    ..ScatterConfig::default()
+                },
                 overflow_policy: policy,
                 ..SemisortConfig::default()
             });
@@ -51,7 +59,7 @@ fn pre_cancelled_token_returns_cancelled_across_all_modes() {
         assert!(
             matches!(err, SemisortError::Cancelled),
             "{:?}/{:?}: got {err:?}",
-            cfg.scatter_strategy,
+            cfg.scatter.strategy,
             cfg.overflow_policy
         );
     }
@@ -68,7 +76,7 @@ fn expired_deadline_returns_deadline_exceeded_across_all_modes() {
         assert!(
             matches!(err, SemisortError::DeadlineExceeded { .. }),
             "{:?}/{:?}: got {err:?}",
-            cfg.scatter_strategy,
+            cfg.scatter.strategy,
             cfg.overflow_policy
         );
     }

@@ -50,10 +50,17 @@ fn assert_valid(out: &[(u64, u64)], input: &[(u64, u64)]) {
 /// semantics" is literal equality).
 #[test]
 fn hundred_calls_match_one_shot_api() {
-    for &strategy in &[ScatterStrategy::RandomCas, ScatterStrategy::Blocked] {
+    for &strategy in &[
+        ScatterStrategy::RandomCas,
+        ScatterStrategy::Blocked,
+        ScatterStrategy::InPlace,
+    ] {
         let cfg = SemisortConfig::builder()
             .seed(7)
-            .scatter_strategy(strategy)
+            .scatter(ScatterConfig {
+                strategy,
+                ..ScatterConfig::default()
+            })
             .build()
             .unwrap();
         let mut engine = Semisorter::new(cfg).unwrap();
@@ -168,9 +175,16 @@ fn scratch_counters_reach_stats_json() {
 /// Reuse counters behave identically under both scatter strategies.
 #[test]
 fn reuse_holds_for_both_scatter_strategies() {
-    for &strategy in &[ScatterStrategy::RandomCas, ScatterStrategy::Blocked] {
+    for &strategy in &[
+        ScatterStrategy::RandomCas,
+        ScatterStrategy::Blocked,
+        ScatterStrategy::InPlace,
+    ] {
         let cfg = SemisortConfig::builder()
-            .scatter_strategy(strategy)
+            .scatter(ScatterConfig {
+                strategy,
+                ..ScatterConfig::default()
+            })
             .build()
             .unwrap();
         let mut engine = Semisorter::new(cfg).unwrap();
@@ -191,10 +205,17 @@ fn reuse_holds_for_both_scatter_strategies() {
 /// injected-allocation-failure path.
 #[test]
 fn reuse_survives_fault_injected_fallback() {
-    for &strategy in &[ScatterStrategy::RandomCas, ScatterStrategy::Blocked] {
+    for &strategy in &[
+        ScatterStrategy::RandomCas,
+        ScatterStrategy::Blocked,
+        ScatterStrategy::InPlace,
+    ] {
         for fault in ["force-overflow:31", "fail-alloc:31"] {
             let cfg = SemisortConfig::builder()
-                .scatter_strategy(strategy)
+                .scatter(ScatterConfig {
+                    strategy,
+                    ..ScatterConfig::default()
+                })
                 .fault(FaultPlan::parse(fault).unwrap())
                 .build()
                 .unwrap();
@@ -259,7 +280,10 @@ fn builder_and_engine_reject_invalid_configs() {
     assert!(matches!(err, Err(SemisortError::InvalidConfig { .. })));
 
     let bad = SemisortConfig {
-        scatter_block: 100, // not a power of two
+        scatter: ScatterConfig {
+            block: 100, // not a power of two
+            ..ScatterConfig::default()
+        },
         ..SemisortConfig::default()
     };
     match Semisorter::new(bad) {

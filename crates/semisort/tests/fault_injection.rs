@@ -17,11 +17,22 @@ use std::panic::{catch_unwind, AssertUnwindSafe};
 
 use parlay::hash64;
 use semisort::{
-    semisort_with_stats, try_semisort_with_stats, DegradeReason, FaultPlan, Json, OverflowPolicy,
+    try_semisort_with_stats, DegradeReason, FaultPlan, Json, OverflowPolicy, ScatterConfig,
     ScatterStrategy, SemisortConfig, SemisortError, TelemetryLevel,
 };
 
-const STRATEGIES: [ScatterStrategy; 2] = [ScatterStrategy::RandomCas, ScatterStrategy::Blocked];
+const STRATEGIES: [ScatterStrategy; 3] = [
+    ScatterStrategy::RandomCas,
+    ScatterStrategy::Blocked,
+    ScatterStrategy::InPlace,
+];
+
+/// The strategies whose scratch memory scales with α (so α-doubling and
+/// sample corruption change their allocation geometry). The in-place
+/// scatter counts exactly — it cannot overflow naturally and its scratch
+/// is O(buckets + workers), independent of α.
+const ARENA_STRATEGIES: [ScatterStrategy; 2] =
+    [ScatterStrategy::RandomCas, ScatterStrategy::Blocked];
 
 /// Half heavy (10 hot keys), half light — both bucket classes populated,
 /// so class-targeted faults have something to hit.
@@ -36,7 +47,10 @@ fn mixed_workload(n: u64) -> Vec<(u64, u64)> {
 
 fn cfg(strategy: ScatterStrategy, fault: &str) -> SemisortConfig {
     SemisortConfig {
-        scatter_strategy: strategy,
+        scatter: ScatterConfig {
+            strategy,
+            ..ScatterConfig::default()
+        },
         fault: FaultPlan::parse(fault).expect("fault spec"),
         ..Default::default()
     }
@@ -89,7 +103,7 @@ fn corrupt_sample_overflows_naturally_then_recovers() {
     // a *natural* overflow through estimate/buckets/scatter, not a forced
     // report. The uncorrupted retry completes.
     let recs = mixed_workload(100_000);
-    for strategy in STRATEGIES {
+    for strategy in ARENA_STRATEGIES {
         let (out, stats) =
             try_semisort_with_stats(&recs, &cfg(strategy, "corrupt-sample:1")).unwrap();
         assert_valid(&out, &recs);
@@ -227,7 +241,10 @@ fn panicking_wrapper_surfaces_error_policy() {
         max_retries: 1,
         ..cfg(ScatterStrategy::RandomCas, "force-overflow:31")
     };
-    let result = catch_unwind(AssertUnwindSafe(|| semisort_with_stats(&recs, &c)));
+    #[allow(deprecated)]
+    let result = catch_unwind(AssertUnwindSafe(|| {
+        semisort::semisort_with_stats(&recs, &c)
+    }));
     assert!(result.is_err());
 }
 
@@ -256,7 +273,7 @@ fn arena_budget_clamps_alpha_doubling() {
     // budget: the run ends in ArenaBudgetExceeded at some attempt ≥ 1, not
     // in RetriesExhausted at attempt 31.
     let recs = mixed_workload(100_000);
-    for strategy in STRATEGIES {
+    for strategy in ARENA_STRATEGIES {
         let c = SemisortConfig {
             overflow_policy: OverflowPolicy::Error,
             max_retries: 30,

@@ -187,7 +187,7 @@ fn scratch_pool_trim_and_budget() {
 #[test]
 fn cas_scatter_linear_probe_end_to_end() {
     let recs = mixed_records(N);
-    let (out, stats) = semisort::semisort_with_stats(&recs, &small_cfg());
+    let (out, stats) = semisort::try_semisort_with_stats(&recs, &small_cfg()).unwrap();
     check(&out, &recs);
     assert!(stats.heavy_records > 0, "hot keys must classify heavy");
     assert!(stats.light_records > 0, "distinct keys must stay light");
@@ -201,7 +201,7 @@ fn cas_scatter_random_probe_end_to_end() {
         .probe_strategy(ProbeStrategy::Random)
         .build()
         .unwrap();
-    let (out, _) = semisort::semisort_with_stats(&recs, &cfg);
+    let (out, _) = semisort::try_semisort_with_stats(&recs, &cfg).unwrap();
     check(&out, &recs);
 }
 
@@ -210,10 +210,13 @@ fn blocked_scatter_end_to_end() {
     let recs = mixed_records(N);
     let cfg = small_cfg()
         .to_builder()
-        .scatter_strategy(ScatterStrategy::Blocked)
+        .scatter(ScatterConfig {
+            strategy: ScatterStrategy::Blocked,
+            ..ScatterConfig::default()
+        })
         .build()
         .unwrap();
-    let (out, stats) = semisort::semisort_with_stats(&recs, &cfg);
+    let (out, stats) = semisort::try_semisort_with_stats(&recs, &cfg).unwrap();
     check(&out, &recs);
     assert!(stats.blocks_flushed > 0, "blocks must flush at n = {N}");
 }
@@ -227,13 +230,56 @@ fn blocked_scatter_tiny_tail_forces_cas_fallback() {
     let recs = skewed_records(N_SKEW);
     let cfg = small_cfg()
         .to_builder()
-        .scatter_strategy(ScatterStrategy::Blocked)
-        .blocked_tail_log2(1)
+        .scatter(ScatterConfig {
+            strategy: ScatterStrategy::Blocked,
+            tail_log2: 1,
+            ..ScatterConfig::default()
+        })
         .build()
         .unwrap();
-    let (out, stats) = semisort::semisort_with_stats(&recs, &cfg);
+    let (out, stats) = semisort::try_semisort_with_stats(&recs, &cfg).unwrap();
     check(&out, &recs);
     assert!(stats.fallback_records > 0, "size/2 tail must see fallbacks");
+}
+
+#[test]
+fn inplace_scatter_end_to_end() {
+    // The cursor-claim permutation: counting pass, prime/flush/strand
+    // loops through SharedOut's raw pointers, and the reconciliation
+    // zip-fill — the exact unsafe surface ISSUE 9 added.
+    let recs = mixed_records(N);
+    let cfg = small_cfg()
+        .to_builder()
+        .scatter(ScatterConfig {
+            strategy: ScatterStrategy::InPlace,
+            ..ScatterConfig::default()
+        })
+        .build()
+        .unwrap();
+    let (out, stats) = semisort::try_semisort_with_stats(&recs, &cfg).unwrap();
+    check(&out, &recs);
+    assert!(stats.inplace_cycles > 0, "mixed input must prime");
+    assert_eq!(stats.blocks_flushed, 0, "no arena slabs on this path");
+}
+
+#[test]
+fn inplace_scatter_tiny_swap_buffer() {
+    // swap_buffer = 1 maximizes flush/strand traffic per record: every
+    // classify flushes, every flush claims one position — the densest
+    // read/write interleave over the claimed indices.
+    let recs = mixed_records(N);
+    let cfg = small_cfg()
+        .to_builder()
+        .scatter(ScatterConfig {
+            strategy: ScatterStrategy::InPlace,
+            swap_buffer: 1,
+            ..ScatterConfig::default()
+        })
+        .build()
+        .unwrap();
+    let (out, stats) = semisort::try_semisort_with_stats(&recs, &cfg).unwrap();
+    check(&out, &recs);
+    assert!(stats.swap_buffer_flushes > 0, "unit buffers must flush");
 }
 
 #[test]
@@ -260,7 +306,7 @@ fn engine_reuses_dirty_arena_across_calls() {
 fn empty_sentinel_key_takes_fallback_path() {
     let mut recs = mixed_records(N);
     recs[N / 3].0 = 0; // the scatter's EMPTY slot-vacancy sentinel
-    let (out, _) = semisort::semisort_with_stats(&recs, &small_cfg());
+    let (out, _) = semisort::try_semisort_with_stats(&recs, &small_cfg()).unwrap();
     check(&out, &recs);
 }
 
@@ -271,10 +317,17 @@ fn empty_sentinel_key_takes_fallback_path() {
 #[test]
 fn forced_overflow_retries_then_succeeds() {
     let recs = mixed_records(N);
-    for strategy in [ScatterStrategy::RandomCas, ScatterStrategy::Blocked] {
+    for strategy in [
+        ScatterStrategy::RandomCas,
+        ScatterStrategy::Blocked,
+        ScatterStrategy::InPlace,
+    ] {
         let cfg = small_cfg()
             .to_builder()
-            .scatter_strategy(strategy)
+            .scatter(ScatterConfig {
+                strategy,
+                ..ScatterConfig::default()
+            })
             .fault(FaultPlan {
                 force_overflow_attempts: 1,
                 force_overflow_class: FaultClass::Any,
@@ -282,7 +335,7 @@ fn forced_overflow_retries_then_succeeds() {
             })
             .build()
             .unwrap();
-        let (out, stats) = semisort::semisort_with_stats(&recs, &cfg);
+        let (out, stats) = semisort::try_semisort_with_stats(&recs, &cfg).unwrap();
         check(&out, &recs);
         assert_eq!(stats.retries, 1, "{strategy:?}: one forced retry");
         assert!(!stats.degraded);
@@ -301,7 +354,7 @@ fn retries_exhausted_degrades_to_fallback() {
         })
         .build()
         .unwrap();
-    let (out, stats) = semisort::semisort_with_stats(&recs, &cfg);
+    let (out, stats) = semisort::try_semisort_with_stats(&recs, &cfg).unwrap();
     check(&out, &recs);
     assert!(stats.degraded);
     assert_eq!(stats.degrade_reason, Some(DegradeReason::RetriesExhausted));
@@ -342,7 +395,7 @@ fn pool_collapses_to_sequential_join_under_miri() {
     let recs = mixed_records(n);
     let (out, nested) = parlay::with_threads(4, || {
         rayon::join(
-            || semisort::semisort_pairs(&recs, &small_cfg()),
+            || semisort::try_semisort_pairs(&recs, &small_cfg()).unwrap(),
             || rayon::join(rayon::current_num_threads, || 7u64),
         )
     });
@@ -358,7 +411,7 @@ fn arena_budget_exceeded_degrades() {
         .max_arena_bytes(64)
         .build()
         .unwrap();
-    let (out, stats) = semisort::semisort_with_stats(&recs, &cfg);
+    let (out, stats) = semisort::try_semisort_with_stats(&recs, &cfg).unwrap();
     check(&out, &recs);
     assert!(stats.degraded);
     assert_eq!(stats.degrade_reason, Some(DegradeReason::BudgetExceeded));

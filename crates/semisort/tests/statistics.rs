@@ -5,7 +5,7 @@
 
 use parlay::random::Rng;
 use semisort::estimate::{bucket_capacity, f_estimate};
-use semisort::{semisort_with_stats, SemisortConfig};
+use semisort::{try_semisort_with_stats, SemisortConfig};
 use workloads::{generate, Distribution};
 
 const P: f64 = 1.0 / 16.0;
@@ -73,7 +73,7 @@ fn lemma_3_5_linear_space_under_generated_workloads() {
             Distribution::Zipfian { m: n as u64 },
         ] {
             let records = generate(dist, n, 0xa11);
-            let (_, stats) = semisort_with_stats(&records, &cfg);
+            let (_, stats) = try_semisort_with_stats(&records, &cfg).unwrap();
             assert!(
                 stats.space_blowup() < 10.0,
                 "{} at n={n}: blowup {:.2}",
@@ -93,7 +93,7 @@ fn capacity_overflow_probability_is_tiny_in_practice() {
     let mut total_retries = 0;
     for seed in 0..20u64 {
         let cfg = SemisortConfig::default().with_seed(seed);
-        let (_, stats) = semisort_with_stats(&records, &cfg);
+        let (_, stats) = try_semisort_with_stats(&records, &cfg).unwrap();
         total_retries += stats.retries;
     }
     assert_eq!(total_retries, 0, "default constants should never overflow");
@@ -106,7 +106,7 @@ fn light_bucket_sizes_are_polylog() {
     let n = 400_000usize;
     let records = generate(Distribution::Uniform { n: n as u64 }, n, 9);
     let cfg = SemisortConfig::default();
-    let (_, stats) = semisort_with_stats(&records, &cfg);
+    let (_, stats) = try_semisort_with_stats(&records, &cfg).unwrap();
     assert_eq!(stats.heavy_records, 0);
     // Records per light bucket on average = n / light_buckets; the bound
     // says the max is within a log factor of that.

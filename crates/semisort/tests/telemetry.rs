@@ -5,7 +5,8 @@
 
 use parlay::hash64;
 use semisort::{
-    semisort_with_stats, Json, ScatterStrategy, SemisortConfig, SemisortStats, TelemetryLevel,
+    try_semisort_with_stats, Json, ScatterConfig, ScatterStrategy, SemisortConfig, SemisortStats,
+    TelemetryLevel,
 };
 
 fn workload(n: u64) -> Vec<(u64, u64)> {
@@ -20,17 +21,24 @@ fn workload(n: u64) -> Vec<(u64, u64)> {
 
 fn run(n: u64, strategy: ScatterStrategy, level: TelemetryLevel) -> SemisortStats {
     let cfg = SemisortConfig {
-        scatter_strategy: strategy,
+        scatter: ScatterConfig {
+            strategy,
+            ..ScatterConfig::default()
+        },
         telemetry: level,
         ..Default::default()
     };
-    let (out, stats) = semisort_with_stats(&workload(n), &cfg);
+    let (out, stats) = try_semisort_with_stats(&workload(n), &cfg).unwrap();
     assert!(semisort::verify::is_semisorted_by(&out, |r| r.0));
     assert_eq!(out.len(), n as usize);
     stats
 }
 
-const ALL_STRATEGIES: [ScatterStrategy; 2] = [ScatterStrategy::RandomCas, ScatterStrategy::Blocked];
+const ALL_STRATEGIES: [ScatterStrategy; 3] = [
+    ScatterStrategy::RandomCas,
+    ScatterStrategy::Blocked,
+    ScatterStrategy::InPlace,
+];
 const ALL_LEVELS: [TelemetryLevel; 3] = [
     TelemetryLevel::Off,
     TelemetryLevel::Counters,
@@ -150,6 +158,7 @@ fn json_round_trips_for_all_variants() {
                 Some(match strategy {
                     ScatterStrategy::RandomCas => "random-cas",
                     ScatterStrategy::Blocked => "blocked",
+                    ScatterStrategy::InPlace => "inplace",
                 })
             );
             assert_eq!(
@@ -181,11 +190,14 @@ fn telemetry_off_matches_deep_output_and_stays_default() {
     for strategy in ALL_STRATEGIES {
         let run_at = |level: TelemetryLevel| {
             let cfg = SemisortConfig {
-                scatter_strategy: strategy,
+                scatter: ScatterConfig {
+                    strategy,
+                    ..ScatterConfig::default()
+                },
                 telemetry: level,
                 ..Default::default()
             };
-            parlay::with_threads(1, || semisort_with_stats(&records, &cfg))
+            parlay::with_threads(1, || try_semisort_with_stats(&records, &cfg).unwrap())
         };
         let (out_off, stats_off) = run_at(TelemetryLevel::Off);
         let (out_deep, _) = run_at(TelemetryLevel::Deep);
@@ -211,11 +223,14 @@ fn retry_causes_recorded_at_every_level_under_tight_alpha() {
         for level in [TelemetryLevel::Off, TelemetryLevel::Deep] {
             let cfg = SemisortConfig {
                 alpha: 1.01,
-                scatter_strategy: strategy,
+                scatter: ScatterConfig {
+                    strategy,
+                    ..ScatterConfig::default()
+                },
                 telemetry: level,
                 ..Default::default()
             };
-            let (out, stats) = semisort_with_stats(&records, &cfg);
+            let (out, stats) = try_semisort_with_stats(&records, &cfg).unwrap();
             assert!(semisort::verify::is_semisorted_by(&out, |r| r.0));
             if stats.retries == 0 {
                 // The tight α got lucky this seed; nothing to check.
@@ -247,12 +262,12 @@ fn config_echoed_into_stats() {
         telemetry: TelemetryLevel::Counters,
         ..SemisortConfig::default().with_seed(777)
     };
-    let (_, stats) = semisort_with_stats(&workload(30_000), &cfg);
+    let (_, stats) = try_semisort_with_stats(&workload(30_000), &cfg).unwrap();
     assert_eq!(stats.config.heavy_threshold, 8);
     assert_eq!(stats.config.seed, 777);
     assert_eq!(stats.config.telemetry, TelemetryLevel::Counters);
     // Fallback paths (tiny input) echo the config too.
-    let (_, small) = semisort_with_stats(&workload(100), &cfg);
+    let (_, small) = try_semisort_with_stats(&workload(100), &cfg).unwrap();
     assert_eq!(small.config.seed, 777);
     assert_eq!(small.n, 100);
 }
@@ -267,7 +282,7 @@ fn deep_probe_hist_mass_sits_low_for_uniform_input() {
         telemetry: TelemetryLevel::Deep,
         ..Default::default()
     };
-    let (_, stats) = semisort_with_stats(&records, &cfg);
+    let (_, stats) = try_semisort_with_stats(&records, &cfg).unwrap();
     let h = &stats.telemetry.probe_hist;
     let low: u64 = h.buckets[..3].iter().sum();
     assert!(

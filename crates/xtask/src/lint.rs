@@ -49,6 +49,7 @@ pub const UNSAFE_ALLOWLIST: &[&str] = &[
     "crates/rayon/src/registry.rs",
     "crates/rayon/src/slice.rs",
     "crates/semisort/src/blocked_scatter.rs",
+    "crates/semisort/src/inplace_scatter.rs",
     "crates/semisort/src/local_sort.rs",
     "crates/semisort/src/pack_phase.rs",
     "crates/semisort/src/pool.rs",

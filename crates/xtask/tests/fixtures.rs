@@ -88,6 +88,19 @@ fn index_cast_fixture_fails_with_cast_violation() {
 }
 
 #[test]
+fn inplace_allowlisted_fixture_passes() {
+    // The in-place scatter module is on the unsafe allowlist: a
+    // SAFETY-documented unsafe block there is not a violation.
+    let (out, doc) = run_lint(&fixture("inplace_allowlisted"));
+    assert!(out.status.success(), "allowlisted unsafe must exit 0");
+    assert_eq!(doc.get("ok").and_then(Json::as_bool), Some(true));
+    assert_eq!(
+        doc.get("violations").and_then(Json::as_arr).map(<[_]>::len),
+        Some(0)
+    );
+}
+
+#[test]
 fn clean_fixture_passes() {
     let (out, doc) = run_lint(&fixture("clean"));
     assert!(out.status.success(), "clean tree must exit 0");

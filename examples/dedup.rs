@@ -10,7 +10,7 @@
 //! cargo run --release --example dedup
 //! ```
 
-use semisort::{group_by, semisort_stable_by_key, SemisortConfig};
+use semisort::{try_group_by, try_semisort_stable_by_key, SemisortConfig};
 
 fn main() {
     // A synthetic event stream: 400k events over ~20k distinct session ids,
@@ -26,7 +26,7 @@ fn main() {
 
     let cfg = SemisortConfig::default();
     let t = std::time::Instant::now();
-    let groups = group_by(&events, |e| e.0, &cfg);
+    let groups = try_group_by(&events, |e| e.0, &cfg).unwrap();
     println!(
         "grouped into {} distinct sessions in {:.0} ms",
         groups.len(),
@@ -48,7 +48,7 @@ fn main() {
     // Deduplicated stream keeping *first* occurrences in arrival order:
     // stable-semisort (session, arrival#) and take each group's head.
     let tagged: Vec<(u64, usize)> = events.iter().enumerate().map(|(i, e)| (e.0, i)).collect();
-    let stable = semisort_stable_by_key(&tagged, |t| t.0, &cfg);
+    let stable = try_semisort_stable_by_key(&tagged, |t| t.0, &cfg).unwrap();
     let mut firsts: Vec<(u64, usize)> = Vec::with_capacity(groups.len());
     for (j, &rec) in stable.iter().enumerate() {
         if j == 0 || stable[j - 1].0 != rec.0 {

@@ -13,7 +13,7 @@
 //! cargo run --release --example graph_collect
 //! ```
 
-use semisort::{group_by, SemisortConfig};
+use semisort::{try_group_by, SemisortConfig};
 
 fn main() {
     // A skewed multigraph: 500k directed edges over 50k vertices; sqrt of
@@ -38,7 +38,7 @@ fn main() {
     // Collect edges by source: the semisort does the heavy lifting.
     let cfg = SemisortConfig::default();
     let t = std::time::Instant::now();
-    let groups = group_by(&edges, |e| e.0, &cfg);
+    let groups = try_group_by(&edges, |e| e.0, &cfg).unwrap();
     println!(
         "collected {} non-empty adjacency lists in {:.0} ms",
         groups.len(),

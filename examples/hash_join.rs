@@ -15,7 +15,7 @@
 //! cargo run --release --example hash_join
 //! ```
 
-use semisort::{group_by, SemisortConfig};
+use semisort::{try_group_by, SemisortConfig};
 
 #[derive(Clone, Debug)]
 struct Customer {
@@ -59,8 +59,8 @@ fn main() {
     let t = std::time::Instant::now();
 
     // Semisort both sides by the join key.
-    let order_groups = group_by(&orders, |o| o.customer_id, &cfg);
-    let customer_groups = group_by(&customers, |c| c.id, &cfg);
+    let order_groups = try_group_by(&orders, |o| o.customer_id, &cfg).unwrap();
+    let customer_groups = try_group_by(&customers, |c| c.id, &cfg).unwrap();
 
     // Index the (unique-key) build side: customer id → group index.
     let build: std::collections::HashMap<u32, usize> = (0..customer_groups.len())

@@ -10,7 +10,7 @@
 //! ```
 
 use rayon::prelude::*;
-use semisort::{group_by, SemisortConfig};
+use semisort::{try_group_by, SemisortConfig};
 
 /// Synthetic document collection: each document is a set of term ids with a
 /// skewed global term frequency (few common terms, long tail).
@@ -43,7 +43,7 @@ fn main() {
     // Shuffle: group postings by term.
     let cfg = SemisortConfig::default();
     let t0 = std::time::Instant::now();
-    let groups = group_by(&postings, |p| p.0, &cfg);
+    let groups = try_group_by(&postings, |p| p.0, &cfg).unwrap();
     // Reduce: sorted, deduplicated posting list per term, in parallel.
     let index: Vec<(u32, Vec<u32>)> = groups.par_map(|g| {
         let term = g[0].0;

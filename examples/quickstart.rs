@@ -4,7 +4,7 @@
 //! cargo run --release --example quickstart
 //! ```
 
-use semisort::{group_by, semisort_by_key, SemisortConfig};
+use semisort::{try_group_by, try_semisort_by_key, SemisortConfig};
 
 fn main() {
     // A stream of (city, temperature) readings, cities interleaved.
@@ -22,12 +22,12 @@ fn main() {
     let cfg = SemisortConfig::default();
 
     // Semisort: equal cities become contiguous (cities in no fixed order).
-    let grouped = semisort_by_key(&readings, |r| r.0, &cfg);
+    let grouped = try_semisort_by_key(&readings, |r| r.0, &cfg).unwrap();
     println!("semisorted: {grouped:?}");
     assert!(semisort::verify::is_semisorted_by(&grouped, |r| r.0));
 
     // group_by adds the group boundaries.
-    let groups = group_by(&readings, |r| r.0, &cfg);
+    let groups = try_group_by(&readings, |r| r.0, &cfg).unwrap();
     println!("\n{} groups:", groups.len());
     for g in groups.iter() {
         let city = g[0].0;
@@ -40,7 +40,7 @@ fn main() {
         .map(|i| (parlay::hash64(i % 1000), i))
         .collect();
     let t = std::time::Instant::now();
-    let out = semisort::semisort_pairs(&big, &cfg);
+    let out = semisort::try_semisort_pairs(&big, &cfg).unwrap();
     println!(
         "\nsemisorted 1M records ({} distinct keys) in {:.0} ms",
         1000,

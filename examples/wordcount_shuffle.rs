@@ -14,7 +14,7 @@
 use std::collections::HashMap;
 
 use rayon::prelude::*;
-use semisort::{reduce_by_key, SemisortConfig};
+use semisort::{try_reduce_by_key, SemisortConfig};
 
 /// A tiny deterministic "corpus": sentences assembled from a vocabulary
 /// with a skewed (rank-weighted) word frequency, like real text.
@@ -53,7 +53,8 @@ fn main() {
     // Shuffle + reduce: group by word with the semisort, sum each group.
     let cfg = SemisortConfig::default();
     let t = std::time::Instant::now();
-    let mut counts = reduce_by_key(&pairs, |p| p.0.clone(), 0u64, |a, p| a + p.1, &cfg);
+    let mut counts =
+        try_reduce_by_key(&pairs, |p| p.0.clone(), 0u64, |a, p| a + p.1, &cfg).unwrap();
     let elapsed = t.elapsed();
     counts.sort_unstable_by_key(|c| std::cmp::Reverse(c.1));
     println!(

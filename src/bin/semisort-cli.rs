@@ -50,8 +50,8 @@ use std::io::{BufReader, BufWriter, Read, Write};
 use std::time::Instant;
 
 use semisort::{
-    try_semisort_with_stats, FaultPlan, Json, OverflowPolicy, ScatterStrategy, SemisortConfig,
-    SemisortError, SemisortStats, Semisorter, TelemetryLevel,
+    try_semisort_with_stats, FaultPlan, Json, OverflowPolicy, ScatterConfig, ScatterStrategy,
+    SemisortConfig, SemisortError, SemisortStats, Semisorter, TelemetryLevel,
 };
 use workloads::Distribution;
 
@@ -74,7 +74,7 @@ fn main() {
 
 fn usage_and_exit() -> ! {
     eprintln!(
-        "usage:\n  semisort-cli generate --dist <uniform|exp|zipf>:<param> --n <count> --out <file> [--seed <u64>]\n  semisort-cli sort --input <file> --out <file> [--algo semisort|radix|sample|stdsort|seq-hash|rr] [--scatter random-cas|blocked] [--threads <k>] [--stats] [--stats-json <file>] [--telemetry off|counters|deep] [--on-overflow fallback|error|panic] [--max-retries <k>] [--max-arena-bytes <bytes>] [--max-scratch-bytes <bytes>] [--fault <spec>]\n  semisort-cli verify --input <file>\n  semisort-cli bench [--n <count>] [--dist <spec>] [--quick] [--reuse <k>] [--threads <k>] [--seed <u64>] [--scatter random-cas|blocked] [--telemetry off|counters|deep] [--stats-json <file>] [--trajectory <file|none>] [--on-overflow fallback|error|panic] [--max-retries <k>] [--max-arena-bytes <bytes>] [--max-scratch-bytes <bytes>] [--fault <spec>]\n  semisort-cli trace [--n <count>] [--dist <spec>] [--seed <u64>] [--threads <k>] [--scatter random-cas|blocked] [--out <file>] [--stats-json <file>]\n  semisort-cli validate-json --input <file> [--schema <name>[,<name>...]] [--require <path>[,<path>...]] [--jsonl]"
+        "usage:\n  semisort-cli generate --dist <uniform|exp|zipf>:<param> --n <count> --out <file> [--seed <u64>]\n  semisort-cli sort --input <file> --out <file> [--algo semisort|radix|sample|stdsort|seq-hash|rr] [--scatter random-cas|blocked|inplace] [--threads <k>] [--stats] [--stats-json <file>] [--telemetry off|counters|deep] [--on-overflow fallback|error|panic] [--max-retries <k>] [--max-arena-bytes <bytes>] [--max-scratch-bytes <bytes>] [--fault <spec>]\n  semisort-cli verify --input <file>\n  semisort-cli bench [--n <count>] [--dist <spec>] [--quick] [--reuse <k>] [--threads <k>] [--seed <u64>] [--scatter random-cas|blocked|inplace] [--telemetry off|counters|deep] [--stats-json <file>] [--trajectory <file|none>] [--on-overflow fallback|error|panic] [--max-retries <k>] [--max-arena-bytes <bytes>] [--max-scratch-bytes <bytes>] [--fault <spec>]\n  semisort-cli trace [--n <count>] [--dist <spec>] [--seed <u64>] [--threads <k>] [--scatter random-cas|blocked|inplace] [--out <file>] [--stats-json <file>]\n  semisort-cli validate-json --input <file> [--schema <name>[,<name>...]] [--require <path>[,<path>...]] [--jsonl]"
     );
     std::process::exit(2);
 }
@@ -203,8 +203,9 @@ fn parse_scatter(flags: &Flags) -> ScatterStrategy {
     match flags.get("scatter").unwrap_or("random-cas") {
         "random-cas" | "cas" => ScatterStrategy::RandomCas,
         "blocked" => ScatterStrategy::Blocked,
+        "inplace" | "in-place" => ScatterStrategy::InPlace,
         other => {
-            eprintln!("unknown scatter strategy {other} (want random-cas or blocked)");
+            eprintln!("unknown scatter strategy {other} (want random-cas, blocked or inplace)");
             std::process::exit(2);
         }
     }
@@ -288,6 +289,12 @@ fn print_stats(stats: &semisort::SemisortStats, scatter: ScatterStrategy) {
             stats.blocks_flushed, stats.slab_overflows, stats.fallback_records
         );
     }
+    if scatter == ScatterStrategy::InPlace {
+        eprintln!(
+            "  inplace cycles {} | swap buffer flushes {}",
+            stats.inplace_cycles, stats.swap_buffer_flushes
+        );
+    }
     for rc in &stats.telemetry.retry_causes {
         eprintln!(
             "  retry {}: {} bucket {} overflowed — allocated {} slots, observed ≥ {} records",
@@ -338,7 +345,10 @@ fn sort(flags: &Flags) {
                 let cfg = apply_failure_flags(
                     flags,
                     SemisortConfig {
-                        scatter_strategy: scatter,
+                        scatter: ScatterConfig {
+                            strategy: scatter,
+                            ..ScatterConfig::default()
+                        },
                         telemetry,
                         ..Default::default()
                     },
@@ -406,7 +416,10 @@ fn bench_run(flags: &Flags) {
     let cfg = apply_failure_flags(
         flags,
         SemisortConfig {
-            scatter_strategy: parse_scatter(flags),
+            scatter: ScatterConfig {
+                strategy: parse_scatter(flags),
+                ..ScatterConfig::default()
+            },
             telemetry: parse_telemetry(flags),
             ..SemisortConfig::default().with_seed(seed)
         },
@@ -473,7 +486,7 @@ fn bench_run(flags: &Flags) {
         cfg.telemetry.as_str()
     );
     if flags.has("stats") {
-        print_stats(&stats, cfg.scatter_strategy);
+        print_stats(&stats, cfg.scatter.strategy);
     }
     if let Some(path) = flags.get("stats-json") {
         write_stats_json(path, &stats);
@@ -513,7 +526,10 @@ fn trace_run(flags: &Flags) {
     let cfg = apply_failure_flags(
         flags,
         SemisortConfig {
-            scatter_strategy: parse_scatter(flags),
+            scatter: ScatterConfig {
+                strategy: parse_scatter(flags),
+                ..ScatterConfig::default()
+            },
             telemetry: parse_telemetry(flags),
             ..SemisortConfig::default().with_seed(seed)
         },

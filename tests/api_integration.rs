@@ -2,7 +2,9 @@
 
 use std::collections::HashMap;
 
-use semisort::{count_by_key, group_by, reduce_by_key, semisort_by_key, SemisortConfig};
+use semisort::{
+    try_count_by_key, try_group_by, try_reduce_by_key, try_semisort_by_key, SemisortConfig,
+};
 
 fn cfg() -> SemisortConfig {
     SemisortConfig {
@@ -16,7 +18,7 @@ fn wordcount_matches_hashmap() {
     let words: Vec<String> = (0..50_000)
         .map(|i| format!("w{}", parlay::hash64(i) % 500))
         .collect();
-    let counts = count_by_key(&words, |w| w.clone(), &cfg());
+    let counts = try_count_by_key(&words, |w| w.clone(), &cfg()).unwrap();
     let mut reference: HashMap<String, usize> = HashMap::new();
     for w in &words {
         *reference.entry(w.clone()).or_default() += 1;
@@ -32,7 +34,7 @@ fn reduce_by_key_max_per_group() {
     let pairs: Vec<(u16, i64)> = (0..40_000i64)
         .map(|i| ((i % 97) as u16, (i * 31) % 10_007))
         .collect();
-    let maxes = reduce_by_key(&pairs, |p| p.0, i64::MIN, |a, p| a.max(p.1), &cfg());
+    let maxes = try_reduce_by_key(&pairs, |p| p.0, i64::MIN, |a, p| a.max(p.1), &cfg()).unwrap();
     assert_eq!(maxes.len(), 97);
     let mut reference: HashMap<u16, i64> = HashMap::new();
     for (k, v) in &pairs {
@@ -49,11 +51,11 @@ fn semisort_tuples_with_composite_keys() {
     let items: Vec<((u8, u8), u32)> = (0..30_000u32)
         .map(|i| (((i % 13) as u8, (i % 7) as u8), i))
         .collect();
-    let out = semisort_by_key(&items, |t| t.0, &cfg());
+    let out = try_semisort_by_key(&items, |t| t.0, &cfg()).unwrap();
     assert_eq!(out.len(), items.len());
     assert!(semisort::verify::is_semisorted_by(&out, |t| t.0));
     // 13 × 7 = 91 composite groups.
-    let groups = group_by(&items, |t| t.0, &cfg());
+    let groups = try_group_by(&items, |t| t.0, &cfg()).unwrap();
     assert_eq!(groups.len(), 91);
 }
 
@@ -61,7 +63,7 @@ fn semisort_tuples_with_composite_keys() {
 fn group_by_singleton_groups() {
     // All-distinct keys: every group has size 1.
     let items: Vec<u64> = (0..20_000).map(parlay::hash64).collect();
-    let groups = group_by(&items, |&x| x, &cfg());
+    let groups = try_group_by(&items, |&x| x, &cfg()).unwrap();
     assert_eq!(groups.len(), items.len());
     assert!(groups.iter().all(|g| g.len() == 1));
 }
@@ -69,7 +71,7 @@ fn group_by_singleton_groups() {
 #[test]
 fn group_by_one_giant_group() {
     let items = vec![5u8; 30_000];
-    let groups = group_by(&items, |&x| x, &cfg());
+    let groups = try_group_by(&items, |&x| x, &cfg()).unwrap();
     assert_eq!(groups.len(), 1);
     assert_eq!(groups.group(0).len(), 30_000);
 }
@@ -79,7 +81,7 @@ fn works_inside_caller_provided_pool() {
     // Users commonly run inside their own rayon pool; the semisort must not
     // deadlock or misbehave there.
     let items: Vec<u32> = (0..60_000).map(|i| i % 1000).collect();
-    let counts = parlay::with_threads(2, || count_by_key(&items, |&x| x, &cfg()));
+    let counts = parlay::with_threads(2, || try_count_by_key(&items, |&x| x, &cfg()).unwrap());
     assert_eq!(counts.len(), 1000);
     assert!(counts.iter().all(|&(_, c)| c == 60));
 }
@@ -92,7 +94,7 @@ fn large_values_are_carried_intact() {
     let recs: Vec<(u64, Big)> = (0..20_000u64)
         .map(|i| (parlay::hash64(i % 100), Big([i, i + 1, i + 2, i + 3])))
         .collect();
-    let out = semisort::semisort_core(&recs, &cfg());
+    let out = semisort::try_semisort_core(&recs, &cfg()).unwrap();
     assert_eq!(out.len(), recs.len());
     assert!(semisort::verify::is_semisorted_by(&out, |r| r.0));
     for (k, b) in &out {

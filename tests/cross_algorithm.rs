@@ -8,7 +8,7 @@ use baselines::{
     seq_two_phase_semisort,
 };
 use semisort::verify::{is_permutation_of, is_semisorted_by};
-use semisort::{semisort_pairs, SemisortConfig};
+use semisort::{try_semisort_pairs, SemisortConfig};
 use workloads::{generate, paper_distributions, Distribution};
 
 const N: usize = 30_000;
@@ -17,7 +17,7 @@ type Algorithm = fn(&[(u64, u64)]) -> Vec<(u64, u64)>;
 
 fn all_algorithms() -> Vec<(&'static str, Algorithm)> {
     fn semi(r: &[(u64, u64)]) -> Vec<(u64, u64)> {
-        semisort_pairs(r, &SemisortConfig::default())
+        try_semisort_pairs(r, &SemisortConfig::default()).unwrap()
     }
     fn rr(r: &[(u64, u64)]) -> Vec<(u64, u64)> {
         baselines::rr_semisort(r).0

@@ -1,7 +1,7 @@
 //! Structural claims from the paper, checked as tests (the *shape* facts
 //! that don't need a 40-core machine).
 
-use semisort::{semisort_with_stats, SemisortConfig};
+use semisort::{try_semisort_with_stats, SemisortConfig};
 use workloads::{generate, paper_distributions, representative_distributions, Distribution};
 
 const N: usize = 200_000;
@@ -12,7 +12,7 @@ const N: usize = 200_000;
 fn representative_exponential_is_about_70pct_heavy() {
     let (exp_dist, _) = representative_distributions(N);
     let records = generate(exp_dist, N, 1);
-    let (_, stats) = semisort_with_stats(&records, &SemisortConfig::default());
+    let (_, stats) = try_semisort_with_stats(&records, &SemisortConfig::default()).unwrap();
     let pct = stats.heavy_fraction_pct();
     assert!(
         (60.0..85.0).contains(&pct),
@@ -26,7 +26,7 @@ fn representative_exponential_is_about_70pct_heavy() {
 fn representative_uniform_is_all_light() {
     let (_, uni_dist) = representative_distributions(N);
     let records = generate(uni_dist, N, 1);
-    let (_, stats) = semisort_with_stats(&records, &SemisortConfig::default());
+    let (_, stats) = try_semisort_with_stats(&records, &SemisortConfig::default()).unwrap();
     assert_eq!(stats.heavy_records, 0);
     assert_eq!(stats.heavy_keys, 0);
 }
@@ -39,7 +39,7 @@ fn heavy_fraction_extremes_match_table1() {
     let cfg = SemisortConfig::default();
     // uniform(10): every key duplicated n/10 times — 100% heavy.
     let recs = generate(Distribution::Uniform { n: 10 }, N, 2);
-    let (_, s) = semisort_with_stats(&recs, &cfg);
+    let (_, s) = try_semisort_with_stats(&recs, &cfg).unwrap();
     assert!(
         s.heavy_fraction_pct() > 99.9,
         "uniform(10): {}",
@@ -48,14 +48,14 @@ fn heavy_fraction_extremes_match_table1() {
 
     // uniform(N = n): all light (0%).
     let recs = generate(Distribution::Uniform { n: N as u64 }, N, 2);
-    let (_, s) = semisort_with_stats(&recs, &cfg);
+    let (_, s) = try_semisort_with_stats(&recs, &cfg).unwrap();
     assert!(s.heavy_fraction_pct() < 0.1);
 
     // zipf over a huge range still has a heavy head at any scale (the
     // paper measures 54% at n = 10⁸; at n = 2·10⁵ the head is relatively
     // lighter, ≈23%, but clearly nonzero).
     let recs = generate(Distribution::Zipfian { m: 100_000_000 }, N, 2);
-    let (_, s) = semisort_with_stats(&recs, &cfg);
+    let (_, s) = try_semisort_with_stats(&recs, &cfg).unwrap();
     assert!(
         s.heavy_fraction_pct() > 15.0,
         "zipf head should be heavy: {}",
@@ -71,7 +71,7 @@ fn space_blowup_bounded_on_all_distributions() {
     let cfg = SemisortConfig::default();
     for pd in paper_distributions() {
         let records = generate(pd.dist, N, 3);
-        let (_, stats) = semisort_with_stats(&records, &cfg);
+        let (_, stats) = try_semisort_with_stats(&records, &cfg).unwrap();
         assert!(
             stats.space_blowup() < 10.0,
             "{}: slots/n = {:.2}",
@@ -85,7 +85,7 @@ fn space_blowup_bounded_on_all_distributions() {
 #[test]
 fn sample_size_is_n_over_16() {
     let records = generate(Distribution::Uniform { n: 1 << 30 }, N, 4);
-    let (_, stats) = semisort_with_stats(&records, &SemisortConfig::default());
+    let (_, stats) = try_semisort_with_stats(&records, &SemisortConfig::default()).unwrap();
     assert_eq!(stats.sample_size, N.div_ceil(16));
 }
 
@@ -95,7 +95,7 @@ fn sample_size_is_n_over_16() {
 #[test]
 fn merged_light_bucket_count_is_bounded_by_sample() {
     let records = generate(Distribution::Uniform { n: 1 << 40 }, N, 5);
-    let (_, stats) = semisort_with_stats(&records, &SemisortConfig::default());
+    let (_, stats) = try_semisort_with_stats(&records, &SemisortConfig::default()).unwrap();
     let bound = stats.sample_size / 16 + 1;
     assert!(
         stats.light_buckets <= bound,
@@ -112,7 +112,7 @@ fn no_retries_on_any_paper_distribution() {
     let cfg = SemisortConfig::default();
     for pd in paper_distributions() {
         let records = generate(pd.dist, N, 6);
-        let (_, stats) = semisort_with_stats(&records, &cfg);
+        let (_, stats) = try_semisort_with_stats(&records, &cfg).unwrap();
         assert_eq!(stats.retries, 0, "{} needed retries", pd.dist.label());
     }
 }

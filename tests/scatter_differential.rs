@@ -1,18 +1,31 @@
-//! Differential tests of the two scatter strategies.
+//! Differential tests of the three scatter strategies.
 //!
 //! For every workload shape (uniform, power-law, all-equal, all-distinct)
-//! and sizes 10³ / 10⁵ / 10⁶, both `ScatterStrategy::RandomCas` and
-//! `ScatterStrategy::Blocked` must produce a valid semisort whose groups
-//! are multiset-equal to the trivially correct sequential baseline
-//! ([`baselines::seq_hash_semisort`]).
+//! and sizes 10³ / 10⁵ / 10⁶, each of `ScatterStrategy::RandomCas`,
+//! `::Blocked`, and `::InPlace` must produce a valid semisort whose
+//! canonical bytes (records sorted by key then payload — the unique
+//! representative of the output's multiset) are identical to the trivially
+//! correct sequential baseline ([`baselines::seq_hash_semisort`]), with
+//! identical per-key group sizes.
+//!
+//! A thread matrix (1 / 2 / 8 workers) then pins two stronger properties:
+//! the canonical bytes stay baseline-identical at every thread count, and
+//! each strategy's output *key sequence* is thread-count invariant (bucket
+//! regions are deterministic; light regions are sorted by key).
 
 use std::collections::HashMap;
 
-use semisort::verify::{is_permutation_of, is_semisorted_by, runs_by};
-use semisort::{semisort_pairs, ScatterStrategy, SemisortConfig};
+use semisort::verify::{is_semisorted_by, runs_by};
+use semisort::{try_semisort_pairs, ScatterConfig, ScatterStrategy, SemisortConfig};
 use workloads::{generate, Distribution};
 
 const SIZES: [usize; 3] = [1_000, 100_000, 1_000_000];
+const DISTS: [&str; 4] = ["uniform", "power-law", "all-equal", "all-distinct"];
+const STRATEGIES: [ScatterStrategy; 3] = [
+    ScatterStrategy::RandomCas,
+    ScatterStrategy::Blocked,
+    ScatterStrategy::InPlace,
+];
 
 fn workload(name: &str, n: usize) -> Vec<(u64, u64)> {
     match name {
@@ -25,6 +38,25 @@ fn workload(name: &str, n: usize) -> Vec<(u64, u64)> {
     }
 }
 
+fn cfg_for(strategy: ScatterStrategy) -> SemisortConfig {
+    SemisortConfig {
+        scatter: ScatterConfig {
+            strategy,
+            ..ScatterConfig::default()
+        },
+        ..Default::default()
+    }
+}
+
+/// The unique canonical representative of a record multiset: sorted by key
+/// then payload. Two outputs are multiset-equal iff their canonical forms
+/// are byte-identical — `assert_eq!` on these IS the byte comparison.
+fn canonical(out: &[(u64, u64)]) -> Vec<(u64, u64)> {
+    let mut c = out.to_vec();
+    c.sort_unstable();
+    c
+}
+
 /// Group sizes per key, independent of group order and intra-group order.
 fn group_sizes(out: &[(u64, u64)]) -> HashMap<u64, usize> {
     runs_by(out, |r| r.0)
@@ -33,28 +65,27 @@ fn group_sizes(out: &[(u64, u64)]) -> HashMap<u64, usize> {
         .collect()
 }
 
+fn check_against_baseline(out: &[(u64, u64)], baseline: &[(u64, u64)], ctx: &str) {
+    assert!(is_semisorted_by(out, |r| r.0), "{ctx}: not semisorted");
+    assert_eq!(
+        canonical(out),
+        canonical(baseline),
+        "{ctx}: canonical bytes differ from seq_hash"
+    );
+    assert_eq!(
+        group_sizes(out),
+        group_sizes(baseline),
+        "{ctx}: group structure differs from seq_hash"
+    );
+}
+
 fn check_strategy(dist: &str, strategy: ScatterStrategy) {
-    let cfg = SemisortConfig {
-        scatter_strategy: strategy,
-        ..Default::default()
-    };
+    let cfg = cfg_for(strategy);
     for n in SIZES {
         let records = workload(dist, n);
-        let out = semisort_pairs(&records, &cfg);
-        assert!(
-            is_semisorted_by(&out, |r| r.0),
-            "{dist}/{strategy:?}/n={n}: output not semisorted"
-        );
+        let out = try_semisort_pairs(&records, &cfg).unwrap();
         let baseline = baselines::seq_hash_semisort(&records);
-        assert!(
-            is_permutation_of(&out, &baseline),
-            "{dist}/{strategy:?}/n={n}: output multiset differs from seq_hash"
-        );
-        assert_eq!(
-            group_sizes(&out),
-            group_sizes(&baseline),
-            "{dist}/{strategy:?}/n={n}: group structure differs from seq_hash"
-        );
+        check_against_baseline(&out, &baseline, &format!("{dist}/{strategy:?}/n={n}"));
     }
 }
 
@@ -69,6 +100,11 @@ fn uniform_blocked() {
 }
 
 #[test]
+fn uniform_inplace() {
+    check_strategy("uniform", ScatterStrategy::InPlace);
+}
+
+#[test]
 fn power_law_random_cas() {
     check_strategy("power-law", ScatterStrategy::RandomCas);
 }
@@ -76,6 +112,11 @@ fn power_law_random_cas() {
 #[test]
 fn power_law_blocked() {
     check_strategy("power-law", ScatterStrategy::Blocked);
+}
+
+#[test]
+fn power_law_inplace() {
+    check_strategy("power-law", ScatterStrategy::InPlace);
 }
 
 #[test]
@@ -89,6 +130,11 @@ fn all_equal_blocked() {
 }
 
 #[test]
+fn all_equal_inplace() {
+    check_strategy("all-equal", ScatterStrategy::InPlace);
+}
+
+#[test]
 fn all_distinct_random_cas() {
     check_strategy("all-distinct", ScatterStrategy::RandomCas);
 }
@@ -99,23 +145,102 @@ fn all_distinct_blocked() {
 }
 
 #[test]
+fn all_distinct_inplace() {
+    check_strategy("all-distinct", ScatterStrategy::InPlace);
+}
+
+/// The full strategy × distribution × thread-count matrix: canonical bytes
+/// match the sequential baseline at 1, 2, and 8 workers, and each
+/// strategy's key sequence is identical at every thread count (the output
+/// *layout* is deterministic even though payload order within a group is
+/// scheduling-dependent).
+#[test]
+fn thread_matrix_matches_baseline() {
+    const N: usize = 60_000;
+    for dist in DISTS {
+        let records = workload(dist, N);
+        let baseline = baselines::seq_hash_semisort(&records);
+        for strategy in STRATEGIES {
+            let cfg = cfg_for(strategy);
+            let mut key_seq: Option<Vec<u64>> = None;
+            for threads in [1usize, 2, 8] {
+                let out =
+                    parlay::with_threads(threads, || try_semisort_pairs(&records, &cfg).unwrap());
+                check_against_baseline(
+                    &out,
+                    &baseline,
+                    &format!("{dist}/{strategy:?}/threads={threads}"),
+                );
+                let keys: Vec<u64> = out.iter().map(|r| r.0).collect();
+                match &key_seq {
+                    None => key_seq = Some(keys),
+                    Some(want) => assert_eq!(
+                        want, &keys,
+                        "{dist}/{strategy:?}: key sequence varies with thread count"
+                    ),
+                }
+            }
+        }
+    }
+}
+
+/// Force maximal strand/reconcile traffic through the in-place scatter: a
+/// swap buffer of 1–2 records turns every displacement chain into
+/// single-record hops, and 8 workers on skewed keys maximize cross-worker
+/// stranding. Canonical bytes must still match the baseline exactly.
+#[test]
+fn inplace_tiny_swap_buffer_stress() {
+    const N: usize = 40_000;
+    for swap_buffer in [1usize, 2] {
+        let cfg = SemisortConfig {
+            scatter: ScatterConfig {
+                strategy: ScatterStrategy::InPlace,
+                swap_buffer,
+                ..ScatterConfig::default()
+            },
+            ..Default::default()
+        };
+        for dist in DISTS {
+            let records = workload(dist, N);
+            let baseline = baselines::seq_hash_semisort(&records);
+            for threads in [1usize, 2, 8] {
+                let out =
+                    parlay::with_threads(threads, || try_semisort_pairs(&records, &cfg).unwrap());
+                check_against_baseline(
+                    &out,
+                    &baseline,
+                    &format!("{dist}/swap={swap_buffer}/threads={threads}"),
+                );
+            }
+        }
+    }
+}
+
+/// Beyond all matching the baseline: the three strategies' outputs are
+/// pairwise multiset-equal with identical group structure under a
+/// non-default seed.
+#[test]
 fn strategies_agree_with_each_other() {
-    // Beyond both matching the baseline: the two strategies' outputs are
-    // permutations of each other with identical group structure, at every
-    // size and shape, under a non-default seed.
-    for dist in ["uniform", "power-law", "all-equal", "all-distinct"] {
+    for dist in DISTS {
         for n in [1_000usize, 100_000] {
             let records = workload(dist, n);
-            let cas = semisort_pairs(&records, &SemisortConfig::default().with_seed(0xd1ff));
-            let blocked = semisort_pairs(
-                &records,
-                &SemisortConfig {
-                    scatter_strategy: ScatterStrategy::Blocked,
-                    ..SemisortConfig::default().with_seed(0xd1ff)
-                },
-            );
-            assert!(is_permutation_of(&cas, &blocked), "{dist}/n={n}");
-            assert_eq!(group_sizes(&cas), group_sizes(&blocked), "{dist}/n={n}");
+            let outs: Vec<Vec<(u64, u64)>> = STRATEGIES
+                .iter()
+                .map(|&strategy| {
+                    let cfg = SemisortConfig {
+                        scatter: ScatterConfig {
+                            strategy,
+                            ..ScatterConfig::default()
+                        },
+                        ..SemisortConfig::default().with_seed(0xd1ff)
+                    };
+                    try_semisort_pairs(&records, &cfg).unwrap()
+                })
+                .collect();
+            for pair in outs.windows(2) {
+                assert_eq!(canonical(&pair[0]), canonical(&pair[1]), "{dist}/n={n}");
+                assert_eq!(group_sizes(&pair[0]), group_sizes(&pair[1]), "{dist}/n={n}");
+            }
         }
     }
 }

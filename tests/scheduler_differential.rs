@@ -1,7 +1,7 @@
 //! Differential tests of the work-stealing scheduler: semisort results must
 //! not depend on how many pool threads execute them.
 //!
-//! For every thread count in {1, 2, 8} × the 4 workload shapes × both
+//! For every thread count in {1, 2, 8} × the 4 workload shapes × the
 //! scatter strategies, the output must be **byte-identical after
 //! canonicalization** to the sequential baseline. Canonicalization = a full
 //! `(key, value)` sort: semisort only promises key-grouping, and the one
@@ -20,7 +20,7 @@
 use std::collections::HashMap;
 
 use semisort::verify::{is_semisorted_by, runs_by};
-use semisort::{semisort_pairs, ScatterStrategy, SemisortConfig};
+use semisort::{try_semisort_pairs, ScatterConfig, ScatterStrategy, SemisortConfig};
 use workloads::{generate, Distribution};
 
 const THREAD_COUNTS: [usize; 3] = [1, 2, 8];
@@ -56,13 +56,16 @@ fn group_sizes(out: &[(u64, u64)]) -> HashMap<u64, usize> {
 fn check(dist: &str, strategy: ScatterStrategy) {
     let records = workload(dist, N);
     let cfg = SemisortConfig {
-        scatter_strategy: strategy,
+        scatter: ScatterConfig {
+            strategy,
+            ..ScatterConfig::default()
+        },
         ..Default::default()
     };
     let baseline_canonical = canonical(baselines::seq_hash_semisort(&records));
     let mut key_sequences: Vec<(usize, Vec<u64>)> = Vec::new();
     for threads in THREAD_COUNTS {
-        let out = parlay::with_threads(threads, || semisort_pairs(&records, &cfg));
+        let out = parlay::with_threads(threads, || try_semisort_pairs(&records, &cfg).unwrap());
         assert!(
             is_semisorted_by(&out, |r| r.0),
             "{dist}/{strategy:?}/threads={threads}: output not semisorted"
@@ -101,6 +104,11 @@ fn uniform_blocked_thread_invariant() {
 }
 
 #[test]
+fn uniform_inplace_thread_invariant() {
+    check("uniform", ScatterStrategy::InPlace);
+}
+
+#[test]
 fn power_law_random_cas_thread_invariant() {
     check("power-law", ScatterStrategy::RandomCas);
 }
@@ -108,6 +116,11 @@ fn power_law_random_cas_thread_invariant() {
 #[test]
 fn power_law_blocked_thread_invariant() {
     check("power-law", ScatterStrategy::Blocked);
+}
+
+#[test]
+fn power_law_inplace_thread_invariant() {
+    check("power-law", ScatterStrategy::InPlace);
 }
 
 #[test]
@@ -140,10 +153,10 @@ fn tracing_does_not_change_output() {
     let records = workload("power-law", N);
     let cfg = SemisortConfig::default();
 
-    let quiet = parlay::with_threads(1, || semisort_pairs(&records, &cfg));
+    let quiet = parlay::with_threads(1, || try_semisort_pairs(&records, &cfg).unwrap());
     rayon::trace::set_events_enabled(true);
-    let traced = parlay::with_threads(1, || semisort_pairs(&records, &cfg));
-    let traced_par = parlay::with_threads(2, || semisort_pairs(&records, &cfg));
+    let traced = parlay::with_threads(1, || try_semisort_pairs(&records, &cfg).unwrap());
+    let traced_par = parlay::with_threads(2, || try_semisort_pairs(&records, &cfg).unwrap());
     rayon::trace::set_events_enabled(false);
 
     assert_eq!(traced, quiet, "tracing changed single-thread output bytes");
@@ -203,7 +216,9 @@ fn semisort_inside_nested_joins() {
         out
     }
     let out = parlay::with_threads(2, || {
-        descend(64, || semisort_pairs(&records, &SemisortConfig::default()))
+        descend(64, || {
+            try_semisort_pairs(&records, &SemisortConfig::default()).unwrap()
+        })
     });
     assert_eq!(canonical(out), baseline_canonical);
 }

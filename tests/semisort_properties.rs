@@ -7,8 +7,8 @@
 use proptest::prelude::*;
 use semisort::verify::{is_permutation_of, is_semisorted_by};
 use semisort::{
-    semisort_pairs, semisort_with_stats, LocalSortAlgo, ProbeStrategy, ScatterStrategy,
-    SemisortConfig,
+    try_semisort_pairs, try_semisort_with_stats, LocalSortAlgo, ProbeStrategy, ScatterConfig,
+    ScatterStrategy, SemisortConfig,
 };
 
 /// A config that exercises the parallel machinery even on small inputs.
@@ -29,14 +29,14 @@ proptest! {
 
     #[test]
     fn semisorted_and_permutation_small_keyspace(recs in arb_records(2000, 10)) {
-        let out = semisort_pairs(&recs, &small_cfg());
+        let out = try_semisort_pairs(&recs, &small_cfg()).unwrap();
         prop_assert!(is_semisorted_by(&out, |r| r.0));
         prop_assert!(is_permutation_of(&out, &recs));
     }
 
     #[test]
     fn semisorted_and_permutation_large_keyspace(recs in arb_records(2000, 1_000_000)) {
-        let out = semisort_pairs(&recs, &small_cfg());
+        let out = try_semisort_pairs(&recs, &small_cfg()).unwrap();
         prop_assert!(is_semisorted_by(&out, |r| r.0));
         prop_assert!(is_permutation_of(&out, &recs));
     }
@@ -46,7 +46,7 @@ proptest! {
         // The driver requires *uniform* keys only for its probabilistic size
         // bounds; correctness must hold for adversarial (non-uniform) keys
         // too, via retries if need be.
-        let out = semisort_pairs(&recs, &small_cfg());
+        let out = try_semisort_pairs(&recs, &small_cfg()).unwrap();
         prop_assert!(is_semisorted_by(&out, |r| r.0));
         prop_assert!(is_permutation_of(&out, &recs));
     }
@@ -63,7 +63,7 @@ proptest! {
             local_sort_algo: [LocalSortAlgo::StdUnstable, LocalSortAlgo::StdStable, LocalSortAlgo::Counting][algo_idx],
             ..Default::default()
         };
-        let out = semisort_pairs(&recs, &cfg);
+        let out = try_semisort_pairs(&recs, &cfg).unwrap();
         prop_assert!(is_semisorted_by(&out, |r| r.0));
         prop_assert!(is_permutation_of(&out, &recs));
     }
@@ -83,7 +83,7 @@ proptest! {
             light_bucket_log2: 10,
             ..Default::default()
         };
-        let out = semisort_pairs(&recs, &cfg);
+        let out = try_semisort_pairs(&recs, &cfg).unwrap();
         prop_assert!(is_semisorted_by(&out, |r| r.0));
         prop_assert!(is_permutation_of(&out, &recs));
     }
@@ -91,25 +91,35 @@ proptest! {
     #[test]
     fn scatter_strategies_keep_invariants(
         recs in arb_records(1500, 40),
-        blocked in any::<bool>(),
+        strat_idx in 0usize..3,
         shift in 2u32..7,
         delta in 4usize..65,
         block_log2 in 0u32..7,
         tail_log2 in 1u32..5,
+        swap_log2 in 0u32..7,
     ) {
         // Random configs across the paper's parameter neighbourhood
-        // (p = 1/4 … 1/64, δ = 4 … 64), both scatter paths, and the
-        // blocked path's own knobs (block 1 … 64, tail 1/2 … 1/16).
+        // (p = 1/4 … 1/64, δ = 4 … 64), all three scatter paths, and the
+        // per-path knobs (block 1 … 64, tail 1/2 … 1/16, swap buffer
+        // 1 … 64).
         let cfg = SemisortConfig {
             seq_threshold: 32,
             sample_shift: shift,
             heavy_threshold: delta,
-            scatter_strategy: if blocked { ScatterStrategy::Blocked } else { ScatterStrategy::RandomCas },
-            scatter_block: 1 << block_log2,
-            blocked_tail_log2: tail_log2,
+            scatter: ScatterConfig {
+                strategy: [
+                    ScatterStrategy::RandomCas,
+                    ScatterStrategy::Blocked,
+                    ScatterStrategy::InPlace,
+                ][strat_idx],
+                block: 1 << block_log2,
+                tail_log2,
+                swap_buffer: 1 << swap_log2,
+                ..ScatterConfig::default()
+            },
             ..Default::default()
         };
-        let (out, stats) = semisort_with_stats(&recs, &cfg);
+        let (out, stats) = try_semisort_with_stats(&recs, &cfg).unwrap();
         prop_assert!(is_semisorted_by(&out, |r| r.0));
         prop_assert!(is_permutation_of(&out, &recs));
         // Stats invariants: the heavy/light split partitions the input, and
@@ -129,10 +139,13 @@ proptest! {
             recs[i].0 = 0; // scatter EMPTY → sort fallback, any strategy
         }
         let cfg = SemisortConfig {
-            scatter_strategy: ScatterStrategy::Blocked,
+            scatter: ScatterConfig {
+                strategy: ScatterStrategy::Blocked,
+                ..ScatterConfig::default()
+            },
             ..small_cfg()
         };
-        let out = semisort_pairs(&recs, &cfg);
+        let out = try_semisort_pairs(&recs, &cfg).unwrap();
         prop_assert!(is_semisorted_by(&out, |r| r.0));
         prop_assert!(is_permutation_of(&out, &recs));
     }
@@ -146,7 +159,7 @@ proptest! {
             recs[i].0 = 0; // scatter EMPTY
             recs[(i + 1) % len].0 = u64::MAX; // table EMPTY
         }
-        let out = semisort_pairs(&recs, &small_cfg());
+        let out = try_semisort_pairs(&recs, &small_cfg()).unwrap();
         prop_assert!(is_semisorted_by(&out, |r| r.0));
         prop_assert!(is_permutation_of(&out, &recs));
     }
@@ -157,14 +170,14 @@ proptest! {
 
     #[test]
     fn semisort_by_key_generic_strings(words in prop::collection::vec("[a-c]{1,3}", 0..800)) {
-        let out = semisort::semisort_by_key(&words, |w| w.clone(), &small_cfg());
+        let out = semisort::try_semisort_by_key(&words, |w| w.clone(), &small_cfg()).unwrap();
         prop_assert!(is_semisorted_by(&out, |w| w.clone()));
         prop_assert!(is_permutation_of(&out, &words));
     }
 
     #[test]
     fn group_by_groups_cover_input(keys in prop::collection::vec(0u32..50, 0..1000)) {
-        let groups = semisort::group_by(&keys, |&k| k, &small_cfg());
+        let groups = semisort::try_group_by(&keys, |&k| k, &small_cfg()).unwrap();
         let mut total = 0usize;
         let mut seen = std::collections::HashSet::new();
         for g in groups.iter() {

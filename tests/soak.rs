@@ -3,7 +3,7 @@
 //! instead of seconds.
 
 use semisort::verify::{is_permutation_of, is_semisorted_by};
-use semisort::{semisort_pairs, SemisortConfig};
+use semisort::{try_semisort_pairs, SemisortConfig};
 use workloads::{generate, paper_distributions, Arrangement};
 
 #[test]
@@ -13,7 +13,7 @@ fn soak_many_seeds_every_distribution() {
         for seed in 0..12u64 {
             let records = generate(pd.dist, 200_000, seed);
             let cfg = SemisortConfig::default().with_seed(seed * 7 + 1);
-            let out = semisort_pairs(&records, &cfg);
+            let out = try_semisort_pairs(&records, &cfg).unwrap();
             assert!(
                 is_semisorted_by(&out, |r| r.0),
                 "{} seed {seed}",
@@ -29,7 +29,7 @@ fn soak_many_seeds_every_distribution() {
 fn soak_large_single_run() {
     let n = 20_000_000;
     let records = generate(workloads::Distribution::Zipfian { m: n as u64 }, n, 1);
-    let out = semisort_pairs(&records, &SemisortConfig::default());
+    let out = try_semisort_pairs(&records, &SemisortConfig::default()).unwrap();
     assert_eq!(out.len(), n);
     assert!(is_semisorted_by(&out, |r| r.0));
 }
@@ -55,7 +55,7 @@ fn soak_configuration_grid() {
                         local_sort_algo: algo,
                         ..Default::default()
                     };
-                    let out = semisort_pairs(&input, &cfg);
+                    let out = try_semisort_pairs(&input, &cfg).unwrap();
                     assert!(
                         is_semisorted_by(&out, |r| r.0),
                         "{} {arr:?} {probe:?} {algo:?}",
