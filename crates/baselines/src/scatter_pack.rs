@@ -60,6 +60,10 @@ pub fn scatter_and_pack(records: &[(u64, u64)], seed: u64) -> (Vec<(u64, u64)>, 
     (0..n).into_par_iter().with_min_len(4096).for_each(|i| {
         let mut s = (rng.at(i as u64) as usize) & mask;
         loop {
+            // ORDERING: Relaxed vacancy probe + fully Relaxed CAS: the
+            // claim payload is the record index in the CAS word itself,
+            // and the pack phase reads it only after the join.
+            // publishes-via: fork-join barrier (for_each join)
             if slot_of[s].load(Ordering::Relaxed) == EMPTY
                 && slot_of[s]
                     .compare_exchange(EMPTY, i as u64, Ordering::Relaxed, Ordering::Relaxed)
@@ -78,6 +82,8 @@ pub fn scatter_and_pack(records: &[(u64, u64)], seed: u64) -> (Vec<(u64, u64)>, 
     let mut offsets: Vec<usize> = (0..blocks)
         .into_par_iter()
         .map(|b| {
+            // ORDERING: Relaxed post-join reads of scatter results.
+            // publishes-via: fork-join barrier (scatter join)
             parlay::slices::block_range(b, blocks, slots)
                 .filter(|&i| slot_of[i].load(Ordering::Relaxed) != EMPTY)
                 .count()
@@ -91,6 +97,8 @@ pub fn scatter_and_pack(records: &[(u64, u64)], seed: u64) -> (Vec<(u64, u64)>, 
         let mut pos = offsets[b];
         let ptr = out_ptr;
         for i in parlay::slices::block_range(b, blocks, slots) {
+            // ORDERING: Relaxed post-join read of scatter results.
+            // publishes-via: fork-join barrier (scatter join)
             let v = slot_of[i].load(Ordering::Relaxed);
             if v != EMPTY {
                 // SAFETY: offsets partition [0, n) across blocks.

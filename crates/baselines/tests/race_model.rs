@@ -1,0 +1,81 @@
+//! Exhaustive race model of the baseline scatter-pack slot claim.
+//!
+//! `scatter_pack`'s scatter phase claims slots with a fully Relaxed
+//! vacancy-probe + CAS whose payload is the CAS word itself (the record
+//! index); the pack phase reads the slots only after the fork-join
+//! barrier. The model mirrors that loop over the in-tree `loom` shim and
+//! runs every interleaving of 2 contending threads — same pattern as the
+//! other `race_model.rs` files; see `crates/xtask/atomics.toml` for the
+//! protocol→model mapping the audit-atomics gate enforces.
+//!
+//! Not run under Miri: the explorer spawns thousands of real scheduled
+//! threads, which Miri executes orders of magnitude too slowly.
+
+#![cfg(not(miri))]
+
+use std::sync::atomic::{AtomicUsize, Ordering as StdOrdering};
+
+use loom::sync::atomic::{AtomicU64, Ordering};
+use loom::sync::Arc;
+use loom::thread;
+
+/// The vacancy sentinel (`scatter_pack::EMPTY`).
+const EMPTY: u64 = u64::MAX;
+
+#[test]
+fn baseline_slot_claims_are_exclusive() {
+    // 2 threads × 2 records into a 4-slot array, both probing from slot 0:
+    // slots 0 and 1 are contended in every schedule and the array ends
+    // exactly full (the boundary where a duplicate claim would also evict
+    // a record).
+    loom::model(|| {
+        let slot_of: Arc<Vec<AtomicU64>> =
+            Arc::new((0..4).map(|_| AtomicU64::new(EMPTY)).collect());
+        let claims: Arc<Vec<AtomicUsize>> = Arc::new((0..4).map(|_| AtomicUsize::new(0)).collect());
+        let handles: Vec<_> = [[0u64, 1], [2, 3]]
+            .into_iter()
+            .map(|ids| {
+                let slot_of = slot_of.clone();
+                let claims = claims.clone();
+                thread::spawn(move || {
+                    for i in ids {
+                        let mut s = 0usize;
+                        loop {
+                            if slot_of[s].load(Ordering::Relaxed) == EMPTY
+                                && slot_of[s]
+                                    .compare_exchange(
+                                        EMPTY,
+                                        i,
+                                        Ordering::Relaxed,
+                                        Ordering::Relaxed,
+                                    )
+                                    .is_ok()
+                            {
+                                claims[s].fetch_add(1, StdOrdering::Relaxed);
+                                break;
+                            }
+                            s = (s + 1) & 3;
+                        }
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        for (i, c) in claims.iter().enumerate() {
+            assert_eq!(
+                c.load(StdOrdering::Relaxed),
+                1,
+                "slot {i} must be claimed exactly once"
+            );
+        }
+        let mut landed: Vec<u64> = slot_of.iter().map(AtomicU64::unsync_load).collect();
+        landed.sort_unstable();
+        assert_eq!(
+            landed,
+            vec![0, 1, 2, 3],
+            "every record index lands exactly once"
+        );
+    });
+}

@@ -22,8 +22,14 @@ unsafe impl GlobalAlloc for TrackingAllocator {
         // the caller's GlobalAlloc contract.
         let p = unsafe { System.alloc(layout) };
         if !p.is_null() {
+            // ORDERING: Relaxed accounting counters — each is
+            // individually consistent via RMW atomicity; readers accept a
+            // momentarily skewed live/peak pair.
+            // publishes-via: none needed — approximate accounting by design
             let live = LIVE.fetch_add(layout.size(), Ordering::Relaxed) + layout.size();
+            // ORDERING: as above. publishes-via: none needed
             PEAK.fetch_max(live, Ordering::Relaxed);
+            // ORDERING: as above. publishes-via: none needed
             TOTAL.fetch_add(layout.size(), Ordering::Relaxed);
         }
         p
@@ -34,8 +40,14 @@ unsafe impl GlobalAlloc for TrackingAllocator {
         // the caller's GlobalAlloc contract.
         let p = unsafe { System.alloc_zeroed(layout) };
         if !p.is_null() {
+            // ORDERING: Relaxed accounting counters — each is
+            // individually consistent via RMW atomicity; readers accept a
+            // momentarily skewed live/peak pair.
+            // publishes-via: none needed — approximate accounting by design
             let live = LIVE.fetch_add(layout.size(), Ordering::Relaxed) + layout.size();
+            // ORDERING: as above. publishes-via: none needed
             PEAK.fetch_max(live, Ordering::Relaxed);
+            // ORDERING: as above. publishes-via: none needed
             TOTAL.fetch_add(layout.size(), Ordering::Relaxed);
         }
         p
@@ -45,6 +57,8 @@ unsafe impl GlobalAlloc for TrackingAllocator {
         // SAFETY: forwarded verbatim to the system allocator under
         // the caller's GlobalAlloc contract.
         unsafe { System.dealloc(ptr, layout) };
+        // ORDERING: Relaxed accounting decrement (see `alloc`).
+        // publishes-via: none needed — approximate accounting by design
         LIVE.fetch_sub(layout.size(), Ordering::Relaxed);
     }
 
@@ -55,10 +69,15 @@ unsafe impl GlobalAlloc for TrackingAllocator {
         if !p.is_null() {
             let old = layout.size();
             if new_size >= old {
+                // ORDERING: Relaxed accounting counters (see `alloc`).
+                // publishes-via: none needed — approximate accounting
                 let live = LIVE.fetch_add(new_size - old, Ordering::Relaxed) + (new_size - old);
+                // ORDERING: as above. publishes-via: none needed
                 PEAK.fetch_max(live, Ordering::Relaxed);
+                // ORDERING: as above. publishes-via: none needed
                 TOTAL.fetch_add(new_size - old, Ordering::Relaxed);
             } else {
+                // ORDERING: as above. publishes-via: none needed
                 LIVE.fetch_sub(old - new_size, Ordering::Relaxed);
             }
         }
@@ -68,16 +87,23 @@ unsafe impl GlobalAlloc for TrackingAllocator {
 
 /// Currently live heap bytes.
 pub fn live_bytes() -> usize {
+    // ORDERING: Relaxed snapshot of an approximate counter.
+    // publishes-via: none needed — approximate accounting by design
     LIVE.load(Ordering::Relaxed)
 }
 
 /// Reset the peak to the current live volume and return the old peak.
 pub fn reset_peak() -> usize {
+    // ORDERING: Relaxed swap/load pair; concurrent allocations can skew
+    // the baseline, which the space harness tolerates (quiesced use).
+    // publishes-via: none needed — approximate accounting by design
     PEAK.swap(LIVE.load(Ordering::Relaxed), Ordering::Relaxed)
 }
 
 /// Peak live bytes since the last [`reset_peak`].
 pub fn peak_bytes() -> usize {
+    // ORDERING: Relaxed snapshot of an approximate counter.
+    // publishes-via: none needed — approximate accounting by design
     PEAK.load(Ordering::Relaxed)
 }
 
@@ -86,6 +112,8 @@ pub fn peak_bytes() -> usize {
 /// across calls: an engine call that reuses its pool adds ~0 here, a
 /// one-shot call re-adds its whole working set every time.
 pub fn total_allocated_bytes() -> usize {
+    // ORDERING: Relaxed snapshot of a monotone counter.
+    // publishes-via: none needed — approximate accounting by design
     TOTAL.load(Ordering::Relaxed)
 }
 

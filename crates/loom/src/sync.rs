@@ -104,6 +104,56 @@ pub mod atomic {
         isize
     );
 
+    /// Model-aware `AtomicBool` (overflow latch, cancel token, spin
+    /// latch). Bools have no fetch-add, so this is not macro-generated;
+    /// it carries the flag subset the protocols use.
+    #[derive(Debug, Default)]
+    pub struct AtomicBool(std::sync::atomic::AtomicBool);
+
+    impl AtomicBool {
+        /// A new atomic holding `v`.
+        pub const fn new(v: bool) -> Self {
+            Self(std::sync::atomic::AtomicBool::new(v))
+        }
+
+        /// Model-scheduled load (explored as `SeqCst`).
+        pub fn load(&self, _order: Ordering) -> bool {
+            rt::step();
+            self.0.load(Ordering::SeqCst)
+        }
+
+        /// Model-scheduled store (explored as `SeqCst`).
+        pub fn store(&self, v: bool, _order: Ordering) {
+            rt::step();
+            self.0.store(v, Ordering::SeqCst)
+        }
+
+        /// Model-scheduled swap (explored as `SeqCst`).
+        pub fn swap(&self, v: bool, _order: Ordering) -> bool {
+            rt::step();
+            self.0.swap(v, Ordering::SeqCst)
+        }
+
+        /// Model-scheduled compare-exchange (explored as `SeqCst`).
+        pub fn compare_exchange(
+            &self,
+            current: bool,
+            new: bool,
+            _success: Ordering,
+            _failure: Ordering,
+        ) -> Result<bool, bool> {
+            rt::step();
+            self.0
+                .compare_exchange(current, new, Ordering::SeqCst, Ordering::SeqCst)
+        }
+
+        /// Read the final value without scheduling — for asserting on the
+        /// outcome *after* every model thread has joined.
+        pub fn unsync_load(&self) -> bool {
+            self.0.load(Ordering::SeqCst)
+        }
+    }
+
     /// Model-scheduled memory fence. The explorer runs every atomic op
     /// `SeqCst`, so the fence contributes no extra ordering — it is a
     /// yield point only, letting schedules branch where the production

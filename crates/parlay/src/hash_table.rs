@@ -81,11 +81,17 @@ impl<V: Copy + Default> PhaseConcurrentMap<V> {
         debug_assert_ne!(key, EMPTY, "EMPTY sentinel used as key");
         let mut i = self.slot_of(key);
         loop {
+            // ORDERING: Relaxed probe; an EMPTY answer is re-validated by
+            // the CAS, a key answer is stable (keys never change once set).
+            // publishes-via: the winning CAS below
             let cur = self.keys[i].load(Ordering::Relaxed);
             if cur == key {
                 return false;
             }
             if cur == EMPTY {
+                // ORDERING: AcqRel success claims the slot and publishes
+                // the key; Relaxed failure re-inspects the found key.
+                // publishes-via: this CAS's own AcqRel success edge
                 match self.keys[i].compare_exchange(EMPTY, key, Ordering::AcqRel, Ordering::Relaxed)
                 {
                     Ok(_) => {
@@ -110,6 +116,9 @@ impl<V: Copy + Default> PhaseConcurrentMap<V> {
         debug_assert_ne!(key, EMPTY);
         let mut i = self.slot_of(key);
         loop {
+            // ORDERING: Acquire pairs with the insert phase's AcqRel CAS
+            // (belt-and-braces under the phase barrier) so the value write
+            // of an observed key happened-before us.
             let cur = self.keys[i].load(Ordering::Acquire);
             if cur == key {
                 // SAFETY: the insert phase finished (caller contract), so the
@@ -133,6 +142,7 @@ impl<V: Copy + Default> PhaseConcurrentMap<V> {
     pub fn entries(&self) -> Vec<(u64, V)> {
         (0..self.keys.len())
             .filter_map(|i| {
+                // ORDERING: Acquire, same pairing as `lookup`.
                 let k = self.keys[i].load(Ordering::Acquire);
                 // SAFETY: the insert phase has ended (single-phase use);
                 // an occupied key's value write happened-before this load.

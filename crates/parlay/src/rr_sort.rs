@@ -182,6 +182,9 @@ where
         .enumerate()
         .with_min_len(4096)
         .for_each(|(i, x)| {
+            // ORDERING: Relaxed abort hint; a missed flag only places a
+            // few more records before the overall run is discarded.
+            // publishes-via: fork-join barrier (for_each join)
             if overflow.load(Ordering::Relaxed) {
                 return;
             }
@@ -192,6 +195,10 @@ where
             let mut s = (rng.at(i as u64) as usize) & mask;
             for _ in 0..size {
                 let cell = &slot[base + s];
+                // ORDERING: Relaxed vacancy probe + fully Relaxed CAS: the
+                // claim payload is the index itself (no side data to
+                // publish), and the pack phase reads it after the join.
+                // publishes-via: fork-join barrier (for_each join)
                 if cell.load(Ordering::Relaxed) == VACANT
                     && cell
                         .compare_exchange(VACANT, i as u64, Ordering::Relaxed, Ordering::Relaxed)
@@ -201,8 +208,12 @@ where
                 }
                 s = (s + 1) & mask;
             }
+            // ORDERING: Relaxed monotone flag set, read after the join.
+            // publishes-via: fork-join barrier (for_each join)
             overflow.store(true, Ordering::Relaxed);
         });
+    // ORDERING: Relaxed post-join read; all setters joined above.
+    // publishes-via: fork-join barrier (for_each join)
     if overflow.load(Ordering::Relaxed) {
         return None;
     }
@@ -212,6 +223,8 @@ where
     let mut pack_off: Vec<usize> = (0..blocks)
         .into_par_iter()
         .map(|b| {
+            // ORDERING: Relaxed post-join reads of scatter results.
+            // publishes-via: fork-join barrier (scatter join)
             crate::slices::block_range(b, blocks, total)
                 .filter(|&i| slot[i].load(Ordering::Relaxed) != VACANT)
                 .count()
@@ -225,6 +238,8 @@ where
         let mut pos = pack_off[b];
         let p = ptr;
         for i in crate::slices::block_range(b, blocks, total) {
+            // ORDERING: Relaxed post-join read of scatter results.
+            // publishes-via: fork-join barrier (scatter join)
             let v = slot[i].load(Ordering::Relaxed);
             if v != VACANT {
                 // SAFETY: blocks write disjoint [pos..) ranges by the scan.

@@ -1,0 +1,161 @@
+//! Exhaustive race models of parlay's two slot-claim protocols.
+//!
+//! 1. **Hash-table insert** (`hash_table::HashTable::insert`): CAS-claimed
+//!    linear probing where concurrent duplicate inserts elect exactly one
+//!    winner and distinct keys never share a slot.
+//! 2. **RR-sort slot claim** (`rr_sort`'s step-3 scatter): a fully Relaxed
+//!    vacancy-probe + CAS claim whose payload is the CAS word itself (the
+//!    record index), published to the pack phase by the fork-join barrier.
+//!
+//! Both models mirror the production loops line-for-line over the in-tree
+//! `loom` shim and run every interleaving of 2 contending threads, the
+//! same pattern as `semisort`'s and `rayon`'s `race_model.rs`. See
+//! `crates/xtask/atomics.toml` for the protocol→model mapping the
+//! audit-atomics gate enforces.
+//!
+//! Not run under Miri: the explorer spawns thousands of real scheduled
+//! threads, which Miri executes orders of magnitude too slowly.
+
+#![cfg(not(miri))]
+
+use std::sync::atomic::{AtomicUsize, Ordering as StdOrdering};
+
+use loom::sync::atomic::{AtomicU64, Ordering};
+use loom::sync::Arc;
+use loom::thread;
+
+/// The vacancy sentinel (`hash_table::EMPTY` / `rr_sort::VACANT`).
+const EMPTY: u64 = 0;
+
+/// Model mirror of `HashTable::insert`'s key-claim loop (keys only — the
+/// value cell is the CAS winner's by the same argument as the scatter).
+/// Returns `true` if this call inserted the key.
+fn model_hash_insert(keys: &[AtomicU64], claims: &[AtomicUsize], mask: usize, key: u64) -> bool {
+    let mut i = (key as usize) & mask;
+    loop {
+        let cur = keys[i].load(Ordering::Relaxed);
+        if cur == key {
+            return false;
+        }
+        if cur == EMPTY {
+            match keys[i].compare_exchange(EMPTY, key, Ordering::AcqRel, Ordering::Relaxed) {
+                Ok(_) => {
+                    claims[i].fetch_add(1, StdOrdering::Relaxed);
+                    return true;
+                }
+                Err(found) if found == key => return false,
+                Err(_) => { /* lost to a different key: probe on */ }
+            }
+        } else {
+            i = (i + 1) & mask;
+        }
+    }
+}
+
+#[test]
+fn hash_insert_claims_are_exclusive() {
+    // Two threads race the same duplicate key plus one distinct key each,
+    // hashing into a 4-slot table: the duplicate must elect exactly one
+    // winner, every slot is claimed at most once, and all three distinct
+    // keys end up present exactly once.
+    loom::model(|| {
+        let keys: Arc<Vec<AtomicU64>> = Arc::new((0..4).map(|_| AtomicU64::new(EMPTY)).collect());
+        let claims: Arc<Vec<AtomicUsize>> = Arc::new((0..4).map(|_| AtomicUsize::new(0)).collect());
+        let dup_wins = Arc::new(AtomicUsize::new(0));
+        let handles: Vec<_> = [5u64, 6]
+            .into_iter()
+            .map(|own| {
+                let keys = keys.clone();
+                let claims = claims.clone();
+                let dup_wins = dup_wins.clone();
+                thread::spawn(move || {
+                    // Both threads insert key 4 (same start slot), then a
+                    // key of their own.
+                    if model_hash_insert(&keys, &claims, 3, 4) {
+                        dup_wins.fetch_add(1, StdOrdering::Relaxed);
+                    }
+                    assert!(model_hash_insert(&keys, &claims, 3, own));
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(
+            dup_wins.load(StdOrdering::Relaxed),
+            1,
+            "concurrent duplicate inserts must elect exactly one winner"
+        );
+        for (i, c) in claims.iter().enumerate() {
+            assert!(
+                c.load(StdOrdering::Relaxed) <= 1,
+                "slot {i} claimed {} times",
+                c.load(StdOrdering::Relaxed)
+            );
+        }
+        let mut present: Vec<u64> = keys
+            .iter()
+            .map(AtomicU64::unsync_load)
+            .filter(|&k| k != EMPTY)
+            .collect();
+        present.sort_unstable();
+        assert_eq!(present, vec![4, 5, 6], "each key present exactly once");
+    });
+}
+
+#[test]
+fn rr_slot_claims_are_exclusive() {
+    // Model mirror of rr_sort's step-3 claim: fully Relaxed probe + CAS
+    // (the claim payload is the CAS word itself). 2 threads × 2 records
+    // into a 4-slot sub-bucket, both probing from slot 0 — slots 0 and 1
+    // are contended in every schedule and the bucket ends exactly full.
+    // Record indices are 1-based so EMPTY stays sentinel-free.
+    loom::model(|| {
+        let slot: Arc<Vec<AtomicU64>> = Arc::new((0..4).map(|_| AtomicU64::new(EMPTY)).collect());
+        let claims: Arc<Vec<AtomicUsize>> = Arc::new((0..4).map(|_| AtomicUsize::new(0)).collect());
+        let handles: Vec<_> = [[1u64, 2], [3, 4]]
+            .into_iter()
+            .map(|ids| {
+                let slot = slot.clone();
+                let claims = claims.clone();
+                thread::spawn(move || {
+                    for id in ids {
+                        let mut s = 0usize;
+                        let mut placed = false;
+                        for _ in 0..slot.len() {
+                            if slot[s].load(Ordering::Relaxed) == EMPTY
+                                && slot[s]
+                                    .compare_exchange(
+                                        EMPTY,
+                                        id,
+                                        Ordering::Relaxed,
+                                        Ordering::Relaxed,
+                                    )
+                                    .is_ok()
+                            {
+                                claims[s].fetch_add(1, StdOrdering::Relaxed);
+                                placed = true;
+                                break;
+                            }
+                            s = (s + 1) & 3;
+                        }
+                        assert!(placed, "4 records cannot overflow 4 slots");
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        for (i, c) in claims.iter().enumerate() {
+            assert_eq!(
+                c.load(StdOrdering::Relaxed),
+                1,
+                "slot {i} must be claimed exactly once"
+            );
+        }
+        let mut landed: Vec<u64> = slot.iter().map(AtomicU64::unsync_load).collect();
+        landed.sort_unstable();
+        assert_eq!(landed, vec![1, 2, 3, 4], "every record lands exactly once");
+    });
+}

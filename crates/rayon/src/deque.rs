@@ -85,14 +85,22 @@ impl Deque {
     /// May only be called by the deque's owning worker thread — `bottom`
     /// has a single writer.
     pub(crate) unsafe fn push(&self, job: JobRef) -> Result<(), JobRef> {
+        // ORDERING: Relaxed — `bottom` has a single writer (this owner),
+        // so our own last store is always visible.
+        // publishes-via: the Release store of `bottom` below
         let b = self.bottom.load(Ordering::Relaxed);
+        // ORDERING: Acquire pairs with the SeqCst CAS on `top` in
+        // `steal`/`pop`, so the capacity check sees a current-enough top.
         let t = self.top.load(Ordering::Acquire);
         if b - t >= CAPACITY as isize {
             return Err(job);
         }
+        // ORDERING: Relaxed slot store; it is published to thieves by the
+        // Release `bottom` store below, never read before that.
+        // publishes-via: the Release store of `bottom` below
         self.slot(b).store(job.as_ptr(), Ordering::Relaxed);
-        // Release: a thief that Acquire-loads the new `bottom` sees the
-        // slot store above.
+        // ORDERING: Release — a thief that Acquire-loads the new `bottom`
+        // sees the slot store above.
         self.bottom.store(b + 1, Ordering::Release);
         Ok(())
     }
@@ -104,28 +112,46 @@ impl Deque {
     ///
     /// May only be called by the deque's owning worker thread.
     pub(crate) unsafe fn pop(&self) -> Option<JobRef> {
+        // ORDERING: Relaxed single-writer read of our own `bottom`.
+        // publishes-via: the SeqCst fence below (Dekker handshake)
         let b = self.bottom.load(Ordering::Relaxed) - 1;
+        // ORDERING: Relaxed store; the SeqCst fence below orders it
+        // against the `top` load for the Dekker handshake with `steal`.
+        // publishes-via: the SeqCst fence below
         self.bottom.store(b, Ordering::Relaxed);
-        // SeqCst fence: the `bottom` store above and the `top` load below
-        // must not reorder — this is the Dekker-style handshake with
-        // `steal`'s (load top, fence, load bottom) that makes owner and
-        // thief agree on who saw whom when exactly one element remains.
+        // ORDERING: SeqCst fence — the `bottom` store above and the `top`
+        // load below must not reorder; this is the Dekker-style handshake
+        // with `steal`'s (load top, fence, load bottom) that makes owner
+        // and thief agree on who saw whom when one element remains.
         fence(Ordering::SeqCst);
+        // ORDERING: Relaxed `top` read, ordered by the fence above.
+        // publishes-via: the SeqCst fence above
         let t = self.top.load(Ordering::Relaxed);
         if t > b {
-            // Empty (every element stolen); undo the decrement.
+            // ORDERING: Relaxed single-writer undo of the decrement;
+            // thieves re-validate through their own fence + CAS.
+            // publishes-via: the SeqCst fence in the next pop
             self.bottom.store(b + 1, Ordering::Relaxed);
             return None;
         }
+        // ORDERING: Relaxed owner read of a slot we pushed; for the
+        // contended last element the CAS below is the claim.
+        // publishes-via: our own program order (single writer)
         let ptr = self.slot(b).load(Ordering::Relaxed);
         if t == b {
             // Exactly one element left: claim it against concurrent
             // thieves by advancing `top` ourselves. Losing means a thief
             // already owns the job.
+            // ORDERING: SeqCst success keeps the claim in the same total
+            // order as `steal`'s CAS (exactly-once for the last element);
+            // Relaxed failure means a thief already owns the job.
+            // publishes-via: this CAS's own SeqCst success edge
             let won = self
                 .top
                 .compare_exchange(t, t + 1, Ordering::SeqCst, Ordering::Relaxed)
                 .is_ok();
+            // ORDERING: Relaxed single-writer reset of `bottom` to empty.
+            // publishes-via: the SeqCst fence in the next pop
             self.bottom.store(b + 1, Ordering::Relaxed);
             if !won {
                 return None;
@@ -138,16 +164,25 @@ impl Deque {
 
     /// Thief path: try to claim the oldest job. Callable from any thread.
     pub(crate) fn steal(&self) -> Steal {
+        // ORDERING: Acquire `top` read — sees prior thieves' claims.
         let t = self.top.load(Ordering::Acquire);
-        // SeqCst fence: pairs with the fence in `pop` (see there).
+        // ORDERING: SeqCst fence — pairs with the fence in `pop` (the
+        // other half of the Dekker handshake).
         fence(Ordering::SeqCst);
+        // ORDERING: Acquire pairs with `push`'s Release `bottom` store so
+        // the slot contents below are visible.
         let b = self.bottom.load(Ordering::Acquire);
         if t >= b {
             return Steal::Empty;
         }
-        // Racy read — validated by the CAS below; see the module docs for
-        // why a successful CAS implies the value read was the live one.
+        // ORDERING: Relaxed racy read — validated by the CAS below; see
+        // the module docs for why a successful CAS implies the value read
+        // was the live one.
+        // publishes-via: push's Release `bottom` store (Acquire-read above)
         let ptr = self.slot(t).load(Ordering::Relaxed);
+        // ORDERING: SeqCst success puts this claim in the single total
+        // order with pop's last-element CAS; Relaxed failure just retries.
+        // publishes-via: this CAS's own SeqCst success edge
         if self
             .top
             .compare_exchange(t, t + 1, Ordering::SeqCst, Ordering::Relaxed)
@@ -164,7 +199,11 @@ impl Deque {
     /// Whether the deque currently appears non-empty (a wake-up heuristic
     /// for the sleep protocol, not a claim).
     pub(crate) fn looks_nonempty(&self) -> bool {
+        // ORDERING: Relaxed heuristic reads; a stale answer only affects
+        // wake-up timing, never correctness — stealing re-validates.
+        // publishes-via: none needed — advisory snapshot only
         let t = self.top.load(Ordering::Relaxed);
+        // ORDERING: as above. publishes-via: none needed
         let b = self.bottom.load(Ordering::Relaxed);
         b > t
     }

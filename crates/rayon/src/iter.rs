@@ -182,10 +182,17 @@ pub trait ParallelIterator: Sized + Sync {
     {
         let found = AtomicBool::new(false);
         self.for_each(|x| {
+            // ORDERING: Relaxed early-exit hint; missing a concurrent set
+            // only evaluates `p` on extra items.
+            // publishes-via: fork-join barrier (for_each join)
             if !found.load(Ordering::Relaxed) && p(x) {
+                // ORDERING: Relaxed monotone flag set, read after join.
+                // publishes-via: fork-join barrier (for_each join)
                 found.store(true, Ordering::Relaxed);
             }
         });
+        // ORDERING: Relaxed post-join read; all setters joined above.
+        // publishes-via: fork-join barrier (for_each join)
         found.load(Ordering::Relaxed)
     }
 

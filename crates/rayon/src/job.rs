@@ -225,6 +225,8 @@ impl SpinLatch {
     /// Has the latch been set? Acquire: a `true` result orders the
     /// executor's result store before the caller's result read.
     pub(crate) fn probe(&self) -> bool {
+        // ORDERING: Acquire pairs with the Release in `Latch::set`; a
+        // `true` result makes the executor's result write visible.
         self.flag.load(Ordering::Acquire)
     }
 }
@@ -237,6 +239,8 @@ impl Latch for SpinLatch {
         // SAFETY: `this` is live until the publishing store below.
         let registry = unsafe { (*this).registry };
         // SAFETY: as above.
+        // ORDERING: Release publishes the job's result to the Acquire
+        // `probe` on the joining thread.
         unsafe { (*this).flag.store(true, Ordering::Release) };
         // SAFETY: `registry` outlives the latch — the executor is one of
         // its workers and holds an Arc to it for the whole main loop.

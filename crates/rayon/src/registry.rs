@@ -128,6 +128,9 @@ impl Registry {
     pub(crate) fn scheduler_stats(&self) -> SchedulerStats {
         SchedulerStats {
             num_threads: self.num_threads(),
+            // ORDERING: Relaxed stats read; exact only at quiescence,
+            // where the drain protocol orders it (see crate::trace).
+            // publishes-via: pool quiescence (drain protocol)
             injector_submissions: self.trace.injector_submissions.load(Ordering::Relaxed),
             workers: self
                 .traces
@@ -144,23 +147,32 @@ impl Registry {
         {
             let mut q = self.injector.lock().unwrap_or_else(PoisonError::into_inner);
             q.push_back(job);
+            // ORDERING: SeqCst — one side of the Dekker handshake with
+            // `park`: the length store must be totally ordered against the
+            // sleeper-count RMWs so a parking worker cannot miss the job.
             self.injector_len.store(q.len(), Ordering::SeqCst);
         }
         self.notify_all();
     }
 
     fn pop_injected(&self) -> Option<JobRef> {
+        // ORDERING: SeqCst lock-free emptiness probe, in the same total
+        // order as the stores under the injector lock.
         if self.injector_len.load(Ordering::SeqCst) == 0 {
             return None;
         }
         let mut q = self.injector.lock().unwrap_or_else(PoisonError::into_inner);
         let job = q.pop_front();
+        // ORDERING: SeqCst, same regime as the store in `inject`.
         self.injector_len.store(q.len(), Ordering::SeqCst);
         job
     }
 
     /// Wake every parked worker (free when nobody is parked).
     pub(crate) fn notify_all(&self) {
+        // ORDERING: SeqCst sleeper probe — pairs with the SeqCst
+        // fetch_add in `park` so notify and park agree on their order
+        // (missing a sleeper here could lose a wake-up forever).
         if self.sleep.sleepers.load(Ordering::SeqCst) > 0 {
             // Taking (and immediately releasing) the lock serializes with a
             // parking worker's under-lock re-check, so the worker either
@@ -177,6 +189,8 @@ impl Registry {
 
     /// Any work a parked worker could usefully wake for?
     fn has_visible_work(&self) -> bool {
+        // ORDERING: SeqCst — the parking worker's under-lock re-check;
+        // totally ordered against `inject`'s length store.
         self.injector_len.load(Ordering::SeqCst) > 0
             || self.deques.iter().any(Deque::looks_nonempty)
     }
@@ -186,12 +200,16 @@ impl Registry {
     /// under the sleep lock before actually waiting, closing the
     /// publish/park race.
     fn park(&self, index: usize, wake: impl Fn() -> bool) {
+        // ORDERING: SeqCst — the other side of the Dekker handshake with
+        // `notify_all`'s sleeper probe; see there.
         self.sleep.sleepers.fetch_add(1, Ordering::SeqCst);
         let guard = self
             .sleep
             .lock
             .lock()
             .unwrap_or_else(PoisonError::into_inner);
+        // ORDERING: Acquire terminate check pairs with the Release store
+        // in `terminate`.
         if !wake() && !self.has_visible_work() && !self.terminate.load(Ordering::Acquire) {
             // Cold path by construction (the worker found no work for
             // SPINS_BEFORE_PARK hunts), so clock reads are affordable.
@@ -204,6 +222,7 @@ impl Registry {
             let dur_us = trace::epoch_micros().saturating_sub(start_us);
             self.traces[index].on_park(start_us, dur_us);
         }
+        // ORDERING: SeqCst, symmetric with the fetch_add above.
         self.sleep.sleepers.fetch_sub(1, Ordering::SeqCst);
     }
 
@@ -235,6 +254,8 @@ impl Registry {
     /// in the deques or injector are drained first (workers only exit on
     /// an empty hunt).
     pub(crate) fn terminate(&self) {
+        // ORDERING: Release pairs with the Acquire loads in the worker
+        // main loop and `park`.
         self.terminate.store(true, Ordering::Release);
         // Wake unconditionally: a worker may be between its last hunt and
         // the park, and the sleeper count alone cannot rule that out.
@@ -408,6 +429,7 @@ fn main_loop(registry: Arc<Registry>, index: usize) {
             unsafe { job.execute() };
             worker.trace().on_job_executed();
         }
+        // ORDERING: Acquire pairs with `terminate`'s Release store.
         if worker.registry.terminate.load(Ordering::Acquire) {
             break;
         }

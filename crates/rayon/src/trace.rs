@@ -65,6 +65,9 @@ fn events_flag() -> &'static AtomicBool {
 /// Whether event-ring capture is currently on (see [`set_events_enabled`]).
 #[inline]
 pub fn events_enabled() -> bool {
+    // ORDERING: Relaxed on/off flag; capture may straddle a toggle by a
+    // few events, which is acceptable for tracing.
+    // publishes-via: none needed — advisory toggle only
     events_flag().load(Ordering::Relaxed)
 }
 
@@ -72,6 +75,8 @@ pub fn events_enabled() -> bool {
 /// (always collected). Defaults to the `RAYON_TRACE` environment variable
 /// (`RAYON_TRACE=1`), read once at first use.
 pub fn set_events_enabled(enabled: bool) {
+    // ORDERING: Relaxed toggle store, same regime as `events_enabled`.
+    // publishes-via: none needed — advisory toggle only
     events_flag().store(enabled, Ordering::Relaxed);
 }
 
@@ -170,9 +175,13 @@ struct OwnerCounter(AtomicU64);
 impl OwnerCounter {
     #[inline(always)]
     fn add(&self, delta: u64) {
-        // Single writer: no RMW needed, a plain read-modify-write in two
-        // relaxed accesses cannot lose updates.
+        // ORDERING: Relaxed single-writer read of our own counter — no
+        // RMW needed, two relaxed accesses cannot lose updates.
+        // publishes-via: pool quiescence (drain protocol)
         let v = self.0.load(Ordering::Relaxed);
+        // ORDERING: Relaxed single-writer store; readers tolerate
+        // staleness and get exact totals only at quiescence.
+        // publishes-via: pool quiescence (drain protocol)
         self.0.store(v + delta, Ordering::Relaxed);
     }
 
@@ -182,6 +191,8 @@ impl OwnerCounter {
     }
 
     fn get(&self) -> u64 {
+        // ORDERING: Relaxed monotone read, possibly slightly stale.
+        // publishes-via: pool quiescence (drain protocol)
         self.0.load(Ordering::Relaxed)
     }
 }
@@ -287,22 +298,35 @@ impl WorkerTrace {
         if !events_enabled() {
             return;
         }
+        // ORDERING: Relaxed read of our own cursor (single writer).
+        // publishes-via: the Release cursor store below
         let i = self.cursor.load(Ordering::Relaxed);
         let slot = ((i as usize) % RING_CAPACITY) * 2;
+        // ORDERING: Relaxed slot stores, published as a pair by the
+        // Release cursor store below.
+        // publishes-via: the Release cursor store below
         self.ring[slot].store(pack(kind, arg, start_us), Ordering::Relaxed);
+        // ORDERING: as above. publishes-via: the Release cursor store below
         self.ring[slot + 1].store(dur_us, Ordering::Relaxed);
-        // Release: a drain that Acquire-loads the new cursor sees the slot
-        // words stored above.
+        // ORDERING: Release — a drain that Acquire-loads the new cursor
+        // sees the slot words stored above.
         self.cursor.store(i + 1, Ordering::Release);
     }
 
     pub(crate) fn snapshot(&self, index: usize) -> WorkerStats {
+        // ORDERING: Acquire pairs with `record_at`'s Release cursor store
+        // so every slot at index < total is visible.
         let total = self.cursor.load(Ordering::Acquire);
         let kept = total.min(RING_CAPACITY as u64);
         let mut events = Vec::with_capacity(kept as usize);
         for seq in (total - kept)..total {
             let slot = ((seq as usize) % RING_CAPACITY) * 2;
+            // ORDERING: Relaxed slot reads, ordered by the Acquire cursor
+            // load above; a concurrent wrap can tear a pair, and `unpack`
+            // drops the garbage event.
+            // publishes-via: the Acquire cursor load above
             let w0 = self.ring[slot].load(Ordering::Relaxed);
+            // ORDERING: as above. publishes-via: the Acquire cursor load
             let w1 = self.ring[slot + 1].load(Ordering::Relaxed);
             if let Some(ev) = unpack(w0, w1, index) {
                 events.push(ev);
@@ -478,8 +502,9 @@ pub(crate) struct RegistryTrace {
 
 impl RegistryTrace {
     pub(crate) fn on_inject(&self) {
-        // Multi-writer (any external thread may inject): a real RMW, but
-        // injection already takes the injector mutex, so this is noise.
+        // ORDERING: Relaxed multi-writer tally (any external thread may
+        // inject); exact totals only read at quiescence.
+        // publishes-via: pool quiescence (drain protocol)
         self.injector_submissions.fetch_add(1, Ordering::Relaxed);
     }
 }

@@ -428,3 +428,39 @@ fn unvalidated_steal_is_caught() {
         "the explorer failed to catch an injected unvalidated steal"
     );
 }
+
+/// Model mirror of `job::SpinLatch`: the executor stores the job result,
+/// then Release-sets the flag; the joiner spins on an Acquire `probe` and,
+/// once it sees `true`, must see the result store.
+#[test]
+fn spinlatch_set_probe_publishes_result() {
+    use loom::sync::atomic::AtomicBool;
+    loom::model(|| {
+        let flag = Arc::new(AtomicBool::new(false));
+        let result = Arc::new(AtomicU64::new(0));
+        let executor = {
+            let flag = flag.clone();
+            let result = result.clone();
+            thread::spawn(move || {
+                result.store(99, Ordering::Relaxed);
+                flag.store(true, Ordering::Release);
+            })
+        };
+        let joiner = {
+            let flag = flag.clone();
+            let result = result.clone();
+            thread::spawn(move || {
+                if flag.load(Ordering::Acquire) {
+                    assert_eq!(
+                        result.load(Ordering::Relaxed),
+                        99,
+                        "a set latch must publish the executor's result"
+                    );
+                }
+            })
+        };
+        executor.join().unwrap();
+        joiner.join().unwrap();
+        assert!(flag.unsync_load(), "the latch must end set");
+    });
+}

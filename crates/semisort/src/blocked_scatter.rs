@@ -168,6 +168,10 @@ pub fn blocked_scatter<V: Copy + Send + Sync>(
         let base = plan.bucket_offset[b];
         let size = plan.bucket_size[b];
         let slab = slab_len(size, tail_log2);
+        // ORDERING: Relaxed slab reservation — exclusivity of
+        // [res, res+fit) is the fetch_add's atomicity; the slot writes in
+        // the range are published by the phase join.
+        // publishes-via: fork-join barrier
         let res = cursors[b].fetch_add(k, Ordering::Relaxed);
         let fit = slab.saturating_sub(res).min(k);
         for (j, &(key, value)) in buf[..fit].iter().enumerate() {
@@ -279,9 +283,15 @@ pub fn blocked_scatter<V: Copy + Send + Sync>(
             // overflow, and injected fault alike — so the next chunk (or the
             // next run reusing this pool) starts clean.
             ws.reset();
+            // ORDERING: Relaxed telemetry counters, read via `into_inner`
+            // after the parallel loop completes.
+            // publishes-via: fork-join barrier
             heavy_records.fetch_add(local.heavy, Ordering::Relaxed);
+            // ORDERING: as above. publishes-via: fork-join barrier
             blocks_flushed.fetch_add(local.blocks, Ordering::Relaxed);
+            // ORDERING: as above. publishes-via: fork-join barrier
             slab_overflows.fetch_add(local.slab_overflows, Ordering::Relaxed);
+            // ORDERING: as above. publishes-via: fork-join barrier
             fallback_records.fetch_add(local.fallback, Ordering::Relaxed);
             sink.merge_cell(&local.cell);
         });

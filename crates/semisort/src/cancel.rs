@@ -79,6 +79,9 @@ impl CancelToken {
     /// Trips the token; every subsequent [`check`](Self::check) on any
     /// clone returns [`SemisortError::Cancelled`]. Idempotent.
     pub fn cancel(&self) {
+        // ORDERING: Release pairs with the Acquire in `is_cancelled` so a
+        // worker that observes the flag also observes everything the
+        // canceller did before tripping it.
         self.inner.cancelled.store(true, Ordering::Release);
     }
 
@@ -86,6 +89,7 @@ impl CancelToken {
     /// Does not consult the deadline; use [`check`](Self::check) for the
     /// combined verdict.
     pub fn is_cancelled(&self) -> bool {
+        // ORDERING: Acquire pairs with the Release in `cancel`/`reset`.
         self.inner.cancelled.load(Ordering::Acquire)
     }
 
@@ -101,12 +105,16 @@ impl CancelToken {
     /// `u64::MAX` is reserved to mean "no deadline" (same as
     /// [`clear_deadline`](Self::clear_deadline)).
     pub fn set_deadline_at(&self, deadline_us: u64) {
+        // ORDERING: Release pairs with the Acquire deadline loads in
+        // `check`/`deadline_us`; the deadline must be visible before any
+        // work it is meant to bound.
         self.inner.deadline_us.store(deadline_us, Ordering::Release);
     }
 
     /// Removes any deadline. Does not un-cancel an explicit
     /// [`cancel`](Self::cancel).
     pub fn clear_deadline(&self) {
+        // ORDERING: Release, same pairing as `set_deadline_at`.
         self.inner.deadline_us.store(NO_DEADLINE, Ordering::Release);
     }
 
@@ -115,12 +123,15 @@ impl CancelToken {
     /// Service shards reuse one token across requests; `reset` between
     /// requests is what makes that sound.
     pub fn reset(&self) {
+        // ORDERING: Release so a shard that re-arms the token between
+        // requests publishes the un-cancelled state before reuse.
         self.inner.cancelled.store(false, Ordering::Release);
         self.clear_deadline();
     }
 
     /// The deadline in monotonic microseconds, if one is set.
     pub fn deadline_us(&self) -> Option<u64> {
+        // ORDERING: Acquire pairs with the Release deadline stores.
         match self.inner.deadline_us.load(Ordering::Acquire) {
             NO_DEADLINE => None,
             d => Some(d),
@@ -136,6 +147,7 @@ impl CancelToken {
         if self.is_cancelled() {
             return Err(SemisortError::Cancelled);
         }
+        // ORDERING: Acquire pairs with the Release deadline stores.
         let deadline_us = self.inner.deadline_us.load(Ordering::Acquire);
         if deadline_us != NO_DEADLINE {
             let now_us = epoch_micros();

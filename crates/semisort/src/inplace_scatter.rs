@@ -162,9 +162,16 @@ impl<V: Copy> SharedOut<V> {
 /// the preceding load bounds how far the cursor can run past the end.
 #[inline]
 fn claim(head: &AtomicUsize, end: usize, want: usize) -> Option<(usize, usize)> {
+    // ORDERING: Relaxed exhaustion pre-check; a stale value only costs a
+    // wasted fetch_add, which re-checks against `end` itself.
+    // publishes-via: fork-join barrier (claimed slots are read next phase)
     if head.load(Ordering::Relaxed) >= end {
         return None;
     }
+    // ORDERING: Relaxed cursor bump — uniqueness of the claimed range
+    // comes from fetch_add atomicity alone; the records written into the
+    // range are published to the next phase by the join, not this RMW.
+    // publishes-via: fork-join barrier
     let pos = head.fetch_add(want, Ordering::Relaxed);
     if pos >= end {
         return None;
@@ -276,6 +283,9 @@ pub fn inplace_scatter<V: Copy + Send + Sync>(
     }
 
     for b in 0..num_buckets {
+        // ORDERING: Relaxed reset before the parallel phase spawns the
+        // workers that contend on these heads.
+        // publishes-via: fork-join barrier (scope spawn)
         scratch.heads[b].store(scratch.starts[b], Ordering::Relaxed);
     }
 

@@ -220,15 +220,22 @@ impl ObsSink {
         if cell.is_empty() {
             return;
         }
+        // ORDERING: Relaxed telemetry tallies; `snapshot` runs after the
+        // scatter joins, so totals are complete without atomic ordering.
+        // publishes-via: fork-join barrier
         self.cas_attempts
             .fetch_add(cell.cas_attempts, Ordering::Relaxed);
+        // ORDERING: as above. publishes-via: fork-join barrier
         self.cas_failures
             .fetch_add(cell.cas_failures, Ordering::Relaxed);
+        // ORDERING: as above. publishes-via: fork-join barrier
         self.records_placed
             .fetch_add(cell.records_placed, Ordering::Relaxed);
         if self.level.deep() && !cell.probe_hist.is_empty() {
             for (a, &b) in self.probe_hist.iter().zip(cell.probe_hist.buckets.iter()) {
                 if b != 0 {
+                    // ORDERING: Relaxed histogram tally, read after join.
+                    // publishes-via: fork-join barrier
                     a.fetch_add(b, Ordering::Relaxed);
                 }
             }
@@ -240,6 +247,8 @@ impl ObsSink {
     #[inline]
     pub fn record_occupancy(&self, records: u64) {
         if self.level.deep() {
+            // ORDERING: Relaxed histogram tally, read after join.
+            // publishes-via: fork-join barrier
             self.occupancy_hist[Hist::bucket_of(records)].fetch_add(1, Ordering::Relaxed);
         }
     }
@@ -250,14 +259,20 @@ impl ObsSink {
         let load = |h: &[AtomicU64; HIST_BUCKETS]| {
             let mut out = Hist::default();
             for (o, a) in out.buckets.iter_mut().zip(h.iter()) {
+                // ORDERING: Relaxed snapshot read; all writers joined.
+                // publishes-via: fork-join barrier
                 *o = a.load(Ordering::Relaxed);
             }
             out
         };
         Telemetry {
             level: self.level,
+            // ORDERING: Relaxed snapshot reads; all writers joined.
+            // publishes-via: fork-join barrier
             cas_attempts: self.cas_attempts.load(Ordering::Relaxed),
+            // ORDERING: as above. publishes-via: fork-join barrier
             cas_failures: self.cas_failures.load(Ordering::Relaxed),
+            // ORDERING: as above. publishes-via: fork-join barrier
             records_placed: self.records_placed.load(Ordering::Relaxed),
             probe_hist: load(&self.probe_hist),
             light_occupancy_hist: load(&self.occupancy_hist),
@@ -312,19 +327,32 @@ impl ServiceCounters {
     /// Bump one counter by 1 (`Relaxed`; tallies, not synchronization).
     #[inline]
     pub fn bump(counter: &AtomicU64) {
+        // ORDERING: Relaxed monotonic tally; snapshots tolerate torn
+        // cross-counter views (each counter is individually consistent).
+        // publishes-via: none needed — approximate stats by design
         counter.fetch_add(1, Ordering::Relaxed);
     }
 
     /// A point-in-time copy of every counter.
     pub fn snapshot(&self) -> ServiceSnapshot {
         ServiceSnapshot {
+            // ORDERING: Relaxed stats reads; the snapshot is advisory and
+            // tolerates skew between counters.
+            // publishes-via: none needed — approximate stats by design
             admitted: self.admitted.load(Ordering::Relaxed),
+            // ORDERING: as above. publishes-via: none needed
             completed: self.completed.load(Ordering::Relaxed),
+            // ORDERING: as above. publishes-via: none needed
             shed_overload: self.shed_overload.load(Ordering::Relaxed),
+            // ORDERING: as above. publishes-via: none needed
             deadline_exceeded: self.deadline_exceeded.load(Ordering::Relaxed),
+            // ORDERING: as above. publishes-via: none needed
             cancelled: self.cancelled.load(Ordering::Relaxed),
+            // ORDERING: as above. publishes-via: none needed
             panics_contained: self.panics_contained.load(Ordering::Relaxed),
+            // ORDERING: as above. publishes-via: none needed
             shards_rebuilt: self.shards_rebuilt.load(Ordering::Relaxed),
+            // ORDERING: as above. publishes-via: none needed
             drains: self.drains.load(Ordering::Relaxed),
         }
     }
@@ -403,18 +431,31 @@ impl OverflowCapture {
     /// Whether any worker has reported an overflow (cheap abort check).
     #[inline(always)]
     pub fn is_set(&self) -> bool {
+        // ORDERING: Relaxed abort hint inside the scatter loop; a missed
+        // flag only delays the abort one block. Post-join readers (`take`)
+        // are ordered by the barrier.
+        // publishes-via: fork-join barrier
         self.set.load(Ordering::Relaxed)
     }
 
     /// Report an overflow in `bucket`. Only the first report is kept.
     pub fn report(&self, bucket: u32, allocated: usize, observed: usize) {
+        // ORDERING: AcqRel first-report-wins latch — exactly one reporter
+        // sees Ok and becomes the unique writer of the payload below;
+        // Relaxed failure discards the duplicate report.
+        // publishes-via: this CAS's own AcqRel success edge
         if self
             .set
             .compare_exchange(false, true, Ordering::AcqRel, Ordering::Relaxed)
             .is_ok()
         {
+            // ORDERING: Relaxed payload stores by the unique latch winner;
+            // `take` reads them only after the scatter joins.
+            // publishes-via: fork-join barrier
             self.bucket.store(bucket as u64, Ordering::Relaxed);
+            // ORDERING: as above. publishes-via: fork-join barrier
             self.allocated.store(allocated as u64, Ordering::Relaxed);
+            // ORDERING: as above. publishes-via: fork-join barrier
             self.observed.store(observed as u64, Ordering::Relaxed);
         }
     }
@@ -423,6 +464,10 @@ impl OverflowCapture {
     /// reported. Read after the scatter joins.
     pub fn take(&self) -> Option<(u32, usize, usize)> {
         if self.is_set() {
+            // ORDERING: Relaxed post-join reads of the latch payload; the
+            // scatter joined before `take` runs, so the winner's stores
+            // are already visible.
+            // publishes-via: fork-join barrier
             Some((
                 self.bucket.load(Ordering::Relaxed) as u32,
                 self.allocated.load(Ordering::Relaxed) as usize,

@@ -416,6 +416,9 @@ impl BlockScratch {
                 .resize_with(num_buckets, || AtomicUsize::new(0));
         }
         for c in &self.cursors[..num_buckets] {
+            // ORDERING: Relaxed reset under &mut self, before the workers
+            // that will contend on these cursors are spawned.
+            // publishes-via: fork-join barrier (scope spawn)
             c.store(0, std::sync::atomic::Ordering::Relaxed);
         }
         if self.workers.len() < num_chunks {

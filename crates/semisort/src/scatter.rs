@@ -88,12 +88,19 @@ impl<V> Slot<V> {
     /// Whether this slot received a record.
     #[inline(always)]
     pub fn occupied(&self) -> bool {
+        // ORDERING: Relaxed vacancy/occupancy probe; any decision based on
+        // it is re-validated by the claiming CAS, and post-scatter readers
+        // are ordered by the fork-join barrier.
+        // publishes-via: fork-join barrier (readers) / winning CAS (writers)
         self.key.load(Ordering::Relaxed) != EMPTY
     }
 
     /// The key, assuming occupancy was checked.
     #[inline(always)]
     pub fn key(&self) -> u64 {
+        // ORDERING: Relaxed read; callers run after all scatter writers
+        // joined, so the key value is already published.
+        // publishes-via: fork-join barrier
         self.key.load(Ordering::Relaxed)
     }
 
@@ -117,6 +124,10 @@ impl<V> Slot<V> {
     /// compaction passes of Phases 4–5, where one task owns a slot range).
     #[inline(always)]
     pub fn set(&self, key: u64, value: V) {
+        // ORDERING: Relaxed store under exclusive ownership — one
+        // compaction task owns this slot range; the next phase observes it
+        // only after the tasks join.
+        // publishes-via: fork-join barrier
         self.key.store(key, Ordering::Relaxed);
         // SAFETY: single owner during compaction (caller contract).
         unsafe { (*self.val.get()).write(value) };
@@ -125,6 +136,9 @@ impl<V> Slot<V> {
     /// Mark the slot empty (compaction tail cleanup).
     #[inline(always)]
     pub fn clear(&self) {
+        // ORDERING: Relaxed store under exclusive ownership (compaction
+        // tail cleanup), same regime as `set`.
+        // publishes-via: fork-join barrier
         self.key.store(EMPTY, Ordering::Relaxed);
     }
 }
@@ -352,6 +366,9 @@ pub fn scatter<V: Copy + Send + Sync>(
                 // length above or landed at its start slot.
                 cell.probe_hist.buckets[0] += cell.records_placed - cell.probe_hist.count();
             }
+            // ORDERING: Relaxed telemetry counter; the total is read via
+            // `into_inner` after the parallel loop completes.
+            // publishes-via: fork-join barrier
             heavy_records.fetch_add(heavy, Ordering::Relaxed);
             sink.merge_cell(&cell);
         });
@@ -378,8 +395,15 @@ pub(crate) fn place_linear<V: Copy>(
     let mut cas_lost = 0u32;
     for probes in 0..bucket.len() {
         let slot = &bucket[i];
+        // ORDERING: Relaxed vacancy pre-check to skip the CAS on occupied
+        // slots; a stale EMPTY read only costs a failed CAS.
+        // publishes-via: winning CAS below
         if slot.key.load(Ordering::Relaxed) == EMPTY {
             cas += 1;
+            // ORDERING: AcqRel on success — the claim both acquires the
+            // slot's prior (empty) state and releases the key for probe
+            // readers; Relaxed on failure, which only retries the probe.
+            // publishes-via: this CAS's own AcqRel success edge
             if slot
                 .key
                 .compare_exchange(EMPTY, key, Ordering::AcqRel, Ordering::Relaxed)
@@ -425,8 +449,14 @@ fn place_random<V: Copy>(
     for t in 0..attempts {
         let i = (rng.at(record_id.wrapping_mul(1 << 20).wrapping_add(t as u64)) as usize) & mask;
         let slot = &bucket[i];
+        // ORDERING: Relaxed vacancy pre-check, same regime as
+        // `place_linear`; a stale EMPTY read only costs a failed CAS.
+        // publishes-via: winning CAS below
         if slot.key.load(Ordering::Relaxed) == EMPTY {
             cas += 1;
+            // ORDERING: AcqRel success claims the slot and publishes the
+            // key; Relaxed failure only retries with a fresh random slot.
+            // publishes-via: this CAS's own AcqRel success edge
             if slot
                 .key
                 .compare_exchange(EMPTY, key, Ordering::AcqRel, Ordering::Relaxed)

@@ -331,3 +331,84 @@ fn broken_load_then_store_protocol_is_caught() {
         "the explorer failed to catch an injected duplicate claim"
     );
 }
+
+/// Model mirror of `obs::OverflowCapture::report`: a first-report-wins
+/// AcqRel latch whose unique winner then writes the payload words with
+/// Relaxed stores (read back only after the join, like `take`).
+#[test]
+fn overflow_latch_first_report_wins() {
+    use loom::sync::atomic::AtomicBool;
+    loom::model(|| {
+        let set = Arc::new(AtomicBool::new(false));
+        let payload = Arc::new(AtomicU64::new(0));
+        let wins = Arc::new(AtomicUsize::new(0));
+        let handles: Vec<_> = [7u64, 9]
+            .into_iter()
+            .map(|bucket| {
+                let set = set.clone();
+                let payload = payload.clone();
+                let wins = wins.clone();
+                thread::spawn(move || {
+                    if set
+                        .compare_exchange(false, true, Ordering::AcqRel, Ordering::Relaxed)
+                        .is_ok()
+                    {
+                        payload.store(bucket, Ordering::Relaxed);
+                        wins.fetch_add(1, StdOrdering::Relaxed);
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(
+            wins.load(StdOrdering::Relaxed),
+            1,
+            "exactly one reporter must win the latch"
+        );
+        assert!(set.unsync_load(), "the latch must end set");
+        let captured = payload.unsync_load();
+        assert!(
+            captured == 7 || captured == 9,
+            "the payload must be the winner's report, got {captured}"
+        );
+    });
+}
+
+/// Model mirror of `cancel::CancelToken`: the canceller Release-stores a
+/// payload (here an atomic standing in for "everything done before
+/// cancel") and then trips the flag; any worker whose Acquire `check`
+/// observes the flag must also observe that payload.
+#[test]
+fn cancel_token_flag_publishes() {
+    use loom::sync::atomic::AtomicBool;
+    loom::model(|| {
+        let cancelled = Arc::new(AtomicBool::new(false));
+        let payload = Arc::new(AtomicU64::new(0));
+        let canceller = {
+            let cancelled = cancelled.clone();
+            let payload = payload.clone();
+            thread::spawn(move || {
+                payload.store(42, Ordering::Relaxed);
+                cancelled.store(true, Ordering::Release);
+            })
+        };
+        let worker = {
+            let cancelled = cancelled.clone();
+            let payload = payload.clone();
+            thread::spawn(move || {
+                if cancelled.load(Ordering::Acquire) {
+                    assert_eq!(
+                        payload.load(Ordering::Relaxed),
+                        42,
+                        "an observed cancel must publish what preceded it"
+                    );
+                }
+            })
+        };
+        canceller.join().unwrap();
+        worker.join().unwrap();
+        assert!(cancelled.unsync_load());
+    });
+}

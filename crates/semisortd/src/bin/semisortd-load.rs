@@ -119,6 +119,9 @@ fn main() {
                 let mut client = Client::new(addr, policy);
                 let mut local = LatencyRecorder::new();
                 let mut seq = 0u64;
+                // ORDERING: Relaxed work-claiming ticket; only RMW
+                // atomicity is needed to split `requests` across workers.
+                // publishes-via: none needed (RMW atomicity suffices)
                 while tally.sent.fetch_add(1, Ordering::Relaxed) < requests {
                     seq += 1;
                     let req = Request {
@@ -134,6 +137,9 @@ fn main() {
                         // Send a truncated frame and hang up: the server
                         // must treat it as a dead session, not a request.
                         let _ = client.short_write(&req, 0.5);
+                // ORDERING: Relaxed load-harness tally; totals are read
+                // after the thread scope joins.
+                // publishes-via: fork-join barrier (thread scope join)
                         tally.short_written.fetch_add(1, Ordering::Relaxed);
                         continue;
                     }
@@ -141,8 +147,13 @@ fn main() {
                     match client.request(&req) {
                         Ok(resp) => {
                             local.record_us(t0.elapsed().as_micros() as u64);
+                // ORDERING: Relaxed load-harness tally; totals are read
+                // after the thread scope joins.
+                // publishes-via: fork-join barrier (thread scope join)
                             tally.ok.fetch_add(1, Ordering::Relaxed);
                             if !reply_is_sound(&req, &resp) {
+                                // ORDERING: as above. publishes-via:
+                                // fork-join barrier (thread scope join)
                                 tally.violations.fetch_add(1, Ordering::Relaxed);
                                 eprintln!(
                                     "{{\"event\":\"violation\",\"what\":\"unsound reply\",\"seq\":{seq}}}"
@@ -151,15 +162,23 @@ fn main() {
                         }
                         Err(ClientError::Server { kind, .. }) => match kind.as_str() {
                             "overloaded" => {
+                                // ORDERING: Relaxed tally (see above).
+                                // publishes-via: fork-join barrier
                                 tally.shed.fetch_add(1, Ordering::Relaxed);
                             }
                             "deadline-exceeded" => {
+                                // ORDERING: as above. publishes-via:
+                                // fork-join barrier (thread scope join)
                                 tally.deadline.fetch_add(1, Ordering::Relaxed);
                             }
                             "engine-poisoned" => {
+                                // ORDERING: as above. publishes-via:
+                                // fork-join barrier (thread scope join)
                                 tally.poisoned.fetch_add(1, Ordering::Relaxed);
                             }
                             other => {
+                                // ORDERING: as above. publishes-via:
+                                // fork-join barrier (thread scope join)
                                 tally.violations.fetch_add(1, Ordering::Relaxed);
                                 eprintln!(
                                     "{{\"event\":\"violation\",\"what\":\"unexpected error kind {other}\",\"seq\":{seq}}}"
@@ -169,9 +188,13 @@ fn main() {
                         Err(ClientError::Io(_)) => {
                             // Retries exhausted against injected drops —
                             // an accepted rung, not a violation.
+                            // ORDERING: as above. publishes-via:
+                            // fork-join barrier (thread scope join)
                             tally.transport.fetch_add(1, Ordering::Relaxed);
                         }
                         Err(ClientError::Protocol(what)) => {
+                            // ORDERING: as above. publishes-via:
+                            // fork-join barrier (thread scope join)
                             tally.violations.fetch_add(1, Ordering::Relaxed);
                             eprintln!(
                                 "{{\"event\":\"violation\",\"what\":\"protocol: {what}\",\"seq\":{seq}}}"
@@ -193,6 +216,8 @@ fn main() {
     match probe.semisort(probe_records, 0) {
         Ok(Response::Records(r)) if r.len() == 64 => {}
         other => {
+            // ORDERING: Relaxed post-join tally; the worker scope ended.
+            // publishes-via: single-threaded from here on
             tally.violations.fetch_add(1, Ordering::Relaxed);
             eprintln!("{{\"event\":\"violation\",\"what\":\"post-soak probe failed: {other:?}\"}}");
         }
@@ -216,6 +241,8 @@ fn main() {
     let accounted =
         snap.completed + snap.deadline_exceeded + snap.cancelled + snap.panics_contained;
     if snap.admitted != accounted {
+        // ORDERING: Relaxed post-join tally (single-threaded here).
+        // publishes-via: single-threaded from here on
         tally.violations.fetch_add(1, Ordering::Relaxed);
         eprintln!(
             "{{\"event\":\"violation\",\"what\":\"counter mismatch\",\"admitted\":{},\"accounted\":{accounted}}}",
@@ -223,6 +250,7 @@ fn main() {
         );
     }
     if snap.panics_contained != snap.shards_rebuilt {
+        // ORDERING: as above. publishes-via: single-threaded from here on
         tally.violations.fetch_add(1, Ordering::Relaxed);
         eprintln!(
             "{{\"event\":\"violation\",\"what\":\"poisoned shard not rebuilt\",\"panics\":{},\"rebuilt\":{}}}",
@@ -230,6 +258,7 @@ fn main() {
         );
     }
     if snap.drains != 1 {
+        // ORDERING: as above. publishes-via: single-threaded from here on
         tally.violations.fetch_add(1, Ordering::Relaxed);
         eprintln!(
             "{{\"event\":\"violation\",\"what\":\"drain count\",\"drains\":{}}}",
@@ -238,11 +267,16 @@ fn main() {
     }
 
     let lat = latency.into_inner().unwrap();
+    // ORDERING: Relaxed post-join reads; all workers joined above.
+    // publishes-via: fork-join barrier (thread scope join)
     let ok = tally.ok.load(Ordering::Relaxed);
     let records_per_s = (ok as f64 * n as f64) / wall_s.max(1e-9);
     let p50 = lat.p50_s().unwrap_or(0.0);
     let p99 = lat.p99_s().unwrap_or(0.0);
+    // ORDERING: as above. publishes-via: fork-join barrier
     let violations = tally.violations.load(Ordering::Relaxed);
+    // ORDERING: Relaxed post-join tally reads (see `ok` above).
+    // publishes-via: fork-join barrier (thread scope join)
     println!(
         "{{\"event\":\"load-report\",\"requests\":{requests},\"ok\":{ok},\"shed\":{},\"deadline\":{},\"poisoned\":{},\"transport\":{},\"short_written\":{},\"violations\":{violations},\"wall_s\":{wall_s:.3},\"records_per_s\":{records_per_s:.0},\"latency_p50_s\":{p50:.6},\"latency_p99_s\":{p99:.6},\"server\":{{\"admitted\":{},\"completed\":{},\"shed_overload\":{},\"deadline_exceeded\":{},\"panics_contained\":{},\"shards_rebuilt\":{},\"drains\":{}}}}}",
         tally.shed.load(Ordering::Relaxed),

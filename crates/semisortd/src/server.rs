@@ -219,6 +219,8 @@ impl Server {
     /// Whether a `Shutdown` request has drained the server (the owner
     /// should now call [`Server::drain_and_stop`]).
     pub fn shutdown_requested(&self) -> bool {
+        // ORDERING: Acquire pairs with the Release store in the Shutdown
+        // handler, so the owner observes the completed drain.
         self.inner.shutdown_requested.load(Ordering::Acquire)
     }
 
@@ -239,6 +241,7 @@ impl Server {
     /// protocol-level `Shutdown` (the drain itself only runs once).
     pub fn drain_and_stop(mut self) {
         drain(&self.inner);
+        // ORDERING: Release pairs with the accept loop's Acquire load.
         self.inner.stop_accept.store(true, Ordering::Release);
         if let Some(t) = self.accept_thread.take() {
             let _ = t.join();
@@ -257,7 +260,11 @@ impl Server {
 /// protocol `Shutdown` followed by [`Server::drain_and_stop`] counts one
 /// drain, not two.
 fn drain(inner: &Inner) {
+    // ORDERING: AcqRel swap elects the single drain owner (exactly one
+    // caller sees false) and publishes the flag to admission's Acquire.
     let first = !inner.draining.swap(true, Ordering::AcqRel);
+    // ORDERING: Acquire pairs with the AcqRel inflight decrements so a
+    // zero count means every reply was fully sent.
     while inner.inflight.load(Ordering::Acquire) > 0 {
         thread::sleep(Duration::from_millis(1));
     }
@@ -279,6 +286,7 @@ fn stats_json(inner: &Inner) -> String {
 
 fn accept_loop(listener: TcpListener, inner: Arc<Inner>, senders: Vec<SyncSender<ShardMsg>>) {
     loop {
+        // ORDERING: Acquire pairs with `drain_and_stop`'s Release store.
         if inner.stop_accept.load(Ordering::Acquire) {
             return;
         }
@@ -346,11 +354,16 @@ fn serve_session<S: Read + Write>(
             }
             Op::Shutdown => {
                 drain(inner);
+                // ORDERING: Release — the owner's Acquire in
+                // `shutdown_requested` must see the finished drain above.
                 inner.shutdown_requested.store(true, Ordering::Release);
                 write_frame(stream, &Response::ShutdownAck.encode())?;
                 return Ok(SessionEnd::Shutdown);
             }
             Op::Semisort | Op::GroupBy | Op::CountByKey => {
+                // ORDERING: Relaxed sequence tick — only uniqueness is
+                // needed (fault injection keys off it), no ordering.
+                // publishes-via: none needed — RMW atomicity suffices
                 let seq = inner.req_seq.fetch_add(1, Ordering::Relaxed) + 1;
                 if inner.cfg.fault.drops(seq) {
                     // Simulated network failure: no reply, connection
@@ -386,6 +399,7 @@ fn admit_and_run(
             limit,
         })
     };
+    // ORDERING: Acquire pairs with `drain`'s AcqRel swap.
     if inner.draining.load(Ordering::Acquire) {
         return shed("draining", 1, 0);
     }
@@ -416,7 +430,11 @@ fn admit_and_run(
     };
     // Count the job in-flight *before* enqueueing so a drain that begins
     // while it sits in a queue still waits for it.
+    // ORDERING: AcqRel — the increment must be visible before the job is
+    // enqueued so a concurrent drain's Acquire loop waits for it.
     inner.inflight.fetch_add(1, Ordering::AcqRel);
+    // ORDERING: Relaxed round-robin cursor; only distribution matters.
+    // publishes-via: none needed — RMW atomicity suffices
     let start = inner.next_shard.fetch_add(1, Ordering::Relaxed);
     for i in 0..senders.len() {
         let tx = &senders[(start + i) % senders.len()];
@@ -439,6 +457,8 @@ fn admit_and_run(
         }
     }
     // Every queue full: the server is saturated. Shed.
+    // ORDERING: AcqRel undo of the optimistic increment above, same
+    // pairing with the drain loop's Acquire.
     inner.inflight.fetch_sub(1, Ordering::AcqRel);
     shed(
         "queue-full",
@@ -459,6 +479,8 @@ fn shard_worker(shard: u32, inner: Arc<Inner>, rx: Receiver<ShardMsg>) {
             thread::sleep(d);
         }
         let reply = run_job(shard, &inner, &mut engine, &base, &job);
+        // ORDERING: AcqRel — releases the finished job's effects to the
+        // drain loop's Acquire read of a zero count.
         inner.inflight.fetch_sub(1, Ordering::AcqRel);
         // A dead session (client hung up mid-wait) is not an error.
         let _ = job.resp.send(reply);

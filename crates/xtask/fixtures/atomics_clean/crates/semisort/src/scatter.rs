@@ -1,0 +1,26 @@
+//! Fixture: a fully-contracted claim protocol with a manifest entry and a
+//! live model anchor — the audit must pass this tree with zero findings.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+pub struct Slot {
+    v: AtomicU64,
+}
+
+impl Slot {
+    pub fn claim(&self, key: u64) -> bool {
+        // ORDERING: Relaxed vacancy pre-check (racy, revalidated by the
+        // CAS); AcqRel claim; Relaxed failure probe;
+        // publishes-via: the winning CAS's own AcqRel success edge.
+        self.v.load(Ordering::Relaxed) == 0
+            && self
+                .v
+                .compare_exchange(0, key, Ordering::AcqRel, Ordering::Relaxed)
+                .is_ok()
+    }
+
+    pub fn get(&self) -> u64 {
+        // ORDERING: Acquire pairs with the winning CAS's Release half.
+        self.v.load(Ordering::Acquire)
+    }
+}

@@ -1,0 +1,4 @@
+//! Fixture loom-model suite anchoring the manifest entry.
+
+#[test]
+fn probe_claims_are_exclusive() {}

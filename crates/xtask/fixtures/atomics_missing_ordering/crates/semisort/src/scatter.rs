@@ -1,0 +1,14 @@
+//! Fixture: an allowlisted module with an atomic site that carries no
+//! `// ORDERING:` contract — the audit must flag it.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+pub struct Flag {
+    v: AtomicU64,
+}
+
+impl Flag {
+    pub fn get(&self) -> u64 {
+        self.v.load(Ordering::Acquire)
+    }
+}

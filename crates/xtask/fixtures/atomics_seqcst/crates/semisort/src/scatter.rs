@@ -1,0 +1,15 @@
+//! Fixture: `Ordering::SeqCst` in a module outside `SEQCST_ALLOWLIST` —
+//! the audit must flag it even though the site carries a contract.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+pub struct Flag {
+    v: AtomicU64,
+}
+
+impl Flag {
+    pub fn get(&self) -> u64 {
+        // ORDERING: total order with the other flag (but not a Dekker pair).
+        self.v.load(Ordering::SeqCst)
+    }
+}

@@ -1,0 +1,15 @@
+//! Fixture: a contracted atomic site whose manifest entries have gone
+//! stale (one lists a deleted file, one anchors a renamed test).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+pub struct Flag {
+    v: AtomicU64,
+}
+
+impl Flag {
+    pub fn get(&self) -> u64 {
+        // ORDERING: Acquire pairs with the Release in set().
+        self.v.load(Ordering::Acquire)
+    }
+}

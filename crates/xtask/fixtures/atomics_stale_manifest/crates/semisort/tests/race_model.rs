@@ -1,0 +1,5 @@
+//! Fixture loom-model suite: `probe_claims_are_exclusive` exists, but the
+//! manifest's second entry anchors a test that does not.
+
+#[test]
+fn probe_claims_are_exclusive() {}

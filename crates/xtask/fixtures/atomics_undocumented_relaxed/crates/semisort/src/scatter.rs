@@ -1,0 +1,15 @@
+//! Fixture: a Relaxed site whose contract never names its publication
+//! edge (`publishes-via:`) — the audit must flag it.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+pub struct Tally {
+    hits: AtomicU64,
+}
+
+impl Tally {
+    pub fn bump(&self) {
+        // ORDERING: Relaxed tally; something else synchronizes.
+        self.hits.fetch_add(1, Ordering::Relaxed);
+    }
+}

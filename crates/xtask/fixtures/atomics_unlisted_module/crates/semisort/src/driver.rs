@@ -1,0 +1,15 @@
+//! Fixture: a fully-contracted atomic site in a module that is NOT on
+//! `ATOMICS_ALLOWLIST` — the audit must flag the module, contract or not.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+pub struct Flag {
+    v: AtomicU64,
+}
+
+impl Flag {
+    pub fn get(&self) -> u64 {
+        // ORDERING: Acquire pairs with the Release in set().
+        self.v.load(Ordering::Acquire)
+    }
+}

@@ -1,0 +1,18 @@
+//! Fixture: a fully-contracted compare-exchange in a tree with no
+//! manifest — a claim protocol without a loom model on record must fail.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+pub struct Slot {
+    v: AtomicU64,
+}
+
+impl Slot {
+    pub fn claim(&self, key: u64) -> bool {
+        // ORDERING: AcqRel claim; Relaxed failure probe;
+        // publishes-via: the winning CAS's own AcqRel success edge.
+        self.v
+            .compare_exchange(0, key, Ordering::AcqRel, Ordering::Relaxed)
+            .is_ok()
+    }
+}

@@ -1,0 +1,19 @@
+//! Fixture: a `compare_exchange_weak` outside any retry loop — the weak
+//! form may fail spuriously, so the audit must flag it. Contract and
+//! manifest are both in order, isolating the one rule.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+pub struct Slot {
+    v: AtomicU64,
+}
+
+impl Slot {
+    pub fn try_claim(&self, key: u64) -> bool {
+        // ORDERING: AcqRel claim; Relaxed failure probe;
+        // publishes-via: the winning CAS's own AcqRel success edge.
+        self.v
+            .compare_exchange_weak(0, key, Ordering::AcqRel, Ordering::Relaxed)
+            .is_ok()
+    }
+}

@@ -1,0 +1,4 @@
+//! Fixture loom-model anchor for the manifest entry.
+
+#[test]
+fn probe_claims_are_exclusive() {}

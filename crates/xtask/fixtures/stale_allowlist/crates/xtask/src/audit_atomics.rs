@@ -1,0 +1,8 @@
+//! Fixture copy of the auditor source whose allowlist has gone stale:
+//! `ATOMICS_ALLOWLIST` names a file this tree does not contain. The audit
+//! parses the list out of the scanned tree's own source, so this fires
+//! `stale-atomics-allowlist-entry` without recompiling the auditor.
+
+pub const ATOMICS_ALLOWLIST: &[&str] = &["crates/semisort/src/ghost.rs"];
+
+pub const SEQCST_ALLOWLIST: &[&str] = &[];

@@ -1,0 +1,6 @@
+//! Fixture copy of the lint source whose unsafe allowlist has gone
+//! stale: `UNSAFE_ALLOWLIST` names a file this tree does not contain.
+//! The lint parses the list out of the scanned tree's own source, so
+//! this fires `stale-allowlist-entry` without recompiling the linter.
+
+pub const UNSAFE_ALLOWLIST: &[&str] = &["crates/semisort/src/vanished.rs"];

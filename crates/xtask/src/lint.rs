@@ -1,6 +1,6 @@
 //! The unsafe-code lint gate.
 //!
-//! Four textual rules over the workspace's Rust sources, chosen to encode
+//! Five textual rules over the workspace's Rust sources, chosen to encode
 //! the memory-safety discipline DESIGN.md §11 describes. They complement —
 //! not replace — the compiler lints (`unsafe_op_in_unsafe_fn`,
 //! `clippy::undocumented_unsafe_blocks`): the textual pass also covers
@@ -13,6 +13,11 @@
 //! - **`unsafe-outside-allowlist`** — the `unsafe` keyword may appear only
 //!   in the audited module set ([`UNSAFE_ALLOWLIST`]); growing that set is
 //!   an explicit, reviewed act of editing this file.
+//! - **`stale-allowlist-entry`** — every allowlist entry must still name a
+//!   file that exists: a module that was deleted or renamed must leave the
+//!   list, so the audited set never silently outgrows reality. The list is
+//!   read from the *scanned tree's* own `crates/xtask/src/lint.rs`, which
+//!   is what lets the fixture suite carry a deliberately stale list.
 //! - **`as-cast-in-index`** — no `as` casts inside index brackets in the
 //!   scatter/pack hot paths ([`HOT_PATHS`]): a truncating cast inside
 //!   `buf[i as usize]` silently wraps on 32-bit targets where a
@@ -21,13 +26,13 @@
 //!   roots (`src/bin/`, `src/main.rs`); library code must return errors so
 //!   callers (and tests) keep control.
 //!
-//! The scanner masks comments, strings, and char literals before matching,
-//! so prose like this paragraph's mention of `unsafe` never trips a rule.
-
-use std::fmt;
-use std::path::{Path, PathBuf};
+//! The scanner ([`crate::scan`]) masks comments, strings, and char
+//! literals before matching, so prose like this paragraph's mention of
+//! `unsafe` never trips a rule.
 
 use semisort::Json;
+
+use crate::scan::{self, PassReport, Violation, Workspace};
 
 /// Files (workspace-relative, `/`-separated) allowed to contain the
 /// `unsafe` keyword. Everything here has been audited: each entry's blocks
@@ -67,116 +72,75 @@ pub const HOT_PATHS: &[&str] = &[
     "crates/semisort/src/scatter.rs",
 ];
 
-/// One rule violation at a source location.
-#[derive(Debug, Clone, PartialEq)]
-pub struct Violation {
-    /// Rule identifier (stable; part of the `semisort-lint-v1` schema).
-    pub rule: &'static str,
-    /// Workspace-relative `/`-separated path.
-    pub file: String,
-    /// 1-based line number.
-    pub line: usize,
-    /// Human-readable explanation.
-    pub message: String,
-}
-
-impl fmt::Display for Violation {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(
-            f,
-            "{}:{}: [{}] {}",
-            self.file, self.line, self.rule, self.message
-        )
-    }
-}
-
-/// A full lint run: every violation plus how much was scanned.
-#[derive(Debug)]
-pub struct Report {
-    /// All violations, in file order.
-    pub violations: Vec<Violation>,
-    /// Number of `.rs` files scanned.
-    pub files_scanned: usize,
-}
-
-impl Report {
-    /// True when the tree is clean.
-    pub fn ok(&self) -> bool {
-        self.violations.is_empty()
-    }
-
-    /// The `semisort-lint-v1` document (validated in CI by
-    /// `semisort-cli validate-json --schema semisort-lint-v1`).
-    pub fn to_json(&self) -> Json {
-        Json::Obj(vec![
-            ("schema".into(), Json::str("semisort-lint-v1")),
-            ("ok".into(), Json::Bool(self.ok())),
-            ("files_scanned".into(), Json::num(self.files_scanned as u64)),
-            (
-                "violations".into(),
-                Json::Arr(
-                    self.violations
-                        .iter()
-                        .map(|v| {
-                            Json::Obj(vec![
-                                ("rule".into(), Json::str(v.rule)),
-                                ("file".into(), Json::str(&*v.file)),
-                                ("line".into(), Json::num(v.line as u64)),
-                                ("message".into(), Json::str(&*v.message)),
-                            ])
-                        })
-                        .collect(),
-                ),
-            ),
-        ])
-    }
-}
-
-/// Lint every `.rs` file under `root` (skipping `target/`, `.git/`, and
-/// the linter's own deliberately-violating `fixtures/`).
-pub fn lint_tree(root: &Path) -> std::io::Result<Report> {
-    let mut files = Vec::new();
-    collect_rs_files(root, root, &mut files)?;
-    files.sort();
+/// The lint pass over a loaded workspace — the entry the pass registry in
+/// `main.rs` dispatches to.
+pub fn run(ws: &Workspace) -> PassReport {
     let mut violations = Vec::new();
-    for rel in &files {
-        let text = std::fs::read_to_string(root.join(rel))?;
-        let rel_str = rel
-            .components()
-            .map(|c| c.as_os_str().to_string_lossy())
-            .collect::<Vec<_>>()
-            .join("/");
-        violations.extend(lint_source(&rel_str, &text));
+    for f in &ws.files {
+        violations.extend(lint_source(&f.rel, &f.text));
     }
-    Ok(Report {
+    check_allowlist_staleness(ws, &mut violations);
+    PassReport {
+        pass: "lint",
         violations,
-        files_scanned: files.len(),
-    })
+        files_scanned: ws.files.len(),
+    }
 }
 
-fn collect_rs_files(root: &Path, dir: &Path, out: &mut Vec<PathBuf>) -> std::io::Result<()> {
-    for entry in std::fs::read_dir(dir)? {
-        let entry = entry?;
-        let path = entry.path();
-        let name = entry.file_name();
-        let name = name.to_string_lossy();
-        if path.is_dir() {
-            if name == "target" || name == ".git" || name == "fixtures" {
-                continue;
-            }
-            collect_rs_files(root, &path, out)?;
-        } else if name.ends_with(".rs") {
-            out.push(path.strip_prefix(root).unwrap_or(&path).to_path_buf());
+/// The `semisort-lint-v1` document (validated in CI by
+/// `semisort-cli validate-json --schema semisort-lint-v1`). Kept alongside
+/// the newer aggregated `semisort-audit-v1` so existing consumers of the
+/// standalone lint report keep working.
+pub fn lint_v1_json(report: &PassReport) -> Json {
+    Json::Obj(vec![
+        ("schema".into(), Json::str("semisort-lint-v1")),
+        ("ok".into(), Json::Bool(report.ok())),
+        (
+            "files_scanned".into(),
+            Json::num(report.files_scanned as u64),
+        ),
+        (
+            "violations".into(),
+            Json::Arr(report.violations.iter().map(scan::violation_json).collect()),
+        ),
+    ])
+}
+
+// ---- rule: stale allowlist entries -------------------------------------
+
+/// Every entry of the scanned tree's own `UNSAFE_ALLOWLIST` must still
+/// name an existing file. The list is parsed out of the tree's
+/// `crates/xtask/src/lint.rs` (not this compiled binary), so a fixture
+/// tree can carry its own deliberately-stale list; trees that don't ship
+/// the linter (the small rule fixtures) skip the check.
+fn check_allowlist_staleness(ws: &Workspace, out: &mut Vec<Violation>) {
+    const SELF_PATH: &str = "crates/xtask/src/lint.rs";
+    let Some(lint_src) = ws.get(SELF_PATH) else {
+        return;
+    };
+    let Some(entries) = scan::parse_const_string_list(&lint_src.text, "UNSAFE_ALLOWLIST") else {
+        return;
+    };
+    for entry in entries {
+        if ws.get(&entry).is_none() {
+            out.push(Violation {
+                rule: "stale-allowlist-entry",
+                file: SELF_PATH.to_string(),
+                line: 1,
+                message: format!(
+                    "UNSAFE_ALLOWLIST entry `{entry}` names a file that no longer \
+                     exists; remove the entry (the audited set must track reality)"
+                ),
+            });
         }
     }
-    Ok(())
 }
 
 /// Lint one file's source text. `file` is the workspace-relative path used
 /// both for reporting and for the per-file rule scoping.
 pub fn lint_source(file: &str, text: &str) -> Vec<Violation> {
     let original: Vec<&str> = text.lines().collect();
-    let code = mask_non_code(text);
+    let code = scan::mask_non_code(text);
     let code_lines: Vec<&str> = code.lines().collect();
     let mut out = Vec::new();
     check_unsafe_rules(file, &original, &code_lines, &mut out);
@@ -197,7 +161,7 @@ fn check_unsafe_rules(
 ) {
     let mut first_unsafe: Option<usize> = None;
     for (idx, line) in code_lines.iter().enumerate() {
-        for col in token_positions(line, "unsafe") {
+        for col in scan::token_positions(line, "unsafe") {
             first_unsafe.get_or_insert(idx + 1);
             // Only *blocks* need a SAFETY comment here; `unsafe fn`
             // bodies are covered by `unsafe_op_in_unsafe_fn`, which
@@ -245,7 +209,7 @@ fn is_unsafe_block(code_lines: &[&str], line_idx: usize, after: usize) -> bool {
                 '{' => true,
                 _ => !["fn", "impl", "trait", "extern"]
                     .iter()
-                    .any(|kw| token_positions(trimmed, kw).first() == Some(&0)),
+                    .any(|kw| scan::token_positions(trimmed, kw).first() == Some(&0)),
             };
         }
         idx += 1;
@@ -306,7 +270,10 @@ fn check_index_casts(file: &str, code: &str, out: &mut Vec<Violation>) {
             ']' if stack.pop().unwrap_or(false) => {
                 depth_index = depth_index.saturating_sub(1);
             }
-            'a' if depth_index > 0 && is_token_at(&bytes, i, "as") && reported_on != Some(line) => {
+            'a' if depth_index > 0
+                && scan::is_token_at(&bytes, i, "as")
+                && reported_on != Some(line) =>
+            {
                 reported_on = Some(line);
                 out.push(Violation {
                     rule: "as-cast-in-index",
@@ -325,16 +292,6 @@ fn check_index_casts(file: &str, code: &str, out: &mut Vec<Violation>) {
         }
         i += 1;
     }
-}
-
-fn is_token_at(chars: &[char], i: usize, tok: &str) -> bool {
-    let tchars: Vec<char> = tok.chars().collect();
-    if i + tchars.len() > chars.len() || chars[i..i + tchars.len()] != tchars[..] {
-        return false;
-    }
-    let before_ok = i == 0 || !is_ident_char(chars[i - 1]);
-    let after_ok = i + tchars.len() == chars.len() || !is_ident_char(chars[i + tchars.len()]);
-    before_ok && after_ok
 }
 
 // ---- rule: process::exit outside binaries ------------------------------
@@ -360,180 +317,6 @@ fn check_process_exit(file: &str, code_lines: &[&str], out: &mut Vec<Violation>)
             });
         }
     }
-}
-
-// ---- source masking ----------------------------------------------------
-
-fn is_ident_char(c: char) -> bool {
-    c.is_ascii_alphanumeric() || c == '_'
-}
-
-/// Byte offsets (per line) where `tok` appears as a standalone token.
-fn token_positions(line: &str, tok: &str) -> Vec<usize> {
-    let chars: Vec<char> = line.chars().collect();
-    let mut out = Vec::new();
-    let mut byte = 0usize;
-    for (i, c) in chars.iter().enumerate() {
-        if *c == tok.chars().next().unwrap() && is_token_at(&chars, i, tok) {
-            out.push(byte);
-        }
-        byte += c.len_utf8();
-    }
-    out
-}
-
-/// Replace comments, string literals, and char literals with spaces
-/// (newlines preserved) so the rules only ever see real code tokens.
-fn mask_non_code(text: &str) -> String {
-    #[derive(PartialEq)]
-    enum St {
-        Code,
-        Line,
-        Block(usize),  // nesting depth (Rust block comments nest)
-        Str,           // inside "..."
-        RawStr(usize), // inside r#"..."# with N hashes
-    }
-    let chars: Vec<char> = text.chars().collect();
-    let mut out = String::with_capacity(text.len());
-    let mut st = St::Code;
-    let mut i = 0;
-    while i < chars.len() {
-        let c = chars[i];
-        let next = chars.get(i + 1).copied();
-        match st {
-            St::Code => match c {
-                '/' if next == Some('/') => {
-                    st = St::Line;
-                    out.push_str("  ");
-                    i += 2;
-                    continue;
-                }
-                '/' if next == Some('*') => {
-                    st = St::Block(1);
-                    out.push_str("  ");
-                    i += 2;
-                    continue;
-                }
-                '"' => {
-                    st = St::Str;
-                    out.push(' ');
-                }
-                'r' if matches!(next, Some('"') | Some('#'))
-                    && (i == 0 || !is_ident_char(chars[i - 1])) =>
-                {
-                    // Raw string r"..." / r#"..."#; count the hashes.
-                    let mut hashes = 0;
-                    let mut j = i + 1;
-                    while chars.get(j) == Some(&'#') {
-                        hashes += 1;
-                        j += 1;
-                    }
-                    if chars.get(j) == Some(&'"') {
-                        for _ in i..=j {
-                            out.push(' ');
-                        }
-                        st = St::RawStr(hashes);
-                        i = j + 1;
-                        continue;
-                    }
-                    out.push(c);
-                }
-                '\'' => {
-                    // Char literal vs lifetime: a literal closes with ' a
-                    // character (or escape) later; a lifetime never does.
-                    let close = match next {
-                        Some('\\') => {
-                            // Escape: skip the escaped character, then find
-                            // the closing quote (handles '\'' and '\u{..}').
-                            let mut j = i + 3;
-                            while j < chars.len() && chars[j] != '\'' {
-                                j += 1;
-                            }
-                            Some(j)
-                        }
-                        Some(_) if chars.get(i + 2) == Some(&'\'') => Some(i + 2),
-                        _ => None,
-                    };
-                    if let Some(end) = close {
-                        for _ in i..=end.min(chars.len() - 1) {
-                            out.push(' ');
-                        }
-                        i = end + 1;
-                        continue;
-                    }
-                    out.push(c); // lifetime tick: harmless to keep
-                }
-                _ => out.push(c),
-            },
-            St::Line => {
-                if c == '\n' {
-                    st = St::Code;
-                    out.push('\n');
-                } else {
-                    out.push(' ');
-                }
-            }
-            St::Block(depth) => {
-                if c == '\n' {
-                    out.push('\n');
-                } else {
-                    out.push(' ');
-                }
-                if c == '*' && next == Some('/') {
-                    out.push(' ');
-                    i += 2;
-                    st = if depth == 1 {
-                        St::Code
-                    } else {
-                        St::Block(depth - 1)
-                    };
-                    continue;
-                }
-                if c == '/' && next == Some('*') {
-                    out.push(' ');
-                    i += 2;
-                    st = St::Block(depth + 1);
-                    continue;
-                }
-            }
-            St::Str => {
-                if c == '\n' {
-                    out.push('\n');
-                } else {
-                    out.push(' ');
-                }
-                if c == '\\' {
-                    if next == Some('\n') {
-                        out.push('\n');
-                    } else {
-                        out.push(' ');
-                    }
-                    i += 2;
-                    continue;
-                }
-                if c == '"' {
-                    st = St::Code;
-                }
-            }
-            St::RawStr(hashes) => {
-                if c == '\n' {
-                    out.push('\n');
-                } else {
-                    out.push(' ');
-                }
-                if c == '"' && chars[i + 1..].iter().take(hashes).all(|&h| h == '#') {
-                    for _ in 0..hashes {
-                        out.push(' ');
-                    }
-                    i += 1 + hashes;
-                    st = St::Code;
-                    continue;
-                }
-            }
-        }
-        i += 1;
-    }
-    out
 }
 
 #[cfg(test)]
@@ -645,7 +428,8 @@ mod tests {
 
     #[test]
     fn report_json_shape() {
-        let report = Report {
+        let report = PassReport {
+            pass: "lint",
             violations: vec![Violation {
                 rule: "undocumented-unsafe",
                 file: "a.rs".into(),
@@ -654,7 +438,7 @@ mod tests {
             }],
             files_scanned: 7,
         };
-        let doc = report.to_json().to_string();
+        let doc = lint_v1_json(&report).to_string();
         let back = Json::parse(&doc).expect("lint JSON must round-trip");
         assert_eq!(
             back.get("schema").and_then(Json::as_str),

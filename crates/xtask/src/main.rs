@@ -1,6 +1,11 @@
 //! Workspace automation tasks, invoked as `cargo xtask <task>` (the alias
 //! lives in `.cargo/config.toml`).
 //!
+//! The static-analysis tasks share one substrate (see [`scan`]): a masked
+//! source scanner plus a pass registry ([`PASSES`]), each pass a set of
+//! textual rules producing a [`scan::PassReport`]. Reports aggregate into
+//! the `semisort-audit-v1` JSON document CI archives.
+//!
 //! Tasks:
 //!
 //! - `lint [--root <dir>] [--json <path>]` — run the unsafe-code lint gate
@@ -8,6 +13,14 @@
 //!   to stderr; the `semisort-lint-v1` JSON report goes to stdout (or to
 //!   `--json <path>`). Exits 0 on a clean tree, 1 on violations, 2 on
 //!   usage or I/O errors.
+//! - `audit-atomics [--root <dir>] [--json <path>]` — run the
+//!   atomics/ordering contract audit (see [`audit_atomics`]): ORDERING
+//!   contracts on every atomic site, publication edges for Relaxed,
+//!   SeqCst/module allowlists, weak-CAS retry discipline, and the
+//!   `crates/xtask/atomics.toml` protocol→loom-model manifest. Emits a
+//!   one-pass `semisort-audit-v1` report; same exit codes as `lint`.
+//! - `audit [--root <dir>] [--json <path>]` — run every registered pass
+//!   and emit the aggregated `semisort-audit-v1` report.
 //! - `bench-diff [--trajectory <file>] [--baseline <file>]
 //!   [--threshold-pct <f>] [--phase-threshold-pct <f>] [--min-wall-s <f>]
 //!   [--json <path>]` — compare the last trajectory run record against
@@ -17,20 +30,136 @@
 
 use std::path::PathBuf;
 
+mod audit_atomics;
 mod bench_diff;
 mod lint;
+mod manifest;
+mod scan;
+
+/// One registered static-analysis pass.
+struct Pass {
+    /// Pass identifier (the `pass` field of `semisort-audit-v1` entries).
+    name: &'static str,
+    /// The pass body over a loaded workspace.
+    run: fn(&scan::Workspace) -> scan::PassReport,
+}
+
+/// The pass registry: `audit` runs these in order; `lint` and
+/// `audit-atomics` each run one. New passes plug in here.
+const PASSES: &[Pass] = &[
+    Pass {
+        name: "lint",
+        run: lint::run,
+    },
+    Pass {
+        name: "audit-atomics",
+        run: audit_atomics::run,
+    },
+];
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match args.first().map(String::as_str) {
-        Some("lint") => run_lint(&args[1..]),
+        Some("lint") => run_passes(&args[1..], &["lint"], Emit::LintV1),
+        Some("audit-atomics") => run_passes(&args[1..], &["audit-atomics"], Emit::AuditV1),
+        Some("audit") => {
+            let names: Vec<&str> = PASSES.iter().map(|p| p.name).collect();
+            run_passes(&args[1..], &names, Emit::AuditV1);
+        }
         Some("bench-diff") => run_bench_diff(&args[1..]),
         _ => {
             eprintln!(
-                "usage:\n  cargo xtask lint [--root <dir>] [--json <path>]\n  cargo xtask bench-diff [--trajectory <file>] [--baseline <file>] [--threshold-pct <f>] [--phase-threshold-pct <f>] [--min-wall-s <f>] [--json <path>]"
+                "usage:\n  cargo xtask lint [--root <dir>] [--json <path>]\n  cargo xtask audit-atomics [--root <dir>] [--json <path>]\n  cargo xtask audit [--root <dir>] [--json <path>]\n  cargo xtask bench-diff [--trajectory <file>] [--baseline <file>] [--threshold-pct <f>] [--phase-threshold-pct <f>] [--min-wall-s <f>] [--json <path>]"
             );
             std::process::exit(2);
         }
+    }
+}
+
+/// Which JSON document a run emits: the legacy standalone lint report or
+/// the aggregated audit report.
+enum Emit {
+    LintV1,
+    AuditV1,
+}
+
+fn run_passes(args: &[String], which: &[&str], emit: Emit) {
+    let mut root: Option<PathBuf> = None;
+    let mut json_path: Option<PathBuf> = None;
+    let mut it = args.iter();
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| {
+            it.next().cloned().unwrap_or_else(|| {
+                eprintln!("missing value for {name}");
+                std::process::exit(2);
+            })
+        };
+        match flag.as_str() {
+            "--root" => root = Some(PathBuf::from(value("--root"))),
+            "--json" => json_path = Some(PathBuf::from(value("--json"))),
+            other => {
+                eprintln!("unknown flag {other}");
+                std::process::exit(2);
+            }
+        }
+    }
+    let root = root.unwrap_or_else(workspace_root);
+    let ws = match scan::Workspace::load(&root) {
+        Ok(ws) => ws,
+        Err(e) => {
+            eprintln!("cannot scan {}: {e}", root.display());
+            std::process::exit(2);
+        }
+    };
+    let report = scan::AuditReport {
+        passes: PASSES
+            .iter()
+            .filter(|p| which.contains(&p.name))
+            .map(|p| (p.run)(&ws))
+            .collect(),
+    };
+    for pass in &report.passes {
+        for v in &pass.violations {
+            eprintln!("{v}");
+        }
+        eprintln!(
+            "{}: {} file(s) scanned, {} violation(s)",
+            pass.pass,
+            pass.files_scanned,
+            pass.violations.len()
+        );
+    }
+    let doc = match emit {
+        Emit::LintV1 => lint::lint_v1_json(&report.passes[0]).to_string(),
+        Emit::AuditV1 => report.to_json().to_string(),
+    };
+    match &json_path {
+        Some(path) => {
+            if let Err(e) = std::fs::write(path, format!("{doc}\n")) {
+                eprintln!("cannot write {}: {e}", path.display());
+                std::process::exit(2);
+            }
+        }
+        None => println!("{doc}"),
+    }
+    if !report.ok() {
+        std::process::exit(1);
+    }
+}
+
+/// Under `cargo xtask` the cwd is the workspace root; under a direct
+/// `cargo run -p xtask` from elsewhere, fall back to the manifest's
+/// grandparent (crates/xtask -> workspace root).
+fn workspace_root() -> PathBuf {
+    let cwd = std::env::current_dir().expect("cwd");
+    if cwd.join("Cargo.toml").exists() && cwd.join("crates").is_dir() {
+        cwd
+    } else {
+        PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+            .parent()
+            .and_then(|p| p.parent())
+            .expect("workspace root")
+            .to_path_buf()
     }
 }
 
@@ -98,71 +227,6 @@ fn run_bench_diff(args: &[String]) {
         None => println!("{doc}"),
     }
     eprintln!("bench-diff: status {}", report.status);
-    if !report.ok() {
-        std::process::exit(1);
-    }
-}
-
-fn run_lint(args: &[String]) {
-    let mut root: Option<PathBuf> = None;
-    let mut json_path: Option<PathBuf> = None;
-    let mut it = args.iter();
-    while let Some(flag) = it.next() {
-        let mut value = |name: &str| {
-            it.next().cloned().unwrap_or_else(|| {
-                eprintln!("missing value for {name}");
-                std::process::exit(2);
-            })
-        };
-        match flag.as_str() {
-            "--root" => root = Some(PathBuf::from(value("--root"))),
-            "--json" => json_path = Some(PathBuf::from(value("--json"))),
-            other => {
-                eprintln!("unknown flag {other}");
-                std::process::exit(2);
-            }
-        }
-    }
-    // Under `cargo xtask` the cwd is the workspace root; under a direct
-    // `cargo run -p xtask` from elsewhere, fall back to the manifest's
-    // grandparent (crates/xtask -> workspace root).
-    let root = root.unwrap_or_else(|| {
-        let cwd = std::env::current_dir().expect("cwd");
-        if cwd.join("Cargo.toml").exists() && cwd.join("crates").is_dir() {
-            cwd
-        } else {
-            PathBuf::from(env!("CARGO_MANIFEST_DIR"))
-                .parent()
-                .and_then(|p| p.parent())
-                .expect("workspace root")
-                .to_path_buf()
-        }
-    });
-    let report = match lint::lint_tree(&root) {
-        Ok(r) => r,
-        Err(e) => {
-            eprintln!("lint: cannot scan {}: {e}", root.display());
-            std::process::exit(2);
-        }
-    };
-    for v in &report.violations {
-        eprintln!("{v}");
-    }
-    let doc = report.to_json().to_string();
-    match &json_path {
-        Some(path) => {
-            if let Err(e) = std::fs::write(path, format!("{doc}\n")) {
-                eprintln!("lint: cannot write {}: {e}", path.display());
-                std::process::exit(2);
-            }
-        }
-        None => println!("{doc}"),
-    }
-    eprintln!(
-        "lint: {} file(s) scanned, {} violation(s)",
-        report.files_scanned,
-        report.violations.len()
-    );
     if !report.ok() {
         std::process::exit(1);
     }

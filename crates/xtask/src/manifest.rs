@@ -1,0 +1,278 @@
+//! Parser for `crates/xtask/atomics.toml` — the committed manifest that
+//! maps each lock-free claim protocol to the loom model that verifies it.
+//!
+//! The workspace builds offline with zero external dependencies, so this
+//! is a hand-rolled parser for the exact TOML subset the manifest uses:
+//! `[[protocol]]` array-of-tables sections whose keys are bare
+//! identifiers, values either a double-quoted string (no escapes) or a
+//! single-line array of double-quoted strings, plus `#` comments and
+//! blank lines. Anything outside that subset is a parse error — the audit
+//! pass turns parse errors into violations rather than guessing.
+//!
+//! ```toml
+//! [[protocol]]
+//! name = "cas-probe"
+//! files = ["crates/semisort/src/scatter.rs"]
+//! loom_test = "crates/semisort/tests/race_model.rs::cas_linear_probe_claims_are_exclusive"
+//! ```
+
+/// One `[[protocol]]` entry of the atomics manifest.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Protocol {
+    /// Protocol identifier (e.g. `cas-probe`, `deque-claim`).
+    pub name: String,
+    /// Workspace-relative source files implementing the protocol.
+    pub files: Vec<String>,
+    /// `path::test_fn` anchor of the loom model covering the protocol.
+    pub loom_test: String,
+    /// 1-based line of the `[[protocol]]` header (for diagnostics).
+    pub line: usize,
+}
+
+impl Protocol {
+    /// Split the `loom_test` anchor into `(file, test_fn)`.
+    /// Returns `None` when the anchor is not of the `path::fn` form.
+    pub fn loom_anchor(&self) -> Option<(&str, &str)> {
+        let (file, test) = self.loom_test.rsplit_once("::")?;
+        if file.is_empty() || test.is_empty() {
+            return None;
+        }
+        Some((file, test))
+    }
+}
+
+/// The parsed manifest.
+#[derive(Debug, Default, PartialEq)]
+pub struct Manifest {
+    /// All protocol entries, in file order.
+    pub protocols: Vec<Protocol>,
+}
+
+impl Manifest {
+    /// Do any of the protocol entries claim `file`?
+    pub fn covers(&self, file: &str) -> bool {
+        self.protocols
+            .iter()
+            .any(|p| p.files.iter().any(|f| f == file))
+    }
+}
+
+/// A manifest parse error with its 1-based line.
+#[derive(Debug, PartialEq)]
+pub struct ParseError {
+    /// 1-based line the error was detected on.
+    pub line: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+/// Parse the manifest text. See the module docs for the accepted subset.
+pub fn parse(text: &str) -> Result<Manifest, ParseError> {
+    /// An in-progress `[[protocol]]` entry: header line, then the three
+    /// keys as they arrive.
+    type Partial = (usize, Option<String>, Vec<String>, Option<String>);
+    let mut protocols: Vec<Protocol> = Vec::new();
+    let mut current: Option<Partial> = None;
+    let finish = |entry: Partial| -> Result<Protocol, ParseError> {
+        let (line, name, files, loom_test) = entry;
+        let name = name.ok_or_else(|| ParseError {
+            line,
+            message: "[[protocol]] entry is missing `name`".into(),
+        })?;
+        if files.is_empty() {
+            return Err(ParseError {
+                line,
+                message: format!("protocol `{name}` has no `files`"),
+            });
+        }
+        let loom_test = loom_test.ok_or_else(|| ParseError {
+            line,
+            message: format!("protocol `{name}` is missing `loom_test`"),
+        })?;
+        Ok(Protocol {
+            name,
+            files,
+            loom_test,
+            line,
+        })
+    };
+    for (idx, raw) in text.lines().enumerate() {
+        let lineno = idx + 1;
+        let line = strip_comment(raw).trim();
+        if line.is_empty() {
+            continue;
+        }
+        if line == "[[protocol]]" {
+            if let Some(entry) = current.take() {
+                protocols.push(finish(entry)?);
+            }
+            current = Some((lineno, None, Vec::new(), None));
+            continue;
+        }
+        if line.starts_with('[') {
+            return Err(ParseError {
+                line: lineno,
+                message: format!("unsupported section `{line}` (only [[protocol]])"),
+            });
+        }
+        let Some((key, value)) = line.split_once('=') else {
+            return Err(ParseError {
+                line: lineno,
+                message: format!("expected `key = value`, got `{line}`"),
+            });
+        };
+        let Some(entry) = current.as_mut() else {
+            return Err(ParseError {
+                line: lineno,
+                message: "key outside a [[protocol]] section".into(),
+            });
+        };
+        let key = key.trim();
+        let value = value.trim();
+        match key {
+            "name" => entry.1 = Some(parse_string(value, lineno)?),
+            "files" => entry.2 = parse_string_array(value, lineno)?,
+            "loom_test" => entry.3 = Some(parse_string(value, lineno)?),
+            other => {
+                return Err(ParseError {
+                    line: lineno,
+                    message: format!("unknown key `{other}`"),
+                });
+            }
+        }
+    }
+    if let Some(entry) = current.take() {
+        protocols.push(finish(entry)?);
+    }
+    Ok(Manifest { protocols })
+}
+
+/// Drop a `#` comment, respecting `#` inside double-quoted strings.
+fn strip_comment(line: &str) -> &str {
+    let mut in_str = false;
+    for (i, c) in line.char_indices() {
+        match c {
+            '"' => in_str = !in_str,
+            '#' if !in_str => return &line[..i],
+            _ => {}
+        }
+    }
+    line
+}
+
+fn parse_string(value: &str, line: usize) -> Result<String, ParseError> {
+    let inner = value
+        .strip_prefix('"')
+        .and_then(|v| v.strip_suffix('"'))
+        .ok_or_else(|| ParseError {
+            line,
+            message: format!("expected a double-quoted string, got `{value}`"),
+        })?;
+    if inner.contains('"') || inner.contains('\\') {
+        return Err(ParseError {
+            line,
+            message: "escapes and embedded quotes are not supported".into(),
+        });
+    }
+    Ok(inner.to_string())
+}
+
+fn parse_string_array(value: &str, line: usize) -> Result<Vec<String>, ParseError> {
+    let inner = value
+        .strip_prefix('[')
+        .and_then(|v| v.strip_suffix(']'))
+        .ok_or_else(|| ParseError {
+            line,
+            message: format!("expected a single-line [\"…\", …] array, got `{value}`"),
+        })?;
+    let mut out = Vec::new();
+    for item in inner.split(',') {
+        let item = item.trim();
+        if item.is_empty() {
+            continue; // trailing comma
+        }
+        out.push(parse_string(item, line)?);
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const GOOD: &str = r#"
+# The claim-protocol manifest.
+[[protocol]]
+name = "cas-probe"
+files = ["crates/semisort/src/scatter.rs"]
+loom_test = "crates/semisort/tests/race_model.rs::cas_linear_probe_claims_are_exclusive"
+
+[[protocol]]
+name = "deque-claim"   # trailing comment
+files = ["crates/rayon/src/deque.rs", "crates/rayon/src/registry.rs",]
+loom_test = "crates/rayon/tests/race_model.rs::last_element_pop_vs_steal_is_exactly_once"
+"#;
+
+    #[test]
+    fn parses_protocol_entries() {
+        let m = parse(GOOD).expect("manifest parses");
+        assert_eq!(m.protocols.len(), 2);
+        assert_eq!(m.protocols[0].name, "cas-probe");
+        assert_eq!(
+            m.protocols[0].loom_anchor(),
+            Some((
+                "crates/semisort/tests/race_model.rs",
+                "cas_linear_probe_claims_are_exclusive"
+            ))
+        );
+        assert_eq!(m.protocols[1].files.len(), 2);
+        assert!(m.covers("crates/rayon/src/registry.rs"));
+        assert!(!m.covers("crates/rayon/src/job.rs"));
+    }
+
+    #[test]
+    fn missing_loom_test_is_an_error() {
+        let err = parse("[[protocol]]\nname = \"x\"\nfiles = [\"a.rs\"]\n").unwrap_err();
+        assert!(err.message.contains("loom_test"), "{err:?}");
+    }
+
+    #[test]
+    fn missing_name_is_an_error() {
+        let err = parse("[[protocol]]\nfiles = [\"a.rs\"]\nloom_test = \"t.rs::f\"\n").unwrap_err();
+        assert!(err.message.contains("name"), "{err:?}");
+    }
+
+    #[test]
+    fn empty_files_is_an_error() {
+        let err =
+            parse("[[protocol]]\nname = \"x\"\nfiles = []\nloom_test = \"t.rs::f\"\n").unwrap_err();
+        assert!(err.message.contains("no `files`"), "{err:?}");
+    }
+
+    #[test]
+    fn key_outside_section_is_an_error() {
+        let err = parse("name = \"x\"\n").unwrap_err();
+        assert_eq!(err.line, 1);
+    }
+
+    #[test]
+    fn unknown_key_and_bad_anchor() {
+        assert!(parse("[[protocol]]\nbogus = \"x\"\n").is_err());
+        let p = Protocol {
+            name: "x".into(),
+            files: vec!["a.rs".into()],
+            loom_test: "no-separator".into(),
+            line: 1,
+        };
+        assert_eq!(p.loom_anchor(), None);
+    }
+
+    #[test]
+    fn hash_inside_string_is_not_a_comment() {
+        let m = parse(
+            "[[protocol]]\nname = \"has#hash\"\nfiles = [\"a.rs\"]\nloom_test = \"t.rs::f\"\n",
+        )
+        .unwrap();
+        assert_eq!(m.protocols[0].name, "has#hash");
+    }
+}

@@ -1,0 +1,508 @@
+//! Shared source-scanning substrate for every xtask static-analysis pass.
+//!
+//! PR 5's lint gate and the atomics audit both work the same way: walk the
+//! workspace's `.rs` files, mask away comments/strings/char literals so
+//! rules only ever see real code tokens, then match textual rules against
+//! the masked lines (reporting against the original lines). This module
+//! owns that substrate — the file walk, the masking state machine, the
+//! token helpers, and the report types every pass emits — so a new pass is
+//! only its rules plus an entry in the registry in `main.rs`.
+//!
+//! Report model: each pass produces a [`PassReport`] (violations + scan
+//! extent); one or more pass reports aggregate into an [`AuditReport`],
+//! serialized as the `semisort-audit-v1` document that CI archives and
+//! `semisort-cli validate-json` understands.
+
+use std::fmt;
+use std::path::{Path, PathBuf};
+
+use semisort::Json;
+
+/// One rule violation at a source location.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Violation {
+    /// Rule identifier (stable; part of the report schemas).
+    pub rule: &'static str,
+    /// Workspace-relative `/`-separated path.
+    pub file: String,
+    /// 1-based line number.
+    pub line: usize,
+    /// Human-readable explanation.
+    pub message: String,
+}
+
+impl fmt::Display for Violation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}:{}: [{}] {}",
+            self.file, self.line, self.rule, self.message
+        )
+    }
+}
+
+/// One pass's full run: every violation plus how much was scanned.
+#[derive(Debug)]
+pub struct PassReport {
+    /// Pass identifier (stable; part of `semisort-audit-v1`).
+    pub pass: &'static str,
+    /// All violations, in file order.
+    pub violations: Vec<Violation>,
+    /// Number of `.rs` files scanned.
+    pub files_scanned: usize,
+}
+
+impl PassReport {
+    /// True when the pass found nothing.
+    pub fn ok(&self) -> bool {
+        self.violations.is_empty()
+    }
+
+    /// This pass as one entry of an `semisort-audit-v1` `passes` array.
+    pub fn to_json(&self) -> Json {
+        Json::Obj(vec![
+            ("pass".into(), Json::str(self.pass)),
+            ("ok".into(), Json::Bool(self.ok())),
+            ("files_scanned".into(), Json::num(self.files_scanned as u64)),
+            (
+                "violations".into(),
+                Json::Arr(self.violations.iter().map(violation_json).collect()),
+            ),
+        ])
+    }
+}
+
+/// A violation as the JSON object shared by both report schemas.
+pub fn violation_json(v: &Violation) -> Json {
+    Json::Obj(vec![
+        ("rule".into(), Json::str(v.rule)),
+        ("file".into(), Json::str(&*v.file)),
+        ("line".into(), Json::num(v.line as u64)),
+        ("message".into(), Json::str(&*v.message)),
+    ])
+}
+
+/// An aggregated multi-pass run — the `semisort-audit-v1` document.
+#[derive(Debug)]
+pub struct AuditReport {
+    /// One report per executed pass, in registry order.
+    pub passes: Vec<PassReport>,
+}
+
+impl AuditReport {
+    /// True when every pass is clean.
+    pub fn ok(&self) -> bool {
+        self.passes.iter().all(PassReport::ok)
+    }
+
+    /// The `semisort-audit-v1` document (validated in CI by
+    /// `semisort-cli validate-json --schema semisort-audit-v1`).
+    pub fn to_json(&self) -> Json {
+        Json::Obj(vec![
+            ("schema".into(), Json::str("semisort-audit-v1")),
+            ("ok".into(), Json::Bool(self.ok())),
+            (
+                "passes".into(),
+                Json::Arr(self.passes.iter().map(PassReport::to_json).collect()),
+            ),
+        ])
+    }
+}
+
+/// One workspace source file, pre-masked for rule matching.
+#[derive(Debug)]
+pub struct SourceFile {
+    /// Workspace-relative `/`-separated path.
+    pub rel: String,
+    /// Original text (for comment-aware rules and reporting).
+    pub text: String,
+    /// [`mask_non_code`] of `text`: comments/strings/chars blanked.
+    pub masked: String,
+}
+
+/// The loaded workspace: every `.rs` file under the root (skipping
+/// `target/`, `.git/`, and pass fixture trees), sorted by path.
+#[derive(Debug)]
+pub struct Workspace {
+    /// Absolute root the files were loaded from.
+    pub root: PathBuf,
+    /// All files, sorted by relative path.
+    pub files: Vec<SourceFile>,
+}
+
+impl Workspace {
+    /// Load every `.rs` file under `root`.
+    pub fn load(root: &Path) -> std::io::Result<Workspace> {
+        let mut paths = Vec::new();
+        collect_rs_files(root, root, &mut paths)?;
+        paths.sort();
+        let mut files = Vec::new();
+        for rel in paths {
+            let text = std::fs::read_to_string(root.join(&rel))?;
+            let rel = rel
+                .components()
+                .map(|c| c.as_os_str().to_string_lossy())
+                .collect::<Vec<_>>()
+                .join("/");
+            let masked = mask_non_code(&text);
+            files.push(SourceFile { rel, text, masked });
+        }
+        Ok(Workspace {
+            root: root.to_path_buf(),
+            files,
+        })
+    }
+
+    /// The file at `rel`, if the workspace contains it.
+    pub fn get(&self, rel: &str) -> Option<&SourceFile> {
+        self.files.iter().find(|f| f.rel == rel)
+    }
+}
+
+fn collect_rs_files(root: &Path, dir: &Path, out: &mut Vec<PathBuf>) -> std::io::Result<()> {
+    for entry in std::fs::read_dir(dir)? {
+        let entry = entry?;
+        let path = entry.path();
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        if path.is_dir() {
+            if name == "target" || name == ".git" || name == "fixtures" {
+                continue;
+            }
+            collect_rs_files(root, &path, out)?;
+        } else if name.ends_with(".rs") {
+            out.push(path.strip_prefix(root).unwrap_or(&path).to_path_buf());
+        }
+    }
+    Ok(())
+}
+
+/// Extract the string entries of a `const NAME: &[&str] = &[ "…", … ];`
+/// declaration from raw (unmasked) source text. Used by the staleness
+/// checks to read an allowlist out of the *scanned tree's* own source, so
+/// fixture trees can carry deliberately-stale lists without recompiling
+/// the auditor. Returns `None` when the declaration is absent.
+pub fn parse_const_string_list(text: &str, name: &str) -> Option<Vec<String>> {
+    let decl = text.find(&format!("{name}:"))?;
+    // Skip the `&[&str]` type annotation: the list body is the `[` after
+    // the `=`.
+    let eq = decl + text[decl..].find('=')?;
+    let open = eq + text[eq..].find('[')?;
+    let close = open + text[open..].find(']')?;
+    let body = &text[open + 1..close];
+    let mut out = Vec::new();
+    let mut rest = body;
+    while let Some(q) = rest.find('"') {
+        let after = &rest[q + 1..];
+        let end = after.find('"')?;
+        out.push(after[..end].to_string());
+        rest = &after[end + 1..];
+    }
+    Some(out)
+}
+
+// ---- token helpers -----------------------------------------------------
+
+/// Is `c` part of a Rust identifier?
+pub fn is_ident_char(c: char) -> bool {
+    c.is_ascii_alphanumeric() || c == '_'
+}
+
+/// Does `tok` appear at char index `i` of `chars` as a standalone token?
+pub fn is_token_at(chars: &[char], i: usize, tok: &str) -> bool {
+    let tchars: Vec<char> = tok.chars().collect();
+    if i + tchars.len() > chars.len() || chars[i..i + tchars.len()] != tchars[..] {
+        return false;
+    }
+    let before_ok = i == 0 || !is_ident_char(chars[i - 1]);
+    let after_ok = i + tchars.len() == chars.len() || !is_ident_char(chars[i + tchars.len()]);
+    before_ok && after_ok
+}
+
+/// Byte offsets (per line) where `tok` appears as a standalone token.
+pub fn token_positions(line: &str, tok: &str) -> Vec<usize> {
+    let chars: Vec<char> = line.chars().collect();
+    let mut out = Vec::new();
+    let mut byte = 0usize;
+    for (i, c) in chars.iter().enumerate() {
+        if *c == tok.chars().next().unwrap() && is_token_at(&chars, i, tok) {
+            out.push(byte);
+        }
+        byte += c.len_utf8();
+    }
+    out
+}
+
+/// Does the line contain `tok` as a standalone token (masked input)?
+pub fn has_token(line: &str, tok: &str) -> bool {
+    !token_positions(line, tok).is_empty()
+}
+
+// ---- source masking ----------------------------------------------------
+
+/// Replace comments, string literals, and char literals with spaces
+/// (newlines preserved) so rules only ever see real code tokens.
+pub fn mask_non_code(text: &str) -> String {
+    #[derive(PartialEq)]
+    enum St {
+        Code,
+        Line,
+        Block(usize),  // nesting depth (Rust block comments nest)
+        Str,           // inside "..."
+        RawStr(usize), // inside r#"..."# with N hashes
+    }
+    let chars: Vec<char> = text.chars().collect();
+    let mut out = String::with_capacity(text.len());
+    let mut st = St::Code;
+    let mut i = 0;
+    while i < chars.len() {
+        let c = chars[i];
+        let next = chars.get(i + 1).copied();
+        match st {
+            St::Code => match c {
+                '/' if next == Some('/') => {
+                    st = St::Line;
+                    out.push_str("  ");
+                    i += 2;
+                    continue;
+                }
+                '/' if next == Some('*') => {
+                    st = St::Block(1);
+                    out.push_str("  ");
+                    i += 2;
+                    continue;
+                }
+                '"' => {
+                    st = St::Str;
+                    out.push(' ');
+                }
+                'r' if matches!(next, Some('"') | Some('#'))
+                    && (i == 0 || !is_ident_char(chars[i - 1])) =>
+                {
+                    // Raw string r"..." / r#"..."#; count the hashes.
+                    let mut hashes = 0;
+                    let mut j = i + 1;
+                    while chars.get(j) == Some(&'#') {
+                        hashes += 1;
+                        j += 1;
+                    }
+                    if chars.get(j) == Some(&'"') {
+                        for _ in i..=j {
+                            out.push(' ');
+                        }
+                        st = St::RawStr(hashes);
+                        i = j + 1;
+                        continue;
+                    }
+                    out.push(c);
+                }
+                '\'' => {
+                    // Char literal vs lifetime: a literal closes with ' a
+                    // character (or escape) later; a lifetime never does.
+                    let close = match next {
+                        Some('\\') => {
+                            // Escape: skip the escaped character, then find
+                            // the closing quote (handles '\'' and '\u{..}').
+                            let mut j = i + 3;
+                            while j < chars.len() && chars[j] != '\'' {
+                                j += 1;
+                            }
+                            Some(j)
+                        }
+                        Some(_) if chars.get(i + 2) == Some(&'\'') => Some(i + 2),
+                        _ => None,
+                    };
+                    if let Some(end) = close {
+                        for _ in i..=end.min(chars.len() - 1) {
+                            out.push(' ');
+                        }
+                        i = end + 1;
+                        continue;
+                    }
+                    out.push(c); // lifetime tick: harmless to keep
+                }
+                _ => out.push(c),
+            },
+            St::Line => {
+                if c == '\n' {
+                    st = St::Code;
+                    out.push('\n');
+                } else {
+                    out.push(' ');
+                }
+            }
+            St::Block(depth) => {
+                if c == '\n' {
+                    out.push('\n');
+                } else {
+                    out.push(' ');
+                }
+                if c == '*' && next == Some('/') {
+                    out.push(' ');
+                    i += 2;
+                    st = if depth == 1 {
+                        St::Code
+                    } else {
+                        St::Block(depth - 1)
+                    };
+                    continue;
+                }
+                if c == '/' && next == Some('*') {
+                    out.push(' ');
+                    i += 2;
+                    st = St::Block(depth + 1);
+                    continue;
+                }
+            }
+            St::Str => {
+                if c == '\n' {
+                    out.push('\n');
+                } else {
+                    out.push(' ');
+                }
+                if c == '\\' {
+                    if next == Some('\n') {
+                        out.push('\n');
+                    } else {
+                        out.push(' ');
+                    }
+                    i += 2;
+                    continue;
+                }
+                if c == '"' {
+                    st = St::Code;
+                }
+            }
+            St::RawStr(hashes) => {
+                if c == '\n' {
+                    out.push('\n');
+                } else {
+                    out.push(' ');
+                }
+                if c == '"' && chars[i + 1..].iter().take(hashes).all(|&h| h == '#') {
+                    for _ in 0..hashes {
+                        out.push(' ');
+                    }
+                    i += 1 + hashes;
+                    st = St::Code;
+                    continue;
+                }
+            }
+        }
+        i += 1;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn line_comments_are_blanked() {
+        let m = mask_non_code("let x = 1; // unsafe { }\nlet y = 2;\n");
+        assert!(!m.contains("unsafe"));
+        assert!(m.contains("let y = 2;"));
+    }
+
+    #[test]
+    fn nested_block_comments_are_blanked_to_the_outer_close() {
+        // Rust block comments nest: the first `*/` closes only the inner
+        // comment, so `unsafe` after it is still commentary.
+        let m = mask_non_code("/* outer /* inner */ unsafe { } */ let x = 1;\n");
+        assert!(!m.contains("unsafe"), "masked: {m:?}");
+        assert!(m.contains("let x = 1;"));
+    }
+
+    #[test]
+    fn line_comment_marker_inside_string_does_not_start_a_comment() {
+        // The `//` inside the literal must not eat the rest of the line:
+        // the call after the string is real code.
+        let m = mask_non_code("let u = \"https://example.com\"; danger();\n");
+        assert!(!m.contains("example.com"));
+        assert!(m.contains("danger();"));
+    }
+
+    #[test]
+    fn raw_strings_mask_embedded_quotes_and_hashes() {
+        let m = mask_non_code("let s = r#\"say \"unsafe\" // not a comment\"#; f();\n");
+        assert!(!m.contains("unsafe"));
+        assert!(!m.contains("not a comment"));
+        assert!(m.contains("f();"));
+    }
+
+    #[test]
+    fn raw_string_with_two_hashes_needs_both_to_close() {
+        let m = mask_non_code("let s = r##\"one \"# still inside\"##; g();\n");
+        assert!(!m.contains("still inside"));
+        assert!(m.contains("g();"));
+    }
+
+    #[test]
+    fn char_literals_and_lifetimes() {
+        let m = mask_non_code("let b: &'a u8 = &x; let q = '\"'; let t = '\\''; h(\"k\");\n");
+        // The quote char literal must not open a string state that would
+        // swallow the rest of the line.
+        assert!(m.contains("h("));
+        assert!(m.contains("&'a u8"), "lifetimes survive masking: {m:?}");
+    }
+
+    #[test]
+    fn escaped_quote_inside_string_does_not_close_it() {
+        let m = mask_non_code("let s = \"a\\\"b unsafe\"; i();\n");
+        assert!(!m.contains("unsafe"));
+        assert!(m.contains("i();"));
+    }
+
+    #[test]
+    fn newlines_are_preserved_for_line_reporting() {
+        let src = "a\n/* x\ny */\nb\n";
+        assert_eq!(mask_non_code(src).lines().count(), src.lines().count());
+    }
+
+    #[test]
+    fn token_positions_respect_identifier_boundaries() {
+        assert_eq!(token_positions("unsafe unsafe_code", "unsafe"), vec![0]);
+        assert!(token_positions("deny(unsafe_code)", "unsafe").is_empty());
+    }
+
+    #[test]
+    fn const_string_list_parses_entries() {
+        let src = "pub const LIST: &[&str] = &[\n    \"a/b.rs\",\n    \"c/d.rs\",\n];\n";
+        assert_eq!(
+            parse_const_string_list(src, "LIST"),
+            Some(vec!["a/b.rs".into(), "c/d.rs".into()])
+        );
+        assert_eq!(parse_const_string_list(src, "OTHER"), None);
+    }
+
+    #[test]
+    fn audit_report_json_shape() {
+        let report = AuditReport {
+            passes: vec![PassReport {
+                pass: "lint",
+                violations: vec![Violation {
+                    rule: "r",
+                    file: "f.rs".into(),
+                    line: 2,
+                    message: "m".into(),
+                }],
+                files_scanned: 3,
+            }],
+        };
+        let doc = report.to_json().to_string();
+        let back = Json::parse(&doc).expect("audit JSON must round-trip");
+        assert_eq!(
+            back.get("schema").and_then(Json::as_str),
+            Some("semisort-audit-v1")
+        );
+        assert_eq!(back.get("ok").and_then(Json::as_bool), Some(false));
+        let passes = back.get("passes").and_then(Json::as_arr).unwrap();
+        assert_eq!(passes.len(), 1);
+        assert_eq!(passes[0].get("pass").and_then(Json::as_str), Some("lint"));
+        assert_eq!(
+            passes[0].get("files_scanned").and_then(Json::as_u64),
+            Some(3)
+        );
+    }
+}

@@ -22,10 +22,14 @@
 //! default; `--trajectory none` disables). `trace` runs one semisort with
 //! scheduler event capture on and writes a Chrome-trace
 //! (`semisort-trace-v1`) file for Perfetto. `validate-json` parses a
-//! stats, trajectory, or trace file with the in-tree JSON reader and
-//! fails on malformed content (`--schema` accepts a comma-separated list
-//! of acceptable names; `--require a.b.c` additionally asserts dotted-path
-//! members are present and non-null) — the CI smoke check.
+//! stats, trajectory, trace, or static-analysis report file with the
+//! in-tree JSON reader and fails on malformed content (`--schema` accepts
+//! a comma-separated list of acceptable names; `--require a.b.c`
+//! additionally asserts dotted-path members are present and non-null) —
+//! the CI smoke check. Documents declaring `semisort-audit-v1` (the
+//! `cargo xtask audit` / `audit-atomics` / `lint` report family) are
+//! additionally checked structurally: `passes` entries must carry
+//! well-formed violation records and internally-consistent `ok` flags.
 //!
 //! Failure handling (both `sort --algo semisort` and `bench`):
 //! `--on-overflow <fallback|error|panic>` selects the escalation policy,
@@ -615,6 +619,15 @@ fn validate_json(flags: &Flags) {
                 std::process::exit(1);
             }
         }
+        // Known schemas get structural validation on top of the name
+        // match: a report that *says* audit-v1 must also be shaped like
+        // one, so CI archives can be trusted downstream.
+        if parsed.get("schema").and_then(Json::as_str) == Some("semisort-audit-v1") {
+            if let Err(msg) = audit_v1_shape(&parsed) {
+                eprintln!("{input}: {what}: not a well-formed semisort-audit-v1 report: {msg}");
+                std::process::exit(1);
+            }
+        }
         for path in &required_paths {
             let mut node = Some(&parsed);
             for seg in path.split('.') {
@@ -651,6 +664,64 @@ fn validate_json(flags: &Flags) {
         "{input}: OK ({count} record{})",
         if count == 1 { "" } else { "s" }
     );
+}
+
+/// Structural check of a `semisort-audit-v1` document (the `cargo xtask
+/// audit`/`audit-atomics` report; `lint` emits the same violation objects
+/// under `semisort-lint-v1`): a top-level `ok` bool and `passes` array;
+/// each pass carries `pass`, `ok`, `files_scanned`, and well-formed
+/// `violations` (rule/file/line/message); and every `ok` flag must agree
+/// with the violations it summarizes.
+fn audit_v1_shape(doc: &Json) -> Result<(), String> {
+    let doc_ok = doc
+        .get("ok")
+        .and_then(Json::as_bool)
+        .ok_or("missing top-level `ok` bool")?;
+    let passes = doc
+        .get("passes")
+        .and_then(Json::as_arr)
+        .ok_or("missing `passes` array")?;
+    let mut all_clean = true;
+    for (i, pass) in passes.iter().enumerate() {
+        let name = pass
+            .get("pass")
+            .and_then(Json::as_str)
+            .ok_or_else(|| format!("passes[{i}] has no `pass` name"))?;
+        let pass_ok = pass
+            .get("ok")
+            .and_then(Json::as_bool)
+            .ok_or_else(|| format!("pass `{name}` has no `ok` bool"))?;
+        pass.get("files_scanned")
+            .and_then(Json::as_u64)
+            .ok_or_else(|| format!("pass `{name}` has no `files_scanned` count"))?;
+        let violations = pass
+            .get("violations")
+            .and_then(Json::as_arr)
+            .ok_or_else(|| format!("pass `{name}` has no `violations` array"))?;
+        for (j, v) in violations.iter().enumerate() {
+            for key in ["rule", "file", "message"] {
+                if v.get(key).and_then(Json::as_str).is_none() {
+                    return Err(format!("pass `{name}` violations[{j}] missing `{key}`"));
+                }
+            }
+            if v.get("line").and_then(Json::as_u64).is_none() {
+                return Err(format!("pass `{name}` violations[{j}] missing `line`"));
+            }
+        }
+        if pass_ok != violations.is_empty() {
+            return Err(format!(
+                "pass `{name}` ok={pass_ok} disagrees with its {} violation(s)",
+                violations.len()
+            ));
+        }
+        all_clean &= pass_ok;
+    }
+    if doc_ok != all_clean {
+        return Err(format!(
+            "top-level ok={doc_ok} disagrees with the pass results"
+        ));
+    }
+    Ok(())
 }
 
 fn verify(flags: &Flags) {

@@ -295,6 +295,80 @@ fn trace_emits_a_perfetto_loadable_file() {
 }
 
 #[test]
+fn validate_json_roundtrips_audit_v1_reports() {
+    // Round-trip of the `cargo xtask audit`/`audit-atomics` report family:
+    // a document shaped exactly like the emitter's output must validate…
+    let good = tmp("audit_good.json");
+    std::fs::write(
+        &good,
+        concat!(
+            "{\"schema\":\"semisort-audit-v1\",\"ok\":false,\"passes\":[",
+            "{\"pass\":\"lint\",\"ok\":true,\"files_scanned\":12,\"violations\":[]},",
+            "{\"pass\":\"audit-atomics\",\"ok\":false,\"files_scanned\":12,\"violations\":[",
+            "{\"rule\":\"missing-ordering-contract\",\"file\":\"crates/semisort/src/scatter.rs\",",
+            "\"line\":7,\"message\":\"atomic site without an ORDERING contract\"}]}]}"
+        ),
+    )
+    .unwrap();
+    let status = cli()
+        .args(["validate-json", "--schema", "semisort-audit-v1", "--input"])
+        .arg(&good)
+        .status()
+        .expect("validate");
+    assert!(status.success(), "well-formed audit report must validate");
+
+    // …a report whose `ok` flag lies about its violations must not…
+    let inconsistent = tmp("audit_inconsistent.json");
+    std::fs::write(
+        &inconsistent,
+        concat!(
+            "{\"schema\":\"semisort-audit-v1\",\"ok\":true,\"passes\":[",
+            "{\"pass\":\"audit-atomics\",\"ok\":true,\"files_scanned\":3,\"violations\":[",
+            "{\"rule\":\"seqcst-outside-allowlist\",\"file\":\"a.rs\",\"line\":1,",
+            "\"message\":\"m\"}]}]}"
+        ),
+    )
+    .unwrap();
+    let out = cli()
+        .args(["validate-json", "--input"])
+        .arg(&inconsistent)
+        .output()
+        .expect("validate");
+    assert!(
+        !out.status.success(),
+        "ok flag disagreeing with violations must fail"
+    );
+    assert!(String::from_utf8_lossy(&out.stderr).contains("disagrees"));
+
+    // …and a violation record missing a required member must not either
+    // (the structural check fires even without --schema).
+    let truncated = tmp("audit_truncated.json");
+    std::fs::write(
+        &truncated,
+        concat!(
+            "{\"schema\":\"semisort-audit-v1\",\"ok\":false,\"passes\":[",
+            "{\"pass\":\"lint\",\"ok\":false,\"files_scanned\":3,\"violations\":[",
+            "{\"rule\":\"undocumented-unsafe\",\"file\":\"a.rs\",\"message\":\"m\"}]}]}"
+        ),
+    )
+    .unwrap();
+    let out = cli()
+        .args(["validate-json", "--input"])
+        .arg(&truncated)
+        .output()
+        .expect("validate");
+    assert!(
+        !out.status.success(),
+        "violation without a line number must fail"
+    );
+    assert!(String::from_utf8_lossy(&out.stderr).contains("missing `line`"));
+
+    for p in [&good, &inconsistent, &truncated] {
+        std::fs::remove_file(p).ok();
+    }
+}
+
+#[test]
 fn validate_json_rejects_malformed_input() {
     let bad = tmp("bad.json");
     std::fs::write(&bad, "{\"schema\": \"semisort-stats-v1\",").unwrap();
